@@ -1,0 +1,69 @@
+//! Error type for XML parsing and schema mapping.
+
+use std::fmt;
+
+use arcade_core::ArcadeError;
+
+/// Errors produced while parsing XML or mapping it onto Arcade models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlError {
+    /// The XML text is not well formed.
+    Parse {
+        /// Line number (1-based) where the problem was detected.
+        line: usize,
+        /// Column number (1-based).
+        column: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The document is well-formed XML but does not match the Arcade schema.
+    Schema {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The document describes an invalid Arcade model.
+    Model(ArcadeError),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { line, column, message } => {
+                write!(f, "XML parse error at line {line}, column {column}: {message}")
+            }
+            XmlError::Schema { message } => write!(f, "schema error: {message}"),
+            XmlError::Model(err) => write!(f, "invalid model: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArcadeError> for XmlError {
+    fn from(err: ArcadeError) -> Self {
+        XmlError::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XmlError::Parse { line: 3, column: 7, message: "expected `>`".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("column 7"));
+        assert!(XmlError::Schema { message: "missing name".into() }.to_string().contains("missing"));
+        let e: XmlError = ArcadeError::DuplicateComponent { name: "x".into() }.into();
+        assert!(matches!(e, XmlError::Model(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! # arcade-xml — the XML input/output format for Arcade models
+//!
+//! The Arcade tool chain of the DSN 2010 paper reads its architectural models
+//! from an XML format (components, repair units, spare management units, fault
+//! trees and measures) so that design tools can be coupled to the analysis
+//! back-ends. The exact schema of that format is unpublished; this crate
+//! defines an equivalent vocabulary carrying the same information and provides
+//!
+//! * a small, dependency-free XML document model with parser and writer
+//!   ([`xml`]),
+//! * the mapping between XML documents and [`arcade_core::ArcadeModel`]
+//!   ([`schema`]): [`to_xml`] / [`from_xml`] round-trip models losslessly.
+//!
+//! ```
+//! use arcade_core::{ArcadeModel, BasicComponent, RepairStrategy, RepairUnit};
+//! use fault_tree::{StructureNode, SystemStructure};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let structure = SystemStructure::new(StructureNode::component("pump"));
+//! let model = ArcadeModel::builder("demo", structure)
+//!     .component(BasicComponent::from_mttf_mttr("pump", 500.0, 1.0)?)
+//!     .repair_unit(RepairUnit::new("ru", RepairStrategy::Dedicated, 1)?.responsible_for(["pump"]))
+//!     .build()?;
+//!
+//! let text = arcade_xml::to_xml(&model);
+//! let restored = arcade_xml::from_xml(&text)?;
+//! assert_eq!(restored.name(), "demo");
+//! assert_eq!(restored.components().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod schema;
+pub mod xml;
+
+pub use error::XmlError;
+pub use schema::{from_xml, to_xml};
+pub use xml::{XmlDocument, XmlElement};

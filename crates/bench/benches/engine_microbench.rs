@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the numerical engine underneath the case study:
+//! Fox–Glynn weights, transient analysis, bounded reachability, steady-state
+//! solves and Monte-Carlo simulation throughput.
+
+use arcade_core::CompiledModel;
+use arcade_sim::{SimulationOptions, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctmc::{FoxGlynn, SteadyStateMethod, SteadyStateSolver, TransientSolver};
+use watertreatment::{facility, strategies, Line};
+
+fn engine_benchmarks(c: &mut Criterion) {
+    let model = facility::line_model(Line::Line2, &strategies::frf(1)).unwrap();
+    let compiled = CompiledModel::compile(&model).unwrap();
+    let chain = compiled.chain();
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("fox_glynn_lambda_1e3", |b| {
+        b.iter(|| FoxGlynn::new(1000.0, 1e-12).unwrap().len())
+    });
+    group.bench_function("fox_glynn_lambda_1e5", |b| {
+        b.iter(|| FoxGlynn::new(100_000.0, 1e-10).unwrap().len())
+    });
+
+    group.bench_function("transient_line2_frf1_t100", |b| {
+        b.iter(|| TransientSolver::new(chain).probabilities_at(100.0).unwrap())
+    });
+    group.bench_function("bounded_reachability_line2_frf1", |b| {
+        let goal = compiled.service_at_least_mask(1.0);
+        let safe = vec![true; chain.num_states()];
+        b.iter(|| TransientSolver::new(chain).bounded_until(&safe, &goal, 50.0).unwrap())
+    });
+
+    // Gauss-Seidel is the production solver; the Jacobi and power iterations are
+    // exercised by the unit and property tests but converge too slowly on this
+    // stiff chain (repair rates ~10^4 times the failure rates) to benchmark.
+    group.bench_function(format!("steady_state_{:?}", SteadyStateMethod::GaussSeidel), |b| {
+        b.iter(|| {
+            SteadyStateSolver::new(chain).method(SteadyStateMethod::GaussSeidel).solve().unwrap()
+        })
+    });
+
+    group.bench_function("simulation_1000_replications_reliability", |b| {
+        let simulator = Simulator::new(&model).unwrap();
+        let options = SimulationOptions { replications: 1000, seed: 1, threads: 4 };
+        b.iter(|| simulator.reliability(100.0, &options).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper (printing
+//! the same rows/series the paper reports) and then times a representative
+//! computational kernel with Criterion.
+
+use watertreatment::experiments::Figure;
+
+/// Prints a regenerated figure as a data table, prefixed so it is easy to find
+/// in `cargo bench` output.
+pub fn print_figure(figure: &Figure) {
+    println!("\n===== reproduced {} — {} =====", figure.id, figure.title);
+    println!("{}", watertreatment::experiments::format_figure(figure));
+}
+
+/// Prints a regenerated table with a banner.
+pub fn print_table(title: &str, body: &str) {
+    println!("\n===== reproduced {title} =====");
+    println!("{body}");
+}

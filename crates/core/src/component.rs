@@ -1,0 +1,225 @@
+//! Basic components: the failure/repair building blocks of an Arcade model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArcadeError;
+
+/// A basic component of an Arcade architectural model.
+///
+/// A basic component alternates between an operational and a failed mode with
+/// exponentially distributed times to failure and to repair. Costs accrue at a
+/// constant rate in each mode; the water-treatment paper charges 3 per hour
+/// while a component is failed and nothing while it is operational.
+///
+/// # Example
+///
+/// ```
+/// # use arcade_core::BasicComponent;
+/// # fn main() -> Result<(), arcade_core::ArcadeError> {
+/// let pump = BasicComponent::from_mttf_mttr("pump-1", 500.0, 1.0)?
+///     .with_failed_cost(3.0);
+/// assert!((pump.failure_rate() - 1.0 / 500.0).abs() < 1e-12);
+/// assert!((pump.steady_state_availability() - 500.0 / 501.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicComponent {
+    name: String,
+    failure_rate: f64,
+    repair_rate: f64,
+    operational_cost_per_hour: f64,
+    failed_cost_per_hour: f64,
+    /// Dormancy factor in `[0, 1]`: a dormant (spare) component fails at
+    /// `dormancy_factor * failure_rate`. Zero models a cold spare, one a hot spare.
+    dormancy_factor: f64,
+    initially_failed: bool,
+}
+
+impl BasicComponent {
+    /// Creates a component from failure and repair *rates* (per hour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidParameter`] if either rate is not strictly
+    /// positive and finite, or if the name is empty.
+    pub fn from_rates(
+        name: impl Into<String>,
+        failure_rate: f64,
+        repair_rate: f64,
+    ) -> Result<Self, ArcadeError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ArcadeError::InvalidParameter {
+                reason: "component name must not be empty".to_string(),
+            });
+        }
+        for (label, value) in [("failure rate", failure_rate), ("repair rate", repair_rate)] {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(ArcadeError::InvalidParameter {
+                    reason: format!("{label} of component `{name}` must be positive, got {value}"),
+                });
+            }
+        }
+        Ok(BasicComponent {
+            name,
+            failure_rate,
+            repair_rate,
+            operational_cost_per_hour: 0.0,
+            failed_cost_per_hour: 0.0,
+            dormancy_factor: 1.0,
+            initially_failed: false,
+        })
+    }
+
+    /// Creates a component from its mean time to failure and mean time to
+    /// repair (in hours), as given in the paper's Fig. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidParameter`] if either mean time is not
+    /// strictly positive and finite.
+    pub fn from_mttf_mttr(
+        name: impl Into<String>,
+        mttf: f64,
+        mttr: f64,
+    ) -> Result<Self, ArcadeError> {
+        if !(mttf > 0.0) || !mttf.is_finite() || !(mttr > 0.0) || !mttr.is_finite() {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("MTTF/MTTR must be positive, got {mttf}/{mttr}"),
+            });
+        }
+        Self::from_rates(name, 1.0 / mttf, 1.0 / mttr)
+    }
+
+    /// Sets the cost per hour accrued while the component is failed.
+    pub fn with_failed_cost(mut self, cost_per_hour: f64) -> Self {
+        self.failed_cost_per_hour = cost_per_hour;
+        self
+    }
+
+    /// Sets the cost per hour accrued while the component is operational.
+    pub fn with_operational_cost(mut self, cost_per_hour: f64) -> Self {
+        self.operational_cost_per_hour = cost_per_hour;
+        self
+    }
+
+    /// Sets the dormancy factor applied to the failure rate while the component
+    /// is a deactivated spare (0 = cold spare, 1 = hot spare).
+    pub fn with_dormancy_factor(mut self, factor: f64) -> Self {
+        self.dormancy_factor = factor.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Marks the component as failed in the initial state of the model.
+    pub fn initially_failed(mut self) -> Self {
+        self.initially_failed = true;
+        self
+    }
+
+    /// The component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Failure rate (per hour) while active.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    /// Repair rate (per hour) while under repair.
+    pub fn repair_rate(&self) -> f64 {
+        self.repair_rate
+    }
+
+    /// Mean time to failure in hours.
+    pub fn mttf(&self) -> f64 {
+        1.0 / self.failure_rate
+    }
+
+    /// Mean time to repair in hours.
+    pub fn mttr(&self) -> f64 {
+        1.0 / self.repair_rate
+    }
+
+    /// Cost per hour while operational.
+    pub fn operational_cost_per_hour(&self) -> f64 {
+        self.operational_cost_per_hour
+    }
+
+    /// Cost per hour while failed.
+    pub fn failed_cost_per_hour(&self) -> f64 {
+        self.failed_cost_per_hour
+    }
+
+    /// Dormancy factor applied to the failure rate of a deactivated spare.
+    pub fn dormancy_factor(&self) -> f64 {
+        self.dormancy_factor
+    }
+
+    /// Whether the component starts in the failed mode.
+    pub fn is_initially_failed(&self) -> bool {
+        self.initially_failed
+    }
+
+    /// Steady-state availability of the component in isolation under dedicated
+    /// repair: `MTTF / (MTTF + MTTR)`.
+    pub fn steady_state_availability(&self) -> f64 {
+        self.repair_rate / (self.failure_rate + self.repair_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rates_validates_input() {
+        assert!(BasicComponent::from_rates("", 1.0, 1.0).is_err());
+        assert!(BasicComponent::from_rates("c", 0.0, 1.0).is_err());
+        assert!(BasicComponent::from_rates("c", 1.0, -1.0).is_err());
+        assert!(BasicComponent::from_rates("c", f64::NAN, 1.0).is_err());
+        assert!(BasicComponent::from_rates("c", 1.0, f64::INFINITY).is_err());
+        assert!(BasicComponent::from_rates("c", 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn from_mttf_mttr_converts_to_rates() {
+        let c = BasicComponent::from_mttf_mttr("pump", 500.0, 1.0).unwrap();
+        assert!((c.failure_rate() - 0.002).abs() < 1e-15);
+        assert!((c.repair_rate() - 1.0).abs() < 1e-15);
+        assert!((c.mttf() - 500.0).abs() < 1e-9);
+        assert!((c.mttr() - 1.0).abs() < 1e-9);
+        assert!(BasicComponent::from_mttf_mttr("pump", 0.0, 1.0).is_err());
+        assert!(BasicComponent::from_mttf_mttr("pump", 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = BasicComponent::from_mttf_mttr("sf", 1000.0, 100.0)
+            .unwrap()
+            .with_failed_cost(3.0)
+            .with_operational_cost(0.5)
+            .with_dormancy_factor(0.25);
+        assert_eq!(c.failed_cost_per_hour(), 3.0);
+        assert_eq!(c.operational_cost_per_hour(), 0.5);
+        assert_eq!(c.dormancy_factor(), 0.25);
+        assert!(!c.is_initially_failed());
+        let c = c.initially_failed();
+        assert!(c.is_initially_failed());
+    }
+
+    #[test]
+    fn dormancy_factor_is_clamped() {
+        let c = BasicComponent::from_rates("c", 1.0, 1.0).unwrap().with_dormancy_factor(7.0);
+        assert_eq!(c.dormancy_factor(), 1.0);
+        let c = BasicComponent::from_rates("c", 1.0, 1.0).unwrap().with_dormancy_factor(-1.0);
+        assert_eq!(c.dormancy_factor(), 0.0);
+    }
+
+    #[test]
+    fn availability_formula() {
+        let c = BasicComponent::from_mttf_mttr("sf", 1000.0, 100.0).unwrap();
+        assert!((c.steady_state_availability() - 1000.0 / 1100.0).abs() < 1e-12);
+    }
+}

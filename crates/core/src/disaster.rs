@@ -1,0 +1,101 @@
+//! Disaster specifications for survivability analysis.
+//!
+//! Survivability in the sense of Cloth & Haverkort is evaluated on a
+//! *given-occurrence-of-disaster* (GOOD) model: the chain is started in the
+//! state reached immediately after a specified set of components has failed,
+//! and the measure asks how quickly the system recovers a required service
+//! level. A [`Disaster`] names that set of simultaneously failed components.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArcadeError;
+
+/// A named disaster: the set of components that have failed when analysis starts.
+///
+/// # Example
+///
+/// ```
+/// # use arcade_core::Disaster;
+/// # fn main() -> Result<(), arcade_core::ArcadeError> {
+/// let disaster = Disaster::new("all-pumps", ["pump-1", "pump-2", "pump-3", "pump-4"])?;
+/// assert_eq!(disaster.failed_components().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Disaster {
+    name: String,
+    failed_components: Vec<String>,
+}
+
+impl Disaster {
+    /// Creates a disaster from the names of the simultaneously failed components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidDisaster`] if the name is empty, the
+    /// component list is empty, or a component is listed twice.
+    pub fn new<I, S>(name: impl Into<String>, failed: I) -> Result<Self, ArcadeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ArcadeError::InvalidDisaster {
+                reason: "disaster name must not be empty".to_string(),
+            });
+        }
+        let failed_components: Vec<String> = failed.into_iter().map(Into::into).collect();
+        if failed_components.is_empty() {
+            return Err(ArcadeError::InvalidDisaster {
+                reason: format!("disaster `{name}` lists no failed components"),
+            });
+        }
+        for (i, c) in failed_components.iter().enumerate() {
+            if failed_components[..i].contains(c) {
+                return Err(ArcadeError::InvalidDisaster {
+                    reason: format!("disaster `{name}` lists component `{c}` twice"),
+                });
+            }
+        }
+        Ok(Disaster { name, failed_components })
+    }
+
+    /// The disaster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The components failed at the start of the analysis.
+    pub fn failed_components(&self) -> &[String] {
+        &self.failed_components
+    }
+
+    /// Whether the given component is failed in this disaster.
+    pub fn involves(&self, component: &str) -> bool {
+        self.failed_components.iter().any(|c| c == component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(Disaster::new("", ["a"]).is_err());
+        assert!(Disaster::new("d", Vec::<String>::new()).is_err());
+        assert!(Disaster::new("d", ["a", "a"]).is_err());
+        assert!(Disaster::new("d", ["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn accessors_and_involvement() {
+        let d = Disaster::new("disaster-2", ["p1", "p2", "st1", "sf1", "res"]).unwrap();
+        assert_eq!(d.name(), "disaster-2");
+        assert_eq!(d.failed_components().len(), 5);
+        assert!(d.involves("res"));
+        assert!(!d.involves("p3"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Error types for the Arcade framework.
+
+use std::fmt;
+
+use ctmc::CtmcError;
+
+/// Errors produced while building, validating, composing or analysing an
+/// Arcade model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArcadeError {
+    /// A component name is used more than once.
+    DuplicateComponent {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A repair unit or measure references a component that does not exist.
+    UnknownComponent {
+        /// The missing component name.
+        name: String,
+        /// Where it was referenced from.
+        referenced_by: String,
+    },
+    /// A component is covered by more than one repair unit.
+    ComponentRepairedTwice {
+        /// The component name.
+        name: String,
+    },
+    /// A component has no responsible repair unit but the model requires one.
+    ComponentNotRepaired {
+        /// The component name.
+        name: String,
+    },
+    /// A numeric parameter (rate, cost, crew count) is invalid.
+    InvalidParameter {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A repair unit name is used more than once.
+    DuplicateRepairUnit {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A spare management unit is inconsistent (unknown components, overlaps).
+    InvalidSpareUnit {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A disaster specification is invalid.
+    InvalidDisaster {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The state-space exploration exceeded the configured state limit.
+    StateSpaceTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An error bubbled up from the underlying CTMC engine.
+    Numerics(CtmcError),
+    /// A measure was requested that the compiled model cannot evaluate.
+    UnsupportedMeasure {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArcadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArcadeError::DuplicateComponent { name } => {
+                write!(f, "component `{name}` is defined more than once")
+            }
+            ArcadeError::UnknownComponent { name, referenced_by } => {
+                write!(f, "unknown component `{name}` referenced by {referenced_by}")
+            }
+            ArcadeError::ComponentRepairedTwice { name } => {
+                write!(f, "component `{name}` is assigned to more than one repair unit")
+            }
+            ArcadeError::ComponentNotRepaired { name } => {
+                write!(f, "component `{name}` has no responsible repair unit")
+            }
+            ArcadeError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            ArcadeError::DuplicateRepairUnit { name } => {
+                write!(f, "repair unit `{name}` is defined more than once")
+            }
+            ArcadeError::InvalidSpareUnit { reason } => {
+                write!(f, "invalid spare management unit: {reason}")
+            }
+            ArcadeError::InvalidDisaster { reason } => write!(f, "invalid disaster: {reason}"),
+            ArcadeError::StateSpaceTooLarge { limit } => {
+                write!(f, "state-space exploration exceeded the limit of {limit} states")
+            }
+            ArcadeError::Numerics(err) => write!(f, "numerical engine error: {err}"),
+            ArcadeError::UnsupportedMeasure { reason } => {
+                write!(f, "unsupported measure: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArcadeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArcadeError::Numerics(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for ArcadeError {
+    fn from(err: CtmcError) -> Self {
+        ArcadeError::Numerics(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ArcadeError::DuplicateComponent { name: "pump".into() };
+        assert!(e.to_string().contains("pump"));
+        let e = ArcadeError::UnknownComponent { name: "x".into(), referenced_by: "ru".into() };
+        assert!(e.to_string().contains('x') && e.to_string().contains("ru"));
+        let e = ArcadeError::StateSpaceTooLarge { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn ctmc_errors_convert_and_expose_source() {
+        let err: ArcadeError = CtmcError::EmptyChain.into();
+        assert!(matches!(err, ArcadeError::Numerics(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,119 @@
+//! Spare management units.
+//!
+//! A spare management unit watches a set of *primary* components and a pool of
+//! *spare* components. Spares start dormant: they fail at their dormancy-scaled
+//! rate (zero for cold spares) and do not contribute to service. Whenever a
+//! primary (or an already-activated spare) fails, the unit activates a dormant
+//! spare to take its place; when the failed component is repaired, the spare is
+//! deactivated again. Activation and deactivation are modelled as immediate,
+//! deterministic side effects of the failure/repair events, so the composed
+//! model remains a CTMC without nondeterminism — the restriction the paper
+//! relies on for its PRISM translation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArcadeError;
+
+/// A spare management unit.
+///
+/// # Example
+///
+/// ```
+/// # use arcade_core::SpareManagementUnit;
+/// # fn main() -> Result<(), arcade_core::ArcadeError> {
+/// let smu = SpareManagementUnit::new("pump-spares", ["pump-1", "pump-2", "pump-3"], ["pump-4"])?;
+/// assert_eq!(smu.primaries().len(), 3);
+/// assert_eq!(smu.spares().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpareManagementUnit {
+    name: String,
+    primaries: Vec<String>,
+    spares: Vec<String>,
+}
+
+impl SpareManagementUnit {
+    /// Creates a spare management unit with the given primaries and spares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidSpareUnit`] if the name is empty, either
+    /// list is empty, or a component appears in both lists.
+    pub fn new<I, J, S, T>(name: impl Into<String>, primaries: I, spares: J) -> Result<Self, ArcadeError>
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = T>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ArcadeError::InvalidSpareUnit {
+                reason: "spare management unit name must not be empty".to_string(),
+            });
+        }
+        let primaries: Vec<String> = primaries.into_iter().map(Into::into).collect();
+        let spares: Vec<String> = spares.into_iter().map(Into::into).collect();
+        if primaries.is_empty() {
+            return Err(ArcadeError::InvalidSpareUnit {
+                reason: format!("spare unit `{name}` has no primary components"),
+            });
+        }
+        if spares.is_empty() {
+            return Err(ArcadeError::InvalidSpareUnit {
+                reason: format!("spare unit `{name}` has no spare components"),
+            });
+        }
+        if let Some(dup) = primaries.iter().find(|p| spares.contains(p)) {
+            return Err(ArcadeError::InvalidSpareUnit {
+                reason: format!("component `{dup}` of unit `{name}` is both primary and spare"),
+            });
+        }
+        Ok(SpareManagementUnit { name, primaries, spares })
+    }
+
+    /// The unit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary components.
+    pub fn primaries(&self) -> &[String] {
+        &self.primaries
+    }
+
+    /// The spare components (initially dormant).
+    pub fn spares(&self) -> &[String] {
+        &self.spares
+    }
+
+    /// All components governed by this unit.
+    pub fn all_components(&self) -> impl Iterator<Item = &str> {
+        self.primaries.iter().chain(self.spares.iter()).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(SpareManagementUnit::new("", ["a"], ["b"]).is_err());
+        assert!(SpareManagementUnit::new("s", Vec::<String>::new(), vec!["b".to_string()]).is_err());
+        assert!(SpareManagementUnit::new("s", vec!["a".to_string()], Vec::<String>::new()).is_err());
+        assert!(SpareManagementUnit::new("s", ["a"], ["a"]).is_err());
+        assert!(SpareManagementUnit::new("s", ["a", "b"], ["c"]).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let smu = SpareManagementUnit::new("pumps", ["p1", "p2"], ["p3"]).unwrap();
+        assert_eq!(smu.name(), "pumps");
+        assert_eq!(smu.primaries(), &["p1".to_string(), "p2".to_string()]);
+        assert_eq!(smu.spares(), &["p3".to_string()]);
+        assert_eq!(smu.all_components().collect::<Vec<_>>(), vec!["p1", "p2", "p3"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Abstract syntax of CSL/CSRL queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A state formula: a boolean predicate over CTMC states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateFormula {
+    /// Satisfied by every state.
+    True,
+    /// Satisfied by no state.
+    False,
+    /// Satisfied by states carrying the given label.
+    Label(String),
+    /// Negation.
+    Not(Box<StateFormula>),
+    /// Conjunction.
+    And(Box<StateFormula>, Box<StateFormula>),
+    /// Disjunction.
+    Or(Box<StateFormula>, Box<StateFormula>),
+}
+
+impl StateFormula {
+    /// Atomic proposition referring to a CTMC label.
+    pub fn label(name: impl Into<String>) -> StateFormula {
+        StateFormula::Label(name.into())
+    }
+
+    /// Negation of this formula.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> StateFormula {
+        StateFormula::Not(Box::new(self))
+    }
+
+    /// Conjunction with another formula.
+    pub fn and(self, other: StateFormula) -> StateFormula {
+        StateFormula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with another formula.
+    pub fn or(self, other: StateFormula) -> StateFormula {
+        StateFormula::Or(Box::new(self), Box::new(other))
+    }
+}
+
+/// A path formula inside the probabilistic operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathFormula {
+    /// `phi U<=t psi`: `psi` is reached within `t` while only `phi`-states are visited.
+    BoundedUntil {
+        /// The safety condition that must hold along the way.
+        safe: StateFormula,
+        /// The goal condition.
+        goal: StateFormula,
+        /// The time bound in model time units (hours in the paper).
+        bound: f64,
+    },
+    /// `F<=t psi`, shorthand for `true U<=t psi`.
+    BoundedEventually {
+        /// The goal condition.
+        goal: StateFormula,
+        /// The time bound.
+        bound: f64,
+    },
+}
+
+impl PathFormula {
+    /// The safety/goal/bound decomposition used by the checker.
+    pub fn as_until(&self) -> (StateFormula, StateFormula, f64) {
+        match self {
+            PathFormula::BoundedUntil { safe, goal, bound } => (safe.clone(), goal.clone(), *bound),
+            PathFormula::BoundedEventually { goal, bound } => {
+                (StateFormula::True, goal.clone(), *bound)
+            }
+        }
+    }
+}
+
+/// A top-level query returning a number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// `P=? [ path ]`: probability of the path formula from the initial distribution.
+    Probability(PathFormula),
+    /// `S=? [ phi ]`: long-run probability of residing in `phi`-states.
+    SteadyState(StateFormula),
+    /// `R=? [ I=t ]`: expected instantaneous reward rate at time `t`.
+    InstantaneousReward {
+        /// The time instant.
+        time: f64,
+    },
+    /// `R=? [ C<=t ]`: expected reward accumulated up to time `t`.
+    CumulativeReward {
+        /// The time bound.
+        time: f64,
+    },
+    /// `R=? [ S ]`: long-run expected reward rate.
+    SteadyStateReward,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let f = StateFormula::label("a").and(StateFormula::label("b").not()).or(StateFormula::True);
+        match f {
+            StateFormula::Or(left, right) => {
+                assert!(matches!(*right, StateFormula::True));
+                assert!(matches!(*left, StateFormula::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eventually_desugars_to_until() {
+        let path = PathFormula::BoundedEventually { goal: StateFormula::label("goal"), bound: 2.0 };
+        let (safe, goal, bound) = path.as_until();
+        assert_eq!(safe, StateFormula::True);
+        assert_eq!(goal, StateFormula::label("goal"));
+        assert_eq!(bound, 2.0);
+        let path = PathFormula::BoundedUntil {
+            safe: StateFormula::label("ok"),
+            goal: StateFormula::label("goal"),
+            bound: 1.0,
+        };
+        let (safe, _, _) = path.as_until();
+        assert_eq!(safe, StateFormula::label("ok"));
+    }
+}

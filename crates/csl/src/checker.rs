@@ -1,0 +1,232 @@
+//! The CSL/CSRL model checker.
+
+use ctmc::{Ctmc, RewardSolver, RewardStructure, SteadyStateSolver, TransientSolver};
+
+use crate::ast::{Query, StateFormula};
+use crate::error::CslError;
+
+/// Checks CSL/CSRL queries against a labelled CTMC.
+///
+/// Reward queries additionally need a [`RewardStructure`]; attach one with
+/// [`CslChecker::with_rewards`].
+#[derive(Debug, Clone)]
+pub struct CslChecker<'a> {
+    chain: &'a Ctmc,
+    rewards: Option<&'a RewardStructure>,
+}
+
+impl<'a> CslChecker<'a> {
+    /// Creates a checker without rewards.
+    pub fn new(chain: &'a Ctmc) -> Self {
+        CslChecker { chain, rewards: None }
+    }
+
+    /// Attaches a reward structure for `R=?` queries.
+    pub fn with_rewards(mut self, rewards: &'a RewardStructure) -> Self {
+        self.rewards = Some(rewards);
+        self
+    }
+
+    /// The chain being checked.
+    pub fn chain(&self) -> &Ctmc {
+        self.chain
+    }
+
+    /// Evaluates a state formula to its satisfying-state mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::UnknownLabel`] if the formula references a label the
+    /// chain does not carry.
+    pub fn satisfying_states(&self, formula: &StateFormula) -> Result<Vec<bool>, CslError> {
+        let n = self.chain.num_states();
+        match formula {
+            StateFormula::True => Ok(vec![true; n]),
+            StateFormula::False => Ok(vec![false; n]),
+            StateFormula::Label(name) => self
+                .chain
+                .label(name)
+                .map(<[bool]>::to_vec)
+                .ok_or_else(|| CslError::UnknownLabel { label: name.clone() }),
+            StateFormula::Not(inner) => {
+                Ok(self.satisfying_states(inner)?.into_iter().map(|b| !b).collect())
+            }
+            StateFormula::And(left, right) => {
+                let l = self.satisfying_states(left)?;
+                let r = self.satisfying_states(right)?;
+                Ok(l.into_iter().zip(r).map(|(a, b)| a && b).collect())
+            }
+            StateFormula::Or(left, right) => {
+                let l = self.satisfying_states(left)?;
+                let r = self.satisfying_states(right)?;
+                Ok(l.into_iter().zip(r).map(|(a, b)| a || b).collect())
+            }
+        }
+    }
+
+    /// Evaluates a query to a single number (probability, expectation or rate),
+    /// weighted by the chain's initial distribution where applicable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::MissingRewards`] for reward queries without a reward
+    /// structure, [`CslError::UnknownLabel`] for unknown labels and propagates
+    /// numerics errors.
+    pub fn check(&self, query: &Query) -> Result<f64, CslError> {
+        match query {
+            Query::Probability(path) => {
+                let (safe, goal, bound) = path.as_until();
+                let safe_mask = self.satisfying_states(&safe)?;
+                let goal_mask = self.satisfying_states(&goal)?;
+                Ok(TransientSolver::new(self.chain).bounded_until(&safe_mask, &goal_mask, bound)?)
+            }
+            Query::SteadyState(formula) => {
+                let mask = self.satisfying_states(formula)?;
+                let pi = SteadyStateSolver::new(self.chain).solve()?;
+                Ok(pi.iter().zip(mask.iter()).filter(|(_, &m)| m).map(|(p, _)| p).sum())
+            }
+            Query::InstantaneousReward { time } => {
+                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
+                Ok(RewardSolver::new(self.chain, rewards)?.instantaneous_at(*time)?)
+            }
+            Query::CumulativeReward { time } => {
+                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
+                Ok(RewardSolver::new(self.chain, rewards)?.accumulated_until(*time)?)
+            }
+            Query::SteadyStateReward => {
+                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
+                Ok(RewardSolver::new(self.chain, rewards)?.long_run_rate()?)
+            }
+        }
+    }
+
+    /// Evaluates the probability of a path formula for every state as the
+    /// starting state (rather than from the initial distribution).
+    ///
+    /// # Errors
+    ///
+    /// See [`CslChecker::check`].
+    pub fn check_probability_per_state(
+        &self,
+        path: &crate::ast::PathFormula,
+    ) -> Result<Vec<f64>, CslError> {
+        let (safe, goal, bound) = path.as_until();
+        let safe_mask = self.satisfying_states(&safe)?;
+        let goal_mask = self.satisfying_states(&goal)?;
+        Ok(TransientSolver::new(self.chain).bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PathFormula;
+    use crate::parser::parse_query;
+    use ctmc::CtmcBuilder;
+
+    /// Repairable component: up (0), down (1).
+    fn repairable(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, lambda).unwrap();
+        b.add_transition(1, 0, mu).unwrap();
+        b.add_label("up", &[0]).unwrap();
+        b.add_label("down", &[1]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn state_formula_evaluation() {
+        let chain = repairable(1.0, 2.0);
+        let checker = CslChecker::new(&chain);
+        assert_eq!(checker.satisfying_states(&StateFormula::True).unwrap(), vec![true, true]);
+        assert_eq!(checker.satisfying_states(&StateFormula::False).unwrap(), vec![false, false]);
+        assert_eq!(
+            checker.satisfying_states(&StateFormula::label("down")).unwrap(),
+            vec![false, true]
+        );
+        assert_eq!(
+            checker.satisfying_states(&StateFormula::label("down").not()).unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(
+            checker
+                .satisfying_states(&StateFormula::label("up").and(StateFormula::label("down")))
+                .unwrap(),
+            vec![false, false]
+        );
+        assert_eq!(
+            checker
+                .satisfying_states(&StateFormula::label("up").or(StateFormula::label("down")))
+                .unwrap(),
+            vec![true, true]
+        );
+        assert!(matches!(
+            checker.satisfying_states(&StateFormula::label("ghost")),
+            Err(CslError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn steady_state_query_matches_closed_form() {
+        let chain = repairable(0.002, 0.2);
+        let checker = CslChecker::new(&chain);
+        let q = parse_query("S=? [ \"down\" ]").unwrap();
+        let expected = 0.002 / 0.202;
+        assert!((checker.check(&q).unwrap() - expected).abs() < 1e-9);
+        let q = parse_query("S=? [ !\"down\" ]").unwrap();
+        assert!((checker.check(&q).unwrap() - (1.0 - expected)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_until_matches_closed_form() {
+        let chain = repairable(0.01, 1.0);
+        let checker = CslChecker::new(&chain);
+        let q = parse_query("P=? [ true U<=100 \"down\" ]").unwrap();
+        // First passage to down from up is exponential with rate lambda.
+        let expected = 1.0 - (-0.01f64 * 100.0).exp();
+        assert!((checker.check(&q).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reward_queries_require_rewards() {
+        let chain = repairable(1.0, 1.0);
+        let checker = CslChecker::new(&chain);
+        assert!(matches!(
+            checker.check(&parse_query("R=? [ I=1 ]").unwrap()),
+            Err(CslError::MissingRewards)
+        ));
+        let rewards = RewardStructure::new("cost", vec![0.0, 3.0]).unwrap();
+        let checker = checker.with_rewards(&rewards);
+        let inst = checker.check(&parse_query("R=? [ I=1000 ]").unwrap()).unwrap();
+        assert!((inst - 1.5).abs() < 1e-6);
+        let rate = checker.check(&parse_query("R=? [ S ]").unwrap()).unwrap();
+        assert!((rate - 1.5).abs() < 1e-8);
+        let cumulative = checker.check(&parse_query("R=? [ C<=2 ]").unwrap()).unwrap();
+        assert!(cumulative > 0.0 && cumulative < 6.0);
+    }
+
+    #[test]
+    fn per_state_probabilities() {
+        let chain = repairable(0.5, 2.0);
+        let checker = CslChecker::new(&chain);
+        let path = PathFormula::BoundedEventually { goal: StateFormula::label("down"), bound: 1.0 };
+        let per_state = checker.check_probability_per_state(&path).unwrap();
+        assert_eq!(per_state.len(), 2);
+        assert_eq!(per_state[1], 1.0);
+        assert!(per_state[0] < 1.0 && per_state[0] > 0.0);
+    }
+
+    #[test]
+    fn paper_style_queries_parse_and_check() {
+        // The measures of Section 3 of the paper, expressed as CSL text.
+        let chain = repairable(0.002, 1.0);
+        let checker = CslChecker::new(&chain);
+        let unreliability = checker
+            .check(&parse_query("P=? [ true U<=1000 \"down\" ]").unwrap())
+            .unwrap();
+        let reliability = 1.0 - unreliability;
+        assert!(reliability > 0.0 && reliability < 1.0);
+        let availability = checker.check(&parse_query("S=? [ !\"down\" ]").unwrap()).unwrap();
+        assert!(availability > 0.99);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for CSL parsing and model checking.
+
+use std::fmt;
+
+use ctmc::CtmcError;
+
+/// Errors produced while parsing or checking CSL/CSRL queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CslError {
+    /// The query text could not be parsed.
+    Parse {
+        /// Position (byte offset) where parsing failed.
+        position: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The query references a label that the chain does not carry.
+    UnknownLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A reward query was checked without providing a reward structure.
+    MissingRewards,
+    /// A numeric bound in the query is invalid (negative, NaN, ...).
+    InvalidBound {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// An error bubbled up from the CTMC engine.
+    Numerics(CtmcError),
+}
+
+impl fmt::Display for CslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CslError::Parse { position, message } => {
+                write!(f, "parse error at offset {position}: {message}")
+            }
+            CslError::UnknownLabel { label } => write!(f, "unknown label `{label}`"),
+            CslError::MissingRewards => {
+                write!(f, "reward query requires a reward structure; none was provided")
+            }
+            CslError::InvalidBound { message } => write!(f, "invalid bound: {message}"),
+            CslError::Numerics(err) => write!(f, "numerical engine error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CslError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CslError::Numerics(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for CslError {
+    fn from(err: CtmcError) -> Self {
+        CslError::Numerics(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CslError::Parse { position: 3, message: "expected ']'".into() };
+        assert!(e.to_string().contains('3'));
+        assert!(CslError::UnknownLabel { label: "down".into() }.to_string().contains("down"));
+        assert!(CslError::MissingRewards.to_string().contains("reward"));
+        let e: CslError = CtmcError::EmptyChain.into();
+        assert!(matches!(e, CslError::Numerics(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! # csl — Continuous Stochastic (Reward) Logic over labelled CTMCs
+//!
+//! A small CSL/CSRL layer in the spirit of PRISM's property language, covering
+//! exactly the operators the DSN 2010 water-treatment paper uses:
+//!
+//! * state formulas: atomic propositions (CTMC labels), `true`/`false`,
+//!   negation, conjunction, disjunction;
+//! * the probabilistic operator `P=? [ phi U<=t psi ]` and `P=? [ F<=t psi ]`
+//!   (time-bounded until / eventually);
+//! * the steady-state operator `S=? [ phi ]`;
+//! * the reward operators `R=? [ I=t ]` (instantaneous) and `R=? [ C<=t ]`
+//!   (accumulated).
+//!
+//! Formulas can be built programmatically ([`StateFormula`], [`Query`]) or
+//! parsed from a PRISM-like textual syntax ([`parse_query`]), and are checked
+//! against a [`ctmc::Ctmc`] with an optional reward structure by
+//! [`CslChecker`].
+//!
+//! ```
+//! use ctmc::CtmcBuilder;
+//! use csl::{parse_query, CslChecker};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CtmcBuilder::new(2);
+//! b.add_transition(0, 1, 0.01)?;
+//! b.add_transition(1, 0, 1.0)?;
+//! b.add_label("down", &[1])?;
+//! let chain = b.build()?;
+//!
+//! let checker = CslChecker::new(&chain);
+//! let unavailability = checker.check(&parse_query("S=? [ \"down\" ]")?)?;
+//! assert!(unavailability < 0.011);
+//! let unreliability = checker.check(&parse_query("P=? [ true U<=100 \"down\" ]")?)?;
+//! assert!(unreliability > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod checker;
+pub mod error;
+pub mod parser;
+
+pub use ast::{PathFormula, Query, StateFormula};
+pub use checker::CslChecker;
+pub use error::CslError;
+pub use parser::parse_query;

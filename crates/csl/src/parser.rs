@@ -1,0 +1,285 @@
+//! A recursive-descent parser for a PRISM-like CSL/CSRL query syntax.
+//!
+//! Supported grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query      := 'P=?' '[' path ']'
+//!             | 'S=?' '[' state ']'
+//!             | 'R=?' '[' 'I=' number ']'
+//!             | 'R=?' '[' 'C<=' number ']'
+//!             | 'R=?' '[' 'S' ']'
+//! path       := state 'U<=' number state
+//!             | 'F<=' number state
+//! state      := or
+//! or         := and ( '|' and )*
+//! and        := unary ( '&' unary )*
+//! unary      := '!' unary | '(' state ')' | 'true' | 'false' | '"' label '"'
+//! ```
+
+use crate::ast::{PathFormula, Query, StateFormula};
+use crate::error::CslError;
+
+/// Parses a textual CSL/CSRL query.
+///
+/// # Errors
+///
+/// Returns [`CslError::Parse`] describing the first offending position.
+///
+/// # Example
+///
+/// ```
+/// # use csl::parse_query;
+/// let q = parse_query("P=? [ \"operational\" U<=4.5 \"full_service\" ]").unwrap();
+/// assert!(matches!(q, csl::Query::Probability(_)));
+/// ```
+pub fn parse_query(input: &str) -> Result<Query, CslError> {
+    let mut parser = Parser { input, position: 0 };
+    let query = parser.parse_query()?;
+    parser.skip_whitespace();
+    if parser.position != parser.input.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(query)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    position: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> CslError {
+        CslError::Parse { position: self.position, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.position..]
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.position += self.rest().chars().next().map(char::len_utf8).unwrap_or(0);
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_whitespace();
+        if self.rest().starts_with(token) {
+            self.position += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), CslError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, CslError> {
+        self.skip_whitespace();
+        if self.eat("P=?") {
+            self.expect("[")?;
+            let path = self.parse_path()?;
+            self.expect("]")?;
+            Ok(Query::Probability(path))
+        } else if self.eat("S=?") {
+            self.expect("[")?;
+            let state = self.parse_state()?;
+            self.expect("]")?;
+            Ok(Query::SteadyState(state))
+        } else if self.eat("R=?") {
+            self.expect("[")?;
+            self.skip_whitespace();
+            let query = if self.eat("I=") {
+                Query::InstantaneousReward { time: self.parse_number()? }
+            } else if self.eat("C<=") {
+                Query::CumulativeReward { time: self.parse_number()? }
+            } else if self.eat("S") {
+                Query::SteadyStateReward
+            } else {
+                return Err(self.error("expected `I=`, `C<=` or `S` inside R=? [...]"));
+            };
+            self.expect("]")?;
+            Ok(query)
+        } else {
+            Err(self.error("expected `P=?`, `S=?` or `R=?`"))
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<PathFormula, CslError> {
+        self.skip_whitespace();
+        if self.eat("F<=") {
+            let bound = self.parse_number()?;
+            let goal = self.parse_state()?;
+            return Ok(PathFormula::BoundedEventually { goal, bound });
+        }
+        let safe = self.parse_state()?;
+        self.expect("U<=")?;
+        let bound = self.parse_number()?;
+        let goal = self.parse_state()?;
+        Ok(PathFormula::BoundedUntil { safe, goal, bound })
+    }
+
+    fn parse_state(&mut self) -> Result<StateFormula, CslError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<StateFormula, CslError> {
+        let mut left = self.parse_and()?;
+        while self.eat("|") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<StateFormula, CslError> {
+        let mut left = self.parse_unary()?;
+        while self.eat("&") {
+            let right = self.parse_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<StateFormula, CslError> {
+        self.skip_whitespace();
+        if self.eat("!") {
+            return Ok(self.parse_unary()?.not());
+        }
+        if self.eat("(") {
+            let inner = self.parse_state()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        if self.eat("true") {
+            return Ok(StateFormula::True);
+        }
+        if self.eat("false") {
+            return Ok(StateFormula::False);
+        }
+        if self.eat("\"") {
+            let rest = self.rest();
+            match rest.find('"') {
+                Some(end) => {
+                    let label = &rest[..end];
+                    if label.is_empty() {
+                        return Err(self.error("empty label"));
+                    }
+                    self.position += end + 1;
+                    Ok(StateFormula::Label(label.to_string()))
+                }
+                None => Err(self.error("unterminated label")),
+            }
+        } else {
+            Err(self.error("expected a state formula"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, CslError> {
+        self.skip_whitespace();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let text = &rest[..end];
+        let value: f64 = text.parse().map_err(|_| self.error(format!("invalid number `{text}`")))?;
+        if value < 0.0 || !value.is_finite() {
+            return Err(CslError::InvalidBound {
+                message: format!("time bounds must be non-negative and finite, got {value}"),
+            });
+        }
+        self.position += end;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_steady_state_queries() {
+        let q = parse_query("S=? [ \"operational\" ]").unwrap();
+        assert_eq!(q, Query::SteadyState(StateFormula::label("operational")));
+        let q = parse_query("S=?[!\"down\"]").unwrap();
+        assert_eq!(q, Query::SteadyState(StateFormula::label("down").not()));
+    }
+
+    #[test]
+    fn parses_bounded_until_and_eventually() {
+        let q = parse_query("P=? [ true U<=1000 \"down\" ]").unwrap();
+        match q {
+            Query::Probability(PathFormula::BoundedUntil { safe, goal, bound }) => {
+                assert_eq!(safe, StateFormula::True);
+                assert_eq!(goal, StateFormula::label("down"));
+                assert_eq!(bound, 1000.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse_query("P=? [ F<=4.5 \"service\" ]").unwrap();
+        assert!(matches!(q, Query::Probability(PathFormula::BoundedEventually { bound, .. }) if bound == 4.5));
+    }
+
+    #[test]
+    fn parses_reward_queries() {
+        assert_eq!(parse_query("R=? [ I=2.5 ]").unwrap(), Query::InstantaneousReward { time: 2.5 });
+        assert_eq!(parse_query("R=? [ C<=10 ]").unwrap(), Query::CumulativeReward { time: 10.0 });
+        assert_eq!(parse_query("R=? [ S ]").unwrap(), Query::SteadyStateReward);
+    }
+
+    #[test]
+    fn parses_boolean_combinations_with_precedence() {
+        let q = parse_query("S=? [ \"a\" & \"b\" | !\"c\" ]").unwrap();
+        // `&` binds tighter than `|`.
+        match q {
+            Query::SteadyState(StateFormula::Or(left, right)) => {
+                assert!(matches!(*left, StateFormula::And(_, _)));
+                assert!(matches!(*right, StateFormula::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse_query("S=? [ (\"a\" | \"b\") & false ]").unwrap();
+        match q {
+            Query::SteadyState(StateFormula::And(left, right)) => {
+                assert!(matches!(*left, StateFormula::Or(_, _)));
+                assert!(matches!(*right, StateFormula::False));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scientific_notation_bounds() {
+        let q = parse_query("P=? [ true U<=1e3 \"down\" ]").unwrap();
+        assert!(matches!(q, Query::Probability(PathFormula::BoundedUntil { bound, .. }) if bound == 1000.0));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q=? [ true ]").is_err());
+        assert!(parse_query("P=? [ true U<=10 ").is_err());
+        assert!(parse_query("P=? [ true U<= \"down\" ]").is_err());
+        assert!(parse_query("S=? [ \"unterminated ]").is_err());
+        assert!(parse_query("S=? [ \"\" ]").is_err());
+        assert!(parse_query("R=? [ X=1 ]").is_err());
+        assert!(parse_query("S=? [ \"a\" ] garbage").is_err());
+        assert!(parse_query("P=? [ true U<=-5 \"down\" ]").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_irrelevant() {
+        let a = parse_query("P=?[true U<=10 \"down\"]").unwrap();
+        let b = parse_query("  P=?   [  true   U<=10    \"down\"  ]  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

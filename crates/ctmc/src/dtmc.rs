@@ -1,0 +1,226 @@
+//! Discrete-time Markov chains derived from CTMCs.
+//!
+//! Both the uniformised chain (used by transient analysis) and the embedded
+//! jump chain (used by the reducible steady-state solver) are DTMCs. The
+//! [`Dtmc`] type exposes them as first-class objects with their own transient
+//! and unbounded-reachability computations, which is also useful for testing
+//! the CTMC algorithms against step-wise references.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CtmcError;
+use crate::markov::{Ctmc, StateIndex};
+use crate::sparse::SparseMatrix;
+
+/// A discrete-time Markov chain with a stochastic transition matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dtmc {
+    transitions: SparseMatrix,
+    initial: Vec<f64>,
+}
+
+impl Dtmc {
+    /// Creates a DTMC from a transition probability matrix and initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square, a row does not sum to one
+    /// (within `1e-9`; rows summing to zero are treated as absorbing and allowed),
+    /// or the initial distribution is invalid.
+    pub fn new(transitions: SparseMatrix, initial: Vec<f64>) -> Result<Self, CtmcError> {
+        let n = transitions.num_rows();
+        if transitions.num_cols() != n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: transitions.num_cols(),
+            });
+        }
+        if initial.len() != n {
+            return Err(CtmcError::DimensionMismatch { expected: n, actual: initial.len() });
+        }
+        for (row, sum) in transitions.row_sums().into_iter().enumerate() {
+            if sum != 0.0 && (sum - 1.0).abs() > 1e-9 {
+                return Err(CtmcError::InvalidArgument {
+                    reason: format!("row {row} of the transition matrix sums to {sum}"),
+                });
+            }
+        }
+        let total: f64 = initial.iter().sum();
+        if initial.iter().any(|p| *p < 0.0) || (total - 1.0).abs() > 1e-9 {
+            return Err(CtmcError::InvalidInitialDistribution {
+                reason: format!("initial distribution sums to {total}"),
+            });
+        }
+        Ok(Dtmc { transitions, initial })
+    }
+
+    /// The uniformised DTMC of a CTMC: `P = I + Q/q` with `q` the given
+    /// uniformisation rate (must be at least the maximal exit rate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Ctmc::uniformized_matrix`].
+    pub fn uniformized(chain: &Ctmc, q: f64) -> Result<Self, CtmcError> {
+        Dtmc::new(chain.uniformized_matrix(q)?, chain.initial_distribution().to_vec())
+    }
+
+    /// The embedded jump chain of a CTMC (absorbing CTMC states get self-loops).
+    pub fn embedded(chain: &Ctmc) -> Self {
+        Dtmc {
+            transitions: chain.embedded_matrix(),
+            initial: chain.initial_distribution().to_vec(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.num_rows()
+    }
+
+    /// The transition probability matrix.
+    pub fn transition_matrix(&self) -> &SparseMatrix {
+        &self.transitions
+    }
+
+    /// The initial distribution.
+    pub fn initial_distribution(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Distribution after exactly `steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sparse-matrix dimension errors (none expected for a valid chain).
+    pub fn distribution_after(&self, steps: usize) -> Result<Vec<f64>, CtmcError> {
+        let mut current = self.initial.clone();
+        let mut next = vec![0.0; self.num_states()];
+        for _ in 0..steps {
+            self.transitions.left_multiply(&current, &mut next)?;
+            std::mem::swap(&mut current, &mut next);
+        }
+        Ok(current)
+    }
+
+    /// Probability of eventually reaching a state in `targets` (unbounded
+    /// reachability), computed per starting state by value iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::StateOutOfBounds`] for invalid target indices or
+    /// [`CtmcError::NotConverged`] if value iteration fails to converge.
+    pub fn reachability_probabilities(
+        &self,
+        targets: &[StateIndex],
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<Vec<f64>, CtmcError> {
+        let n = self.num_states();
+        let mut is_target = vec![false; n];
+        for &t in targets {
+            if t >= n {
+                return Err(CtmcError::StateOutOfBounds { state: t, num_states: n });
+            }
+            is_target[t] = true;
+        }
+        let mut x: Vec<f64> = is_target.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut next = vec![0.0; n];
+        for _ in 0..max_iterations {
+            let mut max_delta: f64 = 0.0;
+            for s in 0..n {
+                if is_target[s] {
+                    next[s] = 1.0;
+                    continue;
+                }
+                let (cols, values) = self.transitions.row(s);
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(values.iter()) {
+                    acc += v * x[*c];
+                }
+                max_delta = max_delta.max((acc - x[s]).abs());
+                next[s] = acc;
+            }
+            std::mem::swap(&mut x, &mut next);
+            if max_delta < tolerance {
+                return Ok(x);
+            }
+        }
+        Err(CtmcError::NotConverged {
+            solver: "dtmc reachability value iteration",
+            iterations: max_iterations,
+            residual: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::CtmcBuilder;
+    use crate::sparse::SparseMatrixBuilder;
+
+    fn stochastic(n: usize, entries: &[(usize, usize, f64)]) -> SparseMatrix {
+        let mut b = SparseMatrixBuilder::new(n, n);
+        for &(r, c, v) in entries {
+            b.push(r, c, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rejects_non_stochastic_rows_and_bad_initial() {
+        let m = stochastic(2, &[(0, 1, 0.5), (1, 0, 1.0)]);
+        assert!(Dtmc::new(m, vec![1.0, 0.0]).is_err());
+        let m = stochastic(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(Dtmc::new(m.clone(), vec![0.5, 0.2]).is_err());
+        assert!(Dtmc::new(m, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn absorbing_rows_with_zero_sum_are_allowed() {
+        let m = stochastic(2, &[(0, 1, 1.0)]);
+        let d = Dtmc::new(m, vec![1.0, 0.0]).unwrap();
+        assert_eq!(d.num_states(), 2);
+    }
+
+    #[test]
+    fn distribution_after_steps() {
+        let m = stochastic(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let d = Dtmc::new(m, vec![1.0, 0.0]).unwrap();
+        assert_eq!(d.distribution_after(0).unwrap(), vec![1.0, 0.0]);
+        assert_eq!(d.distribution_after(1).unwrap(), vec![0.0, 1.0]);
+        assert_eq!(d.distribution_after(2).unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn uniformized_and_embedded_from_ctmc() {
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, 2.0).unwrap();
+        b.add_transition(1, 0, 4.0).unwrap();
+        let chain = b.build().unwrap();
+        let uni = Dtmc::uniformized(&chain, 5.0).unwrap();
+        assert!((uni.transition_matrix().get(0, 1) - 0.4).abs() < 1e-12);
+        assert!((uni.transition_matrix().get(0, 0) - 0.6).abs() < 1e-12);
+        let emb = Dtmc::embedded(&chain);
+        assert_eq!(emb.transition_matrix().get(0, 1), 1.0);
+        assert_eq!(emb.transition_matrix().get(1, 0), 1.0);
+        assert!(Dtmc::uniformized(&chain, 1.0).is_err());
+    }
+
+    #[test]
+    fn gambler_ruin_reachability() {
+        // States 0..=4, absorbing at 0 and 4, fair coin: P(reach 4 from k) = k/4.
+        let mut entries = Vec::new();
+        for k in 1..4usize {
+            entries.push((k, k - 1, 0.5));
+            entries.push((k, k + 1, 0.5));
+        }
+        let m = stochastic(5, &entries);
+        let d = Dtmc::new(m, vec![0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let probs = d.reachability_probabilities(&[4], 1e-12, 100_000).unwrap();
+        for k in 0..5 {
+            assert!((probs[k] - k as f64 / 4.0).abs() < 1e-6, "k={k}: {}", probs[k]);
+        }
+        assert!(d.reachability_probabilities(&[9], 1e-12, 10).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the CTMC numerics crate.
+
+use std::fmt;
+
+/// Errors produced while building or analysing a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// A state index was outside the bounds of the chain.
+    StateOutOfBounds {
+        /// The offending state index.
+        state: usize,
+        /// The number of states in the chain.
+        num_states: usize,
+    },
+    /// A transition rate was not strictly positive and finite.
+    InvalidRate {
+        /// Source state of the transition.
+        from: usize,
+        /// Target state of the transition.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A self-loop was requested; CTMCs have no self-loop rates.
+    SelfLoop {
+        /// The state on which the self-loop was requested.
+        state: usize,
+    },
+    /// The initial distribution does not sum to one or has negative entries.
+    InvalidInitialDistribution {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A probability or time argument was invalid (negative, NaN, ...).
+    InvalidArgument {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// An iterative solver did not converge within its iteration budget.
+    NotConverged {
+        /// Name of the solver that failed.
+        solver: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// The requested operation requires an irreducible chain but the chain is not.
+    NotIrreducible {
+        /// Number of bottom strongly connected components found.
+        num_bsccs: usize,
+    },
+    /// The chain has no states.
+    EmptyChain,
+    /// A reward structure did not match the chain dimensions.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::StateOutOfBounds { state, num_states } => {
+                write!(f, "state index {state} out of bounds for chain with {num_states} states")
+            }
+            CtmcError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid transition rate {rate} from state {from} to state {to}")
+            }
+            CtmcError::SelfLoop { state } => {
+                write!(f, "self-loop requested on state {state}; CTMC rate matrices have no self-loops")
+            }
+            CtmcError::InvalidInitialDistribution { reason } => {
+                write!(f, "invalid initial distribution: {reason}")
+            }
+            CtmcError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            CtmcError::NotConverged { solver, iterations, residual } => write!(
+                f,
+                "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CtmcError::NotIrreducible { num_bsccs } => {
+                write!(f, "operation requires an irreducible chain but {num_bsccs} BSCCs were found")
+            }
+            CtmcError::EmptyChain => write!(f, "the chain has no states"),
+            CtmcError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CtmcError::StateOutOfBounds { state: 7, num_states: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = CtmcError::InvalidRate { from: 0, to: 1, rate: -2.0 };
+        assert!(e.to_string().contains("-2"));
+
+        let e = CtmcError::NotConverged { solver: "gauss-seidel", iterations: 10, residual: 1e-3 };
+        assert!(e.to_string().contains("gauss-seidel"));
+
+        let e = CtmcError::NotIrreducible { num_bsccs: 2 };
+        assert!(e.to_string().contains('2'));
+
+        let e = CtmcError::DimensionMismatch { expected: 4, actual: 5 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CtmcError>();
+    }
+}

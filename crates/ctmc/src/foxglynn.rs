@@ -1,0 +1,256 @@
+//! Poisson probability weights for uniformisation (Fox–Glynn style).
+//!
+//! Uniformisation expresses the transient distribution of a CTMC as a Poisson
+//! mixture of DTMC step distributions. Summing that mixture requires the
+//! Poisson probabilities `psi(k; lambda)` for `k` in a finite window around the
+//! mode, computed without underflow for large `lambda`. This module computes
+//! the weights in log space from the mode outwards and normalises them, which
+//! achieves the same numerical robustness as the classical Fox–Glynn algorithm
+//! while remaining simple to audit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CtmcError;
+
+/// Poisson weights over a truncated window `[left, right]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoxGlynn {
+    /// Smallest retained number of jumps.
+    pub left: usize,
+    /// Largest retained number of jumps.
+    pub right: usize,
+    /// `weights[i]` is the Poisson probability of `left + i` jumps; the weights
+    /// sum to (approximately) one.
+    pub weights: Vec<f64>,
+}
+
+impl FoxGlynn {
+    /// Computes the truncated Poisson distribution with rate `lambda`, keeping
+    /// terms until the discarded tail mass is below `epsilon` on each side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if `lambda` is negative or not
+    /// finite, or if `epsilon` is not in `(0, 1)`.
+    pub fn new(lambda: f64, epsilon: f64) -> Result<Self, CtmcError> {
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(CtmcError::InvalidArgument {
+                reason: format!("Poisson rate must be non-negative and finite, got {lambda}"),
+            });
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CtmcError::InvalidArgument {
+                reason: format!("truncation error must be in (0, 1), got {epsilon}"),
+            });
+        }
+
+        if lambda == 0.0 {
+            return Ok(FoxGlynn { left: 0, right: 0, weights: vec![1.0] });
+        }
+
+        let mode = lambda.floor() as usize;
+
+        // Log of the Poisson pmf at the mode, via the log-gamma function.
+        let log_pmf_mode = (mode as f64) * lambda.ln() - lambda - ln_factorial(mode);
+
+        // Walk right from the mode while the (relative) term is significant.
+        let mut log_terms_right = Vec::new();
+        let mut k = mode;
+        let mut log_term = log_pmf_mode;
+        let cutoff = log_pmf_mode + (epsilon * 1e-2).ln() - (lambda.sqrt() + 10.0).ln();
+        loop {
+            log_terms_right.push(log_term);
+            k += 1;
+            log_term += lambda.ln() - (k as f64).ln();
+            if log_term < cutoff && k > mode + 2 {
+                break;
+            }
+            if k > mode + 10_000_000 {
+                break;
+            }
+        }
+        let right = mode + log_terms_right.len() - 1;
+
+        // Walk left from the mode.
+        let mut log_terms_left = Vec::new();
+        let mut log_term = log_pmf_mode;
+        let mut k = mode;
+        while k > 0 {
+            log_term += (k as f64).ln() - lambda.ln();
+            k -= 1;
+            if log_term < cutoff && k + 2 < mode {
+                break;
+            }
+            log_terms_left.push(log_term);
+        }
+        let left = mode - log_terms_left.len();
+
+        // Assemble and normalise in linear space relative to the mode to avoid
+        // underflow: w_k = exp(log_term - log_pmf_mode).
+        let mut weights = Vec::with_capacity(log_terms_left.len() + log_terms_right.len());
+        for lt in log_terms_left.iter().rev() {
+            weights.push((lt - log_pmf_mode).exp());
+        }
+        for lt in &log_terms_right {
+            weights.push((lt - log_pmf_mode).exp());
+        }
+        let total: f64 = weights.iter().sum();
+        // total * pmf(mode) ~= 1, so dividing by total yields properly normalised
+        // Poisson probabilities even when pmf(mode) itself would underflow.
+        let scale = 1.0 / total;
+        weights.iter_mut().for_each(|w| *w *= scale);
+
+        Ok(FoxGlynn { left, right, weights })
+    }
+
+    /// Total number of retained terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if no terms are retained (never the case for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The Poisson probability of exactly `k` jumps, or zero outside the window.
+    pub fn weight(&self, k: usize) -> f64 {
+        if k < self.left || k > self.right {
+            0.0
+        } else {
+            self.weights[k - self.left]
+        }
+    }
+
+    /// Cumulative weights: `cumulative(k)` approximates `P[N <= k]`.
+    pub fn cumulative(&self, k: usize) -> f64 {
+        if k < self.left {
+            return 0.0;
+        }
+        let upto = (k - self.left + 1).min(self.weights.len());
+        self.weights[..upto].iter().sum()
+    }
+}
+
+/// Natural logarithm of `n!` via the Lanczos approximation of the gamma function.
+fn ln_factorial(n: usize) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Gamma(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Numerical Recipes / Boost style).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_pmf_naive(k: usize, lambda: f64) -> f64 {
+        let mut p = (-lambda).exp();
+        for i in 1..=k {
+            p *= lambda / i as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        assert!(FoxGlynn::new(-1.0, 1e-10).is_err());
+        assert!(FoxGlynn::new(f64::NAN, 1e-10).is_err());
+        assert!(FoxGlynn::new(1.0, 0.0).is_err());
+        assert!(FoxGlynn::new(1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn zero_rate_is_a_point_mass() {
+        let fg = FoxGlynn::new(0.0, 1e-12).unwrap();
+        assert_eq!(fg.left, 0);
+        assert_eq!(fg.right, 0);
+        assert_eq!(fg.weights, vec![1.0]);
+        assert_eq!(fg.weight(0), 1.0);
+        assert_eq!(fg.weight(1), 0.0);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &lambda in &[0.1, 1.0, 5.0, 25.0, 100.0, 1000.0, 25_000.0] {
+            let fg = FoxGlynn::new(lambda, 1e-12).unwrap();
+            let sum: f64 = fg.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "lambda={lambda} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_pmf_for_small_lambda() {
+        let lambda = 4.2;
+        let fg = FoxGlynn::new(lambda, 1e-13).unwrap();
+        for k in 0..20 {
+            let expected = poisson_pmf_naive(k, lambda);
+            let got = fg.weight(k);
+            assert!((expected - got).abs() < 1e-9, "k={k}: {expected} vs {got}");
+        }
+    }
+
+    #[test]
+    fn window_covers_the_mode_and_mass() {
+        let lambda = 500.0;
+        let fg = FoxGlynn::new(lambda, 1e-12).unwrap();
+        assert!(fg.left < 500 && fg.right > 500);
+        // ~6 standard deviations on either side is plenty.
+        assert!(fg.left as f64 > lambda - 10.0 * lambda.sqrt());
+        assert!((fg.right as f64) < lambda + 10.0 * lambda.sqrt() + 20.0);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_reaches_one() {
+        let fg = FoxGlynn::new(30.0, 1e-12).unwrap();
+        let mut prev = 0.0;
+        for k in 0..fg.right + 5 {
+            let c = fg.cumulative(k);
+            assert!(c + 1e-15 >= prev);
+            prev = c;
+        }
+        assert!((fg.cumulative(fg.right + 5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_lambda_does_not_underflow() {
+        let fg = FoxGlynn::new(100_000.0, 1e-10).unwrap();
+        assert!(fg.weights.iter().all(|w| w.is_finite()));
+        let sum: f64 = fg.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // ln(Gamma(1)) = 0, ln(Gamma(2)) = 0, ln(Gamma(5)) = ln(24)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+}

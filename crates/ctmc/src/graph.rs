@@ -1,0 +1,288 @@
+//! Graph algorithms on the transition structure of a CTMC.
+//!
+//! Steady-state analysis of a CTMC requires its bottom strongly connected
+//! components (BSCCs): in the long run all probability mass sits inside the
+//! BSCCs. This module provides an iterative Tarjan strongly-connected-component
+//! decomposition (no recursion, safe for large state spaces), BSCC extraction,
+//! and simple forward reachability.
+
+use crate::markov::{Ctmc, StateIndex};
+use crate::sparse::SparseMatrix;
+
+/// Computes the strongly connected components of the directed graph induced by
+/// the non-zero structure of `matrix` (an edge `s -> s'` exists iff the entry is
+/// non-zero). Components are returned in reverse topological order (Tarjan's
+/// invariant): every edge leaving a component points to a component that appears
+/// *earlier* in the returned list.
+pub fn strongly_connected_components(matrix: &SparseMatrix) -> Vec<Vec<StateIndex>> {
+    let n = matrix.num_rows();
+    let mut index_counter = 0usize;
+    let mut indices: Vec<Option<usize>> = vec![None; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<StateIndex> = Vec::new();
+    let mut components: Vec<Vec<StateIndex>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    enum Frame {
+        Enter(StateIndex),
+        Resume(StateIndex, usize),
+    }
+
+    for root in 0..n {
+        if indices[root].is_some() {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(root)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    indices[v] = Some(index_counter);
+                    lowlink[v] = index_counter;
+                    index_counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, child_pos) => {
+                    let (cols, _) = matrix.row(v);
+                    let mut advanced = false;
+                    let mut pos = child_pos;
+                    while pos < cols.len() {
+                        let w = cols[pos];
+                        pos += 1;
+                        match indices[w] {
+                            None => {
+                                // Recurse into w, then resume v at the next child.
+                                work.push(Frame::Resume(v, pos));
+                                work.push(Frame::Enter(w));
+                                advanced = true;
+                                break;
+                            }
+                            Some(widx) => {
+                                if on_stack[w] {
+                                    lowlink[v] = lowlink[v].min(widx);
+                                }
+                            }
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    // All children processed: close the component if v is a root.
+                    if lowlink[v] == indices[v].unwrap() {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = work.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Computes the bottom strongly connected components of a CTMC: those SCCs with
+/// no transition leaving the component.
+pub fn bottom_sccs(chain: &Ctmc) -> Vec<Vec<StateIndex>> {
+    let matrix = chain.rate_matrix();
+    let sccs = strongly_connected_components(matrix);
+    let mut component_of = vec![usize::MAX; chain.num_states()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &s in comp {
+            component_of[s] = ci;
+        }
+    }
+    sccs.iter()
+        .enumerate()
+        .filter(|(ci, comp)| {
+            comp.iter().all(|&s| {
+                let (cols, _) = matrix.row(s);
+                cols.iter().all(|&target| component_of[target] == *ci)
+            })
+        })
+        .map(|(_, comp)| comp.clone())
+        .collect()
+}
+
+/// Returns the set of states reachable (following non-zero transitions) from any
+/// state with positive probability in the chain's initial distribution.
+pub fn reachable_from_initial(chain: &Ctmc) -> Vec<bool> {
+    let sources: Vec<StateIndex> = chain
+        .initial_distribution()
+        .iter()
+        .enumerate()
+        .filter_map(|(s, &p)| (p > 0.0).then_some(s))
+        .collect();
+    reachable_from(chain.rate_matrix(), &sources)
+}
+
+/// Returns the set of states reachable from any of `sources` in the directed
+/// graph induced by `matrix` (sources are themselves reachable).
+pub fn reachable_from(matrix: &SparseMatrix, sources: &[StateIndex]) -> Vec<bool> {
+    let n = matrix.num_rows();
+    let mut visited = vec![false; n];
+    let mut stack: Vec<StateIndex> = sources.iter().copied().filter(|&s| s < n).collect();
+    for &s in &stack {
+        visited[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        let (cols, _) = matrix.row(s);
+        for &target in cols {
+            if !visited[target] {
+                visited[target] = true;
+                stack.push(target);
+            }
+        }
+    }
+    visited
+}
+
+/// Returns the set of states from which some state in `targets` is reachable
+/// (backward reachability), including the targets themselves.
+pub fn backward_reachable(matrix: &SparseMatrix, targets: &[StateIndex]) -> Vec<bool> {
+    reachable_from(&matrix.transpose(), targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::CtmcBuilder;
+    use crate::sparse::SparseMatrixBuilder;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> SparseMatrix {
+        let mut b = SparseMatrixBuilder::new(n, n);
+        for &(u, v) in edges {
+            b.push(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let m = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let sccs = strongly_connected_components(&m);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chain_graph_has_singleton_sccs() {
+        let m = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sccs = strongly_connected_components(&m);
+        assert_eq!(sccs.len(), 4);
+        // Reverse topological order: the sink appears first.
+        assert_eq!(sccs[0], vec![3]);
+        assert_eq!(sccs[3], vec![0]);
+    }
+
+    #[test]
+    fn two_cycles_connected_by_an_edge() {
+        // cycle {0,1} -> cycle {2,3}
+        let m = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let sccs = strongly_connected_components(&m);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.contains(&vec![0, 1]));
+        assert!(sccs.contains(&vec![2, 3]));
+        // The downstream cycle must appear before the upstream one.
+        assert_eq!(sccs[0], vec![2, 3]);
+    }
+
+    #[test]
+    fn self_contained_nodes() {
+        let m = graph(3, &[]);
+        let sccs = strongly_connected_components(&m);
+        assert_eq!(sccs.len(), 3);
+    }
+
+    #[test]
+    fn larger_random_like_graph_partitions_all_nodes() {
+        let edges = [
+            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 6_usize.min(6)),
+            (6, 7), (7, 8), (8, 6), (1, 5), (4, 8),
+        ];
+        let edges: Vec<(usize, usize)> = edges.iter().filter(|(u, v)| u != v).copied().collect();
+        let m = graph(9, &edges);
+        let sccs = strongly_connected_components(&m);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+        // Every node appears exactly once.
+        let mut seen = vec![false; 9];
+        for comp in &sccs {
+            for &s in comp {
+                assert!(!seen[s]);
+                seen[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn bsccs_of_absorbing_chain() {
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let bsccs = bottom_sccs(&chain);
+        assert_eq!(bsccs, vec![vec![2]]);
+    }
+
+    #[test]
+    fn bsccs_of_irreducible_chain_is_everything() {
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 1.0).unwrap();
+        b.add_transition(2, 0, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let bsccs = bottom_sccs(&chain);
+        assert_eq!(bsccs.len(), 1);
+        assert_eq!(bsccs[0].len(), 3);
+    }
+
+    #[test]
+    fn multiple_bsccs() {
+        // 0 branches to the absorbing states 1 and 2.
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(0, 2, 2.0).unwrap();
+        let chain = b.build().unwrap();
+        let mut bsccs = bottom_sccs(&chain);
+        bsccs.sort();
+        assert_eq!(bsccs, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        let m = graph(5, &[(0, 1), (1, 2), (3, 4)]);
+        let fwd = reachable_from(&m, &[0]);
+        assert_eq!(fwd, vec![true, true, true, false, false]);
+        let back = backward_reachable(&m, &[2]);
+        assert_eq!(back, vec![true, true, true, false, false]);
+        let from_three = reachable_from(&m, &[3]);
+        assert_eq!(from_three, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn reachable_from_initial_distribution() {
+        let mut b = CtmcBuilder::new(4);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(2, 3, 1.0).unwrap();
+        b.set_initial_distribution(vec![0.5, 0.0, 0.5, 0.0]).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(reachable_from_initial(&chain), vec![true, true, true, true]);
+        let chain_only_zero = chain.with_initial_state(0).unwrap();
+        assert_eq!(reachable_from_initial(&chain_only_zero), vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Markov reward models (CSRL-style measures).
+//!
+//! A [`RewardStructure`] attaches a non-negative rate reward to every state of a
+//! CTMC (cost per hour of residing in the state). The [`RewardSolver`] evaluates
+//! the two reward operators used in the paper:
+//!
+//! * **instantaneous reward** `R=? [ I=t ]`: the expected reward rate at time
+//!   `t`, i.e. `sum_s pi_s(t) * rho(s)`;
+//! * **accumulated reward** `R=? [ C<=t ]`: the expected reward accumulated in
+//!   `[0, t]`, i.e. `integral_0^t sum_s pi_s(u) * rho(u) du`;
+//! * **long-run reward rate** (steady-state expected reward), the limit of the
+//!   instantaneous reward as `t` grows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CtmcError;
+use crate::markov::Ctmc;
+use crate::steady_state::SteadyStateSolver;
+use crate::transient::{TransientOptions, TransientSolver};
+
+/// A state-reward (rate reward) structure over a CTMC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardStructure {
+    name: String,
+    state_rewards: Vec<f64>,
+}
+
+impl RewardStructure {
+    /// Creates a reward structure from per-state reward rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if any reward is negative or not finite.
+    pub fn new(name: impl Into<String>, state_rewards: Vec<f64>) -> Result<Self, CtmcError> {
+        if state_rewards.iter().any(|r| !r.is_finite() || *r < 0.0) {
+            return Err(CtmcError::InvalidArgument {
+                reason: "state rewards must be finite and non-negative".to_string(),
+            });
+        }
+        Ok(RewardStructure { name: name.into(), state_rewards })
+    }
+
+    /// Creates a zero reward structure for a chain with `num_states` states.
+    pub fn zeros(name: impl Into<String>, num_states: usize) -> Self {
+        RewardStructure { name: name.into(), state_rewards: vec![0.0; num_states] }
+    }
+
+    /// The name of this reward structure (e.g. `"repair_cost"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-state reward rates.
+    pub fn state_rewards(&self) -> &[f64] {
+        &self.state_rewards
+    }
+
+    /// Number of states covered.
+    pub fn len(&self) -> usize {
+        self.state_rewards.len()
+    }
+
+    /// Returns `true` when the structure covers no states.
+    pub fn is_empty(&self) -> bool {
+        self.state_rewards.is_empty()
+    }
+
+    /// Adds `amount` to the reward of `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::StateOutOfBounds`] for an invalid state and
+    /// [`CtmcError::InvalidArgument`] if the resulting reward would be negative
+    /// or non-finite.
+    pub fn add_reward(&mut self, state: usize, amount: f64) -> Result<(), CtmcError> {
+        if state >= self.state_rewards.len() {
+            return Err(CtmcError::StateOutOfBounds {
+                state,
+                num_states: self.state_rewards.len(),
+            });
+        }
+        let new = self.state_rewards[state] + amount;
+        if !new.is_finite() || new < 0.0 {
+            return Err(CtmcError::InvalidArgument {
+                reason: format!("reward for state {state} would become {new}"),
+            });
+        }
+        self.state_rewards[state] = new;
+        Ok(())
+    }
+
+    /// Dot product with a probability vector.
+    fn expectation(&self, distribution: &[f64]) -> Result<f64, CtmcError> {
+        if distribution.len() != self.state_rewards.len() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.state_rewards.len(),
+                actual: distribution.len(),
+            });
+        }
+        Ok(distribution.iter().zip(self.state_rewards.iter()).map(|(p, r)| p * r).sum())
+    }
+}
+
+/// Evaluates reward measures of a CTMC under a reward structure.
+#[derive(Debug, Clone)]
+pub struct RewardSolver<'a> {
+    chain: &'a Ctmc,
+    rewards: &'a RewardStructure,
+    options: TransientOptions,
+}
+
+impl<'a> RewardSolver<'a> {
+    /// Creates a solver; the reward structure must cover exactly the chain's states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] on a size mismatch.
+    pub fn new(chain: &'a Ctmc, rewards: &'a RewardStructure) -> Result<Self, CtmcError> {
+        if rewards.len() != chain.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: chain.num_states(),
+                actual: rewards.len(),
+            });
+        }
+        Ok(RewardSolver { chain, rewards, options: TransientOptions::default() })
+    }
+
+    /// Overrides the transient-analysis options.
+    pub fn with_options(mut self, options: TransientOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Expected instantaneous reward rate at time `t` (CSRL `R=? [ I=t ]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis errors.
+    pub fn instantaneous_at(&self, t: f64) -> Result<f64, CtmcError> {
+        let pi = TransientSolver::with_options(self.chain, self.options).probabilities_at(t)?;
+        self.rewards.expectation(&pi)
+    }
+
+    /// Expected instantaneous reward at several time points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis errors.
+    pub fn instantaneous_series(&self, times: &[f64]) -> Result<Vec<f64>, CtmcError> {
+        times.iter().map(|&t| self.instantaneous_at(t)).collect()
+    }
+
+    /// Expected reward accumulated over `[0, t]` (CSRL `R=? [ C<=t ]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis errors.
+    pub fn accumulated_until(&self, t: f64) -> Result<f64, CtmcError> {
+        let sojourn =
+            TransientSolver::with_options(self.chain, self.options).expected_sojourn_times(t)?;
+        self.rewards.expectation(&sojourn)
+    }
+
+    /// Expected accumulated reward at several time bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis errors.
+    pub fn accumulated_series(&self, times: &[f64]) -> Result<Vec<f64>, CtmcError> {
+        times.iter().map(|&t| self.accumulated_until(t)).collect()
+    }
+
+    /// Long-run expected reward rate (steady-state reward).
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-state solver errors.
+    pub fn long_run_rate(&self) -> Result<f64, CtmcError> {
+        let pi = SteadyStateSolver::new(self.chain).solve()?;
+        self.rewards.expectation(&pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::CtmcBuilder;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, lambda).unwrap();
+        b.add_transition(1, 0, mu).unwrap();
+        b.set_initial_state(0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reward_structure_validation() {
+        assert!(RewardStructure::new("r", vec![1.0, -1.0]).is_err());
+        assert!(RewardStructure::new("r", vec![f64::NAN]).is_err());
+        let mut r = RewardStructure::zeros("r", 2);
+        assert_eq!(r.name(), "r");
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        r.add_reward(0, 2.0).unwrap();
+        assert_eq!(r.state_rewards(), &[2.0, 0.0]);
+        assert!(r.add_reward(5, 1.0).is_err());
+        assert!(r.add_reward(0, -5.0).is_err());
+    }
+
+    #[test]
+    fn solver_rejects_mismatched_sizes() {
+        let chain = two_state(1.0, 1.0);
+        let rewards = RewardStructure::zeros("r", 3);
+        assert!(RewardSolver::new(&chain, &rewards).is_err());
+    }
+
+    #[test]
+    fn instantaneous_reward_matches_transient_probability() {
+        // Reward 1 in the down state makes the instantaneous reward equal to the
+        // transient unavailability.
+        let lambda = 0.01;
+        let mu = 0.5;
+        let chain = two_state(lambda, mu);
+        let rewards = RewardStructure::new("down", vec![0.0, 1.0]).unwrap();
+        let solver = RewardSolver::new(&chain, &rewards).unwrap();
+        for &t in &[0.0, 1.0, 10.0, 100.0] {
+            let expected = lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
+            let got = solver.instantaneous_at(t).unwrap();
+            assert!((got - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn accumulated_reward_is_monotone_and_converges_to_rate() {
+        let chain = two_state(0.2, 1.0);
+        let rewards = RewardStructure::new("cost", vec![1.0, 3.0]).unwrap();
+        let solver = RewardSolver::new(&chain, &rewards).unwrap();
+        let series = solver.accumulated_series(&[1.0, 2.0, 5.0, 10.0, 20.0]).unwrap();
+        for pair in series.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        // For large t, accumulated reward ~ long-run rate * t.
+        let long_run = solver.long_run_rate().unwrap();
+        let at_100 = solver.accumulated_until(100.0).unwrap();
+        let at_200 = solver.accumulated_until(200.0).unwrap();
+        assert!(((at_200 - at_100) / 100.0 - long_run).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_run_rate_matches_steady_state() {
+        let chain = two_state(1.0, 3.0);
+        let rewards = RewardStructure::new("cost", vec![2.0, 10.0]).unwrap();
+        let solver = RewardSolver::new(&chain, &rewards).unwrap();
+        // pi = (0.75, 0.25) -> rate = 0.75*2 + 0.25*10 = 4.0
+        assert!((solver.long_run_rate().unwrap() - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constant_reward_accumulates_linearly() {
+        let chain = two_state(1.0, 1.0);
+        let rewards = RewardStructure::new("unit", vec![1.0, 1.0]).unwrap();
+        let solver = RewardSolver::new(&chain, &rewards).unwrap();
+        for &t in &[0.5, 1.0, 7.0] {
+            assert!((solver.accumulated_until(t).unwrap() - t).abs() < 1e-8);
+            assert!((solver.instantaneous_at(t).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn instantaneous_series_has_one_value_per_time() {
+        let chain = two_state(1.0, 1.0);
+        let rewards = RewardStructure::new("r", vec![0.0, 1.0]).unwrap();
+        let solver = RewardSolver::new(&chain, &rewards).unwrap();
+        let series = solver.instantaneous_series(&[0.0, 0.5, 1.0, 2.0]).unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0], 0.0);
+    }
+}

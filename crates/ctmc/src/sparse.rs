@@ -1,0 +1,403 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The CTMC generator matrices produced by the Arcade state-space composer are
+//! extremely sparse (a handful of transitions per state), so all numerical
+//! algorithms in this crate operate on a CSR representation built through
+//! [`SparseMatrixBuilder`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CtmcError;
+
+/// A single non-zero entry of a sparse matrix, used when iterating rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Column index of the entry.
+    pub col: usize,
+    /// Value of the entry.
+    pub value: f64,
+}
+
+/// An immutable sparse matrix in compressed sparse row format.
+///
+/// Rows are stored contiguously; [`SparseMatrix::row`] returns the non-zero
+/// entries of a row as a slice. The matrix is not required to be square, though
+/// all CTMC uses in this crate are square.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    row_offsets: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Creates an empty matrix with the given dimensions and no non-zero entries.
+    pub fn zeros(num_rows: usize, num_cols: usize) -> Self {
+        SparseMatrix {
+            num_rows,
+            num_cols,
+            row_offsets: vec![0; num_rows + 1],
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an identity matrix of the given size.
+    pub fn identity(n: usize) -> Self {
+        let mut builder = SparseMatrixBuilder::new(n, n);
+        for i in 0..n {
+            builder.push(i, i, 1.0);
+        }
+        builder.build()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of explicitly stored (non-zero) entries.
+    pub fn num_entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the non-zero entries of row `row` as parallel slices of column
+    /// indices and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows()`.
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        let start = self.row_offsets[row];
+        let end = self.row_offsets[row + 1];
+        (&self.cols[start..end], &self.values[start..end])
+    }
+
+    /// Returns an iterator over the entries of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= num_rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = Entry> + '_ {
+        let (cols, values) = self.row(row);
+        cols.iter().zip(values.iter()).map(|(&col, &value)| Entry { col, value })
+    }
+
+    /// Looks up the entry at `(row, col)`, returning `0.0` if it is not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if row >= self.num_rows {
+            return 0.0;
+        }
+        let (cols, values) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(idx) => values[idx],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `y = x * A` (row-vector times matrix) and stores the result in `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != num_rows()` or
+    /// `y.len() != num_cols()`.
+    pub fn left_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), CtmcError> {
+        if x.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch { expected: self.num_rows, actual: x.len() });
+        }
+        if y.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch { expected: self.num_cols, actual: y.len() });
+        }
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for row in 0..self.num_rows {
+            let xi = x[row];
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, values) = self.row(row);
+            for (c, v) in cols.iter().zip(values.iter()) {
+                y[*c] += xi * v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes `y = A * x` (matrix times column-vector) and stores the result in `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != num_cols()` or
+    /// `y.len() != num_rows()`.
+    pub fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), CtmcError> {
+        if x.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch { expected: self.num_cols, actual: x.len() });
+        }
+        if y.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch { expected: self.num_rows, actual: y.len() });
+        }
+        for row in 0..self.num_rows {
+            let (cols, values) = self.row(row);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(values.iter()) {
+                acc += v * x[*c];
+            }
+            y[row] = acc;
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut builder = SparseMatrixBuilder::new(self.num_cols, self.num_rows);
+        for row in 0..self.num_rows {
+            let (cols, values) = self.row(row);
+            for (c, v) in cols.iter().zip(values.iter()) {
+                builder.push(*c, row, *v);
+            }
+        }
+        builder.build()
+    }
+
+    /// Returns the sum of each row as a vector.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.num_rows).map(|r| self.row(r).1.iter().sum()).collect()
+    }
+
+    /// Returns a new matrix where every stored value has been scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> SparseMatrix {
+        let mut out = self.clone();
+        out.values.iter_mut().for_each(|v| *v *= factor);
+        out
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.num_rows).flat_map(move |row| {
+            let (cols, values) = self.row(row);
+            cols.iter().zip(values.iter()).map(move |(&c, &v)| (row, c, v))
+        })
+    }
+}
+
+/// Incremental builder for [`SparseMatrix`].
+///
+/// Entries may be pushed in any order; duplicate `(row, col)` pairs are summed
+/// when the matrix is built, which is convenient when accumulating rates of
+/// parallel transitions between the same pair of states.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMatrixBuilder {
+    num_rows: usize,
+    num_cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl SparseMatrixBuilder {
+    /// Creates a builder for a matrix with the given dimensions.
+    pub fn new(num_rows: usize, num_cols: usize) -> Self {
+        SparseMatrixBuilder { num_rows, num_cols, triplets: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)`. Values pushed to the same coordinates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds; the caller is expected to have
+    /// validated indices (the higher-level [`crate::CtmcBuilder`] returns errors
+    /// instead of panicking).
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.num_rows, "row {row} out of bounds ({} rows)", self.num_rows);
+        assert!(col < self.num_cols, "col {col} out of bounds ({} cols)", self.num_cols);
+        self.triplets.push((row, col, value));
+    }
+
+    /// Number of triplets pushed so far (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Builds the CSR matrix, merging duplicate coordinates by summation and
+    /// dropping entries that cancel to exactly zero.
+    pub fn build(mut self) -> SparseMatrix {
+        self.triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_offsets = vec![0usize; self.num_rows + 1];
+        let mut cols = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+
+        let mut idx = 0;
+        let triplets = &self.triplets;
+        for row in 0..self.num_rows {
+            while idx < triplets.len() && triplets[idx].0 == row {
+                let col = triplets[idx].1;
+                let mut value = 0.0;
+                while idx < triplets.len() && triplets[idx].0 == row && triplets[idx].1 == col {
+                    value += triplets[idx].2;
+                    idx += 1;
+                }
+                if value != 0.0 {
+                    cols.push(col);
+                    values.push(value);
+                }
+            }
+            row_offsets[row + 1] = cols.len();
+        }
+
+        SparseMatrix {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            row_offsets,
+            cols,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_2x2() -> SparseMatrix {
+        let mut b = SparseMatrixBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 3.0);
+        b.push(1, 1, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_reads_entries() {
+        let m = matrix_2x2();
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 2);
+        assert_eq!(m.num_entries(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(1, 5), 0.0);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let mut b = SparseMatrixBuilder::new(2, 2);
+        b.push(0, 1, 1.5);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, 1.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.num_entries(), 2);
+    }
+
+    #[test]
+    fn entries_that_cancel_are_dropped() {
+        let mut b = SparseMatrixBuilder::new(1, 2);
+        b.push(0, 0, 2.0);
+        b.push(0, 0, -2.0);
+        b.push(0, 1, 1.0);
+        let m = b.build();
+        assert_eq!(m.num_entries(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut b = SparseMatrixBuilder::new(4, 4);
+        b.push(0, 3, 1.0);
+        b.push(3, 0, 2.0);
+        let m = b.build();
+        assert_eq!(m.row(1).0.len(), 0);
+        assert_eq!(m.row(2).0.len(), 0);
+        assert_eq!(m.get(0, 3), 1.0);
+        assert_eq!(m.get(3, 0), 2.0);
+    }
+
+    #[test]
+    fn left_multiply_matches_dense() {
+        let m = matrix_2x2();
+        let x = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        m.left_multiply(&x, &mut y).unwrap();
+        // [1,2] * [[1,2],[3,4]] = [7, 10]
+        assert_eq!(y, [7.0, 10.0]);
+    }
+
+    #[test]
+    fn right_multiply_matches_dense() {
+        let m = matrix_2x2();
+        let x = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        m.right_multiply(&x, &mut y).unwrap();
+        // [[1,2],[3,4]] * [1,2]^T = [5, 11]^T
+        assert_eq!(y, [5.0, 11.0]);
+    }
+
+    #[test]
+    fn multiply_dimension_mismatch_is_an_error() {
+        let m = matrix_2x2();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0, 0.0];
+        assert!(m.left_multiply(&x, &mut y).is_err());
+        assert!(m.right_multiply(&x, &mut y).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut b = SparseMatrixBuilder::new(2, 3);
+        b.push(0, 2, 5.0);
+        b.push(1, 0, 7.0);
+        let m = b.build();
+        let t = m.transpose();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = SparseMatrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        let z = SparseMatrix::zeros(2, 5);
+        assert_eq!(z.num_entries(), 0);
+        assert_eq!(z.num_cols(), 5);
+    }
+
+    #[test]
+    fn row_sums_and_scaled() {
+        let m = matrix_2x2();
+        assert_eq!(m.row_sums(), vec![3.0, 7.0]);
+        let s = m.scaled(2.0);
+        assert_eq!(s.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn iter_yields_all_triplets() {
+        let m = matrix_2x2();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets.len(), 4);
+        assert!(triplets.contains(&(1, 0, 3.0)));
+    }
+
+    #[test]
+    fn row_entries_iterator() {
+        let m = matrix_2x2();
+        let entries: Vec<_> = m.row_entries(1).collect();
+        assert_eq!(entries, vec![Entry { col: 0, value: 3.0 }, Entry { col: 1, value: 4.0 }]);
+    }
+}

@@ -1,0 +1,512 @@
+//! Long-run (steady-state) analysis.
+//!
+//! For an irreducible CTMC the steady-state distribution is the unique
+//! probability vector solving `pi Q = 0`. For reducible chains the standard
+//! decomposition applies: all long-run mass lives in the bottom strongly
+//! connected components (BSCCs); the solver computes the probability of ending
+//! up in each BSCC (via the embedded jump chain) and combines it with the local
+//! steady-state distribution of each BSCC. This is what the CSL steady-state
+//! operator `S=? [ phi ]` evaluates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CtmcError;
+use crate::graph::bottom_sccs;
+use crate::markov::{Ctmc, StateIndex};
+use crate::sparse::{SparseMatrix, SparseMatrixBuilder};
+use crate::{DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
+
+/// Iterative method used for the local steady-state solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SteadyStateMethod {
+    /// Gauss–Seidel iteration on the balance equations (default; fastest).
+    GaussSeidel,
+    /// Jacobi iteration on the balance equations.
+    Jacobi,
+    /// Power iteration on the uniformised DTMC.
+    Power,
+}
+
+impl Default for SteadyStateMethod {
+    fn default() -> Self {
+        SteadyStateMethod::GaussSeidel
+    }
+}
+
+/// Steady-state solver for labelled CTMCs.
+#[derive(Debug, Clone)]
+pub struct SteadyStateSolver<'a> {
+    chain: &'a Ctmc,
+    method: SteadyStateMethod,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl<'a> SteadyStateSolver<'a> {
+    /// Creates a solver with the default method (Gauss–Seidel) and tolerances.
+    pub fn new(chain: &'a Ctmc) -> Self {
+        SteadyStateSolver {
+            chain,
+            method: SteadyStateMethod::default(),
+            tolerance: DEFAULT_TOLERANCE,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+
+    /// Selects the iterative method.
+    pub fn method(mut self, method: SteadyStateMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the convergence tolerance (maximum absolute change per sweep).
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Computes the steady-state distribution of the chain, taking the initial
+    /// distribution into account when the chain has several BSCCs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NotConverged`] if an iterative solve fails to reach
+    /// the requested tolerance within the iteration cap.
+    pub fn solve(&self) -> Result<Vec<f64>, CtmcError> {
+        let n = self.chain.num_states();
+        let bsccs = bottom_sccs(self.chain);
+
+        if bsccs.len() == 1 && bsccs[0].len() == n {
+            // Irreducible chain: a single global solve.
+            return self.solve_irreducible_subset(&bsccs[0]);
+        }
+
+        // Reducible chain: probability of absorption into each BSCC, then the
+        // conditional steady-state distribution inside each BSCC.
+        let absorption = self.bscc_absorption_probabilities(&bsccs)?;
+        let mut result = vec![0.0; n];
+        for (bscc, mass) in bsccs.iter().zip(absorption.iter()) {
+            if *mass <= 0.0 {
+                continue;
+            }
+            if bscc.len() == 1 {
+                result[bscc[0]] += mass;
+                continue;
+            }
+            let local = self.solve_irreducible_subset(bscc)?;
+            for (&s, &p) in bscc.iter().zip(local_states(&local, bscc).iter()) {
+                result[s] += mass * p;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Computes the long-run probability of residing in any state of `states`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SteadyStateSolver::solve`] and returns
+    /// [`CtmcError::StateOutOfBounds`] for invalid indices.
+    pub fn probability_of(&self, states: &[StateIndex]) -> Result<f64, CtmcError> {
+        let pi = self.solve()?;
+        let mut total = 0.0;
+        for &s in states {
+            if s >= pi.len() {
+                return Err(CtmcError::StateOutOfBounds { state: s, num_states: pi.len() });
+            }
+            total += pi[s];
+        }
+        Ok(total)
+    }
+
+    /// Computes the long-run probability of the given label; `Ok(None)` when the
+    /// label is not attached to the chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SteadyStateSolver::solve`].
+    pub fn probability_of_label(&self, label: &str) -> Result<Option<f64>, CtmcError> {
+        match self.chain.states_with_label(label) {
+            None => Ok(None),
+            Some(states) => self.probability_of(&states).map(Some),
+        }
+    }
+
+    /// Solves the steady state restricted to an irreducible subset of states
+    /// (either the full chain or one BSCC), returning the distribution over the
+    /// full state space (zero outside the subset).
+    fn solve_irreducible_subset(&self, subset: &[StateIndex]) -> Result<Vec<f64>, CtmcError> {
+        let n = self.chain.num_states();
+        if subset.len() == 1 {
+            let mut pi = vec![0.0; n];
+            pi[subset[0]] = 1.0;
+            return Ok(pi);
+        }
+
+        // Build the restricted rate matrix over local indices.
+        let mut local_index = vec![usize::MAX; n];
+        for (li, &s) in subset.iter().enumerate() {
+            local_index[s] = li;
+        }
+        let m = subset.len();
+        let mut builder = SparseMatrixBuilder::new(m, m);
+        for (li, &s) in subset.iter().enumerate() {
+            let (cols, values) = self.chain.rate_matrix().row(s);
+            for (c, v) in cols.iter().zip(values.iter()) {
+                let lj = local_index[*c];
+                if lj != usize::MAX {
+                    builder.push(li, lj, *v);
+                }
+            }
+        }
+        let local_rates = builder.build();
+        let local_pi = match self.method {
+            SteadyStateMethod::GaussSeidel => self.gauss_seidel(&local_rates)?,
+            SteadyStateMethod::Jacobi => self.jacobi(&local_rates)?,
+            SteadyStateMethod::Power => self.power(&local_rates)?,
+        };
+
+        let mut pi = vec![0.0; n];
+        for (li, &s) in subset.iter().enumerate() {
+            pi[s] = local_pi[li];
+        }
+        Ok(pi)
+    }
+
+    /// Gauss–Seidel on the balance equations `pi_s * E(s) = sum_{s'} pi_{s'} R[s'][s]`.
+    fn gauss_seidel(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
+        let m = rates.num_rows();
+        let exit: Vec<f64> = rates.row_sums();
+        let incoming = rates.transpose();
+        let mut pi = vec![1.0 / m as f64; m];
+
+        for iteration in 0..self.max_iterations {
+            let mut max_delta: f64 = 0.0;
+            for s in 0..m {
+                if exit[s] <= 0.0 {
+                    continue;
+                }
+                let (cols, values) = incoming.row(s);
+                let mut inflow = 0.0;
+                for (c, v) in cols.iter().zip(values.iter()) {
+                    if *c != s {
+                        inflow += pi[*c] * v;
+                    }
+                }
+                let new_value = inflow / exit[s];
+                max_delta = max_delta.max((new_value - pi[s]).abs());
+                pi[s] = new_value;
+            }
+            normalize(&mut pi);
+            if max_delta < self.tolerance {
+                return Ok(pi);
+            }
+            let _ = iteration;
+        }
+        Err(CtmcError::NotConverged {
+            solver: "gauss-seidel steady-state",
+            iterations: self.max_iterations,
+            residual: self.residual(&incoming, &exit, &pi),
+        })
+    }
+
+    /// Damped Jacobi iteration on the balance equations. Damping (averaging the
+    /// update with the previous iterate) prevents the oscillation Jacobi is
+    /// prone to on nearly-periodic chains.
+    fn jacobi(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
+        let m = rates.num_rows();
+        let exit: Vec<f64> = rates.row_sums();
+        let incoming = rates.transpose();
+        let mut pi = vec![1.0 / m as f64; m];
+        let mut next = vec![0.0; m];
+        const DAMPING: f64 = 0.5;
+
+        for _ in 0..self.max_iterations {
+            let mut max_delta: f64 = 0.0;
+            for s in 0..m {
+                if exit[s] <= 0.0 {
+                    next[s] = pi[s];
+                    continue;
+                }
+                let (cols, values) = incoming.row(s);
+                let mut inflow = 0.0;
+                for (c, v) in cols.iter().zip(values.iter()) {
+                    if *c != s {
+                        inflow += pi[*c] * v;
+                    }
+                }
+                let updated = inflow / exit[s];
+                next[s] = DAMPING * updated + (1.0 - DAMPING) * pi[s];
+                max_delta = max_delta.max((updated - pi[s]).abs());
+            }
+            std::mem::swap(&mut pi, &mut next);
+            normalize(&mut pi);
+            if max_delta < self.tolerance {
+                return Ok(pi);
+            }
+        }
+        Err(CtmcError::NotConverged {
+            solver: "jacobi steady-state",
+            iterations: self.max_iterations,
+            residual: self.residual(&incoming, &exit, &pi),
+        })
+    }
+
+    /// Power iteration on the uniformised DTMC `P = I + Q / q`.
+    fn power(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
+        let m = rates.num_rows();
+        let exit: Vec<f64> = rates.row_sums();
+        let q = exit.iter().copied().fold(0.0, f64::max) * 1.02;
+        if q <= 0.0 {
+            return Ok(vec![1.0 / m as f64; m]);
+        }
+        let mut builder = SparseMatrixBuilder::new(m, m);
+        for s in 0..m {
+            let (cols, values) = rates.row(s);
+            for (c, v) in cols.iter().zip(values.iter()) {
+                builder.push(s, *c, *v / q);
+            }
+            let stay = 1.0 - exit[s] / q;
+            if stay != 0.0 {
+                builder.push(s, s, stay);
+            }
+        }
+        let p = builder.build();
+
+        let mut pi = vec![1.0 / m as f64; m];
+        let mut next = vec![0.0; m];
+        for _ in 0..self.max_iterations {
+            p.left_multiply(&pi, &mut next)?;
+            normalize(&mut next);
+            let max_delta = pi
+                .iter()
+                .zip(next.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            std::mem::swap(&mut pi, &mut next);
+            if max_delta < self.tolerance {
+                return Ok(pi);
+            }
+        }
+        Err(CtmcError::NotConverged {
+            solver: "power steady-state",
+            iterations: self.max_iterations,
+            residual: 0.0,
+        })
+    }
+
+    fn residual(&self, incoming: &SparseMatrix, exit: &[f64], pi: &[f64]) -> f64 {
+        let mut max_res: f64 = 0.0;
+        for s in 0..pi.len() {
+            let (cols, values) = incoming.row(s);
+            let mut inflow = 0.0;
+            for (c, v) in cols.iter().zip(values.iter()) {
+                if *c != s {
+                    inflow += pi[*c] * v;
+                }
+            }
+            max_res = max_res.max((inflow - pi[s] * exit[s]).abs());
+        }
+        max_res
+    }
+
+    /// Probability (under the chain's initial distribution and embedded jump
+    /// chain) of eventually being absorbed into each BSCC.
+    fn bscc_absorption_probabilities(
+        &self,
+        bsccs: &[Vec<StateIndex>],
+    ) -> Result<Vec<f64>, CtmcError> {
+        let n = self.chain.num_states();
+        let embedded = self.chain.embedded_matrix();
+        let mut in_bscc = vec![usize::MAX; n];
+        for (bi, bscc) in bsccs.iter().enumerate() {
+            for &s in bscc {
+                in_bscc[s] = bi;
+            }
+        }
+
+        let mut result = vec![0.0; bsccs.len()];
+        // For each BSCC compute the per-state probability of eventually reaching
+        // it (value iteration on the embedded DTMC), then weight by the initial
+        // distribution. Transient mass vanishes in the long run so the reach
+        // probabilities over all BSCCs sum to one for every state.
+        for (bi, _) in bsccs.iter().enumerate() {
+            let mut x: Vec<f64> = (0..n).map(|s| if in_bscc[s] == bi { 1.0 } else { 0.0 }).collect();
+            let mut next = vec![0.0; n];
+            for _ in 0..self.max_iterations {
+                let mut max_delta: f64 = 0.0;
+                for s in 0..n {
+                    if in_bscc[s] != usize::MAX {
+                        next[s] = if in_bscc[s] == bi { 1.0 } else { 0.0 };
+                        continue;
+                    }
+                    let (cols, values) = embedded.row(s);
+                    let mut acc = 0.0;
+                    for (c, v) in cols.iter().zip(values.iter()) {
+                        acc += v * x[*c];
+                    }
+                    max_delta = max_delta.max((acc - x[s]).abs());
+                    next[s] = acc;
+                }
+                std::mem::swap(&mut x, &mut next);
+                if max_delta < self.tolerance {
+                    break;
+                }
+            }
+            result[bi] = self
+                .chain
+                .initial_distribution()
+                .iter()
+                .zip(x.iter())
+                .map(|(p0, p)| p0 * p)
+                .sum();
+        }
+        Ok(result)
+    }
+}
+
+fn local_states(full: &[f64], subset: &[StateIndex]) -> Vec<f64> {
+    subset.iter().map(|&s| full[s]).collect()
+}
+
+fn normalize(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        v.iter_mut().for_each(|x| *x /= total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::CtmcBuilder;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, lambda).unwrap();
+        b.add_transition(1, 0, mu).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_state_steady_state_closed_form() {
+        let chain = two_state(0.002, 0.2);
+        for method in [SteadyStateMethod::GaussSeidel, SteadyStateMethod::Jacobi, SteadyStateMethod::Power] {
+            let pi = SteadyStateSolver::new(&chain).method(method).solve().unwrap();
+            let expected_down = 0.002 / 0.202;
+            assert!((pi[1] - expected_down).abs() < 1e-8, "{method:?}: {}", pi[1]);
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn birth_death_chain_matches_detailed_balance() {
+        // 0 <-> 1 <-> 2 with birth rate 1, death rate 2: pi_k proportional to (1/2)^k.
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 1.0).unwrap();
+        b.add_transition(1, 0, 2.0).unwrap();
+        b.add_transition(2, 1, 2.0).unwrap();
+        let chain = b.build().unwrap();
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let z = 1.0 + 0.5 + 0.25;
+        assert!((pi[0] - 1.0 / z).abs() < 1e-8);
+        assert!((pi[1] - 0.5 / z).abs() < 1e-8);
+        assert!((pi[2] - 0.25 / z).abs() < 1e-8);
+    }
+
+    #[test]
+    fn independent_components_product_form() {
+        // Two independent 2-state components composed into a 4-state chain:
+        // state = (a, b); the steady state is the product of the marginals.
+        let la = 0.1;
+        let ma = 1.0;
+        let lb = 0.5;
+        let mb = 2.0;
+        let idx = |a: usize, b: usize| a * 2 + b;
+        let mut builder = CtmcBuilder::new(4);
+        for a in 0..2 {
+            for b_state in 0..2 {
+                let s = idx(a, b_state);
+                if a == 0 {
+                    builder.add_transition(s, idx(1, b_state), la).unwrap();
+                } else {
+                    builder.add_transition(s, idx(0, b_state), ma).unwrap();
+                }
+                if b_state == 0 {
+                    builder.add_transition(s, idx(a, 1), lb).unwrap();
+                } else {
+                    builder.add_transition(s, idx(a, 0), mb).unwrap();
+                }
+            }
+        }
+        let chain = builder.build().unwrap();
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let a_up = ma / (la + ma);
+        let b_up = mb / (lb + mb);
+        assert!((pi[idx(0, 0)] - a_up * b_up).abs() < 1e-8);
+        assert!((pi[idx(1, 1)] - (1.0 - a_up) * (1.0 - b_up)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reducible_chain_absorbing_state() {
+        // 0 -> 1 (absorbing) means all long-run mass is on 1.
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, 3.0).unwrap();
+        let chain = b.build().unwrap();
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        assert!((pi[0]).abs() < 1e-12);
+        assert!((pi[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducible_chain_two_bsccs_split_by_branching() {
+        // 0 -> 1 with rate 1 and 0 -> 2 with rate 3: absorption probabilities 1/4, 3/4.
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(0, 2, 3.0).unwrap();
+        let chain = b.build().unwrap();
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        assert!((pi[1] - 0.25).abs() < 1e-9);
+        assert!((pi[2] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reducible_chain_with_cyclic_bscc() {
+        // 0 -> {1,2} cycle; the cycle's local steady state follows the rates.
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 1.0).unwrap();
+        b.add_transition(2, 1, 4.0).unwrap();
+        let chain = b.build().unwrap();
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        assert!(pi[0].abs() < 1e-12);
+        assert!((pi[1] - 0.8).abs() < 1e-8);
+        assert!((pi[2] - 0.2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn probability_of_label_and_states() {
+        let mut chain = two_state(1.0, 1.0);
+        chain.set_label("down", vec![false, true]).unwrap();
+        let solver = SteadyStateSolver::new(&chain);
+        let p = solver.probability_of_label("down").unwrap().unwrap();
+        assert!((p - 0.5).abs() < 1e-9);
+        assert_eq!(solver.probability_of_label("unknown").unwrap(), None);
+        assert!(solver.probability_of(&[9]).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_produces_not_converged() {
+        // Asymmetric rates so the uniform starting guess is not already the answer.
+        let chain = two_state(1.0, 3.0);
+        let result = SteadyStateSolver::new(&chain).max_iterations(1).tolerance(1e-16).solve();
+        assert!(matches!(result, Err(CtmcError::NotConverged { .. })));
+    }
+}

@@ -1,0 +1,441 @@
+//! Transient analysis via uniformisation.
+//!
+//! The transient distribution of a CTMC is
+//! `pi(t) = sum_k psi(k; q t) * pi(0) * P^k` where `P = I + Q/q` is the
+//! uniformised DTMC and `psi` the Poisson pmf. [`TransientSolver`] evaluates
+//! this sum with Fox–Glynn weights; it also computes time-bounded reachability
+//! probabilities (the CSL `P=? [ a U<=t b ]` operator) by the standard
+//! absorbing-state transformation, and the "expected total time spent per
+//! state" vector used for accumulated-reward measures.
+
+use crate::error::CtmcError;
+use crate::foxglynn::FoxGlynn;
+use crate::markov::{Ctmc, StateIndex};
+
+/// Options controlling the uniformisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Truncation error for the Poisson window (total discarded probability mass).
+    pub epsilon: f64,
+    /// Multiplier applied to the maximal exit rate to obtain the uniformisation
+    /// rate; values slightly above one avoid a purely periodic uniformised DTMC.
+    pub uniformization_factor: f64,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions { epsilon: 1e-12, uniformization_factor: 1.02 }
+    }
+}
+
+/// Transient (time-dependent) analysis of a CTMC.
+#[derive(Debug, Clone)]
+pub struct TransientSolver<'a> {
+    chain: &'a Ctmc,
+    options: TransientOptions,
+}
+
+impl<'a> TransientSolver<'a> {
+    /// Creates a solver with default options.
+    pub fn new(chain: &'a Ctmc) -> Self {
+        TransientSolver { chain, options: TransientOptions::default() }
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(chain: &'a Ctmc, options: TransientOptions) -> Self {
+        TransientSolver { chain, options }
+    }
+
+    /// The chain being analysed.
+    pub fn chain(&self) -> &Ctmc {
+        self.chain
+    }
+
+    /// Computes the state probability vector at time `t`, starting from the
+    /// chain's initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if `t` is negative or not finite.
+    pub fn probabilities_at(&self, t: f64) -> Result<Vec<f64>, CtmcError> {
+        self.validate_time(t)?;
+        let initial = self.chain.initial_distribution().to_vec();
+        if t == 0.0 || self.chain.max_exit_rate() == 0.0 {
+            return Ok(initial);
+        }
+        let (q, p, fg) = self.uniformize(t)?;
+        let _ = q;
+        let n = self.chain.num_states();
+
+        let mut vk = initial; // pi(0) * P^k
+        let mut result = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+
+        for k in 0..=fg.right {
+            let w = fg.weight(k);
+            if w > 0.0 {
+                for s in 0..n {
+                    result[s] += w * vk[s];
+                }
+            }
+            if k < fg.right {
+                p.left_multiply(&vk, &mut scratch)?;
+                std::mem::swap(&mut vk, &mut scratch);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Computes state probability vectors at several time points.
+    ///
+    /// The points need not be sorted; each is computed independently so that
+    /// truncation windows match a fresh single-point computation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`TransientSolver::probabilities_at`].
+    pub fn probabilities_at_many(&self, times: &[f64]) -> Result<Vec<Vec<f64>>, CtmcError> {
+        times.iter().map(|&t| self.probabilities_at(t)).collect()
+    }
+
+    /// Expected total time spent in each state during `[0, t]`:
+    /// `L_s(t) = integral_0^t P[X_u = s] du`.
+    ///
+    /// Using uniformisation, `L(t) = (1/q) * sum_k (1 - F(k)) * pi(0) P^k` where
+    /// `F` is the Poisson CDF. This vector dotted with a state-reward vector
+    /// yields the expected accumulated reward (the CSRL `R=? [ C<=t ]` operator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if `t` is negative or not finite.
+    pub fn expected_sojourn_times(&self, t: f64) -> Result<Vec<f64>, CtmcError> {
+        self.validate_time(t)?;
+        let n = self.chain.num_states();
+        if t == 0.0 {
+            return Ok(vec![0.0; n]);
+        }
+        if self.chain.max_exit_rate() == 0.0 {
+            // No transitions at all: time accumulates in the initial states.
+            return Ok(self.chain.initial_distribution().iter().map(|p| p * t).collect());
+        }
+        let (q, p, fg) = self.uniformize(t)?;
+
+        let mut vk = self.chain.initial_distribution().to_vec();
+        let mut result = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        let mut cdf = 0.0;
+
+        // Beyond fg.right the factor (1 - F(k)) is negligible; iterate to fg.right.
+        for k in 0..=fg.right {
+            cdf += fg.weight(k);
+            let factor = (1.0 - cdf).max(0.0) / q;
+            // Note: the k-th term of the integral uses (1 - F(k)) where F includes k.
+            if factor > 0.0 {
+                for s in 0..n {
+                    result[s] += factor * vk[s];
+                }
+            }
+            if k < fg.right {
+                p.left_multiply(&vk, &mut scratch)?;
+                std::mem::swap(&mut vk, &mut scratch);
+            }
+        }
+        // Jumps below the truncation window (k < fg.left) have weight zero in the
+        // Poisson CDF accumulator above, so their factor is exactly 1/q and they
+        // are already included by the loop starting at k = 0.
+        Ok(result)
+    }
+
+    /// Time-bounded reachability: the probability, per the initial distribution,
+    /// of reaching a `goal` state within `t` while only passing through states
+    /// satisfying `safe` (CSL `P=? [ safe U<=t goal ]`).
+    ///
+    /// States violating `safe` (and not in `goal`) cannot be traversed; goal
+    /// states are absorbing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the masks have the wrong length or `t` is invalid.
+    pub fn bounded_until(&self, safe: &[bool], goal: &[bool], t: f64) -> Result<f64, CtmcError> {
+        let probs = self.bounded_until_per_state(safe, goal, t)?;
+        Ok(self
+            .chain
+            .initial_distribution()
+            .iter()
+            .zip(probs.iter())
+            .map(|(p0, p)| p0 * p)
+            .sum())
+    }
+
+    /// Per-state time-bounded reachability probabilities (the probability of the
+    /// until formula holding when starting deterministically in each state).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the masks have the wrong length or `t` is invalid.
+    pub fn bounded_until_per_state(
+        &self,
+        safe: &[bool],
+        goal: &[bool],
+        t: f64,
+    ) -> Result<Vec<f64>, CtmcError> {
+        self.validate_time(t)?;
+        let n = self.chain.num_states();
+        if safe.len() != n {
+            return Err(CtmcError::DimensionMismatch { expected: n, actual: safe.len() });
+        }
+        if goal.len() != n {
+            return Err(CtmcError::DimensionMismatch { expected: n, actual: goal.len() });
+        }
+
+        // States that are neither safe nor goal act as sinks (the path is cut);
+        // goal states are made absorbing so "reached by t" equals "in goal at t".
+        let absorbing: Vec<bool> = (0..n).map(|s| goal[s] || !safe[s]).collect();
+        let transformed = self.chain.make_absorbing(&absorbing)?;
+
+        if t == 0.0 {
+            return Ok((0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect());
+        }
+
+        // Work on the transposed uniformised matrix so that a single pass yields
+        // the per-state probabilities: x_{k+1} = P * x_k with x_0 = 1_goal.
+        let max_exit = transformed.max_exit_rate();
+        if max_exit == 0.0 {
+            return Ok((0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect());
+        }
+        let q = max_exit * self.options.uniformization_factor;
+        let p = transformed.uniformized_matrix(q)?;
+        let fg = FoxGlynn::new(q * t, self.options.epsilon)?;
+
+        let mut xk: Vec<f64> = (0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect();
+        let mut result = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        for k in 0..=fg.right {
+            let w = fg.weight(k);
+            if w > 0.0 {
+                for s in 0..n {
+                    result[s] += w * xk[s];
+                }
+            }
+            if k < fg.right {
+                p.right_multiply(&xk, &mut scratch)?;
+                std::mem::swap(&mut xk, &mut scratch);
+            }
+        }
+        // Goal states trivially satisfy the formula; clamp for numerical noise.
+        for s in 0..n {
+            if goal[s] {
+                result[s] = 1.0;
+            }
+            result[s] = result[s].clamp(0.0, 1.0);
+        }
+        Ok(result)
+    }
+
+    /// Convenience wrapper for `P=? [ true U<=t goal ]` from the initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`TransientSolver::bounded_until`].
+    pub fn bounded_reachability(&self, goal: &[StateIndex], t: f64) -> Result<f64, CtmcError> {
+        let n = self.chain.num_states();
+        let mut goal_mask = vec![false; n];
+        for &s in goal {
+            if s >= n {
+                return Err(CtmcError::StateOutOfBounds { state: s, num_states: n });
+            }
+            goal_mask[s] = true;
+        }
+        self.bounded_until(&vec![true; n], &goal_mask, t)
+    }
+
+    fn uniformize(&self, t: f64) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
+        let q = self.chain.max_exit_rate() * self.options.uniformization_factor;
+        let p = self.chain.uniformized_matrix(q)?;
+        let fg = FoxGlynn::new(q * t, self.options.epsilon)?;
+        Ok((q, p, fg))
+    }
+
+    fn validate_time(&self, t: f64) -> Result<(), CtmcError> {
+        if t < 0.0 || !t.is_finite() {
+            return Err(CtmcError::InvalidArgument {
+                reason: format!("time bound must be non-negative and finite, got {t}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::CtmcBuilder;
+
+    /// Two-state repairable component: up (0) -> down (1) with rate `lambda`,
+    /// down -> up with rate `mu`. The transient unavailability has the closed
+    /// form `lambda/(lambda+mu) * (1 - exp(-(lambda+mu) t))` when starting up.
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, lambda).unwrap();
+        b.add_transition(1, 0, mu).unwrap();
+        b.set_initial_state(0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn closed_form_unavailability(lambda: f64, mu: f64, t: f64) -> f64 {
+        lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp())
+    }
+
+    #[test]
+    fn transient_matches_closed_form_two_state() {
+        let lambda = 0.002;
+        let mu = 0.2;
+        let chain = two_state(lambda, mu);
+        let solver = TransientSolver::new(&chain);
+        for &t in &[0.0, 0.5, 1.0, 5.0, 10.0, 50.0, 500.0] {
+            let probs = solver.probabilities_at(t).unwrap();
+            let expected = closed_form_unavailability(lambda, mu, t);
+            assert!(
+                (probs[1] - expected).abs() < 1e-9,
+                "t={t}: got {}, expected {expected}",
+                probs[1]
+            );
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_from_alternative_initial_state() {
+        let chain = two_state(1.0, 2.0).with_initial_state(1).unwrap();
+        let solver = TransientSolver::new(&chain);
+        let probs = solver.probabilities_at(0.0).unwrap();
+        assert_eq!(probs, vec![0.0, 1.0]);
+        // As t -> infinity the distribution approaches the steady state (2/3, 1/3).
+        let probs = solver.probabilities_at(100.0).unwrap();
+        assert!((probs[0] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_negative_or_nan_time() {
+        let chain = two_state(1.0, 1.0);
+        let solver = TransientSolver::new(&chain);
+        assert!(solver.probabilities_at(-1.0).is_err());
+        assert!(solver.probabilities_at(f64::NAN).is_err());
+        assert!(solver.expected_sojourn_times(-2.0).is_err());
+        assert!(solver.bounded_until(&[true, true], &[false, true], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn absorbing_chain_probabilities() {
+        // Pure death process 0 -> 1 -> 2 (absorbing).
+        let mut b = CtmcBuilder::new(3);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let solver = TransientSolver::new(&chain);
+        let probs = solver.probabilities_at(100.0).unwrap();
+        assert!(probs[2] > 0.999999);
+    }
+
+    #[test]
+    fn bounded_reachability_matches_exponential_cdf() {
+        // Single transition 0 -> 1 at rate r: P(reach 1 by t) = 1 - exp(-r t).
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, 0.5).unwrap();
+        let chain = b.build().unwrap();
+        let solver = TransientSolver::new(&chain);
+        for &t in &[0.1, 1.0, 3.0, 10.0] {
+            let p = solver.bounded_reachability(&[1], t).unwrap();
+            let expected = 1.0 - (-0.5 * t).exp();
+            assert!((p - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn bounded_until_respects_unsafe_states() {
+        // 0 -> 1 -> 2 and 0 -> 3 -> 2; state 1 is forbidden, so the only way to
+        // reach 2 is via 3.
+        let mut b = CtmcBuilder::new(4);
+        b.add_transition(0, 1, 1.0).unwrap();
+        b.add_transition(1, 2, 10.0).unwrap();
+        b.add_transition(0, 3, 1.0).unwrap();
+        b.add_transition(3, 2, 10.0).unwrap();
+        let chain = b.build().unwrap();
+        let solver = TransientSolver::new(&chain);
+
+        let all_safe = vec![true; 4];
+        let safe_no_1 = vec![true, false, true, true];
+        let goal = vec![false, false, true, false];
+
+        let p_all = solver.bounded_until(&all_safe, &goal, 50.0).unwrap();
+        let p_restricted = solver.bounded_until(&safe_no_1, &goal, 50.0).unwrap();
+        assert!(p_all > 0.999);
+        // Only half of the initial flow may pass.
+        assert!((p_restricted - 0.5).abs() < 1e-6, "got {p_restricted}");
+    }
+
+    #[test]
+    fn bounded_until_at_time_zero_is_goal_indicator() {
+        let chain = two_state(1.0, 1.0);
+        let solver = TransientSolver::new(&chain);
+        let per_state =
+            solver.bounded_until_per_state(&[true, true], &[false, true], 0.0).unwrap();
+        assert_eq!(per_state, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn bounded_until_rejects_wrong_mask_lengths() {
+        let chain = two_state(1.0, 1.0);
+        let solver = TransientSolver::new(&chain);
+        assert!(solver.bounded_until(&[true], &[false, true], 1.0).is_err());
+        assert!(solver.bounded_until(&[true, true], &[false], 1.0).is_err());
+        assert!(solver.bounded_reachability(&[5], 1.0).is_err());
+    }
+
+    #[test]
+    fn sojourn_times_sum_to_t() {
+        let chain = two_state(0.3, 0.7);
+        let solver = TransientSolver::new(&chain);
+        for &t in &[0.5, 2.0, 20.0] {
+            let l = solver.expected_sojourn_times(t).unwrap();
+            let total: f64 = l.iter().sum();
+            assert!((total - t).abs() < 1e-8, "t={t}, total={total}");
+        }
+    }
+
+    #[test]
+    fn sojourn_times_match_integral_of_closed_form() {
+        let lambda = 0.1;
+        let mu = 1.0;
+        let chain = two_state(lambda, mu);
+        let solver = TransientSolver::new(&chain);
+        let t = 5.0;
+        let l = solver.expected_sojourn_times(t).unwrap();
+        // integral_0^t P[down at u] du with P[down at u] = a(1 - e^{-bu}),
+        // a = lambda/(lambda+mu), b = lambda+mu
+        let a = lambda / (lambda + mu);
+        let b = lambda + mu;
+        let expected_down = a * (t - (1.0 - (-b * t).exp()) / b);
+        assert!((l[1] - expected_down).abs() < 1e-8, "got {}, expected {expected_down}", l[1]);
+    }
+
+    #[test]
+    fn sojourn_times_on_transition_free_chain() {
+        let mut b = CtmcBuilder::new(2);
+        b.set_initial_distribution(vec![0.25, 0.75]).unwrap();
+        let chain = b.build().unwrap();
+        let solver = TransientSolver::new(&chain);
+        let l = solver.expected_sojourn_times(8.0).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_time_points() {
+        let chain = two_state(1.0, 1.0);
+        let solver = TransientSolver::new(&chain);
+        let results = solver.probabilities_at_many(&[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], vec![1.0, 0.0]);
+    }
+}

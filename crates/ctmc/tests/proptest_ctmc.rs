@@ -1,0 +1,114 @@
+//! Property-based tests of the CTMC numerics on randomly generated chains.
+
+use ctmc::{Ctmc, CtmcBuilder, FoxGlynn, SteadyStateSolver, TransientSolver};
+use proptest::prelude::*;
+
+/// Strategy generating a small, fully-connected-enough random CTMC:
+/// `n` states (2..=6) with a Hamiltonian cycle (guaranteeing irreducibility)
+/// plus a set of random extra transitions.
+fn arbitrary_irreducible_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            let cycle_rates = proptest::collection::vec(0.01f64..10.0, n);
+            let extras = proptest::collection::vec((0..n, 0..n, 0.01f64..10.0), 0..8);
+            (Just(n), cycle_rates, extras)
+        })
+        .prop_map(|(n, cycle_rates, extras)| {
+            let mut builder = CtmcBuilder::new(n);
+            for (i, rate) in cycle_rates.iter().enumerate() {
+                builder.add_transition(i, (i + 1) % n, *rate).unwrap();
+            }
+            for (from, to, rate) in extras {
+                if from != to {
+                    builder.add_transition(from, to, rate).unwrap();
+                }
+            }
+            builder.set_initial_state(0).unwrap();
+            builder.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transient_distributions_are_probability_vectors(
+        chain in arbitrary_irreducible_chain(),
+        t in 0.0f64..50.0,
+    ) {
+        let probabilities = TransientSolver::new(&chain).probabilities_at(t).unwrap();
+        let total: f64 = probabilities.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "sum {total}");
+        prop_assert!(probabilities.iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+    }
+
+    #[test]
+    fn steady_state_is_a_fixed_point_of_the_balance_equations(
+        chain in arbitrary_irreducible_chain(),
+    ) {
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        // pi * Q = 0 componentwise (within tolerance).
+        let generator = chain.generator_matrix();
+        let mut flow = vec![0.0; chain.num_states()];
+        generator.left_multiply(&pi, &mut flow).unwrap();
+        for value in flow {
+            prop_assert!(value.abs() < 1e-6, "residual {value}");
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state(chain in arbitrary_irreducible_chain()) {
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        // A generous horizon relative to the slowest rate in the chain.
+        let horizon = 2000.0 / chain.exit_rates().iter().copied().fold(f64::INFINITY, f64::min);
+        let transient = TransientSolver::new(&chain).probabilities_at(horizon).unwrap();
+        for (a, b) in transient.iter().zip(pi.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "transient {a} vs steady {b}");
+        }
+    }
+
+    #[test]
+    fn bounded_reachability_is_monotone_in_time(
+        chain in arbitrary_irreducible_chain(),
+        t1 in 0.0f64..20.0,
+        delta in 0.0f64..20.0,
+    ) {
+        let goal = vec![chain.num_states() - 1];
+        let solver = TransientSolver::new(&chain);
+        let early = solver.bounded_reachability(&goal, t1).unwrap();
+        let late = solver.bounded_reachability(&goal, t1 + delta).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&early));
+        prop_assert!(late >= early - 1e-9, "late {late} < early {early}");
+    }
+
+    #[test]
+    fn sojourn_times_integrate_to_the_elapsed_time(
+        chain in arbitrary_irreducible_chain(),
+        t in 0.0f64..50.0,
+    ) {
+        let sojourn = TransientSolver::new(&chain).expected_sojourn_times(t).unwrap();
+        let total: f64 = sojourn.iter().sum();
+        prop_assert!((total - t).abs() < 1e-6, "total {total} vs t {t}");
+        prop_assert!(sojourn.iter().all(|&l| l >= -1e-12));
+    }
+
+    #[test]
+    fn fox_glynn_weights_form_a_distribution(lambda in 0.0f64..5000.0) {
+        let fg = FoxGlynn::new(lambda, 1e-12).unwrap();
+        let total: f64 = fg.weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        prop_assert!(fg.left <= fg.right);
+        prop_assert!(fg.weights.iter().all(|w| *w >= 0.0 && w.is_finite()));
+    }
+
+    #[test]
+    fn uniformized_matrix_is_stochastic(chain in arbitrary_irreducible_chain(), factor in 1.0f64..3.0) {
+        let q = chain.max_exit_rate() * factor + 1e-9;
+        let p = chain.uniformized_matrix(q).unwrap();
+        for sum in p.row_sums() {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

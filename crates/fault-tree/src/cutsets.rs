@@ -1,0 +1,179 @@
+//! Minimal cut sets of a fault tree.
+//!
+//! A cut set is a set of basic events whose joint occurrence makes the top
+//! event fire; a cut set is minimal if no proper subset is itself a cut set.
+//! Minimal cut sets are the classical qualitative importance analysis for
+//! fault trees and a convenient cross-check for the boolean structure function.
+
+use std::collections::BTreeSet;
+
+use crate::fault::{FaultNode, FaultTree};
+
+/// Computes the minimal cut sets of a fault tree.
+///
+/// The expansion is a straightforward MOCUS-style top-down rewrite: OR gates
+/// split into alternative cut sets, AND gates merge the cut sets of their
+/// children, and voting gates are expanded into the disjunction of all
+/// threshold-sized child combinations. Non-minimal sets are removed at the end.
+///
+/// The running time is exponential in the tree size in the worst case, which is
+/// fine for the architecture-level trees Arcade deals with (tens of components).
+pub fn minimal_cut_sets(tree: &FaultTree) -> Vec<BTreeSet<String>> {
+    let mut sets = cut_sets(tree.root());
+    remove_non_minimal(&mut sets);
+    sets.sort_by(|a, b| (a.len(), a).cmp(&(b.len(), b)));
+    sets
+}
+
+fn cut_sets(node: &FaultNode) -> Vec<BTreeSet<String>> {
+    match node {
+        FaultNode::Basic(name) => {
+            vec![BTreeSet::from([name.clone()])]
+        }
+        FaultNode::Or(children) => children.iter().flat_map(cut_sets).collect(),
+        FaultNode::And(children) => {
+            let mut acc: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
+            for child in children {
+                let child_sets = cut_sets(child);
+                let mut next = Vec::with_capacity(acc.len() * child_sets.len());
+                for base in &acc {
+                    for cs in &child_sets {
+                        let mut merged = base.clone();
+                        merged.extend(cs.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        FaultNode::Vote { failed_threshold, children } => {
+            let k = (*failed_threshold).min(children.len()).max(1);
+            let mut out = Vec::new();
+            for combo in combinations(children.len(), k) {
+                let selected: Vec<FaultNode> =
+                    combo.into_iter().map(|i| children[i].clone()).collect();
+                out.extend(cut_sets(&FaultNode::And(selected)));
+            }
+            out
+        }
+    }
+}
+
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            recurse(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    recurse(0, n, k, &mut current, &mut out);
+    out
+}
+
+fn remove_non_minimal(sets: &mut Vec<BTreeSet<String>>) {
+    sets.sort_by_key(BTreeSet::len);
+    sets.dedup();
+    let mut keep: Vec<BTreeSet<String>> = Vec::with_capacity(sets.len());
+    'outer: for set in sets.iter() {
+        for existing in &keep {
+            if existing.is_subset(set) {
+                continue 'outer;
+            }
+        }
+        keep.push(set.clone());
+    }
+    *sets = keep;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn single_basic_event() {
+        let tree = FaultTree::new(FaultNode::basic("a"));
+        assert_eq!(minimal_cut_sets(&tree), vec![set(&["a"])]);
+    }
+
+    #[test]
+    fn or_of_basics_yields_singletons() {
+        let tree = FaultTree::new(FaultNode::or(vec![
+            FaultNode::basic("a"),
+            FaultNode::basic("b"),
+        ]));
+        assert_eq!(minimal_cut_sets(&tree), vec![set(&["a"]), set(&["b"])]);
+    }
+
+    #[test]
+    fn and_of_basics_yields_one_pair() {
+        let tree = FaultTree::new(FaultNode::and(vec![
+            FaultNode::basic("a"),
+            FaultNode::basic("b"),
+        ]));
+        assert_eq!(minimal_cut_sets(&tree), vec![set(&["a", "b"])]);
+    }
+
+    #[test]
+    fn vote_expands_to_combinations() {
+        let tree = FaultTree::new(FaultNode::vote(
+            2,
+            vec![FaultNode::basic("a"), FaultNode::basic("b"), FaultNode::basic("c")],
+        ));
+        let sets = minimal_cut_sets(&tree);
+        assert_eq!(sets.len(), 3);
+        assert!(sets.contains(&set(&["a", "b"])));
+        assert!(sets.contains(&set(&["a", "c"])));
+        assert!(sets.contains(&set(&["b", "c"])));
+    }
+
+    #[test]
+    fn non_minimal_sets_are_removed() {
+        // a OR (a AND b): the pair {a, b} is absorbed by {a}.
+        let tree = FaultTree::new(FaultNode::or(vec![
+            FaultNode::basic("a"),
+            FaultNode::and(vec![FaultNode::basic("a"), FaultNode::basic("b")]),
+        ]));
+        assert_eq!(minimal_cut_sets(&tree), vec![set(&["a"])]);
+    }
+
+    #[test]
+    fn cut_sets_imply_tree_failure() {
+        let tree = FaultTree::new(FaultNode::or(vec![
+            FaultNode::and(vec![FaultNode::basic("a"), FaultNode::basic("b")]),
+            FaultNode::vote(2, vec![
+                FaultNode::basic("p1"),
+                FaultNode::basic("p2"),
+                FaultNode::basic("p3"),
+            ]),
+        ]));
+        for cut in minimal_cut_sets(&tree) {
+            assert!(tree.is_failed(|n| cut.contains(n)), "cut set {cut:?} should fail the tree");
+            // Minimality: removing any element keeps the system up.
+            for excluded in &cut {
+                assert!(
+                    !tree.is_failed(|n| cut.contains(n) && n != excluded),
+                    "cut set {cut:?} is not minimal (removing {excluded} still fails)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_helper_counts() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(3, 3).len(), 1);
+        assert_eq!(combinations(3, 1).len(), 3);
+    }
+}

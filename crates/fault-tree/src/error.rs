@@ -1,0 +1,58 @@
+//! Error type for fault-tree construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced when building or evaluating fault/service trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTreeError {
+    /// A gate was constructed without children.
+    EmptyGate {
+        /// The kind of gate ("and", "or", "vote").
+        gate: &'static str,
+    },
+    /// A voting gate threshold is out of the valid range `1..=n`.
+    InvalidVoteThreshold {
+        /// The requested threshold.
+        threshold: usize,
+        /// The number of children.
+        children: usize,
+    },
+    /// A referenced basic event does not exist in the evaluation context.
+    UnknownBasicEvent {
+        /// Name of the missing event.
+        name: String,
+    },
+}
+
+impl fmt::Display for FaultTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTreeError::EmptyGate { gate } => write!(f, "{gate} gate has no children"),
+            FaultTreeError::InvalidVoteThreshold { threshold, children } => write!(
+                f,
+                "voting threshold {threshold} is invalid for a gate with {children} children"
+            ),
+            FaultTreeError::UnknownBasicEvent { name } => {
+                write!(f, "unknown basic event `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FaultTreeError::EmptyGate { gate: "and" }.to_string().contains("and"));
+        assert!(FaultTreeError::InvalidVoteThreshold { threshold: 5, children: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(FaultTreeError::UnknownBasicEvent { name: "pump".into() }
+            .to_string()
+            .contains("pump"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Fault trees and quantitative service trees.
+//!
+//! Arcade uses a *fault tree* to define when a system is down: an AND/OR/K-of-N
+//! expression over basic events, each basic event being the failure of one
+//! component. The DSN 2010 water-treatment paper additionally derives a
+//! *quantitative service tree* from the fault tree by swapping AND and OR gates
+//! and interpreting them quantitatively (`ANDq` = minimum of its inputs,
+//! `ORq` = average of its inputs), which maps every system state to a service
+//! level in `[0, 1]`.
+//!
+//! This crate provides both structures, boolean and quantitative evaluation,
+//! the fault-to-service dualisation, enumeration of attainable service levels
+//! (the `X1, X2, ...` intervals of the paper) and minimal cut sets.
+//!
+//! # Example
+//!
+//! A process line that stops delivering water when its reservoir fails or when
+//! all three of its redundant softeners fail:
+//!
+//! ```
+//! use fault_tree::{FaultTree, FaultNode};
+//!
+//! let tree = FaultTree::new(FaultNode::or(vec![
+//!     FaultNode::basic("reservoir"),
+//!     FaultNode::and(vec![
+//!         FaultNode::basic("softener-1"),
+//!         FaultNode::basic("softener-2"),
+//!         FaultNode::basic("softener-3"),
+//!     ]),
+//! ]));
+//!
+//! // Only softener-1 failed: some service is still delivered.
+//! assert!(!tree.is_failed(|name| name == "softener-1"));
+//! // Reservoir failed: the line is down.
+//! assert!(tree.is_failed(|name| name == "reservoir"));
+//!
+//! // Quantitative service: with one softener down the service level drops to 2/3.
+//! let service = tree.to_service_tree();
+//! let level = service.service_level(|name| if name == "softener-1" { 0.0 } else { 1.0 });
+//! assert!(level < 1.0 && level > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cutsets;
+pub mod error;
+pub mod fault;
+pub mod service;
+pub mod structure;
+
+pub use cutsets::minimal_cut_sets;
+pub use error::FaultTreeError;
+pub use fault::{FaultNode, FaultTree};
+pub use service::{ServiceNode, ServiceTree};
+pub use structure::{StructureNode, SystemStructure};

@@ -1,0 +1,155 @@
+//! Property-based tests of fault trees, service trees and their relationships
+//! on randomly generated system structures.
+
+use std::collections::BTreeSet;
+
+use fault_tree::{minimal_cut_sets, StructureNode, SystemStructure};
+use proptest::prelude::*;
+
+/// A random reliability block structure over a bounded component universe.
+///
+/// `required_of` groups are generated over leaf components only, matching their
+/// documented use (a pool of identical components with spares); series and
+/// redundant gates nest freely.
+fn arbitrary_structure() -> impl Strategy<Value = SystemStructure> {
+    let leaf = (0u32..12).prop_map(|i| StructureNode::component(format!("c{i}")));
+    let spare_group = (proptest::collection::vec(0u32..12, 1..5), 1usize..4).prop_map(
+        |(components, required)| {
+            let children: Vec<StructureNode> = components
+                .into_iter()
+                .map(|i| StructureNode::component(format!("c{i}")))
+                .collect();
+            let required = required.min(children.len());
+            StructureNode::required_of(required, children)
+        },
+    );
+    prop_oneof![leaf, spare_group]
+        .prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..4).prop_map(StructureNode::series),
+                proptest::collection::vec(inner, 1..4).prop_map(StructureNode::redundant),
+            ]
+        })
+        .prop_map(SystemStructure::new)
+}
+
+fn component_universe(structure: &SystemStructure) -> Vec<String> {
+    structure.degraded_fault_tree().basic_events().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn service_levels_stay_in_the_unit_interval(
+        structure in arbitrary_structure(),
+        failed_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let components = component_universe(&structure);
+        let failed: BTreeSet<&String> = components
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| failed_bits.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c)
+            .collect();
+        let level = structure
+            .service_tree()
+            .service_level(|name| if failed.contains(&name.to_string()) { 0.0 } else { 1.0 });
+        prop_assert!((0.0..=1.0).contains(&level), "level {level}");
+    }
+
+    #[test]
+    fn failing_more_components_never_improves_service(
+        structure in arbitrary_structure(),
+        failed_bits in proptest::collection::vec(any::<bool>(), 12),
+        extra in 0usize..12,
+    ) {
+        let components = component_universe(&structure);
+        if components.is_empty() {
+            return Ok(());
+        }
+        let mut failed: BTreeSet<String> = components
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| failed_bits.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let service = structure.service_tree();
+        let level_before =
+            service.service_level(|name| if failed.contains(name) { 0.0 } else { 1.0 });
+        failed.insert(components[extra % components.len()].clone());
+        let level_after =
+            service.service_level(|name| if failed.contains(name) { 0.0 } else { 1.0 });
+        prop_assert!(level_after <= level_before + 1e-12);
+    }
+
+    #[test]
+    fn degraded_iff_service_below_one_and_total_failure_iff_zero(
+        structure in arbitrary_structure(),
+        failed_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let components = component_universe(&structure);
+        let failed: BTreeSet<String> = components
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| failed_bits.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let is_failed = |name: &str| failed.contains(name);
+        let level = structure
+            .service_tree()
+            .service_level(|name| if is_failed(name) { 0.0 } else { 1.0 });
+        let degraded = structure.degraded_fault_tree().is_failed(is_failed);
+        let total = structure.total_failure_fault_tree().is_failed(is_failed);
+        prop_assert_eq!(degraded, level < 1.0 - 1e-12, "degraded vs level {}", level);
+        prop_assert_eq!(total, level < 1e-12, "total failure vs level {}", level);
+    }
+
+    #[test]
+    fn attainable_levels_contain_the_extremes_and_are_sorted(
+        structure in arbitrary_structure(),
+    ) {
+        let levels = structure.service_tree().attainable_levels();
+        prop_assert!(!levels.is_empty());
+        prop_assert!(levels.windows(2).all(|w| w[0] < w[1] + 1e-15));
+        prop_assert!((levels[0] - 0.0).abs() < 1e-12);
+        prop_assert!((levels.last().unwrap() - 1.0).abs() < 1e-12);
+        // The number of distinct intervals equals the number of positive levels.
+        let intervals = structure.service_tree().service_intervals();
+        prop_assert_eq!(intervals.len(), levels.iter().filter(|&&l| l > 0.0).count());
+    }
+
+    #[test]
+    fn minimal_cut_sets_fail_the_tree_and_are_minimal(structure in arbitrary_structure()) {
+        let tree = structure.total_failure_fault_tree();
+        let cut_sets = minimal_cut_sets(&tree);
+        prop_assert!(!cut_sets.is_empty());
+        for cut in cut_sets.iter().take(32) {
+            prop_assert!(tree.is_failed(|name| cut.contains(name)));
+            for removed in cut.iter() {
+                prop_assert!(
+                    !tree.is_failed(|name| cut.contains(name) && name != removed),
+                    "cut {cut:?} is not minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_service_tree_agrees_with_direct_tree_on_total_failure(
+        structure in arbitrary_structure(),
+        failed_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let components = component_universe(&structure);
+        let failed: BTreeSet<String> = components
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| failed_bits.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let supply = |name: &str| if failed.contains(name) { 0.0 } else { 1.0 };
+        let direct = structure.service_tree().service_level(supply);
+        let dual = structure.total_failure_fault_tree().to_service_tree().service_level(supply);
+        prop_assert_eq!(direct < 1e-12, dual < 1e-12);
+    }
+}

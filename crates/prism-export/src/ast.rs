@@ -1,0 +1,251 @@
+//! Abstract syntax of the PRISM language subset emitted by the exporter.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete PRISM model in CTMC mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrismModel {
+    /// Leading comment lines (without the `//` prefix).
+    pub comments: Vec<String>,
+    /// Named numeric constants.
+    pub constants: Vec<(String, f64)>,
+    /// The modules of the model.
+    pub modules: Vec<Module>,
+    /// Labels: `label "name" = expression;`.
+    pub labels: Vec<(String, String)>,
+    /// Reward structures.
+    pub rewards: Vec<Reward>,
+    /// Optional explicit initial-state expression (`init ... endinit`).
+    pub init: Option<String>,
+}
+
+impl PrismModel {
+    /// Creates an empty CTMC model.
+    pub fn new() -> Self {
+        PrismModel {
+            comments: Vec::new(),
+            constants: Vec::new(),
+            modules: Vec::new(),
+            labels: Vec::new(),
+            rewards: Vec::new(),
+            init: None,
+        }
+    }
+
+    /// Renders the model as PRISM source text.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for comment in &self.comments {
+            out.push_str("// ");
+            out.push_str(comment);
+            out.push('\n');
+        }
+        out.push_str("ctmc\n\n");
+        for (name, value) in &self.constants {
+            out.push_str(&format!("const double {name} = {value};\n"));
+        }
+        if !self.constants.is_empty() {
+            out.push('\n');
+        }
+        for module in &self.modules {
+            out.push_str(&module.to_source());
+            out.push('\n');
+        }
+        for (name, expression) in &self.labels {
+            out.push_str(&format!("label \"{name}\" = {expression};\n"));
+        }
+        if !self.labels.is_empty() {
+            out.push('\n');
+        }
+        for reward in &self.rewards {
+            out.push_str(&reward.to_source());
+            out.push('\n');
+        }
+        if let Some(init) = &self.init {
+            out.push_str(&format!("init\n  {init}\nendinit\n"));
+        }
+        out
+    }
+}
+
+impl Default for PrismModel {
+    fn default() -> Self {
+        PrismModel::new()
+    }
+}
+
+/// A PRISM module: bounded integer variables plus guarded commands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Variables: `(name, lower, upper, initial)`.
+    pub variables: Vec<(String, i64, i64, i64)>,
+    /// Guarded commands.
+    pub commands: Vec<Command>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), variables: Vec::new(), commands: Vec::new() }
+    }
+
+    /// Renders the module as PRISM source text.
+    pub fn to_source(&self) -> String {
+        let mut out = format!("module {}\n", self.name);
+        for (name, lower, upper, initial) in &self.variables {
+            out.push_str(&format!("  {name} : [{lower}..{upper}] init {initial};\n"));
+        }
+        for command in &self.commands {
+            out.push_str(&format!("  {}\n", command.to_source()));
+        }
+        out.push_str("endmodule\n");
+        out
+    }
+}
+
+/// A guarded command `[action] guard -> rate_1:update_1 + ... ;`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Optional synchronisation action label.
+    pub action: Option<String>,
+    /// The boolean guard expression.
+    pub guard: String,
+    /// The rate-weighted updates.
+    pub updates: Vec<Update>,
+}
+
+impl Command {
+    /// Renders the command as PRISM source text.
+    pub fn to_source(&self) -> String {
+        let action = self.action.as_deref().unwrap_or("");
+        let updates = self
+            .updates
+            .iter()
+            .map(Update::to_source)
+            .collect::<Vec<_>>()
+            .join(" + ");
+        format!("[{action}] {} -> {updates};", self.guard)
+    }
+}
+
+/// A single `rate : (var'=value) & ...` update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// The transition rate (CTMC mode).
+    pub rate: String,
+    /// Variable assignments `(name, expression)`.
+    pub assignments: Vec<(String, String)>,
+}
+
+impl Update {
+    /// Renders the update as PRISM source text.
+    pub fn to_source(&self) -> String {
+        if self.assignments.is_empty() {
+            return format!("{} : true", self.rate);
+        }
+        let assignments = self
+            .assignments
+            .iter()
+            .map(|(name, value)| format!("({name}'={value})"))
+            .collect::<Vec<_>>()
+            .join(" & ");
+        format!("{} : {assignments}", self.rate)
+    }
+}
+
+/// A PRISM reward structure (state rewards only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reward {
+    /// Name of the reward structure.
+    pub name: String,
+    /// State-reward items `(guard, value-expression)`.
+    pub items: Vec<(String, String)>,
+}
+
+impl Reward {
+    /// Renders the reward structure as PRISM source text.
+    pub fn to_source(&self) -> String {
+        let mut out = format!("rewards \"{}\"\n", self.name);
+        for (guard, value) in &self.items {
+            out.push_str(&format!("  {guard} : {value};\n"));
+        }
+        out.push_str("endrewards\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_rendering() {
+        let command = Command {
+            action: None,
+            guard: "x=0".to_string(),
+            updates: vec![Update {
+                rate: "0.002".to_string(),
+                assignments: vec![("x".to_string(), "1".to_string())],
+            }],
+        };
+        assert_eq!(command.to_source(), "[] x=0 -> 0.002 : (x'=1);");
+        let command = Command {
+            action: Some("sync".to_string()),
+            guard: "true".to_string(),
+            updates: vec![Update { rate: "1".to_string(), assignments: vec![] }],
+        };
+        assert_eq!(command.to_source(), "[sync] true -> 1 : true;");
+    }
+
+    #[test]
+    fn module_and_model_rendering() {
+        let mut module = Module::new("pump");
+        module.variables.push(("pump_failed".to_string(), 0, 1, 0));
+        module.commands.push(Command {
+            action: None,
+            guard: "pump_failed=0".to_string(),
+            updates: vec![Update {
+                rate: "1/500".to_string(),
+                assignments: vec![("pump_failed".to_string(), "1".to_string())],
+            }],
+        });
+        let mut model = PrismModel::new();
+        model.comments.push("generated".to_string());
+        model.constants.push(("PUMP_MTTF".to_string(), 500.0));
+        model.modules.push(module);
+        model.labels.push(("down".to_string(), "pump_failed=1".to_string()));
+        model.rewards.push(Reward {
+            name: "cost".to_string(),
+            items: vec![("pump_failed=1".to_string(), "3".to_string())],
+        });
+        let source = model.to_source();
+        assert!(source.starts_with("// generated\nctmc"));
+        assert!(source.contains("module pump"));
+        assert!(source.contains("pump_failed : [0..1] init 0;"));
+        assert!(source.contains("label \"down\" = pump_failed=1;"));
+        assert!(source.contains("rewards \"cost\""));
+        assert!(source.contains("endmodule"));
+        assert!(source.contains("endrewards"));
+    }
+
+    #[test]
+    fn multi_update_commands_join_with_plus() {
+        let command = Command {
+            action: None,
+            guard: "s=0".to_string(),
+            updates: vec![
+                Update { rate: "2".to_string(), assignments: vec![("s".to_string(), "1".to_string())] },
+                Update { rate: "3".to_string(), assignments: vec![("s".to_string(), "2".to_string())] },
+            ],
+        };
+        assert_eq!(command.to_source(), "[] s=0 -> 2 : (s'=1) + 3 : (s'=2);");
+    }
+
+    #[test]
+    fn default_model_is_empty_ctmc() {
+        let model = PrismModel::default();
+        assert_eq!(model.to_source(), "ctmc\n\n");
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the PRISM exporter.
+
+use std::fmt;
+
+/// Errors produced while translating an Arcade model to PRISM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrismExportError {
+    /// The modular translation only supports contention-free repair (dedicated
+    /// strategy or one crew per component); other strategies need the flat
+    /// translation of the composed CTMC.
+    UnsupportedStrategy {
+        /// The repair unit using the unsupported strategy.
+        repair_unit: String,
+        /// The strategy's short name.
+        strategy: String,
+    },
+    /// An identifier is not representable in PRISM (empty or starts with a digit).
+    InvalidIdentifier {
+        /// The offending identifier.
+        identifier: String,
+    },
+}
+
+impl fmt::Display for PrismExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrismExportError::UnsupportedStrategy { repair_unit, strategy } => write!(
+                f,
+                "repair unit `{repair_unit}` uses strategy {strategy}, which the modular PRISM \
+                 translation does not support; use the flat translation instead"
+            ),
+            PrismExportError::InvalidIdentifier { identifier } => {
+                write!(f, "`{identifier}` is not a valid PRISM identifier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrismExportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PrismExportError::UnsupportedStrategy {
+            repair_unit: "ru".into(),
+            strategy: "FRF".into(),
+        };
+        assert!(e.to_string().contains("FRF"));
+        assert!(PrismExportError::InvalidIdentifier { identifier: "1x".into() }
+            .to_string()
+            .contains("1x"));
+    }
+}

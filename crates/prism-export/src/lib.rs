@@ -1,0 +1,47 @@
+//! # prism-export — PRISM reactive-modules output for Arcade models
+//!
+//! The tool chain of the DSN 2010 paper translates Arcade architectural models
+//! into the input language of the PRISM model checker (reactive modules in CTMC
+//! mode) together with CSL/CSRL property files. This crate reproduces that
+//! pipeline stage:
+//!
+//! * [`ast`] — a small abstract syntax tree of the PRISM language subset used;
+//! * [`translate`] — two translations of an Arcade model:
+//!   * a **modular** translation (one PRISM module per basic component) for
+//!     models whose repair behaviour is contention-free (dedicated repair),
+//!     mirroring the compositional translation in the paper, and
+//!   * a **flat** translation of the composed CTMC (one state variable, one
+//!     command per transition), which is exact for every repair strategy and
+//!     lets any PRISM installation re-check the numbers reported here;
+//! * [`properties`] — emission of the paper's measures as a PRISM properties
+//!   file (CSL/CSRL).
+//!
+//! ```no_run
+//! use arcade_core::{ArcadeModel, BasicComponent, RepairStrategy, RepairUnit, CompiledModel};
+//! use fault_tree::{StructureNode, SystemStructure};
+//! use prism_export::translate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let structure = SystemStructure::new(StructureNode::component("pump"));
+//! # let model = ArcadeModel::builder("demo", structure)
+//! #     .component(BasicComponent::from_mttf_mttr("pump", 500.0, 1.0)?)
+//! #     .repair_unit(RepairUnit::new("ru", RepairStrategy::Dedicated, 1)?.responsible_for(["pump"]))
+//! #     .build()?;
+//! let prism_source = translate::modular(&model)?.to_source();
+//! let compiled = CompiledModel::compile(&model)?;
+//! let flat_source = translate::flat(&model, &compiled).to_source();
+//! println!("{prism_source}\n{flat_source}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod properties;
+pub mod translate;
+
+pub use ast::{Command, Module, PrismModel, Reward, Update};
+pub use error::PrismExportError;

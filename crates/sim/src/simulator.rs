@@ -1,0 +1,367 @@
+//! The public simulation API: replicated estimators for the paper's measures.
+
+use arcade_core::{ArcadeError, ArcadeModel, Disaster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Trajectory;
+use crate::stats::Estimate;
+
+/// Options shared by all estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationOptions {
+    /// Number of independent replications.
+    pub replications: usize,
+    /// Base random seed; replication `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of worker threads (`1` disables parallelism).
+    pub threads: usize,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions { replications: 10_000, seed: 0x5EED, threads: 4 }
+    }
+}
+
+/// Monte-Carlo estimator for the dependability measures of an Arcade model.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    model: &'a ArcadeModel,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a trajectory cannot be prepared for the model.
+    pub fn new(model: &'a ArcadeModel) -> Result<Self, ArcadeError> {
+        // Fail fast on models the engine cannot handle.
+        Trajectory::new(model)?;
+        Ok(Simulator { model })
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &ArcadeModel {
+        self.model
+    }
+
+    /// Estimates reliability: the probability that the system never leaves the
+    /// fully-operational states within the mission time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation errors.
+    pub fn reliability(&self, mission_time: f64, options: &SimulationOptions) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, None, move |trajectory, rng| {
+            while trajectory.time() < mission_time {
+                if !trajectory.is_fully_operational() {
+                    return 0.0;
+                }
+                trajectory.step(mission_time, rng);
+            }
+            if trajectory.is_fully_operational() {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Estimates the probability that the system is fully operational at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation errors.
+    pub fn point_availability(&self, t: f64, options: &SimulationOptions) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, None, move |trajectory, rng| {
+            while trajectory.time() < t {
+                trajectory.step(t, rng);
+            }
+            if trajectory.is_fully_operational() {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Estimates long-run availability as the fraction of time the system is
+    /// fully operational during `[0, horizon]` (each replication contributes
+    /// one time-average).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation errors.
+    pub fn steady_state_availability(
+        &self,
+        horizon: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, None, move |trajectory, rng| {
+            let mut up_time = 0.0;
+            while trajectory.time() < horizon {
+                let was_up = trajectory.is_fully_operational();
+                let elapsed = trajectory.step(horizon, rng);
+                if was_up {
+                    up_time += elapsed;
+                }
+            }
+            up_time / horizon
+        })
+    }
+
+    /// Estimates survivability: the probability of reaching a service level of
+    /// at least `service_level` within `deadline` hours after the disaster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation and disaster errors.
+    pub fn survivability(
+        &self,
+        disaster: &Disaster,
+        service_level: f64,
+        deadline: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, Some(disaster), move |trajectory, rng| {
+            loop {
+                if trajectory.service_level() >= service_level - 1e-12 {
+                    return 1.0;
+                }
+                if trajectory.time() >= deadline {
+                    return 0.0;
+                }
+                trajectory.step(deadline, rng);
+            }
+        })
+    }
+
+    /// Estimates the expected accumulated repair cost over `[0, horizon]`,
+    /// optionally starting right after a disaster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation and disaster errors.
+    pub fn accumulated_cost(
+        &self,
+        disaster: Option<&Disaster>,
+        horizon: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, disaster, move |trajectory, rng| {
+            let mut cost = 0.0;
+            while trajectory.time() < horizon {
+                let rate = trajectory.cost_rate();
+                let elapsed = trajectory.step(horizon, rng);
+                cost += rate * elapsed;
+            }
+            cost
+        })
+    }
+
+    /// Estimates the expected instantaneous cost rate at time `t`, optionally
+    /// starting right after a disaster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trajectory preparation and disaster errors.
+    pub fn instantaneous_cost(
+        &self,
+        disaster: Option<&Disaster>,
+        t: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
+        self.replicate(options, disaster, move |trajectory, rng| {
+            while trajectory.time() < t {
+                trajectory.step(t, rng);
+            }
+            trajectory.cost_rate()
+        })
+    }
+
+    /// Runs `options.replications` independent replications of `body`, in
+    /// parallel across `options.threads` workers, and aggregates the samples.
+    fn replicate<F>(
+        &self,
+        options: &SimulationOptions,
+        disaster: Option<&Disaster>,
+        body: F,
+    ) -> Result<Estimate, ArcadeError>
+    where
+        F: Fn(&mut Trajectory<'_>, &mut StdRng) -> f64 + Sync,
+    {
+        let threads = options.threads.max(1);
+        let replications = options.replications;
+        if replications == 0 {
+            return Ok(Estimate::from_samples(&[]));
+        }
+
+        // Validate the disaster once up front so worker threads cannot fail.
+        if let Some(d) = disaster {
+            Trajectory::new(self.model)?.reset_to_disaster(d)?;
+        }
+
+        let run_range = |range: std::ops::Range<usize>| -> Result<Vec<f64>, ArcadeError> {
+            let mut samples = Vec::with_capacity(range.len());
+            let mut trajectory = Trajectory::new(self.model)?;
+            for replication in range {
+                let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(replication as u64));
+                match disaster {
+                    Some(d) => trajectory.reset_to_disaster(d)?,
+                    None => trajectory.reset(),
+                }
+                samples.push(body(&mut trajectory, &mut rng));
+            }
+            Ok(samples)
+        };
+
+        if threads == 1 {
+            let samples = run_range(0..replications)?;
+            return Ok(Estimate::from_samples(&samples));
+        }
+
+        let chunk = replications.div_ceil(threads);
+        let results = parking_lot::Mutex::new(Vec::with_capacity(replications));
+        let first_error = parking_lot::Mutex::new(None::<ArcadeError>);
+        crossbeam::scope(|scope| {
+            for worker in 0..threads {
+                let start = worker * chunk;
+                let end = ((worker + 1) * chunk).min(replications);
+                if start >= end {
+                    continue;
+                }
+                let results = &results;
+                let first_error = &first_error;
+                let run_range = &run_range;
+                scope.spawn(move |_| match run_range(start..end) {
+                    Ok(samples) => results.lock().extend(samples),
+                    Err(err) => {
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(err);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        if let Some(err) = first_error.into_inner() {
+            return Err(err);
+        }
+        let samples = results.into_inner();
+        Ok(Estimate::from_samples(&samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcade_core::{BasicComponent, RepairStrategy, RepairUnit};
+    use fault_tree::{StructureNode, SystemStructure};
+
+    fn pump_model() -> ArcadeModel {
+        let structure = SystemStructure::new(StructureNode::component("pump"));
+        ArcadeModel::builder("pump", structure)
+            .component(
+                BasicComponent::from_mttf_mttr("pump", 100.0, 1.0).unwrap().with_failed_cost(3.0),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["pump"])
+                    .with_idle_cost(1.0),
+            )
+            .disaster(Disaster::new("down", ["pump"]).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn options(replications: usize) -> SimulationOptions {
+        SimulationOptions { replications, seed: 42, threads: 2 }
+    }
+
+    #[test]
+    fn reliability_matches_exponential_lifetime() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let estimate = simulator.reliability(50.0, &options(4000)).unwrap();
+        let expected = (-50.0f64 / 100.0).exp();
+        assert!(
+            estimate.contains_with_slack(expected, 0.02),
+            "estimate {estimate:?} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn point_availability_approaches_steady_state() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let estimate = simulator.point_availability(500.0, &options(4000)).unwrap();
+        let expected = 100.0 / 101.0;
+        assert!(estimate.contains_with_slack(expected, 0.02), "{estimate:?}");
+    }
+
+    #[test]
+    fn long_run_availability_time_average() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let estimate = simulator.steady_state_availability(2000.0, &options(300)).unwrap();
+        let expected = 100.0 / 101.0;
+        assert!(estimate.contains_with_slack(expected, 0.01), "{estimate:?}");
+    }
+
+    #[test]
+    fn survivability_is_the_repair_cdf() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let disaster = model.disaster("down").unwrap();
+        let estimate = simulator.survivability(disaster, 1.0, 2.0, &options(4000)).unwrap();
+        let expected = 1.0 - (-2.0f64).exp();
+        assert!(estimate.contains_with_slack(expected, 0.03), "{estimate:?}");
+        // Service level 0 is reached immediately.
+        let trivially = simulator.survivability(disaster, 0.0, 0.0, &options(100)).unwrap();
+        assert_eq!(trivially.mean, 1.0);
+    }
+
+    #[test]
+    fn costs_after_disaster() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let disaster = model.disaster("down").unwrap();
+        let instant = simulator.instantaneous_cost(Some(disaster), 0.0, &options(100)).unwrap();
+        assert_eq!(instant.mean, 3.0);
+        let accumulated = simulator.accumulated_cost(Some(disaster), 1.0, &options(2000)).unwrap();
+        assert!(accumulated.mean > 1.0 && accumulated.mean < 3.0, "{accumulated:?}");
+    }
+
+    #[test]
+    fn zero_replications_yield_empty_estimate() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let estimate = simulator.reliability(10.0, &options(0)).unwrap();
+        assert_eq!(estimate.replications, 0);
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_agree() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let serial = SimulationOptions { replications: 500, seed: 7, threads: 1 };
+        let parallel = SimulationOptions { replications: 500, seed: 7, threads: 4 };
+        let a = simulator.reliability(30.0, &serial).unwrap();
+        let b = simulator.reliability(30.0, &parallel).unwrap();
+        // Same seeds per replication index, so the samples are identical.
+        assert!((a.mean - b.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_disaster_is_rejected() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let rogue = Disaster::new("rogue", ["ghost"]).unwrap();
+        assert!(simulator.survivability(&rogue, 1.0, 1.0, &options(10)).is_err());
+    }
+}

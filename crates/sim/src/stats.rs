@@ -1,0 +1,82 @@
+//! Point estimates with confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// A Monte-Carlo estimate: sample mean, 95% confidence half-width and sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (normal approximation).
+    pub half_width: f64,
+    /// Number of replications the estimate is based on.
+    pub replications: usize,
+}
+
+impl Estimate {
+    /// Builds an estimate from raw samples.
+    ///
+    /// An empty sample yields a zero estimate with zero replications.
+    pub fn from_samples(samples: &[f64]) -> Estimate {
+        let n = samples.len();
+        if n == 0 {
+            return Estimate { mean: 0.0, half_width: 0.0, replications: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Estimate { mean, half_width: f64::INFINITY, replications: 1 };
+        }
+        let variance =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let std_error = (variance / n as f64).sqrt();
+        Estimate { mean, half_width: 1.96 * std_error, replications: n }
+    }
+
+    /// Whether a reference value lies inside the confidence interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.mean - value).abs() <= self.half_width
+    }
+
+    /// Whether a reference value lies within the confidence interval widened by
+    /// `slack` (useful for very tight intervals around discrete estimators).
+    pub fn contains_with_slack(&self, value: f64, slack: f64) -> bool {
+        (self.mean - value).abs() <= self.half_width + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_samples() {
+        let e = Estimate::from_samples(&[]);
+        assert_eq!(e.replications, 0);
+        assert_eq!(e.mean, 0.0);
+        let e = Estimate::from_samples(&[4.0]);
+        assert_eq!(e.mean, 4.0);
+        assert!(e.half_width.is_infinite());
+    }
+
+    #[test]
+    fn mean_and_interval_of_known_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = Estimate::from_samples(&samples);
+        assert!((e.mean - 50.5).abs() < 1e-12);
+        assert_eq!(e.replications, 100);
+        // Standard deviation of 1..=100 is about 29.0; the 95% half width is
+        // therefore about 1.96 * 29.0 / 10 = 5.7.
+        assert!((e.half_width - 5.69).abs() < 0.1);
+        assert!(e.contains(50.0));
+        assert!(!e.contains(70.0));
+        assert!(e.contains_with_slack(56.5, 1.0));
+    }
+
+    #[test]
+    fn constant_samples_have_zero_width() {
+        let e = Estimate::from_samples(&[2.0; 50]);
+        assert_eq!(e.mean, 2.0);
+        assert_eq!(e.half_width, 0.0);
+        assert!(e.contains(2.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Command-line runner for the paper's experiments.
+//!
+//! ```text
+//! wt-experiments all          # run every table and figure
+//! wt-experiments table1       # state-space sizes
+//! wt-experiments table2       # steady-state availability
+//! wt-experiments fig3         # reliability over time
+//! wt-experiments fig4 fig5    # survivability Line 1, Disaster 1
+//! wt-experiments fig6 fig7    # costs Line 1, Disaster 1
+//! wt-experiments fig8 fig9    # survivability Line 2, Disaster 2
+//! wt-experiments fig10 fig11  # costs Line 2, Disaster 2
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use watertreatment::experiments::{self, grids};
+
+fn main() -> ExitCode {
+    let requested: BTreeSet<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    if requested.is_empty() {
+        eprintln!("usage: wt-experiments [all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...");
+        return ExitCode::from(2);
+    }
+    let all = requested.contains("all");
+    let wants = |name: &str| all || requested.contains(name);
+
+    if let Err(err) = run(wants) {
+        eprintln!("experiment failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
+    if wants("table1") {
+        println!("== Table 1: state-space sizes ==");
+        println!("{}", experiments::format_table1(&experiments::table1()?));
+        println!("-- paper reference --");
+        println!("{}", experiments::format_table1(&experiments::table1_paper_reference()));
+    }
+    if wants("table2") {
+        println!("== Table 2: steady-state availability ==");
+        println!("{}", experiments::format_table2(&experiments::table2()?));
+        println!("-- paper reference --");
+        println!("{}", experiments::format_table2(&experiments::table2_paper_reference()));
+    }
+    if wants("fig3") {
+        let fig = experiments::fig3_reliability(&grids::fig3())?;
+        println!("{}", experiments::format_figure(&fig));
+    }
+    if wants("fig4") || wants("fig5") {
+        let (fig4, fig5) = experiments::fig4_5_survivability_line1(&grids::fig4_to_6())?;
+        if wants("fig4") {
+            println!("{}", experiments::format_figure(&fig4));
+        }
+        if wants("fig5") {
+            println!("{}", experiments::format_figure(&fig5));
+        }
+    }
+    if wants("fig6") || wants("fig7") {
+        let (fig6, fig7) = experiments::fig6_7_cost_line1(&grids::fig4_to_6(), &grids::fig7())?;
+        if wants("fig6") {
+            println!("{}", experiments::format_figure(&fig6));
+        }
+        if wants("fig7") {
+            println!("{}", experiments::format_figure(&fig7));
+        }
+    }
+    if wants("fig8") || wants("fig9") {
+        let (fig8, fig9) = experiments::fig8_9_survivability_line2(&grids::fig8_9())?;
+        if wants("fig8") {
+            println!("{}", experiments::format_figure(&fig8));
+        }
+        if wants("fig9") {
+            println!("{}", experiments::format_figure(&fig9));
+        }
+    }
+    if wants("fig10") || wants("fig11") {
+        let (fig10, fig11) = experiments::fig10_11_cost_line2(&grids::fig10_11())?;
+        if wants("fig10") {
+            println!("{}", experiments::format_figure(&fig10));
+        }
+        if wants("fig11") {
+            println!("{}", experiments::format_figure(&fig11));
+        }
+    }
+    Ok(())
+}

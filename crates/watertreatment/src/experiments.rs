@@ -1,0 +1,535 @@
+//! Experiment runners regenerating every table and figure of the paper.
+//!
+//! Each function reproduces one table or one pair of figures from the
+//! evaluation section of the DSN 2010 paper. The functions return structured
+//! data (rows or named series) so that the benchmark harness, the
+//! `wt-experiments` binary and the integration tests can all share them; the
+//! [`format_table1`]-style helpers render the same data as plain-text tables
+//! comparable to the paper.
+
+use arcade_core::{Analysis, ArcadeError, CompiledModel, ComposerOptions, Series};
+use serde::{Deserialize, Serialize};
+
+use crate::facility::{self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED};
+use crate::strategies;
+
+/// One row of Table 1 (state-space sizes per repair strategy and line).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The process line.
+    pub line: Line,
+    /// Strategy label (`DED`, `FRF-1`, ...).
+    pub strategy: String,
+    /// Number of reachable states.
+    pub states: usize,
+    /// Number of transitions.
+    pub transitions: usize,
+}
+
+/// One row of Table 2 (steady-state availability per repair strategy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Strategy label (`DED`, `FRF-1`, ...).
+    pub strategy: String,
+    /// Availability of Line 1.
+    pub line1: f64,
+    /// Availability of Line 2.
+    pub line2: f64,
+    /// Availability of the overall facility (`A1 + A2 - A1*A2`).
+    pub combined: f64,
+}
+
+/// A reproduced figure: a set of named `(time, value)` series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper (`fig3`, `fig4`, ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, one per repair strategy (or per line for Fig. 3).
+    pub series: Vec<Series>,
+}
+
+/// The service level thresholds of the paper's service intervals.
+pub mod service_levels {
+    /// Line 1, interval X1 = [1/3, 2/3).
+    pub const LINE1_X1: f64 = 1.0 / 3.0;
+    /// Line 1, interval X2 = [2/3, 1).
+    pub const LINE1_X2: f64 = 2.0 / 3.0;
+    /// Line 1, interval X3 = [1, 1].
+    pub const LINE1_X3: f64 = 1.0;
+    /// Line 2, interval X1 = [1/3, 1/2).
+    pub const LINE2_X1: f64 = 1.0 / 3.0;
+    /// Line 2, interval X2 = [1/2, 2/3).
+    pub const LINE2_X2: f64 = 0.5;
+    /// Line 2, interval X3 = [2/3, 1).
+    pub const LINE2_X3: f64 = 2.0 / 3.0;
+    /// Line 2, interval X4 = [1, 1].
+    pub const LINE2_X4: f64 = 1.0;
+}
+
+/// Default time grids matching the x-ranges of the paper's figures.
+pub mod grids {
+    /// Fig. 3: reliability over `[0, 1000]` hours.
+    pub fn fig3() -> Vec<f64> {
+        step_grid(0.0, 1000.0, 25.0)
+    }
+
+    /// Figs. 4–6: survivability / instantaneous cost over `[0, 4.5]` hours.
+    pub fn fig4_to_6() -> Vec<f64> {
+        step_grid(0.0, 4.5, 0.15)
+    }
+
+    /// Fig. 7: accumulated cost over `[0, 10]` hours.
+    pub fn fig7() -> Vec<f64> {
+        step_grid(0.0, 10.0, 0.25)
+    }
+
+    /// Figs. 8–9: survivability over `[0, 100]` hours.
+    pub fn fig8_9() -> Vec<f64> {
+        step_grid(0.0, 100.0, 2.5)
+    }
+
+    /// Figs. 10–11: costs over `[0, 50]` hours.
+    pub fn fig10_11() -> Vec<f64> {
+        step_grid(0.0, 50.0, 1.25)
+    }
+
+    /// An inclusive arithmetic grid `start, start+step, ..., end`.
+    pub fn step_grid(start: f64, end: f64, step: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end + 1e-9 {
+            out.push(t.min(end));
+            t += step;
+        }
+        out
+    }
+}
+
+fn compiled_analysis<'m>(
+    model: &'m arcade_core::ArcadeModel,
+) -> Result<Analysis<'m>, ArcadeError> {
+    let compiled = CompiledModel::compile_with(model, ComposerOptions::default())?;
+    Ok(Analysis::from_compiled(model, compiled))
+}
+
+/// Reproduces **Table 1**: state-space sizes for every strategy and both lines.
+///
+/// The absolute numbers depend on the queue encoding (ours canonicalises the
+/// order of waiting components with different priorities, the paper's PRISM
+/// translation does not), but the qualitative claims of the paper hold: the
+/// dedicated strategy yields exactly `2^n` states, FRF and FFF blow the state
+/// space up, their state counts coincide and do not depend on the crew count,
+/// while transition counts grow with the crew count.
+///
+/// # Errors
+///
+/// Propagates composition errors.
+pub fn table1() -> Result<Vec<Table1Row>, ArcadeError> {
+    let mut rows = Vec::new();
+    for line in Line::both() {
+        for spec in strategies::paper_strategies() {
+            let model = facility::line_model(line, &spec)?;
+            let compiled = CompiledModel::compile(&model)?;
+            let stats = compiled.stats();
+            rows.push(Table1Row {
+                line,
+                strategy: spec.label.clone(),
+                states: stats.num_states,
+                transitions: stats.num_transitions,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The numbers reported in the paper's Table 1, for comparison in
+/// `EXPERIMENTS.md`.
+pub fn table1_paper_reference() -> Vec<Table1Row> {
+    let data = [
+        (Line::Line1, "DED", 2048, 22528),
+        (Line::Line1, "FRF-1", 111_809, 388_478),
+        (Line::Line1, "FRF-2", 111_809, 500_275),
+        (Line::Line1, "FFF-1", 111_809, 367_106),
+        (Line::Line1, "FFF-2", 111_809, 478_903),
+        (Line::Line2, "DED", 512, 4606),
+        (Line::Line2, "FRF-1", 8129, 25_838),
+        (Line::Line2, "FRF-2", 8129, 33_957),
+        (Line::Line2, "FFF-1", 8129, 23_354),
+        (Line::Line2, "FFF-2", 8129, 31_473),
+    ];
+    data.iter()
+        .map(|&(line, strategy, states, transitions)| Table1Row {
+            line,
+            strategy: strategy.to_string(),
+            states,
+            transitions,
+        })
+        .collect()
+}
+
+/// Reproduces **Table 2**: steady-state availability per repair strategy for
+/// both lines and the combined facility.
+///
+/// # Errors
+///
+/// Propagates composition and steady-state solver errors.
+pub fn table2() -> Result<Vec<Table2Row>, ArcadeError> {
+    let mut rows = Vec::new();
+    for spec in strategies::paper_strategies() {
+        let mut availability = [0.0; 2];
+        for (i, line) in Line::both().into_iter().enumerate() {
+            let model = facility::line_model(line, &spec)?;
+            let analysis = compiled_analysis(&model)?;
+            availability[i] = analysis.steady_state_availability()?;
+        }
+        rows.push(Table2Row {
+            strategy: spec.label.clone(),
+            line1: availability[0],
+            line2: availability[1],
+            combined: crate::combined_availability(availability[0], availability[1]),
+        });
+    }
+    Ok(rows)
+}
+
+/// The numbers reported in the paper's Table 2.
+pub fn table2_paper_reference() -> Vec<Table2Row> {
+    let data = [
+        ("DED", 0.7442018, 0.8186317, 0.9536063),
+        ("FRF-1", 0.7225597, 0.8101931, 0.9473399),
+        ("FRF-2", 0.7439214, 0.8186312, 0.9535554),
+        ("FFF-1", 0.7273540, 0.8120302, 0.9487508),
+        ("FFF-2", 0.7440022, 0.8186662, 0.9535790),
+    ];
+    data.iter()
+        .map(|&(strategy, line1, line2, combined)| Table2Row {
+            strategy: strategy.to_string(),
+            line1,
+            line2,
+            combined,
+        })
+        .collect()
+}
+
+/// Reproduces **Fig. 3**: reliability of both lines over the mission time.
+///
+/// Reliability ignores repairs, so the dedicated model (smallest state space)
+/// is used for both lines.
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
+    let mut series = Vec::new();
+    for line in Line::both() {
+        let model = facility::line_model(line, &strategies::dedicated())?;
+        let analysis = compiled_analysis(&model)?;
+        let points = analysis.reliability_curve(times)?;
+        series.push(Series {
+            label: format!("Reliability {}", if line == Line::Line1 { "line 1" } else { "line 2" }),
+            points,
+        });
+    }
+    Ok(Figure {
+        id: "fig3".to_string(),
+        title: "Reliability over time".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series,
+    })
+}
+
+/// Reproduces **Figs. 4 and 5**: survivability of Line 1 after Disaster 1
+/// (all pumps failed), for recovery to service intervals X1 and X2.
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig4_5_survivability_line1(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
+    let mut x1_series = Vec::new();
+    let mut x2_series = Vec::new();
+    for spec in strategies::disaster1_strategies() {
+        let model = facility::line_model(Line::Line1, &spec)?;
+        let analysis = compiled_analysis(&model)?;
+        let disaster = model.disaster(DISASTER_ALL_PUMPS).expect("disaster 1 is always defined");
+        x1_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.survivability_curve(disaster, service_levels::LINE1_X1, times)?,
+        });
+        x2_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.survivability_curve(disaster, service_levels::LINE1_X2, times)?,
+        });
+    }
+    let fig4 = Figure {
+        id: "fig4".to_string(),
+        title: "Survivability Line 1, Disaster 1, X1".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: x1_series,
+    };
+    let fig5 = Figure {
+        id: "fig5".to_string(),
+        title: "Survivability Line 1, Disaster 1, X2".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: x2_series,
+    };
+    Ok((fig4, fig5))
+}
+
+/// Reproduces **Figs. 6 and 7**: instantaneous and accumulated repair cost of
+/// Line 1 after Disaster 1.
+///
+/// # Errors
+///
+/// Propagates composition and reward solver errors.
+pub fn fig6_7_cost_line1(
+    instantaneous_times: &[f64],
+    accumulated_times: &[f64],
+) -> Result<(Figure, Figure), ArcadeError> {
+    let mut inst_series = Vec::new();
+    let mut acc_series = Vec::new();
+    for spec in strategies::disaster1_strategies() {
+        let model = facility::line_model(Line::Line1, &spec)?;
+        let analysis = compiled_analysis(&model)?;
+        let disaster = model.disaster(DISASTER_ALL_PUMPS).expect("disaster 1 is always defined");
+        inst_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.instantaneous_cost_curve(Some(disaster), instantaneous_times)?,
+        });
+        acc_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.accumulated_cost_curve(Some(disaster), accumulated_times)?,
+        });
+    }
+    let fig6 = Figure {
+        id: "fig6".to_string(),
+        title: "Instantaneous cost Line 1, Disaster 1".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Impuls Costs (I)".to_string(),
+        series: inst_series,
+    };
+    let fig7 = Figure {
+        id: "fig7".to_string(),
+        title: "Accumulated cost Line 1, Disaster 1".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Cumulative costs (I)".to_string(),
+        series: acc_series,
+    };
+    Ok((fig6, fig7))
+}
+
+/// Reproduces **Figs. 8 and 9**: survivability of Line 2 after Disaster 2
+/// (two pumps, one softener, one sand filter and the reservoir failed), for
+/// recovery to service intervals X1 and X3.
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig8_9_survivability_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
+    let mut x1_series = Vec::new();
+    let mut x3_series = Vec::new();
+    for spec in strategies::paper_strategies() {
+        let model = facility::line_model(Line::Line2, &spec)?;
+        let analysis = compiled_analysis(&model)?;
+        let disaster = model.disaster(DISASTER_LINE2_MIXED).expect("disaster 2 is defined for line 2");
+        x1_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.survivability_curve(disaster, service_levels::LINE2_X1, times)?,
+        });
+        x3_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.survivability_curve(disaster, service_levels::LINE2_X3, times)?,
+        });
+    }
+    let fig8 = Figure {
+        id: "fig8".to_string(),
+        title: "Survivability Line 2, Disaster 2, X1".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: x1_series,
+    };
+    let fig9 = Figure {
+        id: "fig9".to_string(),
+        title: "Survivability Line 2, Disaster 2, X3".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: x3_series,
+    };
+    Ok((fig8, fig9))
+}
+
+/// Reproduces **Figs. 10 and 11**: instantaneous and accumulated repair cost of
+/// Line 2 after Disaster 2 (the paper plots the four queueing strategies; the
+/// dedicated strategy is included here as the reference it is described as).
+///
+/// # Errors
+///
+/// Propagates composition and reward solver errors.
+pub fn fig10_11_cost_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
+    let mut inst_series = Vec::new();
+    let mut acc_series = Vec::new();
+    for spec in [strategies::fff(1), strategies::fff(2), strategies::frf(1), strategies::frf(2)] {
+        let model = facility::line_model(Line::Line2, &spec)?;
+        let analysis = compiled_analysis(&model)?;
+        let disaster = model.disaster(DISASTER_LINE2_MIXED).expect("disaster 2 is defined for line 2");
+        inst_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.instantaneous_cost_curve(Some(disaster), times)?,
+        });
+        acc_series.push(Series {
+            label: spec.label.clone(),
+            points: analysis.accumulated_cost_curve(Some(disaster), times)?,
+        });
+    }
+    let fig10 = Figure {
+        id: "fig10".to_string(),
+        title: "Instantaneous cost Line 2, Disaster 2".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Impuls costs (I)".to_string(),
+        series: inst_series,
+    };
+    let fig11 = Figure {
+        id: "fig11".to_string(),
+        title: "Accumulated cost Line 2, Disaster 2".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Cumulative costs (I)".to_string(),
+        series: acc_series,
+    };
+    Ok((fig10, fig11))
+}
+
+/// Renders Table 1 rows as a plain-text table.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from("Line    Strategy  States      Transitions\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<7} {:<9} {:<11} {}\n",
+            row.line.id(),
+            row.strategy,
+            row.states,
+            row.transitions
+        ));
+    }
+    out
+}
+
+/// Renders Table 2 rows as a plain-text table.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from("Strategy  Line 1      Line 2      Combined\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<9} {:<11.7} {:<11.7} {:.7}\n",
+            row.strategy, row.line1, row.line2, row.combined
+        ));
+    }
+    out
+}
+
+/// Renders a figure as a plain-text data table (one column per series), the
+/// same numbers the paper plots.
+pub fn format_figure(figure: &Figure) -> String {
+    let mut out = format!("# {} — {}\n", figure.id, figure.title);
+    out.push_str(&format!("# x: {}, y: {}\n", figure.x_label, figure.y_label));
+    out.push_str("t");
+    for series in &figure.series {
+        out.push_str(&format!("\t{}", series.label));
+    }
+    out.push('\n');
+    if let Some(first) = figure.series.first() {
+        for (i, (t, _)) in first.points.iter().enumerate() {
+            out.push_str(&format!("{t:.3}"));
+            for series in &figure.series {
+                out.push_str(&format!("\t{:.6}", series.points[i].1));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_the_paper_ranges() {
+        let g = grids::fig3();
+        assert_eq!(g.first().copied(), Some(0.0));
+        assert!((g.last().copied().unwrap() - 1000.0).abs() < 1e-9);
+        let g = grids::fig4_to_6();
+        assert!((g.last().copied().unwrap() - 4.5).abs() < 1e-9);
+        let g = grids::fig7();
+        assert!((g.last().copied().unwrap() - 10.0).abs() < 1e-9);
+        let g = grids::fig8_9();
+        assert!((g.last().copied().unwrap() - 100.0).abs() < 1e-9);
+        let g = grids::fig10_11();
+        assert!((g.last().copied().unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(grids::step_grid(0.0, 1.0, 0.5), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn paper_reference_tables_are_complete() {
+        assert_eq!(table1_paper_reference().len(), 10);
+        assert_eq!(table2_paper_reference().len(), 5);
+        let ded = &table2_paper_reference()[0];
+        assert_eq!(ded.strategy, "DED");
+        assert!((ded.combined - 0.9536063).abs() < 1e-7);
+    }
+
+    #[test]
+    fn formatting_contains_all_rows_and_series() {
+        let rows = table1_paper_reference();
+        let text = format_table1(&rows);
+        assert!(text.contains("FRF-2"));
+        assert!(text.contains("111809"));
+        let rows = table2_paper_reference();
+        let text = format_table2(&rows);
+        assert!(text.contains("0.7442018"));
+        let figure = Figure {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "t".into(),
+            y_label: "p".into(),
+            series: vec![Series { label: "DED".into(), points: vec![(0.0, 1.0), (1.0, 0.5)] }],
+        };
+        let text = format_figure(&figure);
+        assert!(text.contains("figX"));
+        assert!(text.contains("DED"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fig3_reliability_series_shapes() {
+        let fig = fig3_reliability(&[0.0, 100.0, 200.0]).unwrap();
+        assert_eq!(fig.series.len(), 2);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 3);
+            assert!((series.points[0].1 - 1.0).abs() < 1e-9);
+            // Reliability decreases with time.
+            assert!(series.points[2].1 < series.points[1].1);
+        }
+        // Line 2 is more reliable than Line 1 (the paper's observation).
+        let line1_at_200 = fig.series[0].points[2].1;
+        let line2_at_200 = fig.series[1].points[2].1;
+        assert!(line2_at_200 > line1_at_200);
+    }
+
+    #[test]
+    fn table2_availability_close_to_paper_for_dedicated() {
+        // Only the dedicated strategy is checked here to keep the unit-test suite
+        // fast; the full table is covered by the integration tests.
+        let spec = strategies::dedicated();
+        let model = facility::line_model(Line::Line2, &spec).unwrap();
+        let analysis = compiled_analysis(&model).unwrap();
+        let availability = analysis.steady_state_availability().unwrap();
+        assert!((availability - 0.8186317).abs() < 1e-4, "got {availability}");
+    }
+}

@@ -1,0 +1,260 @@
+//! The water-treatment facility model (Fig. 2 of the paper).
+
+use arcade_core::{ArcadeModel, BasicComponent, Disaster, RepairUnit};
+use fault_tree::{StructureNode, SystemStructure};
+use serde::{Deserialize, Serialize};
+
+use crate::strategies::StrategySpec;
+
+/// Mean time to failure of a pump, in hours.
+pub const PUMP_MTTF: f64 = 500.0;
+/// Mean time to repair of a pump, in hours.
+pub const PUMP_MTTR: f64 = 1.0;
+/// Mean time to failure of a sand filter, in hours.
+pub const SAND_FILTER_MTTF: f64 = 1000.0;
+/// Mean time to repair of a sand filter, in hours.
+pub const SAND_FILTER_MTTR: f64 = 100.0;
+/// Mean time to failure of a softening tank, in hours.
+pub const SOFTENER_MTTF: f64 = 2000.0;
+/// Mean time to repair of a softening tank, in hours.
+pub const SOFTENER_MTTR: f64 = 5.0;
+/// Mean time to failure of the reservoir, in hours.
+pub const RESERVOIR_MTTF: f64 = 6000.0;
+/// Mean time to repair of the reservoir, in hours.
+pub const RESERVOIR_MTTR: f64 = 12.0;
+
+/// Cost per hour of a failed basic component (§5 of the paper).
+pub const FAILED_COMPONENT_COST: f64 = 3.0;
+/// Cost per hour of an idle repair crew (§5 of the paper).
+pub const IDLE_CREW_COST: f64 = 1.0;
+
+/// Name of the "all pumps failed" disaster (Disaster 1 of the paper).
+pub const DISASTER_ALL_PUMPS: &str = "disaster-1-all-pumps";
+/// Name of the Line 2 multi-component disaster (Disaster 2 of the paper):
+/// two pumps, one softener, one sand filter and the reservoir have failed.
+pub const DISASTER_LINE2_MIXED: &str = "disaster-2-mixed";
+
+/// One of the two independent process lines of the facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Line {
+    /// Line 1: 3 softeners, 3 sand filters, 1 reservoir, 4 pumps (3 required).
+    Line1,
+    /// Line 2: 3 softeners, 2 sand filters, 1 reservoir, 3 pumps (2 required).
+    Line2,
+}
+
+impl Line {
+    /// Number of softening tanks in this line.
+    pub fn softeners(self) -> usize {
+        3
+    }
+
+    /// Number of sand filters in this line.
+    pub fn sand_filters(self) -> usize {
+        match self {
+            Line::Line1 => 3,
+            Line::Line2 => 2,
+        }
+    }
+
+    /// Number of pumps in this line (including the spare).
+    pub fn pumps(self) -> usize {
+        match self {
+            Line::Line1 => 4,
+            Line::Line2 => 3,
+        }
+    }
+
+    /// Number of pumps required for full service.
+    pub fn pumps_required(self) -> usize {
+        self.pumps() - 1
+    }
+
+    /// Total number of components of this line.
+    pub fn num_components(self) -> usize {
+        self.softeners() + self.sand_filters() + 1 + self.pumps()
+    }
+
+    /// A short identifier (`line1` / `line2`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Line::Line1 => "line1",
+            Line::Line2 => "line2",
+        }
+    }
+
+    /// Both lines, in the order used by the paper's tables.
+    pub fn both() -> [Line; 2] {
+        [Line::Line1, Line::Line2]
+    }
+}
+
+/// Component names of a line, grouped by phase:
+/// `(softeners, sand filters, reservoir, pumps)`.
+pub fn component_names(line: Line) -> (Vec<String>, Vec<String>, String, Vec<String>) {
+    let softeners = (1..=line.softeners()).map(|i| format!("st{i}")).collect();
+    let sand_filters = (1..=line.sand_filters()).map(|i| format!("sf{i}")).collect();
+    let reservoir = "res".to_string();
+    let pumps = (1..=line.pumps()).map(|i| format!("p{i}")).collect();
+    (softeners, sand_filters, reservoir, pumps)
+}
+
+/// The reliability block structure of a process line: the four phases in
+/// series, with redundant softeners and sand filters and a pump group carrying
+/// one spare.
+pub fn line_structure(line: Line) -> SystemStructure {
+    let (softeners, sand_filters, reservoir, pumps) = component_names(line);
+    SystemStructure::new(StructureNode::series(vec![
+        StructureNode::redundant(softeners.into_iter().map(StructureNode::component).collect()),
+        StructureNode::redundant(sand_filters.into_iter().map(StructureNode::component).collect()),
+        StructureNode::component(reservoir),
+        StructureNode::required_of(
+            line.pumps_required(),
+            pumps.into_iter().map(StructureNode::component).collect(),
+        ),
+    ]))
+}
+
+/// Builds the Arcade model of one process line under the given repair strategy.
+///
+/// Each line has a single repair unit responsible for all of its components
+/// (with one or more crews depending on the strategy specification), the cost
+/// model of §5 and the two disasters used in the survivability analysis.
+///
+/// # Errors
+///
+/// Propagates validation errors from the model builder (none are expected for
+/// the fixed facility description).
+pub fn line_model(line: Line, spec: &StrategySpec) -> Result<ArcadeModel, arcade_core::ArcadeError> {
+    let (softeners, sand_filters, reservoir, pumps) = component_names(line);
+
+    let mut builder = ArcadeModel::builder(format!("water-treatment-{}", line.id()), line_structure(line));
+
+    for name in &softeners {
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, SOFTENER_MTTF, SOFTENER_MTTR)?
+                .with_failed_cost(FAILED_COMPONENT_COST),
+        );
+    }
+    for name in &sand_filters {
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, SAND_FILTER_MTTF, SAND_FILTER_MTTR)?
+                .with_failed_cost(FAILED_COMPONENT_COST),
+        );
+    }
+    builder = builder.component(
+        BasicComponent::from_mttf_mttr(&reservoir, RESERVOIR_MTTF, RESERVOIR_MTTR)?
+            .with_failed_cost(FAILED_COMPONENT_COST),
+    );
+    for name in &pumps {
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, PUMP_MTTF, PUMP_MTTR)?
+                .with_failed_cost(FAILED_COMPONENT_COST),
+        );
+    }
+
+    let all_names: Vec<String> = softeners
+        .iter()
+        .chain(sand_filters.iter())
+        .chain(std::iter::once(&reservoir))
+        .chain(pumps.iter())
+        .cloned()
+        .collect();
+    let mut repair_unit = RepairUnit::new(format!("{}-ru", line.id()), spec.strategy.clone(), spec.crews)?
+        .responsible_for(all_names)
+        .with_idle_cost(IDLE_CREW_COST);
+    if spec.preemptive {
+        repair_unit = repair_unit.with_preemption();
+    }
+    builder = builder.repair_unit(repair_unit);
+
+    // Disaster 1: every pump of the line has failed.
+    builder = builder.disaster(Disaster::new(DISASTER_ALL_PUMPS, pumps.clone())?);
+    // Disaster 2 (defined for Line 2 in the paper): two pumps, one softener,
+    // one sand filter and the reservoir have failed.
+    if line == Line::Line2 {
+        builder = builder.disaster(Disaster::new(
+            DISASTER_LINE2_MIXED,
+            vec![
+                pumps[0].clone(),
+                pumps[1].clone(),
+                softeners[0].clone(),
+                sand_filters[0].clone(),
+                reservoir.clone(),
+            ],
+        )?);
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies;
+
+    #[test]
+    fn line_shapes_match_the_paper() {
+        assert_eq!(Line::Line1.num_components(), 11);
+        assert_eq!(Line::Line2.num_components(), 9);
+        assert_eq!(Line::Line1.pumps_required(), 3);
+        assert_eq!(Line::Line2.pumps_required(), 2);
+        assert_eq!(Line::Line1.sand_filters(), 3);
+        assert_eq!(Line::Line2.sand_filters(), 2);
+        assert_eq!(Line::both().len(), 2);
+        assert_eq!(Line::Line1.id(), "line1");
+    }
+
+    #[test]
+    fn models_validate_for_all_paper_strategies() {
+        for line in Line::both() {
+            for spec in strategies::paper_strategies() {
+                let model = line_model(line, &spec).unwrap();
+                assert_eq!(model.components().len(), line.num_components());
+                assert_eq!(model.repair_units().len(), 1);
+                assert_eq!(model.repair_units()[0].crews(), spec.crews);
+            }
+        }
+    }
+
+    #[test]
+    fn component_rates_follow_fig2() {
+        let model = line_model(Line::Line1, &strategies::dedicated()).unwrap();
+        let pump = model.component("p1").unwrap();
+        assert!((pump.mttf() - 500.0).abs() < 1e-9);
+        assert!((pump.mttr() - 1.0).abs() < 1e-9);
+        let sf = model.component("sf1").unwrap();
+        assert!((sf.mttf() - 1000.0).abs() < 1e-9);
+        assert!((sf.mttr() - 100.0).abs() < 1e-9);
+        let st = model.component("st1").unwrap();
+        assert!((st.mttf() - 2000.0).abs() < 1e-9);
+        let res = model.component("res").unwrap();
+        assert!((res.mttf() - 6000.0).abs() < 1e-9);
+        assert!((res.mttr() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disasters_are_defined() {
+        let line1 = line_model(Line::Line1, &strategies::frf(1)).unwrap();
+        let d1 = line1.disaster(DISASTER_ALL_PUMPS).unwrap();
+        assert_eq!(d1.failed_components().len(), 4);
+        assert!(line1.disaster(DISASTER_LINE2_MIXED).is_none());
+
+        let line2 = line_model(Line::Line2, &strategies::frf(1)).unwrap();
+        let d1 = line2.disaster(DISASTER_ALL_PUMPS).unwrap();
+        assert_eq!(d1.failed_components().len(), 3);
+        let d2 = line2.disaster(DISASTER_LINE2_MIXED).unwrap();
+        assert_eq!(d2.failed_components().len(), 5);
+        assert!(d2.involves("res"));
+        assert!(d2.involves("st1"));
+        assert!(d2.involves("sf1"));
+    }
+
+    #[test]
+    fn service_intervals_match_the_paper() {
+        let line1 = line_structure(Line::Line1).service_tree();
+        assert_eq!(line1.service_intervals().len(), 3);
+        let line2 = line_structure(Line::Line2).service_tree();
+        assert_eq!(line2.service_intervals().len(), 4);
+    }
+}

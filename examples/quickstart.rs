@@ -1,0 +1,67 @@
+//! Quickstart: build a small repairable system, evaluate the paper's measures.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use arcade_core::{
+    Analysis, ArcadeModel, BasicComponent, Disaster, RepairStrategy, RepairUnit,
+};
+use fault_tree::{StructureNode, SystemStructure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature pumping station: two redundant pumps feeding one reservoir,
+    // maintained by a single repair crew that always repairs the fastest job first.
+    let structure = SystemStructure::new(StructureNode::series(vec![
+        StructureNode::redundant(vec![
+            StructureNode::component("pump-1"),
+            StructureNode::component("pump-2"),
+        ]),
+        StructureNode::component("reservoir"),
+    ]));
+
+    let model = ArcadeModel::builder("pumping-station", structure)
+        .component(BasicComponent::from_mttf_mttr("pump-1", 500.0, 1.0)?.with_failed_cost(3.0))
+        .component(BasicComponent::from_mttf_mttr("pump-2", 500.0, 1.0)?.with_failed_cost(3.0))
+        .component(BasicComponent::from_mttf_mttr("reservoir", 6000.0, 12.0)?.with_failed_cost(3.0))
+        .repair_unit(
+            RepairUnit::new("crew", RepairStrategy::FastestRepairFirst, 1)?
+                .responsible_for(["pump-1", "pump-2", "reservoir"])
+                .with_idle_cost(1.0),
+        )
+        .disaster(Disaster::new("both-pumps-down", ["pump-1", "pump-2"])?)
+        .build()?;
+
+    let analysis = Analysis::new(&model)?;
+
+    println!("== {} ==", model.name());
+    let stats = analysis.state_space_stats();
+    println!("state space: {} states, {} transitions", stats.num_states, stats.num_transitions);
+
+    // Availability: long-run probability of being fully operational.
+    println!("steady-state availability: {:.6}", analysis.steady_state_availability()?);
+
+    // Reliability: probability of an uninterrupted first year of full service.
+    for hours in [24.0, 24.0 * 30.0, 24.0 * 365.0] {
+        println!("reliability over {hours:>7.0} h: {:.6}", analysis.reliability(hours)?);
+    }
+
+    // Survivability: how quickly is half the pumping capacity restored after
+    // both pumps fail simultaneously?
+    let disaster = model.disaster("both-pumps-down").expect("declared above");
+    println!("attainable service levels: {:?}", analysis.attainable_service_levels());
+    for deadline in [0.5, 1.0, 2.0, 4.0] {
+        let p = analysis.survivability(disaster, 0.5, deadline)?;
+        println!("P(service >= 50% within {deadline:.1} h after the disaster) = {p:.4}");
+    }
+
+    // Costs: what does the recovery cost?
+    let accumulated = analysis.accumulated_cost_curve(Some(disaster), &[1.0, 5.0, 10.0])?;
+    for (t, cost) in accumulated {
+        println!("expected cost accumulated {t:>4.1} h after the disaster: {cost:.2}");
+    }
+
+    Ok(())
+}

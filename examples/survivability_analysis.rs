@@ -1,0 +1,59 @@
+//! Quantitative survivability analysis after a disaster (paper Figs. 8–11).
+//!
+//! Starting from Disaster 2 of the paper (two pumps, one softener, one sand
+//! filter and the reservoir of Line 2 have failed), this example prints the
+//! recovery curves towards each service interval and the costs incurred along
+//! the way, for two repair strategies.
+//!
+//! ```text
+//! cargo run --release --example survivability_analysis
+//! ```
+
+use arcade_core::Analysis;
+use watertreatment::experiments::service_levels;
+use watertreatment::{facility, strategies, Line};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deadlines = [1.0, 5.0, 10.0, 25.0, 50.0, 100.0];
+    let levels = [
+        ("X1 (>= 1/3 service)", service_levels::LINE2_X1),
+        ("X2 (>= 1/2 service)", service_levels::LINE2_X2),
+        ("X3 (>= 2/3 service)", service_levels::LINE2_X3),
+        ("X4 (full service)", service_levels::LINE2_X4),
+    ];
+
+    for spec in [strategies::fff(1), strategies::frf(2)] {
+        let model = facility::line_model(Line::Line2, &spec)?;
+        let analysis = Analysis::new(&model)?;
+        let disaster = model
+            .disaster(facility::DISASTER_LINE2_MIXED)
+            .expect("disaster 2 is defined for line 2");
+
+        println!("=== Strategy {} ===", spec.label);
+        println!("disaster: {:?}", disaster.failed_components());
+
+        for (label, level) in levels {
+            let curve = analysis.survivability_curve(disaster, level, &deadlines)?;
+            print!("{label:<22}");
+            for (t, p) in curve {
+                print!("  P(t<={t:>5.1}h)={p:.3}");
+            }
+            println!();
+        }
+
+        let inst = analysis.instantaneous_cost_curve(Some(disaster), &deadlines)?;
+        let acc = analysis.accumulated_cost_curve(Some(disaster), &deadlines)?;
+        print!("{:<22}", "instantaneous cost");
+        for (t, c) in inst {
+            print!("  I(t={t:>5.1}h)={c:<6.2}");
+        }
+        println!();
+        print!("{:<22}", "accumulated cost");
+        for (t, c) in acc {
+            print!("  C(t={t:>5.1}h)={c:<6.1}");
+        }
+        println!("\n");
+    }
+
+    Ok(())
+}

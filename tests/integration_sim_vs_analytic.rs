@@ -1,0 +1,91 @@
+//! Cross-validation: the Monte-Carlo simulator and the stochastic model checker
+//! are independent implementations of the Arcade semantics; their estimates of
+//! the paper's measures must agree within the simulation confidence intervals.
+
+use arcade_core::Analysis;
+use arcade_sim::{SimulationOptions, Simulator};
+use watertreatment::experiments::service_levels;
+use watertreatment::{facility, strategies, Line};
+
+fn options(replications: usize) -> SimulationOptions {
+    SimulationOptions { replications, seed: 2024, threads: 4 }
+}
+
+#[test]
+fn reliability_of_line2_agrees() {
+    let model = facility::line_model(Line::Line2, &strategies::dedicated()).unwrap();
+    let analysis = Analysis::new(&model).unwrap();
+    let simulator = Simulator::new(&model).unwrap();
+
+    for t in [50.0, 200.0] {
+        let exact = analysis.reliability(t).unwrap();
+        let estimate = simulator.reliability(t, &options(3000)).unwrap();
+        assert!(
+            estimate.contains_with_slack(exact, 0.02),
+            "t={t}: exact {exact} vs simulated {estimate:?}"
+        );
+    }
+}
+
+#[test]
+fn availability_of_line2_agrees() {
+    let spec = strategies::frf(2);
+    let model = facility::line_model(Line::Line2, &spec).unwrap();
+    let analysis = Analysis::new(&model).unwrap();
+    let simulator = Simulator::new(&model).unwrap();
+
+    let exact = analysis.steady_state_availability().unwrap();
+    // Long-run time averages over 2000 h, 150 replications.
+    let estimate = simulator.steady_state_availability(2000.0, &options(150)).unwrap();
+    assert!(
+        estimate.contains_with_slack(exact, 0.01),
+        "exact {exact} vs simulated {estimate:?}"
+    );
+}
+
+#[test]
+fn survivability_after_disaster2_agrees() {
+    let spec = strategies::frf(1);
+    let model = facility::line_model(Line::Line2, &spec).unwrap();
+    let analysis = Analysis::new(&model).unwrap();
+    let simulator = Simulator::new(&model).unwrap();
+    let disaster = model.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
+
+    for (level, deadline) in [
+        (service_levels::LINE2_X1, 10.0),
+        (service_levels::LINE2_X3, 40.0),
+        (service_levels::LINE2_X4, 60.0),
+    ] {
+        let exact = analysis.survivability(disaster, level, deadline).unwrap();
+        let estimate = simulator.survivability(disaster, level, deadline, &options(3000)).unwrap();
+        assert!(
+            estimate.contains_with_slack(exact, 0.025),
+            "level {level}, deadline {deadline}: exact {exact} vs simulated {estimate:?}"
+        );
+    }
+}
+
+#[test]
+fn costs_after_disaster2_agree() {
+    let spec = strategies::fff(1);
+    let model = facility::line_model(Line::Line2, &spec).unwrap();
+    let analysis = Analysis::new(&model).unwrap();
+    let simulator = Simulator::new(&model).unwrap();
+    let disaster = model.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
+
+    // Instantaneous cost right after the disaster is deterministic: five failed
+    // components at 3 per hour plus one busy crew (idle cost 1, busy cost 0).
+    let exact_at_zero = analysis.instantaneous_cost_curve(Some(disaster), &[0.0]).unwrap()[0].1;
+    let simulated_at_zero = simulator.instantaneous_cost(Some(disaster), 0.0, &options(200)).unwrap();
+    assert!((exact_at_zero - 15.0).abs() < 1e-9);
+    assert!((simulated_at_zero.mean - exact_at_zero).abs() < 1e-9);
+
+    // Accumulated cost over the recovery phase.
+    let horizon = 25.0;
+    let exact = analysis.accumulated_cost_curve(Some(disaster), &[horizon]).unwrap()[0].1;
+    let estimate = simulator.accumulated_cost(Some(disaster), horizon, &options(2500)).unwrap();
+    assert!(
+        estimate.contains_with_slack(exact, exact * 0.05),
+        "exact {exact} vs simulated {estimate:?}"
+    );
+}

@@ -1,0 +1,56 @@
+//! The Arcade XML format round-trips the water-treatment models losslessly and
+//! analysis results are unaffected by a round trip.
+
+use arcade_core::Analysis;
+use watertreatment::{facility, strategies, Line};
+
+#[test]
+fn all_paper_models_round_trip() {
+    for line in Line::both() {
+        for spec in strategies::paper_strategies() {
+            let model = facility::line_model(line, &spec).unwrap();
+            let xml = arcade_xml::to_xml(&model);
+            let restored = arcade_xml::from_xml(&xml).expect("generated XML parses");
+            assert_eq!(restored, model, "round trip changed the {} / {} model", line.id(), spec.label);
+        }
+    }
+}
+
+#[test]
+fn serialized_facility_mentions_every_component_and_disaster() {
+    let model = facility::line_model(Line::Line2, &strategies::fff(2)).unwrap();
+    let xml = arcade_xml::to_xml(&model);
+    for component in model.components() {
+        assert!(xml.contains(&format!("name=\"{}\"", component.name())));
+    }
+    assert!(xml.contains("strategy=\"fff\""));
+    assert!(xml.contains("crews=\"2\""));
+    assert!(xml.contains(facility::DISASTER_ALL_PUMPS));
+    assert!(xml.contains(facility::DISASTER_LINE2_MIXED));
+    assert!(xml.contains("required-of required=\"2\""));
+}
+
+#[test]
+fn analysis_results_are_preserved_across_a_round_trip() {
+    let spec = strategies::frf(1);
+    let original = facility::line_model(Line::Line2, &spec).unwrap();
+    let restored = arcade_xml::from_xml(&arcade_xml::to_xml(&original)).unwrap();
+
+    let analysis_original = Analysis::new(&original).unwrap();
+    let analysis_restored = Analysis::new(&restored).unwrap();
+
+    assert_eq!(
+        analysis_original.state_space_stats(),
+        analysis_restored.state_space_stats(),
+        "state spaces differ after a round trip"
+    );
+    let a = analysis_original.steady_state_availability().unwrap();
+    let b = analysis_restored.steady_state_availability().unwrap();
+    assert!((a - b).abs() < 1e-12);
+
+    let disaster = restored.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
+    let survivability_restored = analysis_restored.survivability(disaster, 1.0 / 3.0, 10.0).unwrap();
+    let disaster = original.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
+    let survivability_original = analysis_original.survivability(disaster, 1.0 / 3.0, 10.0).unwrap();
+    assert!((survivability_original - survivability_restored).abs() < 1e-12);
+}
