@@ -28,8 +28,15 @@ pub enum XmlError {
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XmlError::Parse { line, column, message } => {
-                write!(f, "XML parse error at line {line}, column {column}: {message}")
+            XmlError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "XML parse error at line {line}, column {column}: {message}"
+                )
             }
             XmlError::Schema { message } => write!(f, "schema error: {message}"),
             XmlError::Model(err) => write!(f, "invalid model: {err}"),
@@ -58,10 +65,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = XmlError::Parse { line: 3, column: 7, message: "expected `>`".into() };
+        let e = XmlError::Parse {
+            line: 3,
+            column: 7,
+            message: "expected `>`".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("column 7"));
-        assert!(XmlError::Schema { message: "missing name".into() }.to_string().contains("missing"));
+        assert!(XmlError::Schema {
+            message: "missing name".into()
+        }
+        .to_string()
+        .contains("missing"));
         let e: XmlError = ArcadeError::DuplicateComponent { name: "x".into() }.into();
         assert!(matches!(e, XmlError::Model(_)));
         assert!(std::error::Error::source(&e).is_some());

@@ -88,7 +88,9 @@ pub fn to_xml(model: &ArcadeModel) -> String {
         }
         if let RepairStrategy::Priority(order) = ru.strategy() {
             for component in order {
-                element.children.push(XmlElement::new("priority").with_attribute("ref", component));
+                element
+                    .children
+                    .push(XmlElement::new("priority").with_attribute("ref", component));
             }
         }
         repair_units.children.push(element);
@@ -100,10 +102,14 @@ pub fn to_xml(model: &ArcadeModel) -> String {
         for smu in model.spare_units() {
             let mut element = XmlElement::new("spare-unit").with_attribute("name", smu.name());
             for primary in smu.primaries() {
-                element.children.push(XmlElement::new("primary").with_attribute("ref", primary));
+                element
+                    .children
+                    .push(XmlElement::new("primary").with_attribute("ref", primary));
             }
             for spare in smu.spares() {
-                element.children.push(XmlElement::new("spare").with_attribute("ref", spare));
+                element
+                    .children
+                    .push(XmlElement::new("spare").with_attribute("ref", spare));
             }
             spare_units.children.push(element);
         }
@@ -111,7 +117,9 @@ pub fn to_xml(model: &ArcadeModel) -> String {
     }
 
     let mut structure = XmlElement::new("structure");
-    structure.children.push(structure_to_xml(model.structure().root()));
+    structure
+        .children
+        .push(structure_to_xml(model.structure().root()));
     root.children.push(structure);
 
     if !model.disasters().is_empty() {
@@ -119,7 +127,9 @@ pub fn to_xml(model: &ArcadeModel) -> String {
         for disaster in model.disasters() {
             let mut element = XmlElement::new("disaster").with_attribute("name", disaster.name());
             for component in disaster.failed_components() {
-                element.children.push(XmlElement::new("failed").with_attribute("ref", component));
+                element
+                    .children
+                    .push(XmlElement::new("failed").with_attribute("ref", component));
             }
             disasters.children.push(element);
         }
@@ -141,20 +151,29 @@ pub fn from_xml(text: &str) -> Result<ArcadeModel, XmlError> {
     let root = &document.root;
     if root.name != "arcade-model" {
         return Err(XmlError::Schema {
-            message: format!("expected root element <arcade-model>, found <{}>", root.name),
+            message: format!(
+                "expected root element <arcade-model>, found <{}>",
+                root.name
+            ),
         });
     }
     let name = root.required_attribute("name")?;
 
     let structure_element = root.required_child("structure")?;
-    let structure_root = structure_element.children.first().ok_or_else(|| XmlError::Schema {
-        message: "<structure> must contain exactly one node".to_string(),
-    })?;
+    let structure_root = structure_element
+        .children
+        .first()
+        .ok_or_else(|| XmlError::Schema {
+            message: "<structure> must contain exactly one node".to_string(),
+        })?;
     let structure = SystemStructure::new(structure_from_xml(structure_root)?);
 
     let mut builder = ArcadeModel::builder(name, structure);
 
-    for element in root.required_child("components")?.children_named("component") {
+    for element in root
+        .required_child("components")?
+        .children_named("component")
+    {
         let component_name = element.required_attribute("name")?;
         let mttf = parse_number(element, "mttf")?;
         let mttr = parse_number(element, "mttr")?;
@@ -178,12 +197,13 @@ pub fn from_xml(text: &str) -> Result<ArcadeModel, XmlError> {
     if let Some(units) = root.child_named("repair-units") {
         for element in units.children_named("repair-unit") {
             let unit_name = element.required_attribute("name")?;
-            let crews: usize = element
-                .required_attribute("crews")?
-                .parse()
-                .map_err(|_| XmlError::Schema {
-                    message: format!("repair unit `{unit_name}` has a non-integer crew count"),
-                })?;
+            let crews: usize =
+                element
+                    .required_attribute("crews")?
+                    .parse()
+                    .map_err(|_| XmlError::Schema {
+                        message: format!("repair unit `{unit_name}` has a non-integer crew count"),
+                    })?;
             let strategy = match element.required_attribute("strategy")? {
                 "dedicated" => RepairStrategy::Dedicated,
                 "fcfs" => RepairStrategy::FirstComeFirstServe,
@@ -284,19 +304,34 @@ fn structure_from_xml(element: &XmlElement) -> Result<StructureNode, XmlError> {
     match element.name.as_str() {
         "component" => Ok(StructureNode::component(element.required_attribute("ref")?)),
         "series" => Ok(StructureNode::series(
-            element.children.iter().map(structure_from_xml).collect::<Result<Vec<_>, _>>()?,
+            element
+                .children
+                .iter()
+                .map(structure_from_xml)
+                .collect::<Result<Vec<_>, _>>()?,
         )),
         "redundant" => Ok(StructureNode::redundant(
-            element.children.iter().map(structure_from_xml).collect::<Result<Vec<_>, _>>()?,
+            element
+                .children
+                .iter()
+                .map(structure_from_xml)
+                .collect::<Result<Vec<_>, _>>()?,
         )),
         "required-of" => {
             let required: usize =
-                element.required_attribute("required")?.parse().map_err(|_| XmlError::Schema {
-                    message: "attribute `required` must be a non-negative integer".to_string(),
-                })?;
+                element
+                    .required_attribute("required")?
+                    .parse()
+                    .map_err(|_| XmlError::Schema {
+                        message: "attribute `required` must be a non-negative integer".to_string(),
+                    })?;
             Ok(StructureNode::required_of(
                 required,
-                element.children.iter().map(structure_from_xml).collect::<Result<Vec<_>, _>>()?,
+                element
+                    .children
+                    .iter()
+                    .map(structure_from_xml)
+                    .collect::<Result<Vec<_>, _>>()?,
             ))
         }
         other => Err(XmlError::Schema {
@@ -332,12 +367,23 @@ mod tests {
             StructureNode::component("res"),
             StructureNode::required_of(
                 1,
-                vec![StructureNode::component("p1"), StructureNode::component("p2")],
+                vec![
+                    StructureNode::component("p1"),
+                    StructureNode::component("p2"),
+                ],
             ),
         ]));
         ArcadeModel::builder("sample", structure)
-            .component(BasicComponent::from_mttf_mttr("st1", 2000.0, 5.0).unwrap().with_failed_cost(3.0))
-            .component(BasicComponent::from_mttf_mttr("st2", 2000.0, 5.0).unwrap().with_failed_cost(3.0))
+            .component(
+                BasicComponent::from_mttf_mttr("st1", 2000.0, 5.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .component(
+                BasicComponent::from_mttf_mttr("st2", 2000.0, 5.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
             .component(BasicComponent::from_mttf_mttr("res", 6000.0, 12.0).unwrap())
             .component(BasicComponent::from_mttf_mttr("p1", 500.0, 1.0).unwrap())
             .component(
@@ -414,9 +460,13 @@ mod tests {
             .component(BasicComponent::from_mttf_mttr("a", 10.0, 1.0).unwrap())
             .component(BasicComponent::from_mttf_mttr("b", 10.0, 1.0).unwrap())
             .repair_unit(
-                RepairUnit::new("ru", RepairStrategy::Priority(vec!["b".into(), "a".into()]), 1)
-                    .unwrap()
-                    .responsible_for(["a", "b"]),
+                RepairUnit::new(
+                    "ru",
+                    RepairStrategy::Priority(vec!["b".into(), "a".into()]),
+                    1,
+                )
+                .unwrap()
+                .responsible_for(["a", "b"]),
             )
             .build()
             .unwrap();
@@ -437,7 +487,10 @@ mod tests {
               <responsible ref="a"/></repair-unit></repair-units>
             <structure><component ref="a"/></structure>
         </arcade-model>"#;
-        assert!(matches!(from_xml(bad_strategy), Err(XmlError::Schema { .. })));
+        assert!(matches!(
+            from_xml(bad_strategy),
+            Err(XmlError::Schema { .. })
+        ));
         let bad_number = r#"<arcade-model name="x">
             <components><component name="a" mttf="ten" mttr="1"/></components>
             <structure><component ref="a"/></structure>
@@ -457,7 +510,10 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        assert!(matches!(from_xml("<arcade-model"), Err(XmlError::Parse { .. })));
+        assert!(matches!(
+            from_xml("<arcade-model"),
+            Err(XmlError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl XmlElement {
     /// Looks up a required attribute, producing a schema error when missing.
     pub fn required_attribute(&self, name: &str) -> Result<&str, XmlError> {
         self.attribute(name).ok_or_else(|| XmlError::Schema {
-            message: format!("element <{}> is missing required attribute `{name}`", self.name),
+            message: format!(
+                "element <{}> is missing required attribute `{name}`",
+                self.name
+            ),
         })
     }
 
@@ -175,7 +178,11 @@ impl<'a> XmlParser<'a> {
         let consumed = &self.input[..self.position];
         let line = consumed.matches('\n').count() + 1;
         let column = self.position - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
-        XmlError::Parse { line, column, message: message.into() }
+        XmlError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -259,7 +266,11 @@ impl<'a> XmlParser<'a> {
             }
             self.skip_whitespace();
             let value = self.parse_quoted()?;
-            if element.attributes.insert(attr_name.clone(), value).is_some() {
+            if element
+                .attributes
+                .insert(attr_name.clone(), value)
+                .is_some()
+            {
                 return Err(self.error(format!("duplicate attribute `{attr_name}`")));
             }
         }
@@ -329,7 +340,11 @@ impl<'a> XmlParser<'a> {
             return Err(self.error("expected a name"));
         }
         let name = &rest[..end];
-        if name.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.') {
+        if name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.')
+        {
             return Err(self.error(format!("invalid name `{name}`")));
         }
         self.position += end;
@@ -431,8 +446,14 @@ mod tests {
     #[test]
     fn helper_accessors_produce_schema_errors() {
         let doc = XmlDocument::parse("<a/>").unwrap();
-        assert!(matches!(doc.root.required_attribute("x"), Err(XmlError::Schema { .. })));
-        assert!(matches!(doc.root.required_child("y"), Err(XmlError::Schema { .. })));
+        assert!(matches!(
+            doc.root.required_attribute("x"),
+            Err(XmlError::Schema { .. })
+        ));
+        assert!(matches!(
+            doc.root.required_child("y"),
+            Err(XmlError::Schema { .. })
+        ));
         assert_eq!(doc.root.children_named("z").count(), 0);
     }
 

@@ -13,8 +13,9 @@ fn arbitrary_strategy() -> impl Strategy<Value = RepairStrategy> {
         Just(RepairStrategy::FirstComeFirstServe),
         Just(RepairStrategy::FastestRepairFirst),
         Just(RepairStrategy::FastestFailureFirst),
-        proptest::collection::vec(0usize..6, 1..4)
-            .prop_map(|order| RepairStrategy::Priority(order.into_iter().map(|i| format!("c{i}")).collect())),
+        proptest::collection::vec(0usize..6, 1..4).prop_map(|order| RepairStrategy::Priority(
+            order.into_iter().map(|i| format!("c{i}")).collect()
+        )),
     ]
 }
 
@@ -41,23 +42,37 @@ fn arbitrary_spec() -> impl Strategy<Value = Spec> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(count, mttfs, mttrs, failed_costs, strategy, crews, with_spare_unit, with_disaster)| Spec {
-            count,
-            mttfs,
-            mttrs,
-            failed_costs,
-            strategy,
-            crews,
-            with_spare_unit,
-            with_disaster,
-        })
+        .prop_map(
+            |(
+                count,
+                mttfs,
+                mttrs,
+                failed_costs,
+                strategy,
+                crews,
+                with_spare_unit,
+                with_disaster,
+            )| Spec {
+                count,
+                mttfs,
+                mttrs,
+                failed_costs,
+                strategy,
+                crews,
+                with_spare_unit,
+                with_disaster,
+            },
+        )
 }
 
 fn build(spec: &Spec) -> ArcadeModel {
     let names: Vec<String> = (0..spec.count).map(|i| format!("c{i}")).collect();
     let structure = SystemStructure::new(StructureNode::required_of(
-        (spec.count + 1) / 2,
-        names.iter().map(|n| StructureNode::component(n.clone())).collect(),
+        spec.count.div_ceil(2),
+        names
+            .iter()
+            .map(|n| StructureNode::component(n.clone()))
+            .collect(),
     ));
     let mut builder = ArcadeModel::builder("generated", structure);
     for (i, name) in names.iter().enumerate() {
@@ -73,7 +88,11 @@ fn build(spec: &Spec) -> ArcadeModel {
     // model; restrict it to declared names to keep the model valid.
     let strategy = match &spec.strategy {
         RepairStrategy::Priority(order) => RepairStrategy::Priority(
-            order.iter().filter(|n| names.contains(n)).cloned().collect(),
+            order
+                .iter()
+                .filter(|n| names.contains(n))
+                .cloned()
+                .collect(),
         ),
         other => other.clone(),
     };
@@ -85,8 +104,12 @@ fn build(spec: &Spec) -> ArcadeModel {
     );
     if spec.with_spare_unit && spec.count >= 2 {
         builder = builder.spare_unit(
-            SpareManagementUnit::new("smu", names[..spec.count - 1].to_vec(), [names[spec.count - 1].clone()])
-                .unwrap(),
+            SpareManagementUnit::new(
+                "smu",
+                names[..spec.count - 1].to_vec(),
+                [names[spec.count - 1].clone()],
+            )
+            .unwrap(),
         );
     }
     if spec.with_disaster {

@@ -18,7 +18,10 @@ fn ablation(c: &mut Criterion) {
     println!("\n===== ablation: queue encodings on Line 2 =====");
     println!("strategy  encoding           states   transitions");
     for (spec, encodings) in [
-        (strategies::fcfs(1), vec![("priority-canonical", QueueEncoding::PriorityCanonical)]),
+        (
+            strategies::fcfs(1),
+            vec![("priority-canonical", QueueEncoding::PriorityCanonical)],
+        ),
         (
             strategies::frf(1),
             vec![
@@ -26,14 +29,23 @@ fn ablation(c: &mut Criterion) {
                 ("arrival-order", QueueEncoding::ArrivalOrder),
             ],
         ),
-        (strategies::frf(2), vec![("priority-canonical", QueueEncoding::PriorityCanonical)]),
-        (strategies::fff(2), vec![("priority-canonical", QueueEncoding::PriorityCanonical)]),
+        (
+            strategies::frf(2),
+            vec![("priority-canonical", QueueEncoding::PriorityCanonical)],
+        ),
+        (
+            strategies::fff(2),
+            vec![("priority-canonical", QueueEncoding::PriorityCanonical)],
+        ),
     ] {
         let model = facility::line_model(Line::Line2, &spec).unwrap();
         for (label, encoding) in encodings {
             let compiled = CompiledModel::compile_with(
                 &model,
-                ComposerOptions { queue_encoding: encoding, ..Default::default() },
+                ComposerOptions {
+                    queue_encoding: encoding,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let stats = compiled.stats();

@@ -29,21 +29,35 @@ fn engine_benchmarks(c: &mut Criterion) {
     group.bench_function("bounded_reachability_line2_frf1", |b| {
         let goal = compiled.service_at_least_mask(1.0);
         let safe = vec![true; chain.num_states()];
-        b.iter(|| TransientSolver::new(chain).bounded_until(&safe, &goal, 50.0).unwrap())
+        b.iter(|| {
+            TransientSolver::new(chain)
+                .bounded_until(&safe, &goal, 50.0)
+                .unwrap()
+        })
     });
 
     // Gauss-Seidel is the production solver; the Jacobi and power iterations are
     // exercised by the unit and property tests but converge too slowly on this
     // stiff chain (repair rates ~10^4 times the failure rates) to benchmark.
-    group.bench_function(format!("steady_state_{:?}", SteadyStateMethod::GaussSeidel), |b| {
-        b.iter(|| {
-            SteadyStateSolver::new(chain).method(SteadyStateMethod::GaussSeidel).solve().unwrap()
-        })
-    });
+    group.bench_function(
+        format!("steady_state_{:?}", SteadyStateMethod::GaussSeidel),
+        |b| {
+            b.iter(|| {
+                SteadyStateSolver::new(chain)
+                    .method(SteadyStateMethod::GaussSeidel)
+                    .solve()
+                    .unwrap()
+            })
+        },
+    );
 
     group.bench_function("simulation_1000_replications_reliability", |b| {
         let simulator = Simulator::new(&model).unwrap();
-        let options = SimulationOptions { replications: 1000, seed: 1, threads: 4 };
+        let options = SimulationOptions {
+            replications: 1000,
+            seed: 1,
+            threads: 4,
+        };
         b.iter(|| simulator.reliability(100.0, &options).unwrap())
     });
 

@@ -18,10 +18,18 @@ fn regenerate_and_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_11_costs");
     group.sample_size(10);
     group.bench_function("line2_frf2_instantaneous_cost_50h", |b| {
-        b.iter(|| analysis.instantaneous_cost_curve(Some(disaster), &[50.0]).unwrap())
+        b.iter(|| {
+            analysis
+                .instantaneous_cost_curve(Some(disaster), &[50.0])
+                .unwrap()
+        })
     });
     group.bench_function("line2_frf2_accumulated_cost_50h", |b| {
-        b.iter(|| analysis.accumulated_cost_curve(Some(disaster), &[50.0]).unwrap())
+        b.iter(|| {
+            analysis
+                .accumulated_cost_curve(Some(disaster), &[50.0])
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -10,8 +10,7 @@ fn regenerate_and_bench(c: &mut Criterion) {
     // A coarser grid than `grids::fig4_to_6()` keeps the bench run short; the
     // full-resolution curves come from `wt-experiments fig4 fig5`.
     let grid = grids::step_grid(0.0, 4.5, 0.45);
-    let (fig4, fig5) =
-        experiments::fig4_5_survivability_line1(&grid).expect("figs 4-5 regenerate");
+    let (fig4, fig5) = experiments::fig4_5_survivability_line1(&grid).expect("figs 4-5 regenerate");
     wt_bench::print_figure(&fig4);
     wt_bench::print_figure(&fig5);
 
@@ -22,7 +21,11 @@ fn regenerate_and_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_5_survivability");
     group.sample_size(10);
     group.bench_function("line1_frf1_x1_at_4_5h", |b| {
-        b.iter(|| analysis.survivability(disaster, service_levels::LINE1_X1, 4.5).unwrap())
+        b.iter(|| {
+            analysis
+                .survivability(disaster, service_levels::LINE1_X1, 4.5)
+                .unwrap()
+        })
     });
     group.finish();
 }

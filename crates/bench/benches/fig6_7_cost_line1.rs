@@ -23,7 +23,11 @@ fn regenerate_and_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_7_costs");
     group.sample_size(10);
     group.bench_function("line1_frf2_accumulated_cost_10h", |b| {
-        b.iter(|| analysis.accumulated_cost_curve(Some(disaster), &[10.0]).unwrap())
+        b.iter(|| {
+            analysis
+                .accumulated_cost_curve(Some(disaster), &[10.0])
+                .unwrap()
+        })
     });
     group.finish();
 }

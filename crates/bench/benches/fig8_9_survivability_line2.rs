@@ -18,10 +18,18 @@ fn regenerate_and_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_9_survivability");
     group.sample_size(10);
     group.bench_function("line2_fff1_x1_at_100h", |b| {
-        b.iter(|| analysis.survivability(disaster, service_levels::LINE2_X1, 100.0).unwrap())
+        b.iter(|| {
+            analysis
+                .survivability(disaster, service_levels::LINE2_X1, 100.0)
+                .unwrap()
+        })
     });
     group.bench_function("line2_fff1_x3_at_100h", |b| {
-        b.iter(|| analysis.survivability(disaster, service_levels::LINE2_X3, 100.0).unwrap())
+        b.iter(|| {
+            analysis
+                .survivability(disaster, service_levels::LINE2_X3, 100.0)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,135 @@
+//! Lumping reduction: refinement cost and end-to-end solver speedup.
+//!
+//! Prints the pre/post-lumping state-space sizes for the paper's Line 1 and
+//! Line 2 models, then times three pipelines per model:
+//!
+//! * `compose_solve_flat`   — compose and solve steady state on the flat chain;
+//! * `compose_lump_solve`   — compose, lump, solve on the quotient (the
+//!   default pipeline since lumping landed);
+//! * `lump_only`            — the refinement itself on a pre-composed chain.
+//!
+//! The acceptance criterion for the lumping subsystem is that
+//! `compose_lump_solve` beats `compose_solve_flat` end to end on at least one
+//! paper model; in practice the quotients are 2–3 orders of magnitude smaller
+//! and every transient/steady-state measure gets faster.
+
+use arcade_core::{Analysis, CompiledModel, ComposerOptions, LumpingMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use watertreatment::{facility, strategies, Line};
+
+fn flat_options() -> ComposerOptions {
+    ComposerOptions {
+        lumping: LumpingMode::Disabled,
+        ..Default::default()
+    }
+}
+
+fn lumped_options() -> ComposerOptions {
+    ComposerOptions {
+        lumping: LumpingMode::Exact,
+        ..Default::default()
+    }
+}
+
+fn print_reduction_table() {
+    println!("\n===== lumping reduction (states / transitions) =====");
+    println!("model            flat                lumped");
+    for (line, spec) in [
+        (Line::Line1, strategies::dedicated()),
+        (Line::Line1, strategies::frf(1)),
+        (Line::Line2, strategies::dedicated()),
+        (Line::Line2, strategies::frf(1)),
+        (Line::Line2, strategies::fff(2)),
+    ] {
+        let model = facility::line_model(line, &spec).expect("paper model builds");
+        let compiled =
+            CompiledModel::compile_with(&model, lumped_options()).expect("paper model compiles");
+        let stats = compiled.stats();
+        println!(
+            "{:<7}{:<9} {:>8} / {:<9} {:>6} / {:<6}",
+            line.id(),
+            spec.label,
+            stats.num_states,
+            stats.num_transitions,
+            stats.lumped_states.expect("lumping enabled"),
+            stats.lumped_transitions.expect("lumping enabled"),
+        );
+    }
+}
+
+fn bench_line(c: &mut Criterion, line: Line, spec: watertreatment::StrategySpec) {
+    let model = facility::line_model(line, &spec).expect("paper model builds");
+    let label = format!("{}_{}", line.id(), spec.label);
+
+    let mut group = c.benchmark_group("lumping_reduction");
+    group.sample_size(10);
+
+    group.bench_function(format!("{label}/compose_solve_flat"), |b| {
+        b.iter(|| {
+            let compiled = CompiledModel::compile_with(&model, flat_options()).unwrap();
+            let analysis = Analysis::from_compiled(&model, compiled);
+            analysis.steady_state_availability().unwrap()
+        })
+    });
+
+    group.bench_function(format!("{label}/compose_lump_solve"), |b| {
+        b.iter(|| {
+            let compiled = CompiledModel::compile_with(&model, lumped_options()).unwrap();
+            let analysis = Analysis::from_compiled(&model, compiled);
+            analysis.steady_state_availability().unwrap()
+        })
+    });
+
+    let precomposed = CompiledModel::compile_with(&model, flat_options()).unwrap();
+    group.bench_function(format!("{label}/lump_only"), |b| {
+        b.iter(|| precomposed.lump().unwrap().num_blocks())
+    });
+
+    group.finish();
+}
+
+/// The paper's heavy measure: a full survivability curve (Figs. 8/9) from
+/// composition to the last time point, flat vs. compose+lump+solve.
+fn bench_survivability_pipeline(c: &mut Criterion, line: Line, spec: watertreatment::StrategySpec) {
+    use watertreatment::experiments::{grids, service_levels};
+
+    let model = facility::line_model(line, &spec).expect("paper model builds");
+    let disaster = model
+        .disaster(facility::DISASTER_LINE2_MIXED)
+        .expect("disaster 2 is defined for line 2");
+    let times = grids::fig8_9();
+    let label = format!("{}_{}", line.id(), spec.label);
+
+    let mut group = c.benchmark_group("lumping_survivability_curve");
+    group.sample_size(10);
+    group.bench_function(format!("{label}/flat"), |b| {
+        b.iter(|| {
+            let compiled = CompiledModel::compile_with(&model, flat_options()).unwrap();
+            let analysis = Analysis::from_compiled(&model, compiled);
+            analysis
+                .survivability_curve(disaster, service_levels::LINE2_X1, &times)
+                .unwrap()
+        })
+    });
+    group.bench_function(format!("{label}/compose_lump_solve"), |b| {
+        b.iter(|| {
+            let compiled = CompiledModel::compile_with(&model, lumped_options()).unwrap();
+            let analysis = Analysis::from_compiled(&model, compiled);
+            analysis
+                .survivability_curve(disaster, service_levels::LINE2_X1, &times)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn lumping_reduction(c: &mut Criterion) {
+    print_reduction_table();
+    bench_line(c, Line::Line2, strategies::frf(1));
+    bench_line(c, Line::Line1, strategies::frf(1));
+    bench_survivability_pipeline(c, Line::Line2, strategies::frf(1));
+    bench_survivability_pipeline(c, Line::Line2, strategies::fff(2));
+}
+
+criterion_group!(benches, lumping_reduction);
+criterion_main!(benches);

@@ -9,7 +9,10 @@ use watertreatment::{experiments, facility, strategies, Line};
 
 fn regenerate_and_bench(c: &mut Criterion) {
     let rows = experiments::table1().expect("table 1 regenerates");
-    wt_bench::print_table("Table 1 (state-space sizes)", &experiments::format_table1(&rows));
+    wt_bench::print_table(
+        "Table 1 (state-space sizes)",
+        &experiments::format_table1(&rows),
+    );
     wt_bench::print_table(
         "Table 1 (paper reference)",
         &experiments::format_table1(&experiments::table1_paper_reference()),

@@ -54,7 +54,10 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates composition errors.
     pub fn new(model: &'a ArcadeModel) -> Result<Self, ArcadeError> {
-        Ok(Analysis { model, compiled: CompiledModel::compile(model)? })
+        Ok(Analysis {
+            model,
+            compiled: CompiledModel::compile(model)?,
+        })
     }
 
     /// Compiles the model with explicit composition options.
@@ -62,8 +65,14 @@ impl<'a> Analysis<'a> {
     /// # Errors
     ///
     /// Propagates composition errors.
-    pub fn with_options(model: &'a ArcadeModel, options: ComposerOptions) -> Result<Self, ArcadeError> {
-        Ok(Analysis { model, compiled: CompiledModel::compile_with(model, options)? })
+    pub fn with_options(
+        model: &'a ArcadeModel,
+        options: ComposerOptions,
+    ) -> Result<Self, ArcadeError> {
+        Ok(Analysis {
+            model,
+            compiled: CompiledModel::compile_with(model, options)?,
+        })
     }
 
     /// Wraps an already compiled model.
@@ -86,6 +95,48 @@ impl<'a> Analysis<'a> {
         self.compiled.stats()
     }
 
+    /// The chain the solvers run on: the exactly lumped quotient when lumping
+    /// is enabled (the default), the flat chain otherwise. Either way the
+    /// measures agree — lumping is exact — but the quotient is smaller.
+    fn solver_chain(&self) -> &ctmc::Ctmc {
+        match self.compiled.lumped() {
+            Some(lumped) => lumped.quotient(),
+            None => self.compiled.chain(),
+        }
+    }
+
+    /// The operational mask matching [`Analysis::solver_chain`].
+    fn solver_operational_mask(&self) -> &[bool] {
+        match self.compiled.lumped() {
+            Some(lumped) => lumped.operational_mask(),
+            None => self.compiled.operational_mask(),
+        }
+    }
+
+    /// The down mask matching [`Analysis::solver_chain`].
+    fn solver_down_mask(&self) -> Vec<bool> {
+        match self.compiled.lumped() {
+            Some(lumped) => lumped.down_mask(),
+            None => self.compiled.down_mask(),
+        }
+    }
+
+    /// The service-level mask matching [`Analysis::solver_chain`].
+    fn solver_service_at_least_mask(&self, threshold: f64) -> Vec<bool> {
+        match self.compiled.lumped() {
+            Some(lumped) => lumped.service_at_least_mask(threshold),
+            None => self.compiled.service_at_least_mask(threshold),
+        }
+    }
+
+    /// The cost rewards matching [`Analysis::solver_chain`].
+    fn solver_cost_rewards(&self) -> &ctmc::RewardStructure {
+        match self.compiled.lumped() {
+            Some(lumped) => lumped.cost_rewards(),
+            None => self.compiled.cost_rewards(),
+        }
+    }
+
     /// Long-run probability that the system is fully operational
     /// (Table 2 of the paper).
     ///
@@ -93,10 +144,10 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates steady-state solver errors.
     pub fn steady_state_availability(&self) -> Result<f64, ArcadeError> {
-        let pi = SteadyStateSolver::new(self.compiled.chain()).solve()?;
+        let pi = SteadyStateSolver::new(self.solver_chain()).solve()?;
         Ok(pi
             .iter()
-            .zip(self.compiled.operational_mask().iter())
+            .zip(self.solver_operational_mask().iter())
             .filter(|(_, &op)| op)
             .map(|(p, _)| p)
             .sum())
@@ -108,10 +159,10 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates transient solver errors.
     pub fn point_availability(&self, t: f64) -> Result<f64, ArcadeError> {
-        let pi = TransientSolver::new(self.compiled.chain()).probabilities_at(t)?;
+        let pi = TransientSolver::new(self.solver_chain()).probabilities_at(t)?;
         Ok(pi
             .iter()
-            .zip(self.compiled.operational_mask().iter())
+            .zip(self.solver_operational_mask().iter())
             .filter(|(_, &op)| op)
             .map(|(p, _)| p)
             .sum())
@@ -128,10 +179,10 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates transient solver errors.
     pub fn reliability(&self, t: f64) -> Result<f64, ArcadeError> {
-        let down = self.compiled.down_mask();
+        let down = self.solver_down_mask();
         let safe = vec![true; down.len()];
         let unreliability =
-            TransientSolver::new(self.compiled.chain()).bounded_until(&safe, &down, t)?;
+            TransientSolver::new(self.solver_chain()).bounded_until(&safe, &down, t)?;
         Ok(1.0 - unreliability)
     }
 
@@ -141,7 +192,10 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates transient solver errors.
     pub fn reliability_curve(&self, times: &[f64]) -> Result<Vec<(f64, f64)>, ArcadeError> {
-        times.iter().map(|&t| Ok((t, self.reliability(t)?))).collect()
+        times
+            .iter()
+            .map(|&t| Ok((t, self.reliability(t)?)))
+            .collect()
     }
 
     /// Survivability: probability of reaching a state with service level at
@@ -161,8 +215,8 @@ impl<'a> Analysis<'a> {
                 reason: format!("service level must be in [0, 1], got {service_level}"),
             });
         }
-        let chain = self.compiled.chain_after_disaster(disaster)?;
-        let goal = self.compiled.service_at_least_mask(service_level);
+        let chain = self.solver_chain_after_disaster(disaster)?;
+        let goal = self.solver_service_at_least_mask(service_level);
         let safe = vec![true; goal.len()];
         Ok(TransientSolver::new(&chain).bounded_until(&safe, &goal, t)?)
     }
@@ -183,11 +237,14 @@ impl<'a> Analysis<'a> {
                 reason: format!("service level must be in [0, 1], got {service_level}"),
             });
         }
-        let chain = self.compiled.chain_after_disaster(disaster)?;
-        let goal = self.compiled.service_at_least_mask(service_level);
+        let chain = self.solver_chain_after_disaster(disaster)?;
+        let goal = self.solver_service_at_least_mask(service_level);
         let safe = vec![true; goal.len()];
         let solver = TransientSolver::new(&chain);
-        times.iter().map(|&t| Ok((t, solver.bounded_until(&safe, &goal, t)?))).collect()
+        times
+            .iter()
+            .map(|&t| Ok((t, solver.bounded_until(&safe, &goal, t)?)))
+            .collect()
     }
 
     /// Expected instantaneous cost rate at the given times (Figs. 6 and 10),
@@ -202,8 +259,11 @@ impl<'a> Analysis<'a> {
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
         let chain = self.chain_for(disaster)?;
-        let solver = RewardSolver::new(&chain, self.compiled.cost_rewards())?;
-        times.iter().map(|&t| Ok((t, solver.instantaneous_at(t)?))).collect()
+        let solver = RewardSolver::new(&chain, self.solver_cost_rewards())?;
+        times
+            .iter()
+            .map(|&t| Ok((t, solver.instantaneous_at(t)?)))
+            .collect()
     }
 
     /// Expected accumulated cost up to the given time bounds (Figs. 7 and 11),
@@ -218,8 +278,11 @@ impl<'a> Analysis<'a> {
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
         let chain = self.chain_for(disaster)?;
-        let solver = RewardSolver::new(&chain, self.compiled.cost_rewards())?;
-        times.iter().map(|&t| Ok((t, solver.accumulated_until(t)?))).collect()
+        let solver = RewardSolver::new(&chain, self.solver_cost_rewards())?;
+        times
+            .iter()
+            .map(|&t| Ok((t, solver.accumulated_until(t)?)))
+            .collect()
     }
 
     /// Long-run expected cost rate.
@@ -228,7 +291,7 @@ impl<'a> Analysis<'a> {
     ///
     /// Propagates numerics errors.
     pub fn long_run_cost_rate(&self) -> Result<f64, ArcadeError> {
-        let solver = RewardSolver::new(self.compiled.chain(), self.compiled.cost_rewards())?;
+        let solver = RewardSolver::new(self.solver_chain(), self.solver_cost_rewards())?;
         Ok(solver.long_run_rate()?)
     }
 
@@ -256,21 +319,33 @@ impl<'a> Analysis<'a> {
             Measure::ReliabilityCurve { times } => {
                 self.reliability_curve(times).map(MeasureResult::Curve)
             }
-            Measure::Survivability { disaster, service_level, time } => {
+            Measure::Survivability {
+                disaster,
+                service_level,
+                time,
+            } => {
                 let disaster = self.lookup_disaster(disaster)?;
-                self.survivability(disaster, *service_level, *time).map(MeasureResult::Scalar)
+                self.survivability(disaster, *service_level, *time)
+                    .map(MeasureResult::Scalar)
             }
-            Measure::SurvivabilityCurve { disaster, service_level, times } => {
+            Measure::SurvivabilityCurve {
+                disaster,
+                service_level,
+                times,
+            } => {
                 let disaster = self.lookup_disaster(disaster)?;
-                self.survivability_curve(disaster, *service_level, times).map(MeasureResult::Curve)
+                self.survivability_curve(disaster, *service_level, times)
+                    .map(MeasureResult::Curve)
             }
             Measure::InstantaneousCost { disaster, times } => {
                 let disaster = self.lookup_optional_disaster(disaster.as_deref())?;
-                self.instantaneous_cost_curve(disaster, times).map(MeasureResult::Curve)
+                self.instantaneous_cost_curve(disaster, times)
+                    .map(MeasureResult::Curve)
             }
             Measure::AccumulatedCost { disaster, times } => {
                 let disaster = self.lookup_optional_disaster(disaster.as_deref())?;
-                self.accumulated_cost_curve(disaster, times).map(MeasureResult::Curve)
+                self.accumulated_cost_curve(disaster, times)
+                    .map(MeasureResult::Curve)
             }
             Measure::LongRunCostRate => self.long_run_cost_rate().map(MeasureResult::Scalar),
         }
@@ -278,18 +353,40 @@ impl<'a> Analysis<'a> {
 
     fn chain_for(&self, disaster: Option<&Disaster>) -> Result<ctmc::Ctmc, ArcadeError> {
         match disaster {
-            Some(d) => self.compiled.chain_after_disaster(d),
-            None => Ok(self.compiled.chain().clone()),
+            Some(d) => self.solver_chain_after_disaster(d),
+            None => Ok(self.solver_chain().clone()),
+        }
+    }
+
+    /// The solver chain restarted in the state (or block) reached right after
+    /// `disaster` — the GOOD construction, on the quotient when available.
+    ///
+    /// Ordinary lumpability guarantees the aggregated process started from
+    /// any single state of a block is Markov with the quotient rates, so
+    /// starting the quotient in the disaster state's block is exact.
+    fn solver_chain_after_disaster(&self, disaster: &Disaster) -> Result<ctmc::Ctmc, ArcadeError> {
+        match self.compiled.lumped() {
+            Some(lumped) => {
+                let index = self.compiled.disaster_state_index(disaster)?;
+                let block = lumped.lumping().block_of(index);
+                Ok(lumped.quotient().with_initial_state(block)?)
+            }
+            None => self.compiled.chain_after_disaster(disaster),
         }
     }
 
     fn lookup_disaster(&self, name: &str) -> Result<&Disaster, ArcadeError> {
-        self.model.disaster(name).ok_or_else(|| ArcadeError::UnsupportedMeasure {
-            reason: format!("unknown disaster `{name}`"),
-        })
+        self.model
+            .disaster(name)
+            .ok_or_else(|| ArcadeError::UnsupportedMeasure {
+                reason: format!("unknown disaster `{name}`"),
+            })
     }
 
-    fn lookup_optional_disaster(&self, name: Option<&str>) -> Result<Option<&Disaster>, ArcadeError> {
+    fn lookup_optional_disaster(
+        &self,
+        name: Option<&str>,
+    ) -> Result<Option<&Disaster>, ArcadeError> {
         match name {
             None => Ok(None),
             Some(n) => self.lookup_disaster(n).map(Some),
@@ -309,7 +406,9 @@ mod tests {
         let structure = SystemStructure::new(StructureNode::component("pump"));
         ArcadeModel::builder("pump", structure)
             .component(
-                BasicComponent::from_mttf_mttr("pump", 500.0, 1.0).unwrap().with_failed_cost(3.0),
+                BasicComponent::from_mttf_mttr("pump", 500.0, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
             )
             .repair_unit(
                 RepairUnit::new("ru", RepairStrategy::Dedicated, 1)
@@ -329,8 +428,16 @@ mod tests {
             StructureNode::component("b"),
         ]));
         ArcadeModel::builder("pair", structure)
-            .component(BasicComponent::from_mttf_mttr("a", 100.0, 1.0).unwrap().with_failed_cost(3.0))
-            .component(BasicComponent::from_mttf_mttr("b", 50.0, 2.0).unwrap().with_failed_cost(3.0))
+            .component(
+                BasicComponent::from_mttf_mttr("a", 100.0, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .component(
+                BasicComponent::from_mttf_mttr("b", 50.0, 2.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
             .repair_unit(
                 RepairUnit::new("ru", strategy, crews)
                     .unwrap()
@@ -356,7 +463,10 @@ mod tests {
         let analysis = Analysis::new(&model).unwrap();
         for &t in &[10.0, 100.0, 500.0] {
             let expected = (-t / 500.0f64).exp();
-            assert!((analysis.reliability(t).unwrap() - expected).abs() < 1e-9, "t={t}");
+            assert!(
+                (analysis.reliability(t).unwrap() - expected).abs() < 1e-9,
+                "t={t}"
+            );
         }
         let curve = analysis.reliability_curve(&[0.0, 100.0]).unwrap();
         assert!((curve[0].1 - 1.0).abs() < 1e-12);
@@ -381,7 +491,7 @@ mod tests {
         let disaster = model.disaster("pump-down").unwrap();
         for &t in &[0.5, 1.0, 3.0] {
             // Recovery to full service requires completing one repair (rate 1).
-            let expected = 1.0 - (-t as f64).exp();
+            let expected = 1.0 - f64::exp(-t);
             let got = analysis.survivability(disaster, 1.0, t).unwrap();
             assert!((got - expected).abs() < 1e-6, "t={t}: {got} vs {expected}");
         }
@@ -396,14 +506,18 @@ mod tests {
         let analysis = Analysis::new(&model).unwrap();
         let disaster = model.disaster("pump-down").unwrap();
         // At t=0 the pump is failed and the crew busy: cost rate = 3.
-        let inst = analysis.instantaneous_cost_curve(Some(disaster), &[0.0, 10.0]).unwrap();
+        let inst = analysis
+            .instantaneous_cost_curve(Some(disaster), &[0.0, 10.0])
+            .unwrap();
         assert!((inst[0].1 - 3.0).abs() < 1e-9);
         // Long after the disaster the cost rate approaches the steady state:
         // idle crew (1) most of the time plus occasional failures.
         let steady = analysis.long_run_cost_rate().unwrap();
         assert!((inst[1].1 - steady).abs() < 1e-3);
         // Accumulated cost is increasing and starts at zero.
-        let acc = analysis.accumulated_cost_curve(Some(disaster), &[0.0, 1.0, 5.0]).unwrap();
+        let acc = analysis
+            .accumulated_cost_curve(Some(disaster), &[0.0, 1.0, 5.0])
+            .unwrap();
         assert_eq!(acc[0].1, 0.0);
         assert!(acc[1].1 < acc[2].1);
     }
@@ -412,8 +526,14 @@ mod tests {
     fn redundant_pair_availability_improves_with_more_crews() {
         let one_crew = redundant_pair_model(RepairStrategy::FirstComeFirstServe, 1);
         let two_crews = redundant_pair_model(RepairStrategy::FirstComeFirstServe, 2);
-        let a1 = Analysis::new(&one_crew).unwrap().steady_state_availability().unwrap();
-        let a2 = Analysis::new(&two_crews).unwrap().steady_state_availability().unwrap();
+        let a1 = Analysis::new(&one_crew)
+            .unwrap()
+            .steady_state_availability()
+            .unwrap();
+        let a2 = Analysis::new(&two_crews)
+            .unwrap()
+            .steady_state_availability()
+            .unwrap();
         assert!(a2 > a1, "two crews {a2} should beat one crew {a1}");
     }
 
@@ -436,7 +556,9 @@ mod tests {
         for window in curve.windows(2) {
             assert!(window[1].1 >= window[0].1 - 1e-9);
         }
-        assert!(analysis.survivability_curve(disaster, -0.5, &times).is_err());
+        assert!(analysis
+            .survivability_curve(disaster, -0.5, &times)
+            .is_err());
     }
 
     #[test]
@@ -444,14 +566,26 @@ mod tests {
         let model = single_pump_model();
         let analysis = Analysis::new(&model).unwrap();
 
-        let availability = analysis.evaluate(&Measure::SteadyStateAvailability).unwrap();
-        assert_eq!(availability.as_scalar(), Some(analysis.steady_state_availability().unwrap()));
+        let availability = analysis
+            .evaluate(&Measure::SteadyStateAvailability)
+            .unwrap();
+        assert_eq!(
+            availability.as_scalar(),
+            Some(analysis.steady_state_availability().unwrap())
+        );
 
-        let reliability = analysis.evaluate(&Measure::Reliability { time: 100.0 }).unwrap();
-        assert_eq!(reliability.as_scalar(), Some(analysis.reliability(100.0).unwrap()));
+        let reliability = analysis
+            .evaluate(&Measure::Reliability { time: 100.0 })
+            .unwrap();
+        assert_eq!(
+            reliability.as_scalar(),
+            Some(analysis.reliability(100.0).unwrap())
+        );
 
         let curve = analysis
-            .evaluate(&Measure::ReliabilityCurve { times: vec![1.0, 2.0] })
+            .evaluate(&Measure::ReliabilityCurve {
+                times: vec![1.0, 2.0],
+            })
             .unwrap();
         assert_eq!(curve.as_curve().unwrap().len(), 2);
 
@@ -482,11 +616,16 @@ mod tests {
         assert!((inst.as_curve().unwrap()[0].1 - 3.0).abs() < 1e-9);
 
         let acc = analysis
-            .evaluate(&Measure::AccumulatedCost { disaster: None, times: vec![1.0] })
+            .evaluate(&Measure::AccumulatedCost {
+                disaster: None,
+                times: vec![1.0],
+            })
             .unwrap();
         assert!(acc.as_curve().unwrap()[0].1 > 0.0);
 
-        let point = analysis.evaluate(&Measure::PointAvailability { time: 1.0 }).unwrap();
+        let point = analysis
+            .evaluate(&Measure::PointAvailability { time: 1.0 })
+            .unwrap();
         assert!(point.as_scalar().unwrap() > 0.9);
 
         let rate = analysis.evaluate(&Measure::LongRunCostRate).unwrap();
@@ -498,7 +637,10 @@ mod tests {
             service_level: 1.0,
             time: 1.0,
         });
-        assert!(matches!(unknown, Err(ArcadeError::UnsupportedMeasure { .. })));
+        assert!(matches!(
+            unknown,
+            Err(ArcadeError::UnsupportedMeasure { .. })
+        ));
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl BasicComponent {
             });
         }
         for (label, value) in [("failure rate", failure_rate), ("repair rate", repair_rate)] {
-            if !(value > 0.0) || !value.is_finite() {
+            if value <= 0.0 || !value.is_finite() {
                 return Err(ArcadeError::InvalidParameter {
                     reason: format!("{label} of component `{name}` must be positive, got {value}"),
                 });
@@ -84,7 +84,7 @@ impl BasicComponent {
         mttf: f64,
         mttr: f64,
     ) -> Result<Self, ArcadeError> {
-        if !(mttf > 0.0) || !mttf.is_finite() || !(mttr > 0.0) || !mttr.is_finite() {
+        if mttf <= 0.0 || !mttf.is_finite() || mttr <= 0.0 || !mttr.is_finite() {
             return Err(ArcadeError::InvalidParameter {
                 reason: format!("MTTF/MTTR must be positive, got {mttf}/{mttr}"),
             });
@@ -211,9 +211,13 @@ mod tests {
 
     #[test]
     fn dormancy_factor_is_clamped() {
-        let c = BasicComponent::from_rates("c", 1.0, 1.0).unwrap().with_dormancy_factor(7.0);
+        let c = BasicComponent::from_rates("c", 1.0, 1.0)
+            .unwrap()
+            .with_dormancy_factor(7.0);
         assert_eq!(c.dormancy_factor(), 1.0);
-        let c = BasicComponent::from_rates("c", 1.0, 1.0).unwrap().with_dormancy_factor(-1.0);
+        let c = BasicComponent::from_rates("c", 1.0, 1.0)
+            .unwrap()
+            .with_dormancy_factor(-1.0);
         assert_eq!(c.dormancy_factor(), 0.0);
     }
 

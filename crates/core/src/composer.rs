@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use arcade_lumping::{lump, InitialPartition, LumpedCtmc};
 use ctmc::{Ctmc, CtmcBuilder, RewardStructure};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,21 @@ use crate::model::ArcadeModel;
 use crate::repair::RepairStrategy;
 use crate::state::{ComponentIndex, ComponentStatus, GlobalState, QueueEncoding};
 
+/// How the composed CTMC is reduced before the solvers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LumpingMode {
+    /// Keep the flat chain; every measure is solved on the full state space.
+    Disabled,
+    /// Exact (ordinary) lumping: after composition the coarsest lumpable
+    /// partition respecting service levels, the operational predicate and the
+    /// cost rewards is computed, and all measures are solved on the quotient.
+    /// The measures are unchanged (up to solver tolerance); only the matrices
+    /// shrink. This mirrors the compositional aggregation the paper relies on
+    /// to keep its models tractable.
+    #[default]
+    Exact,
+}
+
 /// Options controlling the state-space composition.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ComposerOptions {
@@ -30,21 +46,32 @@ pub struct ComposerOptions {
     pub max_states: usize,
     /// How repair queues are encoded in the state (see [`QueueEncoding`]).
     pub queue_encoding: QueueEncoding,
+    /// Whether the composed chain is lumped for analysis (see [`LumpingMode`]).
+    pub lumping: LumpingMode,
 }
 
 impl Default for ComposerOptions {
     fn default() -> Self {
-        ComposerOptions { max_states: 2_000_000, queue_encoding: QueueEncoding::default() }
+        ComposerOptions {
+            max_states: 2_000_000,
+            queue_encoding: QueueEncoding::default(),
+            lumping: LumpingMode::default(),
+        }
     }
 }
 
-/// Size statistics of a composed state space (the paper's Table 1).
+/// Size statistics of a composed state space (the paper's Table 1), before
+/// and — when lumping is enabled — after the exact lumping reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateSpaceStats {
     /// Number of reachable states.
     pub num_states: usize,
     /// Number of transitions (distinct source/target pairs with positive rate).
     pub num_transitions: usize,
+    /// Number of blocks of the lumped quotient, when lumping is enabled.
+    pub lumped_states: Option<usize>,
+    /// Number of quotient transitions, when lumping is enabled.
+    pub lumped_transitions: Option<usize>,
 }
 
 /// Label attached to states in which the system is fully operational.
@@ -74,6 +101,95 @@ pub struct CompiledModel {
     smu_primaries: Vec<Vec<ComponentIndex>>,
     smu_spares: Vec<Vec<ComponentIndex>>,
     index_of_state: HashMap<GlobalState, usize>,
+    lumped: Option<LumpedModel>,
+}
+
+/// The exactly lumped companion of a [`CompiledModel`]: the quotient chain
+/// plus the per-block metadata every measure needs.
+///
+/// The initial partition separates states by service level, by the
+/// operational predicate and by cost-reward rate, so every mask the analysis
+/// layer builds is a union of blocks and every measure evaluated on the
+/// quotient equals its flat counterpart (up to solver tolerance).
+#[derive(Debug, Clone)]
+pub struct LumpedModel {
+    lumping: LumpedCtmc,
+    cost_rewards: RewardStructure,
+    service_levels: Vec<f64>,
+    operational: Vec<bool>,
+}
+
+impl LumpedModel {
+    fn build(
+        chain: &Ctmc,
+        service_levels: &[f64],
+        operational: &[bool],
+        cost_rewards: &RewardStructure,
+    ) -> Result<Self, ArcadeError> {
+        // The chain's labels already include the operational/down masks, so
+        // `from_labels` separates those states; only the full service levels
+        // and the reward rates add further distinctions.
+        let mut initial = InitialPartition::from_labels(chain);
+        initial.refine_by_f64(service_levels)?;
+        initial.refine_by_f64(cost_rewards.state_rewards())?;
+        let lumping = lump(chain, &initial)?;
+        let quotient_rewards = lumping.lump_rewards(cost_rewards)?;
+        let quotient_levels = lumping.project_values(service_levels)?;
+        let quotient_operational = lumping.project_mask(operational)?;
+        Ok(LumpedModel {
+            lumping,
+            cost_rewards: quotient_rewards,
+            service_levels: quotient_levels,
+            operational: quotient_operational,
+        })
+    }
+
+    /// The block ↔ state maps and the quotient chain.
+    pub fn lumping(&self) -> &LumpedCtmc {
+        &self.lumping
+    }
+
+    /// The quotient CTMC all measures are solved on.
+    pub fn quotient(&self) -> &Ctmc {
+        self.lumping.quotient()
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.lumping.num_blocks()
+    }
+
+    /// The repair-cost reward structure lumped onto the quotient.
+    pub fn cost_rewards(&self) -> &RewardStructure {
+        &self.cost_rewards
+    }
+
+    /// The quantitative service level of every block.
+    pub fn service_levels(&self) -> &[f64] {
+        &self.service_levels
+    }
+
+    /// Mask of blocks in which the system is fully operational.
+    pub fn operational_mask(&self) -> &[bool] {
+        &self.operational
+    }
+
+    /// Mask of blocks in which the system is *not* fully operational.
+    pub fn down_mask(&self) -> Vec<bool> {
+        self.operational.iter().map(|&b| !b).collect()
+    }
+
+    /// Mask of blocks whose service level is at least `threshold`.
+    pub fn service_at_least_mask(&self, threshold: f64) -> Vec<bool> {
+        service_at_least(&self.service_levels, threshold)
+    }
+}
+
+/// Mask of entries whose service level is at least `threshold`, with the
+/// shared boundary tolerance — kept in one place so the flat and the lumped
+/// goal sets can never diverge on a service-level boundary.
+fn service_at_least(levels: &[f64], threshold: f64) -> Vec<bool> {
+    levels.iter().map(|&l| l >= threshold - 1e-12).collect()
 }
 
 impl CompiledModel {
@@ -92,8 +208,41 @@ impl CompiledModel {
     /// # Errors
     ///
     /// See [`CompiledModel::compile`].
-    pub fn compile_with(model: &ArcadeModel, options: ComposerOptions) -> Result<Self, ArcadeError> {
-        Composer::new(model, options)?.explore()
+    pub fn compile_with(
+        model: &ArcadeModel,
+        options: ComposerOptions,
+    ) -> Result<Self, ArcadeError> {
+        let mut compiled = Composer::new(model, options)?.explore()?;
+        if options.lumping == LumpingMode::Exact {
+            compiled.lumped = Some(LumpedModel::build(
+                &compiled.chain,
+                &compiled.service_levels,
+                &compiled.operational,
+                &compiled.cost_rewards,
+            )?);
+        }
+        Ok(compiled)
+    }
+
+    /// The exactly lumped companion model, present when the composition ran
+    /// with [`LumpingMode::Exact`] (the default).
+    pub fn lumped(&self) -> Option<&LumpedModel> {
+        self.lumped.as_ref()
+    }
+
+    /// Lumps this model on demand, regardless of the compile-time option.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lumping-engine errors (which would indicate a bug: the
+    /// initial partition is built from this model's own metadata).
+    pub fn lump(&self) -> Result<LumpedModel, ArcadeError> {
+        LumpedModel::build(
+            &self.chain,
+            &self.service_levels,
+            &self.operational,
+            &self.cost_rewards,
+        )
     }
 
     /// The underlying labelled CTMC.
@@ -111,11 +260,15 @@ impl CompiledModel {
         &self.component_names
     }
 
-    /// State-space size statistics (the paper's Table 1).
+    /// State-space size statistics (the paper's Table 1). The flat counts are
+    /// always present; the lumped counts are filled in when the model was
+    /// compiled with [`LumpingMode::Exact`].
     pub fn stats(&self) -> StateSpaceStats {
         StateSpaceStats {
             num_states: self.chain.num_states(),
             num_transitions: self.chain.num_transitions(),
+            lumped_states: self.lumped.as_ref().map(|l| l.quotient().num_states()),
+            lumped_transitions: self.lumped.as_ref().map(|l| l.quotient().num_transitions()),
         }
     }
 
@@ -136,7 +289,7 @@ impl CompiledModel {
 
     /// Mask of states whose service level is at least `threshold`.
     pub fn service_at_least_mask(&self, threshold: f64) -> Vec<bool> {
-        self.service_levels.iter().map(|&l| l >= threshold - 1e-12).collect()
+        service_at_least(&self.service_levels, threshold)
     }
 
     /// The repair-cost reward structure (idle/busy crews plus failed components).
@@ -164,12 +317,15 @@ impl CompiledModel {
     /// disaster state is not part of the reachable state space.
     pub fn disaster_state_index(&self, disaster: &Disaster) -> Result<usize, ArcadeError> {
         let state = self.build_disaster_state(disaster)?;
-        self.index_of_state.get(&state).copied().ok_or_else(|| ArcadeError::InvalidDisaster {
-            reason: format!(
-                "the state after disaster `{}` is not reachable in the composed model",
-                disaster.name()
-            ),
-        })
+        self.index_of_state
+            .get(&state)
+            .copied()
+            .ok_or_else(|| ArcadeError::InvalidDisaster {
+                reason: format!(
+                    "the state after disaster `{}` is not reachable in the composed model",
+                    disaster.name()
+                ),
+            })
     }
 
     /// Returns a copy of the chain whose initial distribution is the point mass
@@ -191,7 +347,10 @@ impl CompiledModel {
                 .iter()
                 .position(|n| n == name)
                 .ok_or_else(|| ArcadeError::InvalidDisaster {
-                    reason: format!("disaster `{}` references unknown component `{name}`", disaster.name()),
+                    reason: format!(
+                        "disaster `{}` references unknown component `{name}`",
+                        disaster.name()
+                    ),
                 })?;
             failed_indices.push(idx);
         }
@@ -278,11 +437,22 @@ struct Composer<'a> {
 impl<'a> Composer<'a> {
     fn new(model: &'a ArcadeModel, options: ComposerOptions) -> Result<Self, ArcadeError> {
         let n = model.components().len();
-        let component_names: Vec<String> =
-            model.components().iter().map(|c| c.name().to_string()).collect();
-        let failure_rates: Vec<f64> = model.components().iter().map(|c| c.failure_rate()).collect();
+        let component_names: Vec<String> = model
+            .components()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        let failure_rates: Vec<f64> = model
+            .components()
+            .iter()
+            .map(|c| c.failure_rate())
+            .collect();
         let repair_rates: Vec<f64> = model.components().iter().map(|c| c.repair_rate()).collect();
-        let dormancy: Vec<f64> = model.components().iter().map(|c| c.dormancy_factor()).collect();
+        let dormancy: Vec<f64> = model
+            .components()
+            .iter()
+            .map(|c| c.dormancy_factor())
+            .collect();
 
         let mut component_ru = vec![None; n];
         let mut ru_components = Vec::new();
@@ -292,10 +462,13 @@ impl<'a> Composer<'a> {
         for (ru_idx, ru) in model.repair_units().iter().enumerate() {
             let mut members = Vec::new();
             for name in ru.components() {
-                let idx = model.component_index(name).ok_or_else(|| ArcadeError::UnknownComponent {
-                    name: name.clone(),
-                    referenced_by: format!("repair unit `{}`", ru.name()),
-                })?;
+                let idx =
+                    model
+                        .component_index(name)
+                        .ok_or_else(|| ArcadeError::UnknownComponent {
+                            name: name.clone(),
+                            referenced_by: format!("repair unit `{}`", ru.name()),
+                        })?;
                 component_ru[idx] = Some(ru_idx);
                 members.push(idx);
             }
@@ -320,19 +493,25 @@ impl<'a> Composer<'a> {
         for (smu_idx, smu) in model.spare_units().iter().enumerate() {
             let mut primaries = Vec::new();
             for name in smu.primaries() {
-                let idx = model.component_index(name).ok_or_else(|| ArcadeError::UnknownComponent {
-                    name: name.clone(),
-                    referenced_by: format!("spare unit `{}`", smu.name()),
-                })?;
+                let idx =
+                    model
+                        .component_index(name)
+                        .ok_or_else(|| ArcadeError::UnknownComponent {
+                            name: name.clone(),
+                            referenced_by: format!("spare unit `{}`", smu.name()),
+                        })?;
                 component_smu[idx] = Some(smu_idx);
                 primaries.push(idx);
             }
             let mut spares = Vec::new();
             for name in smu.spares() {
-                let idx = model.component_index(name).ok_or_else(|| ArcadeError::UnknownComponent {
-                    name: name.clone(),
-                    referenced_by: format!("spare unit `{}`", smu.name()),
-                })?;
+                let idx =
+                    model
+                        .component_index(name)
+                        .ok_or_else(|| ArcadeError::UnknownComponent {
+                            name: name.clone(),
+                            referenced_by: format!("spare unit `{}`", smu.name()),
+                        })?;
                 component_smu[idx] = Some(smu_idx);
                 spares.push(idx);
             }
@@ -443,7 +622,12 @@ impl<'a> Composer<'a> {
         next.statuses[c] = ComponentStatus::WaitingForRepair;
         if let Some(ru) = self.component_ru[c] {
             if !self.ru_preemptive[ru] {
-                enqueue(&mut next.queues[ru], c, &self.ru_priorities[ru], self.options.queue_encoding);
+                enqueue(
+                    &mut next.queues[ru],
+                    c,
+                    &self.ru_priorities[ru],
+                    self.options.queue_encoding,
+                );
             }
         }
         // Spare activation: a failed *active* component of a spare-managed group
@@ -583,6 +767,7 @@ impl<'a> Composer<'a> {
             smu_primaries: self.smu_primaries,
             smu_spares: self.smu_spares,
             index_of_state: index_of,
+            lumped: None,
         })
     }
 }
@@ -618,8 +803,11 @@ fn dispatch_preemptive(
     crews: usize,
     priorities: &[f64],
 ) {
-    let mut failed: Vec<ComponentIndex> =
-        members.iter().copied().filter(|&c| state.statuses[c].is_failed()).collect();
+    let mut failed: Vec<ComponentIndex> = members
+        .iter()
+        .copied()
+        .filter(|&c| state.statuses[c].is_failed())
+        .collect();
     failed.sort_by(|&a, &b| {
         priorities[b]
             .partial_cmp(&priorities[a])
@@ -665,7 +853,11 @@ fn dispatch(
 /// Activates dormant spares while active capacity is missing and deactivates
 /// surplus operational spares, keeping the number of service-providing
 /// components of the group at the number of primaries whenever possible.
-fn rebalance_spares(state: &mut GlobalState, primaries: &[ComponentIndex], spares: &[ComponentIndex]) {
+fn rebalance_spares(
+    state: &mut GlobalState,
+    primaries: &[ComponentIndex],
+    spares: &[ComponentIndex],
+) {
     let desired = primaries.len();
     loop {
         let active = primaries
@@ -675,13 +867,20 @@ fn rebalance_spares(state: &mut GlobalState, primaries: &[ComponentIndex], spare
             .count();
         if active < desired {
             // Activate the first dormant spare, if any.
-            match spares.iter().find(|&&s| state.statuses[s] == ComponentStatus::Dormant) {
+            match spares
+                .iter()
+                .find(|&&s| state.statuses[s] == ComponentStatus::Dormant)
+            {
                 Some(&s) => state.statuses[s] = ComponentStatus::Operational,
                 None => return,
             }
         } else if active > desired {
             // Deactivate the last operational spare.
-            match spares.iter().rev().find(|&&s| state.statuses[s] == ComponentStatus::Operational) {
+            match spares
+                .iter()
+                .rev()
+                .find(|&&s| state.statuses[s] == ComponentStatus::Operational)
+            {
                 Some(&s) => state.statuses[s] = ComponentStatus::Dormant,
                 None => return,
             }
@@ -706,8 +905,16 @@ mod tests {
             StructureNode::component("b"),
         ]));
         ArcadeModel::builder("two", structure)
-            .component(BasicComponent::from_mttf_mttr("a", 100.0, 2.0).unwrap().with_failed_cost(3.0))
-            .component(BasicComponent::from_mttf_mttr("b", 200.0, 4.0).unwrap().with_failed_cost(3.0))
+            .component(
+                BasicComponent::from_mttf_mttr("a", 100.0, 2.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .component(
+                BasicComponent::from_mttf_mttr("b", 200.0, 4.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
             .repair_unit(
                 RepairUnit::new("ru", strategy, crews)
                     .unwrap()
@@ -749,12 +956,18 @@ mod tests {
         let model = two_component_model(RepairStrategy::FastestRepairFirst, 1);
         let canonical = CompiledModel::compile_with(
             &model,
-            ComposerOptions { queue_encoding: QueueEncoding::PriorityCanonical, ..Default::default() },
+            ComposerOptions {
+                queue_encoding: QueueEncoding::PriorityCanonical,
+                ..Default::default()
+            },
         )
         .unwrap();
         let arrival = CompiledModel::compile_with(
             &model,
-            ComposerOptions { queue_encoding: QueueEncoding::ArrivalOrder, ..Default::default() },
+            ComposerOptions {
+                queue_encoding: QueueEncoding::ArrivalOrder,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Both encodings are valid; the canonical one may merge states but never
@@ -768,9 +981,15 @@ mod tests {
         let model = two_component_model(RepairStrategy::Dedicated, 1);
         let result = CompiledModel::compile_with(
             &model,
-            ComposerOptions { max_states: 2, ..Default::default() },
+            ComposerOptions {
+                max_states: 2,
+                ..Default::default()
+            },
         );
-        assert!(matches!(result, Err(ArcadeError::StateSpaceTooLarge { .. })));
+        assert!(matches!(
+            result,
+            Err(ArcadeError::StateSpaceTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -814,8 +1033,14 @@ mod tests {
         let model = two_component_model(RepairStrategy::FastestFailureFirst, 1);
         let compiled = CompiledModel::compile(&model).unwrap();
         let initial = &compiled.states()[compiled.initial_index()];
-        assert!(initial.statuses.iter().all(|s| *s == ComponentStatus::Operational));
-        assert_eq!(compiled.chain().initial_distribution()[compiled.initial_index()], 1.0);
+        assert!(initial
+            .statuses
+            .iter()
+            .all(|s| *s == ComponentStatus::Operational));
+        assert_eq!(
+            compiled.chain().initial_distribution()[compiled.initial_index()],
+            1.0
+        );
     }
 
     #[test]
@@ -873,7 +1098,10 @@ mod tests {
         assert_eq!(preemptive_2.stats().num_states, 8);
         assert!(preemptive_2.stats().num_transitions > preemptive_1.stats().num_transitions);
         for state in preemptive_1.states() {
-            assert!(state.queues.iter().all(Vec::is_empty), "preemptive units keep no queue");
+            assert!(
+                state.queues.iter().all(Vec::is_empty),
+                "preemptive units keep no queue"
+            );
         }
 
         // The non-preemptive variant needs queue orders, so it is strictly larger.
@@ -883,8 +1111,7 @@ mod tests {
         // In every preemptive single-crew state the component under repair is
         // the failed one with the highest repair rate.
         for state in preemptive_1.states() {
-            let failed: Vec<usize> =
-                (0..3).filter(|&c| state.statuses[c].is_failed()).collect();
+            let failed: Vec<usize> = (0..3).filter(|&c| state.statuses[c].is_failed()).collect();
             if failed.is_empty() {
                 continue;
             }
@@ -901,7 +1128,11 @@ mod tests {
     fn initially_failed_component_starts_under_repair() {
         let structure = SystemStructure::new(StructureNode::component("a"));
         let model = ArcadeModel::builder("m", structure)
-            .component(BasicComponent::from_mttf_mttr("a", 10.0, 1.0).unwrap().initially_failed())
+            .component(
+                BasicComponent::from_mttf_mttr("a", 10.0, 1.0)
+                    .unwrap()
+                    .initially_failed(),
+            )
             .repair_unit(
                 RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
                     .unwrap()
@@ -924,7 +1155,9 @@ mod tests {
         let model = ArcadeModel::builder("spares", structure)
             .component(BasicComponent::from_mttf_mttr("p", 100.0, 1.0).unwrap())
             .component(
-                BasicComponent::from_mttf_mttr("s", 100.0, 1.0).unwrap().with_dormancy_factor(0.0),
+                BasicComponent::from_mttf_mttr("s", 100.0, 1.0)
+                    .unwrap()
+                    .with_dormancy_factor(0.0),
             )
             .repair_unit(
                 RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)

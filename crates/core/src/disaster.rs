@@ -59,7 +59,10 @@ impl Disaster {
                 });
             }
         }
-        Ok(Disaster { name, failed_components })
+        Ok(Disaster {
+            name,
+            failed_components,
+        })
     }
 
     /// The disaster name.

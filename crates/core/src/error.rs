@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use arcade_lumping::LumpError;
 use ctmc::CtmcError;
 
 /// Errors produced while building, validating, composing or analysing an
@@ -57,6 +58,8 @@ pub enum ArcadeError {
     },
     /// An error bubbled up from the underlying CTMC engine.
     Numerics(CtmcError),
+    /// An error bubbled up from the lumping engine.
+    Lumping(LumpError),
     /// A measure was requested that the compiled model cannot evaluate.
     UnsupportedMeasure {
         /// Explanation of the problem.
@@ -70,11 +73,20 @@ impl fmt::Display for ArcadeError {
             ArcadeError::DuplicateComponent { name } => {
                 write!(f, "component `{name}` is defined more than once")
             }
-            ArcadeError::UnknownComponent { name, referenced_by } => {
-                write!(f, "unknown component `{name}` referenced by {referenced_by}")
+            ArcadeError::UnknownComponent {
+                name,
+                referenced_by,
+            } => {
+                write!(
+                    f,
+                    "unknown component `{name}` referenced by {referenced_by}"
+                )
             }
             ArcadeError::ComponentRepairedTwice { name } => {
-                write!(f, "component `{name}` is assigned to more than one repair unit")
+                write!(
+                    f,
+                    "component `{name}` is assigned to more than one repair unit"
+                )
             }
             ArcadeError::ComponentNotRepaired { name } => {
                 write!(f, "component `{name}` has no responsible repair unit")
@@ -88,9 +100,13 @@ impl fmt::Display for ArcadeError {
             }
             ArcadeError::InvalidDisaster { reason } => write!(f, "invalid disaster: {reason}"),
             ArcadeError::StateSpaceTooLarge { limit } => {
-                write!(f, "state-space exploration exceeded the limit of {limit} states")
+                write!(
+                    f,
+                    "state-space exploration exceeded the limit of {limit} states"
+                )
             }
             ArcadeError::Numerics(err) => write!(f, "numerical engine error: {err}"),
+            ArcadeError::Lumping(err) => write!(f, "lumping engine error: {err}"),
             ArcadeError::UnsupportedMeasure { reason } => {
                 write!(f, "unsupported measure: {reason}")
             }
@@ -102,6 +118,7 @@ impl std::error::Error for ArcadeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ArcadeError::Numerics(err) => Some(err),
+            ArcadeError::Lumping(err) => Some(err),
             _ => None,
         }
     }
@@ -113,15 +130,26 @@ impl From<CtmcError> for ArcadeError {
     }
 }
 
+impl From<LumpError> for ArcadeError {
+    fn from(err: LumpError) -> Self {
+        ArcadeError::Lumping(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ArcadeError::DuplicateComponent { name: "pump".into() };
+        let e = ArcadeError::DuplicateComponent {
+            name: "pump".into(),
+        };
         assert!(e.to_string().contains("pump"));
-        let e = ArcadeError::UnknownComponent { name: "x".into(), referenced_by: "ru".into() };
+        let e = ArcadeError::UnknownComponent {
+            name: "x".into(),
+            referenced_by: "ru".into(),
+        };
         assert!(e.to_string().contains('x') && e.to_string().contains("ru"));
         let e = ArcadeError::StateSpaceTooLarge { limit: 10 };
         assert!(e.to_string().contains("10"));

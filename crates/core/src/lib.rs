@@ -76,8 +76,8 @@ pub mod state;
 pub use analysis::{Analysis, Series};
 pub use component::BasicComponent;
 pub use composer::{
-    CompiledModel, ComposerOptions, StateSpaceStats, LABEL_DOWN, LABEL_NO_SERVICE,
-    LABEL_OPERATIONAL,
+    CompiledModel, ComposerOptions, LumpedModel, LumpingMode, StateSpaceStats, LABEL_DOWN,
+    LABEL_NO_SERVICE, LABEL_OPERATIONAL,
 };
 pub use disaster::Disaster;
 pub use error::ArcadeError;

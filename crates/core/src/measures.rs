@@ -101,10 +101,18 @@ impl Measure {
                 let upper = times.iter().copied().fold(0.0, f64::max);
                 format!("1 - P=? [ true U<=t \"down\" ] for t in [0, {upper}]")
             }
-            Measure::Survivability { disaster, service_level, time } => format!(
+            Measure::Survivability {
+                disaster,
+                service_level,
+                time,
+            } => format!(
                 "P=? [ true U<={time} \"service>={service_level}\" ] given disaster {disaster}"
             ),
-            Measure::SurvivabilityCurve { disaster, service_level, times } => {
+            Measure::SurvivabilityCurve {
+                disaster,
+                service_level,
+                times,
+            } => {
                 let upper = times.iter().copied().fold(0.0, f64::max);
                 format!(
                     "P=? [ true U<=t \"service>={service_level}\" ] for t in [0, {upper}] given disaster {disaster}"
@@ -156,15 +164,22 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct_and_stable() {
-        assert_eq!(Measure::SteadyStateAvailability.kind(), "steady-state availability");
+        assert_eq!(
+            Measure::SteadyStateAvailability.kind(),
+            "steady-state availability"
+        );
         assert_eq!(Measure::Reliability { time: 10.0 }.kind(), "reliability");
         assert_eq!(Measure::LongRunCostRate.kind(), "long-run cost rate");
     }
 
     #[test]
     fn csl_formulas_mention_the_right_operators() {
-        assert!(Measure::SteadyStateAvailability.csl_formula().starts_with("S=?"));
-        assert!(Measure::Reliability { time: 100.0 }.csl_formula().contains("U<=100"));
+        assert!(Measure::SteadyStateAvailability
+            .csl_formula()
+            .starts_with("S=?"));
+        assert!(Measure::Reliability { time: 100.0 }
+            .csl_formula()
+            .contains("U<=100"));
         let surv = Measure::Survivability {
             disaster: "d1".into(),
             service_level: 0.5,
@@ -172,14 +187,26 @@ mod tests {
         };
         assert!(surv.csl_formula().contains("d1"));
         assert!(surv.csl_formula().contains("0.5"));
-        assert!(Measure::InstantaneousCost { disaster: None, times: vec![1.0] }
+        assert!(Measure::InstantaneousCost {
+            disaster: None,
+            times: vec![1.0]
+        }
+        .csl_formula()
+        .contains("I=t"));
+        assert!(Measure::AccumulatedCost {
+            disaster: None,
+            times: vec![5.0]
+        }
+        .csl_formula()
+        .contains("C<="));
+        assert!(Measure::PointAvailability { time: 2.0 }
             .csl_formula()
-            .contains("I=t"));
-        assert!(Measure::AccumulatedCost { disaster: None, times: vec![5.0] }
-            .csl_formula()
-            .contains("C<="));
-        assert!(Measure::PointAvailability { time: 2.0 }.csl_formula().contains("U[2,2]"));
-        assert!(Measure::ReliabilityCurve { times: vec![1.0, 2.0] }.csl_formula().contains("[0, 2]"));
+            .contains("U[2,2]"));
+        assert!(Measure::ReliabilityCurve {
+            times: vec![1.0, 2.0]
+        }
+        .csl_formula()
+        .contains("[0, 2]"));
         assert!(Measure::SurvivabilityCurve {
             disaster: "d".into(),
             service_level: 1.0,

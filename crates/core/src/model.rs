@@ -106,18 +106,26 @@ impl ArcadeModel {
 
     /// The repair unit responsible for a component, if any.
     pub fn repair_unit_of(&self, component: &str) -> Option<&RepairUnit> {
-        self.repair_units.iter().find(|ru| ru.components().iter().any(|c| c == component))
+        self.repair_units
+            .iter()
+            .find(|ru| ru.components().iter().any(|c| c == component))
     }
 
     /// The spare management unit governing a component, if any.
     pub fn spare_unit_of(&self, component: &str) -> Option<&SpareManagementUnit> {
-        self.spare_units.iter().find(|smu| smu.all_components().any(|c| c == component))
+        self.spare_units
+            .iter()
+            .find(|smu| smu.all_components().any(|c| c == component))
     }
 
     /// Returns a copy of this model in which every repair unit uses `strategy`
     /// with `crews` crews. This is the knob turned throughout the paper's
     /// evaluation (DED, FRF-1, FRF-2, FFF-1, FFF-2).
-    pub fn with_repair_strategy(&self, strategy: RepairStrategy, crews: usize) -> Result<ArcadeModel, ArcadeError> {
+    pub fn with_repair_strategy(
+        &self,
+        strategy: RepairStrategy,
+        crews: usize,
+    ) -> Result<ArcadeModel, ArcadeError> {
         let mut out = self.clone();
         out.repair_units = self
             .repair_units
@@ -204,7 +212,9 @@ impl ArcadeModelBuilder {
         let mut names = BTreeSet::new();
         for c in &self.components {
             if !names.insert(c.name().to_string()) {
-                return Err(ArcadeError::DuplicateComponent { name: c.name().to_string() });
+                return Err(ArcadeError::DuplicateComponent {
+                    name: c.name().to_string(),
+                });
             }
         }
 
@@ -213,7 +223,9 @@ impl ArcadeModelBuilder {
         let mut repaired_by: BTreeMap<&str, &str> = BTreeMap::new();
         for ru in &self.repair_units {
             if !unit_names.insert(ru.name().to_string()) {
-                return Err(ArcadeError::DuplicateRepairUnit { name: ru.name().to_string() });
+                return Err(ArcadeError::DuplicateRepairUnit {
+                    name: ru.name().to_string(),
+                });
             }
             for c in ru.components() {
                 if !names.contains(c.as_str()) {
@@ -330,7 +342,10 @@ mod tests {
     #[test]
     fn duplicate_components_are_rejected() {
         let result = valid_builder().component(component("a")).build();
-        assert!(matches!(result, Err(ArcadeError::DuplicateComponent { .. })));
+        assert!(matches!(
+            result,
+            Err(ArcadeError::DuplicateComponent { .. })
+        ));
     }
 
     #[test]
@@ -356,7 +371,10 @@ mod tests {
                     .responsible_for(["a"]),
             )
             .build();
-        assert!(matches!(result, Err(ArcadeError::ComponentRepairedTwice { .. })));
+        assert!(matches!(
+            result,
+            Err(ArcadeError::ComponentRepairedTwice { .. })
+        ));
     }
 
     #[test]
@@ -365,25 +383,36 @@ mod tests {
             .component(component("a"))
             .component(component("b"))
             .repair_unit(
-                RepairUnit::new("ru", RepairStrategy::Dedicated, 1).unwrap().responsible_for(["a"]),
+                RepairUnit::new("ru", RepairStrategy::Dedicated, 1)
+                    .unwrap()
+                    .responsible_for(["a"]),
             )
             .repair_unit(
-                RepairUnit::new("ru", RepairStrategy::Dedicated, 1).unwrap().responsible_for(["b"]),
+                RepairUnit::new("ru", RepairStrategy::Dedicated, 1)
+                    .unwrap()
+                    .responsible_for(["b"]),
             )
             .build();
-        assert!(matches!(result, Err(ArcadeError::DuplicateRepairUnit { .. })));
+        assert!(matches!(
+            result,
+            Err(ArcadeError::DuplicateRepairUnit { .. })
+        ));
     }
 
     #[test]
     fn unknown_component_in_structure_is_rejected() {
         let structure = SystemStructure::new(StructureNode::component("ghost"));
-        let result = ArcadeModel::builder("m", structure).component(component("a")).build();
+        let result = ArcadeModel::builder("m", structure)
+            .component(component("a"))
+            .build();
         assert!(matches!(result, Err(ArcadeError::UnknownComponent { .. })));
     }
 
     #[test]
     fn unknown_component_in_disaster_is_rejected() {
-        let result = valid_builder().disaster(Disaster::new("d", ["ghost"]).unwrap()).build();
+        let result = valid_builder()
+            .disaster(Disaster::new("d", ["ghost"]).unwrap())
+            .build();
         assert!(matches!(result, Err(ArcadeError::UnknownComponent { .. })));
     }
 
@@ -410,10 +439,15 @@ mod tests {
     #[test]
     fn strategy_swap_preserves_everything_else() {
         let model = valid_builder().build().unwrap();
-        let swapped = model.with_repair_strategy(RepairStrategy::FastestRepairFirst, 2).unwrap();
+        let swapped = model
+            .with_repair_strategy(RepairStrategy::FastestRepairFirst, 2)
+            .unwrap();
         assert_eq!(swapped.repair_units()[0].crews(), 2);
         assert_eq!(swapped.repair_units()[0].strategy().short_name(), "FRF");
-        assert_eq!(swapped.repair_units()[0].components(), model.repair_units()[0].components());
+        assert_eq!(
+            swapped.repair_units()[0].components(),
+            model.repair_units()[0].components()
+        );
         assert_eq!(swapped.components(), model.components());
     }
 

@@ -140,7 +140,8 @@ impl RepairUnit {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.components.extend(components.into_iter().map(Into::into));
+        self.components
+            .extend(components.into_iter().map(Into::into));
         self
     }
 

@@ -41,7 +41,11 @@ impl SpareManagementUnit {
     ///
     /// Returns [`ArcadeError::InvalidSpareUnit`] if the name is empty, either
     /// list is empty, or a component appears in both lists.
-    pub fn new<I, J, S, T>(name: impl Into<String>, primaries: I, spares: J) -> Result<Self, ArcadeError>
+    pub fn new<I, J, S, T>(
+        name: impl Into<String>,
+        primaries: I,
+        spares: J,
+    ) -> Result<Self, ArcadeError>
     where
         I: IntoIterator<Item = S>,
         J: IntoIterator<Item = T>,
@@ -71,7 +75,11 @@ impl SpareManagementUnit {
                 reason: format!("component `{dup}` of unit `{name}` is both primary and spare"),
             });
         }
-        Ok(SpareManagementUnit { name, primaries, spares })
+        Ok(SpareManagementUnit {
+            name,
+            primaries,
+            spares,
+        })
     }
 
     /// The unit name.
@@ -91,7 +99,10 @@ impl SpareManagementUnit {
 
     /// All components governed by this unit.
     pub fn all_components(&self) -> impl Iterator<Item = &str> {
-        self.primaries.iter().chain(self.spares.iter()).map(String::as_str)
+        self.primaries
+            .iter()
+            .chain(self.spares.iter())
+            .map(String::as_str)
     }
 }
 
@@ -102,8 +113,12 @@ mod tests {
     #[test]
     fn construction_validates_input() {
         assert!(SpareManagementUnit::new("", ["a"], ["b"]).is_err());
-        assert!(SpareManagementUnit::new("s", Vec::<String>::new(), vec!["b".to_string()]).is_err());
-        assert!(SpareManagementUnit::new("s", vec!["a".to_string()], Vec::<String>::new()).is_err());
+        assert!(
+            SpareManagementUnit::new("s", Vec::<String>::new(), vec!["b".to_string()]).is_err()
+        );
+        assert!(
+            SpareManagementUnit::new("s", vec!["a".to_string()], Vec::<String>::new()).is_err()
+        );
         assert!(SpareManagementUnit::new("s", ["a"], ["a"]).is_err());
         assert!(SpareManagementUnit::new("s", ["a", "b"], ["c"]).is_ok());
     }
@@ -114,6 +129,9 @@ mod tests {
         assert_eq!(smu.name(), "pumps");
         assert_eq!(smu.primaries(), &["p1".to_string(), "p2".to_string()]);
         assert_eq!(smu.spares(), &["p3".to_string()]);
-        assert_eq!(smu.all_components().collect::<Vec<_>>(), vec!["p1", "p2", "p3"]);
+        assert_eq!(
+            smu.all_components().collect::<Vec<_>>(),
+            vec!["p1", "p2", "p3"]
+        );
     }
 }

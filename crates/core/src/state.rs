@@ -29,7 +29,10 @@ pub enum ComponentStatus {
 impl ComponentStatus {
     /// Whether the component is failed (waiting or under repair).
     pub fn is_failed(self) -> bool {
-        matches!(self, ComponentStatus::WaitingForRepair | ComponentStatus::UnderRepair)
+        matches!(
+            self,
+            ComponentStatus::WaitingForRepair | ComponentStatus::UnderRepair
+        )
     }
 
     /// Whether the component currently contributes service.
@@ -39,7 +42,7 @@ impl ComponentStatus {
 }
 
 /// How the waiting queue of a repair unit is encoded in the state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum QueueEncoding {
     /// The queue records the full arrival order of waiting components. This is
     /// the encoding closest to the PRISM models of the paper and produces the
@@ -49,13 +52,8 @@ pub enum QueueEncoding {
     /// Dispatch behaviour is identical, but states that differ only in the
     /// arrival order of components with *different* priorities are merged,
     /// which can shrink the state space considerably.
+    #[default]
     PriorityCanonical,
-}
-
-impl Default for QueueEncoding {
-    fn default() -> Self {
-        QueueEncoding::PriorityCanonical
-    }
 }
 
 /// A global state of the composed model.
@@ -70,7 +68,10 @@ pub struct GlobalState {
 impl GlobalState {
     /// Creates a state with the given component statuses and empty queues.
     pub fn new(statuses: Vec<ComponentStatus>, num_repair_units: usize) -> Self {
-        GlobalState { statuses, queues: vec![Vec::new(); num_repair_units] }
+        GlobalState {
+            statuses,
+            queues: vec![Vec::new(); num_repair_units],
+        }
     }
 
     /// Number of failed components (waiting or under repair).

@@ -32,20 +32,24 @@ fn arbitrary_spec() -> impl Strategy<Value = ModelSpec> {
         1usize..=3,
         any::<bool>(),
     )
-        .prop_map(|(component_count, mttfs, mttrs, strategy, crews, redundant)| ModelSpec {
-            component_count,
-            mttfs,
-            mttrs,
-            strategy,
-            crews,
-            redundant,
-        })
+        .prop_map(
+            |(component_count, mttfs, mttrs, strategy, crews, redundant)| ModelSpec {
+                component_count,
+                mttfs,
+                mttrs,
+                strategy,
+                crews,
+                redundant,
+            },
+        )
 }
 
 fn build_model(spec: &ModelSpec) -> ArcadeModel {
     let names: Vec<String> = (0..spec.component_count).map(|i| format!("c{i}")).collect();
-    let children: Vec<StructureNode> =
-        names.iter().map(|n| StructureNode::component(n.clone())).collect();
+    let children: Vec<StructureNode> = names
+        .iter()
+        .map(|n| StructureNode::component(n.clone()))
+        .collect();
     let structure = SystemStructure::new(if spec.redundant {
         StructureNode::redundant(children)
     } else {

@@ -1,0 +1,225 @@
+//! Property-based exactness tests of the lumping pipeline: for random small
+//! Arcade models, every measure computed on the lumped quotient must equal the
+//! same measure computed on the flat chain within 1e-9.
+
+use arcade_core::{
+    Analysis, ArcadeModel, BasicComponent, CompiledModel, ComposerOptions, Disaster, LumpingMode,
+    RepairStrategy, RepairUnit, SpareManagementUnit,
+};
+use fault_tree::{StructureNode, SystemStructure};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    component_count: usize,
+    mttfs: Vec<f64>,
+    mttrs: Vec<f64>,
+    /// Number of leading components sharing one MTTF/MTTR (symmetry makes the
+    /// quotient strictly smaller, exercising real merges).
+    identical_prefix: usize,
+    strategy: RepairStrategy,
+    crews: usize,
+    redundant: bool,
+    with_spare: bool,
+}
+
+fn arbitrary_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        2usize..=4,
+        proptest::collection::vec(10.0f64..2000.0, 5),
+        proptest::collection::vec(0.5f64..50.0, 5),
+        0usize..=4,
+        prop_oneof![
+            Just(RepairStrategy::Dedicated),
+            Just(RepairStrategy::FirstComeFirstServe),
+            Just(RepairStrategy::FastestRepairFirst),
+            Just(RepairStrategy::FastestFailureFirst),
+        ],
+        1usize..=2,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                component_count,
+                mttfs,
+                mttrs,
+                identical_prefix,
+                strategy,
+                crews,
+                redundant,
+                with_spare,
+            )| {
+                ModelSpec {
+                    component_count,
+                    mttfs,
+                    mttrs,
+                    identical_prefix,
+                    strategy,
+                    crews,
+                    redundant,
+                    with_spare,
+                }
+            },
+        )
+}
+
+fn build_model(spec: &ModelSpec) -> ArcadeModel {
+    let names: Vec<String> = (0..spec.component_count).map(|i| format!("c{i}")).collect();
+    let children: Vec<StructureNode> = names
+        .iter()
+        .map(|n| StructureNode::component(n.clone()))
+        .collect();
+    let structure = SystemStructure::new(if spec.redundant {
+        StructureNode::redundant(children)
+    } else {
+        StructureNode::series(children)
+    });
+    let mut builder = ArcadeModel::builder("lumping-random", structure);
+    for (i, name) in names.iter().enumerate() {
+        // Components in the identical prefix share rates so that genuine
+        // symmetries (and therefore non-trivial lumping) occur.
+        let source = if i < spec.identical_prefix { 0 } else { i };
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, spec.mttfs[source], spec.mttrs[source])
+                .unwrap()
+                .with_failed_cost(3.0),
+        );
+    }
+    builder = builder.repair_unit(
+        RepairUnit::new("ru", spec.strategy.clone(), spec.crews)
+            .unwrap()
+            .responsible_for(names.clone())
+            .with_idle_cost(1.0),
+    );
+    if spec.with_spare && spec.component_count >= 2 {
+        let spare = names.last().unwrap().clone();
+        let primaries: Vec<String> = names[..spec.component_count - 1].to_vec();
+        builder = builder.spare_unit(SpareManagementUnit::new("smu", primaries, [spare]).unwrap());
+    }
+    builder = builder.disaster(Disaster::new("all", names).unwrap());
+    builder.build().unwrap()
+}
+
+fn flat_and_lumped(model: &ArcadeModel) -> (Analysis<'_>, Analysis<'_>) {
+    let flat = CompiledModel::compile_with(
+        model,
+        ComposerOptions {
+            lumping: LumpingMode::Disabled,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(flat.lumped().is_none());
+    let lumped = CompiledModel::compile_with(
+        model,
+        ComposerOptions {
+            lumping: LumpingMode::Exact,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(lumped.lumped().is_some());
+    (
+        Analysis::from_compiled(model, flat),
+        Analysis::from_compiled(model, lumped),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quotient_measures_match_the_flat_chain(spec in arbitrary_spec()) {
+        let model = build_model(&spec);
+        let (flat, lumped) = flat_and_lumped(&model);
+
+        // The partition is genuinely lumpable (engine self-check).
+        let compiled = lumped.compiled();
+        let lumped_model = compiled.lumped().unwrap();
+        lumped_model.lumping().verify(compiled.chain(), 1e-12).unwrap();
+        prop_assert!(lumped_model.num_blocks() <= compiled.stats().num_states);
+
+        // Steady-state availability.
+        let a_flat = flat.steady_state_availability().unwrap();
+        let a_lumped = lumped.steady_state_availability().unwrap();
+        prop_assert!((a_flat - a_lumped).abs() <= 1e-9, "availability {a_flat} vs {a_lumped}");
+
+        // Long-run cost rate.
+        let c_flat = flat.long_run_cost_rate().unwrap();
+        let c_lumped = lumped.long_run_cost_rate().unwrap();
+        prop_assert!((c_flat - c_lumped).abs() <= 1e-9, "cost rate {c_flat} vs {c_lumped}");
+
+        // Transient measures at a few horizons.
+        for t in [0.5, 5.0, 50.0] {
+            let r_flat = flat.reliability(t).unwrap();
+            let r_lumped = lumped.reliability(t).unwrap();
+            prop_assert!((r_flat - r_lumped).abs() <= 1e-9, "reliability({t}) {r_flat} vs {r_lumped}");
+
+            let p_flat = flat.point_availability(t).unwrap();
+            let p_lumped = lumped.point_availability(t).unwrap();
+            prop_assert!(
+                (p_flat - p_lumped).abs() <= 1e-9,
+                "point availability({t}) {p_flat} vs {p_lumped}"
+            );
+        }
+
+        // Accumulated and instantaneous cost from the regular initial state.
+        let acc_flat = flat.accumulated_cost_curve(None, &[1.0, 10.0]).unwrap();
+        let acc_lumped = lumped.accumulated_cost_curve(None, &[1.0, 10.0]).unwrap();
+        for ((t, a), (_, b)) in acc_flat.iter().zip(acc_lumped.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9, "accumulated cost({t}) {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn survivability_and_disaster_costs_match(spec in arbitrary_spec()) {
+        let model = build_model(&spec);
+        let (flat, lumped) = flat_and_lumped(&model);
+        let disaster = model.disaster("all").unwrap();
+
+        for level in [0.5, 1.0] {
+            for t in [0.5, 2.0, 20.0] {
+                let s_flat = flat.survivability(disaster, level, t).unwrap();
+                let s_lumped = lumped.survivability(disaster, level, t).unwrap();
+                prop_assert!(
+                    (s_flat - s_lumped).abs() <= 1e-9,
+                    "survivability({level}, {t}) {s_flat} vs {s_lumped}"
+                );
+            }
+        }
+
+        let inst_flat = flat.instantaneous_cost_curve(Some(disaster), &[0.0, 2.0]).unwrap();
+        let inst_lumped = lumped.instantaneous_cost_curve(Some(disaster), &[0.0, 2.0]).unwrap();
+        for ((t, a), (_, b)) in inst_flat.iter().zip(inst_lumped.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9, "instantaneous cost({t}) {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn symmetric_components_lump_strictly(
+        mttf in 50.0f64..500.0,
+        mttr in 0.5f64..5.0,
+        count in 3usize..=5,
+    ) {
+        // `count` identical components under dedicated repair: 2^count flat
+        // states must lump to count + 1 blocks (number of failed components).
+        let names: Vec<String> = (0..count).map(|i| format!("c{i}")).collect();
+        let structure = SystemStructure::new(StructureNode::series(
+            names.iter().map(|n| StructureNode::component(n.clone())).collect(),
+        ));
+        let mut builder = ArcadeModel::builder("symmetric", structure);
+        for name in &names {
+            builder = builder
+                .component(BasicComponent::from_mttf_mttr(name, mttf, mttr).unwrap().with_failed_cost(3.0));
+        }
+        builder = builder.repair_unit(
+            RepairUnit::new("ru", RepairStrategy::Dedicated, 1).unwrap().responsible_for(names.clone()),
+        );
+        let model = builder.build().unwrap();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let stats = compiled.stats();
+        prop_assert_eq!(stats.num_states, 1usize << count);
+        prop_assert_eq!(stats.lumped_states, Some(count + 1));
+    }
+}

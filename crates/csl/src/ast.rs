@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn builder_methods_compose() {
-        let f = StateFormula::label("a").and(StateFormula::label("b").not()).or(StateFormula::True);
+        let f = StateFormula::label("a")
+            .and(StateFormula::label("b").not())
+            .or(StateFormula::True);
         match f {
             StateFormula::Or(left, right) => {
                 assert!(matches!(*right, StateFormula::True));
@@ -114,7 +116,10 @@ mod tests {
 
     #[test]
     fn eventually_desugars_to_until() {
-        let path = PathFormula::BoundedEventually { goal: StateFormula::label("goal"), bound: 2.0 };
+        let path = PathFormula::BoundedEventually {
+            goal: StateFormula::label("goal"),
+            bound: 2.0,
+        };
         let (safe, goal, bound) = path.as_until();
         assert_eq!(safe, StateFormula::True);
         assert_eq!(goal, StateFormula::label("goal"));

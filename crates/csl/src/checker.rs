@@ -18,7 +18,10 @@ pub struct CslChecker<'a> {
 impl<'a> CslChecker<'a> {
     /// Creates a checker without rewards.
     pub fn new(chain: &'a Ctmc) -> Self {
-        CslChecker { chain, rewards: None }
+        CslChecker {
+            chain,
+            rewards: None,
+        }
     }
 
     /// Attaches a reward structure for `R=?` queries.
@@ -43,14 +46,19 @@ impl<'a> CslChecker<'a> {
         match formula {
             StateFormula::True => Ok(vec![true; n]),
             StateFormula::False => Ok(vec![false; n]),
-            StateFormula::Label(name) => self
-                .chain
-                .label(name)
-                .map(<[bool]>::to_vec)
-                .ok_or_else(|| CslError::UnknownLabel { label: name.clone() }),
-            StateFormula::Not(inner) => {
-                Ok(self.satisfying_states(inner)?.into_iter().map(|b| !b).collect())
+            StateFormula::Label(name) => {
+                self.chain
+                    .label(name)
+                    .map(<[bool]>::to_vec)
+                    .ok_or_else(|| CslError::UnknownLabel {
+                        label: name.clone(),
+                    })
             }
+            StateFormula::Not(inner) => Ok(self
+                .satisfying_states(inner)?
+                .into_iter()
+                .map(|b| !b)
+                .collect()),
             StateFormula::And(left, right) => {
                 let l = self.satisfying_states(left)?;
                 let r = self.satisfying_states(right)?;
@@ -78,12 +86,20 @@ impl<'a> CslChecker<'a> {
                 let (safe, goal, bound) = path.as_until();
                 let safe_mask = self.satisfying_states(&safe)?;
                 let goal_mask = self.satisfying_states(&goal)?;
-                Ok(TransientSolver::new(self.chain).bounded_until(&safe_mask, &goal_mask, bound)?)
+                Ok(
+                    TransientSolver::new(self.chain)
+                        .bounded_until(&safe_mask, &goal_mask, bound)?,
+                )
             }
             Query::SteadyState(formula) => {
                 let mask = self.satisfying_states(formula)?;
                 let pi = SteadyStateSolver::new(self.chain).solve()?;
-                Ok(pi.iter().zip(mask.iter()).filter(|(_, &m)| m).map(|(p, _)| p).sum())
+                Ok(pi
+                    .iter()
+                    .zip(mask.iter())
+                    .filter(|(_, &m)| m)
+                    .map(|(p, _)| p)
+                    .sum())
             }
             Query::InstantaneousReward { time } => {
                 let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
@@ -113,7 +129,8 @@ impl<'a> CslChecker<'a> {
         let (safe, goal, bound) = path.as_until();
         let safe_mask = self.satisfying_states(&safe)?;
         let goal_mask = self.satisfying_states(&goal)?;
-        Ok(TransientSolver::new(self.chain).bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
+        Ok(TransientSolver::new(self.chain)
+            .bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
     }
 }
 
@@ -138,14 +155,24 @@ mod tests {
     fn state_formula_evaluation() {
         let chain = repairable(1.0, 2.0);
         let checker = CslChecker::new(&chain);
-        assert_eq!(checker.satisfying_states(&StateFormula::True).unwrap(), vec![true, true]);
-        assert_eq!(checker.satisfying_states(&StateFormula::False).unwrap(), vec![false, false]);
         assert_eq!(
-            checker.satisfying_states(&StateFormula::label("down")).unwrap(),
+            checker.satisfying_states(&StateFormula::True).unwrap(),
+            vec![true, true]
+        );
+        assert_eq!(
+            checker.satisfying_states(&StateFormula::False).unwrap(),
+            vec![false, false]
+        );
+        assert_eq!(
+            checker
+                .satisfying_states(&StateFormula::label("down"))
+                .unwrap(),
             vec![false, true]
         );
         assert_eq!(
-            checker.satisfying_states(&StateFormula::label("down").not()).unwrap(),
+            checker
+                .satisfying_states(&StateFormula::label("down").not())
+                .unwrap(),
             vec![true, false]
         );
         assert_eq!(
@@ -197,11 +224,15 @@ mod tests {
         ));
         let rewards = RewardStructure::new("cost", vec![0.0, 3.0]).unwrap();
         let checker = checker.with_rewards(&rewards);
-        let inst = checker.check(&parse_query("R=? [ I=1000 ]").unwrap()).unwrap();
+        let inst = checker
+            .check(&parse_query("R=? [ I=1000 ]").unwrap())
+            .unwrap();
         assert!((inst - 1.5).abs() < 1e-6);
         let rate = checker.check(&parse_query("R=? [ S ]").unwrap()).unwrap();
         assert!((rate - 1.5).abs() < 1e-8);
-        let cumulative = checker.check(&parse_query("R=? [ C<=2 ]").unwrap()).unwrap();
+        let cumulative = checker
+            .check(&parse_query("R=? [ C<=2 ]").unwrap())
+            .unwrap();
         assert!(cumulative > 0.0 && cumulative < 6.0);
     }
 
@@ -209,7 +240,10 @@ mod tests {
     fn per_state_probabilities() {
         let chain = repairable(0.5, 2.0);
         let checker = CslChecker::new(&chain);
-        let path = PathFormula::BoundedEventually { goal: StateFormula::label("down"), bound: 1.0 };
+        let path = PathFormula::BoundedEventually {
+            goal: StateFormula::label("down"),
+            bound: 1.0,
+        };
         let per_state = checker.check_probability_per_state(&path).unwrap();
         assert_eq!(per_state.len(), 2);
         assert_eq!(per_state[1], 1.0);
@@ -226,7 +260,9 @@ mod tests {
             .unwrap();
         let reliability = 1.0 - unreliability;
         assert!(reliability > 0.0 && reliability < 1.0);
-        let availability = checker.check(&parse_query("S=? [ !\"down\" ]").unwrap()).unwrap();
+        let availability = checker
+            .check(&parse_query("S=? [ !\"down\" ]").unwrap())
+            .unwrap();
         assert!(availability > 0.99);
     }
 }

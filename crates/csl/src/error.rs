@@ -38,7 +38,10 @@ impl fmt::Display for CslError {
             }
             CslError::UnknownLabel { label } => write!(f, "unknown label `{label}`"),
             CslError::MissingRewards => {
-                write!(f, "reward query requires a reward structure; none was provided")
+                write!(
+                    f,
+                    "reward query requires a reward structure; none was provided"
+                )
             }
             CslError::InvalidBound { message } => write!(f, "invalid bound: {message}"),
             CslError::Numerics(err) => write!(f, "numerical engine error: {err}"),
@@ -67,9 +70,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CslError::Parse { position: 3, message: "expected ']'".into() };
+        let e = CslError::Parse {
+            position: 3,
+            message: "expected ']'".into(),
+        };
         assert!(e.to_string().contains('3'));
-        assert!(CslError::UnknownLabel { label: "down".into() }.to_string().contains("down"));
+        assert!(CslError::UnknownLabel {
+            label: "down".into()
+        }
+        .to_string()
+        .contains("down"));
         assert!(CslError::MissingRewards.to_string().contains("reward"));
         let e: CslError = CtmcError::EmptyChain.into();
         assert!(matches!(e, CslError::Numerics(_)));

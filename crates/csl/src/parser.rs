@@ -49,7 +49,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> CslError {
-        CslError::Parse { position: self.position, message: message.into() }
+        CslError::Parse {
+            position: self.position,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -96,9 +99,13 @@ impl<'a> Parser<'a> {
             self.expect("[")?;
             self.skip_whitespace();
             let query = if self.eat("I=") {
-                Query::InstantaneousReward { time: self.parse_number()? }
+                Query::InstantaneousReward {
+                    time: self.parse_number()?,
+                }
             } else if self.eat("C<=") {
-                Query::CumulativeReward { time: self.parse_number()? }
+                Query::CumulativeReward {
+                    time: self.parse_number()?,
+                }
             } else if self.eat("S") {
                 Query::SteadyStateReward
             } else {
@@ -186,12 +193,16 @@ impl<'a> Parser<'a> {
         let rest = self.rest();
         let end = rest
             .char_indices()
-            .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+')
+            .take_while(|(_, c)| {
+                c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+'
+            })
             .map(|(i, c)| i + c.len_utf8())
             .last()
             .unwrap_or(0);
         let text = &rest[..end];
-        let value: f64 = text.parse().map_err(|_| self.error(format!("invalid number `{text}`")))?;
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("invalid number `{text}`")))?;
         if value < 0.0 || !value.is_finite() {
             return Err(CslError::InvalidBound {
                 message: format!("time bounds must be non-negative and finite, got {value}"),
@@ -226,13 +237,21 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let q = parse_query("P=? [ F<=4.5 \"service\" ]").unwrap();
-        assert!(matches!(q, Query::Probability(PathFormula::BoundedEventually { bound, .. }) if bound == 4.5));
+        assert!(
+            matches!(q, Query::Probability(PathFormula::BoundedEventually { bound, .. }) if bound == 4.5)
+        );
     }
 
     #[test]
     fn parses_reward_queries() {
-        assert_eq!(parse_query("R=? [ I=2.5 ]").unwrap(), Query::InstantaneousReward { time: 2.5 });
-        assert_eq!(parse_query("R=? [ C<=10 ]").unwrap(), Query::CumulativeReward { time: 10.0 });
+        assert_eq!(
+            parse_query("R=? [ I=2.5 ]").unwrap(),
+            Query::InstantaneousReward { time: 2.5 }
+        );
+        assert_eq!(
+            parse_query("R=? [ C<=10 ]").unwrap(),
+            Query::CumulativeReward { time: 10.0 }
+        );
         assert_eq!(parse_query("R=? [ S ]").unwrap(), Query::SteadyStateReward);
     }
 
@@ -260,7 +279,9 @@ mod tests {
     #[test]
     fn scientific_notation_bounds() {
         let q = parse_query("P=? [ true U<=1e3 \"down\" ]").unwrap();
-        assert!(matches!(q, Query::Probability(PathFormula::BoundedUntil { bound, .. }) if bound == 1000.0));
+        assert!(
+            matches!(q, Query::Probability(PathFormula::BoundedUntil { bound, .. }) if bound == 1000.0)
+        );
     }
 
     #[test]

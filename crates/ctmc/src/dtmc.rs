@@ -36,7 +36,10 @@ impl Dtmc {
             });
         }
         if initial.len() != n {
-            return Err(CtmcError::DimensionMismatch { expected: n, actual: initial.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: initial.len(),
+            });
         }
         for (row, sum) in transitions.row_sums().into_iter().enumerate() {
             if sum != 0.0 && (sum - 1.0).abs() > 1e-9 {
@@ -51,7 +54,10 @@ impl Dtmc {
                 reason: format!("initial distribution sums to {total}"),
             });
         }
-        Ok(Dtmc { transitions, initial })
+        Ok(Dtmc {
+            transitions,
+            initial,
+        })
     }
 
     /// The uniformised DTMC of a CTMC: `P = I + Q/q` with `q` the given
@@ -61,7 +67,10 @@ impl Dtmc {
     ///
     /// Propagates errors from [`Ctmc::uniformized_matrix`].
     pub fn uniformized(chain: &Ctmc, q: f64) -> Result<Self, CtmcError> {
-        Dtmc::new(chain.uniformized_matrix(q)?, chain.initial_distribution().to_vec())
+        Dtmc::new(
+            chain.uniformized_matrix(q)?,
+            chain.initial_distribution().to_vec(),
+        )
     }
 
     /// The embedded jump chain of a CTMC (absorbing CTMC states get self-loops).
@@ -119,11 +128,17 @@ impl Dtmc {
         let mut is_target = vec![false; n];
         for &t in targets {
             if t >= n {
-                return Err(CtmcError::StateOutOfBounds { state: t, num_states: n });
+                return Err(CtmcError::StateOutOfBounds {
+                    state: t,
+                    num_states: n,
+                });
             }
             is_target[t] = true;
         }
-        let mut x: Vec<f64> = is_target.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut x: Vec<f64> = is_target
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect();
         let mut next = vec![0.0; n];
         for _ in 0..max_iterations {
             let mut max_delta: f64 = 0.0;
@@ -218,8 +233,8 @@ mod tests {
         let m = stochastic(5, &entries);
         let d = Dtmc::new(m, vec![0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
         let probs = d.reachability_probabilities(&[4], 1e-12, 100_000).unwrap();
-        for k in 0..5 {
-            assert!((probs[k] - k as f64 / 4.0).abs() < 1e-6, "k={k}: {}", probs[k]);
+        for (k, &p) in probs.iter().enumerate() {
+            assert!((p - k as f64 / 4.0).abs() < 1e-6, "k={k}: {p}");
         }
         assert!(d.reachability_probabilities(&[9], 1e-12, 10).is_err());
     }

@@ -65,24 +65,40 @@ impl fmt::Display for CtmcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CtmcError::StateOutOfBounds { state, num_states } => {
-                write!(f, "state index {state} out of bounds for chain with {num_states} states")
+                write!(
+                    f,
+                    "state index {state} out of bounds for chain with {num_states} states"
+                )
             }
             CtmcError::InvalidRate { from, to, rate } => {
-                write!(f, "invalid transition rate {rate} from state {from} to state {to}")
+                write!(
+                    f,
+                    "invalid transition rate {rate} from state {from} to state {to}"
+                )
             }
             CtmcError::SelfLoop { state } => {
-                write!(f, "self-loop requested on state {state}; CTMC rate matrices have no self-loops")
+                write!(
+                    f,
+                    "self-loop requested on state {state}; CTMC rate matrices have no self-loops"
+                )
             }
             CtmcError::InvalidInitialDistribution { reason } => {
                 write!(f, "invalid initial distribution: {reason}")
             }
             CtmcError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
-            CtmcError::NotConverged { solver, iterations, residual } => write!(
+            CtmcError::NotConverged {
+                solver,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             CtmcError::NotIrreducible { num_bsccs } => {
-                write!(f, "operation requires an irreducible chain but {num_bsccs} BSCCs were found")
+                write!(
+                    f,
+                    "operation requires an irreducible chain but {num_bsccs} BSCCs were found"
+                )
             }
             CtmcError::EmptyChain => write!(f, "the chain has no states"),
             CtmcError::DimensionMismatch { expected, actual } => {
@@ -100,20 +116,34 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CtmcError::StateOutOfBounds { state: 7, num_states: 3 };
+        let e = CtmcError::StateOutOfBounds {
+            state: 7,
+            num_states: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
 
-        let e = CtmcError::InvalidRate { from: 0, to: 1, rate: -2.0 };
+        let e = CtmcError::InvalidRate {
+            from: 0,
+            to: 1,
+            rate: -2.0,
+        };
         assert!(e.to_string().contains("-2"));
 
-        let e = CtmcError::NotConverged { solver: "gauss-seidel", iterations: 10, residual: 1e-3 };
+        let e = CtmcError::NotConverged {
+            solver: "gauss-seidel",
+            iterations: 10,
+            residual: 1e-3,
+        };
         assert!(e.to_string().contains("gauss-seidel"));
 
         let e = CtmcError::NotIrreducible { num_bsccs: 2 };
         assert!(e.to_string().contains('2'));
 
-        let e = CtmcError::DimensionMismatch { expected: 4, actual: 5 };
+        let e = CtmcError::DimensionMismatch {
+            expected: 4,
+            actual: 5,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('5'));
     }
 

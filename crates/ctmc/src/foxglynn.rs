@@ -45,7 +45,11 @@ impl FoxGlynn {
         }
 
         if lambda == 0.0 {
-            return Ok(FoxGlynn { left: 0, right: 0, weights: vec![1.0] });
+            return Ok(FoxGlynn {
+                left: 0,
+                right: 0,
+                weights: vec![1.0],
+            });
         }
 
         let mode = lambda.floor() as usize;
@@ -100,7 +104,11 @@ impl FoxGlynn {
         let scale = 1.0 / total;
         weights.iter_mut().for_each(|w| *w *= scale);
 
-        Ok(FoxGlynn { left, right, weights })
+        Ok(FoxGlynn {
+            left,
+            right,
+            weights,
+        })
     }
 
     /// Total number of retained terms.
@@ -141,14 +149,14 @@ fn ln_factorial(n: usize) -> f64 {
 fn ln_gamma(x: f64) -> f64 {
     // Coefficients for g = 7, n = 9 (Numerical Recipes / Boost style).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {

@@ -211,8 +211,20 @@ mod tests {
     #[test]
     fn larger_random_like_graph_partitions_all_nodes() {
         let edges = [
-            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 6_usize.min(6)),
-            (6, 7), (7, 8), (8, 6), (1, 5), (4, 8),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+            (6, 6),
+            (6, 7),
+            (7, 8),
+            (8, 6),
+            (1, 5),
+            (4, 8),
         ];
         let edges: Vec<(usize, usize)> = edges.iter().filter(|(u, v)| u != v).copied().collect();
         let m = graph(9, &edges);
@@ -220,7 +232,7 @@ mod tests {
         let total: usize = sccs.iter().map(Vec::len).sum();
         assert_eq!(total, 9);
         // Every node appears exactly once.
-        let mut seen = vec![false; 9];
+        let mut seen = [false; 9];
         for comp in &sccs {
             for &s in comp {
                 assert!(!seen[s]);
@@ -279,10 +291,14 @@ mod tests {
         let mut b = CtmcBuilder::new(4);
         b.add_transition(0, 1, 1.0).unwrap();
         b.add_transition(2, 3, 1.0).unwrap();
-        b.set_initial_distribution(vec![0.5, 0.0, 0.5, 0.0]).unwrap();
+        b.set_initial_distribution(vec![0.5, 0.0, 0.5, 0.0])
+            .unwrap();
         let chain = b.build().unwrap();
         assert_eq!(reachable_from_initial(&chain), vec![true, true, true, true]);
         let chain_only_zero = chain.with_initial_state(0).unwrap();
-        assert_eq!(reachable_from_initial(&chain_only_zero), vec![true, true, false, false]);
+        assert_eq!(
+            reachable_from_initial(&chain_only_zero),
+            vec![true, true, false, false]
+        );
     }
 }

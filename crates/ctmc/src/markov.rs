@@ -72,13 +72,19 @@ impl Ctmc {
     /// Returns the states satisfying a label, if present.
     pub fn states_with_label(&self, name: &str) -> Option<Vec<StateIndex>> {
         self.labels.get(name).map(|mask| {
-            mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect()
+            mask.iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i))
+                .collect()
         })
     }
 
     /// Returns `true` when `state` carries label `name`.
     pub fn state_has_label(&self, state: StateIndex, name: &str) -> bool {
-        self.labels.get(name).map(|mask| mask.get(state).copied().unwrap_or(false)).unwrap_or(false)
+        self.labels
+            .get(name)
+            .map(|mask| mask.get(state).copied().unwrap_or(false))
+            .unwrap_or(false)
     }
 
     /// Attaches (or replaces) a label given its characteristic vector.
@@ -122,7 +128,10 @@ impl Ctmc {
     /// Returns [`CtmcError::StateOutOfBounds`] if `state` is not a valid index.
     pub fn with_initial_state(&self, state: StateIndex) -> Result<Ctmc, CtmcError> {
         if state >= self.num_states() {
-            return Err(CtmcError::StateOutOfBounds { state, num_states: self.num_states() });
+            return Err(CtmcError::StateOutOfBounds {
+                state,
+                num_states: self.num_states(),
+            });
         }
         let mut initial = vec![0.0; self.num_states()];
         initial[state] = 1.0;
@@ -145,8 +154,8 @@ impl Ctmc {
         }
         let n = self.num_states();
         let mut builder = SparseMatrixBuilder::new(n, n);
-        for s in 0..n {
-            if absorbing[s] {
+        for (s, &is_absorbing) in absorbing.iter().enumerate() {
+            if is_absorbing {
                 continue;
             }
             let (cols, values) = self.rates.row(s);
@@ -156,7 +165,12 @@ impl Ctmc {
         }
         let rates = builder.build();
         let exit_rates = rates.row_sums();
-        Ok(Ctmc { rates, exit_rates, initial: self.initial.clone(), labels: self.labels.clone() })
+        Ok(Ctmc {
+            rates,
+            exit_rates,
+            initial: self.initial.clone(),
+            labels: self.labels.clone(),
+        })
     }
 
     /// Builds the uniformised discrete-time transition probability matrix
@@ -167,7 +181,7 @@ impl Ctmc {
     /// Returns [`CtmcError::InvalidArgument`] if `q` is not strictly positive or
     /// is smaller than the maximal exit rate.
     pub fn uniformized_matrix(&self, q: f64) -> Result<SparseMatrix, CtmcError> {
-        if !(q > 0.0) || q.is_nan() {
+        if q <= 0.0 || q.is_nan() {
             return Err(CtmcError::InvalidArgument {
                 reason: format!("uniformisation rate must be positive, got {q}"),
             });
@@ -232,7 +246,10 @@ impl Ctmc {
 
 fn validate_distribution(dist: &[f64], num_states: usize) -> Result<(), CtmcError> {
     if dist.len() != num_states {
-        return Err(CtmcError::DimensionMismatch { expected: num_states, actual: dist.len() });
+        return Err(CtmcError::DimensionMismatch {
+            expected: num_states,
+            actual: dist.len(),
+        });
     }
     if dist.iter().any(|&p| p < 0.0 || p.is_nan()) {
         return Err(CtmcError::InvalidInitialDistribution {
@@ -283,7 +300,12 @@ impl CtmcBuilder {
         if num_states > 0 {
             initial[0] = 1.0;
         }
-        CtmcBuilder { num_states, transitions: Vec::new(), initial, labels: BTreeMap::new() }
+        CtmcBuilder {
+            num_states,
+            transitions: Vec::new(),
+            initial,
+            labels: BTreeMap::new(),
+        }
     }
 
     /// Number of states the chain will have.
@@ -306,15 +328,21 @@ impl CtmcBuilder {
         rate: f64,
     ) -> Result<&mut Self, CtmcError> {
         if from >= self.num_states {
-            return Err(CtmcError::StateOutOfBounds { state: from, num_states: self.num_states });
+            return Err(CtmcError::StateOutOfBounds {
+                state: from,
+                num_states: self.num_states,
+            });
         }
         if to >= self.num_states {
-            return Err(CtmcError::StateOutOfBounds { state: to, num_states: self.num_states });
+            return Err(CtmcError::StateOutOfBounds {
+                state: to,
+                num_states: self.num_states,
+            });
         }
         if from == to {
             return Err(CtmcError::SelfLoop { state: from });
         }
-        if !(rate > 0.0) || !rate.is_finite() {
+        if rate <= 0.0 || !rate.is_finite() {
             return Err(CtmcError::InvalidRate { from, to, rate });
         }
         self.transitions.push((from, to, rate));
@@ -328,7 +356,10 @@ impl CtmcBuilder {
     /// Returns [`CtmcError::StateOutOfBounds`] if `state` is invalid.
     pub fn set_initial_state(&mut self, state: StateIndex) -> Result<&mut Self, CtmcError> {
         if state >= self.num_states {
-            return Err(CtmcError::StateOutOfBounds { state, num_states: self.num_states });
+            return Err(CtmcError::StateOutOfBounds {
+                state,
+                num_states: self.num_states,
+            });
         }
         self.initial.iter_mut().for_each(|p| *p = 0.0);
         self.initial[state] = 1.0;
@@ -360,7 +391,10 @@ impl CtmcBuilder {
         let mut mask = vec![false; self.num_states];
         for &s in states {
             if s >= self.num_states {
-                return Err(CtmcError::StateOutOfBounds { state: s, num_states: self.num_states });
+                return Err(CtmcError::StateOutOfBounds {
+                    state: s,
+                    num_states: self.num_states,
+                });
             }
             mask[s] = true;
         }
@@ -379,7 +413,10 @@ impl CtmcBuilder {
         mask: Vec<bool>,
     ) -> Result<&mut Self, CtmcError> {
         if mask.len() != self.num_states {
-            return Err(CtmcError::DimensionMismatch { expected: self.num_states, actual: mask.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states,
+                actual: mask.len(),
+            });
         }
         self.labels.insert(name.into(), mask);
         Ok(self)
@@ -400,7 +437,12 @@ impl CtmcBuilder {
         }
         let rates = builder.build();
         let exit_rates = rates.row_sums();
-        Ok(Ctmc { rates, exit_rates, initial: self.initial, labels: self.labels })
+        Ok(Ctmc {
+            rates,
+            exit_rates,
+            initial: self.initial,
+            labels: self.labels,
+        })
     }
 }
 
@@ -420,14 +462,38 @@ mod tests {
     #[test]
     fn builder_rejects_bad_input() {
         let mut b = CtmcBuilder::new(2);
-        assert!(matches!(b.add_transition(0, 5, 1.0), Err(CtmcError::StateOutOfBounds { .. })));
-        assert!(matches!(b.add_transition(5, 0, 1.0), Err(CtmcError::StateOutOfBounds { .. })));
-        assert!(matches!(b.add_transition(0, 0, 1.0), Err(CtmcError::SelfLoop { .. })));
-        assert!(matches!(b.add_transition(0, 1, 0.0), Err(CtmcError::InvalidRate { .. })));
-        assert!(matches!(b.add_transition(0, 1, -1.0), Err(CtmcError::InvalidRate { .. })));
-        assert!(matches!(b.add_transition(0, 1, f64::NAN), Err(CtmcError::InvalidRate { .. })));
-        assert!(matches!(b.add_transition(0, 1, f64::INFINITY), Err(CtmcError::InvalidRate { .. })));
-        assert!(matches!(b.set_initial_state(9), Err(CtmcError::StateOutOfBounds { .. })));
+        assert!(matches!(
+            b.add_transition(0, 5, 1.0),
+            Err(CtmcError::StateOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(5, 0, 1.0),
+            Err(CtmcError::StateOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(0, 0, 1.0),
+            Err(CtmcError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(0, 1, 0.0),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(0, 1, -1.0),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(0, 1, f64::NAN),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(0, 1, f64::INFINITY),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            b.set_initial_state(9),
+            Err(CtmcError::StateOutOfBounds { .. })
+        ));
         assert!(matches!(
             b.set_initial_distribution(vec![0.5, 0.2]),
             Err(CtmcError::InvalidInitialDistribution { .. })
@@ -436,12 +502,18 @@ mod tests {
             b.set_initial_distribution(vec![0.5]),
             Err(CtmcError::DimensionMismatch { .. })
         ));
-        assert!(matches!(b.add_label("x", &[7]), Err(CtmcError::StateOutOfBounds { .. })));
+        assert!(matches!(
+            b.add_label("x", &[7]),
+            Err(CtmcError::StateOutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn empty_chain_is_rejected() {
-        assert!(matches!(CtmcBuilder::new(0).build(), Err(CtmcError::EmptyChain)));
+        assert!(matches!(
+            CtmcBuilder::new(0).build(),
+            Err(CtmcError::EmptyChain)
+        ));
     }
 
     #[test]
@@ -539,6 +611,8 @@ mod tests {
         assert!(chain.with_initial_state(10).is_err());
         let uniform = chain.with_initial_distribution(vec![1.0 / 3.0; 3]).unwrap();
         assert!((uniform.initial_distribution().iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!(chain.with_initial_distribution(vec![0.7, 0.7, -0.4]).is_err());
+        assert!(chain
+            .with_initial_distribution(vec![0.7, 0.7, -0.4])
+            .is_err());
     }
 }

@@ -37,12 +37,18 @@ impl RewardStructure {
                 reason: "state rewards must be finite and non-negative".to_string(),
             });
         }
-        Ok(RewardStructure { name: name.into(), state_rewards })
+        Ok(RewardStructure {
+            name: name.into(),
+            state_rewards,
+        })
     }
 
     /// Creates a zero reward structure for a chain with `num_states` states.
     pub fn zeros(name: impl Into<String>, num_states: usize) -> Self {
-        RewardStructure { name: name.into(), state_rewards: vec![0.0; num_states] }
+        RewardStructure {
+            name: name.into(),
+            state_rewards: vec![0.0; num_states],
+        }
     }
 
     /// The name of this reward structure (e.g. `"repair_cost"`).
@@ -97,7 +103,11 @@ impl RewardStructure {
                 actual: distribution.len(),
             });
         }
-        Ok(distribution.iter().zip(self.state_rewards.iter()).map(|(p, r)| p * r).sum())
+        Ok(distribution
+            .iter()
+            .zip(self.state_rewards.iter())
+            .map(|(p, r)| p * r)
+            .sum())
     }
 }
 
@@ -122,7 +132,11 @@ impl<'a> RewardSolver<'a> {
                 actual: rewards.len(),
             });
         }
-        Ok(RewardSolver { chain, rewards, options: TransientOptions::default() })
+        Ok(RewardSolver {
+            chain,
+            rewards,
+            options: TransientOptions::default(),
+        })
     }
 
     /// Overrides the transient-analysis options.
@@ -236,7 +250,9 @@ mod tests {
         let chain = two_state(0.2, 1.0);
         let rewards = RewardStructure::new("cost", vec![1.0, 3.0]).unwrap();
         let solver = RewardSolver::new(&chain, &rewards).unwrap();
-        let series = solver.accumulated_series(&[1.0, 2.0, 5.0, 10.0, 20.0]).unwrap();
+        let series = solver
+            .accumulated_series(&[1.0, 2.0, 5.0, 10.0, 20.0])
+            .unwrap();
         for pair in series.windows(2) {
             assert!(pair[1] > pair[0]);
         }

@@ -87,7 +87,9 @@ impl SparseMatrix {
     /// Panics if `row >= num_rows()`.
     pub fn row_entries(&self, row: usize) -> impl Iterator<Item = Entry> + '_ {
         let (cols, values) = self.row(row);
-        cols.iter().zip(values.iter()).map(|(&col, &value)| Entry { col, value })
+        cols.iter()
+            .zip(values.iter())
+            .map(|(&col, &value)| Entry { col, value })
     }
 
     /// Looks up the entry at `(row, col)`, returning `0.0` if it is not stored.
@@ -110,14 +112,19 @@ impl SparseMatrix {
     /// `y.len() != num_cols()`.
     pub fn left_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), CtmcError> {
         if x.len() != self.num_rows {
-            return Err(CtmcError::DimensionMismatch { expected: self.num_rows, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: x.len(),
+            });
         }
         if y.len() != self.num_cols {
-            return Err(CtmcError::DimensionMismatch { expected: self.num_cols, actual: y.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: y.len(),
+            });
         }
         y.iter_mut().for_each(|v| *v = 0.0);
-        for row in 0..self.num_rows {
-            let xi = x[row];
+        for (row, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -137,18 +144,24 @@ impl SparseMatrix {
     /// `y.len() != num_rows()`.
     pub fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), CtmcError> {
         if x.len() != self.num_cols {
-            return Err(CtmcError::DimensionMismatch { expected: self.num_cols, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: x.len(),
+            });
         }
         if y.len() != self.num_rows {
-            return Err(CtmcError::DimensionMismatch { expected: self.num_rows, actual: y.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: y.len(),
+            });
         }
-        for row in 0..self.num_rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let (cols, values) = self.row(row);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(values.iter()) {
                 acc += v * x[*c];
             }
-            y[row] = acc;
+            *out = acc;
         }
         Ok(())
     }
@@ -167,7 +180,9 @@ impl SparseMatrix {
 
     /// Returns the sum of each row as a vector.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.num_rows).map(|r| self.row(r).1.iter().sum()).collect()
+        (0..self.num_rows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
     }
 
     /// Returns a new matrix where every stored value has been scaled by `factor`.
@@ -181,7 +196,9 @@ impl SparseMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.num_rows).flat_map(move |row| {
             let (cols, values) = self.row(row);
-            cols.iter().zip(values.iter()).map(move |(&c, &v)| (row, c, v))
+            cols.iter()
+                .zip(values.iter())
+                .map(move |(&c, &v)| (row, c, v))
         })
     }
 }
@@ -201,7 +218,11 @@ pub struct SparseMatrixBuilder {
 impl SparseMatrixBuilder {
     /// Creates a builder for a matrix with the given dimensions.
     pub fn new(num_rows: usize, num_cols: usize) -> Self {
-        SparseMatrixBuilder { num_rows, num_cols, triplets: Vec::new() }
+        SparseMatrixBuilder {
+            num_rows,
+            num_cols,
+            triplets: Vec::new(),
+        }
     }
 
     /// Adds `value` at `(row, col)`. Values pushed to the same coordinates are summed.
@@ -212,8 +233,16 @@ impl SparseMatrixBuilder {
     /// validated indices (the higher-level [`crate::CtmcBuilder`] returns errors
     /// instead of panicking).
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.num_rows, "row {row} out of bounds ({} rows)", self.num_rows);
-        assert!(col < self.num_cols, "col {col} out of bounds ({} cols)", self.num_cols);
+        assert!(
+            row < self.num_rows,
+            "row {row} out of bounds ({} rows)",
+            self.num_rows
+        );
+        assert!(
+            col < self.num_cols,
+            "col {col} out of bounds ({} cols)",
+            self.num_cols
+        );
         self.triplets.push((row, col, value));
     }
 
@@ -230,7 +259,7 @@ impl SparseMatrixBuilder {
     /// Builds the CSR matrix, merging duplicate coordinates by summation and
     /// dropping entries that cancel to exactly zero.
     pub fn build(mut self) -> SparseMatrix {
-        self.triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut row_offsets = vec![0usize; self.num_rows + 1];
         let mut cols = Vec::with_capacity(self.triplets.len());
@@ -398,6 +427,9 @@ mod tests {
     fn row_entries_iterator() {
         let m = matrix_2x2();
         let entries: Vec<_> = m.row_entries(1).collect();
-        assert_eq!(entries, vec![Entry { col: 0, value: 3.0 }, Entry { col: 1, value: 4.0 }]);
+        assert_eq!(
+            entries,
+            vec![Entry { col: 0, value: 3.0 }, Entry { col: 1, value: 4.0 }]
+        );
     }
 }

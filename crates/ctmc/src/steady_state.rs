@@ -17,20 +17,15 @@ use crate::sparse::{SparseMatrix, SparseMatrixBuilder};
 use crate::{DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
 
 /// Iterative method used for the local steady-state solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SteadyStateMethod {
     /// Gauss–Seidel iteration on the balance equations (default; fastest).
+    #[default]
     GaussSeidel,
     /// Jacobi iteration on the balance equations.
     Jacobi,
     /// Power iteration on the uniformised DTMC.
     Power,
-}
-
-impl Default for SteadyStateMethod {
-    fn default() -> Self {
-        SteadyStateMethod::GaussSeidel
-    }
 }
 
 /// Steady-state solver for labelled CTMCs.
@@ -118,7 +113,10 @@ impl<'a> SteadyStateSolver<'a> {
         let mut total = 0.0;
         for &s in states {
             if s >= pi.len() {
-                return Err(CtmcError::StateOutOfBounds { state: s, num_states: pi.len() });
+                return Err(CtmcError::StateOutOfBounds {
+                    state: s,
+                    num_states: pi.len(),
+                });
             }
             total += pi[s];
         }
@@ -267,12 +265,12 @@ impl<'a> SteadyStateSolver<'a> {
             return Ok(vec![1.0 / m as f64; m]);
         }
         let mut builder = SparseMatrixBuilder::new(m, m);
-        for s in 0..m {
+        for (s, &exit_rate) in exit.iter().enumerate() {
             let (cols, values) = rates.row(s);
             for (c, v) in cols.iter().zip(values.iter()) {
                 builder.push(s, *c, *v / q);
             }
-            let stay = 1.0 - exit[s] / q;
+            let stay = 1.0 - exit_rate / q;
             if stay != 0.0 {
                 builder.push(s, s, stay);
             }
@@ -337,7 +335,9 @@ impl<'a> SteadyStateSolver<'a> {
         // distribution. Transient mass vanishes in the long run so the reach
         // probabilities over all BSCCs sum to one for every state.
         for (bi, _) in bsccs.iter().enumerate() {
-            let mut x: Vec<f64> = (0..n).map(|s| if in_bscc[s] == bi { 1.0 } else { 0.0 }).collect();
+            let mut x: Vec<f64> = (0..n)
+                .map(|s| if in_bscc[s] == bi { 1.0 } else { 0.0 })
+                .collect();
             let mut next = vec![0.0; n];
             for _ in 0..self.max_iterations {
                 let mut max_delta: f64 = 0.0;
@@ -397,10 +397,21 @@ mod tests {
     #[test]
     fn two_state_steady_state_closed_form() {
         let chain = two_state(0.002, 0.2);
-        for method in [SteadyStateMethod::GaussSeidel, SteadyStateMethod::Jacobi, SteadyStateMethod::Power] {
-            let pi = SteadyStateSolver::new(&chain).method(method).solve().unwrap();
+        for method in [
+            SteadyStateMethod::GaussSeidel,
+            SteadyStateMethod::Jacobi,
+            SteadyStateMethod::Power,
+        ] {
+            let pi = SteadyStateSolver::new(&chain)
+                .method(method)
+                .solve()
+                .unwrap();
             let expected_down = 0.002 / 0.202;
-            assert!((pi[1] - expected_down).abs() < 1e-8, "{method:?}: {}", pi[1]);
+            assert!(
+                (pi[1] - expected_down).abs() < 1e-8,
+                "{method:?}: {}",
+                pi[1]
+            );
             assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }
@@ -506,7 +517,10 @@ mod tests {
     fn iteration_cap_produces_not_converged() {
         // Asymmetric rates so the uniform starting guess is not already the answer.
         let chain = two_state(1.0, 3.0);
-        let result = SteadyStateSolver::new(&chain).max_iterations(1).tolerance(1e-16).solve();
+        let result = SteadyStateSolver::new(&chain)
+            .max_iterations(1)
+            .tolerance(1e-16)
+            .solve();
         assert!(matches!(result, Err(CtmcError::NotConverged { .. })));
     }
 }

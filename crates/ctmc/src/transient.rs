@@ -24,7 +24,10 @@ pub struct TransientOptions {
 
 impl Default for TransientOptions {
     fn default() -> Self {
-        TransientOptions { epsilon: 1e-12, uniformization_factor: 1.02 }
+        TransientOptions {
+            epsilon: 1e-12,
+            uniformization_factor: 1.02,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ pub struct TransientSolver<'a> {
 impl<'a> TransientSolver<'a> {
     /// Creates a solver with default options.
     pub fn new(chain: &'a Ctmc) -> Self {
-        TransientSolver { chain, options: TransientOptions::default() }
+        TransientSolver {
+            chain,
+            options: TransientOptions::default(),
+        }
     }
 
     /// Creates a solver with explicit options.
@@ -116,7 +122,12 @@ impl<'a> TransientSolver<'a> {
         }
         if self.chain.max_exit_rate() == 0.0 {
             // No transitions at all: time accumulates in the initial states.
-            return Ok(self.chain.initial_distribution().iter().map(|p| p * t).collect());
+            return Ok(self
+                .chain
+                .initial_distribution()
+                .iter()
+                .map(|p| p * t)
+                .collect());
         }
         let (q, p, fg) = self.uniformize(t)?;
 
@@ -182,10 +193,16 @@ impl<'a> TransientSolver<'a> {
         self.validate_time(t)?;
         let n = self.chain.num_states();
         if safe.len() != n {
-            return Err(CtmcError::DimensionMismatch { expected: n, actual: safe.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: safe.len(),
+            });
         }
         if goal.len() != n {
-            return Err(CtmcError::DimensionMismatch { expected: n, actual: goal.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: goal.len(),
+            });
         }
 
         // States that are neither safe nor goal act as sinks (the path is cut);
@@ -242,14 +259,20 @@ impl<'a> TransientSolver<'a> {
         let mut goal_mask = vec![false; n];
         for &s in goal {
             if s >= n {
-                return Err(CtmcError::StateOutOfBounds { state: s, num_states: n });
+                return Err(CtmcError::StateOutOfBounds {
+                    state: s,
+                    num_states: n,
+                });
             }
             goal_mask[s] = true;
         }
         self.bounded_until(&vec![true; n], &goal_mask, t)
     }
 
-    fn uniformize(&self, t: f64) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
+    fn uniformize(
+        &self,
+        t: f64,
+    ) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
         let q = self.chain.max_exit_rate() * self.options.uniformization_factor;
         let p = self.chain.uniformized_matrix(q)?;
         let fg = FoxGlynn::new(q * t, self.options.epsilon)?;
@@ -322,7 +345,9 @@ mod tests {
         assert!(solver.probabilities_at(-1.0).is_err());
         assert!(solver.probabilities_at(f64::NAN).is_err());
         assert!(solver.expected_sojourn_times(-2.0).is_err());
-        assert!(solver.bounded_until(&[true, true], &[false, true], f64::INFINITY).is_err());
+        assert!(solver
+            .bounded_until(&[true, true], &[false, true], f64::INFINITY)
+            .is_err());
     }
 
     #[test]
@@ -378,8 +403,9 @@ mod tests {
     fn bounded_until_at_time_zero_is_goal_indicator() {
         let chain = two_state(1.0, 1.0);
         let solver = TransientSolver::new(&chain);
-        let per_state =
-            solver.bounded_until_per_state(&[true, true], &[false, true], 0.0).unwrap();
+        let per_state = solver
+            .bounded_until_per_state(&[true, true], &[false, true], 0.0)
+            .unwrap();
         assert_eq!(per_state, vec![0.0, 1.0]);
     }
 
@@ -416,7 +442,11 @@ mod tests {
         let a = lambda / (lambda + mu);
         let b = lambda + mu;
         let expected_down = a * (t - (1.0 - (-b * t).exp()) / b);
-        assert!((l[1] - expected_down).abs() < 1e-8, "got {}, expected {expected_down}", l[1]);
+        assert!(
+            (l[1] - expected_down).abs() < 1e-8,
+            "got {}, expected {expected_down}",
+            l[1]
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ fn cut_sets(node: &FaultNode) -> Vec<BTreeSet<String>> {
             }
             acc
         }
-        FaultNode::Vote { failed_threshold, children } => {
+        FaultNode::Vote {
+            failed_threshold,
+            children,
+        } => {
             let k = (*failed_threshold).min(children.len()).max(1);
             let mut out = Vec::new();
             for combo in combinations(children.len(), k) {
@@ -63,7 +66,13 @@ fn cut_sets(node: &FaultNode) -> Vec<BTreeSet<String>> {
 fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -129,7 +138,11 @@ mod tests {
     fn vote_expands_to_combinations() {
         let tree = FaultTree::new(FaultNode::vote(
             2,
-            vec![FaultNode::basic("a"), FaultNode::basic("b"), FaultNode::basic("c")],
+            vec![
+                FaultNode::basic("a"),
+                FaultNode::basic("b"),
+                FaultNode::basic("c"),
+            ],
         ));
         let sets = minimal_cut_sets(&tree);
         assert_eq!(sets.len(), 3);
@@ -152,14 +165,20 @@ mod tests {
     fn cut_sets_imply_tree_failure() {
         let tree = FaultTree::new(FaultNode::or(vec![
             FaultNode::and(vec![FaultNode::basic("a"), FaultNode::basic("b")]),
-            FaultNode::vote(2, vec![
-                FaultNode::basic("p1"),
-                FaultNode::basic("p2"),
-                FaultNode::basic("p3"),
-            ]),
+            FaultNode::vote(
+                2,
+                vec![
+                    FaultNode::basic("p1"),
+                    FaultNode::basic("p2"),
+                    FaultNode::basic("p3"),
+                ],
+            ),
         ]));
         for cut in minimal_cut_sets(&tree) {
-            assert!(tree.is_failed(|n| cut.contains(n)), "cut set {cut:?} should fail the tree");
+            assert!(
+                tree.is_failed(|n| cut.contains(n)),
+                "cut set {cut:?} should fail the tree"
+            );
             // Minimality: removing any element keeps the system up.
             for excluded in &cut {
                 assert!(

@@ -28,7 +28,10 @@ impl fmt::Display for FaultTreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultTreeError::EmptyGate { gate } => write!(f, "{gate} gate has no children"),
-            FaultTreeError::InvalidVoteThreshold { threshold, children } => write!(
+            FaultTreeError::InvalidVoteThreshold {
+                threshold,
+                children,
+            } => write!(
                 f,
                 "voting threshold {threshold} is invalid for a gate with {children} children"
             ),
@@ -47,12 +50,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(FaultTreeError::EmptyGate { gate: "and" }.to_string().contains("and"));
-        assert!(FaultTreeError::InvalidVoteThreshold { threshold: 5, children: 3 }
+        assert!(FaultTreeError::EmptyGate { gate: "and" }
             .to_string()
-            .contains('5'));
-        assert!(FaultTreeError::UnknownBasicEvent { name: "pump".into() }
-            .to_string()
-            .contains("pump"));
+            .contains("and"));
+        assert!(FaultTreeError::InvalidVoteThreshold {
+            threshold: 5,
+            children: 3
+        }
+        .to_string()
+        .contains('5'));
+        assert!(FaultTreeError::UnknownBasicEvent {
+            name: "pump".into()
+        }
+        .to_string()
+        .contains("pump"));
     }
 }

@@ -54,7 +54,10 @@ impl FaultNode {
     /// Creates a voting gate that fires when at least `failed_threshold` of its
     /// children fire.
     pub fn vote(failed_threshold: usize, children: Vec<FaultNode>) -> FaultNode {
-        FaultNode::Vote { failed_threshold, children }
+        FaultNode::Vote {
+            failed_threshold,
+            children,
+        }
     }
 
     /// Evaluates this node given a predicate telling which components are failed.
@@ -66,7 +69,10 @@ impl FaultNode {
             FaultNode::Basic(name) => failed(name),
             FaultNode::And(children) => children.iter().all(|c| c.evaluate(failed)),
             FaultNode::Or(children) => children.iter().any(|c| c.evaluate(failed)),
-            FaultNode::Vote { failed_threshold, children } => {
+            FaultNode::Vote {
+                failed_threshold,
+                children,
+            } => {
                 let fired = children.iter().filter(|c| c.evaluate(failed)).count();
                 fired >= *failed_threshold
             }
@@ -116,7 +122,10 @@ impl FaultNode {
             FaultNode::Or(children) => {
                 ServiceNode::Min(children.iter().map(FaultNode::to_service_node).collect())
             }
-            FaultNode::Vote { failed_threshold, children } => {
+            FaultNode::Vote {
+                failed_threshold,
+                children,
+            } => {
                 let required = children.len().saturating_sub(*failed_threshold) + 1;
                 ServiceNode::Ratio {
                     required,
@@ -220,7 +229,12 @@ mod tests {
     fn vote_gate_counts_failed_children() {
         let tree = FaultTree::new(FaultNode::vote(
             2,
-            vec![FaultNode::basic("p1"), FaultNode::basic("p2"), FaultNode::basic("p3"), FaultNode::basic("p4")],
+            vec![
+                FaultNode::basic("p1"),
+                FaultNode::basic("p2"),
+                FaultNode::basic("p3"),
+                FaultNode::basic("p4"),
+            ],
         ));
         assert!(!eval(&tree, &[]));
         assert!(!eval(&tree, &["p1"]));
@@ -271,7 +285,10 @@ mod tests {
             FaultNode::basic("a"),
             FaultNode::and(vec![FaultNode::basic("a"), FaultNode::basic("b")]),
         ]));
-        assert_eq!(tree.basic_events().into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(
+            tree.basic_events().into_iter().collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
     }
 
     #[test]

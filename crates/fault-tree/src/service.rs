@@ -54,7 +54,10 @@ impl ServiceNode {
                 if children.is_empty() {
                     return 1.0;
                 }
-                children.iter().map(|c| c.evaluate(component_service)).sum::<f64>()
+                children
+                    .iter()
+                    .map(|c| c.evaluate(component_service))
+                    .sum::<f64>()
                     / children.len() as f64
             }
             ServiceNode::Ratio { required, children } => {
@@ -87,9 +90,9 @@ impl ServiceNode {
     fn attainable_levels(&self) -> BTreeSet<ServiceLevel> {
         match self {
             ServiceNode::Basic(_) => [0.0, 1.0].iter().map(|&v| ServiceLevel(v)).collect(),
-            ServiceNode::Min(children) => {
-                combine(children, |values| values.iter().copied().fold(1.0, f64::min))
-            }
+            ServiceNode::Min(children) => combine(children, |values| {
+                values.iter().copied().fold(1.0, f64::min)
+            }),
             ServiceNode::Mean(children) => combine(children, |values| {
                 if values.is_empty() {
                     1.0
@@ -126,7 +129,9 @@ impl PartialOrd for ServiceLevel {
 
 impl Ord for ServiceLevel {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("service levels are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("service levels are finite")
     }
 }
 
@@ -210,7 +215,11 @@ impl ServiceTree {
     /// asking for "service at least `x`" gives the same state set for every `x`
     /// between two consecutive attainable levels.
     pub fn attainable_levels(&self) -> Vec<f64> {
-        self.root.attainable_levels().into_iter().map(|l| l.0).collect()
+        self.root
+            .attainable_levels()
+            .into_iter()
+            .map(|l| l.0)
+            .collect()
     }
 
     /// The half-open service intervals `[l_i, l_{i+1})` (plus the final point
@@ -219,7 +228,11 @@ impl ServiceTree {
     /// Asking for recovery to any service level within one interval yields the
     /// same survivability curve, which is how the paper groups its plots.
     pub fn service_intervals(&self) -> Vec<(f64, f64)> {
-        let levels: Vec<f64> = self.attainable_levels().into_iter().filter(|&l| l > 0.0).collect();
+        let levels: Vec<f64> = self
+            .attainable_levels()
+            .into_iter()
+            .filter(|&l| l > 0.0)
+            .collect();
         let mut intervals = Vec::new();
         for (i, &level) in levels.iter().enumerate() {
             if let Some(&next) = levels.get(i + 1) {
@@ -268,20 +281,29 @@ mod tests {
         // 4 pumps, 3 required: one failure keeps full service.
         let tree = ServiceTree::new(ServiceNode::Ratio {
             required: 3,
-            children: (1..=4).map(|i| ServiceNode::Basic(format!("p{i}"))).collect(),
+            children: (1..=4)
+                .map(|i| ServiceNode::Basic(format!("p{i}")))
+                .collect(),
         });
         assert_eq!(tree.service_level(up_except(&[])), 1.0);
         assert_eq!(tree.service_level(up_except(&["p1"])), 1.0);
         assert!((tree.service_level(up_except(&["p1", "p2"])) - 2.0 / 3.0).abs() < 1e-12);
         assert!((tree.service_level(up_except(&["p1", "p2", "p3"])) - 1.0 / 3.0).abs() < 1e-12);
-        assert_eq!(tree.service_level(up_except(&["p1", "p2", "p3", "p4"])), 0.0);
+        assert_eq!(
+            tree.service_level(up_except(&["p1", "p2", "p3", "p4"])),
+            0.0
+        );
     }
 
     #[test]
     fn degenerate_gates() {
         assert_eq!(ServiceNode::Mean(vec![]).evaluate(&|_: &str| 0.0), 1.0);
         assert_eq!(
-            ServiceNode::Ratio { required: 0, children: vec![] }.evaluate(&|_: &str| 0.0),
+            ServiceNode::Ratio {
+                required: 0,
+                children: vec![]
+            }
+            .evaluate(&|_: &str| 0.0),
             1.0
         );
         assert_eq!(ServiceNode::Min(vec![]).evaluate(&|_: &str| 0.0), 1.0);
@@ -293,12 +315,22 @@ mod tests {
         // 1 reservoir, 4 pumps (3 required). The paper reports the service
         // intervals X1 = [1/3, 2/3), X2 = [2/3, 1) and X3 = [1, 1].
         let service = ServiceTree::new(ServiceNode::Min(vec![
-            ServiceNode::Mean((1..=3).map(|i| ServiceNode::Basic(format!("st{i}"))).collect()),
-            ServiceNode::Mean((1..=3).map(|i| ServiceNode::Basic(format!("sf{i}"))).collect()),
+            ServiceNode::Mean(
+                (1..=3)
+                    .map(|i| ServiceNode::Basic(format!("st{i}")))
+                    .collect(),
+            ),
+            ServiceNode::Mean(
+                (1..=3)
+                    .map(|i| ServiceNode::Basic(format!("sf{i}")))
+                    .collect(),
+            ),
             ServiceNode::Basic("res".into()),
             ServiceNode::Ratio {
                 required: 3,
-                children: (1..=4).map(|i| ServiceNode::Basic(format!("p{i}"))).collect(),
+                children: (1..=4)
+                    .map(|i| ServiceNode::Basic(format!("p{i}")))
+                    .collect(),
             },
         ]));
         let levels = service.attainable_levels();
@@ -319,12 +351,22 @@ mod tests {
         // Line 2: 3 softeners, 2 sand filters, 1 reservoir, 3 pumps (2 required).
         // The paper reports four intervals: [1/3, 1/2), [1/2, 2/3), [2/3, 1), [1, 1].
         let service = ServiceTree::new(ServiceNode::Min(vec![
-            ServiceNode::Mean((1..=3).map(|i| ServiceNode::Basic(format!("st{i}"))).collect()),
-            ServiceNode::Mean((1..=2).map(|i| ServiceNode::Basic(format!("sf{i}"))).collect()),
+            ServiceNode::Mean(
+                (1..=3)
+                    .map(|i| ServiceNode::Basic(format!("st{i}")))
+                    .collect(),
+            ),
+            ServiceNode::Mean(
+                (1..=2)
+                    .map(|i| ServiceNode::Basic(format!("sf{i}")))
+                    .collect(),
+            ),
             ServiceNode::Basic("res".into()),
             ServiceNode::Ratio {
                 required: 2,
-                children: (1..=3).map(|i| ServiceNode::Basic(format!("p{i}"))).collect(),
+                children: (1..=3)
+                    .map(|i| ServiceNode::Basic(format!("p{i}")))
+                    .collect(),
             },
         ]));
         let levels = service.attainable_levels();
@@ -340,7 +382,10 @@ mod tests {
     fn components_are_collected() {
         let tree = ServiceTree::new(ServiceNode::Min(vec![
             ServiceNode::Basic("x".into()),
-            ServiceNode::Ratio { required: 1, children: vec![ServiceNode::Basic("y".into())] },
+            ServiceNode::Ratio {
+                required: 1,
+                children: vec![ServiceNode::Basic("y".into())],
+            },
         ]));
         let components = tree.components();
         assert!(components.contains("x"));
@@ -353,12 +398,17 @@ mod tests {
         // A 2-required-of-3 group attains {0, 1/2, 1}, just like a plain pair.
         let with_spare = ServiceTree::new(ServiceNode::Ratio {
             required: 2,
-            children: (0..3).map(|i| ServiceNode::Basic(format!("c{i}"))).collect(),
+            children: (0..3)
+                .map(|i| ServiceNode::Basic(format!("c{i}")))
+                .collect(),
         });
         let plain_pair = ServiceTree::new(ServiceNode::Mean(vec![
             ServiceNode::Basic("a".into()),
             ServiceNode::Basic("b".into()),
         ]));
-        assert_eq!(with_spare.attainable_levels(), plain_pair.attainable_levels());
+        assert_eq!(
+            with_spare.attainable_levels(),
+            plain_pair.attainable_levels()
+        );
     }
 }

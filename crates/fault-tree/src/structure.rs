@@ -79,14 +79,20 @@ impl StructureNode {
     pub fn degraded_fault_node(&self) -> FaultNode {
         match self {
             StructureNode::Component(name) => FaultNode::basic(name.clone()),
-            StructureNode::Series(children) | StructureNode::Redundant(children) => {
-                FaultNode::or(children.iter().map(StructureNode::degraded_fault_node).collect())
-            }
+            StructureNode::Series(children) | StructureNode::Redundant(children) => FaultNode::or(
+                children
+                    .iter()
+                    .map(StructureNode::degraded_fault_node)
+                    .collect(),
+            ),
             StructureNode::RequiredOf { required, children } => {
                 let spares = children.len().saturating_sub(*required);
                 FaultNode::vote(
                     spares + 1,
-                    children.iter().map(StructureNode::degraded_fault_node).collect(),
+                    children
+                        .iter()
+                        .map(StructureNode::degraded_fault_node)
+                        .collect(),
                 )
             }
         }
@@ -102,14 +108,23 @@ impl StructureNode {
         match self {
             StructureNode::Component(name) => FaultNode::basic(name.clone()),
             StructureNode::Series(children) => FaultNode::or(
-                children.iter().map(StructureNode::total_failure_fault_node).collect(),
+                children
+                    .iter()
+                    .map(StructureNode::total_failure_fault_node)
+                    .collect(),
             ),
             StructureNode::Redundant(children) => FaultNode::and(
-                children.iter().map(StructureNode::total_failure_fault_node).collect(),
+                children
+                    .iter()
+                    .map(StructureNode::total_failure_fault_node)
+                    .collect(),
             ),
             StructureNode::RequiredOf { children, .. } => FaultNode::vote(
                 children.len(),
-                children.iter().map(StructureNode::total_failure_fault_node).collect(),
+                children
+                    .iter()
+                    .map(StructureNode::total_failure_fault_node)
+                    .collect(),
             ),
         }
     }
@@ -176,15 +191,21 @@ mod tests {
     fn line1() -> SystemStructure {
         SystemStructure::new(StructureNode::series(vec![
             StructureNode::redundant(
-                (1..=3).map(|i| StructureNode::component(format!("st{i}"))).collect(),
+                (1..=3)
+                    .map(|i| StructureNode::component(format!("st{i}")))
+                    .collect(),
             ),
             StructureNode::redundant(
-                (1..=3).map(|i| StructureNode::component(format!("sf{i}"))).collect(),
+                (1..=3)
+                    .map(|i| StructureNode::component(format!("sf{i}")))
+                    .collect(),
             ),
             StructureNode::component("res"),
             StructureNode::required_of(
                 3,
-                (1..=4).map(|i| StructureNode::component(format!("p{i}"))).collect(),
+                (1..=4)
+                    .map(|i| StructureNode::component(format!("p{i}")))
+                    .collect(),
             ),
         ]))
     }
@@ -230,15 +251,21 @@ mod tests {
         // Line 2: 3 softeners, 2 sand filters, 1 reservoir, 3 pumps (2 required).
         let line2 = SystemStructure::new(StructureNode::series(vec![
             StructureNode::redundant(
-                (1..=3).map(|i| StructureNode::component(format!("st{i}"))).collect(),
+                (1..=3)
+                    .map(|i| StructureNode::component(format!("st{i}")))
+                    .collect(),
             ),
             StructureNode::redundant(
-                (1..=2).map(|i| StructureNode::component(format!("sf{i}"))).collect(),
+                (1..=2)
+                    .map(|i| StructureNode::component(format!("sf{i}")))
+                    .collect(),
             ),
             StructureNode::component("res"),
             StructureNode::required_of(
                 2,
-                (1..=3).map(|i| StructureNode::component(format!("p{i}"))).collect(),
+                (1..=3)
+                    .map(|i| StructureNode::component(format!("p{i}")))
+                    .collect(),
             ),
         ]));
         let levels = line2.service_tree().attainable_levels();
@@ -297,17 +324,24 @@ mod tests {
         // the directly constructed service tree on every state.
         let structure = SystemStructure::new(StructureNode::series(vec![
             StructureNode::redundant(
-                (1..=3).map(|i| StructureNode::component(format!("st{i}"))).collect(),
+                (1..=3)
+                    .map(|i| StructureNode::component(format!("st{i}")))
+                    .collect(),
             ),
             StructureNode::redundant(
-                (1..=2).map(|i| StructureNode::component(format!("sf{i}"))).collect(),
+                (1..=2)
+                    .map(|i| StructureNode::component(format!("sf{i}")))
+                    .collect(),
             ),
             StructureNode::component("res"),
         ]));
         let via_dual = structure.total_failure_fault_tree().to_service_tree();
         let direct = structure.service_tree();
-        let components: Vec<String> =
-            structure.degraded_fault_tree().basic_events().into_iter().collect();
+        let components: Vec<String> = structure
+            .degraded_fault_tree()
+            .basic_events()
+            .into_iter()
+            .collect();
         for mask in 0..(1u32 << components.len()) {
             let down: Vec<&str> = components
                 .iter()
@@ -329,8 +363,11 @@ mod tests {
         let structure = line1();
         let via_dual = structure.total_failure_fault_tree().to_service_tree();
         let direct = structure.service_tree();
-        let components: Vec<String> =
-            structure.degraded_fault_tree().basic_events().into_iter().collect();
+        let components: Vec<String> = structure
+            .degraded_fault_tree()
+            .basic_events()
+            .into_iter()
+            .collect();
         for mask in 0..(1u32 << components.len()) {
             let down: Vec<&str> = components
                 .iter()

@@ -34,7 +34,11 @@ fn arbitrary_structure() -> impl Strategy<Value = SystemStructure> {
 }
 
 fn component_universe(structure: &SystemStructure) -> Vec<String> {
-    structure.degraded_fault_tree().basic_events().into_iter().collect()
+    structure
+        .degraded_fault_tree()
+        .basic_events()
+        .into_iter()
+        .collect()
 }
 
 proptest! {

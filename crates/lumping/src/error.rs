@@ -1,0 +1,70 @@
+//! Error type of the lumping engine.
+
+use std::fmt;
+
+use ctmc::CtmcError;
+
+/// Errors produced while lumping a CTMC or projecting data through a lumping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LumpError {
+    /// A vector's length does not match the expected number of states/blocks.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A per-state quantity is not constant on some block, so it cannot be
+    /// projected onto the quotient.
+    NotBlockConstant {
+        /// Description of the offending quantity.
+        what: String,
+        /// The block on which two states disagree.
+        block: usize,
+    },
+    /// The computed partition is not stable — exactness would be violated.
+    /// This indicates a bug in the refinement engine.
+    UnstablePartition {
+        /// The offending block.
+        block: usize,
+        /// Human-readable details.
+        reason: String,
+    },
+    /// An error from the underlying CTMC crate.
+    Ctmc(CtmcError),
+}
+
+impl fmt::Display for LumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LumpError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} entries, got {actual}"
+                )
+            }
+            LumpError::NotBlockConstant { what, block } => {
+                write!(f, "{what} is not constant on block {block}")
+            }
+            LumpError::UnstablePartition { block, reason } => {
+                write!(f, "partition is not stable at block {block}: {reason}")
+            }
+            LumpError::Ctmc(error) => write!(f, "CTMC error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LumpError::Ctmc(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for LumpError {
+    fn from(error: CtmcError) -> Self {
+        LumpError::Ctmc(error)
+    }
+}

@@ -1,0 +1,367 @@
+//! The partition-refinement core.
+
+use std::collections::{HashMap, VecDeque};
+
+use ctmc::Ctmc;
+
+use crate::error::LumpError;
+use crate::partition::InitialPartition;
+use crate::quotient::LumpedCtmc;
+
+/// Computes the coarsest ordinarily-lumpable partition of `chain` refining
+/// `initial`, and returns the quotient chain with its block ↔ state maps.
+///
+/// See the crate-level documentation for the algorithm. The result is exact:
+/// states end up in the same block only if they carry the same initial class
+/// and have bit-identical cumulative rates into every other block (per-state
+/// contributions are sorted before summation, so symmetric states cannot be
+/// separated by floating-point rounding).
+///
+/// # Errors
+///
+/// Returns [`LumpError::DimensionMismatch`] if `initial` covers a different
+/// number of states than `chain`, and propagates quotient-construction errors.
+pub fn lump(chain: &Ctmc, initial: &InitialPartition) -> Result<LumpedCtmc, LumpError> {
+    let n = chain.num_states();
+    if initial.num_states() != n {
+        return Err(LumpError::DimensionMismatch {
+            expected: n,
+            actual: initial.num_states(),
+        });
+    }
+
+    // Transposed rate matrix: predecessors[u] lists every (s, R(s, u)).
+    let mut predecessors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let rates = chain.rate_matrix();
+    for s in 0..n {
+        let (cols, values) = rates.row(s);
+        for (&u, &r) in cols.iter().zip(values.iter()) {
+            predecessors[u].push((s as u32, r));
+        }
+    }
+
+    let mut partition = Refiner::new(initial);
+    let mut worklist: VecDeque<usize> = (0..partition.blocks.len()).collect();
+
+    // Scratch: per-state rate contributions w.r.t. the current splitter. A
+    // state is "touched" iff its contribution list is non-empty.
+    let mut contributions: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    while let Some(splitter) = worklist.pop_front() {
+        let members = partition.blocks[splitter].clone();
+
+        // States outside the splitter are weighted by their cumulative rate
+        // into it, collected over the transposed edges.
+        for &u in &members {
+            for &(s, r) in &predecessors[u as usize] {
+                if partition.block_of[s as usize] == splitter {
+                    continue; // members are weighted by their external rate below
+                }
+                if contributions[s as usize].is_empty() {
+                    touched.push(s);
+                }
+                contributions[s as usize].push(r);
+            }
+        }
+        // Members of the splitter are weighted by (minus) their cumulative
+        // rate *out of* it — generator semantics: w(s, C) = R(s, C) − E(s)
+        // for s ∈ C equals −(rate leaving C). Computing the external sum
+        // directly (instead of cancelling R against E) keeps the weights of
+        // symmetric states bit-identical. Ordinary lumpability does not
+        // constrain intra-block rates, so this — not the raw rate into C — is
+        // what may split the splitter's own block.
+        for &u in &members {
+            let (cols, values) = rates.row(u as usize);
+            for (&v, &r) in cols.iter().zip(values.iter()) {
+                if partition.block_of[v] != splitter {
+                    if contributions[u as usize].is_empty() {
+                        touched.push(u);
+                    }
+                    contributions[u as usize].push(r);
+                }
+            }
+        }
+        if touched.is_empty() {
+            continue;
+        }
+
+        // Group the touched states by their current block.
+        let mut touched_by_block: HashMap<usize, Vec<u32>> = HashMap::new();
+        for &s in &touched {
+            touched_by_block
+                .entry(partition.block_of[s as usize])
+                .or_default()
+                .push(s);
+        }
+
+        for (block, touched_states) in touched_by_block {
+            // Subgroups of equal weight. Contributions are sorted before
+            // summation so equal multisets give equal bits; splitter members
+            // carry the negative sign of the generator diagonal.
+            let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+            for &s in &touched_states {
+                let list = &mut contributions[s as usize];
+                list.sort_by(|a, b| a.total_cmp(b));
+                let mut weight: f64 = list.iter().sum();
+                if block == splitter {
+                    weight = -weight;
+                }
+                groups.entry((weight + 0.0).to_bits()).or_default().push(s);
+            }
+            if groups.len() == 1 && touched_states.len() == partition.blocks[block].len() {
+                continue; // every member sees the same weight: no split
+            }
+
+            // Move the touched states out; the untouched residue (implicit
+            // weight zero) stays behind under the parent id. This keeps the
+            // split cost proportional to the touched states, not the block.
+            for &s in &touched_states {
+                partition.remove_from_block(s);
+            }
+            // Deterministic subblock order regardless of hash-map iteration.
+            let mut ordered: Vec<(u64, Vec<u32>)> = groups.into_iter().collect();
+            ordered.sort_by(|a, b| f64::from_bits(a.0).total_cmp(&f64::from_bits(b.0)));
+            let subblocks: Vec<Vec<u32>> = ordered.into_iter().map(|(_, states)| states).collect();
+
+            // The largest child keeps the parent id (and, when the parent was
+            // pending, its worklist slot); every other child joins the
+            // worklist — Hopcroft's "all but the largest" rule.
+            let residue_len = partition.blocks[block].len();
+            let (largest, largest_len) = subblocks
+                .iter()
+                .enumerate()
+                .map(|(index, sub)| (index, sub.len()))
+                .max_by_key(|&(index, len)| (len, std::cmp::Reverse(index)))
+                .expect("a split has at least one weight group");
+            if residue_len >= largest_len {
+                // The residue keeps the parent id; all groups are new blocks.
+                for sub in subblocks {
+                    worklist.push_back(partition.add_block(sub));
+                }
+            } else {
+                let residue = std::mem::take(&mut partition.blocks[block]);
+                for (index, sub) in subblocks.into_iter().enumerate() {
+                    if index == largest {
+                        partition.place_into_block(block, sub);
+                    } else {
+                        worklist.push_back(partition.add_block(sub));
+                    }
+                }
+                if !residue.is_empty() {
+                    worklist.push_back(partition.add_block(residue));
+                }
+            }
+        }
+
+        for &s in &touched {
+            contributions[s as usize].clear();
+        }
+        touched.clear();
+    }
+
+    LumpedCtmc::build(chain, partition.block_of, partition.blocks)
+}
+
+/// The refinable partition: member lists plus per-state block id and position,
+/// so states move between blocks in O(1).
+struct Refiner {
+    blocks: Vec<Vec<u32>>,
+    block_of: Vec<usize>,
+    /// Index of each state within its block's member list.
+    position: Vec<u32>,
+}
+
+impl Refiner {
+    fn new(initial: &InitialPartition) -> Self {
+        let n = initial.num_states();
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); initial.num_classes()];
+        let mut position = vec![0u32; n];
+        for (s, &class) in initial.classes().iter().enumerate() {
+            position[s] = blocks[class].len() as u32;
+            blocks[class].push(s as u32);
+        }
+        Refiner {
+            blocks,
+            block_of: initial.classes().to_vec(),
+            position,
+        }
+    }
+
+    /// Swap-removes a state from its block's member list.
+    fn remove_from_block(&mut self, state: u32) {
+        let block = self.block_of[state as usize];
+        let index = self.position[state as usize] as usize;
+        let last = self.blocks[block].pop().expect("state is in its block");
+        if last != state {
+            self.blocks[block][index] = last;
+            self.position[last as usize] = index as u32;
+        }
+    }
+
+    /// Installs `members` (previously removed) as a brand-new block.
+    fn add_block(&mut self, members: Vec<u32>) -> usize {
+        let id = self.blocks.len();
+        self.place(&members, id);
+        self.blocks.push(members);
+        id
+    }
+
+    /// Installs `members` (previously removed) under an existing, empty id.
+    fn place_into_block(&mut self, id: usize, members: Vec<u32>) {
+        debug_assert!(self.blocks[id].is_empty());
+        self.place(&members, id);
+        self.blocks[id] = members;
+    }
+
+    fn place(&mut self, members: &[u32], id: usize) {
+        for (index, &s) in members.iter().enumerate() {
+            self.block_of[s as usize] = id;
+            self.position[s as usize] = index as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ctmc::CtmcBuilder;
+
+    use super::*;
+
+    /// `k` independent identical two-state components in parallel: the flat
+    /// chain has 2^k states; separating the all-up state refines to the k+1
+    /// "number of failed components" birth–death blocks.
+    fn parallel_components(k: usize, fail: f64, repair: f64) -> Ctmc {
+        let n = 1usize << k;
+        let mut builder = CtmcBuilder::new(n);
+        for state in 0..n {
+            for bit in 0..k {
+                let flipped = state ^ (1 << bit);
+                if state & (1 << bit) == 0 {
+                    builder.add_transition(state, flipped, fail).unwrap();
+                } else {
+                    builder.add_transition(state, flipped, repair).unwrap();
+                }
+            }
+        }
+        builder.set_initial_state(0).unwrap();
+        builder.build().unwrap()
+    }
+
+    fn all_up_partition(k: usize) -> InitialPartition {
+        let n = 1usize << k;
+        let mut initial = InitialPartition::trivial(n);
+        let mask: Vec<bool> = (0..n).map(|state| state == 0).collect();
+        initial.refine_by_bools(&mask).unwrap();
+        initial
+    }
+
+    #[test]
+    fn symmetric_components_lump_to_a_birth_death_chain() {
+        for k in 1..=6 {
+            let chain = parallel_components(k, 0.01, 2.0);
+            let lumped = lump(&chain, &all_up_partition(k)).unwrap();
+            assert_eq!(lumped.num_blocks(), k + 1, "k = {k}");
+            lumped.verify(&chain, 0.0).unwrap();
+            // Block membership is the popcount.
+            for state in 0..chain.num_states() {
+                for other in 0..chain.num_states() {
+                    let same = state.count_ones() == other.count_ones();
+                    assert_eq!(lumped.block_of(state) == lumped.block_of(other), same);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_partition_collapses_any_chain_to_one_block() {
+        // With no initial distinctions nothing constrains the aggregation:
+        // ordinary lumpability only restricts rates into *other* blocks, so
+        // the coarsest partition is a single block — even for asymmetric
+        // rates. (The old engine over-split here by weighing intra-block
+        // rates.)
+        let mut builder = CtmcBuilder::new(2);
+        builder.add_transition(0, 1, 1.0).unwrap();
+        builder.add_transition(1, 0, 2.0).unwrap();
+        let chain = builder.build().unwrap();
+        let lumped = lump(&chain, &InitialPartition::trivial(2)).unwrap();
+        assert_eq!(lumped.num_blocks(), 1);
+        lumped.verify(&chain, 0.0).unwrap();
+
+        let chain = parallel_components(3, 0.5, 4.0);
+        let lumped = lump(&chain, &InitialPartition::trivial(8)).unwrap();
+        assert_eq!(lumped.num_blocks(), 1);
+        lumped.verify(&chain, 0.0).unwrap();
+    }
+
+    #[test]
+    fn quotient_rates_aggregate_the_flat_rates() {
+        let chain = parallel_components(3, 0.5, 4.0);
+        let lumped = lump(&chain, &all_up_partition(3)).unwrap();
+        assert_eq!(lumped.num_blocks(), 4);
+        let quotient = lumped.quotient();
+        // From "0 failed" there are 3 ways to fail one component.
+        let b0 = lumped.block_of(0b000);
+        let b1 = lumped.block_of(0b001);
+        assert!((quotient.rate_matrix().get(b0, b1) - 3.0 * 0.5).abs() < 1e-15);
+        // From "1 failed": repair back at rate 4, fail another at 2 * 0.5.
+        let b2 = lumped.block_of(0b011);
+        assert!((quotient.rate_matrix().get(b1, b0) - 4.0).abs() < 1e-15);
+        assert!((quotient.rate_matrix().get(b1, b2) - 2.0 * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn initial_partition_distinctions_are_preserved() {
+        let chain = parallel_components(2, 0.1, 1.0);
+        // Separate state 0b01 from 0b10 artificially: no merge may cross it.
+        let mut initial = InitialPartition::trivial(4);
+        initial
+            .refine_by_bools(&[false, true, false, false])
+            .unwrap();
+        let lumped = lump(&chain, &initial).unwrap();
+        assert_eq!(
+            lumped.num_blocks(),
+            4,
+            "splitting one symmetric state splits its twin too"
+        );
+        lumped.verify(&chain, 0.0).unwrap();
+    }
+
+    #[test]
+    fn asymmetric_rates_prevent_lumping() {
+        // Two components with different failure rates; the all-up state is
+        // distinguished (as the composer's labels always do).
+        let mut builder = CtmcBuilder::new(4);
+        builder.add_transition(0b00, 0b01, 0.1).unwrap();
+        builder.add_transition(0b00, 0b10, 0.2).unwrap();
+        builder.add_transition(0b01, 0b00, 1.0).unwrap();
+        builder.add_transition(0b10, 0b00, 1.0).unwrap();
+        builder.add_transition(0b01, 0b11, 0.2).unwrap();
+        builder.add_transition(0b10, 0b11, 0.1).unwrap();
+        builder.add_transition(0b11, 0b01, 1.0).unwrap();
+        builder.add_transition(0b11, 0b10, 1.0).unwrap();
+        let chain = builder.build().unwrap();
+        let mut initial = InitialPartition::trivial(4);
+        initial
+            .refine_by_bools(&[true, false, false, false])
+            .unwrap();
+        let lumped = lump(&chain, &initial).unwrap();
+        // 0b01 and 0b10 reach the fully-failed state 0b11 with different
+        // rates (0.2 vs 0.1), so they must stay apart.
+        assert_eq!(lumped.num_blocks(), 4);
+        lumped.verify(&chain, 0.0).unwrap();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let chain = parallel_components(2, 0.1, 1.0);
+        let initial = InitialPartition::trivial(3);
+        assert!(matches!(
+            lump(&chain, &initial),
+            Err(LumpError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
+    }
+}

@@ -88,7 +88,11 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), variables: Vec::new(), commands: Vec::new() }
+        Module {
+            name: name.into(),
+            variables: Vec::new(),
+            commands: Vec::new(),
+        }
     }
 
     /// Renders the module as PRISM source text.
@@ -194,7 +198,10 @@ mod tests {
         let command = Command {
             action: Some("sync".to_string()),
             guard: "true".to_string(),
-            updates: vec![Update { rate: "1".to_string(), assignments: vec![] }],
+            updates: vec![Update {
+                rate: "1".to_string(),
+                assignments: vec![],
+            }],
         };
         assert_eq!(command.to_source(), "[sync] true -> 1 : true;");
     }
@@ -215,7 +222,9 @@ mod tests {
         model.comments.push("generated".to_string());
         model.constants.push(("PUMP_MTTF".to_string(), 500.0));
         model.modules.push(module);
-        model.labels.push(("down".to_string(), "pump_failed=1".to_string()));
+        model
+            .labels
+            .push(("down".to_string(), "pump_failed=1".to_string()));
         model.rewards.push(Reward {
             name: "cost".to_string(),
             items: vec![("pump_failed=1".to_string(), "3".to_string())],
@@ -236,8 +245,14 @@ mod tests {
             action: None,
             guard: "s=0".to_string(),
             updates: vec![
-                Update { rate: "2".to_string(), assignments: vec![("s".to_string(), "1".to_string())] },
-                Update { rate: "3".to_string(), assignments: vec![("s".to_string(), "2".to_string())] },
+                Update {
+                    rate: "2".to_string(),
+                    assignments: vec![("s".to_string(), "1".to_string())],
+                },
+                Update {
+                    rate: "3".to_string(),
+                    assignments: vec![("s".to_string(), "2".to_string())],
+                },
             ],
         };
         assert_eq!(command.to_source(), "[] s=0 -> 2 : (s'=1) + 3 : (s'=2);");

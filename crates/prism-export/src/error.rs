@@ -24,7 +24,10 @@ pub enum PrismExportError {
 impl fmt::Display for PrismExportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PrismExportError::UnsupportedStrategy { repair_unit, strategy } => write!(
+            PrismExportError::UnsupportedStrategy {
+                repair_unit,
+                strategy,
+            } => write!(
                 f,
                 "repair unit `{repair_unit}` uses strategy {strategy}, which the modular PRISM \
                  translation does not support; use the flat translation instead"
@@ -49,8 +52,10 @@ mod tests {
             strategy: "FRF".into(),
         };
         assert!(e.to_string().contains("FRF"));
-        assert!(PrismExportError::InvalidIdentifier { identifier: "1x".into() }
-            .to_string()
-            .contains("1x"));
+        assert!(PrismExportError::InvalidIdentifier {
+            identifier: "1x".into()
+        }
+        .to_string()
+        .contains("1x"));
     }
 }

@@ -44,12 +44,19 @@ impl<'a> Trajectory<'a> {
     /// validated builder).
     pub fn new(model: &'a ArcadeModel) -> Result<Self, ArcadeError> {
         let n = model.components().len();
-        let component_names: Vec<String> =
-            model.components().iter().map(|c| c.name().to_string()).collect();
+        let component_names: Vec<String> = model
+            .components()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
         let index_of = |name: &str| -> Result<usize, ArcadeError> {
-            component_names.iter().position(|c| c == name).ok_or_else(|| {
-                ArcadeError::UnknownComponent { name: name.to_string(), referenced_by: "simulator".into() }
-            })
+            component_names
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| ArcadeError::UnknownComponent {
+                    name: name.to_string(),
+                    referenced_by: "simulator".into(),
+                })
         };
 
         let mut component_ru = vec![None; n];
@@ -79,8 +86,11 @@ impl<'a> Trajectory<'a> {
                 .iter()
                 .map(|p| index_of(p))
                 .collect::<Result<Vec<_>, _>>()?;
-            let spares =
-                smu.spares().iter().map(|p| index_of(p)).collect::<Result<Vec<_>, _>>()?;
+            let spares = smu
+                .spares()
+                .iter()
+                .map(|p| index_of(p))
+                .collect::<Result<Vec<_>, _>>()?;
             for &c in primaries.iter().chain(spares.iter()) {
                 component_smu[c] = Some(smu_idx);
             }
@@ -91,9 +101,17 @@ impl<'a> Trajectory<'a> {
         let mut trajectory = Trajectory {
             service_tree: model.service_tree(),
             degraded_tree: model.degraded_fault_tree(),
-            failure_rates: model.components().iter().map(|c| c.failure_rate()).collect(),
+            failure_rates: model
+                .components()
+                .iter()
+                .map(|c| c.failure_rate())
+                .collect(),
             repair_rates: model.components().iter().map(|c| c.repair_rate()).collect(),
-            dormancy: model.components().iter().map(|c| c.dormancy_factor()).collect(),
+            dormancy: model
+                .components()
+                .iter()
+                .map(|c| c.dormancy_factor())
+                .collect(),
             component_names,
             component_ru,
             ru_components,
@@ -114,7 +132,9 @@ impl<'a> Trajectory<'a> {
     /// Resets the trajectory to the model's regular initial state.
     pub fn reset(&mut self) {
         self.time = 0.0;
-        self.statuses.iter_mut().for_each(|s| *s = ComponentStatus::Operational);
+        self.statuses
+            .iter_mut()
+            .for_each(|s| *s = ComponentStatus::Operational);
         self.queues.iter_mut().for_each(Vec::clear);
         for spares in &self.smu_spares.clone() {
             for &s in spares {
@@ -138,15 +158,22 @@ impl<'a> Trajectory<'a> {
         self.reset();
         let mut failed: Vec<usize> = Vec::new();
         for name in disaster.failed_components() {
-            let idx = self.component_names.iter().position(|c| c == name).ok_or_else(|| {
-                ArcadeError::InvalidDisaster {
-                    reason: format!("unknown component `{name}` in disaster `{}`", disaster.name()),
-                }
-            })?;
+            let idx = self
+                .component_names
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| ArcadeError::InvalidDisaster {
+                    reason: format!(
+                        "unknown component `{name}` in disaster `{}`",
+                        disaster.name()
+                    ),
+                })?;
             failed.push(idx);
         }
         failed.sort_by(|&a, &b| {
-            self.priorities[b].partial_cmp(&self.priorities[a]).unwrap_or(std::cmp::Ordering::Equal)
+            self.priorities[b]
+                .partial_cmp(&self.priorities[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for idx in failed {
             if !self.statuses[idx].is_failed() {
@@ -165,22 +192,23 @@ impl<'a> Trajectory<'a> {
     pub fn service_level(&self) -> f64 {
         let statuses = &self.statuses;
         let names = &self.component_names;
-        self.service_tree.service_level(|name| {
-            match names.iter().position(|n| n == name) {
+        self.service_tree
+            .service_level(|name| match names.iter().position(|n| n == name) {
                 Some(idx) if statuses[idx].provides_service() => 1.0,
                 _ => 0.0,
-            }
-        })
+            })
     }
 
     /// Whether the system is currently fully operational.
     pub fn is_fully_operational(&self) -> bool {
         let statuses = &self.statuses;
         let names = &self.component_names;
-        !self.degraded_tree.is_failed(|name| match names.iter().position(|n| n == name) {
-            Some(idx) => !statuses[idx].provides_service(),
-            None => false,
-        })
+        !self
+            .degraded_tree
+            .is_failed(|name| match names.iter().position(|n| n == name) {
+                Some(idx) => !statuses[idx].provides_service(),
+                None => false,
+            })
     }
 
     /// Current cost rate (failed components plus idle/busy crews).
@@ -354,7 +382,9 @@ mod tests {
         let structure = SystemStructure::new(StructureNode::component("pump"));
         ArcadeModel::builder("pump", structure)
             .component(
-                BasicComponent::from_mttf_mttr("pump", 10.0, 1.0).unwrap().with_failed_cost(3.0),
+                BasicComponent::from_mttf_mttr("pump", 10.0, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
             )
             .repair_unit(
                 RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)

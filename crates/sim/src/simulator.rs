@@ -21,7 +21,11 @@ pub struct SimulationOptions {
 
 impl Default for SimulationOptions {
     fn default() -> Self {
-        SimulationOptions { replications: 10_000, seed: 0x5EED, threads: 4 }
+        SimulationOptions {
+            replications: 10_000,
+            seed: 0x5EED,
+            threads: 4,
+        }
     }
 }
 
@@ -54,7 +58,11 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Propagates trajectory preparation errors.
-    pub fn reliability(&self, mission_time: f64, options: &SimulationOptions) -> Result<Estimate, ArcadeError> {
+    pub fn reliability(
+        &self,
+        mission_time: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
         self.replicate(options, None, move |trajectory, rng| {
             while trajectory.time() < mission_time {
                 if !trajectory.is_fully_operational() {
@@ -75,7 +83,11 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Propagates trajectory preparation errors.
-    pub fn point_availability(&self, t: f64, options: &SimulationOptions) -> Result<Estimate, ArcadeError> {
+    pub fn point_availability(
+        &self,
+        t: f64,
+        options: &SimulationOptions,
+    ) -> Result<Estimate, ArcadeError> {
         self.replicate(options, None, move |trajectory, rng| {
             while trajectory.time() < t {
                 trajectory.step(t, rng);
@@ -126,16 +138,14 @@ impl<'a> Simulator<'a> {
         deadline: f64,
         options: &SimulationOptions,
     ) -> Result<Estimate, ArcadeError> {
-        self.replicate(options, Some(disaster), move |trajectory, rng| {
-            loop {
-                if trajectory.service_level() >= service_level - 1e-12 {
-                    return 1.0;
-                }
-                if trajectory.time() >= deadline {
-                    return 0.0;
-                }
-                trajectory.step(deadline, rng);
+        self.replicate(options, Some(disaster), move |trajectory, rng| loop {
+            if trajectory.service_level() >= service_level - 1e-12 {
+                return 1.0;
             }
+            if trajectory.time() >= deadline {
+                return 0.0;
+            }
+            trajectory.step(deadline, rng);
         })
     }
 
@@ -224,9 +234,9 @@ impl<'a> Simulator<'a> {
         }
 
         let chunk = replications.div_ceil(threads);
-        let results = parking_lot::Mutex::new(Vec::with_capacity(replications));
-        let first_error = parking_lot::Mutex::new(None::<ArcadeError>);
-        crossbeam::scope(|scope| {
+        let results = std::sync::Mutex::new(Vec::with_capacity(replications));
+        let first_error = std::sync::Mutex::new(None::<ArcadeError>);
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let start = worker * chunk;
                 let end = ((worker + 1) * chunk).min(replications);
@@ -236,22 +246,21 @@ impl<'a> Simulator<'a> {
                 let results = &results;
                 let first_error = &first_error;
                 let run_range = &run_range;
-                scope.spawn(move |_| match run_range(start..end) {
-                    Ok(samples) => results.lock().extend(samples),
+                scope.spawn(move || match run_range(start..end) {
+                    Ok(samples) => results.lock().expect("no worker panicked").extend(samples),
                     Err(err) => {
-                        let mut slot = first_error.lock();
+                        let mut slot = first_error.lock().expect("no worker panicked");
                         if slot.is_none() {
                             *slot = Some(err);
                         }
                     }
                 });
             }
-        })
-        .expect("simulation worker panicked");
-        if let Some(err) = first_error.into_inner() {
+        });
+        if let Some(err) = first_error.into_inner().expect("no worker panicked") {
             return Err(err);
         }
-        let samples = results.into_inner();
+        let samples = results.into_inner().expect("no worker panicked");
         Ok(Estimate::from_samples(&samples))
     }
 }
@@ -266,7 +275,9 @@ mod tests {
         let structure = SystemStructure::new(StructureNode::component("pump"));
         ArcadeModel::builder("pump", structure)
             .component(
-                BasicComponent::from_mttf_mttr("pump", 100.0, 1.0).unwrap().with_failed_cost(3.0),
+                BasicComponent::from_mttf_mttr("pump", 100.0, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
             )
             .repair_unit(
                 RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
@@ -280,7 +291,11 @@ mod tests {
     }
 
     fn options(replications: usize) -> SimulationOptions {
-        SimulationOptions { replications, seed: 42, threads: 2 }
+        SimulationOptions {
+            replications,
+            seed: 42,
+            threads: 2,
+        }
     }
 
     #[test]
@@ -308,7 +323,9 @@ mod tests {
     fn long_run_availability_time_average() {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
-        let estimate = simulator.steady_state_availability(2000.0, &options(300)).unwrap();
+        let estimate = simulator
+            .steady_state_availability(2000.0, &options(300))
+            .unwrap();
         let expected = 100.0 / 101.0;
         assert!(estimate.contains_with_slack(expected, 0.01), "{estimate:?}");
     }
@@ -318,11 +335,15 @@ mod tests {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
         let disaster = model.disaster("down").unwrap();
-        let estimate = simulator.survivability(disaster, 1.0, 2.0, &options(4000)).unwrap();
+        let estimate = simulator
+            .survivability(disaster, 1.0, 2.0, &options(4000))
+            .unwrap();
         let expected = 1.0 - (-2.0f64).exp();
         assert!(estimate.contains_with_slack(expected, 0.03), "{estimate:?}");
         // Service level 0 is reached immediately.
-        let trivially = simulator.survivability(disaster, 0.0, 0.0, &options(100)).unwrap();
+        let trivially = simulator
+            .survivability(disaster, 0.0, 0.0, &options(100))
+            .unwrap();
         assert_eq!(trivially.mean, 1.0);
     }
 
@@ -331,10 +352,17 @@ mod tests {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
         let disaster = model.disaster("down").unwrap();
-        let instant = simulator.instantaneous_cost(Some(disaster), 0.0, &options(100)).unwrap();
+        let instant = simulator
+            .instantaneous_cost(Some(disaster), 0.0, &options(100))
+            .unwrap();
         assert_eq!(instant.mean, 3.0);
-        let accumulated = simulator.accumulated_cost(Some(disaster), 1.0, &options(2000)).unwrap();
-        assert!(accumulated.mean > 1.0 && accumulated.mean < 3.0, "{accumulated:?}");
+        let accumulated = simulator
+            .accumulated_cost(Some(disaster), 1.0, &options(2000))
+            .unwrap();
+        assert!(
+            accumulated.mean > 1.0 && accumulated.mean < 3.0,
+            "{accumulated:?}"
+        );
     }
 
     #[test]
@@ -349,8 +377,16 @@ mod tests {
     fn single_threaded_and_parallel_agree() {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
-        let serial = SimulationOptions { replications: 500, seed: 7, threads: 1 };
-        let parallel = SimulationOptions { replications: 500, seed: 7, threads: 4 };
+        let serial = SimulationOptions {
+            replications: 500,
+            seed: 7,
+            threads: 1,
+        };
+        let parallel = SimulationOptions {
+            replications: 500,
+            seed: 7,
+            threads: 4,
+        };
         let a = simulator.reliability(30.0, &serial).unwrap();
         let b = simulator.reliability(30.0, &parallel).unwrap();
         // Same seeds per replication index, so the samples are identical.
@@ -362,6 +398,8 @@ mod tests {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
         let rogue = Disaster::new("rogue", ["ghost"]).unwrap();
-        assert!(simulator.survivability(&rogue, 1.0, 1.0, &options(10)).is_err());
+        assert!(simulator
+            .survivability(&rogue, 1.0, 1.0, &options(10))
+            .is_err());
     }
 }

@@ -20,16 +20,28 @@ impl Estimate {
     pub fn from_samples(samples: &[f64]) -> Estimate {
         let n = samples.len();
         if n == 0 {
-            return Estimate { mean: 0.0, half_width: 0.0, replications: 0 };
+            return Estimate {
+                mean: 0.0,
+                half_width: 0.0,
+                replications: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n == 1 {
-            return Estimate { mean, half_width: f64::INFINITY, replications: 1 };
+            return Estimate {
+                mean,
+                half_width: f64::INFINITY,
+                replications: 1,
+            };
         }
         let variance =
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
         let std_error = (variance / n as f64).sqrt();
-        Estimate { mean, half_width: 1.96 * std_error, replications: n }
+        Estimate {
+            mean,
+            half_width: 1.96 * std_error,
+            replications: n,
+        }
     }
 
     /// Whether a reference value lies inside the confidence interval.

@@ -1,0 +1,71 @@
+//! Offline stand-in for the `bytes` crate: the growable [`BytesMut`] buffer
+//! API the XML writer uses, backed by a plain `Vec<u8>`.
+
+/// A growable byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends the given bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buffer: BytesMut) -> Vec<u8> {
+        buffer.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BytesMut;
+
+    #[test]
+    fn buffer_accumulates_bytes() {
+        let mut buffer = BytesMut::new();
+        assert!(buffer.is_empty());
+        buffer.extend_from_slice(b"<a>");
+        buffer.extend_from_slice(b"</a>");
+        assert_eq!(buffer.len(), 7);
+        assert_eq!(String::from_utf8(buffer.to_vec()).unwrap(), "<a></a>");
+    }
+}

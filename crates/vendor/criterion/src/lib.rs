@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the small API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`] and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple wall-clock timer instead of criterion's statistical engine.
+//! Each benchmark reports min/mean per-iteration times on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measurement_budget: self.measurement_budget,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, self.measurement_budget, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.measurement_budget, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        budget,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{id}: {} samples, min {:.3?}, mean {:.3?}",
+        bencher.samples.len(),
+        min,
+        mean
+    );
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f` (one warm-up, then up to `sample_size`
+    /// samples or until the measurement budget is exhausted).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            black_box(f());
+            self.samples.push(sample_start.elapsed());
+            if started.elapsed() > self.budget && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,453 @@
+//! The [`Strategy`] trait and the combinators used by this workspace.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of a given type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value and derives a second strategy from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds recursive values up to `depth` applications of `recurse`.
+    ///
+    /// The size-control parameters of upstream proptest are accepted but
+    /// unused; each generated value picks a uniform recursion depth in
+    /// `0..=depth` instead.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let deeper = recurse(levels.last().expect("at least the base level").clone());
+            levels.push(deeper.boxed());
+        }
+        LevelPick { levels }.boxed()
+    }
+
+    /// Type-erases this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`]: picks a uniform level per generated value.
+struct LevelPick<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for LevelPick<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let level = rng.below(self.levels.len());
+        self.levels[level].generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies, built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given non-empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {:?}", self);
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy {:?}", self);
+                    let span = (end - start) as u64 + 1;
+                    start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {:?}", self);
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy {:?}", self);
+                    let span = (end as i128 - start as i128) as u64 + 1;
+                    (start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {:?}", self);
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy {:?}", self);
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+/// String-literal strategies for patterns of the form `[class]{lo,hi}`.
+///
+/// This covers exactly the character-class-with-repetition regexes used by the
+/// workspace's tests; anything else panics with a clear message rather than
+/// silently generating wrong data.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` / `[class]{n}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for code in c as u32..=chars[i + 2] as u32 {
+                alphabet.push(char::from_u32(code)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_parsing_covers_ranges_and_escapes() {
+        let (alphabet, lo, hi) = parse_class_pattern("[A-Za-z0-9 .&<>'\"-]{0,12}").unwrap();
+        assert_eq!((lo, hi), (0, 12));
+        assert!(alphabet.contains(&'Q'));
+        assert!(alphabet.contains(&'7'));
+        assert!(alphabet.contains(&'\''));
+        assert!(alphabet.contains(&'-'));
+        assert!(parse_class_pattern("plain text").is_none());
+    }
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let i = (1usize..=3).generate(&mut rng);
+            assert!((1..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_within_the_depth_bound() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        fn depth(tree: &Tree) -> usize {
+            match tree {
+                Tree::Leaf(value) => {
+                    assert!(*value < 5);
+                    0
+                }
+                Tree::Node(children) => {
+                    1 + children
+                        .iter()
+                        .map(depth)
+                        .max()
+                        .expect("nodes are non-empty")
+                }
+            }
+        }
+        let strat = (0u32..5)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Smoke tests for the `proptest!` macro machinery itself.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+#[test]
+fn case_count_is_respected() {
+    static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[allow(unused)]
+        fn counting_property(value in 0u32..1000) {
+            CASES_RUN.fetch_add(1, Ordering::SeqCst);
+            prop_assert!(value < 1000);
+        }
+    }
+    counting_property();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst), 17);
+}
+
+#[test]
+#[should_panic(expected = "inputs")]
+fn failures_report_inputs() {
+    proptest! {
+        #[allow(unused)]
+        fn always_fails(value in 0u32..10) {
+            prop_assert!(value > 100, "value {value} is small");
+        }
+    }
+    always_fails();
+}
+
+#[test]
+fn early_ok_return_is_supported() {
+    proptest! {
+        #[allow(unused)]
+        fn returns_early(value in 0u32..10) {
+            if value < 100 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+    returns_early();
+}
+
+#[test]
+fn generated_values_vary_across_cases() {
+    static DISTINCT: AtomicU32 = AtomicU32::new(0);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[allow(unused)]
+        fn spread(value in 0u32..1_000_000) {
+            if value % 2 == 0 {
+                DISTINCT.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+    spread();
+    let evens = DISTINCT.load(Ordering::SeqCst);
+    assert!(
+        (10..=54).contains(&evens),
+        "wildly skewed generation: {evens}/64 even"
+    );
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros (the build
+//! environment cannot fetch the real serde from crates.io). The traits exist
+//! so that `use serde::{Deserialize, Serialize}` imports both namespaces, as
+//! with the real crate; they carry no methods because nothing in the
+//! workspace serialises at runtime yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

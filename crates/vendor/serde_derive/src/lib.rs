@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace has no crates.io access, so the real serde derive cannot be
+//! built. Nothing in the tree currently serialises at runtime — the derives
+//! only have to *compile* — so both macros expand to nothing while still
+//! accepting `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -37,13 +37,19 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
         println!("== Table 1: state-space sizes ==");
         println!("{}", experiments::format_table1(&experiments::table1()?));
         println!("-- paper reference --");
-        println!("{}", experiments::format_table1(&experiments::table1_paper_reference()));
+        println!(
+            "{}",
+            experiments::format_table1(&experiments::table1_paper_reference())
+        );
     }
     if wants("table2") {
         println!("== Table 2: steady-state availability ==");
         println!("{}", experiments::format_table2(&experiments::table2()?));
         println!("-- paper reference --");
-        println!("{}", experiments::format_table2(&experiments::table2_paper_reference()));
+        println!(
+            "{}",
+            experiments::format_table2(&experiments::table2_paper_reference())
+        );
     }
     if wants("fig3") {
         let fig = experiments::fig3_reliability(&grids::fig3())?;

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use crate::facility::{self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED};
 use crate::strategies;
 
-/// One row of Table 1 (state-space sizes per repair strategy and line).
+/// One row of Table 1 (state-space sizes per repair strategy and line),
+/// extended with the post-lumping quotient sizes of this reproduction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table1Row {
     /// The process line.
@@ -24,6 +25,11 @@ pub struct Table1Row {
     pub states: usize,
     /// Number of transitions.
     pub transitions: usize,
+    /// Number of blocks after exact lumping (`None` in the paper reference,
+    /// which reports flat sizes only).
+    pub lumped_states: Option<usize>,
+    /// Number of quotient transitions after exact lumping.
+    pub lumped_transitions: Option<usize>,
 }
 
 /// One row of Table 2 (steady-state availability per repair strategy).
@@ -111,9 +117,7 @@ pub mod grids {
     }
 }
 
-fn compiled_analysis<'m>(
-    model: &'m arcade_core::ArcadeModel,
-) -> Result<Analysis<'m>, ArcadeError> {
+fn compiled_analysis<'m>(model: &'m arcade_core::ArcadeModel) -> Result<Analysis<'m>, ArcadeError> {
     let compiled = CompiledModel::compile_with(model, ComposerOptions::default())?;
     Ok(Analysis::from_compiled(model, compiled))
 }
@@ -142,6 +146,8 @@ pub fn table1() -> Result<Vec<Table1Row>, ArcadeError> {
                 strategy: spec.label.clone(),
                 states: stats.num_states,
                 transitions: stats.num_transitions,
+                lumped_states: stats.lumped_states,
+                lumped_transitions: stats.lumped_transitions,
             });
         }
     }
@@ -169,6 +175,8 @@ pub fn table1_paper_reference() -> Vec<Table1Row> {
             strategy: strategy.to_string(),
             states,
             transitions,
+            lumped_states: None,
+            lumped_transitions: None,
         })
         .collect()
 }
@@ -232,7 +240,14 @@ pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
         let analysis = compiled_analysis(&model)?;
         let points = analysis.reliability_curve(times)?;
         series.push(Series {
-            label: format!("Reliability {}", if line == Line::Line1 { "line 1" } else { "line 2" }),
+            label: format!(
+                "Reliability {}",
+                if line == Line::Line1 {
+                    "line 1"
+                } else {
+                    "line 2"
+                }
+            ),
             points,
         });
     }
@@ -257,7 +272,9 @@ pub fn fig4_5_survivability_line1(times: &[f64]) -> Result<(Figure, Figure), Arc
     for spec in strategies::disaster1_strategies() {
         let model = facility::line_model(Line::Line1, &spec)?;
         let analysis = compiled_analysis(&model)?;
-        let disaster = model.disaster(DISASTER_ALL_PUMPS).expect("disaster 1 is always defined");
+        let disaster = model
+            .disaster(DISASTER_ALL_PUMPS)
+            .expect("disaster 1 is always defined");
         x1_series.push(Series {
             label: spec.label.clone(),
             points: analysis.survivability_curve(disaster, service_levels::LINE1_X1, times)?,
@@ -299,7 +316,9 @@ pub fn fig6_7_cost_line1(
     for spec in strategies::disaster1_strategies() {
         let model = facility::line_model(Line::Line1, &spec)?;
         let analysis = compiled_analysis(&model)?;
-        let disaster = model.disaster(DISASTER_ALL_PUMPS).expect("disaster 1 is always defined");
+        let disaster = model
+            .disaster(DISASTER_ALL_PUMPS)
+            .expect("disaster 1 is always defined");
         inst_series.push(Series {
             label: spec.label.clone(),
             points: analysis.instantaneous_cost_curve(Some(disaster), instantaneous_times)?,
@@ -339,7 +358,9 @@ pub fn fig8_9_survivability_line2(times: &[f64]) -> Result<(Figure, Figure), Arc
     for spec in strategies::paper_strategies() {
         let model = facility::line_model(Line::Line2, &spec)?;
         let analysis = compiled_analysis(&model)?;
-        let disaster = model.disaster(DISASTER_LINE2_MIXED).expect("disaster 2 is defined for line 2");
+        let disaster = model
+            .disaster(DISASTER_LINE2_MIXED)
+            .expect("disaster 2 is defined for line 2");
         x1_series.push(Series {
             label: spec.label.clone(),
             points: analysis.survivability_curve(disaster, service_levels::LINE2_X1, times)?,
@@ -376,10 +397,17 @@ pub fn fig8_9_survivability_line2(times: &[f64]) -> Result<(Figure, Figure), Arc
 pub fn fig10_11_cost_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
     let mut inst_series = Vec::new();
     let mut acc_series = Vec::new();
-    for spec in [strategies::fff(1), strategies::fff(2), strategies::frf(1), strategies::frf(2)] {
+    for spec in [
+        strategies::fff(1),
+        strategies::fff(2),
+        strategies::frf(1),
+        strategies::frf(2),
+    ] {
         let model = facility::line_model(Line::Line2, &spec)?;
         let analysis = compiled_analysis(&model)?;
-        let disaster = model.disaster(DISASTER_LINE2_MIXED).expect("disaster 2 is defined for line 2");
+        let disaster = model
+            .disaster(DISASTER_LINE2_MIXED)
+            .expect("disaster 2 is defined for line 2");
         inst_series.push(Series {
             label: spec.label.clone(),
             points: analysis.instantaneous_cost_curve(Some(disaster), times)?,
@@ -406,16 +434,25 @@ pub fn fig10_11_cost_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeErro
     Ok((fig10, fig11))
 }
 
-/// Renders Table 1 rows as a plain-text table.
+/// Renders Table 1 rows as a plain-text table. The lumped columns show the
+/// quotient sizes after exact lumping (`-` where not computed, e.g. in the
+/// paper-reference rows).
 pub fn format_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from("Line    Strategy  States      Transitions\n");
+    let mut out =
+        String::from("Line    Strategy  States      Transitions  Lumped      Lumped-Trans\n");
+    let or_dash = |value: Option<usize>| match value {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    };
     for row in rows {
         out.push_str(&format!(
-            "{:<7} {:<9} {:<11} {}\n",
+            "{:<7} {:<9} {:<11} {:<12} {:<11} {}\n",
             row.line.id(),
             row.strategy,
             row.states,
-            row.transitions
+            row.transitions,
+            or_dash(row.lumped_states),
+            or_dash(row.lumped_transitions),
         ));
     }
     out
@@ -438,7 +475,7 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 pub fn format_figure(figure: &Figure) -> String {
     let mut out = format!("# {} — {}\n", figure.id, figure.title);
     out.push_str(&format!("# x: {}, y: {}\n", figure.x_label, figure.y_label));
-    out.push_str("t");
+    out.push('t');
     for series in &figure.series {
         out.push_str(&format!("\t{}", series.label));
     }
@@ -498,7 +535,10 @@ mod tests {
             title: "demo".into(),
             x_label: "t".into(),
             y_label: "p".into(),
-            series: vec![Series { label: "DED".into(), points: vec![(0.0, 1.0), (1.0, 0.5)] }],
+            series: vec![Series {
+                label: "DED".into(),
+                points: vec![(0.0, 1.0), (1.0, 0.5)],
+            }],
         };
         let text = format_figure(&figure);
         assert!(text.contains("figX"));
@@ -523,6 +563,26 @@ mod tests {
     }
 
     #[test]
+    fn table1_line2_dedicated_lumped_counts_are_pinned() {
+        // 9 components -> 512 flat states; exact lumping merges the three
+        // interchangeable softeners, the interchangeable sand filters and the
+        // pump group into 96 blocks. The reduction must be strict and stable.
+        let spec = strategies::dedicated();
+        let model = facility::line_model(Line::Line2, &spec).unwrap();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let stats = compiled.stats();
+        assert_eq!(stats.num_states, 512);
+        assert_eq!(stats.lumped_states, Some(96));
+        assert_eq!(stats.lumped_transitions, Some(512));
+        assert!(stats.lumped_states.unwrap() < stats.num_states);
+        let lumped = compiled.lumped().expect("lumping is on by default");
+        lumped
+            .lumping()
+            .verify(compiled.chain(), 1e-12)
+            .expect("partition is stable");
+    }
+
+    #[test]
     fn table2_availability_close_to_paper_for_dedicated() {
         // Only the dedicated strategy is checked here to keep the unit-test suite
         // fast; the full table is covered by the integration tests.
@@ -530,6 +590,9 @@ mod tests {
         let model = facility::line_model(Line::Line2, &spec).unwrap();
         let analysis = compiled_analysis(&model).unwrap();
         let availability = analysis.steady_state_availability().unwrap();
-        assert!((availability - 0.8186317).abs() < 1e-4, "got {availability}");
+        assert!(
+            (availability - 0.8186317).abs() < 1e-4,
+            "got {availability}"
+        );
     }
 }

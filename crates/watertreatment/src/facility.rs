@@ -93,7 +93,9 @@ impl Line {
 /// `(softeners, sand filters, reservoir, pumps)`.
 pub fn component_names(line: Line) -> (Vec<String>, Vec<String>, String, Vec<String>) {
     let softeners = (1..=line.softeners()).map(|i| format!("st{i}")).collect();
-    let sand_filters = (1..=line.sand_filters()).map(|i| format!("sf{i}")).collect();
+    let sand_filters = (1..=line.sand_filters())
+        .map(|i| format!("sf{i}"))
+        .collect();
     let reservoir = "res".to_string();
     let pumps = (1..=line.pumps()).map(|i| format!("p{i}")).collect();
     (softeners, sand_filters, reservoir, pumps)
@@ -105,8 +107,18 @@ pub fn component_names(line: Line) -> (Vec<String>, Vec<String>, String, Vec<Str
 pub fn line_structure(line: Line) -> SystemStructure {
     let (softeners, sand_filters, reservoir, pumps) = component_names(line);
     SystemStructure::new(StructureNode::series(vec![
-        StructureNode::redundant(softeners.into_iter().map(StructureNode::component).collect()),
-        StructureNode::redundant(sand_filters.into_iter().map(StructureNode::component).collect()),
+        StructureNode::redundant(
+            softeners
+                .into_iter()
+                .map(StructureNode::component)
+                .collect(),
+        ),
+        StructureNode::redundant(
+            sand_filters
+                .into_iter()
+                .map(StructureNode::component)
+                .collect(),
+        ),
         StructureNode::component(reservoir),
         StructureNode::required_of(
             line.pumps_required(),
@@ -125,10 +137,16 @@ pub fn line_structure(line: Line) -> SystemStructure {
 ///
 /// Propagates validation errors from the model builder (none are expected for
 /// the fixed facility description).
-pub fn line_model(line: Line, spec: &StrategySpec) -> Result<ArcadeModel, arcade_core::ArcadeError> {
+pub fn line_model(
+    line: Line,
+    spec: &StrategySpec,
+) -> Result<ArcadeModel, arcade_core::ArcadeError> {
     let (softeners, sand_filters, reservoir, pumps) = component_names(line);
 
-    let mut builder = ArcadeModel::builder(format!("water-treatment-{}", line.id()), line_structure(line));
+    let mut builder = ArcadeModel::builder(
+        format!("water-treatment-{}", line.id()),
+        line_structure(line),
+    );
 
     for name in &softeners {
         builder = builder.component(
@@ -160,9 +178,13 @@ pub fn line_model(line: Line, spec: &StrategySpec) -> Result<ArcadeModel, arcade
         .chain(pumps.iter())
         .cloned()
         .collect();
-    let mut repair_unit = RepairUnit::new(format!("{}-ru", line.id()), spec.strategy.clone(), spec.crews)?
-        .responsible_for(all_names)
-        .with_idle_cost(IDLE_CREW_COST);
+    let mut repair_unit = RepairUnit::new(
+        format!("{}-ru", line.id()),
+        spec.strategy.clone(),
+        spec.crews,
+    )?
+    .responsible_for(all_names)
+    .with_idle_cost(IDLE_CREW_COST);
     if spec.preemptive {
         repair_unit = repair_unit.with_preemption();
     }

@@ -22,7 +22,12 @@ pub struct StrategySpec {
 impl StrategySpec {
     /// Creates a (non-preemptive) strategy specification.
     pub fn new(label: impl Into<String>, strategy: RepairStrategy, crews: usize) -> Self {
-        StrategySpec { label: label.into(), strategy, crews, preemptive: false }
+        StrategySpec {
+            label: label.into(),
+            strategy,
+            crews,
+            preemptive: false,
+        }
     }
 
     /// Marks this specification as preemptive.
@@ -39,33 +44,53 @@ pub fn dedicated() -> StrategySpec {
 
 /// Fastest repair first with the given number of crews (`FRF-k`).
 pub fn frf(crews: usize) -> StrategySpec {
-    StrategySpec::new(format!("FRF-{crews}"), RepairStrategy::FastestRepairFirst, crews)
+    StrategySpec::new(
+        format!("FRF-{crews}"),
+        RepairStrategy::FastestRepairFirst,
+        crews,
+    )
 }
 
 /// Fastest failure first with the given number of crews (`FFF-k`).
 pub fn fff(crews: usize) -> StrategySpec {
-    StrategySpec::new(format!("FFF-{crews}"), RepairStrategy::FastestFailureFirst, crews)
+    StrategySpec::new(
+        format!("FFF-{crews}"),
+        RepairStrategy::FastestFailureFirst,
+        crews,
+    )
 }
 
 /// First come, first served with the given number of crews (`FCFS-k`).
 /// The paper uses FCFS only as a tie-break rule; it is exposed here as a
 /// first-class strategy for the ablation benchmarks.
 pub fn fcfs(crews: usize) -> StrategySpec {
-    StrategySpec::new(format!("FCFS-{crews}"), RepairStrategy::FirstComeFirstServe, crews)
+    StrategySpec::new(
+        format!("FCFS-{crews}"),
+        RepairStrategy::FirstComeFirstServe,
+        crews,
+    )
 }
 
 /// Preemptive fastest repair first with the given number of crews (`FRF-kP`).
 /// Not part of the paper's evaluation; used by the ablation benchmarks to show
 /// the effect of the scheduling discipline on the state space and the measures.
 pub fn frf_preemptive(crews: usize) -> StrategySpec {
-    StrategySpec::new(format!("FRF-{crews}P"), RepairStrategy::FastestRepairFirst, crews)
-        .preemptive()
+    StrategySpec::new(
+        format!("FRF-{crews}P"),
+        RepairStrategy::FastestRepairFirst,
+        crews,
+    )
+    .preemptive()
 }
 
 /// Preemptive fastest failure first with the given number of crews (`FFF-kP`).
 pub fn fff_preemptive(crews: usize) -> StrategySpec {
-    StrategySpec::new(format!("FFF-{crews}P"), RepairStrategy::FastestFailureFirst, crews)
-        .preemptive()
+    StrategySpec::new(
+        format!("FFF-{crews}P"),
+        RepairStrategy::FastestFailureFirst,
+        crews,
+    )
+    .preemptive()
 }
 
 /// The five configurations evaluated throughout the paper:

@@ -58,16 +58,28 @@ const FACILITY_XML: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Parse the XML model.
     let model = arcade_xml::from_xml(FACILITY_XML)?;
-    println!("loaded model `{}` with {} components", model.name(), model.components().len());
+    println!(
+        "loaded model `{}` with {} components",
+        model.name(),
+        model.components().len()
+    );
 
     // Analyse it.
     let analysis = Analysis::new(&model)?;
     let stats = analysis.state_space_stats();
-    println!("state space: {} states, {} transitions", stats.num_states, stats.num_transitions);
+    println!(
+        "state space: {} states, {} transitions",
+        stats.num_states, stats.num_transitions
+    );
     println!("availability: {:.6}", analysis.steady_state_availability()?);
-    println!("reliability over 720 h: {:.6}", analysis.reliability(720.0)?);
+    println!(
+        "reliability over 720 h: {:.6}",
+        analysis.reliability(720.0)?
+    );
 
-    let disaster = model.disaster("pump-and-filter").expect("declared in the XML");
+    let disaster = model
+        .disaster("pump-and-filter")
+        .expect("declared in the XML");
     for deadline in [1.0, 10.0, 100.0] {
         println!(
             "P(full service within {deadline:>5.1} h of the disaster) = {:.4}",

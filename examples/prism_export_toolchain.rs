@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = CompiledModel::compile(&frf2)?;
     let flat = translate::flat(&frf2, &compiled);
     let source = flat.to_source();
-    println!("// ---------- flat PRISM model (Line 2, FRF-2): {} lines ----------", source.lines().count());
+    println!(
+        "// ---------- flat PRISM model (Line 2, FRF-2): {} lines ----------",
+        source.lines().count()
+    );
     for line in source.lines().take(12) {
         println!("{line}");
     }

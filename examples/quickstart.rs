@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use arcade_core::{
-    Analysis, ArcadeModel, BasicComponent, Disaster, RepairStrategy, RepairUnit,
-};
+use arcade_core::{Analysis, ArcadeModel, BasicComponent, Disaster, RepairStrategy, RepairUnit};
 use fault_tree::{StructureNode, SystemStructure};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,20 +36,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== {} ==", model.name());
     let stats = analysis.state_space_stats();
-    println!("state space: {} states, {} transitions", stats.num_states, stats.num_transitions);
+    println!(
+        "state space: {} states, {} transitions",
+        stats.num_states, stats.num_transitions
+    );
+    // Exact lumping is on by default: the solvers below actually run on the
+    // quotient chain, which merges behaviourally equivalent states (here: the
+    // two identical pumps are interchangeable).
+    if let (Some(states), Some(transitions)) = (stats.lumped_states, stats.lumped_transitions) {
+        println!(
+            "after exact lumping: {states} blocks, {transitions} transitions \
+             ({:.1}x state reduction)",
+            stats.num_states as f64 / states as f64
+        );
+    }
 
     // Availability: long-run probability of being fully operational.
-    println!("steady-state availability: {:.6}", analysis.steady_state_availability()?);
+    println!(
+        "steady-state availability: {:.6}",
+        analysis.steady_state_availability()?
+    );
 
     // Reliability: probability of an uninterrupted first year of full service.
     for hours in [24.0, 24.0 * 30.0, 24.0 * 365.0] {
-        println!("reliability over {hours:>7.0} h: {:.6}", analysis.reliability(hours)?);
+        println!(
+            "reliability over {hours:>7.0} h: {:.6}",
+            analysis.reliability(hours)?
+        );
     }
 
     // Survivability: how quickly is half the pumping capacity restored after
     // both pumps fail simultaneously?
     let disaster = model.disaster("both-pumps-down").expect("declared above");
-    println!("attainable service levels: {:?}", analysis.attainable_service_levels());
+    println!(
+        "attainable service levels: {:?}",
+        analysis.attainable_service_levels()
+    );
     for deadline in [0.5, 1.0, 2.0, 4.0] {
         let p = analysis.survivability(disaster, 0.5, deadline)?;
         println!("P(service >= 50% within {deadline:.1} h after the disaster) = {p:.4}");

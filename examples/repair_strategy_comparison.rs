@@ -28,13 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let availability = analysis.steady_state_availability()?;
         let cost_rate = analysis.long_run_cost_rate()?;
         let states = analysis.state_space_stats().num_states;
-        println!("{:<10} {availability:<21.7} {cost_rate:<20.4} {states}", spec.label);
+        println!(
+            "{:<10} {availability:<21.7} {cost_rate:<20.4} {states}",
+            spec.label
+        );
     }
 
     // The paper's headline conclusion: compare the full facility (both lines)
     // under the one- and two-crew variants of the best scheduling policy.
     println!();
-    for spec in [strategies::frf(1), strategies::frf(2), strategies::dedicated()] {
+    for spec in [
+        strategies::frf(1),
+        strategies::frf(2),
+        strategies::dedicated(),
+    ] {
         let mut line_availability = [0.0; 2];
         for (i, line) in Line::both().into_iter().enumerate() {
             let model = facility::line_model(line, &spec)?;

@@ -1,0 +1,16 @@
+//! Workspace facade crate.
+//!
+//! Re-exports the Arcade reproduction crates under one roof so the
+//! repository-level integration tests (`tests/`) and examples (`examples/`)
+//! have a single dependency target. Library users should depend on the
+//! individual crates instead.
+
+pub use arcade_core;
+pub use arcade_lumping;
+pub use arcade_sim;
+pub use arcade_xml;
+pub use csl;
+pub use ctmc;
+pub use fault_tree;
+pub use prism_export;
+pub use watertreatment;

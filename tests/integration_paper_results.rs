@@ -42,14 +42,85 @@ fn table1_line2_queueing_state_spaces() {
         .unwrap()
         .state_space_stats();
 
-    assert_eq!(frf1.num_states, 8129, "paper reports 8129 states for FRF-1 on Line 2");
-    assert_eq!(fff1.num_states, frf1.num_states, "FRF and FFF state counts coincide");
+    assert_eq!(
+        frf1.num_states, 8129,
+        "paper reports 8129 states for FRF-1 on Line 2"
+    );
+    assert_eq!(
+        fff1.num_states, frf1.num_states,
+        "FRF and FFF state counts coincide"
+    );
     assert_eq!(fff1.num_transitions, frf1.num_transitions);
-    assert!(frf1.num_states > 512, "queueing strategies blow up the dedicated state space");
+    assert!(
+        frf1.num_states > 512,
+        "queueing strategies blow up the dedicated state space"
+    );
     assert!(
         frf2.num_transitions > frf1.num_transitions,
         "a second crew adds ways to perform repairs"
     );
+
+    // Exact lumping collapses the symmetric component groups (and the queue
+    // orders of interchangeable components): the quotient sizes are pinned so
+    // a regression in the refinement engine is caught immediately.
+    assert_eq!(frf1.lumped_states, Some(257));
+    assert_eq!(fff1.lumped_states, Some(257));
+    assert_eq!(frf2.lumped_states, Some(387));
+    assert!(
+        frf1.lumped_states.unwrap() < frf1.num_states,
+        "lumping must strictly reduce the Line 2 state space"
+    );
+}
+
+/// The lumped quotient gives the same measures as the flat chain on a real
+/// paper model (Line 2 under FRF-1), within solver tolerance.
+#[test]
+fn lumping_is_exact_on_line2_frf1() {
+    use arcade_core::{CompiledModel, ComposerOptions, LumpingMode};
+
+    let model = facility::line_model(Line::Line2, &strategies::frf(1)).unwrap();
+    let flat_compiled = CompiledModel::compile_with(
+        &model,
+        ComposerOptions {
+            lumping: LumpingMode::Disabled,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let flat = Analysis::from_compiled(&model, flat_compiled);
+    let lumped = Analysis::new(&model).unwrap(); // lumping on by default
+
+    let a_flat = flat.steady_state_availability().unwrap();
+    let a_lumped = lumped.steady_state_availability().unwrap();
+    assert!((a_flat - a_lumped).abs() <= 1e-9, "{a_flat} vs {a_lumped}");
+
+    let r_flat = flat.reliability(1000.0).unwrap();
+    let r_lumped = lumped.reliability(1000.0).unwrap();
+    assert!((r_flat - r_lumped).abs() <= 1e-9, "{r_flat} vs {r_lumped}");
+
+    let disaster = model.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
+    for t in [5.0, 25.0] {
+        let s_flat = flat
+            .survivability(disaster, service_levels::LINE2_X1, t)
+            .unwrap();
+        let s_lumped = lumped
+            .survivability(disaster, service_levels::LINE2_X1, t)
+            .unwrap();
+        assert!(
+            (s_flat - s_lumped).abs() <= 1e-9,
+            "t={t}: {s_flat} vs {s_lumped}"
+        );
+    }
+
+    let c_flat = flat
+        .accumulated_cost_curve(Some(disaster), &[10.0])
+        .unwrap()[0]
+        .1;
+    let c_lumped = lumped
+        .accumulated_cost_curve(Some(disaster), &[10.0])
+        .unwrap()[0]
+        .1;
+    assert!((c_flat - c_lumped).abs() <= 1e-9, "{c_flat} vs {c_lumped}");
 }
 
 /// Table 2, dedicated row: availability to the paper's seven digits.
@@ -58,10 +129,21 @@ fn table2_dedicated_availability_matches_the_paper() {
     let mut availability = [0.0; 2];
     for (i, line) in Line::both().into_iter().enumerate() {
         let model = facility::line_model(line, &strategies::dedicated()).unwrap();
-        availability[i] = Analysis::new(&model).unwrap().steady_state_availability().unwrap();
+        availability[i] = Analysis::new(&model)
+            .unwrap()
+            .steady_state_availability()
+            .unwrap();
     }
-    assert!((availability[0] - 0.7442018).abs() < 5e-6, "line 1: {}", availability[0]);
-    assert!((availability[1] - 0.8186317).abs() < 5e-6, "line 2: {}", availability[1]);
+    assert!(
+        (availability[0] - 0.7442018).abs() < 5e-6,
+        "line 1: {}",
+        availability[0]
+    );
+    assert!(
+        (availability[1] - 0.8186317).abs() < 5e-6,
+        "line 2: {}",
+        availability[1]
+    );
     let combined = combined_availability(availability[0], availability[1]);
     assert!((combined - 0.9536063).abs() < 5e-6, "combined: {combined}");
 }
@@ -72,7 +154,10 @@ fn table2_dedicated_availability_matches_the_paper() {
 fn table2_line2_strategy_ordering() {
     let availability = |spec: &watertreatment::StrategySpec| {
         let model = facility::line_model(Line::Line2, spec).unwrap();
-        Analysis::new(&model).unwrap().steady_state_availability().unwrap()
+        Analysis::new(&model)
+            .unwrap()
+            .steady_state_availability()
+            .unwrap()
     };
     let ded = availability(&strategies::dedicated());
     let frf1 = availability(&strategies::frf(1));
@@ -80,7 +165,10 @@ fn table2_line2_strategy_ordering() {
     let fff1 = availability(&strategies::fff(1));
     let fff2 = availability(&strategies::fff(2));
 
-    assert!(ded >= frf2 && ded >= fff2, "dedicated repair has the highest availability");
+    assert!(
+        ded >= frf2 && ded >= fff2,
+        "dedicated repair has the highest availability"
+    );
     assert!(frf2 > frf1, "the second crew increases availability (FRF)");
     assert!(fff2 > fff1, "the second crew increases availability (FFF)");
     // Two-crew strategies land within 0.1 percentage points of dedicated repair,
@@ -149,9 +237,17 @@ fn fig8_9_qualitative_orderings() {
     assert!(at(&fig9, "FFF-2", 1) >= at(&fig9, "FFF-1", 1));
     // Recovery to the higher interval X3 is slower than to X1 for every strategy.
     for series in &fig8.series {
-        let x3 = fig9.series.iter().find(|s| s.label == series.label).unwrap();
+        let x3 = fig9
+            .series
+            .iter()
+            .find(|s| s.label == series.label)
+            .unwrap();
         for (a, b) in series.points.iter().zip(x3.points.iter()) {
-            assert!(b.1 <= a.1 + 1e-9, "{}: X3 cannot be reached before X1", series.label);
+            assert!(
+                b.1 <= a.1 + 1e-9,
+                "{}: X3 cannot be reached before X1",
+                series.label
+            );
         }
     }
 }
@@ -180,13 +276,23 @@ fn fig10_11_cost_orderings() {
     // decrease towards the steady-state cost rate.
     for label in ["FFF-1", "FRF-1", "FFF-2", "FRF-2"] {
         let inst = series(&fig10, label);
-        assert!(inst[0] > 12.0, "{label} starts around 15 cost/h, got {}", inst[0]);
-        assert!(inst[0] > *inst.last().unwrap(), "{label} instantaneous cost must decrease");
+        assert!(
+            inst[0] > 12.0,
+            "{label} starts around 15 cost/h, got {}",
+            inst[0]
+        );
+        assert!(
+            inst[0] > *inst.last().unwrap(),
+            "{label} instantaneous cost must decrease"
+        );
     }
     // FFF-1 converges slowest: at t = 25 h it still has the highest cost rate.
     let at_25 = |label: &str| series(&fig10, label)[2];
     for label in ["FRF-1", "FFF-2", "FRF-2"] {
-        assert!(at_25("FFF-1") > at_25(label), "FFF-1 should converge slower than {label}");
+        assert!(
+            at_25("FFF-1") > at_25(label),
+            "FFF-1 should converge slower than {label}"
+        );
     }
     // Accumulated cost at 50 h: FFF-1 highest, FRF-2 lowest, and the curves grow.
     let acc_at_50 = |label: &str| *series(&fig11, label).last().unwrap();
@@ -198,7 +304,10 @@ fn fig10_11_cost_orderings() {
     }
     for label in ["FFF-1", "FRF-1", "FFF-2", "FRF-2"] {
         let acc = series(&fig11, label);
-        assert!(acc.windows(2).all(|w| w[1] >= w[0]), "{label} accumulated cost must grow");
+        assert!(
+            acc.windows(2).all(|w| w[1] >= w[0]),
+            "{label} accumulated cost must grow"
+        );
     }
 }
 
@@ -232,11 +341,17 @@ fn fig4_to_7_claims_transfer_to_line2_disaster1() {
     // fail during the short recovery window, so they agree to plotting
     // precision as the paper observes.
     for (a, b) in frf1.iter().zip(fff1.iter()) {
-        assert!((a - b).abs() < 1e-3, "FRF-1 and FFF-1 coincide under Disaster 1 ({a} vs {b})");
+        assert!(
+            (a - b).abs() < 1e-3,
+            "FRF-1 and FFF-1 coincide under Disaster 1 ({a} vs {b})"
+        );
     }
     for i in 0..times.len() {
         assert!(ded[i] >= frf2[i] - 1e-9, "dedicated recovers fastest");
-        assert!(frf2[i] >= frf1[i] - 1e-9, "the extra crew speeds up recovery");
+        assert!(
+            frf2[i] >= frf1[i] - 1e-9,
+            "the extra crew speeds up recovery"
+        );
     }
 
     // Recovery to full service is slower than recovery to partial service.
@@ -253,12 +368,18 @@ fn fig4_to_7_claims_transfer_to_line2_disaster1() {
         let model = facility::line_model(Line::Line2, spec).unwrap();
         let analysis = Analysis::new(&model).unwrap();
         let disaster = model.disaster(facility::DISASTER_ALL_PUMPS).unwrap();
-        analysis.accumulated_cost_curve(Some(disaster), &[horizon]).unwrap()[0].1
+        analysis
+            .accumulated_cost_curve(Some(disaster), &[horizon])
+            .unwrap()[0]
+            .1
     };
     let ded_cost = accumulated(&strategies::dedicated(), 3.0);
     let frf1_cost = accumulated(&strategies::frf(1), 3.0);
     let frf2_cost = accumulated(&strategies::frf(2), 3.0);
-    assert!(ded_cost > frf2_cost, "dedicated repair costs the most (idle crews)");
+    assert!(
+        ded_cost > frf2_cost,
+        "dedicated repair costs the most (idle crews)"
+    );
     assert!(
         frf2_cost < frf1_cost,
         "the second crew lowers the accumulated cost during the recovery ({frf2_cost} vs {frf1_cost})"

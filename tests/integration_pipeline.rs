@@ -75,13 +75,16 @@ fn csl_queries_match_the_analysis_layer() {
     let analysis = Analysis::from_compiled(&model, compiled.clone());
 
     // Availability via the CSL steady-state operator on the "operational" label.
-    let availability_csl = checker.check(&parse_query("S=? [ \"operational\" ]").unwrap()).unwrap();
+    let availability_csl = checker
+        .check(&parse_query("S=? [ \"operational\" ]").unwrap())
+        .unwrap();
     let availability_direct = analysis.steady_state_availability().unwrap();
     assert!((availability_csl - availability_direct).abs() < 1e-9);
 
     // Unreliability via the time-bounded until operator on the "down" label.
-    let unreliability =
-        checker.check(&parse_query("P=? [ true U<=500 \"down\" ]").unwrap()).unwrap();
+    let unreliability = checker
+        .check(&parse_query("P=? [ true U<=500 \"down\" ]").unwrap())
+        .unwrap();
     let reliability_direct = analysis.reliability(500.0).unwrap();
     assert!((1.0 - unreliability - reliability_direct).abs() < 1e-9);
 
@@ -117,7 +120,10 @@ fn prism_export_covers_the_composed_model() {
     let props = properties::properties_file(&[
         Measure::SteadyStateAvailability,
         Measure::Reliability { time: 1000.0 },
-        Measure::AccumulatedCost { disaster: Some("everything".into()), times: vec![10.0] },
+        Measure::AccumulatedCost {
+            disaster: Some("everything".into()),
+            times: vec![10.0],
+        },
     ]);
     assert!(props.contains("S=? [ \"operational\" ]"));
     assert!(props.contains("U<=1000"));

@@ -8,7 +8,11 @@ use watertreatment::experiments::service_levels;
 use watertreatment::{facility, strategies, Line};
 
 fn options(replications: usize) -> SimulationOptions {
-    SimulationOptions { replications, seed: 2024, threads: 4 }
+    SimulationOptions {
+        replications,
+        seed: 2024,
+        threads: 4,
+    }
 }
 
 #[test]
@@ -36,7 +40,9 @@ fn availability_of_line2_agrees() {
 
     let exact = analysis.steady_state_availability().unwrap();
     // Long-run time averages over 2000 h, 150 replications.
-    let estimate = simulator.steady_state_availability(2000.0, &options(150)).unwrap();
+    let estimate = simulator
+        .steady_state_availability(2000.0, &options(150))
+        .unwrap();
     assert!(
         estimate.contains_with_slack(exact, 0.01),
         "exact {exact} vs simulated {estimate:?}"
@@ -57,7 +63,9 @@ fn survivability_after_disaster2_agrees() {
         (service_levels::LINE2_X4, 60.0),
     ] {
         let exact = analysis.survivability(disaster, level, deadline).unwrap();
-        let estimate = simulator.survivability(disaster, level, deadline, &options(3000)).unwrap();
+        let estimate = simulator
+            .survivability(disaster, level, deadline, &options(3000))
+            .unwrap();
         assert!(
             estimate.contains_with_slack(exact, 0.025),
             "level {level}, deadline {deadline}: exact {exact} vs simulated {estimate:?}"
@@ -75,15 +83,25 @@ fn costs_after_disaster2_agree() {
 
     // Instantaneous cost right after the disaster is deterministic: five failed
     // components at 3 per hour plus one busy crew (idle cost 1, busy cost 0).
-    let exact_at_zero = analysis.instantaneous_cost_curve(Some(disaster), &[0.0]).unwrap()[0].1;
-    let simulated_at_zero = simulator.instantaneous_cost(Some(disaster), 0.0, &options(200)).unwrap();
+    let exact_at_zero = analysis
+        .instantaneous_cost_curve(Some(disaster), &[0.0])
+        .unwrap()[0]
+        .1;
+    let simulated_at_zero = simulator
+        .instantaneous_cost(Some(disaster), 0.0, &options(200))
+        .unwrap();
     assert!((exact_at_zero - 15.0).abs() < 1e-9);
     assert!((simulated_at_zero.mean - exact_at_zero).abs() < 1e-9);
 
     // Accumulated cost over the recovery phase.
     let horizon = 25.0;
-    let exact = analysis.accumulated_cost_curve(Some(disaster), &[horizon]).unwrap()[0].1;
-    let estimate = simulator.accumulated_cost(Some(disaster), horizon, &options(2500)).unwrap();
+    let exact = analysis
+        .accumulated_cost_curve(Some(disaster), &[horizon])
+        .unwrap()[0]
+        .1;
+    let estimate = simulator
+        .accumulated_cost(Some(disaster), horizon, &options(2500))
+        .unwrap();
     assert!(
         estimate.contains_with_slack(exact, exact * 0.05),
         "exact {exact} vs simulated {estimate:?}"

@@ -11,7 +11,13 @@ fn all_paper_models_round_trip() {
             let model = facility::line_model(line, &spec).unwrap();
             let xml = arcade_xml::to_xml(&model);
             let restored = arcade_xml::from_xml(&xml).expect("generated XML parses");
-            assert_eq!(restored, model, "round trip changed the {} / {} model", line.id(), spec.label);
+            assert_eq!(
+                restored,
+                model,
+                "round trip changed the {} / {} model",
+                line.id(),
+                spec.label
+            );
         }
     }
 }
@@ -49,8 +55,12 @@ fn analysis_results_are_preserved_across_a_round_trip() {
     assert!((a - b).abs() < 1e-12);
 
     let disaster = restored.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
-    let survivability_restored = analysis_restored.survivability(disaster, 1.0 / 3.0, 10.0).unwrap();
+    let survivability_restored = analysis_restored
+        .survivability(disaster, 1.0 / 3.0, 10.0)
+        .unwrap();
     let disaster = original.disaster(facility::DISASTER_LINE2_MIXED).unwrap();
-    let survivability_original = analysis_original.survivability(disaster, 1.0 / 3.0, 10.0).unwrap();
+    let survivability_original = analysis_original
+        .survivability(disaster, 1.0 / 3.0, 10.0)
+        .unwrap();
     assert!((survivability_original - survivability_restored).abs() < 1e-12);
 }
