@@ -1,0 +1,116 @@
+//! Compositional aggregation vs. flat composition, end to end.
+//!
+//! Prints the per-line sub-chain breakdown for the paper's models, then times
+//! three pipelines on the heavy Line 1 / Line 2 queueing models:
+//!
+//! * `flat`                 — compose the full product chain, solve on it;
+//! * `flat_then_lump`       — compose the full product, lump, solve on the
+//!   quotient (the default pipeline of PR 1);
+//! * `compositional`        — lump each per-line sub-chain first and compose
+//!   the canonical quotient product directly (the default pipeline now): the
+//!   flat chain is never materialised.
+//!
+//! The acceptance criterion for the compositional subsystem is that the
+//! Fig. 8/9 survivability curves (and the Table 2 availability solve) beat the
+//! flat-then-lump baseline end to end, because composition itself — formerly
+//! ~450 ms on Line 1 FRF — now visits only the canonical states.
+
+use arcade_core::{Analysis, CompiledModel, ComposerOptions, LumpingMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use watertreatment::experiments::{grids, service_levels};
+use watertreatment::{facility, strategies, Line};
+
+fn options(lumping: LumpingMode) -> ComposerOptions {
+    ComposerOptions {
+        lumping,
+        ..Default::default()
+    }
+}
+
+fn print_subchain_breakdown() {
+    println!("\n===== compositional aggregation (per-line sub-chains) =====");
+    for (line, spec) in [
+        (Line::Line1, strategies::frf(1)),
+        (Line::Line2, strategies::frf(1)),
+    ] {
+        let model = facility::line_model(line, &spec).expect("paper model builds");
+        let compiled = CompiledModel::compile(&model).expect("paper model compiles");
+        let stats = compiled.stats();
+        println!(
+            "{} {}: explored {} canonical states (bound {}), final quotient {}",
+            line.id(),
+            spec.label,
+            stats.num_states,
+            stats.subchain_state_bound.expect("compositional default"),
+            stats.lumped_states.expect("final pass enabled"),
+        );
+        for subchain in &stats.subchains {
+            println!(
+                "  sub-chain {:?}: {} local states -> {} blocks",
+                subchain.members, subchain.local_states, subchain.local_blocks
+            );
+        }
+    }
+}
+
+fn bench_availability(c: &mut Criterion, line: Line, spec: watertreatment::StrategySpec) {
+    let model = facility::line_model(line, &spec).expect("paper model builds");
+    let label = format!("{}_{}", line.id(), spec.label);
+
+    let mut group = c.benchmark_group("compositional_vs_flat_availability");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("flat", LumpingMode::Disabled),
+        ("flat_then_lump", LumpingMode::Exact),
+        ("compositional", LumpingMode::Compositional),
+    ] {
+        group.bench_function(format!("{label}/{name}"), |b| {
+            b.iter(|| {
+                let compiled = CompiledModel::compile_with(&model, options(mode)).unwrap();
+                let analysis = Analysis::from_compiled(&model, compiled);
+                analysis.steady_state_availability().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The paper's heavy measure: a full Fig. 8/9 survivability curve from
+/// composition to the last time point.
+fn bench_survivability(c: &mut Criterion, line: Line, spec: watertreatment::StrategySpec) {
+    let model = facility::line_model(line, &spec).expect("paper model builds");
+    let disaster = model
+        .disaster(facility::DISASTER_LINE2_MIXED)
+        .expect("disaster 2 is defined for line 2");
+    let times = grids::fig8_9();
+    let label = format!("{}_{}", line.id(), spec.label);
+
+    let mut group = c.benchmark_group("compositional_vs_flat_survivability");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("flat_then_lump", LumpingMode::Exact),
+        ("compositional", LumpingMode::Compositional),
+    ] {
+        group.bench_function(format!("{label}/{name}"), |b| {
+            b.iter(|| {
+                let compiled = CompiledModel::compile_with(&model, options(mode)).unwrap();
+                let analysis = Analysis::from_compiled(&model, compiled);
+                analysis
+                    .survivability_curve(disaster, service_levels::LINE2_X1, &times)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn compositional_vs_flat(c: &mut Criterion) {
+    print_subchain_breakdown();
+    bench_availability(c, Line::Line1, strategies::frf(1));
+    bench_availability(c, Line::Line2, strategies::frf(1));
+    bench_survivability(c, Line::Line2, strategies::frf(1));
+    bench_survivability(c, Line::Line2, strategies::fff(2));
+}
+
+criterion_group!(benches, compositional_vs_flat);
+criterion_main!(benches);

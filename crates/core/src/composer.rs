@@ -11,15 +11,24 @@
 //! component), spare activation and crew dispatch are deterministic side
 //! effects of failure/repair events, and repair is non-preemptive — exactly the
 //! deterministic Arcade subclass that the paper maps to PRISM.
+//!
+//! Under the default [`LumpingMode::Compositional`] the composer implements
+//! the paper's compositional aggregation: the model's interchangeable
+//! component families (per-line sub-chains, see [`crate::families`]) are
+//! quotiented *before* the cross product by exploring canonical orbit
+//! representatives, so the flat product chain is never materialised and the
+//! number of explored states is bounded by the product of the per-family
+//! quotient sizes.
 
 use std::collections::HashMap;
 
-use arcade_lumping::{lump, InitialPartition, LumpedCtmc};
+use arcade_lumping::{lump, subchain, InitialPartition, LumpedCtmc};
 use ctmc::{Ctmc, CtmcBuilder, RewardStructure};
 use serde::{Deserialize, Serialize};
 
 use crate::disaster::Disaster;
 use crate::error::ArcadeError;
+use crate::families::{detect_families, ComponentFamily};
 use crate::model::ArcadeModel;
 use crate::repair::RepairStrategy;
 use crate::state::{ComponentIndex, ComponentStatus, GlobalState, QueueEncoding};
@@ -29,14 +38,25 @@ use crate::state::{ComponentIndex, ComponentStatus, GlobalState, QueueEncoding};
 pub enum LumpingMode {
     /// Keep the flat chain; every measure is solved on the full state space.
     Disabled,
-    /// Exact (ordinary) lumping: after composition the coarsest lumpable
-    /// partition respecting service levels, the operational predicate and the
-    /// cost rewards is computed, and all measures are solved on the quotient.
-    /// The measures are unchanged (up to solver tolerance); only the matrices
-    /// shrink. This mirrors the compositional aggregation the paper relies on
-    /// to keep its models tractable.
-    #[default]
+    /// Exact (ordinary) lumping of the *flat* chain: the full product state
+    /// space is materialised first, then the coarsest lumpable partition
+    /// respecting service levels, the operational predicate and the cost
+    /// rewards is computed, and all measures are solved on the quotient. The
+    /// measures are unchanged (up to solver tolerance); only the matrices
+    /// shrink. Use this mode when the flat counts themselves are of interest
+    /// (the paper's Table 1 reports them).
     Exact,
+    /// Compositional aggregation (the paper's actual pipeline, and the
+    /// default): each interchangeable-component family — a per-line
+    /// sub-chain — is lumped *before* the cross product. The composer
+    /// explores canonical orbit representatives directly, so the number of
+    /// explored states is bounded by the product of the per-family quotient
+    /// sizes and the flat chain is never materialised. A final exact-lumping
+    /// pass on the (already small) canonical chain then yields the same
+    /// coarsest quotient as [`LumpingMode::Exact`], so all measures agree
+    /// with the flat pipeline up to solver tolerance.
+    #[default]
+    Compositional,
 }
 
 /// Options controlling the state-space composition.
@@ -62,16 +82,43 @@ impl Default for ComposerOptions {
 
 /// Size statistics of a composed state space (the paper's Table 1), before
 /// and — when lumping is enabled — after the exact lumping reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Under [`LumpingMode::Compositional`] the composed chain already is the
+/// canonical product of the per-family sub-chain quotients, so `num_states`
+/// counts the states actually explored, the `subchains` breakdown reports the
+/// per-family reductions, and `subchain_state_bound` is the product of the
+/// per-family quotient sizes that bounds the exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateSpaceStats {
-    /// Number of reachable states.
+    /// Number of reachable states of the composed chain (canonical orbit
+    /// representatives under compositional lumping, flat states otherwise).
     pub num_states: usize,
     /// Number of transitions (distinct source/target pairs with positive rate).
     pub num_transitions: usize,
-    /// Number of blocks of the lumped quotient, when lumping is enabled.
+    /// Number of blocks of the final lumped quotient, when lumping is enabled.
     pub lumped_states: Option<usize>,
     /// Number of quotient transitions, when lumping is enabled.
     pub lumped_transitions: Option<usize>,
+    /// Per-family ("per-line sub-chain") reduction breakdown; populated under
+    /// [`LumpingMode::Compositional`], empty otherwise.
+    pub subchains: Vec<SubchainStats>,
+    /// Product of the per-family quotient sizes: an upper bound on the states
+    /// explored by the compositional frontier (`None` unless compositional).
+    /// Queue interleavings between families with *equal* dispatch priorities
+    /// (FCFS) can exceed this status-multiset bound; for strategies with
+    /// distinct priorities (DED, FRF, FFF on the paper's models) it holds.
+    pub subchain_state_bound: Option<usize>,
+}
+
+/// The local reduction of one interchangeable-component family's sub-chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubchainStats {
+    /// Names of the family's members, in definition order.
+    pub members: Vec<String>,
+    /// Local states before lumping: one per status assignment of the members.
+    pub local_states: usize,
+    /// Local quotient blocks: one per status *multiset* of the members.
+    pub local_blocks: usize,
 }
 
 /// Label attached to states in which the system is fully operational.
@@ -101,6 +148,7 @@ pub struct CompiledModel {
     smu_primaries: Vec<Vec<ComponentIndex>>,
     smu_spares: Vec<Vec<ComponentIndex>>,
     index_of_state: HashMap<GlobalState, usize>,
+    families: Vec<ComponentFamily>,
     lumped: Option<LumpedModel>,
 }
 
@@ -213,7 +261,10 @@ impl CompiledModel {
         options: ComposerOptions,
     ) -> Result<Self, ArcadeError> {
         let mut compiled = Composer::new(model, options)?.explore()?;
-        if options.lumping == LumpingMode::Exact {
+        if options.lumping != LumpingMode::Disabled {
+            // Exact mode lumps the flat chain; compositional mode runs the
+            // same final pass on the (already small) canonical chain, which
+            // yields the same coarsest quotient as flat-then-lump.
             compiled.lumped = Some(LumpedModel::build(
                 &compiled.chain,
                 &compiled.service_levels,
@@ -260,16 +311,73 @@ impl CompiledModel {
         &self.component_names
     }
 
-    /// State-space size statistics (the paper's Table 1). The flat counts are
-    /// always present; the lumped counts are filled in when the model was
-    /// compiled with [`LumpingMode::Exact`].
+    /// State-space size statistics (the paper's Table 1). The composed-chain
+    /// counts are always present; the lumped counts are filled in whenever
+    /// lumping is enabled, and the per-family sub-chain breakdown whenever the
+    /// model was compiled with [`LumpingMode::Compositional`].
     pub fn stats(&self) -> StateSpaceStats {
+        let compositional = self.options.lumping == LumpingMode::Compositional;
+        let subchains: Vec<SubchainStats> = if compositional {
+            self.families
+                .iter()
+                .map(|family| {
+                    let quotient = subchain::SubchainQuotient::new(
+                        family.members.len(),
+                        self.status_alphabet(family.members[0]),
+                    );
+                    SubchainStats {
+                        members: family
+                            .members
+                            .iter()
+                            .map(|&c| self.component_names[c].clone())
+                            .collect(),
+                        local_states: quotient.flat_states(),
+                        local_blocks: quotient.blocks(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let subchain_state_bound = compositional.then(|| {
+            subchains
+                .iter()
+                .fold(1usize, |acc, s| acc.saturating_mul(s.local_blocks))
+        });
         StateSpaceStats {
             num_states: self.chain.num_states(),
             num_transitions: self.chain.num_transitions(),
             lumped_states: self.lumped.as_ref().map(|l| l.quotient().num_states()),
             lumped_transitions: self.lumped.as_ref().map(|l| l.quotient().num_transitions()),
+            subchains,
+            subchain_state_bound,
         }
+    }
+
+    /// Size of the status alphabet of a component: spare-managed components
+    /// additionally take the dormant status, components without a repair unit
+    /// never leave the waiting status once failed, and components whose unit
+    /// has a crew for every member (the dedicated strategy) never wait.
+    fn status_alphabet(&self, component: ComponentIndex) -> usize {
+        let spare_managed = self
+            .smu_primaries
+            .iter()
+            .chain(self.smu_spares.iter())
+            .any(|members| members.contains(&component));
+        let dormant = usize::from(spare_managed);
+        // Failed statuses: waiting and/or under repair, depending on crews.
+        let failed = match self.component_ru[component] {
+            None => 1, // fails into waiting, is never repaired
+            Some(ru) if self.ru_effective_crews[ru] >= self.ru_components[ru].len() => 1,
+            Some(_) => 2,
+        };
+        1 + dormant + failed
+    }
+
+    /// The interchangeable-component families ("sub-chains") of the model, in
+    /// definition order of their smallest member; singleton families included.
+    pub fn families(&self) -> &[ComponentFamily] {
+        &self.families
     }
 
     /// The quantitative service level of every state.
@@ -403,6 +511,9 @@ impl CompiledModel {
                 );
             }
         }
+        if self.options.lumping == LumpingMode::Compositional {
+            canonicalize_state(&mut state, &self.families, &self.component_ru);
+        }
         Ok(state)
     }
 
@@ -432,6 +543,7 @@ struct Composer<'a> {
     ru_preemptive: Vec<bool>,
     smu_primaries: Vec<Vec<ComponentIndex>>,
     smu_spares: Vec<Vec<ComponentIndex>>,
+    families: Vec<ComponentFamily>,
 }
 
 impl<'a> Composer<'a> {
@@ -534,6 +646,7 @@ impl<'a> Composer<'a> {
             ru_preemptive,
             smu_primaries,
             smu_spares,
+            families: detect_families(model),
         })
     }
 
@@ -682,7 +795,17 @@ impl<'a> Composer<'a> {
         let service_tree = self.model.service_tree();
         let degraded_tree = self.model.degraded_fault_tree();
 
-        let initial = self.initial_state();
+        // Under compositional lumping the frontier runs over canonical orbit
+        // representatives: every generated state is first mapped to its
+        // family-wise canonical form, so the flat product is never stored and
+        // parallel events whose targets share an orbit aggregate their rates.
+        let compositional = self.options.lumping == LumpingMode::Compositional
+            && self.families.iter().any(|f| !f.is_singleton());
+
+        let mut initial = self.initial_state();
+        if compositional {
+            canonicalize_state(&mut initial, &self.families, &self.component_ru);
+        }
         let mut index_of: HashMap<GlobalState, usize> = HashMap::new();
         let mut states: Vec<GlobalState> = Vec::new();
         let mut worklist: Vec<usize> = Vec::new();
@@ -694,7 +817,10 @@ impl<'a> Composer<'a> {
 
         while let Some(current) = worklist.pop() {
             let successors = self.successors(&states[current]);
-            for (target_state, rate) in successors {
+            for (mut target_state, rate) in successors {
+                if compositional {
+                    canonicalize_state(&mut target_state, &self.families, &self.component_ru);
+                }
                 let target = match index_of.get(&target_state) {
                     Some(&idx) => idx,
                     None => {
@@ -767,8 +893,71 @@ impl<'a> Composer<'a> {
             smu_primaries: self.smu_primaries,
             smu_spares: self.smu_spares,
             index_of_state: index_of,
+            families: self.families,
             lumped: None,
         })
+    }
+}
+
+/// Maps a global state to the canonical representative of its orbit under the
+/// permutation group of the interchangeable-component families.
+///
+/// Within each family the members' roles — status plus (for waiting
+/// components) the slot held in the repair unit's queue — are sorted into a
+/// canonical order and reassigned to the members in definition order; queue
+/// slots move along with the roles. Because family members share all rates,
+/// costs and dispatch priorities and sit under the same symmetric structure
+/// gate, this relabelling is a chain automorphism: canonical states compose to
+/// exactly the product of the per-family sub-chain quotients.
+fn canonicalize_state(
+    state: &mut GlobalState,
+    families: &[ComponentFamily],
+    component_ru: &[Option<usize>],
+) {
+    for family in families {
+        if family.is_singleton() {
+            continue;
+        }
+        let ru = component_ru[family.members[0]];
+        let mut roles: Vec<(u8, usize)> = family
+            .members
+            .iter()
+            .map(|&c| {
+                let queue_slot = ru
+                    .and_then(|r| state.queues[r].iter().position(|&x| x == c))
+                    .unwrap_or(usize::MAX);
+                (status_rank(state.statuses[c]), queue_slot)
+            })
+            .collect();
+        subchain::canonical_roles(&mut roles);
+        for (slot, &(rank, queue_slot)) in roles.iter().enumerate() {
+            let member = family.members[slot];
+            state.statuses[member] = status_from_rank(rank);
+            if queue_slot != usize::MAX {
+                if let Some(r) = ru {
+                    state.queues[r][queue_slot] = member;
+                }
+            }
+        }
+    }
+}
+
+/// Fixed total order on component statuses used for canonicalisation.
+fn status_rank(status: ComponentStatus) -> u8 {
+    match status {
+        ComponentStatus::Operational => 0,
+        ComponentStatus::Dormant => 1,
+        ComponentStatus::WaitingForRepair => 2,
+        ComponentStatus::UnderRepair => 3,
+    }
+}
+
+fn status_from_rank(rank: u8) -> ComponentStatus {
+    match rank {
+        0 => ComponentStatus::Operational,
+        1 => ComponentStatus::Dormant,
+        2 => ComponentStatus::WaitingForRepair,
+        _ => ComponentStatus::UnderRepair,
     }
 }
 
@@ -1122,6 +1311,106 @@ mod tests {
             // Component "a" has the highest repair rate, then "b", then "c".
             assert_eq!(under_repair[0], *failed.iter().min().unwrap());
         }
+    }
+
+    fn two_identical_component_model(strategy: RepairStrategy, crews: usize) -> ArcadeModel {
+        let structure = SystemStructure::new(StructureNode::redundant(vec![
+            StructureNode::component("a"),
+            StructureNode::component("b"),
+        ]));
+        ArcadeModel::builder("twins", structure)
+            .component(
+                BasicComponent::from_mttf_mttr("a", 100.0, 2.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .component(
+                BasicComponent::from_mttf_mttr("b", 100.0, 2.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", strategy, crews)
+                    .unwrap()
+                    .responsible_for(["a", "b"])
+                    .with_idle_cost(1.0),
+            )
+            .disaster(Disaster::new("both", ["a", "b"]).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compositional_mode_explores_canonical_orbits() {
+        // Two interchangeable components behind one FCFS crew: the flat chain
+        // distinguishes which twin is under repair and the queue order (5
+        // states); the canonical frontier explores one representative per
+        // orbit (all-up, one under repair, one under repair + one waiting).
+        let model = two_identical_component_model(RepairStrategy::FirstComeFirstServe, 1);
+        let flat = CompiledModel::compile_with(
+            &model,
+            ComposerOptions {
+                lumping: LumpingMode::Disabled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(flat.stats().num_states, 5);
+
+        let compositional = CompiledModel::compile(&model).unwrap();
+        let stats = compositional.stats();
+        assert_eq!(stats.num_states, 3);
+        assert_eq!(stats.lumped_states, Some(3));
+        assert_eq!(stats.subchains.len(), 1);
+        assert_eq!(stats.subchains[0].members, vec!["a", "b"]);
+        assert_eq!(stats.subchains[0].local_blocks, 6); // multisets of 3 statuses
+        assert_eq!(stats.subchain_state_bound, Some(6));
+
+        // The parallel failure events aggregate their rates: from all-up the
+        // orbit "one failed" is entered at twice the per-component rate.
+        let initial = compositional.initial_index();
+        let chain = compositional.chain();
+        let total_rate: f64 = {
+            let (_, values) = chain.rate_matrix().row(initial);
+            values.iter().sum()
+        };
+        assert!((total_rate - 2.0 / 100.0).abs() < 1e-12, "{total_rate}");
+    }
+
+    #[test]
+    fn compositional_disaster_states_resolve_to_canonical_orbits() {
+        let model = two_identical_component_model(RepairStrategy::FirstComeFirstServe, 1);
+        let compositional = CompiledModel::compile(&model).unwrap();
+        let disaster = model.disaster("both").unwrap();
+        let index = compositional.disaster_state_index(disaster).unwrap();
+        let state = &compositional.states()[index];
+        assert_eq!(state.num_failed(), 2);
+        // The canonical representative assigns the waiting role to the first
+        // member and the under-repair role to the second.
+        assert_eq!(state.statuses[0], ComponentStatus::WaitingForRepair);
+        assert_eq!(state.statuses[1], ComponentStatus::UnderRepair);
+    }
+
+    #[test]
+    fn compositional_mode_is_inert_without_symmetry() {
+        // Components with distinct rates have no interchangeable partner, so
+        // the canonical chain equals the flat chain.
+        let model = two_component_model(RepairStrategy::FirstComeFirstServe, 1);
+        let compositional = CompiledModel::compile(&model).unwrap();
+        let flat = CompiledModel::compile_with(
+            &model,
+            ComposerOptions {
+                lumping: LumpingMode::Disabled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(compositional.stats().num_states, flat.stats().num_states);
+        assert!(compositional
+            .stats()
+            .subchains
+            .iter()
+            .all(|s| s.members.len() == 1));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Interchangeable-component families: the sub-chains of compositional lumping.
+//!
+//! Two components are *interchangeable* when swapping them everywhere is an
+//! automorphism of the composed CTMC: every measure (service level, the
+//! operational predicate, cost rewards) and every scheduling decision (queue
+//! insertion, crew dispatch) is blind to which of the two holds which role.
+//! The orbit partition induced by permuting the members of such a **family**
+//! is ordinarily lumpable, so the composer can explore canonical orbit
+//! representatives directly — per-family sub-chain quotients composed on the
+//! fly — instead of materialising the flat product chain.
+//!
+//! Interchangeability is detected conservatively; every condition below is
+//! required so that the permutation provably commutes with the composition
+//! semantics:
+//!
+//! * identical failure rate, repair rate, dormancy factor, both cost rates and
+//!   initially-failed flag (bitwise equality on the rates);
+//! * responsibility of the same repair unit (or of none), under which both
+//!   components carry the same dispatch priority — this also aligns crew
+//!   dispatch and preemption behaviour;
+//! * no involvement in any spare management unit (spare activation picks
+//!   members in definition order, which is not permutation-symmetric);
+//! * each component appears at most once in the system structure, and
+//!   components appearing do so as *sibling leaves of the same gate*. All
+//!   structure gates (series → min, redundant → mean, required-of → ratio,
+//!   and the derived or/and/vote fault-tree gates) are symmetric functions of
+//!   their children, so sibling leaves of equal rates can be permuted without
+//!   changing any tree evaluation. Components absent from the structure are
+//!   invisible to the trees and grouped among themselves.
+
+use std::collections::HashMap;
+
+use fault_tree::StructureNode;
+
+use crate::model::ArcadeModel;
+use crate::state::ComponentIndex;
+
+/// A maximal group of mutually interchangeable components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentFamily {
+    /// Member component indices, sorted ascending (definition order).
+    pub members: Vec<ComponentIndex>,
+}
+
+impl ComponentFamily {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the family has no members (never produced by detection).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether the family is a singleton (no symmetry to exploit).
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() <= 1
+    }
+}
+
+/// Where a component sits in the structure tree: the pre-order id of its
+/// parent gate, a marker for "not referenced", or a marker for "referenced
+/// more than once" (never mergeable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StructurePosition {
+    Unreferenced,
+    ChildOf(usize),
+    Ambiguous,
+}
+
+/// Records, for every component name, the gate it is a leaf child of.
+fn structure_positions(root: &StructureNode, positions: &mut HashMap<String, StructurePosition>) {
+    // Pre-order traversal assigning each gate node an id; leaves record the id
+    // of their parent gate (the root itself may be a leaf: parent id 0 is
+    // reserved for the virtual super-root).
+    fn walk(
+        node: &StructureNode,
+        parent: usize,
+        next_id: &mut usize,
+        positions: &mut HashMap<String, StructurePosition>,
+    ) {
+        match node {
+            StructureNode::Component(name) => {
+                positions
+                    .entry(name.clone())
+                    .and_modify(|p| *p = StructurePosition::Ambiguous)
+                    .or_insert(StructurePosition::ChildOf(parent));
+            }
+            StructureNode::Series(children)
+            | StructureNode::Redundant(children)
+            | StructureNode::RequiredOf { children, .. } => {
+                *next_id += 1;
+                let id = *next_id;
+                for child in children {
+                    walk(child, id, next_id, positions);
+                }
+            }
+        }
+    }
+    let mut next_id = 0;
+    walk(root, 0, &mut next_id, positions);
+}
+
+/// Partitions the model's components into maximal interchangeable families.
+///
+/// Every component belongs to exactly one family; components with no
+/// interchangeable partner form singleton families. Families are ordered by
+/// their smallest member and members are sorted ascending, so the result is
+/// deterministic.
+pub fn detect_families(model: &ArcadeModel) -> Vec<ComponentFamily> {
+    let mut positions: HashMap<String, StructurePosition> = HashMap::new();
+    structure_positions(model.structure().root(), &mut positions);
+
+    // Signature key: everything a permutation must preserve.
+    #[derive(PartialEq, Eq, Hash)]
+    struct Signature {
+        position: StructurePosition,
+        repair_unit: Option<usize>,
+        priority_bits: u64,
+        failure_bits: u64,
+        repair_bits: u64,
+        dormancy_bits: u64,
+        operational_cost_bits: u64,
+        failed_cost_bits: u64,
+        initially_failed: bool,
+    }
+
+    let mut groups: HashMap<Signature, Vec<ComponentIndex>> = HashMap::new();
+    let mut singletons: Vec<ComponentIndex> = Vec::new();
+
+    for (idx, component) in model.components().iter().enumerate() {
+        let position = positions
+            .get(component.name())
+            .copied()
+            .unwrap_or(StructurePosition::Unreferenced);
+        // Spare-managed components and multiply-referenced leaves are never
+        // merged: activation order and repeated references are index-sensitive.
+        if position == StructurePosition::Ambiguous
+            || model.spare_unit_of(component.name()).is_some()
+        {
+            singletons.push(idx);
+            continue;
+        }
+        let repair_unit = model
+            .repair_units()
+            .iter()
+            .position(|ru| ru.components().iter().any(|c| c == component.name()));
+        let priority = match repair_unit {
+            Some(ru) => model.repair_units()[ru].strategy().priority_of(component),
+            None => 0.0,
+        };
+        let signature = Signature {
+            position,
+            repair_unit,
+            priority_bits: (priority + 0.0).to_bits(),
+            failure_bits: component.failure_rate().to_bits(),
+            repair_bits: component.repair_rate().to_bits(),
+            dormancy_bits: component.dormancy_factor().to_bits(),
+            operational_cost_bits: component.operational_cost_per_hour().to_bits(),
+            failed_cost_bits: component.failed_cost_per_hour().to_bits(),
+            initially_failed: component.is_initially_failed(),
+        };
+        groups.entry(signature).or_default().push(idx);
+    }
+
+    let mut families: Vec<ComponentFamily> = groups
+        .into_values()
+        .map(|mut members| {
+            members.sort_unstable();
+            ComponentFamily { members }
+        })
+        .chain(
+            singletons
+                .into_iter()
+                .map(|idx| ComponentFamily { members: vec![idx] }),
+        )
+        .collect();
+    families.sort_unstable_by_key(|family| family.members[0]);
+    families
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::BasicComponent;
+    use crate::repair::{RepairStrategy, RepairUnit};
+    use crate::spare::SpareManagementUnit;
+    use fault_tree::SystemStructure;
+
+    fn family_names(model: &ArcadeModel) -> Vec<Vec<&str>> {
+        detect_families(model)
+            .into_iter()
+            .map(|family| {
+                family
+                    .members
+                    .iter()
+                    .map(|&i| model.components()[i].name())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_siblings_form_a_family() {
+        let structure = SystemStructure::new(StructureNode::series(vec![
+            StructureNode::redundant(vec![
+                StructureNode::component("a"),
+                StructureNode::component("b"),
+            ]),
+            StructureNode::component("r"),
+        ]));
+        let model = ArcadeModel::builder("m", structure)
+            .component(BasicComponent::from_mttf_mttr("a", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("b", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("r", 100.0, 1.0).unwrap())
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FastestRepairFirst, 1)
+                    .unwrap()
+                    .responsible_for(["a", "b", "r"]),
+            )
+            .build()
+            .unwrap();
+        // `r` has identical rates but sits under a different gate.
+        assert_eq!(family_names(&model), vec![vec!["a", "b"], vec!["r"]]);
+    }
+
+    #[test]
+    fn different_rates_or_units_split_families() {
+        let structure = SystemStructure::new(StructureNode::redundant(vec![
+            StructureNode::component("a"),
+            StructureNode::component("b"),
+            StructureNode::component("c"),
+            StructureNode::component("d"),
+        ]));
+        let model = ArcadeModel::builder("m", structure)
+            .component(BasicComponent::from_mttf_mttr("a", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("b", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("c", 100.0, 2.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("d", 100.0, 1.0).unwrap())
+            .repair_unit(
+                RepairUnit::new("ru1", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["a", "b", "c"]),
+            )
+            .repair_unit(
+                RepairUnit::new("ru2", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["d"]),
+            )
+            .build()
+            .unwrap();
+        // c differs in repair rate, d in repair unit.
+        assert_eq!(
+            family_names(&model),
+            vec![vec!["a", "b"], vec!["c"], vec!["d"]]
+        );
+    }
+
+    #[test]
+    fn spare_managed_components_stay_singletons() {
+        let structure = SystemStructure::new(StructureNode::required_of(
+            1,
+            vec![StructureNode::component("p"), StructureNode::component("s")],
+        ));
+        let model = ArcadeModel::builder("m", structure)
+            .component(BasicComponent::from_mttf_mttr("p", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("s", 100.0, 1.0).unwrap())
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["p", "s"]),
+            )
+            .spare_unit(SpareManagementUnit::new("smu", ["p"], ["s"]).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(family_names(&model), vec![vec!["p"], vec!["s"]]);
+    }
+
+    #[test]
+    fn fcfs_merges_across_rates_only_when_priorities_agree() {
+        // Under FCFS every component has priority zero, but different rates
+        // still split families (the rates themselves are part of the chain).
+        let structure = SystemStructure::new(StructureNode::redundant(vec![
+            StructureNode::component("a"),
+            StructureNode::component("b"),
+        ]));
+        let model = ArcadeModel::builder("m", structure)
+            .component(BasicComponent::from_mttf_mttr("a", 100.0, 1.0).unwrap())
+            .component(BasicComponent::from_mttf_mttr("b", 200.0, 1.0).unwrap())
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["a", "b"]),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(family_names(&model), vec![vec!["a"], vec!["b"]]);
+    }
+}

@@ -67,6 +67,7 @@ pub mod component;
 pub mod composer;
 pub mod disaster;
 pub mod error;
+pub mod families;
 pub mod measures;
 pub mod model;
 pub mod repair;
@@ -76,11 +77,12 @@ pub mod state;
 pub use analysis::{Analysis, Series};
 pub use component::BasicComponent;
 pub use composer::{
-    CompiledModel, ComposerOptions, LumpedModel, LumpingMode, StateSpaceStats, LABEL_DOWN,
-    LABEL_NO_SERVICE, LABEL_OPERATIONAL,
+    CompiledModel, ComposerOptions, LumpedModel, LumpingMode, StateSpaceStats, SubchainStats,
+    LABEL_DOWN, LABEL_NO_SERVICE, LABEL_OPERATIONAL,
 };
 pub use disaster::Disaster;
 pub use error::ArcadeError;
+pub use families::{detect_families, ComponentFamily};
 pub use measures::{Measure, MeasureResult};
 pub use model::{ArcadeModel, ArcadeModelBuilder};
 pub use repair::{RepairStrategy, RepairUnit};

@@ -118,6 +118,23 @@ impl ArcadeModel {
             .find(|smu| smu.all_components().any(|c| c == component))
     }
 
+    /// The maximal groups of mutually interchangeable components — the
+    /// per-line "sub-chains" that compositional lumping aggregates before the
+    /// cross product. Every component appears in exactly one group; groups
+    /// are ordered by their first member's definition order.
+    pub fn component_families(&self) -> Vec<Vec<String>> {
+        crate::families::detect_families(self)
+            .into_iter()
+            .map(|family| {
+                family
+                    .members
+                    .iter()
+                    .map(|&i| self.components[i].name().to_string())
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Returns a copy of this model in which every repair unit uses `strategy`
     /// with `crews` crews. This is the knob turned throughout the paper's
     /// evaluation (DED, FRF-1, FRF-2, FFF-1, FFF-2).

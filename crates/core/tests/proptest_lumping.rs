@@ -217,9 +217,25 @@ proptest! {
             RepairUnit::new("ru", RepairStrategy::Dedicated, 1).unwrap().responsible_for(names.clone()),
         );
         let model = builder.build().unwrap();
-        let compiled = CompiledModel::compile(&model).unwrap();
+        // Flat-then-lump (Exact) materialises the full 2^count product first.
+        let compiled = CompiledModel::compile_with(
+            &model,
+            ComposerOptions {
+                lumping: LumpingMode::Exact,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let stats = compiled.stats();
         prop_assert_eq!(stats.num_states, 1usize << count);
         prop_assert_eq!(stats.lumped_states, Some(count + 1));
+
+        // The compositional default explores only the count + 1 canonical
+        // representatives — the flat product is never materialised.
+        let compositional = CompiledModel::compile(&model).unwrap();
+        let stats = compositional.stats();
+        prop_assert_eq!(stats.num_states, count + 1);
+        prop_assert_eq!(stats.lumped_states, Some(count + 1));
+        prop_assert!(stats.subchain_state_bound.unwrap() > count);
     }
 }

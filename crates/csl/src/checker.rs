@@ -1,9 +1,29 @@
 //! The CSL/CSRL model checker.
+//!
+//! Since the compositional-lumping refactor the checker solves every query on
+//! the exactly lumped *quotient* of the chain by default: the initial
+//! partition groups states by their label sets (and reward rates, when a
+//! reward structure is attached), so every state set a formula can denote is
+//! a union of blocks and every verdict computed on the quotient equals its
+//! flat counterpart. Per-state results are projected back to the original
+//! states with [`LumpedCtmc::expand_values`] / [`LumpedCtmc::expand_mask`].
+//! [`CslChecker::flat`] opts out for comparison and debugging.
 
+use std::cell::OnceCell;
+
+use arcade_lumping::{lump, InitialPartition, LumpedCtmc};
 use ctmc::{Ctmc, RewardSolver, RewardStructure, SteadyStateSolver, TransientSolver};
 
 use crate::ast::{Query, StateFormula};
 use crate::error::CslError;
+
+/// The lazily computed quotient path of a checker.
+#[derive(Debug, Clone)]
+struct Quotient {
+    lumping: LumpedCtmc,
+    /// The reward structure lumped onto the quotient, when one is attached.
+    rewards: Option<RewardStructure>,
+}
 
 /// Checks CSL/CSRL queries against a labelled CTMC.
 ///
@@ -13,20 +33,41 @@ use crate::error::CslError;
 pub struct CslChecker<'a> {
     chain: &'a Ctmc,
     rewards: Option<&'a RewardStructure>,
+    use_lumping: bool,
+    /// `None` inside the cell means "lumping attempted but not profitable"
+    /// (or disabled); computed on first use so construction stays free.
+    quotient: OnceCell<Option<Quotient>>,
 }
 
 impl<'a> CslChecker<'a> {
-    /// Creates a checker without rewards.
+    /// Creates a checker that solves queries on the exactly lumped quotient.
     pub fn new(chain: &'a Ctmc) -> Self {
         CslChecker {
             chain,
             rewards: None,
+            use_lumping: true,
+            quotient: OnceCell::new(),
+        }
+    }
+
+    /// Creates a checker that solves every query on the flat chain. Verdicts
+    /// are identical to [`CslChecker::new`] (the quotient is exact); this
+    /// escape hatch exists for comparison and debugging.
+    pub fn flat(chain: &'a Ctmc) -> Self {
+        CslChecker {
+            chain,
+            rewards: None,
+            use_lumping: false,
+            quotient: OnceCell::new(),
         }
     }
 
     /// Attaches a reward structure for `R=?` queries.
     pub fn with_rewards(mut self, rewards: &'a RewardStructure) -> Self {
         self.rewards = Some(rewards);
+        // The quotient must additionally respect the reward rates; drop any
+        // partition computed without them.
+        self.quotient = OnceCell::new();
         self
     }
 
@@ -35,45 +76,64 @@ impl<'a> CslChecker<'a> {
         self.chain
     }
 
-    /// Evaluates a state formula to its satisfying-state mask.
+    /// The lumped quotient queries run on, when lumping is active and
+    /// actually reduces the chain.
+    fn quotient(&self) -> Option<&Quotient> {
+        self.quotient
+            .get_or_init(|| {
+                if !self.use_lumping {
+                    return None;
+                }
+                let mut initial = InitialPartition::from_labels(self.chain);
+                if let Some(rewards) = self.rewards {
+                    initial.refine_by_f64(rewards.state_rewards()).ok()?;
+                }
+                let lumping = lump(self.chain, &initial).ok()?;
+                if lumping.num_blocks() >= self.chain.num_states() {
+                    return None; // nothing to gain, avoid copying the chain
+                }
+                let rewards = match self.rewards {
+                    Some(rewards) => Some(lumping.lump_rewards(rewards).ok()?),
+                    None => None,
+                };
+                Some(Quotient { lumping, rewards })
+            })
+            .as_ref()
+    }
+
+    /// Number of quotient blocks the solvers run on, when the lumped path is
+    /// active (`None` when the chain is solved flat).
+    pub fn quotient_blocks(&self) -> Option<usize> {
+        self.quotient().map(|q| q.lumping.num_blocks())
+    }
+
+    /// Evaluates a state formula to its satisfying-state mask over the
+    /// original states.
+    ///
+    /// On the lumped path the mask is evaluated on the quotient and projected
+    /// back with [`LumpedCtmc::expand_mask`]; the result is identical because
+    /// the partition respects every label.
     ///
     /// # Errors
     ///
     /// Returns [`CslError::UnknownLabel`] if the formula references a label the
     /// chain does not carry.
     pub fn satisfying_states(&self, formula: &StateFormula) -> Result<Vec<bool>, CslError> {
-        let n = self.chain.num_states();
-        match formula {
-            StateFormula::True => Ok(vec![true; n]),
-            StateFormula::False => Ok(vec![false; n]),
-            StateFormula::Label(name) => {
-                self.chain
-                    .label(name)
-                    .map(<[bool]>::to_vec)
-                    .ok_or_else(|| CslError::UnknownLabel {
-                        label: name.clone(),
-                    })
+        match self.quotient() {
+            Some(q) => {
+                let block_mask = satisfying_on(q.lumping.quotient(), formula)?;
+                Ok(q.lumping.expand_mask(&block_mask))
             }
-            StateFormula::Not(inner) => Ok(self
-                .satisfying_states(inner)?
-                .into_iter()
-                .map(|b| !b)
-                .collect()),
-            StateFormula::And(left, right) => {
-                let l = self.satisfying_states(left)?;
-                let r = self.satisfying_states(right)?;
-                Ok(l.into_iter().zip(r).map(|(a, b)| a && b).collect())
-            }
-            StateFormula::Or(left, right) => {
-                let l = self.satisfying_states(left)?;
-                let r = self.satisfying_states(right)?;
-                Ok(l.into_iter().zip(r).map(|(a, b)| a || b).collect())
-            }
+            None => satisfying_on(self.chain, formula),
         }
     }
 
     /// Evaluates a query to a single number (probability, expectation or rate),
     /// weighted by the chain's initial distribution where applicable.
+    ///
+    /// The solvers run on the lumped quotient whenever it is smaller than the
+    /// chain; verdicts coincide with the flat evaluation because ordinary
+    /// lumpability preserves every measure the queries can express.
     ///
     /// # Errors
     ///
@@ -81,43 +141,18 @@ impl<'a> CslChecker<'a> {
     /// structure, [`CslError::UnknownLabel`] for unknown labels and propagates
     /// numerics errors.
     pub fn check(&self, query: &Query) -> Result<f64, CslError> {
-        match query {
-            Query::Probability(path) => {
-                let (safe, goal, bound) = path.as_until();
-                let safe_mask = self.satisfying_states(&safe)?;
-                let goal_mask = self.satisfying_states(&goal)?;
-                Ok(
-                    TransientSolver::new(self.chain)
-                        .bounded_until(&safe_mask, &goal_mask, bound)?,
-                )
-            }
-            Query::SteadyState(formula) => {
-                let mask = self.satisfying_states(formula)?;
-                let pi = SteadyStateSolver::new(self.chain).solve()?;
-                Ok(pi
-                    .iter()
-                    .zip(mask.iter())
-                    .filter(|(_, &m)| m)
-                    .map(|(p, _)| p)
-                    .sum())
-            }
-            Query::InstantaneousReward { time } => {
-                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
-                Ok(RewardSolver::new(self.chain, rewards)?.instantaneous_at(*time)?)
-            }
-            Query::CumulativeReward { time } => {
-                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
-                Ok(RewardSolver::new(self.chain, rewards)?.accumulated_until(*time)?)
-            }
-            Query::SteadyStateReward => {
-                let rewards = self.rewards.ok_or(CslError::MissingRewards)?;
-                Ok(RewardSolver::new(self.chain, rewards)?.long_run_rate()?)
-            }
+        match self.quotient() {
+            Some(q) => check_on(q.lumping.quotient(), q.rewards.as_ref(), query),
+            None => check_on(self.chain, self.rewards, query),
         }
     }
 
     /// Evaluates the probability of a path formula for every state as the
     /// starting state (rather than from the initial distribution).
+    ///
+    /// On the lumped path the per-block probabilities are computed on the
+    /// quotient and projected back with [`LumpedCtmc::expand_values`]: states
+    /// of a block start the same aggregated process, so their verdicts agree.
     ///
     /// # Errors
     ///
@@ -126,12 +161,94 @@ impl<'a> CslChecker<'a> {
         &self,
         path: &crate::ast::PathFormula,
     ) -> Result<Vec<f64>, CslError> {
-        let (safe, goal, bound) = path.as_until();
-        let safe_mask = self.satisfying_states(&safe)?;
-        let goal_mask = self.satisfying_states(&goal)?;
-        Ok(TransientSolver::new(self.chain)
-            .bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
+        match self.quotient() {
+            Some(q) => {
+                let per_block = probability_per_state_on(q.lumping.quotient(), path)?;
+                Ok(q.lumping.expand_values(&per_block))
+            }
+            None => probability_per_state_on(self.chain, path),
+        }
     }
+}
+
+/// Evaluates a state formula against an arbitrary chain (flat or quotient).
+fn satisfying_on(chain: &Ctmc, formula: &StateFormula) -> Result<Vec<bool>, CslError> {
+    let n = chain.num_states();
+    match formula {
+        StateFormula::True => Ok(vec![true; n]),
+        StateFormula::False => Ok(vec![false; n]),
+        StateFormula::Label(name) => {
+            chain
+                .label(name)
+                .map(<[bool]>::to_vec)
+                .ok_or_else(|| CslError::UnknownLabel {
+                    label: name.clone(),
+                })
+        }
+        StateFormula::Not(inner) => Ok(satisfying_on(chain, inner)?
+            .into_iter()
+            .map(|b| !b)
+            .collect()),
+        StateFormula::And(left, right) => {
+            let l = satisfying_on(chain, left)?;
+            let r = satisfying_on(chain, right)?;
+            Ok(l.into_iter().zip(r).map(|(a, b)| a && b).collect())
+        }
+        StateFormula::Or(left, right) => {
+            let l = satisfying_on(chain, left)?;
+            let r = satisfying_on(chain, right)?;
+            Ok(l.into_iter().zip(r).map(|(a, b)| a || b).collect())
+        }
+    }
+}
+
+/// Evaluates a query against an arbitrary chain (flat or quotient).
+fn check_on(
+    chain: &Ctmc,
+    rewards: Option<&RewardStructure>,
+    query: &Query,
+) -> Result<f64, CslError> {
+    match query {
+        Query::Probability(path) => {
+            let (safe, goal, bound) = path.as_until();
+            let safe_mask = satisfying_on(chain, &safe)?;
+            let goal_mask = satisfying_on(chain, &goal)?;
+            Ok(TransientSolver::new(chain).bounded_until(&safe_mask, &goal_mask, bound)?)
+        }
+        Query::SteadyState(formula) => {
+            let mask = satisfying_on(chain, formula)?;
+            let pi = SteadyStateSolver::new(chain).solve()?;
+            Ok(pi
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, &m)| m)
+                .map(|(p, _)| p)
+                .sum())
+        }
+        Query::InstantaneousReward { time } => {
+            let rewards = rewards.ok_or(CslError::MissingRewards)?;
+            Ok(RewardSolver::new(chain, rewards)?.instantaneous_at(*time)?)
+        }
+        Query::CumulativeReward { time } => {
+            let rewards = rewards.ok_or(CslError::MissingRewards)?;
+            Ok(RewardSolver::new(chain, rewards)?.accumulated_until(*time)?)
+        }
+        Query::SteadyStateReward => {
+            let rewards = rewards.ok_or(CslError::MissingRewards)?;
+            Ok(RewardSolver::new(chain, rewards)?.long_run_rate()?)
+        }
+    }
+}
+
+/// Per-start-state probability of a path formula on an arbitrary chain.
+fn probability_per_state_on(
+    chain: &Ctmc,
+    path: &crate::ast::PathFormula,
+) -> Result<Vec<f64>, CslError> {
+    let (safe, goal, bound) = path.as_until();
+    let safe_mask = satisfying_on(chain, &safe)?;
+    let goal_mask = satisfying_on(chain, &goal)?;
+    Ok(TransientSolver::new(chain).bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
 }
 
 #[cfg(test)]
@@ -248,6 +365,87 @@ mod tests {
         assert_eq!(per_state.len(), 2);
         assert_eq!(per_state[1], 1.0);
         assert!(per_state[0] < 1.0 && per_state[0] > 0.0);
+    }
+
+    /// Two identical, independently repaired components: bit i of the state
+    /// index = component i failed. The two single-failure states are
+    /// behaviourally equivalent, so the checker lumps 4 states into 3 blocks.
+    fn two_identical_components(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(4);
+        for (state, bit) in [(0b00, 0b01), (0b00, 0b10), (0b01, 0b10), (0b10, 0b01)] {
+            b.add_transition(state, state | bit, lambda).unwrap();
+            b.add_transition(state | bit, state, mu).unwrap();
+        }
+        b.set_initial_state(0).unwrap();
+        b.add_label_mask("all_up", vec![true, false, false, false])
+            .unwrap();
+        b.add_label_mask("all_down", vec![false, false, false, true])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quotient_and_flat_verdicts_are_identical() {
+        let chain = two_identical_components(0.01, 0.5);
+        let rewards = RewardStructure::new("cost", vec![0.0, 3.0, 3.0, 6.0]).unwrap();
+        let lumped = CslChecker::new(&chain).with_rewards(&rewards);
+        let flat = CslChecker::flat(&chain).with_rewards(&rewards);
+
+        // The lumped path is actually active (3 blocks for 4 states); the flat
+        // path never lumps.
+        assert_eq!(lumped.quotient_blocks(), Some(3));
+        assert_eq!(flat.quotient_blocks(), None);
+
+        for query in [
+            "P=? [ true U<=100 \"all_down\" ]",
+            "P=? [ !\"all_down\" U<=50 \"all_up\" ]",
+            "S=? [ \"all_up\" ]",
+            "S=? [ !\"all_up\" ]",
+            "R=? [ I=10 ]",
+            "R=? [ C<=10 ]",
+            "R=? [ S ]",
+        ] {
+            let q = parse_query(query).unwrap();
+            let a = lumped.check(&q).unwrap();
+            let b = flat.check(&q).unwrap();
+            assert!((a - b).abs() <= 1e-9, "{query}: quotient {a} vs flat {b}");
+        }
+
+        // Per-state verdicts expand back to the original states: symmetric
+        // states receive identical probabilities matching the flat solution.
+        let path = PathFormula::BoundedEventually {
+            goal: StateFormula::label("all_down"),
+            bound: 5.0,
+        };
+        let per_state_lumped = lumped.check_probability_per_state(&path).unwrap();
+        let per_state_flat = flat.check_probability_per_state(&path).unwrap();
+        assert_eq!(per_state_lumped.len(), 4);
+        assert_eq!(per_state_lumped[0b01], per_state_lumped[0b10]);
+        for (s, (a, b)) in per_state_lumped
+            .iter()
+            .zip(per_state_flat.iter())
+            .enumerate()
+        {
+            assert!((a - b).abs() <= 1e-9, "state {s}: {a} vs {b}");
+        }
+
+        // Satisfying-state masks project back through the quotient unchanged.
+        let formula = StateFormula::label("all_up").or(StateFormula::label("all_down"));
+        assert_eq!(
+            lumped.satisfying_states(&formula).unwrap(),
+            flat.satisfying_states(&formula).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_labels_error_on_the_quotient_path_too() {
+        let chain = two_identical_components(0.01, 0.5);
+        let checker = CslChecker::new(&chain);
+        assert!(checker.quotient_blocks().is_some());
+        assert!(matches!(
+            checker.satisfying_states(&StateFormula::label("ghost")),
+            Err(CslError::UnknownLabel { .. })
+        ));
     }
 
     #[test]

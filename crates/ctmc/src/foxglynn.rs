@@ -52,6 +52,21 @@ impl FoxGlynn {
             });
         }
 
+        // Small-lambda regime: when the probability of even a single jump,
+        // `1 - e^{-lambda}`, is within the truncation budget, the window is
+        // the point mass at k = 0. The log-space walk below relies on
+        // `ln(lambda)` spacing between consecutive terms and can truncate the
+        // entire support for tiny rates (the cutoff heuristic drops every
+        // term, leaving an empty or denormal window); returning the point
+        // mass keeps the truncation contract exactly.
+        if 1.0 - (-lambda).exp() <= epsilon {
+            return Ok(FoxGlynn {
+                left: 0,
+                right: 0,
+                weights: vec![1.0],
+            });
+        }
+
         let mode = lambda.floor() as usize;
 
         // Log of the Poisson pmf at the mode, via the log-gamma function.
@@ -99,6 +114,16 @@ impl FoxGlynn {
             weights.push((lt - log_pmf_mode).exp());
         }
         let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            // The window degenerated numerically (all terms underflowed);
+            // this cannot happen for the rates the guards above let through,
+            // but a zeroed window must never leak into a solver.
+            return Err(CtmcError::InvalidArgument {
+                reason: format!(
+                    "Poisson window for rate {lambda} degenerated (weight sum {total})"
+                ),
+            });
+        }
         // total * pmf(mode) ~= 1, so dividing by total yields properly normalised
         // Poisson probabilities even when pmf(mode) itself would underflow.
         let scale = 1.0 / total;
@@ -201,6 +226,25 @@ mod tests {
         assert_eq!(fg.weights, vec![1.0]);
         assert_eq!(fg.weight(0), 1.0);
         assert_eq!(fg.weight(1), 0.0);
+    }
+
+    #[test]
+    fn tiny_lambda_is_a_point_mass_at_zero() {
+        // When the chance of a single jump is below the truncation budget the
+        // window must be {0}, not an empty or underflowed range.
+        for &lambda in &[1e-300, 1e-30, 1e-16, 1e-13] {
+            let fg = FoxGlynn::new(lambda, 1e-12).unwrap();
+            assert_eq!((fg.left, fg.right), (0, 0), "lambda={lambda}");
+            assert_eq!(fg.weights, vec![1.0]);
+        }
+        // Just above the budget the genuine window takes over and stays
+        // normalised.
+        let fg = FoxGlynn::new(1e-9, 1e-12).unwrap();
+        assert!(fg.right >= 1, "support beyond zero must be retained");
+        let sum: f64 = fg.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((fg.weight(0) - (-1e-9f64).exp()).abs() < 1e-12);
+        assert!(fg.weights.iter().all(|w| w.is_finite()));
     }
 
     #[test]

@@ -69,8 +69,7 @@ impl<'a> TransientSolver<'a> {
         if t == 0.0 || self.chain.max_exit_rate() == 0.0 {
             return Ok(initial);
         }
-        let (q, p, fg) = self.uniformize(t)?;
-        let _ = q;
+        let (_, p, fg) = self.uniformize(t)?;
         let n = self.chain.num_states();
 
         let mut vk = initial; // pi(0) * P^k
@@ -216,13 +215,12 @@ impl<'a> TransientSolver<'a> {
 
         // Work on the transposed uniformised matrix so that a single pass yields
         // the per-state probabilities: x_{k+1} = P * x_k with x_0 = 1_goal.
-        let max_exit = transformed.max_exit_rate();
-        if max_exit == 0.0 {
+        if transformed.max_exit_rate() == 0.0 {
+            // Every state is absorbing after the transformation: nothing moves,
+            // so the probability is the goal indicator for any t.
             return Ok((0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect());
         }
-        let q = max_exit * self.options.uniformization_factor;
-        let p = transformed.uniformized_matrix(q)?;
-        let fg = FoxGlynn::new(q * t, self.options.epsilon)?;
+        let (_, p, fg) = uniformize_chain(&transformed, &self.options, t)?;
 
         let mut xk: Vec<f64> = (0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect();
         let mut result = vec![0.0; n];
@@ -273,10 +271,7 @@ impl<'a> TransientSolver<'a> {
         &self,
         t: f64,
     ) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
-        let q = self.chain.max_exit_rate() * self.options.uniformization_factor;
-        let p = self.chain.uniformized_matrix(q)?;
-        let fg = FoxGlynn::new(q * t, self.options.epsilon)?;
-        Ok((q, p, fg))
+        uniformize_chain(self.chain, &self.options, t)
     }
 
     fn validate_time(&self, t: f64) -> Result<(), CtmcError> {
@@ -287,6 +282,39 @@ impl<'a> TransientSolver<'a> {
         }
         Ok(())
     }
+}
+
+/// Uniformises a chain: the rate `q`, the DTMC matrix `P = I + Q/q` and the
+/// Poisson window for `q * t`.
+///
+/// Handles the degenerate all-absorbing chain (`max_exit_rate() == 0`)
+/// explicitly: the naive `q = max_exit * factor` would be zero there, and
+/// dividing by it would fill the uniformised matrix with NaNs. Since nothing
+/// ever moves, `P = I` with a point-mass Poisson window reproduces the exact
+/// semantics — the distribution stays at the initial distribution for all `t`.
+fn uniformize_chain(
+    chain: &Ctmc,
+    options: &TransientOptions,
+    t: f64,
+) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
+    let factor = options.uniformization_factor;
+    if !factor.is_finite() || factor < 1.0 {
+        return Err(CtmcError::InvalidArgument {
+            reason: format!("uniformisation factor must be finite and >= 1, got {factor}"),
+        });
+    }
+    let max_exit = chain.max_exit_rate();
+    if max_exit == 0.0 {
+        // All states absorbing: any positive rate uniformises to P = I, and
+        // the Poisson distribution over zero jumps is the point mass at 0.
+        let p = chain.uniformized_matrix(1.0)?;
+        let fg = FoxGlynn::new(0.0, options.epsilon)?;
+        return Ok((1.0, p, fg));
+    }
+    let q = max_exit * factor;
+    let p = chain.uniformized_matrix(q)?;
+    let fg = FoxGlynn::new(q * t, options.epsilon)?;
+    Ok((q, p, fg))
 }
 
 #[cfg(test)]
@@ -458,6 +486,63 @@ mod tests {
         let l = solver.expected_sojourn_times(8.0).unwrap();
         assert!((l[0] - 2.0).abs() < 1e-12);
         assert!((l[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_absorbing_chain_is_handled_degenerately() {
+        // A chain with no transitions at all: the uniformisation rate would be
+        // zero; the probabilities must stay at the initial distribution for
+        // every t, with no NaNs anywhere.
+        let mut b = CtmcBuilder::new(3);
+        b.set_initial_distribution(vec![0.5, 0.25, 0.25]).unwrap();
+        let chain = b.build().unwrap();
+        let solver = TransientSolver::new(&chain);
+        for &t in &[0.0, 1.0, 1000.0] {
+            let probs = solver.probabilities_at(t).unwrap();
+            assert_eq!(probs, vec![0.5, 0.25, 0.25], "t={t}");
+            assert!(probs.iter().all(|p| p.is_finite()));
+        }
+        // Bounded until: only the goal indicator matters.
+        let p = solver
+            .bounded_until(&[true, true, true], &[false, true, false], 10.0)
+            .unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+        // Sojourn times accumulate linearly in the initial states.
+        let l = solver.expected_sojourn_times(4.0).unwrap();
+        assert_eq!(l, vec![2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bounded_until_with_all_goal_states_is_degenerate_after_absorption() {
+        // Making every state absorbing (goal everywhere) used to drive the
+        // uniformisation rate to zero; the answer is trivially 1 per state.
+        let chain = two_state(1.0, 2.0);
+        let solver = TransientSolver::new(&chain);
+        let per_state = solver
+            .bounded_until_per_state(&[true, true], &[true, true], 5.0)
+            .unwrap();
+        assert_eq!(per_state, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn invalid_uniformization_factor_is_rejected() {
+        let chain = two_state(1.0, 2.0);
+        for factor in [0.0, 0.5, f64::NAN, f64::INFINITY] {
+            let solver = TransientSolver::with_options(
+                &chain,
+                TransientOptions {
+                    uniformization_factor: factor,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                solver.probabilities_at(1.0).is_err(),
+                "factor {factor} must be rejected"
+            );
+            assert!(solver
+                .bounded_until(&[true, true], &[false, true], 1.0)
+                .is_err());
+        }
     }
 
     #[test]

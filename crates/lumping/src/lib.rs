@@ -45,6 +45,11 @@
 //! [`LumpedCtmc::verify`] method re-checks stability directly and is used by
 //! the property-test suites.
 //!
+//! The [`subchain`] module supplies the *compositional* counterpart: the
+//! per-family sub-chain quotients (canonical role assignments and multiset
+//! block counts) that a composer can aggregate **before** taking the cross
+//! product, so the flat chain never needs to exist in the first place.
+//!
 //! # Example
 //!
 //! Two parallel, identical, independently repaired pumps: the four flat states
@@ -78,8 +83,10 @@ pub mod error;
 pub mod partition;
 pub mod quotient;
 pub mod refine;
+pub mod subchain;
 
 pub use error::LumpError;
 pub use partition::InitialPartition;
 pub use quotient::LumpedCtmc;
 pub use refine::lump;
+pub use subchain::{canonical_roles, multiset_count, SubchainQuotient};

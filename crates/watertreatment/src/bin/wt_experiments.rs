@@ -34,12 +34,17 @@ fn main() -> ExitCode {
 
 fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
     if wants("table1") {
-        println!("== Table 1: state-space sizes ==");
+        println!("== Table 1: state-space sizes (flat product, as the paper reports) ==");
         println!("{}", experiments::format_table1(&experiments::table1()?));
         println!("-- paper reference --");
         println!(
             "{}",
             experiments::format_table1(&experiments::table1_paper_reference())
+        );
+        println!("-- compositional pipeline (per-line sub-chains lumped before the product) --");
+        println!(
+            "{}",
+            experiments::format_table1(&experiments::table1_compositional()?)
         );
     }
     if wants("table2") {

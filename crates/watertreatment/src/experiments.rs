@@ -7,7 +7,7 @@
 //! [`format_table1`]-style helpers render the same data as plain-text tables
 //! comparable to the paper.
 
-use arcade_core::{Analysis, ArcadeError, CompiledModel, ComposerOptions, Series};
+use arcade_core::{Analysis, ArcadeError, CompiledModel, ComposerOptions, LumpingMode, Series};
 use serde::{Deserialize, Serialize};
 
 use crate::facility::{self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED};
@@ -124,6 +124,12 @@ fn compiled_analysis<'m>(model: &'m arcade_core::ArcadeModel) -> Result<Analysis
 
 /// Reproduces **Table 1**: state-space sizes for every strategy and both lines.
 ///
+/// The flat product sizes are what the paper's Table 1 reports, so this
+/// experiment explicitly materialises the flat chain with
+/// [`LumpingMode::Exact`]; the default analysis pipeline composes the
+/// per-family sub-chain quotients instead and never visits these state counts
+/// (see [`table1_compositional`]).
+///
 /// The absolute numbers depend on the queue encoding (ours canonicalises the
 /// order of waiting components with different priorities, the paper's PRISM
 /// translation does not), but the qualitative claims of the paper hold: the
@@ -135,6 +141,39 @@ fn compiled_analysis<'m>(model: &'m arcade_core::ArcadeModel) -> Result<Analysis
 ///
 /// Propagates composition errors.
 pub fn table1() -> Result<Vec<Table1Row>, ArcadeError> {
+    let mut rows = Vec::new();
+    for line in Line::both() {
+        for spec in strategies::paper_strategies() {
+            let model = facility::line_model(line, &spec)?;
+            let compiled = CompiledModel::compile_with(
+                &model,
+                ComposerOptions {
+                    lumping: LumpingMode::Exact,
+                    ..Default::default()
+                },
+            )?;
+            let stats = compiled.stats();
+            rows.push(Table1Row {
+                line,
+                strategy: spec.label.clone(),
+                states: stats.num_states,
+                transitions: stats.num_transitions,
+                lumped_states: stats.lumped_states,
+                lumped_transitions: stats.lumped_transitions,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 1 under the default compositional pipeline: the states column counts
+/// the canonical representatives actually explored (the composed per-family
+/// quotients), the lumped column the blocks after the final exact pass.
+///
+/// # Errors
+///
+/// Propagates composition errors.
+pub fn table1_compositional() -> Result<Vec<Table1Row>, ArcadeError> {
     let mut rows = Vec::new();
     for line in Line::both() {
         for spec in strategies::paper_strategies() {
@@ -569,17 +608,56 @@ mod tests {
         // pump group into 96 blocks. The reduction must be strict and stable.
         let spec = strategies::dedicated();
         let model = facility::line_model(Line::Line2, &spec).unwrap();
-        let compiled = CompiledModel::compile(&model).unwrap();
+        let compiled = CompiledModel::compile_with(
+            &model,
+            ComposerOptions {
+                lumping: LumpingMode::Exact,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let stats = compiled.stats();
         assert_eq!(stats.num_states, 512);
         assert_eq!(stats.lumped_states, Some(96));
         assert_eq!(stats.lumped_transitions, Some(512));
         assert!(stats.lumped_states.unwrap() < stats.num_states);
-        let lumped = compiled.lumped().expect("lumping is on by default");
+        let lumped = compiled.lumped().expect("lumping is enabled");
         lumped
             .lumping()
             .verify(compiled.chain(), 1e-12)
             .expect("partition is stable");
+    }
+
+    #[test]
+    fn table1_compositional_never_materializes_the_flat_chain() {
+        // The default pipeline explores canonical representatives of the
+        // per-family sub-chain quotients directly: the explored state count is
+        // bounded by the product of the per-family quotient sizes and lands on
+        // the same coarsest quotient as flat-then-lump (pinned by PR 1).
+        let spec = strategies::dedicated();
+        let model = facility::line_model(Line::Line2, &spec).unwrap();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let stats = compiled.stats();
+        assert_eq!(stats.num_states, 96, "canonical representatives explored");
+        assert_eq!(stats.lumped_states, Some(96));
+        let bound = stats.subchain_state_bound.expect("compositional bound");
+        assert!(stats.num_states <= bound, "{} > {bound}", stats.num_states);
+        assert!(bound < 512, "the bound must beat the flat product");
+        // Sub-chain breakdown: softeners (3), sand filters (2), reservoir,
+        // pumps (3) — under dedicated repair the alphabet is {up, under
+        // repair}, so the product of the local quotients is exactly 96.
+        let sizes: Vec<(usize, usize)> = stats
+            .subchains
+            .iter()
+            .map(|s| (s.members.len(), s.local_blocks))
+            .collect();
+        assert_eq!(sizes, vec![(3, 4), (2, 3), (1, 2), (3, 4)]);
+        assert_eq!(bound, 96);
+        let lumped = compiled.lumped().expect("final pass is enabled");
+        lumped
+            .lumping()
+            .verify(compiled.chain(), 1e-12)
+            .expect("the canonical chain is stably partitioned");
     }
 
     #[test]

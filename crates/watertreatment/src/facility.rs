@@ -127,6 +127,19 @@ pub fn line_structure(line: Line) -> SystemStructure {
     ]))
 }
 
+/// The interchangeable-component groups ("sub-chains") of a line, in phase
+/// order: softeners, sand filters, reservoir, pumps.
+///
+/// These are the units compositional lumping aggregates before the cross
+/// product: within each group the components share rates, costs and dispatch
+/// priorities and are siblings under one symmetric structure gate, so the
+/// composer's family detection recovers exactly this partition for every
+/// paper strategy (pinned by the tests below).
+pub fn line_subchains(line: Line) -> Vec<Vec<String>> {
+    let (softeners, sand_filters, reservoir, pumps) = component_names(line);
+    vec![softeners, sand_filters, vec![reservoir], pumps]
+}
+
 /// Builds the Arcade model of one process line under the given repair strategy.
 ///
 /// Each line has a single repair unit responsible for all of its components
@@ -270,6 +283,27 @@ mod tests {
         assert!(d2.involves("res"));
         assert!(d2.involves("st1"));
         assert!(d2.involves("sf1"));
+    }
+
+    #[test]
+    fn line_subchains_match_the_detected_families() {
+        // The hand-written sub-chain decomposition coincides with what the
+        // composer's interchangeability detection finds, for every strategy:
+        // the lump-before-compose pipeline always has the full per-phase
+        // symmetry available.
+        for line in Line::both() {
+            let expected = line_subchains(line);
+            for spec in strategies::paper_strategies() {
+                let model = line_model(line, &spec).unwrap();
+                assert_eq!(
+                    model.component_families(),
+                    expected,
+                    "{} {}",
+                    line.id(),
+                    spec.label
+                );
+            }
+        }
     }
 
     #[test]

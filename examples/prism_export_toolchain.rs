@@ -10,7 +10,7 @@
 //! cargo run --release --example prism_export_toolchain
 //! ```
 
-use arcade_core::{Analysis, CompiledModel, Measure};
+use arcade_core::{Analysis, CompiledModel, ComposerOptions, LumpingMode, Measure};
 use prism_export::{properties, translate};
 use watertreatment::{facility, strategies, Line};
 
@@ -21,9 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("// ---------- modular PRISM model (Line 2, dedicated repair) ----------");
     println!("{}", modular.to_source());
 
-    // Queueing strategies need the exact flat translation of the composed CTMC.
+    // Queueing strategies need the exact flat translation of the composed
+    // CTMC, so the flat chain is materialised explicitly here — the default
+    // compositional pipeline would compose (and export) only the canonical
+    // quotient.
     let frf2 = facility::line_model(Line::Line2, &strategies::frf(2))?;
-    let compiled = CompiledModel::compile(&frf2)?;
+    let compiled = CompiledModel::compile_with(
+        &frf2,
+        ComposerOptions {
+            lumping: LumpingMode::Exact,
+            ..Default::default()
+        },
+    )?;
     let flat = translate::flat(&frf2, &compiled);
     let source = flat.to_source();
     println!(

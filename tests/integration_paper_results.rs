@@ -6,21 +6,35 @@
 //! state spaces and availabilities (which the paper reports to seven digits)
 //! and the qualitative orderings of the survivability and cost curves on Line 2.
 
-use arcade_core::Analysis;
+use arcade_core::{Analysis, ComposerOptions, LumpingMode};
 use watertreatment::experiments::{self, service_levels};
 use watertreatment::{combined_availability, facility, strategies, Line};
 
-/// Table 1, dedicated rows: the composed state spaces are exactly the
+/// Options reproducing the paper's Table 1: materialise the flat product
+/// chain (the default pipeline composes the per-family quotients instead and
+/// never visits these state counts).
+fn flat_options() -> ComposerOptions {
+    ComposerOptions {
+        lumping: LumpingMode::Exact,
+        ..Default::default()
+    }
+}
+
+/// Table 1, dedicated rows: the flat state spaces are exactly the
 /// cross-product of the component modes.
 #[test]
 fn table1_dedicated_state_spaces_match_exactly() {
     let line1 = facility::line_model(Line::Line1, &strategies::dedicated()).unwrap();
-    let stats1 = Analysis::new(&line1).unwrap().state_space_stats();
+    let stats1 = Analysis::with_options(&line1, flat_options())
+        .unwrap()
+        .state_space_stats();
     assert_eq!(stats1.num_states, 2048);
     assert_eq!(stats1.num_transitions, 22528);
 
     let line2 = facility::line_model(Line::Line2, &strategies::dedicated()).unwrap();
-    let stats2 = Analysis::new(&line2).unwrap().state_space_stats();
+    let stats2 = Analysis::with_options(&line2, flat_options())
+        .unwrap()
+        .state_space_stats();
     assert_eq!(stats2.num_states, 512);
     // The paper reports 4606; the full cross product has 9 * 512 = 4608
     // transitions, which we reproduce.
@@ -32,15 +46,24 @@ fn table1_dedicated_state_spaces_match_exactly() {
 /// adds transitions.
 #[test]
 fn table1_line2_queueing_state_spaces() {
-    let frf1 = Analysis::new(&facility::line_model(Line::Line2, &strategies::frf(1)).unwrap())
-        .unwrap()
-        .state_space_stats();
-    let fff1 = Analysis::new(&facility::line_model(Line::Line2, &strategies::fff(1)).unwrap())
-        .unwrap()
-        .state_space_stats();
-    let frf2 = Analysis::new(&facility::line_model(Line::Line2, &strategies::frf(2)).unwrap())
-        .unwrap()
-        .state_space_stats();
+    let frf1 = Analysis::with_options(
+        &facility::line_model(Line::Line2, &strategies::frf(1)).unwrap(),
+        flat_options(),
+    )
+    .unwrap()
+    .state_space_stats();
+    let fff1 = Analysis::with_options(
+        &facility::line_model(Line::Line2, &strategies::fff(1)).unwrap(),
+        flat_options(),
+    )
+    .unwrap()
+    .state_space_stats();
+    let frf2 = Analysis::with_options(
+        &facility::line_model(Line::Line2, &strategies::frf(2)).unwrap(),
+        flat_options(),
+    )
+    .unwrap()
+    .state_space_stats();
 
     assert_eq!(
         frf1.num_states, 8129,
@@ -70,6 +93,54 @@ fn table1_line2_queueing_state_spaces() {
         frf1.lumped_states.unwrap() < frf1.num_states,
         "lumping must strictly reduce the Line 2 state space"
     );
+}
+
+/// The default compositional pipeline: per-line block counts are pinned for
+/// both lines under the dedicated and FRF strategies, and the exploration
+/// never materialises the flat product — the peak explored state count stays
+/// below the product of the per-family sub-chain quotient sizes.
+#[test]
+fn compositional_per_line_block_counts_are_pinned() {
+    // (line, spec, canonical states, final blocks, flat states of the paper)
+    let expectations = [
+        (Line::Line1, strategies::dedicated(), 160, 160, 2048),
+        (Line::Line1, strategies::frf(1), 449, 449, 111_809),
+        (Line::Line1, strategies::frf(2), 727, 727, 111_809),
+        (Line::Line2, strategies::dedicated(), 96, 96, 512),
+        (Line::Line2, strategies::frf(1), 257, 257, 8129),
+        (Line::Line2, strategies::frf(2), 387, 387, 8129),
+    ];
+    for (line, spec, canonical, blocks, flat) in expectations {
+        let model = facility::line_model(line, &spec).unwrap();
+        let stats = Analysis::new(&model).unwrap().state_space_stats();
+        assert_eq!(
+            stats.num_states,
+            canonical,
+            "{} {}: canonical states",
+            line.id(),
+            spec.label
+        );
+        assert_eq!(
+            stats.lumped_states,
+            Some(blocks),
+            "{} {}: final blocks",
+            line.id(),
+            spec.label
+        );
+        let bound = stats
+            .subchain_state_bound
+            .expect("compositional mode reports the sub-chain bound");
+        assert!(
+            stats.num_states <= bound && bound < flat,
+            "{} {}: explored {} must stay within the sub-chain bound {bound} < flat {flat}",
+            line.id(),
+            spec.label,
+            stats.num_states
+        );
+        // Per-line breakdown covers every component exactly once.
+        let covered: usize = stats.subchains.iter().map(|s| s.members.len()).sum();
+        assert_eq!(covered, model.components().len());
+    }
 }
 
 /// The lumped quotient gives the same measures as the flat chain on a real
