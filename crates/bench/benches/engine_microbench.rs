@@ -26,6 +26,22 @@ fn engine_benchmarks(c: &mut Criterion) {
     group.bench_function("transient_line2_frf1_t100", |b| {
         b.iter(|| TransientSolver::new(chain).probabilities_at(100.0).unwrap())
     });
+
+    // The CSR→CSC counting-pass transpose (used by Gauss–Seidel/Jacobi setup
+    // and the backward reachability kernels), on the flat Line 2 FRF chain so
+    // the matrix is large enough to be representative.
+    let flat = CompiledModel::compile_with(
+        &model,
+        arcade_core::ComposerOptions {
+            lumping: arcade_core::LumpingMode::Disabled,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    group.bench_function("transpose_line2_frf1_flat", |b| {
+        let rates = flat.chain().rate_matrix();
+        b.iter(|| rates.transpose().num_entries())
+    });
     group.bench_function("bounded_reachability_line2_frf1", |b| {
         let goal = compiled.service_at_least_mask(1.0);
         let safe = vec![true; chain.num_states()];

@@ -21,8 +21,11 @@
 //! quotient sizes.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use arcade_lumping::{lump, subchain, InitialPartition, LumpedCtmc};
+use ctmc::exec::{self, ExecOptions};
 use ctmc::{Ctmc, CtmcBuilder, RewardStructure};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +71,11 @@ pub struct ComposerOptions {
     pub queue_encoding: QueueEncoding,
     /// Whether the composed chain is lumped for analysis (see [`LumpingMode`]).
     pub lumping: LumpingMode,
+    /// Worker pool for the sharded frontier exploration and for the solvers
+    /// downstream ([`crate::Analysis`] forwards it). Exploration order, state
+    /// numbering and every rate are identical for every thread count, so this
+    /// knob changes wall-clock time only, never results.
+    pub exec: ExecOptions,
 }
 
 impl Default for ComposerOptions {
@@ -76,6 +84,7 @@ impl Default for ComposerOptions {
             max_states: 2_000_000,
             queue_encoding: QueueEncoding::default(),
             lumping: LumpingMode::default(),
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -806,60 +815,48 @@ impl<'a> Composer<'a> {
         if compositional {
             canonicalize_state(&mut initial, &self.families, &self.component_ru);
         }
-        let mut index_of: HashMap<GlobalState, usize> = HashMap::new();
-        let mut states: Vec<GlobalState> = Vec::new();
-        let mut worklist: Vec<usize> = Vec::new();
-        index_of.insert(initial.clone(), 0);
-        states.push(initial);
-        worklist.push(0);
 
-        let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+        let frontier = Frontier::explore(&self, compositional, initial)?;
+        let states = frontier.states;
+        let transitions = frontier.transitions;
+        let index_of = frontier.index_of;
 
-        while let Some(current) = worklist.pop() {
-            let successors = self.successors(&states[current]);
-            for (mut target_state, rate) in successors {
-                if compositional {
-                    canonicalize_state(&mut target_state, &self.families, &self.component_ru);
-                }
-                let target = match index_of.get(&target_state) {
-                    Some(&idx) => idx,
-                    None => {
-                        let idx = states.len();
-                        if idx >= self.options.max_states {
-                            return Err(ArcadeError::StateSpaceTooLarge {
-                                limit: self.options.max_states,
-                            });
-                        }
-                        index_of.insert(target_state.clone(), idx);
-                        states.push(target_state);
-                        worklist.push(idx);
-                        idx
-                    }
-                };
-                transitions.push((current, target, rate));
-            }
-        }
-
-        // Per-state metadata.
-        let mut service_levels = Vec::with_capacity(states.len());
-        let mut operational = Vec::with_capacity(states.len());
-        let mut costs = Vec::with_capacity(states.len());
-        for state in &states {
+        // Per-state metadata: each state's service level, operational flag and
+        // cost rate depend on that state alone, so the sweep shards across the
+        // worker pool (in-order reassembly keeps it deterministic).
+        let state_meta = |state: &GlobalState| -> (f64, bool, f64) {
             let provides = |name: &str| -> f64 {
                 match self.component_names.iter().position(|n| n == name) {
                     Some(idx) if state.statuses[idx].provides_service() => 1.0,
                     _ => 0.0,
                 }
             };
-            service_levels.push(service_tree.service_level(provides));
             let failed = |name: &str| -> bool {
                 match self.component_names.iter().position(|n| n == name) {
                     Some(idx) => !state.statuses[idx].provides_service(),
                     None => false,
                 }
             };
-            operational.push(!degraded_tree.is_failed(failed));
-            costs.push(self.state_cost(state));
+            (
+                service_tree.service_level(provides),
+                !degraded_tree.is_failed(failed),
+                self.state_cost(state),
+            )
+        };
+        let shards = exec::shard_ranges(states.len(), self.options.exec.workers_for(states.len()));
+        let meta: Vec<(f64, bool, f64)> = exec::map_ordered(&shards, self.options.exec, |range| {
+            states[range.clone()].iter().map(state_meta).collect()
+        })
+        .into_iter()
+        .flat_map(|chunk: Vec<(f64, bool, f64)>| chunk)
+        .collect();
+        let mut service_levels = Vec::with_capacity(states.len());
+        let mut operational = Vec::with_capacity(states.len());
+        let mut costs = Vec::with_capacity(states.len());
+        for (level, op, cost) in meta {
+            service_levels.push(level);
+            operational.push(op);
+            costs.push(cost);
         }
 
         let mut builder = CtmcBuilder::new(states.len());
@@ -897,6 +894,222 @@ impl<'a> Composer<'a> {
             lumped: None,
         })
     }
+}
+
+/// Result of the (optionally sharded) frontier exploration.
+struct Frontier {
+    states: Vec<GlobalState>,
+    transitions: Vec<(usize, usize, f64)>,
+    index_of: HashMap<GlobalState, usize>,
+}
+
+/// Number of stripes of the concurrent seen-set (a power of two, so the
+/// stripe of a state is the low bits of its canonical-state hash).
+const SEEN_STRIPES: usize = 64;
+
+/// Waves smaller than this are expanded inline: generating successors for a
+/// handful of states is cheaper than spawning workers. Inline and sharded
+/// expansion produce identical states, numbering and transitions.
+const MIN_PARALLEL_WAVE: usize = 32;
+
+/// Entry of the striped seen-set.
+enum Seen {
+    /// The state has been assigned its final index.
+    Known(usize),
+    /// The state was first discovered in the current wave; the payload is the
+    /// smallest discovery rank claiming it so far (see [`Frontier::explore`]).
+    Pending(u64),
+}
+
+/// A successor resolved during the probe phase of a wave.
+enum Probe {
+    /// Already explored (or discovered in an earlier wave): final index.
+    Known(usize),
+    /// First seen this wave; the merge phase assigns its index.
+    Fresh(GlobalState),
+}
+
+/// Probe output of one worker's wave shard: each frontier state (by final
+/// index) with its resolved successors and rates, in generation order.
+type ProbedShard = Vec<(usize, Vec<(Probe, f64)>)>;
+
+impl Frontier {
+    /// Explores the reachable state space in breadth-first waves.
+    ///
+    /// Each wave is split into per-thread work queues (contiguous shards of
+    /// the frontier). Workers generate and canonicalise successors and probe
+    /// a seen-set striped into [`SEEN_STRIPES`] `Mutex<HashMap>` shards keyed
+    /// by the canonical-state hash; a state not seen before is claimed with
+    /// its *discovery rank* — `(position in wave, successor position)` — and
+    /// concurrent claims keep the smallest rank. The merge phase then orders
+    /// the wave's fresh states by rank and assigns indices sequentially:
+    /// first-encounter order in a single-threaded breadth-first sweep. State
+    /// numbering, transition order and every rate are therefore identical
+    /// for every thread count and shard layout.
+    fn explore(
+        composer: &Composer,
+        compositional: bool,
+        initial: GlobalState,
+    ) -> Result<Self, ArcadeError> {
+        let threads = composer.options.exec.resolved_threads();
+        let stripes: Vec<Mutex<HashMap<GlobalState, Seen>>> = (0..SEEN_STRIPES)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        let mut states = vec![initial.clone()];
+        stripes[stripe_of(&initial)]
+            .lock()
+            .expect("no worker panicked")
+            .insert(initial, Seen::Known(0));
+        let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+        let mut wave_start = 0;
+
+        while wave_start < states.len() {
+            let wave_end = states.len();
+            let wave_len = wave_end - wave_start;
+
+            // Probe phase: resolve every successor of the wave against the
+            // striped seen-set, claiming unseen states by discovery rank. The
+            // `pending` counter bounds memory: once the distinct fresh states
+            // would push the total past `max_states`, workers stop cloning
+            // and report the overflow instead of buffering a whole oversized
+            // wave before the merge notices.
+            let pending = std::sync::atomic::AtomicUsize::new(0);
+            let outputs: Vec<ProbedShard> = {
+                let wave = &states[wave_start..wave_end];
+                let stripes = &stripes;
+                let pending = &pending;
+                let probe_range = |range: &std::ops::Range<usize>| -> Result<_, ArcadeError> {
+                    let mut out = Vec::with_capacity(range.len());
+                    for offset in range.clone() {
+                        let successors = composer.successors(&wave[offset]);
+                        let mut resolved = Vec::with_capacity(successors.len());
+                        for (succ_idx, (mut target, rate)) in successors.into_iter().enumerate() {
+                            if compositional {
+                                canonicalize_state(
+                                    &mut target,
+                                    &composer.families,
+                                    &composer.component_ru,
+                                );
+                            }
+                            // One successor per component, so the index fits
+                            // 16 bits with room to spare; a collision would
+                            // silently break deterministic numbering.
+                            debug_assert!(succ_idx < (1 << 16), "rank packing overflow");
+                            let rank = ((offset as u64) << 16) | succ_idx as u64;
+                            let mut map = stripes[stripe_of(&target)]
+                                .lock()
+                                .expect("no worker panicked");
+                            let probe = match map.get_mut(&target) {
+                                Some(Seen::Known(idx)) => Probe::Known(*idx),
+                                Some(Seen::Pending(best)) => {
+                                    *best = rank.min(*best);
+                                    Probe::Fresh(target)
+                                }
+                                None => {
+                                    let discovered = 1 + pending
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if wave_end + discovered > composer.options.max_states {
+                                        return Err(ArcadeError::StateSpaceTooLarge {
+                                            limit: composer.options.max_states,
+                                        });
+                                    }
+                                    map.insert(target.clone(), Seen::Pending(rank));
+                                    Probe::Fresh(target)
+                                }
+                            };
+                            drop(map);
+                            resolved.push((probe, rate));
+                        }
+                        out.push((wave_start + offset, resolved));
+                    }
+                    Ok(out)
+                };
+                let ranges = if threads <= 1 || wave_len < MIN_PARALLEL_WAVE {
+                    exec::shard_ranges(wave_len, 1)
+                } else {
+                    exec::shard_ranges(wave_len, threads)
+                };
+                exec::map_ordered(&ranges, composer.options.exec, probe_range)
+                    .into_iter()
+                    .collect::<Result<_, _>>()?
+            };
+
+            // Merge phase: assign indices to this wave's fresh states in
+            // discovery-rank order (ranks are unique — each rank names one
+            // successor slot, which generated exactly one target state).
+            let mut fresh: Vec<(u64, GlobalState)> = Vec::new();
+            for stripe in &stripes {
+                let map = stripe.lock().expect("no worker panicked");
+                for (state, seen) in map.iter() {
+                    if let Seen::Pending(rank) = seen {
+                        fresh.push((*rank, state.clone()));
+                    }
+                }
+            }
+            fresh.sort_unstable_by_key(|&(rank, _)| rank);
+            for (_, state) in fresh {
+                let idx = states.len();
+                if idx >= composer.options.max_states {
+                    return Err(ArcadeError::StateSpaceTooLarge {
+                        limit: composer.options.max_states,
+                    });
+                }
+                let mut map = stripes[stripe_of(&state)]
+                    .lock()
+                    .expect("no worker panicked");
+                *map.get_mut(&state).expect("claimed in the probe phase") = Seen::Known(idx);
+                drop(map);
+                states.push(state);
+            }
+
+            // Record the wave's transitions in frontier order; fresh targets
+            // now carry their final index in the seen-set.
+            for output in outputs {
+                for (current, resolved) in output {
+                    for (probe, rate) in resolved {
+                        let target = match probe {
+                            Probe::Known(idx) => idx,
+                            Probe::Fresh(state) => {
+                                let map = stripes[stripe_of(&state)]
+                                    .lock()
+                                    .expect("no worker panicked");
+                                match map.get(&state) {
+                                    Some(Seen::Known(idx)) => *idx,
+                                    _ => unreachable!("merge phase indexed every fresh state"),
+                                }
+                            }
+                        };
+                        transitions.push((current, target, rate));
+                    }
+                }
+            }
+            wave_start = wave_end;
+        }
+
+        // Drain the stripes into the final state-lookup map.
+        let mut index_of = HashMap::with_capacity(states.len());
+        for stripe in stripes {
+            for (state, seen) in stripe.into_inner().expect("no worker panicked") {
+                match seen {
+                    Seen::Known(idx) => index_of.insert(state, idx),
+                    Seen::Pending(_) => unreachable!("every wave resolves its pending states"),
+                };
+            }
+        }
+        Ok(Frontier {
+            states,
+            transitions,
+            index_of,
+        })
+    }
+}
+
+/// Stripe of the concurrent seen-set a state belongs to, from its canonical
+/// hash (the deterministic `DefaultHasher`, not the map's randomised one).
+fn stripe_of(state: &GlobalState) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    state.hash(&mut hasher);
+    (hasher.finish() as usize) & (SEEN_STRIPES - 1)
 }
 
 /// Maps a global state to the canonical representative of its orbit under the

@@ -80,6 +80,7 @@ pub use composer::{
     CompiledModel, ComposerOptions, LumpedModel, LumpingMode, StateSpaceStats, SubchainStats,
     LABEL_DOWN, LABEL_NO_SERVICE, LABEL_OPERATIONAL,
 };
+pub use ctmc::ExecOptions;
 pub use disaster::Disaster;
 pub use error::ArcadeError;
 pub use families::{detect_families, ComponentFamily};

@@ -12,7 +12,10 @@
 use std::cell::OnceCell;
 
 use arcade_lumping::{lump, InitialPartition, LumpedCtmc};
-use ctmc::{Ctmc, RewardSolver, RewardStructure, SteadyStateSolver, TransientSolver};
+use ctmc::{
+    Ctmc, ExecOptions, RewardSolver, RewardStructure, SteadyStateSolver, TransientOptions,
+    TransientSolver,
+};
 
 use crate::ast::{Query, StateFormula};
 use crate::error::CslError;
@@ -34,6 +37,7 @@ pub struct CslChecker<'a> {
     chain: &'a Ctmc,
     rewards: Option<&'a RewardStructure>,
     use_lumping: bool,
+    exec: ExecOptions,
     /// `None` inside the cell means "lumping attempted but not profitable"
     /// (or disabled); computed on first use so construction stays free.
     quotient: OnceCell<Option<Quotient>>,
@@ -46,6 +50,7 @@ impl<'a> CslChecker<'a> {
             chain,
             rewards: None,
             use_lumping: true,
+            exec: ExecOptions::default(),
             quotient: OnceCell::new(),
         }
     }
@@ -58,6 +63,7 @@ impl<'a> CslChecker<'a> {
             chain,
             rewards: None,
             use_lumping: false,
+            exec: ExecOptions::default(),
             quotient: OnceCell::new(),
         }
     }
@@ -68,6 +74,14 @@ impl<'a> CslChecker<'a> {
         // The quotient must additionally respect the reward rates; drop any
         // partition computed without them.
         self.quotient = OnceCell::new();
+        self
+    }
+
+    /// Selects the worker pool the solvers draw from (quotient and flat path
+    /// alike). The sharded kernels are bit-identical to serial, so verdicts
+    /// never depend on this knob.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -142,8 +156,8 @@ impl<'a> CslChecker<'a> {
     /// numerics errors.
     pub fn check(&self, query: &Query) -> Result<f64, CslError> {
         match self.quotient() {
-            Some(q) => check_on(q.lumping.quotient(), q.rewards.as_ref(), query),
-            None => check_on(self.chain, self.rewards, query),
+            Some(q) => check_on(q.lumping.quotient(), q.rewards.as_ref(), query, self.exec),
+            None => check_on(self.chain, self.rewards, query, self.exec),
         }
     }
 
@@ -163,10 +177,10 @@ impl<'a> CslChecker<'a> {
     ) -> Result<Vec<f64>, CslError> {
         match self.quotient() {
             Some(q) => {
-                let per_block = probability_per_state_on(q.lumping.quotient(), path)?;
+                let per_block = probability_per_state_on(q.lumping.quotient(), path, self.exec)?;
                 Ok(q.lumping.expand_values(&per_block))
             }
-            None => probability_per_state_on(self.chain, path),
+            None => probability_per_state_on(self.chain, path, self.exec),
         }
     }
 }
@@ -202,22 +216,34 @@ fn satisfying_on(chain: &Ctmc, formula: &StateFormula) -> Result<Vec<bool>, CslE
     }
 }
 
+/// Transient options carrying the checker's worker pool.
+fn transient_options(exec: ExecOptions) -> TransientOptions {
+    TransientOptions {
+        exec,
+        ..TransientOptions::default()
+    }
+}
+
 /// Evaluates a query against an arbitrary chain (flat or quotient).
 fn check_on(
     chain: &Ctmc,
     rewards: Option<&RewardStructure>,
     query: &Query,
+    exec: ExecOptions,
 ) -> Result<f64, CslError> {
     match query {
         Query::Probability(path) => {
             let (safe, goal, bound) = path.as_until();
             let safe_mask = satisfying_on(chain, &safe)?;
             let goal_mask = satisfying_on(chain, &goal)?;
-            Ok(TransientSolver::new(chain).bounded_until(&safe_mask, &goal_mask, bound)?)
+            Ok(
+                TransientSolver::with_options(chain, transient_options(exec))
+                    .bounded_until(&safe_mask, &goal_mask, bound)?,
+            )
         }
         Query::SteadyState(formula) => {
             let mask = satisfying_on(chain, formula)?;
-            let pi = SteadyStateSolver::new(chain).solve()?;
+            let pi = SteadyStateSolver::new(chain).exec(exec).solve()?;
             Ok(pi
                 .iter()
                 .zip(mask.iter())
@@ -227,15 +253,21 @@ fn check_on(
         }
         Query::InstantaneousReward { time } => {
             let rewards = rewards.ok_or(CslError::MissingRewards)?;
-            Ok(RewardSolver::new(chain, rewards)?.instantaneous_at(*time)?)
+            Ok(RewardSolver::new(chain, rewards)?
+                .with_options(transient_options(exec))
+                .instantaneous_at(*time)?)
         }
         Query::CumulativeReward { time } => {
             let rewards = rewards.ok_or(CslError::MissingRewards)?;
-            Ok(RewardSolver::new(chain, rewards)?.accumulated_until(*time)?)
+            Ok(RewardSolver::new(chain, rewards)?
+                .with_options(transient_options(exec))
+                .accumulated_until(*time)?)
         }
         Query::SteadyStateReward => {
             let rewards = rewards.ok_or(CslError::MissingRewards)?;
-            Ok(RewardSolver::new(chain, rewards)?.long_run_rate()?)
+            Ok(RewardSolver::new(chain, rewards)?
+                .with_options(transient_options(exec))
+                .long_run_rate()?)
         }
     }
 }
@@ -244,11 +276,15 @@ fn check_on(
 fn probability_per_state_on(
     chain: &Ctmc,
     path: &crate::ast::PathFormula,
+    exec: ExecOptions,
 ) -> Result<Vec<f64>, CslError> {
     let (safe, goal, bound) = path.as_until();
     let safe_mask = satisfying_on(chain, &safe)?;
     let goal_mask = satisfying_on(chain, &goal)?;
-    Ok(TransientSolver::new(chain).bounded_until_per_state(&safe_mask, &goal_mask, bound)?)
+    Ok(
+        TransientSolver::with_options(chain, transient_options(exec))
+            .bounded_until_per_state(&safe_mask, &goal_mask, bound)?,
+    )
 }
 
 #[cfg(test)]

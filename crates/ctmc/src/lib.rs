@@ -40,6 +40,7 @@
 
 pub mod dtmc;
 pub mod error;
+pub mod exec;
 pub mod foxglynn;
 pub mod graph;
 pub mod markov;
@@ -50,6 +51,7 @@ pub mod transient;
 
 pub use dtmc::Dtmc;
 pub use error::CtmcError;
+pub use exec::ExecOptions;
 pub use foxglynn::FoxGlynn;
 pub use graph::{bottom_sccs, reachable_from, strongly_connected_components};
 pub use markov::{Ctmc, CtmcBuilder, StateIndex};

@@ -155,13 +155,20 @@ impl<'a> RewardSolver<'a> {
         self.rewards.expectation(&pi)
     }
 
-    /// Expected instantaneous reward at several time points.
+    /// Expected instantaneous reward at several time points, sharing one
+    /// uniformisation pass across all points (bit-identical to evaluating
+    /// [`RewardSolver::instantaneous_at`] per point, but the matrix–vector
+    /// products are paid once).
     ///
     /// # Errors
     ///
     /// Propagates transient-analysis errors.
     pub fn instantaneous_series(&self, times: &[f64]) -> Result<Vec<f64>, CtmcError> {
-        times.iter().map(|&t| self.instantaneous_at(t)).collect()
+        TransientSolver::with_options(self.chain, self.options)
+            .probabilities_at_many(times)?
+            .iter()
+            .map(|pi| self.rewards.expectation(pi))
+            .collect()
     }
 
     /// Expected reward accumulated over `[0, t]` (CSRL `R=? [ C<=t ]`).
@@ -175,13 +182,19 @@ impl<'a> RewardSolver<'a> {
         self.rewards.expectation(&sojourn)
     }
 
-    /// Expected accumulated reward at several time bounds.
+    /// Expected accumulated reward at several time bounds, sharing one
+    /// uniformisation pass across all bounds (bit-identical to evaluating
+    /// [`RewardSolver::accumulated_until`] per bound).
     ///
     /// # Errors
     ///
     /// Propagates transient-analysis errors.
     pub fn accumulated_series(&self, times: &[f64]) -> Result<Vec<f64>, CtmcError> {
-        times.iter().map(|&t| self.accumulated_until(t)).collect()
+        TransientSolver::with_options(self.chain, self.options)
+            .expected_sojourn_times_many(times)?
+            .iter()
+            .map(|sojourn| self.rewards.expectation(sojourn))
+            .collect()
     }
 
     /// Long-run expected reward rate (steady-state reward).
@@ -190,7 +203,9 @@ impl<'a> RewardSolver<'a> {
     ///
     /// Propagates steady-state solver errors.
     pub fn long_run_rate(&self) -> Result<f64, CtmcError> {
-        let pi = SteadyStateSolver::new(self.chain).solve()?;
+        let pi = SteadyStateSolver::new(self.chain)
+            .exec(self.options.exec)
+            .solve()?;
         self.rewards.expectation(&pi)
     }
 }

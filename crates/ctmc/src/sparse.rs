@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::CtmcError;
+use crate::exec::ExecOptions;
 
 /// A single non-zero entry of a sparse matrix, used when iterating rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,16 +167,150 @@ impl SparseMatrix {
         Ok(())
     }
 
+    /// Computes `y = x * A` sharded across the workers of `exec`.
+    ///
+    /// Each worker owns a contiguous range of *output columns* and accumulates
+    /// every column of its range in increasing row order — exactly the
+    /// accumulation order of the serial kernel — so the result is
+    /// bit-identical to [`SparseMatrix::left_multiply`] for any thread count.
+    /// Small matrices (fewer than [`crate::exec::MIN_PARALLEL_WORK`] stored
+    /// entries) take the serial path directly.
+    ///
+    /// # Errors
+    ///
+    /// Same dimension checks as [`SparseMatrix::left_multiply`].
+    pub fn left_multiply_exec(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        exec: &ExecOptions,
+    ) -> Result<(), CtmcError> {
+        let workers = exec.workers_for(self.num_entries()).min(self.num_cols);
+        if workers <= 1 {
+            return self.left_multiply(x, y);
+        }
+        if x.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: x.len(),
+            });
+        }
+        if y.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: y.len(),
+            });
+        }
+        let chunk = crate::exec::chunk_len(self.num_cols, workers);
+        std::thread::scope(|scope| {
+            for (i, shard) in y.chunks_mut(chunk).enumerate() {
+                let c0 = i * chunk;
+                let c1 = c0 + shard.len();
+                scope.spawn(move || {
+                    shard.iter_mut().for_each(|v| *v = 0.0);
+                    for (row, &xi) in x.iter().enumerate() {
+                        if xi == 0.0 {
+                            continue;
+                        }
+                        let (cols, values) = self.row(row);
+                        // Rows are sorted by column, so the slice belonging to
+                        // this shard's column range is contiguous.
+                        let lo = cols.partition_point(|&c| c < c0);
+                        let hi = lo + cols[lo..].partition_point(|&c| c < c1);
+                        for (c, v) in cols[lo..hi].iter().zip(values[lo..hi].iter()) {
+                            shard[*c - c0] += xi * v;
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `y = A * x` sharded across the workers of `exec`.
+    ///
+    /// Rows are independent in this product, so each worker takes a
+    /// contiguous row range and fills its slice of `y`; per-row accumulation
+    /// order is untouched and the result is bit-identical to
+    /// [`SparseMatrix::right_multiply`] for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same dimension checks as [`SparseMatrix::right_multiply`].
+    pub fn right_multiply_exec(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        exec: &ExecOptions,
+    ) -> Result<(), CtmcError> {
+        let workers = exec.workers_for(self.num_entries()).min(self.num_rows);
+        if workers <= 1 {
+            return self.right_multiply(x, y);
+        }
+        if x.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: x.len(),
+            });
+        }
+        if y.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: y.len(),
+            });
+        }
+        let chunk = crate::exec::chunk_len(self.num_rows, workers);
+        std::thread::scope(|scope| {
+            for (i, shard) in y.chunks_mut(chunk).enumerate() {
+                let start = i * chunk;
+                scope.spawn(move || {
+                    for (r, out) in shard.iter_mut().enumerate() {
+                        let (cols, values) = self.row(start + r);
+                        let mut acc = 0.0;
+                        for (c, v) in cols.iter().zip(values.iter()) {
+                            acc += v * x[*c];
+                        }
+                        *out = acc;
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
     /// Returns the transpose of this matrix.
+    ///
+    /// Built CSR→CSC style in two counting passes (count column occupancy,
+    /// prefix-sum into offsets, scatter) instead of re-sorting triplets
+    /// through a builder; within every transposed row the entries stay in
+    /// increasing original-row order.
     pub fn transpose(&self) -> SparseMatrix {
-        let mut builder = SparseMatrixBuilder::new(self.num_cols, self.num_rows);
+        let mut row_offsets = vec![0usize; self.num_cols + 1];
+        for &c in &self.cols {
+            row_offsets[c + 1] += 1;
+        }
+        for i in 0..self.num_cols {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let mut next = row_offsets[..self.num_cols].to_vec();
+        let mut cols = vec![0usize; self.values.len()];
+        let mut values = vec![0.0; self.values.len()];
         for row in 0..self.num_rows {
-            let (cols, values) = self.row(row);
-            for (c, v) in cols.iter().zip(values.iter()) {
-                builder.push(*c, row, *v);
+            let (rc, rv) = self.row(row);
+            for (c, v) in rc.iter().zip(rv.iter()) {
+                let slot = next[*c];
+                next[*c] += 1;
+                cols[slot] = row;
+                values[slot] = *v;
             }
         }
-        builder.build()
+        SparseMatrix {
+            num_rows: self.num_cols,
+            num_cols: self.num_rows,
+            row_offsets,
+            cols,
+            values,
+        }
     }
 
     /// Returns the sum of each row as a vector.
@@ -421,6 +556,105 @@ mod tests {
         let triplets: Vec<_> = m.iter().collect();
         assert_eq!(triplets.len(), 4);
         assert!(triplets.contains(&(1, 0, 3.0)));
+    }
+
+    #[test]
+    fn get_binary_searches_sorted_rows() {
+        // A row with many columns: `get` must find every stored entry and
+        // return zero for the gaps (the builder sorts each row by column, so
+        // lookups binary-search rather than scan).
+        let mut b = SparseMatrixBuilder::new(2, 1000);
+        for c in (0..1000).step_by(7) {
+            b.push(0, c, c as f64 + 1.0);
+        }
+        let m = b.build();
+        for c in 0..1000 {
+            let expected = if c % 7 == 0 { c as f64 + 1.0 } else { 0.0 };
+            assert_eq!(m.get(0, c), expected, "col {c}");
+        }
+        // Out-of-range coordinates are simply absent.
+        assert_eq!(m.get(0, 5000), 0.0);
+        assert_eq!(m.get(7, 0), 0.0);
+    }
+
+    /// Deterministic pseudo-random sparse matrix large enough to clear the
+    /// parallel-work threshold.
+    fn large_random_matrix(rows: usize, cols: usize, seed: u64) -> SparseMatrix {
+        let mut b = SparseMatrixBuilder::new(rows, cols);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..(crate::exec::MIN_PARALLEL_WORK * 2) {
+            let r = next() as usize % rows;
+            let c = next() as usize % cols;
+            let v = (next() % 1000) as f64 / 499.0 - 1.0;
+            b.push(r, c, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exec_kernels_are_bit_identical_to_serial() {
+        let m = large_random_matrix(300, 240, 42);
+        let x_left: Vec<f64> = (0..300).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x_right: Vec<f64> = (0..240).map(|i| (i as f64 * 0.11).cos()).collect();
+
+        let mut serial_left = vec![0.0; 240];
+        m.left_multiply(&x_left, &mut serial_left).unwrap();
+        let mut serial_right = vec![0.0; 300];
+        m.right_multiply(&x_right, &mut serial_right).unwrap();
+
+        for threads in [1usize, 2, 3, 4, 8] {
+            let exec = ExecOptions::with_threads(threads);
+            let mut y = vec![f64::NAN; 240];
+            m.left_multiply_exec(&x_left, &mut y, &exec).unwrap();
+            assert_eq!(y, serial_left, "left, {threads} threads");
+            let mut y = vec![f64::NAN; 300];
+            m.right_multiply_exec(&x_right, &mut y, &exec).unwrap();
+            assert_eq!(y, serial_right, "right, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn exec_kernels_share_the_dimension_checks() {
+        let m = matrix_2x2();
+        let exec = ExecOptions::with_threads(4);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0, 0.0];
+        assert!(m.left_multiply_exec(&x, &mut y, &exec).is_err());
+        assert!(m.right_multiply_exec(&x, &mut y, &exec).is_err());
+        let big = large_random_matrix(128, 96, 7);
+        let mut wrong = vec![0.0; 95];
+        assert!(big
+            .left_multiply_exec(&vec![0.0; 128], &mut wrong, &exec)
+            .is_err());
+        assert!(big
+            .right_multiply_exec(&vec![0.0; 96], &mut vec![0.0; 127], &exec)
+            .is_err());
+    }
+
+    #[test]
+    fn transpose_counting_pass_keeps_rows_sorted() {
+        let m = large_random_matrix(150, 220, 99);
+        let t = m.transpose();
+        assert_eq!(t.num_rows(), 220);
+        assert_eq!(t.num_cols(), 150);
+        assert_eq!(t.num_entries(), m.num_entries());
+        // Every transposed row is sorted by column (= original row), which the
+        // exec kernels and `get` rely on.
+        for r in 0..t.num_rows() {
+            let (cols, _) = t.row(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted");
+        }
+        // Entry-wise equality with the definition, and an involution.
+        for (r, c, v) in m.iter() {
+            assert_eq!(t.get(c, r), v);
+        }
+        assert_eq!(t.transpose(), m);
     }
 
     #[test]

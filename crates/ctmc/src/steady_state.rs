@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::CtmcError;
+use crate::exec::ExecOptions;
 use crate::graph::bottom_sccs;
 use crate::markov::{Ctmc, StateIndex};
 use crate::sparse::{SparseMatrix, SparseMatrixBuilder};
@@ -35,6 +36,7 @@ pub struct SteadyStateSolver<'a> {
     method: SteadyStateMethod,
     tolerance: f64,
     max_iterations: usize,
+    exec: ExecOptions,
 }
 
 impl<'a> SteadyStateSolver<'a> {
@@ -45,12 +47,23 @@ impl<'a> SteadyStateSolver<'a> {
             method: SteadyStateMethod::default(),
             tolerance: DEFAULT_TOLERANCE,
             max_iterations: DEFAULT_MAX_ITERATIONS,
+            exec: ExecOptions::default(),
         }
     }
 
     /// Selects the iterative method.
     pub fn method(mut self, method: SteadyStateMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Selects the worker pool used by the row-parallel sweeps (Jacobi and
+    /// power iteration). Gauss–Seidel propagates updates within a sweep and
+    /// therefore always runs serially. The sharded sweeps accumulate each row
+    /// independently, exactly as the serial code does, so the knob never
+    /// changes results.
+    pub fn exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -223,26 +236,37 @@ impl<'a> SteadyStateSolver<'a> {
         let incoming = rates.transpose();
         let mut pi = vec![1.0 / m as f64; m];
         let mut next = vec![0.0; m];
-        const DAMPING: f64 = 0.5;
+
+        // Every row of a Jacobi sweep reads only the previous iterate, so the
+        // sweep shards across workers row-range-wise; per-row accumulation is
+        // untouched and the iterates are bit-identical to the serial sweep.
+        let workers = self.exec.workers_for(incoming.num_entries()).min(m.max(1));
 
         for _ in 0..self.max_iterations {
-            let mut max_delta: f64 = 0.0;
-            for s in 0..m {
-                if exit[s] <= 0.0 {
-                    next[s] = pi[s];
-                    continue;
-                }
-                let (cols, values) = incoming.row(s);
-                let mut inflow = 0.0;
-                for (c, v) in cols.iter().zip(values.iter()) {
-                    if *c != s {
-                        inflow += pi[*c] * v;
+            let max_delta = if workers <= 1 {
+                jacobi_sweep(&incoming, &exit, &pi, 0, &mut next)
+            } else {
+                let chunk = crate::exec::chunk_len(m, workers);
+                let mut delta = 0.0f64;
+                std::thread::scope(|scope| {
+                    let pi_ref = &pi;
+                    let exit_ref = &exit;
+                    let incoming_ref = &incoming;
+                    let handles: Vec<_> = next
+                        .chunks_mut(chunk)
+                        .enumerate()
+                        .map(|(i, shard)| {
+                            scope.spawn(move || {
+                                jacobi_sweep(incoming_ref, exit_ref, pi_ref, i * chunk, shard)
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        delta = delta.max(handle.join().expect("no worker panicked"));
                     }
-                }
-                let updated = inflow / exit[s];
-                next[s] = DAMPING * updated + (1.0 - DAMPING) * pi[s];
-                max_delta = max_delta.max((updated - pi[s]).abs());
-            }
+                });
+                delta
+            };
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
@@ -280,7 +304,7 @@ impl<'a> SteadyStateSolver<'a> {
         let mut pi = vec![1.0 / m as f64; m];
         let mut next = vec![0.0; m];
         for _ in 0..self.max_iterations {
-            p.left_multiply(&pi, &mut next)?;
+            p.left_multiply_exec(&pi, &mut next, &self.exec)?;
             normalize(&mut next);
             let max_delta = pi
                 .iter()
@@ -369,6 +393,40 @@ impl<'a> SteadyStateSolver<'a> {
         }
         Ok(result)
     }
+}
+
+/// One damped-Jacobi sweep over the rows `start..start + next.len()`,
+/// writing the damped update into `next` and returning the shard's maximum
+/// undamped change (the convergence criterion; `f64::max` over shards is
+/// order-independent, so the sharded sweep converges after exactly the same
+/// iteration count as the serial one).
+fn jacobi_sweep(
+    incoming: &SparseMatrix,
+    exit: &[f64],
+    pi: &[f64],
+    start: usize,
+    next: &mut [f64],
+) -> f64 {
+    const DAMPING: f64 = 0.5;
+    let mut max_delta: f64 = 0.0;
+    for (offset, slot) in next.iter_mut().enumerate() {
+        let s = start + offset;
+        if exit[s] <= 0.0 {
+            *slot = pi[s];
+            continue;
+        }
+        let (cols, values) = incoming.row(s);
+        let mut inflow = 0.0;
+        for (c, v) in cols.iter().zip(values.iter()) {
+            if *c != s {
+                inflow += pi[*c] * v;
+            }
+        }
+        let updated = inflow / exit[s];
+        *slot = DAMPING * updated + (1.0 - DAMPING) * pi[s];
+        max_delta = max_delta.max((updated - pi[s]).abs());
+    }
+    max_delta
 }
 
 fn local_states(full: &[f64], subset: &[StateIndex]) -> Vec<f64> {
@@ -511,6 +569,41 @@ mod tests {
         assert!((p - 0.5).abs() < 1e-9);
         assert_eq!(solver.probability_of_label("unknown").unwrap(), None);
         assert!(solver.probability_of(&[9]).is_err());
+    }
+
+    #[test]
+    fn sharded_sweeps_are_bit_identical_to_serial() {
+        // A birth–death chain large enough to clear the parallel-work
+        // threshold: the Jacobi and power iterates are sharded row-wise, so
+        // every thread count must converge after the same number of sweeps to
+        // exactly the same vector.
+        // A ring with shortcut chords mixes in few sweeps, keeping the test
+        // fast while the entry count clears the parallel-work threshold.
+        let n = 2200;
+        let mut b = CtmcBuilder::new(n);
+        for s in 0..n {
+            b.add_transition(s, (s + 1) % n, 1.0 + (s % 5) as f64)
+                .unwrap();
+            b.add_transition(s, (s + n / 2 + s % 7) % n, 2.0).unwrap();
+        }
+        let chain = b.build().unwrap();
+        for method in [SteadyStateMethod::Jacobi, SteadyStateMethod::Power] {
+            let reference = SteadyStateSolver::new(&chain)
+                .method(method)
+                .tolerance(1e-6)
+                .exec(ExecOptions::serial())
+                .solve()
+                .unwrap();
+            for threads in [2usize, 4] {
+                let parallel = SteadyStateSolver::new(&chain)
+                    .method(method)
+                    .tolerance(1e-6)
+                    .exec(ExecOptions::with_threads(threads))
+                    .solve()
+                    .unwrap();
+                assert_eq!(parallel, reference, "{method:?}, {threads} threads");
+            }
+        }
     }
 
     #[test]

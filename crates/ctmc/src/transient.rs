@@ -9,6 +9,7 @@
 //! state" vector used for accumulated-reward measures.
 
 use crate::error::CtmcError;
+use crate::exec::ExecOptions;
 use crate::foxglynn::FoxGlynn;
 use crate::markov::{Ctmc, StateIndex};
 
@@ -20,6 +21,10 @@ pub struct TransientOptions {
     /// Multiplier applied to the maximal exit rate to obtain the uniformisation
     /// rate; values slightly above one avoid a purely periodic uniformised DTMC.
     pub uniformization_factor: f64,
+    /// Worker pool for the matrix–vector kernels. The sharded kernels are
+    /// bit-identical to the serial ones, so this knob changes wall-clock time
+    /// only, never results.
+    pub exec: ExecOptions,
 }
 
 impl Default for TransientOptions {
@@ -27,6 +32,7 @@ impl Default for TransientOptions {
         TransientOptions {
             epsilon: 1e-12,
             uniformization_factor: 1.02,
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -64,43 +70,64 @@ impl<'a> TransientSolver<'a> {
     ///
     /// Returns [`CtmcError::InvalidArgument`] if `t` is negative or not finite.
     pub fn probabilities_at(&self, t: f64) -> Result<Vec<f64>, CtmcError> {
-        self.validate_time(t)?;
-        let initial = self.chain.initial_distribution().to_vec();
-        if t == 0.0 || self.chain.max_exit_rate() == 0.0 {
-            return Ok(initial);
-        }
-        let (_, p, fg) = self.uniformize(t)?;
-        let n = self.chain.num_states();
-
-        let mut vk = initial; // pi(0) * P^k
-        let mut result = vec![0.0; n];
-        let mut scratch = vec![0.0; n];
-
-        for k in 0..=fg.right {
-            let w = fg.weight(k);
-            if w > 0.0 {
-                for s in 0..n {
-                    result[s] += w * vk[s];
-                }
-            }
-            if k < fg.right {
-                p.left_multiply(&vk, &mut scratch)?;
-                std::mem::swap(&mut vk, &mut scratch);
-            }
-        }
-        Ok(result)
+        Ok(self
+            .probabilities_at_many(std::slice::from_ref(&t))?
+            .pop()
+            .expect("one time point yields one distribution"))
     }
 
-    /// Computes state probability vectors at several time points.
+    /// Computes state probability vectors at several time points over a
+    /// *single* uniformisation pass.
     ///
-    /// The points need not be sorted; each is computed independently so that
-    /// truncation windows match a fresh single-point computation.
+    /// The uniformisation rate does not depend on the time bound, so all
+    /// points share the sequence of DTMC powers `pi(0) * P^k`; each point
+    /// keeps its own Fox–Glynn window and accumulates exactly the terms a
+    /// fresh single-point computation would, making every returned vector
+    /// bit-identical to [`TransientSolver::probabilities_at`] while the
+    /// matrix–vector products are paid once instead of once per point.
     ///
     /// # Errors
     ///
-    /// Propagates errors from [`TransientSolver::probabilities_at`].
+    /// Returns [`CtmcError::InvalidArgument`] if any time is negative or not
+    /// finite and propagates numerics errors.
     pub fn probabilities_at_many(&self, times: &[f64]) -> Result<Vec<Vec<f64>>, CtmcError> {
-        times.iter().map(|&t| self.probabilities_at(t)).collect()
+        for &t in times {
+            self.validate_time(t)?;
+        }
+        let initial = self.chain.initial_distribution().to_vec();
+        if self.chain.max_exit_rate() == 0.0 || times.iter().all(|&t| t == 0.0) {
+            return Ok(times.iter().map(|_| initial.clone()).collect());
+        }
+        let (q, p) = uniformize_matrix(self.chain, &self.options)?;
+        let windows = self.poisson_windows(q, times)?;
+        let global_right = max_right(&windows);
+        let n = self.chain.num_states();
+
+        let mut vk = initial.clone(); // pi(0) * P^k
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
+        let mut scratch = vec![0.0; n];
+
+        for k in 0..=global_right {
+            for (window, result) in windows.iter().zip(results.iter_mut()) {
+                let Some(fg) = window else { continue };
+                let w = fg.weight(k);
+                if w > 0.0 {
+                    for s in 0..n {
+                        result[s] += w * vk[s];
+                    }
+                }
+            }
+            if k < global_right {
+                p.left_multiply_exec(&vk, &mut scratch, &self.options.exec)?;
+                std::mem::swap(&mut vk, &mut scratch);
+            }
+        }
+        for (result, &t) in results.iter_mut().zip(times.iter()) {
+            if t == 0.0 {
+                result.copy_from_slice(&initial);
+            }
+        }
+        Ok(results)
     }
 
     /// Expected total time spent in each state during `[0, t]`:
@@ -114,46 +141,79 @@ impl<'a> TransientSolver<'a> {
     ///
     /// Returns [`CtmcError::InvalidArgument`] if `t` is negative or not finite.
     pub fn expected_sojourn_times(&self, t: f64) -> Result<Vec<f64>, CtmcError> {
-        self.validate_time(t)?;
-        let n = self.chain.num_states();
-        if t == 0.0 {
-            return Ok(vec![0.0; n]);
+        Ok(self
+            .expected_sojourn_times_many(std::slice::from_ref(&t))?
+            .pop()
+            .expect("one time point yields one vector"))
+    }
+
+    /// Expected sojourn-time vectors for several horizons over a single
+    /// uniformisation pass (see [`TransientSolver::probabilities_at_many`]
+    /// for the sharing argument; each horizon accumulates exactly the terms
+    /// of its own single-point computation, so results are bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if any time is negative or not
+    /// finite and propagates numerics errors.
+    pub fn expected_sojourn_times_many(&self, times: &[f64]) -> Result<Vec<Vec<f64>>, CtmcError> {
+        for &t in times {
+            self.validate_time(t)?;
         }
+        let n = self.chain.num_states();
         if self.chain.max_exit_rate() == 0.0 {
             // No transitions at all: time accumulates in the initial states.
-            return Ok(self
-                .chain
-                .initial_distribution()
+            return Ok(times
                 .iter()
-                .map(|p| p * t)
+                .map(|&t| {
+                    self.chain
+                        .initial_distribution()
+                        .iter()
+                        .map(|p| p * t)
+                        .collect()
+                })
                 .collect());
         }
-        let (q, p, fg) = self.uniformize(t)?;
+        if times.iter().all(|&t| t == 0.0) {
+            return Ok(times.iter().map(|_| vec![0.0; n]).collect());
+        }
+        let (q, p) = uniformize_matrix(self.chain, &self.options)?;
+        let windows = self.poisson_windows(q, times)?;
+        let global_right = max_right(&windows);
 
         let mut vk = self.chain.initial_distribution().to_vec();
-        let mut result = vec![0.0; n];
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
         let mut scratch = vec![0.0; n];
-        let mut cdf = 0.0;
+        let mut cdfs = vec![0.0; times.len()];
 
-        // Beyond fg.right the factor (1 - F(k)) is negligible; iterate to fg.right.
-        for k in 0..=fg.right {
-            cdf += fg.weight(k);
-            let factor = (1.0 - cdf).max(0.0) / q;
-            // Note: the k-th term of the integral uses (1 - F(k)) where F includes k.
-            if factor > 0.0 {
-                for s in 0..n {
-                    result[s] += factor * vk[s];
+        // Beyond a point's own fg.right the factor (1 - F(k)) is negligible;
+        // each point accumulates only within its window.
+        for k in 0..=global_right {
+            for ((window, result), cdf) in
+                windows.iter().zip(results.iter_mut()).zip(cdfs.iter_mut())
+            {
+                let Some(fg) = window else { continue };
+                if k > fg.right {
+                    continue;
+                }
+                *cdf += fg.weight(k);
+                let factor = (1.0 - *cdf).max(0.0) / q;
+                // Note: the k-th term of the integral uses (1 - F(k)) where F includes k.
+                if factor > 0.0 {
+                    for s in 0..n {
+                        result[s] += factor * vk[s];
+                    }
                 }
             }
-            if k < fg.right {
-                p.left_multiply(&vk, &mut scratch)?;
+            if k < global_right {
+                p.left_multiply_exec(&vk, &mut scratch, &self.options.exec)?;
                 std::mem::swap(&mut vk, &mut scratch);
             }
         }
         // Jumps below the truncation window (k < fg.left) have weight zero in the
         // Poisson CDF accumulator above, so their factor is exactly 1/q and they
         // are already included by the loop starting at k = 0.
-        Ok(result)
+        Ok(results)
     }
 
     /// Time-bounded reachability: the probability, per the initial distribution,
@@ -189,7 +249,35 @@ impl<'a> TransientSolver<'a> {
         goal: &[bool],
         t: f64,
     ) -> Result<Vec<f64>, CtmcError> {
-        self.validate_time(t)?;
+        Ok(self
+            .bounded_until_per_state_many(safe, goal, std::slice::from_ref(&t))?
+            .pop()
+            .expect("one time bound yields one vector"))
+    }
+
+    /// Per-state time-bounded reachability probabilities for several time
+    /// bounds over a single uniformisation pass.
+    ///
+    /// The absorbing-state transformation and the sequence of backward DTMC
+    /// products `P^k * 1_goal` depend only on the masks, so all bounds share
+    /// them; each bound keeps its own Fox–Glynn window and the results are
+    /// bit-identical to calling
+    /// [`TransientSolver::bounded_until_per_state`] once per bound. This is
+    /// the kernel behind whole survivability and reliability *curves*.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the masks have the wrong length or any time bound
+    /// is invalid.
+    pub fn bounded_until_per_state_many(
+        &self,
+        safe: &[bool],
+        goal: &[bool],
+        times: &[f64],
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        for &t in times {
+            self.validate_time(t)?;
+        }
         let n = self.chain.num_states();
         if safe.len() != n {
             return Err(CtmcError::DimensionMismatch {
@@ -209,42 +297,78 @@ impl<'a> TransientSolver<'a> {
         let absorbing: Vec<bool> = (0..n).map(|s| goal[s] || !safe[s]).collect();
         let transformed = self.chain.make_absorbing(&absorbing)?;
 
-        if t == 0.0 {
-            return Ok((0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect());
+        let indicator: Vec<f64> = (0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect();
+        if transformed.max_exit_rate() == 0.0 || times.iter().all(|&t| t == 0.0) {
+            // Every state absorbing after the transformation (nothing moves)
+            // or no positive bound: the goal indicator answers every query.
+            return Ok(times.iter().map(|_| indicator.clone()).collect());
         }
 
         // Work on the transposed uniformised matrix so that a single pass yields
         // the per-state probabilities: x_{k+1} = P * x_k with x_0 = 1_goal.
-        if transformed.max_exit_rate() == 0.0 {
-            // Every state is absorbing after the transformation: nothing moves,
-            // so the probability is the goal indicator for any t.
-            return Ok((0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect());
-        }
-        let (_, p, fg) = uniformize_chain(&transformed, &self.options, t)?;
+        let (q, p) = uniformize_matrix(&transformed, &self.options)?;
+        let windows = self.poisson_windows(q, times)?;
+        let global_right = max_right(&windows);
 
-        let mut xk: Vec<f64> = (0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect();
-        let mut result = vec![0.0; n];
+        let mut xk = indicator.clone();
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
         let mut scratch = vec![0.0; n];
-        for k in 0..=fg.right {
-            let w = fg.weight(k);
-            if w > 0.0 {
-                for s in 0..n {
-                    result[s] += w * xk[s];
+        for k in 0..=global_right {
+            for (window, result) in windows.iter().zip(results.iter_mut()) {
+                let Some(fg) = window else { continue };
+                let w = fg.weight(k);
+                if w > 0.0 {
+                    for s in 0..n {
+                        result[s] += w * xk[s];
+                    }
                 }
             }
-            if k < fg.right {
-                p.right_multiply(&xk, &mut scratch)?;
+            if k < global_right {
+                p.right_multiply_exec(&xk, &mut scratch, &self.options.exec)?;
                 std::mem::swap(&mut xk, &mut scratch);
             }
         }
-        // Goal states trivially satisfy the formula; clamp for numerical noise.
-        for s in 0..n {
-            if goal[s] {
-                result[s] = 1.0;
+        for (result, &t) in results.iter_mut().zip(times.iter()) {
+            if t == 0.0 {
+                result.copy_from_slice(&indicator);
+                continue;
             }
-            result[s] = result[s].clamp(0.0, 1.0);
+            // Goal states trivially satisfy the formula; clamp for numerical noise.
+            for s in 0..n {
+                if goal[s] {
+                    result[s] = 1.0;
+                }
+                result[s] = result[s].clamp(0.0, 1.0);
+            }
         }
-        Ok(result)
+        Ok(results)
+    }
+
+    /// Time-bounded reachability from the initial distribution for several
+    /// time bounds over one shared uniformisation pass (the batched
+    /// counterpart of [`TransientSolver::bounded_until`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientSolver::bounded_until_per_state_many`].
+    pub fn bounded_until_many(
+        &self,
+        safe: &[bool],
+        goal: &[bool],
+        times: &[f64],
+    ) -> Result<Vec<f64>, CtmcError> {
+        let per_state = self.bounded_until_per_state_many(safe, goal, times)?;
+        Ok(per_state
+            .iter()
+            .map(|probs| {
+                self.chain
+                    .initial_distribution()
+                    .iter()
+                    .zip(probs.iter())
+                    .map(|(p0, p)| p0 * p)
+                    .sum()
+            })
+            .collect())
     }
 
     /// Convenience wrapper for `P=? [ true U<=t goal ]` from the initial distribution.
@@ -267,11 +391,19 @@ impl<'a> TransientSolver<'a> {
         self.bounded_until(&vec![true; n], &goal_mask, t)
     }
 
-    fn uniformize(
-        &self,
-        t: f64,
-    ) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
-        uniformize_chain(self.chain, &self.options, t)
+    /// One Fox–Glynn window per requested time point; `None` marks `t == 0`
+    /// (no jumps, handled by the caller's indicator/initial shortcut).
+    fn poisson_windows(&self, q: f64, times: &[f64]) -> Result<Vec<Option<FoxGlynn>>, CtmcError> {
+        times
+            .iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    Ok(None)
+                } else {
+                    FoxGlynn::new(q * t, self.options.epsilon).map(Some)
+                }
+            })
+            .collect()
     }
 
     fn validate_time(&self, t: f64) -> Result<(), CtmcError> {
@@ -284,19 +416,20 @@ impl<'a> TransientSolver<'a> {
     }
 }
 
-/// Uniformises a chain: the rate `q`, the DTMC matrix `P = I + Q/q` and the
-/// Poisson window for `q * t`.
+/// The time-independent half of uniformisation: the rate `q` and the DTMC
+/// matrix `P = I + Q/q`. Splitting this from the Poisson window lets the
+/// batched multi-time-point solvers share one matrix across all bounds.
 ///
 /// Handles the degenerate all-absorbing chain (`max_exit_rate() == 0`)
 /// explicitly: the naive `q = max_exit * factor` would be zero there, and
 /// dividing by it would fill the uniformised matrix with NaNs. Since nothing
-/// ever moves, `P = I` with a point-mass Poisson window reproduces the exact
-/// semantics — the distribution stays at the initial distribution for all `t`.
-fn uniformize_chain(
+/// ever moves, `P = I` reproduces the exact semantics — the distribution
+/// stays at the initial distribution for all `t` (the callers special-case
+/// the matching point-mass Poisson window).
+fn uniformize_matrix(
     chain: &Ctmc,
     options: &TransientOptions,
-    t: f64,
-) -> Result<(f64, crate::sparse::SparseMatrix, FoxGlynn), CtmcError> {
+) -> Result<(f64, crate::sparse::SparseMatrix), CtmcError> {
     let factor = options.uniformization_factor;
     if !factor.is_finite() || factor < 1.0 {
         return Err(CtmcError::InvalidArgument {
@@ -308,13 +441,21 @@ fn uniformize_chain(
         // All states absorbing: any positive rate uniformises to P = I, and
         // the Poisson distribution over zero jumps is the point mass at 0.
         let p = chain.uniformized_matrix(1.0)?;
-        let fg = FoxGlynn::new(0.0, options.epsilon)?;
-        return Ok((1.0, p, fg));
+        return Ok((1.0, p));
     }
     let q = max_exit * factor;
     let p = chain.uniformized_matrix(q)?;
-    let fg = FoxGlynn::new(q * t, options.epsilon)?;
-    Ok((q, p, fg))
+    Ok((q, p))
+}
+
+/// Largest retained jump count across the (non-degenerate) windows.
+fn max_right(windows: &[Option<FoxGlynn>]) -> usize {
+    windows
+        .iter()
+        .flatten()
+        .map(|fg| fg.right)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -552,5 +693,58 @@ mod tests {
         let results = solver.probabilities_at_many(&[0.0, 1.0, 2.0]).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn batched_time_points_are_bit_identical_to_single_point_solves() {
+        // The batched pass shares one Fox–Glynn window sequence across all
+        // time points; every point must nevertheless reproduce its fresh
+        // single-point computation exactly (same weights, same accumulation
+        // order), including the unsorted grid and the t = 0 entry.
+        let chain = two_state(0.3, 0.7);
+        let solver = TransientSolver::new(&chain);
+        let times = [2.5, 0.0, 0.4, 11.0, 1.7];
+
+        let probs = solver.probabilities_at_many(&times).unwrap();
+        let sojourn = solver.expected_sojourn_times_many(&times).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(probs[i], solver.probabilities_at(t).unwrap(), "t={t}");
+            assert_eq!(
+                sojourn[i],
+                solver.expected_sojourn_times(t).unwrap(),
+                "t={t}"
+            );
+        }
+
+        let safe = [true, true];
+        let goal = [false, true];
+        let per_state = solver
+            .bounded_until_per_state_many(&safe, &goal, &times)
+            .unwrap();
+        let scalars = solver.bounded_until_many(&safe, &goal, &times).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(
+                per_state[i],
+                solver.bounded_until_per_state(&safe, &goal, t).unwrap(),
+                "t={t}"
+            );
+            assert_eq!(
+                scalars[i],
+                solver.bounded_until(&safe, &goal, t).unwrap(),
+                "t={t}"
+            );
+        }
+
+        // Empty batches are fine.
+        assert!(solver.probabilities_at_many(&[]).unwrap().is_empty());
+        assert!(solver
+            .bounded_until_many(&safe, &goal, &[])
+            .unwrap()
+            .is_empty());
+        // One bad point poisons the whole batch.
+        assert!(solver.probabilities_at_many(&[1.0, -2.0]).is_err());
+        assert!(solver
+            .bounded_until_per_state_many(&safe, &goal, &[f64::NAN])
+            .is_err());
     }
 }

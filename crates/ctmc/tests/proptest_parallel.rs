@@ -1,0 +1,138 @@
+//! Property-based determinism tests of the parallel execution layer: the
+//! sharded kernels and the batched multi-time-point solvers must be
+//! bit-identical to the serial path for every thread count.
+
+use ctmc::{
+    Ctmc, CtmcBuilder, ExecOptions, SparseMatrix, SparseMatrixBuilder, TransientOptions,
+    TransientSolver,
+};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic xorshift stream so large matrices can be described by a seed
+/// instead of a 10k-element proptest vector.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A pseudo-random matrix with enough stored entries to clear the
+/// parallel-work threshold, so the sharded code path genuinely runs. Each
+/// row gets a contiguous (wrapping) run of columns at a random offset, which
+/// guarantees distinct coordinates — nothing merges away below the threshold.
+fn matrix_from_seed(rows: usize, cols: usize, seed: u64) -> SparseMatrix {
+    let per_row = ctmc::exec::MIN_PARALLEL_WORK.div_ceil(rows).min(cols);
+    let mut builder = SparseMatrixBuilder::new(rows, cols);
+    let mut state = seed | 1;
+    for r in 0..rows {
+        let offset = xorshift(&mut state) as usize % cols;
+        for j in 0..per_row {
+            let v = (xorshift(&mut state) % 2001) as f64 / 1000.0 - 1.0;
+            builder.push(r, (offset + j) % cols, v);
+        }
+    }
+    builder.build()
+}
+
+fn vector_from_seed(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| (xorshift(&mut state) % 2001) as f64 / 1000.0 - 1.0)
+        .collect()
+}
+
+/// A small random irreducible CTMC (cycle plus chords), as in the other
+/// proptest suites.
+fn arbitrary_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            let cycle_rates = proptest::collection::vec(0.01f64..10.0, n);
+            let extras = proptest::collection::vec((0..n, 0..n, 0.01f64..10.0), 0..8);
+            (Just(n), cycle_rates, extras)
+        })
+        .prop_map(|(n, cycle_rates, extras)| {
+            let mut builder = CtmcBuilder::new(n);
+            for (i, rate) in cycle_rates.iter().enumerate() {
+                builder.add_transition(i, (i + 1) % n, *rate).unwrap();
+            }
+            for (from, to, rate) in extras {
+                if from != to {
+                    builder.add_transition(from, to, rate).unwrap();
+                }
+            }
+            builder.set_initial_state(0).unwrap();
+            builder.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_multiplies_are_bit_identical_on_large_matrices(
+        rows in 80usize..200,
+        cols in 80usize..200,
+        seed in any::<u64>(),
+    ) {
+        let matrix = matrix_from_seed(rows, cols, seed);
+        prop_assert!(matrix.num_entries() >= ctmc::exec::MIN_PARALLEL_WORK);
+        let x_left = vector_from_seed(rows, seed ^ 0xABCD);
+        let x_right = vector_from_seed(cols, seed ^ 0x1234);
+
+        let mut serial_left = vec![0.0; cols];
+        matrix.left_multiply(&x_left, &mut serial_left).unwrap();
+        let mut serial_right = vec![0.0; rows];
+        matrix.right_multiply(&x_right, &mut serial_right).unwrap();
+
+        for threads in THREAD_COUNTS {
+            let exec = ExecOptions::with_threads(threads);
+            let mut y = vec![f64::NAN; cols];
+            matrix.left_multiply_exec(&x_left, &mut y, &exec).unwrap();
+            prop_assert_eq!(&y, &serial_left, "left multiply, {} threads", threads);
+            let mut y = vec![f64::NAN; rows];
+            matrix.right_multiply_exec(&x_right, &mut y, &exec).unwrap();
+            prop_assert_eq!(&y, &serial_right, "right multiply, {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn transient_measures_do_not_depend_on_the_thread_count(
+        chain in arbitrary_chain(),
+        t1 in 0.0f64..20.0,
+        t2 in 0.0f64..20.0,
+    ) {
+        let times = [t1, t2, 0.0];
+        let n = chain.num_states();
+        let goal: Vec<bool> = (0..n).map(|s| s == n - 1).collect();
+        let safe = vec![true; n];
+
+        let serial = TransientSolver::with_options(&chain, TransientOptions {
+            exec: ExecOptions::serial(),
+            ..TransientOptions::default()
+        });
+        let probs = serial.probabilities_at_many(&times).unwrap();
+        let reach = serial.bounded_until_many(&safe, &goal, &times).unwrap();
+
+        for threads in THREAD_COUNTS {
+            let solver = TransientSolver::with_options(&chain, TransientOptions {
+                exec: ExecOptions::with_threads(threads),
+                ..TransientOptions::default()
+            });
+            prop_assert_eq!(
+                &solver.probabilities_at_many(&times).unwrap(),
+                &probs,
+                "distributions, {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                &solver.bounded_until_many(&safe, &goal, &times).unwrap(),
+                &reach,
+                "reachability, {} threads",
+                threads
+            );
+        }
+    }
+}

@@ -1,41 +1,81 @@
 //! Command-line runner for the paper's experiments.
 //!
 //! ```text
-//! wt-experiments all          # run every table and figure
-//! wt-experiments table1       # state-space sizes
-//! wt-experiments table2       # steady-state availability
-//! wt-experiments fig3         # reliability over time
-//! wt-experiments fig4 fig5    # survivability Line 1, Disaster 1
-//! wt-experiments fig6 fig7    # costs Line 1, Disaster 1
-//! wt-experiments fig8 fig9    # survivability Line 2, Disaster 2
-//! wt-experiments fig10 fig11  # costs Line 2, Disaster 2
+//! wt-experiments all                # run every table and figure
+//! wt-experiments --threads 4 all    # same, on a 4-worker pool
+//! wt-experiments table1             # state-space sizes
+//! wt-experiments table2             # steady-state availability
+//! wt-experiments fig3               # reliability over time
+//! wt-experiments fig4 fig5          # survivability Line 1, Disaster 1
+//! wt-experiments fig6 fig7          # costs Line 1, Disaster 1
+//! wt-experiments fig8 fig9          # survivability Line 2, Disaster 2
+//! wt-experiments fig10 fig11        # costs Line 2, Disaster 2
 //! ```
+//!
+//! `--threads N` sizes the worker pool shared by the frontier exploration,
+//! the solver kernels and the per-strategy experiment sweeps; `--threads 1`
+//! is the serial path and `--threads 0` (the default) auto-detects. Results
+//! are identical for every thread count.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
+use arcade_core::ExecOptions;
 use watertreatment::experiments::{self, grids};
 
+const USAGE: &str = "usage: wt-experiments [--threads N] \
+     [all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...";
+
 fn main() -> ExitCode {
-    let requested: BTreeSet<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut exec = ExecOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let lower = arg.to_lowercase();
+        if let Some(value) = lower.strip_prefix("--threads=") {
+            match value.parse::<usize>() {
+                Ok(threads) => exec = ExecOptions::with_threads(threads),
+                Err(_) => {
+                    eprintln!("invalid --threads value `{value}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if lower == "--threads" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(threads)) => exec = ExecOptions::with_threads(threads),
+                _ => {
+                    eprintln!("--threads expects a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if lower.starts_with('-') {
+            eprintln!("unknown option `{arg}`\n{USAGE}");
+            return ExitCode::from(2);
+        } else {
+            requested.insert(lower);
+        }
+    }
     if requested.is_empty() {
-        eprintln!("usage: wt-experiments [all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
     let all = requested.contains("all");
     let wants = |name: &str| all || requested.contains(name);
 
-    if let Err(err) = run(wants) {
+    if let Err(err) = run(wants, exec) {
         eprintln!("experiment failed: {err}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
+fn run(wants: impl Fn(&str) -> bool, exec: ExecOptions) -> Result<(), arcade_core::ArcadeError> {
     if wants("table1") {
         println!("== Table 1: state-space sizes (flat product, as the paper reports) ==");
-        println!("{}", experiments::format_table1(&experiments::table1()?));
+        println!(
+            "{}",
+            experiments::format_table1(&experiments::table1_with(exec)?)
+        );
         println!("-- paper reference --");
         println!(
             "{}",
@@ -49,7 +89,10 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
     }
     if wants("table2") {
         println!("== Table 2: steady-state availability ==");
-        println!("{}", experiments::format_table2(&experiments::table2()?));
+        println!(
+            "{}",
+            experiments::format_table2(&experiments::table2_with(exec)?)
+        );
         println!("-- paper reference --");
         println!(
             "{}",
@@ -57,11 +100,11 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
         );
     }
     if wants("fig3") {
-        let fig = experiments::fig3_reliability(&grids::fig3())?;
+        let fig = experiments::fig3_reliability_with(&grids::fig3(), exec)?;
         println!("{}", experiments::format_figure(&fig));
     }
     if wants("fig4") || wants("fig5") {
-        let (fig4, fig5) = experiments::fig4_5_survivability_line1(&grids::fig4_to_6())?;
+        let (fig4, fig5) = experiments::fig4_5_survivability_line1_with(&grids::fig4_to_6(), exec)?;
         if wants("fig4") {
             println!("{}", experiments::format_figure(&fig4));
         }
@@ -70,7 +113,8 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
         }
     }
     if wants("fig6") || wants("fig7") {
-        let (fig6, fig7) = experiments::fig6_7_cost_line1(&grids::fig4_to_6(), &grids::fig7())?;
+        let (fig6, fig7) =
+            experiments::fig6_7_cost_line1_with(&grids::fig4_to_6(), &grids::fig7(), exec)?;
         if wants("fig6") {
             println!("{}", experiments::format_figure(&fig6));
         }
@@ -79,7 +123,7 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
         }
     }
     if wants("fig8") || wants("fig9") {
-        let (fig8, fig9) = experiments::fig8_9_survivability_line2(&grids::fig8_9())?;
+        let (fig8, fig9) = experiments::fig8_9_survivability_line2_with(&grids::fig8_9(), exec)?;
         if wants("fig8") {
             println!("{}", experiments::format_figure(&fig8));
         }
@@ -88,7 +132,7 @@ fn run(wants: impl Fn(&str) -> bool) -> Result<(), arcade_core::ArcadeError> {
         }
     }
     if wants("fig10") || wants("fig11") {
-        let (fig10, fig11) = experiments::fig10_11_cost_line2(&grids::fig10_11())?;
+        let (fig10, fig11) = experiments::fig10_11_cost_line2_with(&grids::fig10_11(), exec)?;
         if wants("fig10") {
             println!("{}", experiments::format_figure(&fig10));
         }

@@ -7,11 +7,15 @@
 //! [`format_table1`]-style helpers render the same data as plain-text tables
 //! comparable to the paper.
 
-use arcade_core::{Analysis, ArcadeError, CompiledModel, ComposerOptions, LumpingMode, Series};
+use arcade_core::{
+    Analysis, ArcadeError, CompiledModel, ComposerOptions, ExecOptions, LumpingMode, Series,
+};
+use ctmc::exec;
 use serde::{Deserialize, Serialize};
 
 use crate::facility::{self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED};
 use crate::strategies;
+use crate::StrategySpec;
 
 /// One row of Table 1 (state-space sizes per repair strategy and line),
 /// extended with the post-lumping quotient sizes of this reproduction.
@@ -117,9 +121,36 @@ pub mod grids {
     }
 }
 
-fn compiled_analysis<'m>(model: &'m arcade_core::ArcadeModel) -> Result<Analysis<'m>, ArcadeError> {
-    let compiled = CompiledModel::compile_with(model, ComposerOptions::default())?;
+/// Composer options carrying an explicit worker pool (everything else at its
+/// default).
+fn composer_options(exec: ExecOptions) -> ComposerOptions {
+    ComposerOptions {
+        exec,
+        ..ComposerOptions::default()
+    }
+}
+
+fn compiled_analysis<'m>(
+    model: &'m arcade_core::ArcadeModel,
+    exec: ExecOptions,
+) -> Result<Analysis<'m>, ArcadeError> {
+    let compiled = CompiledModel::compile_with(model, composer_options(exec))?;
     Ok(Analysis::from_compiled(model, compiled))
+}
+
+/// Runs one independent experiment task per strategy spec on the worker pool
+/// and returns the outcomes in spec order (kept deterministic by in-order
+/// reassembly). The per-task `exec` budget is forwarded so large *flat*
+/// compositions inside a task shard too; the small canonical chains stay
+/// serial via the work thresholds.
+fn sweep_strategies<R: Send>(
+    specs: &[StrategySpec],
+    exec: ExecOptions,
+    task: impl Fn(&StrategySpec) -> Result<R, ArcadeError> + Sync,
+) -> Result<Vec<R>, ArcadeError> {
+    exec::map_ordered(specs, exec, |spec| task(spec))
+        .into_iter()
+        .collect()
 }
 
 /// Reproduces **Table 1**: state-space sizes for every strategy and both lines.
@@ -141,29 +172,18 @@ fn compiled_analysis<'m>(model: &'m arcade_core::ArcadeModel) -> Result<Analysis
 ///
 /// Propagates composition errors.
 pub fn table1() -> Result<Vec<Table1Row>, ArcadeError> {
-    let mut rows = Vec::new();
-    for line in Line::both() {
-        for spec in strategies::paper_strategies() {
-            let model = facility::line_model(line, &spec)?;
-            let compiled = CompiledModel::compile_with(
-                &model,
-                ComposerOptions {
-                    lumping: LumpingMode::Exact,
-                    ..Default::default()
-                },
-            )?;
-            let stats = compiled.stats();
-            rows.push(Table1Row {
-                line,
-                strategy: spec.label.clone(),
-                states: stats.num_states,
-                transitions: stats.num_transitions,
-                lumped_states: stats.lumped_states,
-                lumped_transitions: stats.lumped_transitions,
-            });
-        }
-    }
-    Ok(rows)
+    table1_with(ExecOptions::default())
+}
+
+/// [`table1`] on an explicit worker pool: one flat composition per
+/// (line, strategy) cell, swept across workers; the large flat frontiers
+/// additionally shard internally.
+///
+/// # Errors
+///
+/// Propagates composition errors.
+pub fn table1_with(exec: ExecOptions) -> Result<Vec<Table1Row>, ArcadeError> {
+    table1_rows(exec, LumpingMode::Exact)
 }
 
 /// Table 1 under the default compositional pipeline: the states column counts
@@ -174,21 +194,34 @@ pub fn table1() -> Result<Vec<Table1Row>, ArcadeError> {
 ///
 /// Propagates composition errors.
 pub fn table1_compositional() -> Result<Vec<Table1Row>, ArcadeError> {
+    table1_rows(ExecOptions::default(), LumpingMode::Compositional)
+}
+
+/// Shared Table 1 runner: one composition per (line, strategy) cell under the
+/// given lumping mode, cells swept across the worker pool per line.
+fn table1_rows(exec: ExecOptions, lumping: LumpingMode) -> Result<Vec<Table1Row>, ArcadeError> {
     let mut rows = Vec::new();
     for line in Line::both() {
-        for spec in strategies::paper_strategies() {
-            let model = facility::line_model(line, &spec)?;
-            let compiled = CompiledModel::compile(&model)?;
+        let line_rows = sweep_strategies(&strategies::paper_strategies(), exec, |spec| {
+            let model = facility::line_model(line, spec)?;
+            let compiled = CompiledModel::compile_with(
+                &model,
+                ComposerOptions {
+                    lumping,
+                    ..composer_options(exec)
+                },
+            )?;
             let stats = compiled.stats();
-            rows.push(Table1Row {
+            Ok(Table1Row {
                 line,
                 strategy: spec.label.clone(),
                 states: stats.num_states,
                 transitions: stats.num_transitions,
                 lumped_states: stats.lumped_states,
                 lumped_transitions: stats.lumped_transitions,
-            });
-        }
+            })
+        })?;
+        rows.extend(line_rows);
     }
     Ok(rows)
 }
@@ -227,22 +260,29 @@ pub fn table1_paper_reference() -> Vec<Table1Row> {
 ///
 /// Propagates composition and steady-state solver errors.
 pub fn table2() -> Result<Vec<Table2Row>, ArcadeError> {
-    let mut rows = Vec::new();
-    for spec in strategies::paper_strategies() {
+    table2_with(ExecOptions::default())
+}
+
+/// [`table2`] on an explicit worker pool (one availability task per strategy).
+///
+/// # Errors
+///
+/// Propagates composition and steady-state solver errors.
+pub fn table2_with(exec: ExecOptions) -> Result<Vec<Table2Row>, ArcadeError> {
+    sweep_strategies(&strategies::paper_strategies(), exec, |spec| {
         let mut availability = [0.0; 2];
         for (i, line) in Line::both().into_iter().enumerate() {
-            let model = facility::line_model(line, &spec)?;
-            let analysis = compiled_analysis(&model)?;
+            let model = facility::line_model(line, spec)?;
+            let analysis = compiled_analysis(&model, exec)?;
             availability[i] = analysis.steady_state_availability()?;
         }
-        rows.push(Table2Row {
+        Ok(Table2Row {
             strategy: spec.label.clone(),
             line1: availability[0],
             line2: availability[1],
             combined: crate::combined_availability(availability[0], availability[1]),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// The numbers reported in the paper's Table 2.
@@ -273,12 +313,21 @@ pub fn table2_paper_reference() -> Vec<Table2Row> {
 ///
 /// Propagates composition and transient solver errors.
 pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
-    let mut series = Vec::new();
-    for line in Line::both() {
+    fig3_reliability_with(times, ExecOptions::default())
+}
+
+/// [`fig3_reliability`] on an explicit worker pool (one curve per line).
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig3_reliability_with(times: &[f64], exec: ExecOptions) -> Result<Figure, ArcadeError> {
+    let lines = Line::both();
+    let series = exec::map_ordered(&lines, exec, |&line| {
         let model = facility::line_model(line, &strategies::dedicated())?;
-        let analysis = compiled_analysis(&model)?;
+        let analysis = compiled_analysis(&model, exec)?;
         let points = analysis.reliability_curve(times)?;
-        series.push(Series {
+        Ok::<Series, ArcadeError>(Series {
             label: format!(
                 "Reliability {}",
                 if line == Line::Line1 {
@@ -288,8 +337,10 @@ pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
                 }
             ),
             points,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<Series>, ArcadeError>>()?;
     Ok(Figure {
         id: "fig3".to_string(),
         title: "Reliability over time".to_string(),
@@ -306,23 +357,37 @@ pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
 ///
 /// Propagates composition and transient solver errors.
 pub fn fig4_5_survivability_line1(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
-    let mut x1_series = Vec::new();
-    let mut x2_series = Vec::new();
-    for spec in strategies::disaster1_strategies() {
-        let model = facility::line_model(Line::Line1, &spec)?;
-        let analysis = compiled_analysis(&model)?;
+    fig4_5_survivability_line1_with(times, ExecOptions::default())
+}
+
+/// [`fig4_5_survivability_line1`] on an explicit worker pool (one task per
+/// strategy, each computing both service-level curves off one compilation).
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig4_5_survivability_line1_with(
+    times: &[f64],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let pairs = sweep_strategies(&strategies::disaster1_strategies(), exec, |spec| {
+        let model = facility::line_model(Line::Line1, spec)?;
+        let analysis = compiled_analysis(&model, exec)?;
         let disaster = model
             .disaster(DISASTER_ALL_PUMPS)
             .expect("disaster 1 is always defined");
-        x1_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.survivability_curve(disaster, service_levels::LINE1_X1, times)?,
-        });
-        x2_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.survivability_curve(disaster, service_levels::LINE1_X2, times)?,
-        });
-    }
+        Ok((
+            Series {
+                label: spec.label.clone(),
+                points: analysis.survivability_curve(disaster, service_levels::LINE1_X1, times)?,
+            },
+            Series {
+                label: spec.label.clone(),
+                points: analysis.survivability_curve(disaster, service_levels::LINE1_X2, times)?,
+            },
+        ))
+    })?;
+    let (x1_series, x2_series): (Vec<Series>, Vec<Series>) = pairs.into_iter().unzip();
     let fig4 = Figure {
         id: "fig4".to_string(),
         title: "Survivability Line 1, Disaster 1, X1".to_string(),
@@ -350,23 +415,41 @@ pub fn fig6_7_cost_line1(
     instantaneous_times: &[f64],
     accumulated_times: &[f64],
 ) -> Result<(Figure, Figure), ArcadeError> {
-    let mut inst_series = Vec::new();
-    let mut acc_series = Vec::new();
-    for spec in strategies::disaster1_strategies() {
-        let model = facility::line_model(Line::Line1, &spec)?;
-        let analysis = compiled_analysis(&model)?;
+    fig6_7_cost_line1_with(
+        instantaneous_times,
+        accumulated_times,
+        ExecOptions::default(),
+    )
+}
+
+/// [`fig6_7_cost_line1`] on an explicit worker pool (one task per strategy).
+///
+/// # Errors
+///
+/// Propagates composition and reward solver errors.
+pub fn fig6_7_cost_line1_with(
+    instantaneous_times: &[f64],
+    accumulated_times: &[f64],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let pairs = sweep_strategies(&strategies::disaster1_strategies(), exec, |spec| {
+        let model = facility::line_model(Line::Line1, spec)?;
+        let analysis = compiled_analysis(&model, exec)?;
         let disaster = model
             .disaster(DISASTER_ALL_PUMPS)
             .expect("disaster 1 is always defined");
-        inst_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.instantaneous_cost_curve(Some(disaster), instantaneous_times)?,
-        });
-        acc_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.accumulated_cost_curve(Some(disaster), accumulated_times)?,
-        });
-    }
+        Ok((
+            Series {
+                label: spec.label.clone(),
+                points: analysis.instantaneous_cost_curve(Some(disaster), instantaneous_times)?,
+            },
+            Series {
+                label: spec.label.clone(),
+                points: analysis.accumulated_cost_curve(Some(disaster), accumulated_times)?,
+            },
+        ))
+    })?;
+    let (inst_series, acc_series): (Vec<Series>, Vec<Series>) = pairs.into_iter().unzip();
     let fig6 = Figure {
         id: "fig6".to_string(),
         title: "Instantaneous cost Line 1, Disaster 1".to_string(),
@@ -392,23 +475,40 @@ pub fn fig6_7_cost_line1(
 ///
 /// Propagates composition and transient solver errors.
 pub fn fig8_9_survivability_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
-    let mut x1_series = Vec::new();
-    let mut x3_series = Vec::new();
-    for spec in strategies::paper_strategies() {
-        let model = facility::line_model(Line::Line2, &spec)?;
-        let analysis = compiled_analysis(&model)?;
+    fig8_9_survivability_line2_with(times, ExecOptions::default())
+}
+
+/// [`fig8_9_survivability_line2`] on an explicit worker pool: the five
+/// strategies are independent (compile + two survivability curves each), so
+/// they sweep across workers while every curve is additionally batched over
+/// a single Fox–Glynn pass. This is the multi-time-point survivability sweep
+/// tracked by the `compositional_parallel` benchmark.
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig8_9_survivability_line2_with(
+    times: &[f64],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let pairs = sweep_strategies(&strategies::paper_strategies(), exec, |spec| {
+        let model = facility::line_model(Line::Line2, spec)?;
+        let analysis = compiled_analysis(&model, exec)?;
         let disaster = model
             .disaster(DISASTER_LINE2_MIXED)
             .expect("disaster 2 is defined for line 2");
-        x1_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.survivability_curve(disaster, service_levels::LINE2_X1, times)?,
-        });
-        x3_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.survivability_curve(disaster, service_levels::LINE2_X3, times)?,
-        });
-    }
+        Ok((
+            Series {
+                label: spec.label.clone(),
+                points: analysis.survivability_curve(disaster, service_levels::LINE2_X1, times)?,
+            },
+            Series {
+                label: spec.label.clone(),
+                points: analysis.survivability_curve(disaster, service_levels::LINE2_X3, times)?,
+            },
+        ))
+    })?;
+    let (x1_series, x3_series): (Vec<Series>, Vec<Series>) = pairs.into_iter().unzip();
     let fig8 = Figure {
         id: "fig8".to_string(),
         title: "Survivability Line 2, Disaster 2, X1".to_string(),
@@ -434,28 +534,42 @@ pub fn fig8_9_survivability_line2(times: &[f64]) -> Result<(Figure, Figure), Arc
 ///
 /// Propagates composition and reward solver errors.
 pub fn fig10_11_cost_line2(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
-    let mut inst_series = Vec::new();
-    let mut acc_series = Vec::new();
-    for spec in [
+    fig10_11_cost_line2_with(times, ExecOptions::default())
+}
+
+/// [`fig10_11_cost_line2`] on an explicit worker pool (one task per strategy).
+///
+/// # Errors
+///
+/// Propagates composition and reward solver errors.
+pub fn fig10_11_cost_line2_with(
+    times: &[f64],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let specs = [
         strategies::fff(1),
         strategies::fff(2),
         strategies::frf(1),
         strategies::frf(2),
-    ] {
-        let model = facility::line_model(Line::Line2, &spec)?;
-        let analysis = compiled_analysis(&model)?;
+    ];
+    let pairs = sweep_strategies(&specs, exec, |spec| {
+        let model = facility::line_model(Line::Line2, spec)?;
+        let analysis = compiled_analysis(&model, exec)?;
         let disaster = model
             .disaster(DISASTER_LINE2_MIXED)
             .expect("disaster 2 is defined for line 2");
-        inst_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.instantaneous_cost_curve(Some(disaster), times)?,
-        });
-        acc_series.push(Series {
-            label: spec.label.clone(),
-            points: analysis.accumulated_cost_curve(Some(disaster), times)?,
-        });
-    }
+        Ok((
+            Series {
+                label: spec.label.clone(),
+                points: analysis.instantaneous_cost_curve(Some(disaster), times)?,
+            },
+            Series {
+                label: spec.label.clone(),
+                points: analysis.accumulated_cost_curve(Some(disaster), times)?,
+            },
+        ))
+    })?;
+    let (inst_series, acc_series): (Vec<Series>, Vec<Series>) = pairs.into_iter().unzip();
     let fig10 = Figure {
         id: "fig10".to_string(),
         title: "Instantaneous cost Line 2, Disaster 2".to_string(),
@@ -666,7 +780,7 @@ mod tests {
         // fast; the full table is covered by the integration tests.
         let spec = strategies::dedicated();
         let model = facility::line_model(Line::Line2, &spec).unwrap();
-        let analysis = compiled_analysis(&model).unwrap();
+        let analysis = compiled_analysis(&model, ExecOptions::default()).unwrap();
         let availability = analysis.steady_state_availability().unwrap();
         assert!(
             (availability - 0.8186317).abs() < 1e-4,
