@@ -1,0 +1,1435 @@
+//! Multi-line facilities: composition of per-line lumped chains.
+//!
+//! The composer and [`crate::Analysis`] map *one* model to *one* chain. This
+//! module generalises that pipeline to the paper's headline object — a
+//! facility of several process lines — as
+//!
+//! ```text
+//! facility model ──► set of line chains ──► facility product
+//! ```
+//!
+//! Every line is compiled and lumped on its own; the facility chain is then
+//! the product of the per-line *quotients* (`arcade_lumping::product`): joint
+//! states are tuples of block ids and the joint generator is the Kronecker
+//! sum. For the water-treatment facility this is Line 1 × Line 2 =
+//! 449 × 257 ≈ 115k blocks instead of the ≈ 9×10⁸ flat product.
+//!
+//! # Independence versus coupling
+//!
+//! The product construction is exact only while the lines evolve
+//! independently. [`FacilityModel::composition_tree`] records how each
+//! coupling is handled:
+//!
+//! * **A shared repair unit** (the same unit name appearing in several lines)
+//!   makes failure/repair scheduling in one line depend on the other line's
+//!   queue — the joint process is *not* a product of per-line Markov chains.
+//!   The coupled lines are merged into one [`CompositionGroup`] and explored
+//!   **jointly** (with `line/component` prefixed names); the facility chain
+//!   is then the product over *groups*.
+//! * **A cross-line disaster** (a [`FacilityModel`] disaster naming
+//!   components of several lines) leaves the dynamics independent — the
+//!   product chain stays exact, started from the tuple of per-line disaster
+//!   blocks — but it invalidates the *scalar* product-form shortcuts such as
+//!   `A = A1 + A2 − A1·A2`: measures conditioned on such a disaster are
+//!   evaluated on the materialised product instead.
+//!
+//! Within a group the solvers run on the group's exact quotient whenever the
+//! per-line masks are unions of blocks (always true for singleton groups,
+//! whose quotient respects the line's own labels); otherwise the group falls
+//! back to its flat chain — correctness never depends on the quotient being
+//! usable.
+
+use std::collections::HashMap;
+
+use arcade_lumping::QuotientProduct;
+use ctmc::{
+    Ctmc, ExecOptions, RewardSolver, RewardStructure, SteadyStateSolver, TransientOptions,
+    TransientSolver,
+};
+
+use crate::composer::{CompiledModel, ComposerOptions, StateSpaceStats};
+use crate::disaster::Disaster;
+use crate::error::ArcadeError;
+use crate::measures::{FacilityMeasure, MeasureResult};
+use crate::model::ArcadeModel;
+use crate::repair::{RepairStrategy, RepairUnit};
+use crate::spare::SpareManagementUnit;
+use fault_tree::{StructureNode, SystemStructure};
+
+/// One named process line of a facility.
+#[derive(Debug, Clone)]
+pub struct FacilityLine {
+    name: String,
+    model: ArcadeModel,
+}
+
+impl FacilityLine {
+    /// The line's name (the prefix used in merged namespaces).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The line's Arcade model.
+    pub fn model(&self) -> &ArcadeModel {
+        &self.model
+    }
+}
+
+/// A disaster at facility scope: components of one *or several* lines fail
+/// simultaneously. Components are addressed as `(line, component)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacilityDisaster {
+    name: String,
+    components: Vec<(String, String)>,
+}
+
+impl FacilityDisaster {
+    /// Creates a facility disaster.
+    pub fn new(
+        name: impl Into<String>,
+        components: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+    ) -> Self {
+        FacilityDisaster {
+            name: name.into(),
+            components: components
+                .into_iter()
+                .map(|(line, component)| (line.into(), component.into()))
+                .collect(),
+        }
+    }
+
+    /// The disaster's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The failed `(line, component)` pairs.
+    pub fn components(&self) -> &[(String, String)] {
+        &self.components
+    }
+
+    /// The distinct lines this disaster touches, in first-mention order.
+    pub fn lines(&self) -> Vec<&str> {
+        let mut lines: Vec<&str> = Vec::new();
+        for (line, _) in &self.components {
+            if !lines.contains(&line.as_str()) {
+                lines.push(line);
+            }
+        }
+        lines
+    }
+
+    /// Whether the disaster spans more than one line.
+    pub fn is_cross_line(&self) -> bool {
+        self.lines().len() > 1
+    }
+}
+
+/// How the facility chain is assembled from the lines: the partition of the
+/// lines into independently-evolving groups, plus the list of cross-line
+/// disasters that force joint (materialised-product) evaluation of the
+/// measures conditioned on them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionTree {
+    /// The groups, ordered by their smallest line index.
+    pub groups: Vec<CompositionGroup>,
+    /// Names of the facility disasters spanning more than one line.
+    pub cross_line_disasters: Vec<String>,
+}
+
+/// One node of the composition tree: a maximal set of lines coupled through
+/// shared repair units. Singleton groups are independent lines composed as
+/// pure product factors; larger groups are explored jointly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionGroup {
+    /// Indices of the member lines.
+    pub lines: Vec<usize>,
+    /// The repair-unit names shared between member lines (empty for
+    /// independent lines).
+    pub shared_units: Vec<String>,
+}
+
+impl CompositionGroup {
+    /// Whether this group needs joint exploration (more than one line).
+    pub fn is_joint(&self) -> bool {
+        self.lines.len() > 1
+    }
+}
+
+/// A facility: a set of named lines plus facility-scope disasters.
+#[derive(Debug, Clone)]
+pub struct FacilityModel {
+    name: String,
+    lines: Vec<FacilityLine>,
+    disasters: Vec<FacilityDisaster>,
+    tree: CompositionTree,
+}
+
+/// Builder for [`FacilityModel`].
+#[derive(Debug, Clone)]
+pub struct FacilityModelBuilder {
+    name: String,
+    lines: Vec<FacilityLine>,
+    disasters: Vec<FacilityDisaster>,
+}
+
+impl FacilityModel {
+    /// Starts building a facility.
+    pub fn builder(name: impl Into<String>) -> FacilityModelBuilder {
+        FacilityModelBuilder {
+            name: name.into(),
+            lines: Vec::new(),
+            disasters: Vec::new(),
+        }
+    }
+
+    /// The facility name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lines, in definition order.
+    pub fn lines(&self) -> &[FacilityLine] {
+        &self.lines
+    }
+
+    /// Index of a line by name.
+    pub fn line_index(&self, name: &str) -> Option<usize> {
+        self.lines.iter().position(|line| line.name == name)
+    }
+
+    /// The facility-scope disasters.
+    pub fn disasters(&self) -> &[FacilityDisaster] {
+        &self.disasters
+    }
+
+    /// Looks up a disaster by name.
+    pub fn disaster(&self, name: &str) -> Option<&FacilityDisaster> {
+        self.disasters.iter().find(|d| d.name == name)
+    }
+
+    /// The detected composition tree: which lines compose as pure product
+    /// factors and which must be explored jointly (see the module docs).
+    pub fn composition_tree(&self) -> &CompositionTree {
+        &self.tree
+    }
+}
+
+impl FacilityModelBuilder {
+    /// Adds a line. The name becomes the `line/component` prefix in merged
+    /// namespaces and product labels.
+    pub fn line(mut self, name: impl Into<String>, model: ArcadeModel) -> Self {
+        self.lines.push(FacilityLine {
+            name: name.into(),
+            model,
+        });
+        self
+    }
+
+    /// Adds a facility-scope disaster.
+    pub fn disaster(mut self, disaster: FacilityDisaster) -> Self {
+        self.disasters.push(disaster);
+        self
+    }
+
+    /// Validates the facility and detects the composition tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidParameter`] for structural problems
+    /// (no lines, duplicate names) and [`ArcadeError::UnknownComponent`] for
+    /// dangling disaster references.
+    pub fn build(self) -> Result<FacilityModel, ArcadeError> {
+        if self.lines.is_empty() {
+            return Err(ArcadeError::InvalidParameter {
+                reason: "a facility needs at least one line".to_string(),
+            });
+        }
+        for (i, line) in self.lines.iter().enumerate() {
+            if line.name.is_empty() {
+                return Err(ArcadeError::InvalidParameter {
+                    reason: "line names must be non-empty".to_string(),
+                });
+            }
+            if self.lines[..i].iter().any(|other| other.name == line.name) {
+                return Err(ArcadeError::InvalidParameter {
+                    reason: format!("duplicate line name `{}`", line.name),
+                });
+            }
+        }
+        for (i, disaster) in self.disasters.iter().enumerate() {
+            if self.disasters[..i].iter().any(|d| d.name == disaster.name) {
+                return Err(ArcadeError::InvalidParameter {
+                    reason: format!("duplicate facility disaster `{}`", disaster.name),
+                });
+            }
+            for (line, component) in &disaster.components {
+                let line_model = self.lines.iter().find(|l| &l.name == line).ok_or_else(|| {
+                    ArcadeError::InvalidParameter {
+                        reason: format!(
+                            "facility disaster `{}` references unknown line `{line}`",
+                            disaster.name
+                        ),
+                    }
+                })?;
+                if line_model.model.component(component).is_none() {
+                    return Err(ArcadeError::UnknownComponent {
+                        name: component.clone(),
+                        referenced_by: format!("facility disaster `{}`", disaster.name),
+                    });
+                }
+            }
+        }
+        let tree = detect_composition_tree(&self.lines, &self.disasters);
+        Ok(FacilityModel {
+            name: self.name,
+            lines: self.lines,
+            disasters: self.disasters,
+            tree,
+        })
+    }
+}
+
+/// Union-find grouping of the lines by shared repair-unit names.
+fn detect_composition_tree(
+    lines: &[FacilityLine],
+    disasters: &[FacilityDisaster],
+) -> CompositionTree {
+    let mut parent: Vec<usize> = (0..lines.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    // Map repair-unit name -> lines using it; same name in two lines = one
+    // shared physical unit.
+    let mut unit_lines: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (index, line) in lines.iter().enumerate() {
+        for unit in line.model.repair_units() {
+            unit_lines.entry(unit.name()).or_default().push(index);
+        }
+    }
+    let mut shared: Vec<(&str, Vec<usize>)> = unit_lines
+        .into_iter()
+        .filter(|(_, users)| users.len() > 1)
+        .collect();
+    shared.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (_, users) in &shared {
+        for &user in &users[1..] {
+            let a = find(&mut parent, users[0]);
+            let b = find(&mut parent, user);
+            if a != b {
+                parent[b.max(a)] = b.min(a);
+            }
+        }
+    }
+
+    let mut groups: Vec<CompositionGroup> = Vec::new();
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for index in 0..lines.len() {
+        let root = find(&mut parent, index);
+        match group_of.get(&root) {
+            Some(&g) => groups[g].lines.push(index),
+            None => {
+                group_of.insert(root, groups.len());
+                groups.push(CompositionGroup {
+                    lines: vec![index],
+                    shared_units: Vec::new(),
+                });
+            }
+        }
+    }
+    for (name, users) in shared {
+        let g = group_of[&find(&mut parent, users[0])];
+        groups[g].shared_units.push(name.to_string());
+    }
+
+    CompositionTree {
+        groups,
+        cross_line_disasters: disasters
+            .iter()
+            .filter(|d| d.is_cross_line())
+            .map(|d| d.name.clone())
+            .collect(),
+    }
+}
+
+/// The `line/component` namespace used by merged groups and product labels.
+fn qualified(line: &str, component: &str) -> String {
+    format!("{line}/{component}")
+}
+
+/// Recursively prefixes every component leaf of a structure tree.
+fn prefix_structure(node: &StructureNode, line: &str) -> StructureNode {
+    match node {
+        StructureNode::Component(name) => StructureNode::component(qualified(line, name)),
+        StructureNode::Series(children) => {
+            StructureNode::series(children.iter().map(|c| prefix_structure(c, line)).collect())
+        }
+        StructureNode::Redundant(children) => {
+            StructureNode::redundant(children.iter().map(|c| prefix_structure(c, line)).collect())
+        }
+        StructureNode::RequiredOf { required, children } => StructureNode::required_of(
+            *required,
+            children.iter().map(|c| prefix_structure(c, line)).collect(),
+        ),
+    }
+}
+
+/// Rebuilds a component under a new (prefixed) name.
+fn renamed_component(
+    component: &crate::component::BasicComponent,
+    name: String,
+) -> Result<crate::component::BasicComponent, ArcadeError> {
+    let mut out = crate::component::BasicComponent::from_rates(
+        name,
+        component.failure_rate(),
+        component.repair_rate(),
+    )?
+    .with_failed_cost(component.failed_cost_per_hour())
+    .with_operational_cost(component.operational_cost_per_hour())
+    .with_dormancy_factor(component.dormancy_factor());
+    if component.is_initially_failed() {
+        out = out.initially_failed();
+    }
+    Ok(out)
+}
+
+/// Builds the joint model of a coupled group: every component, spare unit and
+/// disaster moves into the `line/…` namespace; repair units appearing in
+/// several lines are merged into one unit responsible for the union of their
+/// (prefixed) members. The group structure puts the line structures under one
+/// redundant (capacity-sharing) gate, matching the facility's parallel lines.
+fn merged_group_model(
+    group_name: &str,
+    members: &[&FacilityLine],
+) -> Result<ArcadeModel, ArcadeError> {
+    let structure = SystemStructure::new(StructureNode::redundant(
+        members
+            .iter()
+            .map(|line| prefix_structure(line.model.structure().root(), &line.name))
+            .collect(),
+    ));
+    let mut builder = ArcadeModel::builder(group_name, structure);
+
+    for line in members {
+        for component in line.model.components() {
+            builder = builder.component(renamed_component(
+                component,
+                qualified(&line.name, component.name()),
+            )?);
+        }
+    }
+
+    // Repair units, merged by name across the member lines.
+    let mut merged_units: Vec<(String, RepairUnit, Vec<String>)> = Vec::new();
+    for line in members {
+        for unit in line.model.repair_units() {
+            let prefixed: Vec<String> = unit
+                .components()
+                .iter()
+                .map(|c| qualified(&line.name, c))
+                .collect();
+            match merged_units
+                .iter_mut()
+                .find(|(name, _, _)| name == unit.name())
+            {
+                Some((_, reference, responsibilities)) => {
+                    if reference.strategy() != unit.strategy()
+                        || reference.crews() != unit.crews()
+                        || reference.is_preemptive() != unit.is_preemptive()
+                        || reference.idle_cost_per_hour() != unit.idle_cost_per_hour()
+                        || reference.busy_cost_per_hour() != unit.busy_cost_per_hour()
+                    {
+                        return Err(ArcadeError::InvalidParameter {
+                            reason: format!(
+                                "shared repair unit `{}` is configured differently across lines",
+                                unit.name()
+                            ),
+                        });
+                    }
+                    responsibilities.extend(prefixed);
+                }
+                None => {
+                    if matches!(unit.strategy(), RepairStrategy::Priority(_)) {
+                        return Err(ArcadeError::InvalidParameter {
+                            reason: format!(
+                                "repair unit `{}` uses a static priority list, which is \
+                                 ambiguous in a merged line namespace",
+                                unit.name()
+                            ),
+                        });
+                    }
+                    merged_units.push((unit.name().to_string(), (*unit).clone(), prefixed));
+                }
+            }
+        }
+    }
+    for (name, reference, responsibilities) in merged_units {
+        let mut unit = RepairUnit::new(name, reference.strategy().clone(), reference.crews())?
+            .responsible_for(responsibilities)
+            .with_idle_cost(reference.idle_cost_per_hour())
+            .with_busy_cost(reference.busy_cost_per_hour());
+        if reference.is_preemptive() {
+            unit = unit.with_preemption();
+        }
+        builder = builder.repair_unit(unit);
+    }
+
+    for line in members {
+        for smu in line.model.spare_units() {
+            builder = builder.spare_unit(SpareManagementUnit::new(
+                qualified(&line.name, smu.name()),
+                smu.primaries().iter().map(|c| qualified(&line.name, c)),
+                smu.spares().iter().map(|c| qualified(&line.name, c)),
+            )?);
+        }
+        // Per-line disasters stay reachable under their qualified names.
+        for disaster in line.model.disasters() {
+            builder = builder.disaster(Disaster::new(
+                qualified(&line.name, disaster.name()),
+                disaster
+                    .failed_components()
+                    .iter()
+                    .map(|c| qualified(&line.name, c)),
+            )?);
+        }
+    }
+
+    builder.build()
+}
+
+/// Data of one compiled composition group, with its per-line metadata mapped
+/// onto the chain the solvers actually run on.
+#[derive(Debug, Clone)]
+struct CompiledGroup {
+    /// Facility line indices of the members.
+    lines: Vec<usize>,
+    /// Display name (`line1` or `line1+line2`).
+    label: String,
+    compiled: CompiledModel,
+    /// Whether the solvers run on the group's exact quotient (true whenever
+    /// every per-line mask projects to blocks) or on the flat group chain.
+    use_quotient: bool,
+    /// Per member line: "line fully operational" on the solver chain.
+    line_operational: Vec<Vec<bool>>,
+    /// Per member line: the line's service level on the solver chain.
+    line_service: Vec<Vec<f64>>,
+}
+
+impl CompiledGroup {
+    /// The chain this group's measures are solved on.
+    fn solver_chain(&self) -> &Ctmc {
+        match (self.use_quotient, self.compiled.lumped()) {
+            (true, Some(lumped)) => lumped.quotient(),
+            _ => self.compiled.chain(),
+        }
+    }
+
+    /// The cost rewards matching [`CompiledGroup::solver_chain`].
+    fn solver_cost_rewards(&self) -> &RewardStructure {
+        match (self.use_quotient, self.compiled.lumped()) {
+            (true, Some(lumped)) => lumped.cost_rewards(),
+            _ => self.compiled.cost_rewards(),
+        }
+    }
+
+    /// Mask of solver-chain states in which at least one member line is
+    /// fully operational.
+    fn any_line_operational(&self) -> Vec<bool> {
+        let mut out = vec![false; self.solver_chain().num_states()];
+        for mask in &self.line_operational {
+            for (slot, &up) in out.iter_mut().zip(mask.iter()) {
+                *slot |= up;
+            }
+        }
+        out
+    }
+
+    /// The solver-chain state the group occupies right after `disaster`
+    /// (its regular initial state when the disaster does not touch it).
+    fn start_state(&self, disaster: Option<&Disaster>) -> Result<usize, ArcadeError> {
+        let flat = match disaster {
+            Some(disaster) => self.compiled.disaster_state_index(disaster)?,
+            None => self.compiled.initial_index(),
+        };
+        Ok(match (self.use_quotient, self.compiled.lumped()) {
+            (true, Some(lumped)) => lumped.lumping().block_of(flat),
+            _ => flat,
+        })
+    }
+}
+
+/// Per-line and product-level state-space statistics of a compiled facility
+/// (the multi-line generalisation of [`StateSpaceStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacilityStats {
+    /// One entry per line, in facility definition order.
+    pub lines: Vec<FacilityLineStats>,
+    /// Number of joint product states: the product of the per-group solver
+    /// chain sizes (the `449 × 257` of the paper's facility).
+    pub joint_blocks: usize,
+    /// Number of joint transitions of the Kronecker sum.
+    pub joint_transitions: usize,
+}
+
+/// The statistics of one line within a compiled facility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacilityLineStats {
+    /// The line name.
+    pub line: String,
+    /// Index of the composition group the line landed in.
+    pub group: usize,
+    /// Whether the line was explored jointly with coupled lines.
+    pub jointly_explored: bool,
+    /// The composition statistics of the line's group: pre-lump exploration
+    /// counts, per-line quotient blocks and the sub-chain breakdown. Lines of
+    /// a joint group share their group's statistics.
+    pub stats: StateSpaceStats,
+}
+
+/// Result of solving the *genuine joint chain* of a facility (as opposed to
+/// the per-group product form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointAvailability {
+    /// Probability that at least one line is fully operational, from the
+    /// stationary distribution of the materialised joint chain.
+    pub availability: f64,
+    /// Matrix-free balance residual of the joint stationary vector against
+    /// the Kronecker-sum generator: the certificate that the vector is
+    /// stationary for the joint chain.
+    pub residual: f64,
+    /// Number of joint states solved.
+    pub joint_states: usize,
+    /// Number of joint transitions.
+    pub joint_transitions: usize,
+}
+
+/// Evaluates facility-level measures: per-line chains composed into the
+/// quotient product, with product-form shortcuts where independence allows
+/// and genuine joint solves where it does not (or for validation).
+#[derive(Debug, Clone)]
+pub struct FacilityAnalysis<'a> {
+    model: &'a FacilityModel,
+    groups: Vec<CompiledGroup>,
+    options: ComposerOptions,
+    /// Stationary distribution of every group's solver chain, computed on
+    /// first use and shared by all steady-state measures (the chains are
+    /// immutable, so one solve serves them all).
+    stationaries: std::sync::OnceLock<Vec<Vec<f64>>>,
+}
+
+impl<'a> FacilityAnalysis<'a> {
+    /// Compiles every composition group with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition errors.
+    pub fn new(model: &'a FacilityModel) -> Result<Self, ArcadeError> {
+        Self::with_options(model, ComposerOptions::default())
+    }
+
+    /// Compiles every composition group with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition errors.
+    pub fn with_options(
+        model: &'a FacilityModel,
+        options: ComposerOptions,
+    ) -> Result<Self, ArcadeError> {
+        let mut groups = Vec::new();
+        for group in &model.composition_tree().groups {
+            let members: Vec<&FacilityLine> =
+                group.lines.iter().map(|&i| &model.lines()[i]).collect();
+            let label = members
+                .iter()
+                .map(|line| line.name.clone())
+                .collect::<Vec<_>>()
+                .join("+");
+            let (compiled, line_masks) = if group.is_joint() {
+                let merged = merged_group_model(&label, &members)?;
+                let compiled = CompiledModel::compile_with(&merged, options)?;
+                let masks = per_line_masks(&compiled, &members)?;
+                (compiled, masks)
+            } else {
+                let compiled = CompiledModel::compile_with(&members[0].model, options)?;
+                let masks = vec![(
+                    compiled.operational_mask().to_vec(),
+                    compiled.service_levels().to_vec(),
+                )];
+                (compiled, masks)
+            };
+
+            // Map the per-line metadata onto the solver chain: the quotient
+            // when every mask is a union of blocks, the flat chain otherwise.
+            let mut use_quotient = false;
+            let mut line_operational: Vec<Vec<bool>> = Vec::new();
+            let mut line_service: Vec<Vec<f64>> = Vec::new();
+            if let Some(lumped) = compiled.lumped() {
+                let projected: Result<(Vec<_>, Vec<_>), _> = line_masks
+                    .iter()
+                    .map(|(mask, service)| {
+                        Ok::<_, arcade_lumping::LumpError>((
+                            lumped.lumping().project_mask(mask)?,
+                            lumped.lumping().project_values(service)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|pairs| pairs.into_iter().unzip());
+                if let Ok((masks, services)) = projected {
+                    use_quotient = true;
+                    line_operational = masks;
+                    line_service = services;
+                }
+            }
+            if !use_quotient {
+                for (mask, service) in &line_masks {
+                    line_operational.push(mask.clone());
+                    line_service.push(service.clone());
+                }
+            }
+
+            groups.push(CompiledGroup {
+                lines: group.lines.clone(),
+                label,
+                compiled,
+                use_quotient,
+                line_operational,
+                line_service,
+            });
+        }
+        Ok(FacilityAnalysis {
+            model,
+            groups,
+            options,
+            stationaries: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The facility under analysis.
+    pub fn model(&self) -> &FacilityModel {
+        self.model
+    }
+
+    /// The composition options used for every group.
+    pub fn options(&self) -> ComposerOptions {
+        self.options
+    }
+
+    fn exec(&self) -> ExecOptions {
+        self.options.exec
+    }
+
+    /// The compiled chain of one composition group (the group of `line` when
+    /// queried by line index via [`FacilityAnalysis::group_of_line`]).
+    pub fn group_chain(&self, group: usize) -> &Ctmc {
+        self.groups[group].solver_chain()
+    }
+
+    /// The group index a line landed in.
+    pub fn group_of_line(&self, line: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.lines.contains(&line))
+            .expect("every line belongs to exactly one group")
+    }
+
+    /// Per-line and product-level state-space statistics.
+    pub fn stats(&self) -> FacilityStats {
+        let lines = self
+            .model
+            .lines()
+            .iter()
+            .enumerate()
+            .map(|(index, line)| {
+                let group = self.group_of_line(index);
+                FacilityLineStats {
+                    line: line.name.clone(),
+                    group,
+                    jointly_explored: self.groups[group].lines.len() > 1,
+                    stats: self.groups[group].compiled.stats(),
+                }
+            })
+            .collect();
+        let joint_blocks = self.groups.iter().fold(1usize, |acc, g| {
+            acc.saturating_mul(g.solver_chain().num_states())
+        });
+        let joint_transitions = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.solver_chain()
+                    .num_transitions()
+                    .saturating_mul(joint_blocks / g.solver_chain().num_states().max(1))
+            })
+            .fold(0usize, usize::saturating_add);
+        FacilityStats {
+            lines,
+            joint_blocks,
+            joint_transitions,
+        }
+    }
+
+    /// The quotient product of the per-group solver chains — the facility
+    /// chain as a composable object (materialise it or use its matrix-free
+    /// operator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-construction errors.
+    pub fn quotient_product(&self) -> Result<QuotientProduct, ArcadeError> {
+        Ok(QuotientProduct::from_chains(
+            self.groups
+                .iter()
+                .map(|g| (g.label.clone(), g.solver_chain().clone()))
+                .collect(),
+        )?)
+    }
+
+    /// The stationary distribution of every group's solver chain.
+    fn group_stationaries(&self) -> Result<&[Vec<f64>], ArcadeError> {
+        if let Some(cached) = self.stationaries.get() {
+            return Ok(cached);
+        }
+        let computed = self
+            .groups
+            .iter()
+            .map(|g| {
+                Ok(SteadyStateSolver::new(g.solver_chain())
+                    .exec(self.exec())
+                    .solve()?)
+            })
+            .collect::<Result<Vec<_>, ArcadeError>>()?;
+        Ok(self.stationaries.get_or_init(|| computed))
+    }
+
+    /// Steady-state availability of one line: the long-run probability that
+    /// the line is fully operational.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors and rejects unknown lines.
+    pub fn line_availability(&self, line: usize) -> Result<f64, ArcadeError> {
+        if line >= self.model.lines().len() {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("unknown line index {line}"),
+            });
+        }
+        let group_index = self.group_of_line(line);
+        let group = &self.groups[group_index];
+        let member = group
+            .lines
+            .iter()
+            .position(|&l| l == line)
+            .expect("line is in its group");
+        let pi = &self.group_stationaries()?[group_index];
+        Ok(pi
+            .iter()
+            .zip(group.line_operational[member].iter())
+            .filter(|(_, &up)| up)
+            .map(|(p, _)| p)
+            .sum())
+    }
+
+    /// Facility availability — the long-run probability that **at least one
+    /// line** is fully operational — via the product form: groups evolve
+    /// independently, so `A = 1 − Π_g P_g(no member line operational)`. For
+    /// two independent lines this is exactly the paper's
+    /// `A = A1 + A2 − A1·A2`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn steady_state_availability(&self) -> Result<f64, ArcadeError> {
+        let mut none_up_product = 1.0;
+        for (group, pi) in self.groups.iter().zip(self.group_stationaries()?.iter()) {
+            let any_up = group.any_line_operational();
+            let none_up: f64 = pi
+                .iter()
+                .zip(any_up.iter())
+                .filter(|(_, &up)| !up)
+                .map(|(p, _)| p)
+                .sum();
+            none_up_product *= none_up;
+        }
+        Ok(1.0 - none_up_product)
+    }
+
+    /// Facility availability from the **genuine joint chain**: the quotient
+    /// product is materialised, its stationary distribution solved (warm
+    /// started from the product form, which changes only the trajectory, and
+    /// certified by the matrix-free Kronecker-sum balance residual), and the
+    /// any-line-operational mass summed. Agreement with
+    /// [`FacilityAnalysis::steady_state_availability`] to solver tolerance is
+    /// the paper's `A1 + A2 − A1·A2` validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-construction and solver errors.
+    pub fn joint_steady_state_availability(&self) -> Result<JointAvailability, ArcadeError> {
+        let exec = self.exec();
+        let product = self.quotient_product()?;
+        let joint = product.materialize(&exec)?;
+        let guess = product.product_distribution(self.group_stationaries()?)?;
+        let pi = SteadyStateSolver::new(&joint)
+            .exec(exec)
+            .initial_guess(guess)
+            .solve()?;
+        let residual = product.balance_residual(&pi, &exec)?;
+        let any_up = self.joint_any_line_operational(&product)?;
+        let availability = pi
+            .iter()
+            .zip(any_up.iter())
+            .filter(|(_, &up)| up)
+            .map(|(p, _)| p)
+            .sum();
+        Ok(JointAvailability {
+            availability,
+            residual,
+            joint_states: joint.num_states(),
+            joint_transitions: joint.num_transitions(),
+        })
+    }
+
+    /// Joint mask: at least one line fully operational.
+    fn joint_any_line_operational(
+        &self,
+        product: &QuotientProduct,
+    ) -> Result<Vec<bool>, ArcadeError> {
+        let mut out = vec![false; product.num_states()];
+        for (index, group) in self.groups.iter().enumerate() {
+            let expanded = product.expand_mask(index, &group.any_line_operational())?;
+            for (slot, up) in out.iter_mut().zip(expanded) {
+                *slot |= up;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Joint mask: facility service level (the best level any line delivers)
+    /// at least `threshold`.
+    fn joint_service_at_least(
+        &self,
+        product: &QuotientProduct,
+        threshold: f64,
+    ) -> Result<Vec<bool>, ArcadeError> {
+        let mut out = vec![false; product.num_states()];
+        for (index, group) in self.groups.iter().enumerate() {
+            for service in &group.line_service {
+                let mask: Vec<bool> = service.iter().map(|&l| l >= threshold - 1e-12).collect();
+                let expanded = product.expand_mask(index, &mask)?;
+                for (slot, up) in out.iter_mut().zip(expanded) {
+                    *slot |= up;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The per-group disaster restriction of a facility disaster, in the
+    /// group's own component namespace.
+    fn group_disaster(
+        &self,
+        group: &CompiledGroup,
+        disaster: &FacilityDisaster,
+    ) -> Result<Option<Disaster>, ArcadeError> {
+        let mut components = Vec::new();
+        for &line_index in &group.lines {
+            let line = &self.model.lines()[line_index];
+            for (disaster_line, component) in disaster.components() {
+                if disaster_line == &line.name {
+                    components.push(if group.lines.len() > 1 {
+                        qualified(&line.name, component)
+                    } else {
+                        component.clone()
+                    });
+                }
+            }
+        }
+        if components.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Disaster::new(disaster.name(), components)?))
+    }
+
+    /// The materialised joint chain started from the state right after
+    /// `disaster` (every touched group in its disaster state, every other
+    /// group in its regular initial state).
+    fn joint_chain_after(
+        &self,
+        product: &QuotientProduct,
+        disaster: Option<&FacilityDisaster>,
+    ) -> Result<Ctmc, ArcadeError> {
+        let joint = product.materialize(&self.exec())?;
+        let mut tuple = Vec::with_capacity(self.groups.len());
+        for group in &self.groups {
+            let restricted = match disaster {
+                Some(disaster) => self.group_disaster(group, disaster)?,
+                None => None,
+            };
+            tuple.push(group.start_state(restricted.as_ref())?);
+        }
+        let start = product
+            .index_of(&tuple)
+            .ok_or_else(|| ArcadeError::InvalidDisaster {
+                reason: "joint disaster tuple out of range".to_string(),
+            })?;
+        Ok(joint.with_initial_state(start)?)
+    }
+
+    /// Looks up a facility disaster by name.
+    fn lookup_disaster(&self, name: &str) -> Result<&FacilityDisaster, ArcadeError> {
+        self.model
+            .disaster(name)
+            .ok_or_else(|| ArcadeError::UnsupportedMeasure {
+                reason: format!("unknown facility disaster `{name}`"),
+            })
+    }
+
+    /// Facility survivability after a (possibly cross-line) disaster: the
+    /// probability that, within each deadline, the facility again delivers a
+    /// service level of at least `service_level` **on some line**. Evaluated
+    /// on the materialised joint chain — the construction that stays exact
+    /// when the disaster couples the lines' initial state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown disasters and invalid service levels; propagates
+    /// solver errors.
+    pub fn survivability_curve(
+        &self,
+        disaster: &str,
+        service_level: f64,
+        times: &[f64],
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        if !(0.0..=1.0).contains(&service_level) {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("service level must be in [0, 1], got {service_level}"),
+            });
+        }
+        let disaster = self.lookup_disaster(disaster)?;
+        let product = self.quotient_product()?;
+        let chain = self.joint_chain_after(&product, Some(disaster))?;
+        let goal = self.joint_service_at_least(&product, service_level)?;
+        let safe = vec![true; goal.len()];
+        let values = TransientSolver::with_options(
+            &chain,
+            TransientOptions {
+                exec: self.exec(),
+                ..TransientOptions::default()
+            },
+        )
+        .bounded_until_many(&safe, &goal, times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// The materialised joint chain (started after `disaster`, when given)
+    /// and the facility cost rewards — the shared setup of both cost curves.
+    fn joint_cost_chain(
+        &self,
+        disaster: Option<&str>,
+    ) -> Result<(Ctmc, RewardStructure), ArcadeError> {
+        let disaster = match disaster {
+            Some(name) => Some(self.lookup_disaster(name)?),
+            None => None,
+        };
+        let product = self.quotient_product()?;
+        let chain = self.joint_chain_after(&product, disaster)?;
+        let rewards = self.joint_cost_rewards(&product)?;
+        Ok((chain, rewards))
+    }
+
+    /// Expected accumulated facility repair cost after a disaster (joint
+    /// chain, per-group cost rewards summed — additive rewards of
+    /// independent subsystems add).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown disasters; propagates solver errors.
+    pub fn accumulated_cost_curve(
+        &self,
+        disaster: Option<&str>,
+        times: &[f64],
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let (chain, rewards) = self.joint_cost_chain(disaster)?;
+        let solver = RewardSolver::new(&chain, &rewards)?.with_options(TransientOptions {
+            exec: self.exec(),
+            ..TransientOptions::default()
+        });
+        let values = solver.accumulated_series(times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// Expected instantaneous facility cost rate, optionally after a
+    /// disaster.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilityAnalysis::accumulated_cost_curve`].
+    pub fn instantaneous_cost_curve(
+        &self,
+        disaster: Option<&str>,
+        times: &[f64],
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let (chain, rewards) = self.joint_cost_chain(disaster)?;
+        let solver = RewardSolver::new(&chain, &rewards)?.with_options(TransientOptions {
+            exec: self.exec(),
+            ..TransientOptions::default()
+        });
+        let values = solver.instantaneous_series(times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// Evaluates a declarative [`FacilityMeasure`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::UnsupportedMeasure`] for unknown lines or
+    /// disasters and propagates solver errors.
+    pub fn evaluate(&self, measure: &FacilityMeasure) -> Result<MeasureResult, ArcadeError> {
+        match measure {
+            FacilityMeasure::SteadyStateAvailability => {
+                self.steady_state_availability().map(MeasureResult::Scalar)
+            }
+            FacilityMeasure::JointSteadyStateAvailability => Ok(MeasureResult::Scalar(
+                self.joint_steady_state_availability()?.availability,
+            )),
+            FacilityMeasure::LineAvailability { line } => {
+                let index =
+                    self.model
+                        .line_index(line)
+                        .ok_or_else(|| ArcadeError::UnsupportedMeasure {
+                            reason: format!("unknown line `{line}`"),
+                        })?;
+                self.line_availability(index).map(MeasureResult::Scalar)
+            }
+            FacilityMeasure::SurvivabilityCurve {
+                disaster,
+                service_level,
+                times,
+            } => self
+                .survivability_curve(disaster, *service_level, times)
+                .map(MeasureResult::Curve),
+            FacilityMeasure::AccumulatedCost { disaster, times } => self
+                .accumulated_cost_curve(disaster.as_deref(), times)
+                .map(MeasureResult::Curve),
+        }
+    }
+
+    /// The facility cost rewards on the joint chain.
+    fn joint_cost_rewards(
+        &self,
+        product: &QuotientProduct,
+    ) -> Result<RewardStructure, ArcadeError> {
+        let per_group: Vec<Option<&RewardStructure>> = self
+            .groups
+            .iter()
+            .map(|g| Some(g.solver_cost_rewards()))
+            .collect();
+        Ok(product.sum_rewards("facility_repair_cost", &per_group)?)
+    }
+}
+
+/// A line's fully-operational mask and per-state service levels on a group
+/// chain.
+type LineMetadata = (Vec<bool>, Vec<f64>);
+
+/// Evaluates each member line's fully-operational flag and service level on
+/// every state of a merged group chain.
+fn per_line_masks(
+    compiled: &CompiledModel,
+    members: &[&FacilityLine],
+) -> Result<Vec<LineMetadata>, ArcadeError> {
+    let position: HashMap<&str, usize> = compiled
+        .component_names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), i))
+        .collect();
+    let mut out = Vec::with_capacity(members.len());
+    for line in members {
+        let degraded = line.model.degraded_fault_tree();
+        let service_tree = line.model.service_tree();
+        let mut operational = Vec::with_capacity(compiled.states().len());
+        let mut service = Vec::with_capacity(compiled.states().len());
+        for state in compiled.states() {
+            let provides = |name: &str| -> f64 {
+                match position.get(qualified(&line.name, name).as_str()) {
+                    Some(&i) if state.statuses[i].provides_service() => 1.0,
+                    _ => 0.0,
+                }
+            };
+            let failed = |name: &str| -> bool {
+                match position.get(qualified(&line.name, name).as_str()) {
+                    Some(&i) => !state.statuses[i].provides_service(),
+                    None => false,
+                }
+            };
+            operational.push(!degraded.is_failed(failed));
+            service.push(service_tree.service_level(provides));
+        }
+        out.push((operational, service));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::BasicComponent;
+    use crate::repair::{RepairStrategy, RepairUnit};
+
+    /// A line with a single repairable pump behind its own repair unit.
+    fn pump_line(unit_name: &str, mttf: f64, mttr: f64) -> ArcadeModel {
+        let structure = SystemStructure::new(StructureNode::component("pump"));
+        ArcadeModel::builder("line", structure)
+            .component(
+                BasicComponent::from_mttf_mttr("pump", mttf, mttr)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .repair_unit(
+                RepairUnit::new(unit_name, RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["pump"])
+                    .with_idle_cost(1.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn independent_facility() -> FacilityModel {
+        FacilityModel::builder("plant")
+            .line("line1", pump_line("ru1", 100.0, 1.0))
+            .line("line2", pump_line("ru2", 50.0, 2.0))
+            .disaster(FacilityDisaster::new(
+                "both-pumps",
+                [("line1", "pump"), ("line2", "pump")],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn independent_lines_form_singleton_groups() {
+        let facility = independent_facility();
+        let tree = facility.composition_tree();
+        assert_eq!(tree.groups.len(), 2);
+        assert!(tree.groups.iter().all(|g| !g.is_joint()));
+        assert!(tree.groups.iter().all(|g| g.shared_units.is_empty()));
+        // The cross-line disaster is recorded but does not merge the groups:
+        // the dynamics stay independent, only scalar shortcuts are barred.
+        assert_eq!(tree.cross_line_disasters, vec!["both-pumps".to_string()]);
+        assert!(facility.disaster("both-pumps").unwrap().is_cross_line());
+        assert_eq!(facility.line_index("line2"), Some(1));
+    }
+
+    #[test]
+    fn product_form_availability_matches_the_closed_form() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let a1 = 100.0 / 101.0;
+        let a2 = 50.0 / 52.0;
+        let expected = a1 + a2 - a1 * a2;
+        assert!((analysis.line_availability(0).unwrap() - a1).abs() < 1e-9);
+        assert!((analysis.line_availability(1).unwrap() - a2).abs() < 1e-9);
+        let product_form = analysis.steady_state_availability().unwrap();
+        assert!((product_form - expected).abs() < 1e-9, "{product_form}");
+        assert!(analysis.line_availability(7).is_err());
+    }
+
+    #[test]
+    fn joint_chain_confirms_the_product_form() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let joint = analysis.joint_steady_state_availability().unwrap();
+        let product_form = analysis.steady_state_availability().unwrap();
+        assert_eq!(joint.joint_states, 4);
+        assert!((joint.availability - product_form).abs() <= 1e-9);
+        assert!(joint.residual < 1e-9, "residual {}", joint.residual);
+    }
+
+    #[test]
+    fn shared_repair_unit_triggers_joint_exploration() {
+        let facility = FacilityModel::builder("coupled")
+            .line("line1", pump_line("shared-ru", 100.0, 1.0))
+            .line("line2", pump_line("shared-ru", 50.0, 2.0))
+            .build()
+            .unwrap();
+        let tree = facility.composition_tree();
+        assert_eq!(tree.groups.len(), 1);
+        assert!(tree.groups[0].is_joint());
+        assert_eq!(tree.groups[0].shared_units, vec!["shared-ru".to_string()]);
+
+        // One crew serving both pumps: the joint chain is NOT the product of
+        // the per-line chains (a pump can wait for the other line's repair),
+        // so the availability must differ from the independent product form.
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let a1 = 100.0 / 101.0;
+        let a2 = 50.0 / 52.0;
+        let independent = a1 + a2 - a1 * a2;
+        let coupled = analysis.steady_state_availability().unwrap();
+        assert!(
+            (coupled - independent).abs() > 1e-6,
+            "sharing one crew must shift the availability: {coupled} vs {independent}"
+        );
+        // With a single group the genuine joint chain IS the group chain, so
+        // both paths agree.
+        let joint = analysis.joint_steady_state_availability().unwrap();
+        assert!((joint.availability - coupled).abs() <= 1e-9);
+
+        let stats = analysis.stats();
+        assert!(stats.lines.iter().all(|l| l.jointly_explored));
+        assert_eq!(stats.lines[0].group, stats.lines[1].group);
+    }
+
+    #[test]
+    fn facility_survivability_and_costs_run_on_the_joint_chain() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let times = [0.0, 0.5, 1.0, 2.0, 4.0];
+        let curve = analysis
+            .survivability_curve("both-pumps", 1.0, &times)
+            .unwrap();
+        // Starting with both pumps down, recovery needs at least one of the
+        // two independent repairs (rates 1 and 1/2) to finish:
+        // P = 1 - e^{-t} e^{-t/2}.
+        for (t, value) in &curve {
+            let expected = 1.0 - (-1.5 * t).exp();
+            assert!(
+                (value - expected).abs() < 1e-6,
+                "t={t}: {value} vs {expected}"
+            );
+        }
+        for window in curve.windows(2) {
+            assert!(window[1].1 >= window[0].1 - 1e-12);
+        }
+        assert!(analysis.survivability_curve("nope", 1.0, &times).is_err());
+        assert!(analysis
+            .survivability_curve("both-pumps", 2.0, &times)
+            .is_err());
+
+        // Costs: both pumps failed and both crews busy at t = 0 — cost rate 6.
+        let inst = analysis
+            .instantaneous_cost_curve(Some("both-pumps"), &[0.0])
+            .unwrap();
+        assert!((inst[0].1 - 6.0).abs() < 1e-9, "{}", inst[0].1);
+        let acc = analysis
+            .accumulated_cost_curve(Some("both-pumps"), &[0.0, 1.0, 3.0])
+            .unwrap();
+        assert_eq!(acc[0].1, 0.0);
+        assert!(acc[1].1 < acc[2].1);
+        // Without a disaster the joint chain starts all-up: idle crews only.
+        let idle = analysis.instantaneous_cost_curve(None, &[0.0]).unwrap();
+        assert!((idle[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn facility_stats_report_per_line_and_product_counts() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let stats = analysis.stats();
+        assert_eq!(stats.lines.len(), 2);
+        assert!(stats.lines.iter().all(|l| !l.jointly_explored));
+        assert_eq!(stats.joint_blocks, 4);
+        assert_eq!(stats.joint_transitions, 8);
+        let product = analysis.quotient_product().unwrap();
+        assert_eq!(product.num_states(), stats.joint_blocks);
+        assert_eq!(product.num_transitions(), stats.joint_transitions);
+    }
+
+    #[test]
+    fn declarative_facility_measures_match_direct_calls() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let availability = analysis
+            .evaluate(&FacilityMeasure::SteadyStateAvailability)
+            .unwrap();
+        assert_eq!(
+            availability.as_scalar(),
+            Some(analysis.steady_state_availability().unwrap())
+        );
+        let joint = analysis
+            .evaluate(&FacilityMeasure::JointSteadyStateAvailability)
+            .unwrap();
+        assert!((joint.as_scalar().unwrap() - availability.as_scalar().unwrap()).abs() <= 1e-9);
+        let line = analysis
+            .evaluate(&FacilityMeasure::LineAvailability {
+                line: "line1".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            line.as_scalar(),
+            Some(analysis.line_availability(0).unwrap())
+        );
+        assert!(analysis
+            .evaluate(&FacilityMeasure::LineAvailability {
+                line: "nope".into()
+            })
+            .is_err());
+        let curve = analysis
+            .evaluate(&FacilityMeasure::SurvivabilityCurve {
+                disaster: "both-pumps".into(),
+                service_level: 1.0,
+                times: vec![1.0, 2.0],
+            })
+            .unwrap();
+        assert_eq!(curve.as_curve().unwrap().len(), 2);
+        let cost = analysis
+            .evaluate(&FacilityMeasure::AccumulatedCost {
+                disaster: Some("both-pumps".into()),
+                times: vec![1.0],
+            })
+            .unwrap();
+        assert!(cost.as_curve().unwrap()[0].1 > 0.0);
+        assert!(!FacilityMeasure::SteadyStateAvailability.kind().is_empty());
+    }
+
+    #[test]
+    fn facility_validation_rejects_inconsistencies() {
+        assert!(matches!(
+            FacilityModel::builder("empty").build(),
+            Err(ArcadeError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            FacilityModel::builder("dup")
+                .line("a", pump_line("ru1", 10.0, 1.0))
+                .line("a", pump_line("ru2", 10.0, 1.0))
+                .build(),
+            Err(ArcadeError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            FacilityModel::builder("ghost-line")
+                .line("a", pump_line("ru1", 10.0, 1.0))
+                .disaster(FacilityDisaster::new("d", [("b", "pump")]))
+                .build(),
+            Err(ArcadeError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            FacilityModel::builder("ghost-component")
+                .line("a", pump_line("ru1", 10.0, 1.0))
+                .disaster(FacilityDisaster::new("d", [("a", "turbine")]))
+                .build(),
+            Err(ArcadeError::UnknownComponent { .. })
+        ));
+        // A shared unit whose configuration differs across lines is rejected
+        // at compile time (the merge would be ambiguous).
+        let mut other = pump_line("shared", 50.0, 2.0);
+        other = other
+            .with_repair_strategy(RepairStrategy::FastestRepairFirst, 2)
+            .unwrap();
+        let facility = FacilityModel::builder("mismatch")
+            .line("a", pump_line("shared", 100.0, 1.0))
+            .line("b", other)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            FacilityAnalysis::new(&facility),
+            Err(ArcadeError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -67,6 +67,7 @@ pub mod component;
 pub mod composer;
 pub mod disaster;
 pub mod error;
+pub mod facility;
 pub mod families;
 pub mod measures;
 pub mod model;
@@ -83,8 +84,12 @@ pub use composer::{
 pub use ctmc::ExecOptions;
 pub use disaster::Disaster;
 pub use error::ArcadeError;
+pub use facility::{
+    CompositionGroup, CompositionTree, FacilityAnalysis, FacilityDisaster, FacilityLine,
+    FacilityLineStats, FacilityModel, FacilityStats, JointAvailability,
+};
 pub use families::{detect_families, ComponentFamily};
-pub use measures::{Measure, MeasureResult};
+pub use measures::{FacilityMeasure, Measure, MeasureResult};
 pub use model::{ArcadeModel, ArcadeModelBuilder};
 pub use repair::{RepairStrategy, RepairUnit};
 pub use spare::SpareManagementUnit;

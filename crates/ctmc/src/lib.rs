@@ -44,6 +44,7 @@ pub mod exec;
 pub mod foxglynn;
 pub mod graph;
 pub mod markov;
+pub mod ops;
 pub mod rewards;
 pub mod sparse;
 pub mod steady_state;
@@ -55,6 +56,7 @@ pub use exec::ExecOptions;
 pub use foxglynn::FoxGlynn;
 pub use graph::{bottom_sccs, reachable_from, strongly_connected_components};
 pub use markov::{Ctmc, CtmcBuilder, StateIndex};
+pub use ops::LinearOperator;
 pub use rewards::{RewardSolver, RewardStructure};
 pub use sparse::{SparseMatrix, SparseMatrixBuilder};
 pub use steady_state::{SteadyStateMethod, SteadyStateSolver};

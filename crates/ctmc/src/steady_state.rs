@@ -37,6 +37,7 @@ pub struct SteadyStateSolver<'a> {
     tolerance: f64,
     max_iterations: usize,
     exec: ExecOptions,
+    initial_guess: Option<Vec<f64>>,
 }
 
 impl<'a> SteadyStateSolver<'a> {
@@ -48,6 +49,7 @@ impl<'a> SteadyStateSolver<'a> {
             tolerance: DEFAULT_TOLERANCE,
             max_iterations: DEFAULT_MAX_ITERATIONS,
             exec: ExecOptions::default(),
+            initial_guess: None,
         }
     }
 
@@ -58,12 +60,32 @@ impl<'a> SteadyStateSolver<'a> {
     }
 
     /// Selects the worker pool used by the row-parallel sweeps (Jacobi and
-    /// power iteration). Gauss–Seidel propagates updates within a sweep and
-    /// therefore always runs serially. The sharded sweeps accumulate each row
-    /// independently, exactly as the serial code does, so the knob never
-    /// changes results.
+    /// power iteration) and by the residual-norm computation of every method.
+    ///
+    /// Gauss–Seidel *sweeps* cannot shard: row `s` of a sweep reads the
+    /// already-updated values of rows `< s` from the same sweep (that forward
+    /// substitution is exactly why GS converges in fewer sweeps than Jacobi),
+    /// so splitting the sweep across workers would either change the iterates
+    /// (block-Jacobi hybrid, different fixed-point trajectory and thus
+    /// thread-count-dependent results) or serialise on a dependency chain the
+    /// length of the state space. The GS path therefore keeps its sweep
+    /// serial and shards only the embarrassingly parallel residual norm; the
+    /// sharded sweeps of Jacobi/power accumulate each row independently,
+    /// exactly as the serial code does. The knob never changes results.
     pub fn exec(mut self, exec: ExecOptions) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Warm-starts the iteration from `guess` (a nonnegative vector over the
+    /// *full* state space; it is restricted to each irreducible subset and
+    /// normalised there, falling back to the uniform start when the guess
+    /// carries no mass on a subset). The fixed point is unchanged — a good
+    /// guess only shortens the iteration, and a converged result still
+    /// satisfies the same balance-equation stopping criterion as a cold
+    /// start.
+    pub fn initial_guess(mut self, guess: Vec<f64>) -> Self {
+        self.initial_guess = Some(guess);
         self
     }
 
@@ -88,6 +110,19 @@ impl<'a> SteadyStateSolver<'a> {
     /// the requested tolerance within the iteration cap.
     pub fn solve(&self) -> Result<Vec<f64>, CtmcError> {
         let n = self.chain.num_states();
+        if let Some(guess) = &self.initial_guess {
+            if guess.len() != n {
+                return Err(CtmcError::DimensionMismatch {
+                    expected: n,
+                    actual: guess.len(),
+                });
+            }
+            if guess.iter().any(|&g| !g.is_finite() || g < 0.0) {
+                return Err(CtmcError::InvalidArgument {
+                    reason: "initial guess must be nonnegative and finite".to_string(),
+                });
+            }
+        }
         let bsccs = bottom_sccs(self.chain);
 
         if bsccs.len() == 1 && bsccs[0].len() == n {
@@ -149,6 +184,28 @@ impl<'a> SteadyStateSolver<'a> {
         }
     }
 
+    /// Maximum absolute balance-equation residual of `pi` against this
+    /// chain's full rate matrix: `max_s |sum_{s'≠s} pi_{s'} R[s'][s] - pi_s E(s)|`.
+    ///
+    /// This is an independent certificate of a (possibly externally computed)
+    /// stationary vector: a tiny residual means `pi` satisfies *this* chain's
+    /// balance equations, regardless of how it was obtained. The sweep shards
+    /// across the worker pool, bit-identically for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] on a length mismatch.
+    pub fn balance_residual(&self, pi: &[f64]) -> Result<f64, CtmcError> {
+        if pi.len() != self.chain.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.chain.num_states(),
+                actual: pi.len(),
+            });
+        }
+        let incoming = self.chain.rate_matrix().transpose();
+        Ok(self.residual(&incoming, self.chain.exit_rates(), pi))
+    }
+
     /// Solves the steady state restricted to an irreducible subset of states
     /// (either the full chain or one BSCC), returning the distribution over the
     /// full state space (zero outside the subset).
@@ -177,10 +234,11 @@ impl<'a> SteadyStateSolver<'a> {
             }
         }
         let local_rates = builder.build();
+        let start = self.local_start(subset);
         let local_pi = match self.method {
-            SteadyStateMethod::GaussSeidel => self.gauss_seidel(&local_rates)?,
-            SteadyStateMethod::Jacobi => self.jacobi(&local_rates)?,
-            SteadyStateMethod::Power => self.power(&local_rates)?,
+            SteadyStateMethod::GaussSeidel => self.gauss_seidel(&local_rates, start)?,
+            SteadyStateMethod::Jacobi => self.jacobi(&local_rates, start)?,
+            SteadyStateMethod::Power => self.power(&local_rates, start)?,
         };
 
         let mut pi = vec![0.0; n];
@@ -190,12 +248,31 @@ impl<'a> SteadyStateSolver<'a> {
         Ok(pi)
     }
 
+    /// The starting vector of an iterative solve on `subset`: the restricted
+    /// and renormalised [`SteadyStateSolver::initial_guess`] when one is set
+    /// and carries mass on the subset, the uniform distribution otherwise.
+    fn local_start(&self, subset: &[StateIndex]) -> Vec<f64> {
+        let m = subset.len();
+        if let Some(guess) = &self.initial_guess {
+            let mut local: Vec<f64> = subset.iter().map(|&s| guess[s]).collect();
+            let total: f64 = local.iter().sum();
+            if total > 0.0 {
+                local.iter_mut().for_each(|x| *x /= total);
+                return local;
+            }
+        }
+        vec![1.0 / m as f64; m]
+    }
+
     /// Gauss–Seidel on the balance equations `pi_s * E(s) = sum_{s'} pi_{s'} R[s'][s]`.
-    fn gauss_seidel(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
-        let m = rates.num_rows();
+    ///
+    /// The sweep itself is inherently serial — see [`SteadyStateSolver::exec`]
+    /// — so only the residual norm reported on failure shards.
+    fn gauss_seidel(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
         let exit: Vec<f64> = rates.row_sums();
         let incoming = rates.transpose();
-        let mut pi = vec![1.0 / m as f64; m];
+        let mut pi = start;
+        let m = pi.len();
 
         for iteration in 0..self.max_iterations {
             let mut max_delta: f64 = 0.0;
@@ -230,11 +307,11 @@ impl<'a> SteadyStateSolver<'a> {
     /// Damped Jacobi iteration on the balance equations. Damping (averaging the
     /// update with the previous iterate) prevents the oscillation Jacobi is
     /// prone to on nearly-periodic chains.
-    fn jacobi(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
+    fn jacobi(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
         let m = rates.num_rows();
         let exit: Vec<f64> = rates.row_sums();
         let incoming = rates.transpose();
-        let mut pi = vec![1.0 / m as f64; m];
+        let mut pi = start;
         let mut next = vec![0.0; m];
 
         // Every row of a Jacobi sweep reads only the previous iterate, so the
@@ -281,7 +358,7 @@ impl<'a> SteadyStateSolver<'a> {
     }
 
     /// Power iteration on the uniformised DTMC `P = I + Q / q`.
-    fn power(&self, rates: &SparseMatrix) -> Result<Vec<f64>, CtmcError> {
+    fn power(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
         let m = rates.num_rows();
         let exit: Vec<f64> = rates.row_sums();
         let q = exit.iter().copied().fold(0.0, f64::max) * 1.02;
@@ -301,7 +378,7 @@ impl<'a> SteadyStateSolver<'a> {
         }
         let p = builder.build();
 
-        let mut pi = vec![1.0 / m as f64; m];
+        let mut pi = start;
         let mut next = vec![0.0; m];
         for _ in 0..self.max_iterations {
             p.left_multiply_exec(&pi, &mut next, &self.exec)?;
@@ -323,19 +400,32 @@ impl<'a> SteadyStateSolver<'a> {
         })
     }
 
+    /// Maximum absolute balance-equation residual `|inflow(s) - pi_s E(s)|`,
+    /// sharded across the worker pool. Every state's residual is a pure
+    /// function of `pi`, and `f64::max` over the per-shard maxima is
+    /// order-independent, so the result is bit-identical for any thread
+    /// count.
     fn residual(&self, incoming: &SparseMatrix, exit: &[f64], pi: &[f64]) -> f64 {
-        let mut max_res: f64 = 0.0;
-        for s in 0..pi.len() {
-            let (cols, values) = incoming.row(s);
-            let mut inflow = 0.0;
-            for (c, v) in cols.iter().zip(values.iter()) {
-                if *c != s {
-                    inflow += pi[*c] * v;
+        let shards = crate::exec::shard_ranges(
+            pi.len(),
+            self.exec.workers_for(incoming.num_entries()).min(pi.len()),
+        );
+        crate::exec::map_ordered(&shards, self.exec, |range| {
+            let mut max_res: f64 = 0.0;
+            for s in range.clone() {
+                let (cols, values) = incoming.row(s);
+                let mut inflow = 0.0;
+                for (c, v) in cols.iter().zip(values.iter()) {
+                    if *c != s {
+                        inflow += pi[*c] * v;
+                    }
                 }
+                max_res = max_res.max((inflow - pi[s] * exit[s]).abs());
             }
-            max_res = max_res.max((inflow - pi[s] * exit[s]).abs());
-        }
-        max_res
+            max_res
+        })
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 
     /// Probability (under the chain's initial distribution and embedded jump
@@ -604,6 +694,58 @@ mod tests {
                 assert_eq!(parallel, reference, "{method:?}, {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point() {
+        let chain = two_state(0.002, 0.2);
+        let cold = SteadyStateSolver::new(&chain).solve().unwrap();
+        for method in [
+            SteadyStateMethod::GaussSeidel,
+            SteadyStateMethod::Jacobi,
+            SteadyStateMethod::Power,
+        ] {
+            // Warm-starting from the answer, from a bad guess and from a
+            // zero-mass guess (uniform fallback) must all land on the fixed
+            // point; the guess changes only the trajectory.
+            for guess in [cold.clone(), vec![0.9, 0.1], vec![0.0, 0.0]] {
+                let warm = SteadyStateSolver::new(&chain)
+                    .method(method)
+                    .initial_guess(guess)
+                    .solve()
+                    .unwrap();
+                assert!((warm[1] - cold[1]).abs() < 1e-8, "{method:?}: {}", warm[1]);
+            }
+        }
+        // Invalid guesses are rejected up front.
+        assert!(SteadyStateSolver::new(&chain)
+            .initial_guess(vec![1.0])
+            .solve()
+            .is_err());
+        assert!(SteadyStateSolver::new(&chain)
+            .initial_guess(vec![-1.0, 2.0])
+            .solve()
+            .is_err());
+    }
+
+    #[test]
+    fn balance_residual_certifies_stationarity() {
+        let chain = two_state(0.002, 0.2);
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let solver = SteadyStateSolver::new(&chain);
+        assert!(solver.balance_residual(&pi).unwrap() < 1e-10);
+        // A non-stationary vector has a visible residual, identically for
+        // every thread count.
+        let reference = solver.balance_residual(&[0.5, 0.5]).unwrap();
+        assert!(reference > 1e-3);
+        for threads in [2usize, 4, 8] {
+            let sharded = SteadyStateSolver::new(&chain)
+                .exec(ExecOptions::with_threads(threads))
+                .balance_residual(&[0.5, 0.5])
+                .unwrap();
+            assert_eq!(sharded, reference);
+        }
+        assert!(solver.balance_residual(&[1.0]).is_err());
     }
 
     #[test]

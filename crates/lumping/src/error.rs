@@ -30,6 +30,12 @@ pub enum LumpError {
         /// Human-readable details.
         reason: String,
     },
+    /// A quotient product could not be formed (empty factor list, duplicate
+    /// factor names, overflowing state count, ...).
+    InvalidProduct {
+        /// Human-readable details.
+        reason: String,
+    },
     /// An error from the underlying CTMC crate.
     Ctmc(CtmcError),
 }
@@ -48,6 +54,9 @@ impl fmt::Display for LumpError {
             }
             LumpError::UnstablePartition { block, reason } => {
                 write!(f, "partition is not stable at block {block}: {reason}")
+            }
+            LumpError::InvalidProduct { reason } => {
+                write!(f, "invalid quotient product: {reason}")
             }
             LumpError::Ctmc(error) => write!(f, "CTMC error: {error}"),
         }

@@ -50,6 +50,12 @@
 //! block counts) that a composer can aggregate **before** taking the cross
 //! product, so the flat chain never needs to exist in the first place.
 //!
+//! The [`product`] module closes the loop at the system level: a lumped CTMC
+//! is itself a composable component. [`QuotientProduct`] forms the joint
+//! chain of independent sub-models (states as tuples of block ids, generator
+//! as the Kronecker sum) either materialised or as a matrix-free
+//! [`KroneckerSum`] operator for the exec SpMV kernels.
+//!
 //! # Example
 //!
 //! Two parallel, identical, independently repaired pumps: the four flat states
@@ -81,12 +87,14 @@
 
 pub mod error;
 pub mod partition;
+pub mod product;
 pub mod quotient;
 pub mod refine;
 pub mod subchain;
 
 pub use error::LumpError;
 pub use partition::InitialPartition;
+pub use product::{KroneckerSum, QuotientProduct};
 pub use quotient::LumpedCtmc;
 pub use refine::lump;
 pub use subchain::{canonical_roles, multiset_count, SubchainQuotient};

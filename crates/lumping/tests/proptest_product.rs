@@ -1,0 +1,134 @@
+//! Property tests of the quotient product: the matrix-free Kronecker-sum
+//! operator must agree with the materialised joint chain for any factor
+//! shapes and any thread count, and the product of the factor stationary
+//! distributions must be stationary for the joint chain.
+
+use arcade_lumping::QuotientProduct;
+use ctmc::ops::LinearOperator;
+use ctmc::{Ctmc, CtmcBuilder, ExecOptions, SteadyStateSolver};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// An irreducible ring chain with `n` states, shortcut chords and
+/// deterministic pseudo-random rates derived from `seed`.
+fn ring_chain(n: usize, seed: u64) -> Ctmc {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut builder = CtmcBuilder::new(n);
+    for s in 0..n {
+        let rate = 0.1 + (next() % 1000) as f64 / 250.0;
+        builder.add_transition(s, (s + 1) % n, rate).unwrap();
+        if n > 2 {
+            let chord = (s + 1 + next() as usize % (n - 2)) % n;
+            if chord != s {
+                let rate = 0.05 + (next() % 1000) as f64 / 500.0;
+                builder.add_transition(s, chord, rate).unwrap();
+            }
+        }
+    }
+    builder.set_initial_state(0).unwrap();
+    builder
+        .add_label_mask("even", (0..n).map(|s| s % 2 == 0).collect())
+        .unwrap();
+    builder.build().unwrap()
+}
+
+fn factor_sizes() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(2usize..=6, 2..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn operator_and_materialised_chain_agree_for_every_thread_count(
+        sizes in factor_sizes(),
+        seed in 1u64..10_000,
+    ) {
+        let product = QuotientProduct::from_chains(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (format!("f{i}"), ring_chain(n, seed + i as u64)))
+                .collect(),
+        )
+        .unwrap();
+        let serial = ExecOptions::serial();
+        let joint = product.materialize(&serial).unwrap();
+        prop_assert_eq!(joint.num_states(), product.num_states());
+        prop_assert_eq!(joint.num_transitions(), product.num_transitions());
+
+        let n = product.num_states();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37 + seed as f64).sin() + 1.5).collect();
+        let mut left_reference = vec![0.0; n];
+        joint.rate_matrix().left_multiply(&x, &mut left_reference).unwrap();
+        let mut right_reference = vec![0.0; n];
+        joint.rate_matrix().right_multiply(&x, &mut right_reference).unwrap();
+
+        let op = product.operator();
+        let mut left_serial = vec![0.0; n];
+        op.left_multiply_exec(&x, &mut left_serial, &serial).unwrap();
+        let mut right_serial = vec![0.0; n];
+        op.right_multiply_exec(&x, &mut right_serial, &serial).unwrap();
+        for s in 0..n {
+            prop_assert!((left_serial[s] - left_reference[s]).abs() <= 1e-12 * left_reference[s].abs().max(1.0));
+            prop_assert!((right_serial[s] - right_reference[s]).abs() <= 1e-12 * right_reference[s].abs().max(1.0));
+        }
+
+        // Sharded operator kernels and materialisation are bit-identical to
+        // their serial counterparts for every thread count.
+        for &threads in &THREAD_COUNTS {
+            let exec = ExecOptions::with_threads(threads);
+            let mut y = vec![f64::NAN; n];
+            op.left_multiply_exec(&x, &mut y, &exec).unwrap();
+            prop_assert_eq!(&y, &left_serial);
+            let mut y = vec![f64::NAN; n];
+            op.right_multiply_exec(&x, &mut y, &exec).unwrap();
+            prop_assert_eq!(&y, &right_serial);
+            let sharded = product.materialize(&exec).unwrap();
+            prop_assert_eq!(&sharded, &joint);
+        }
+    }
+
+    #[test]
+    fn product_form_is_stationary_for_the_joint_chain(
+        sizes in factor_sizes(),
+        seed in 1u64..10_000,
+    ) {
+        let product = QuotientProduct::from_chains(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (format!("f{i}"), ring_chain(n, seed * 31 + i as u64)))
+                .collect(),
+        )
+        .unwrap();
+        let marginals: Vec<Vec<f64>> = (0..product.num_factors())
+            .map(|i| {
+                SteadyStateSolver::new(product.factor(i))
+                    .tolerance(1e-13)
+                    .solve()
+                    .unwrap()
+            })
+            .collect();
+        let joint_guess = product.product_distribution(&marginals).unwrap();
+        let residual = product
+            .balance_residual(&joint_guess, &ExecOptions::serial())
+            .unwrap();
+        prop_assert!(residual < 1e-9, "residual {residual}");
+
+        // Marginals of the outer product recover the factors exactly.
+        for (i, marginal) in marginals.iter().enumerate() {
+            let recovered = product.marginal(i, &joint_guess).unwrap();
+            for (a, b) in recovered.iter().zip(marginal.iter()) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

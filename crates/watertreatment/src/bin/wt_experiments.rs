@@ -3,8 +3,10 @@
 //! ```text
 //! wt-experiments all                # run every table and figure
 //! wt-experiments --threads 4 all    # same, on a 4-worker pool
+//! wt-experiments --line 1 all       # only Line 1 experiments
 //! wt-experiments table1             # state-space sizes
 //! wt-experiments table2             # steady-state availability
+//! wt-experiments facility           # two-line facility: product vs joint chain
 //! wt-experiments fig3               # reliability over time
 //! wt-experiments fig4 fig5          # survivability Line 1, Disaster 1
 //! wt-experiments fig6 fig7          # costs Line 1, Disaster 1
@@ -16,19 +18,26 @@
 //! the solver kernels and the per-strategy experiment sweeps; `--threads 1`
 //! is the serial path and `--threads 0` (the default) auto-detects. Results
 //! are identical for every thread count.
+//!
+//! `--line {1,2,both}` selects the process line(s): tables report only the
+//! selected lines and line-specific figures (figs. 4–7 are Line 1, figs.
+//! 8–11 are Line 2) are skipped when their line is deselected. The
+//! `facility` experiment needs both lines and is skipped otherwise.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use arcade_core::ExecOptions;
 use watertreatment::experiments::{self, grids};
+use watertreatment::Line;
 
-const USAGE: &str = "usage: wt-experiments [--threads N] \
-     [all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...";
+const USAGE: &str = "usage: wt-experiments [--threads N] [--line 1|2|both] \
+     [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...";
 
 fn main() -> ExitCode {
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut exec = ExecOptions::default();
+    let mut lines: Vec<Line> = Line::both().to_vec();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let lower = arg.to_lowercase();
@@ -48,6 +57,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if let Some(value) = lower.strip_prefix("--line=") {
+            match Line::from_arg(value) {
+                Some(selection) => lines = selection,
+                None => {
+                    eprintln!("invalid --line value `{value}` (expected 1, 2 or both)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if lower == "--line" {
+            match args.next().as_deref().and_then(Line::from_arg) {
+                Some(selection) => lines = selection,
+                None => {
+                    eprintln!("--line expects 1, 2 or both\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
         } else if lower.starts_with('-') {
             eprintln!("unknown option `{arg}`\n{USAGE}");
             return ExitCode::from(2);
@@ -62,19 +87,29 @@ fn main() -> ExitCode {
     let all = requested.contains("all");
     let wants = |name: &str| all || requested.contains(name);
 
-    if let Err(err) = run(wants, exec) {
+    if let Err(err) = run(wants, exec, &lines) {
         eprintln!("experiment failed: {err}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-fn run(wants: impl Fn(&str) -> bool, exec: ExecOptions) -> Result<(), arcade_core::ArcadeError> {
+fn run(
+    wants: impl Fn(&str) -> bool,
+    exec: ExecOptions,
+    lines: &[Line],
+) -> Result<(), arcade_core::ArcadeError> {
+    let has = |line: Line| lines.contains(&line);
+    let both = has(Line::Line1) && has(Line::Line2);
+    let skip = |name: &str, needed: &str| {
+        println!("== {name}: skipped (needs {needed}; pass --line both) ==\n");
+    };
+
     if wants("table1") {
         println!("== Table 1: state-space sizes (flat product, as the paper reports) ==");
         println!(
             "{}",
-            experiments::format_table1(&experiments::table1_with(exec)?)
+            experiments::format_table1(&experiments::table1_lines_with(lines, exec)?)
         );
         println!("-- paper reference --");
         println!(
@@ -91,7 +126,7 @@ fn run(wants: impl Fn(&str) -> bool, exec: ExecOptions) -> Result<(), arcade_cor
         println!("== Table 2: steady-state availability ==");
         println!(
             "{}",
-            experiments::format_table2(&experiments::table2_with(exec)?)
+            experiments::format_table2(&experiments::table2_lines_with(lines, exec)?)
         );
         println!("-- paper reference --");
         println!(
@@ -99,45 +134,87 @@ fn run(wants: impl Fn(&str) -> bool, exec: ExecOptions) -> Result<(), arcade_cor
             experiments::format_table2(&experiments::table2_paper_reference())
         );
     }
+    if wants("facility") {
+        if both {
+            println!("== Facility: combined availability, product form vs genuine joint chain ==");
+            let rows = experiments::table_facility_with(&experiments::paired_strategies(), exec)?;
+            println!("{}", experiments::format_table_facility(&rows));
+            let (full, basic) = experiments::facility_recovery_with(
+                &grids::fig4_to_6(),
+                &experiments::paired_strategies(),
+                exec,
+            )?;
+            println!("{}", experiments::format_figure(&full));
+            println!("{}", experiments::format_figure(&basic));
+            let (inst, acc) = experiments::facility_cost_with(
+                &grids::fig4_to_6(),
+                &grids::fig7(),
+                &experiments::paired_strategies(),
+                exec,
+            )?;
+            println!("{}", experiments::format_figure(&inst));
+            println!("{}", experiments::format_figure(&acc));
+        } else {
+            skip("facility", "both lines");
+        }
+    }
     if wants("fig3") {
-        let fig = experiments::fig3_reliability_with(&grids::fig3(), exec)?;
+        let fig = experiments::fig3_reliability_lines_with(lines, &grids::fig3(), exec)?;
         println!("{}", experiments::format_figure(&fig));
     }
     if wants("fig4") || wants("fig5") {
-        let (fig4, fig5) = experiments::fig4_5_survivability_line1_with(&grids::fig4_to_6(), exec)?;
-        if wants("fig4") {
-            println!("{}", experiments::format_figure(&fig4));
-        }
-        if wants("fig5") {
-            println!("{}", experiments::format_figure(&fig5));
+        if has(Line::Line1) {
+            let (fig4, fig5) =
+                experiments::fig4_5_survivability_line1_with(&grids::fig4_to_6(), exec)?;
+            if wants("fig4") {
+                println!("{}", experiments::format_figure(&fig4));
+            }
+            if wants("fig5") {
+                println!("{}", experiments::format_figure(&fig5));
+            }
+        } else {
+            skip("fig4/fig5", "line 1");
         }
     }
     if wants("fig6") || wants("fig7") {
-        let (fig6, fig7) =
-            experiments::fig6_7_cost_line1_with(&grids::fig4_to_6(), &grids::fig7(), exec)?;
-        if wants("fig6") {
-            println!("{}", experiments::format_figure(&fig6));
-        }
-        if wants("fig7") {
-            println!("{}", experiments::format_figure(&fig7));
+        if has(Line::Line1) {
+            let (fig6, fig7) =
+                experiments::fig6_7_cost_line1_with(&grids::fig4_to_6(), &grids::fig7(), exec)?;
+            if wants("fig6") {
+                println!("{}", experiments::format_figure(&fig6));
+            }
+            if wants("fig7") {
+                println!("{}", experiments::format_figure(&fig7));
+            }
+        } else {
+            skip("fig6/fig7", "line 1");
         }
     }
     if wants("fig8") || wants("fig9") {
-        let (fig8, fig9) = experiments::fig8_9_survivability_line2_with(&grids::fig8_9(), exec)?;
-        if wants("fig8") {
-            println!("{}", experiments::format_figure(&fig8));
-        }
-        if wants("fig9") {
-            println!("{}", experiments::format_figure(&fig9));
+        if has(Line::Line2) {
+            let (fig8, fig9) =
+                experiments::fig8_9_survivability_line2_with(&grids::fig8_9(), exec)?;
+            if wants("fig8") {
+                println!("{}", experiments::format_figure(&fig8));
+            }
+            if wants("fig9") {
+                println!("{}", experiments::format_figure(&fig9));
+            }
+        } else {
+            skip("fig8/fig9", "line 2");
         }
     }
     if wants("fig10") || wants("fig11") {
-        let (fig10, fig11) = experiments::fig10_11_cost_line2_with(&grids::fig10_11(), exec)?;
-        if wants("fig10") {
-            println!("{}", experiments::format_figure(&fig10));
-        }
-        if wants("fig11") {
-            println!("{}", experiments::format_figure(&fig11));
+        if has(Line::Line2) {
+            let (fig10, fig11) = experiments::fig10_11_cost_line2_with(&grids::fig10_11(), exec)?;
+            if wants("fig10") {
+                println!("{}", experiments::format_figure(&fig10));
+            }
+            if wants("fig11") {
+                println!("{}", experiments::format_figure(&fig11));
+            }
+        } else {
+            skip("fig10/fig11", "line 2");
         }
     }
     Ok(())

@@ -8,12 +8,15 @@
 //! comparable to the paper.
 
 use arcade_core::{
-    Analysis, ArcadeError, CompiledModel, ComposerOptions, ExecOptions, LumpingMode, Series,
+    Analysis, ArcadeError, CompiledModel, ComposerOptions, ExecOptions, FacilityAnalysis,
+    LumpingMode, Series,
 };
 use ctmc::exec;
 use serde::{Deserialize, Serialize};
 
-use crate::facility::{self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED};
+use crate::facility::{
+    self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED, FACILITY_DISASTER_ALL_PUMPS,
+};
 use crate::strategies;
 use crate::StrategySpec;
 
@@ -47,6 +50,29 @@ pub struct Table2Row {
     pub line2: f64,
     /// Availability of the overall facility (`A1 + A2 - A1*A2`).
     pub combined: f64,
+}
+
+/// One row of the two-line facility table: the combined-availability formula
+/// `A = A1 + A2 − A1·A2` validated against the genuine Line 1 × Line 2 joint
+/// chain for one pair of repair strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableFacilityRow {
+    /// Strategy-pair label, e.g. `FRF-1×FRF-1`.
+    pub pair: String,
+    /// Availability of Line 1 (solved on its quotient).
+    pub line1: f64,
+    /// Availability of Line 2 (solved on its quotient).
+    pub line2: f64,
+    /// Combined availability via the product form `A1 + A2 − A1·A2`.
+    pub combined: f64,
+    /// Combined availability solved on the materialised joint chain.
+    pub joint: f64,
+    /// `|combined − joint|`, the validation gap (≤ 1e-9 expected).
+    pub difference: f64,
+    /// Number of joint product blocks (`449 × 257` for FRF-1 × FRF-1).
+    pub joint_blocks: usize,
+    /// Matrix-free balance residual certifying the joint stationary vector.
+    pub residual: f64,
 }
 
 /// A reproduced figure: a set of named `(time, value)` series.
@@ -197,11 +223,29 @@ pub fn table1_compositional() -> Result<Vec<Table1Row>, ArcadeError> {
     table1_rows(ExecOptions::default(), LumpingMode::Compositional)
 }
 
+/// [`table1`] restricted to a selection of lines (the CLI `--line` flag).
+///
+/// # Errors
+///
+/// Propagates composition errors.
+pub fn table1_lines_with(lines: &[Line], exec: ExecOptions) -> Result<Vec<Table1Row>, ArcadeError> {
+    table1_rows_for(lines, exec, LumpingMode::Exact)
+}
+
 /// Shared Table 1 runner: one composition per (line, strategy) cell under the
 /// given lumping mode, cells swept across the worker pool per line.
 fn table1_rows(exec: ExecOptions, lumping: LumpingMode) -> Result<Vec<Table1Row>, ArcadeError> {
+    table1_rows_for(&Line::both(), exec, lumping)
+}
+
+/// [`table1_rows`] over an explicit line selection.
+fn table1_rows_for(
+    lines: &[Line],
+    exec: ExecOptions,
+    lumping: LumpingMode,
+) -> Result<Vec<Table1Row>, ArcadeError> {
     let mut rows = Vec::new();
-    for line in Line::both() {
+    for &line in lines {
         let line_rows = sweep_strategies(&strategies::paper_strategies(), exec, |spec| {
             let model = facility::line_model(line, spec)?;
             let compiled = CompiledModel::compile_with(
@@ -269,18 +313,37 @@ pub fn table2() -> Result<Vec<Table2Row>, ArcadeError> {
 ///
 /// Propagates composition and steady-state solver errors.
 pub fn table2_with(exec: ExecOptions) -> Result<Vec<Table2Row>, ArcadeError> {
+    table2_lines_with(&Line::both(), exec)
+}
+
+/// [`table2`] restricted to a selection of lines (the CLI `--line` flag):
+/// unselected line columns and — unless both lines are selected — the
+/// combined column are reported as NaN and rendered as `-`.
+///
+/// # Errors
+///
+/// Propagates composition and steady-state solver errors.
+pub fn table2_lines_with(lines: &[Line], exec: ExecOptions) -> Result<Vec<Table2Row>, ArcadeError> {
     sweep_strategies(&strategies::paper_strategies(), exec, |spec| {
-        let mut availability = [0.0; 2];
+        let mut availability = [f64::NAN; 2];
         for (i, line) in Line::both().into_iter().enumerate() {
+            if !lines.contains(&line) {
+                continue;
+            }
             let model = facility::line_model(line, spec)?;
             let analysis = compiled_analysis(&model, exec)?;
             availability[i] = analysis.steady_state_availability()?;
         }
+        let combined = if availability.iter().all(|a| a.is_finite()) {
+            crate::combined_availability(availability[0], availability[1])
+        } else {
+            f64::NAN
+        };
         Ok(Table2Row {
             strategy: spec.label.clone(),
             line1: availability[0],
             line2: availability[1],
-            combined: crate::combined_availability(availability[0], availability[1]),
+            combined,
         })
     })
 }
@@ -322,8 +385,21 @@ pub fn fig3_reliability(times: &[f64]) -> Result<Figure, ArcadeError> {
 ///
 /// Propagates composition and transient solver errors.
 pub fn fig3_reliability_with(times: &[f64], exec: ExecOptions) -> Result<Figure, ArcadeError> {
-    let lines = Line::both();
-    let series = exec::map_ordered(&lines, exec, |&line| {
+    fig3_reliability_lines_with(&Line::both(), times, exec)
+}
+
+/// [`fig3_reliability`] restricted to a selection of lines (the CLI `--line`
+/// flag): one reliability curve per selected line.
+///
+/// # Errors
+///
+/// Propagates composition and transient solver errors.
+pub fn fig3_reliability_lines_with(
+    lines: &[Line],
+    times: &[f64],
+    exec: ExecOptions,
+) -> Result<Figure, ArcadeError> {
+    let series = exec::map_ordered(lines, exec, |&line| {
         let model = facility::line_model(line, &strategies::dedicated())?;
         let analysis = compiled_analysis(&model, exec)?;
         let points = analysis.reliability_curve(times)?;
@@ -587,6 +663,221 @@ pub fn fig10_11_cost_line2_with(
     Ok((fig10, fig11))
 }
 
+/// The strategy pairs evaluated by the facility experiments: each paper
+/// strategy paired with itself (Line 1 and Line 2 running the same repair
+/// policy), matching the paper's per-strategy facility rows.
+pub fn paired_strategies() -> Vec<(StrategySpec, StrategySpec)> {
+    strategies::paper_strategies()
+        .into_iter()
+        .map(|spec| (spec.clone(), spec))
+        .collect()
+}
+
+/// Label of a strategy pair (`DED×DED`, `FRF-1×FRF-1`, ...).
+pub fn pair_label(pair: &(StrategySpec, StrategySpec)) -> String {
+    format!("{}×{}", pair.0.label, pair.1.label)
+}
+
+/// Reproduces the **two-line facility table**: for every strategy pair, the
+/// per-line availabilities, the combined availability via the paper's
+/// `A = A1 + A2 − A1·A2`, and the same quantity solved on the **genuine
+/// joint chain** — the materialised Line 1 × Line 2 product of the per-line
+/// quotients (449 × 257 blocks for FRF-1 × FRF-1). The `difference` column
+/// is the validation gap; the `residual` column is the matrix-free
+/// Kronecker-sum balance certificate of the joint stationary vector.
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn table_facility() -> Result<Vec<TableFacilityRow>, ArcadeError> {
+    table_facility_with(&paired_strategies(), ExecOptions::default())
+}
+
+/// [`table_facility`] for explicit strategy pairs on an explicit worker pool
+/// (pairs swept across workers; each joint materialisation additionally
+/// shards internally).
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn table_facility_with(
+    pairs: &[(StrategySpec, StrategySpec)],
+    exec: ExecOptions,
+) -> Result<Vec<TableFacilityRow>, ArcadeError> {
+    exec::map_ordered(pairs, exec, |pair| {
+        let model = facility::facility_model(&pair.0, &pair.1)?;
+        let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
+        let line1 = analysis.line_availability(0)?;
+        let line2 = analysis.line_availability(1)?;
+        let combined = analysis.steady_state_availability()?;
+        let joint = analysis.joint_steady_state_availability()?;
+        Ok(TableFacilityRow {
+            pair: pair_label(pair),
+            line1,
+            line2,
+            combined,
+            joint: joint.availability,
+            difference: (combined - joint.availability).abs(),
+            joint_blocks: joint.joint_states,
+            residual: joint.residual,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Joint facility recovery after the cross-line all-pumps disaster: for each
+/// strategy pair, the probability that the facility again delivers **full
+/// service on at least one line** (and, in the second figure, **basic
+/// service**, X1 = 1/3) within the deadline. Evaluated on the materialised
+/// Line 1 × Line 2 product — the construction that stays exact although the
+/// disaster couples the lines' start state.
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn facility_recovery(times: &[f64]) -> Result<(Figure, Figure), ArcadeError> {
+    facility_recovery_with(times, &paired_strategies(), ExecOptions::default())
+}
+
+/// [`facility_recovery`] for explicit pairs on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn facility_recovery_with(
+    times: &[f64],
+    pairs: &[(StrategySpec, StrategySpec)],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let series = exec::map_ordered(pairs, exec, |pair| {
+        let model = facility::facility_model(&pair.0, &pair.1)?;
+        let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
+        Ok::<_, ArcadeError>((
+            Series {
+                label: pair_label(pair),
+                points: analysis.survivability_curve(FACILITY_DISASTER_ALL_PUMPS, 1.0, times)?,
+            },
+            Series {
+                label: pair_label(pair),
+                points: analysis.survivability_curve(
+                    FACILITY_DISASTER_ALL_PUMPS,
+                    service_levels::LINE1_X1,
+                    times,
+                )?,
+            },
+        ))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    let (full, basic): (Vec<Series>, Vec<Series>) = series.into_iter().unzip();
+    let fig_full = Figure {
+        id: "fig-facility-full".to_string(),
+        title: "Facility recovery to full service, all pumps failed".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: full,
+    };
+    let fig_basic = Figure {
+        id: "fig-facility-basic".to_string(),
+        title: "Facility recovery to basic service (X1), all pumps failed".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Probability (S)".to_string(),
+        series: basic,
+    };
+    Ok((fig_full, fig_basic))
+}
+
+/// Joint facility repair cost after the cross-line all-pumps disaster:
+/// instantaneous cost rate and accumulated cost on the materialised product,
+/// with the per-line cost rewards summed (costs of independent subsystems
+/// add).
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn facility_cost(
+    instantaneous_times: &[f64],
+    accumulated_times: &[f64],
+) -> Result<(Figure, Figure), ArcadeError> {
+    facility_cost_with(
+        instantaneous_times,
+        accumulated_times,
+        &paired_strategies(),
+        ExecOptions::default(),
+    )
+}
+
+/// [`facility_cost`] for explicit pairs on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn facility_cost_with(
+    instantaneous_times: &[f64],
+    accumulated_times: &[f64],
+    pairs: &[(StrategySpec, StrategySpec)],
+    exec: ExecOptions,
+) -> Result<(Figure, Figure), ArcadeError> {
+    let series = exec::map_ordered(pairs, exec, |pair| {
+        let model = facility::facility_model(&pair.0, &pair.1)?;
+        let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
+        Ok::<_, ArcadeError>((
+            Series {
+                label: pair_label(pair),
+                points: analysis.instantaneous_cost_curve(
+                    Some(FACILITY_DISASTER_ALL_PUMPS),
+                    instantaneous_times,
+                )?,
+            },
+            Series {
+                label: pair_label(pair),
+                points: analysis
+                    .accumulated_cost_curve(Some(FACILITY_DISASTER_ALL_PUMPS), accumulated_times)?,
+            },
+        ))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    let (inst, acc): (Vec<Series>, Vec<Series>) = series.into_iter().unzip();
+    let fig_inst = Figure {
+        id: "fig-facility-inst-cost".to_string(),
+        title: "Instantaneous facility cost, all pumps failed".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Impuls Costs (I)".to_string(),
+        series: inst,
+    };
+    let fig_acc = Figure {
+        id: "fig-facility-acc-cost".to_string(),
+        title: "Accumulated facility cost, all pumps failed".to_string(),
+        x_label: "t in hours".to_string(),
+        y_label: "Cumulative costs (I)".to_string(),
+        series: acc,
+    };
+    Ok((fig_inst, fig_acc))
+}
+
+/// Renders facility table rows as a plain-text table.
+pub fn format_table_facility(rows: &[TableFacilityRow]) -> String {
+    let mut out = String::from(
+        "Pair           Line 1      Line 2      A1+A2-A1A2  Joint chain  |diff|     Blocks      Residual\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<14} {:<11.7} {:<11.7} {:<11.7} {:<12.7} {:<10.2e} {:<11} {:.2e}\n",
+            row.pair,
+            row.line1,
+            row.line2,
+            row.combined,
+            row.joint,
+            row.difference,
+            row.joint_blocks,
+            row.residual,
+        ));
+    }
+    out
+}
+
 /// Renders Table 1 rows as a plain-text table. The lumped columns show the
 /// quotient sizes after exact lumping (`-` where not computed, e.g. in the
 /// paper-reference rows).
@@ -611,13 +902,24 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     out
 }
 
-/// Renders Table 2 rows as a plain-text table.
+/// Renders Table 2 rows as a plain-text table. Columns of lines excluded by
+/// the `--line` selection (NaN) are rendered as `-`.
 pub fn format_table2(rows: &[Table2Row]) -> String {
+    let or_dash = |value: f64| {
+        if value.is_finite() {
+            format!("{value:<11.7}")
+        } else {
+            format!("{:<11}", "-")
+        }
+    };
     let mut out = String::from("Strategy  Line 1      Line 2      Combined\n");
     for row in rows {
         out.push_str(&format!(
-            "{:<9} {:<11.7} {:<11.7} {:.7}\n",
-            row.strategy, row.line1, row.line2, row.combined
+            "{:<9} {} {} {}\n",
+            row.strategy,
+            or_dash(row.line1),
+            or_dash(row.line2),
+            or_dash(row.combined).trim_end()
         ));
     }
     out
@@ -772,6 +1074,75 @@ mod tests {
             .lumping()
             .verify(compiled.chain(), 1e-12)
             .expect("the canonical chain is stably partitioned");
+    }
+
+    #[test]
+    fn table_facility_dedicated_pair_validates_the_combined_formula() {
+        // The DED×DED facility is the cheapest pair (160 × 96 joint blocks);
+        // the full pair set is covered by the integration tests and the
+        // facility bench. The product-form availability must match the
+        // genuine joint chain to 1e-9 and reproduce the paper's 0.9536063.
+        let pairs = [(strategies::dedicated(), strategies::dedicated())];
+        let rows = table_facility_with(&pairs, ExecOptions::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.pair, "DED×DED");
+        assert_eq!(row.joint_blocks, 160 * 96);
+        assert!(row.difference <= 1e-9, "gap {}", row.difference);
+        assert!(row.residual < 1e-9, "residual {}", row.residual);
+        assert!((row.combined - 0.9536063).abs() < 5e-6, "{}", row.combined);
+        assert!((row.combined - crate::combined_availability(row.line1, row.line2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facility_recovery_curves_start_at_zero_and_grow() {
+        let pairs = [(strategies::dedicated(), strategies::dedicated())];
+        let times = [0.0, 1.0, 2.0];
+        let (full, basic) = facility_recovery_with(&times, &pairs, ExecOptions::default()).unwrap();
+        assert_eq!(full.series.len(), 1);
+        let curve = &full.series[0].points;
+        assert_eq!(curve[0].1, 0.0, "all pumps failed at t = 0");
+        assert!(curve[1].1 < curve[2].1, "recovery probability grows");
+        // Basic service (X1) is reached no later than full service.
+        for (f, b) in curve.iter().zip(basic.series[0].points.iter()) {
+            assert!(b.1 >= f.1 - 1e-12);
+        }
+
+        let (inst, acc) =
+            facility_cost_with(&times, &times, &pairs, ExecOptions::default()).unwrap();
+        // Seven failed pumps at 3/h each dominate the initial cost rate.
+        assert!(inst.series[0].points[0].1 > 21.0 - 1e-9);
+        assert_eq!(acc.series[0].points[0].1, 0.0);
+        assert!(acc.series[0].points[2].1 > acc.series[0].points[1].1);
+    }
+
+    #[test]
+    fn paired_strategies_cover_the_paper_set() {
+        let pairs = paired_strategies();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pair_label(&pairs[0]), "DED×DED");
+        assert_eq!(pair_label(&pairs[1]), "FRF-1×FRF-1");
+        assert!(pairs.iter().all(|(a, b)| a.label == b.label));
+    }
+
+    #[test]
+    fn line_selection_restricts_tables_and_figures() {
+        let line2_only = table2_lines_with(&[Line::Line2], ExecOptions::default()).unwrap();
+        assert!(line2_only.iter().all(|row| row.line1.is_nan()));
+        assert!(line2_only.iter().all(|row| row.line2.is_finite()));
+        assert!(line2_only.iter().all(|row| row.combined.is_nan()));
+        let text = format_table2(&line2_only);
+        assert!(text.contains('-'), "NaN columns render as dashes");
+
+        let rows = table1_lines_with(&[Line::Line2], ExecOptions::default()).unwrap();
+        assert!(rows.iter().all(|row| row.line == Line::Line2));
+        assert_eq!(rows.len(), 5);
+
+        let fig =
+            fig3_reliability_lines_with(&[Line::Line1], &[0.0, 100.0], ExecOptions::default())
+                .unwrap();
+        assert_eq!(fig.series.len(), 1);
+        assert!(fig.series[0].label.contains("line 1"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The water-treatment facility model (Fig. 2 of the paper).
 
-use arcade_core::{ArcadeModel, BasicComponent, Disaster, RepairUnit};
+use arcade_core::{
+    ArcadeModel, BasicComponent, Disaster, FacilityDisaster, FacilityModel, RepairUnit,
+};
 use fault_tree::{StructureNode, SystemStructure};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +35,12 @@ pub const DISASTER_ALL_PUMPS: &str = "disaster-1-all-pumps";
 /// Name of the Line 2 multi-component disaster (Disaster 2 of the paper):
 /// two pumps, one softener, one sand filter and the reservoir have failed.
 pub const DISASTER_LINE2_MIXED: &str = "disaster-2-mixed";
+/// Name of the facility-wide cross-line disaster: every pump of *both* lines
+/// has failed. The dynamics stay independent (each line keeps its own repair
+/// unit), so the facility chain is still the Line 1 × Line 2 product, but the
+/// scalar `A1 + A2 − A1·A2`-style shortcuts do not apply to measures started
+/// from this state — they are evaluated on the materialised product.
+pub const FACILITY_DISASTER_ALL_PUMPS: &str = "facility-all-pumps";
 
 /// One of the two independent process lines of the facility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -86,6 +94,17 @@ impl Line {
     /// Both lines, in the order used by the paper's tables.
     pub fn both() -> [Line; 2] {
         [Line::Line1, Line::Line2]
+    }
+
+    /// Parses a `--line` CLI argument: `1`/`line1`, `2`/`line2` select one
+    /// line, `both` selects [`Line::both`]. Returns `None` for anything else.
+    pub fn from_arg(arg: &str) -> Option<Vec<Line>> {
+        match arg.to_lowercase().as_str() {
+            "1" | "line1" => Some(vec![Line::Line1]),
+            "2" | "line2" => Some(vec![Line::Line2]),
+            "both" | "all" => Some(Line::both().to_vec()),
+            _ => None,
+        }
     }
 }
 
@@ -223,6 +242,37 @@ pub fn line_model(
     builder.build()
 }
 
+/// Builds the whole water-treatment facility: both process lines (each under
+/// its own repair strategy) plus the facility-wide all-pumps disaster.
+///
+/// The per-line repair units carry line-qualified names (`line1-ru`,
+/// `line2-ru`), so the composition tree detects two independent lines and the
+/// facility chain is the pure Line 1 × Line 2 product of the per-line
+/// quotients — 449 × 257 blocks under FRF-1 × FRF-1.
+///
+/// # Errors
+///
+/// Propagates model-validation errors (none are expected for the fixed
+/// facility description).
+pub fn facility_model(
+    line1: &StrategySpec,
+    line2: &StrategySpec,
+) -> Result<FacilityModel, arcade_core::ArcadeError> {
+    let mut all_pumps: Vec<(String, String)> = Vec::new();
+    for line in Line::both() {
+        let (_, _, _, pumps) = component_names(line);
+        all_pumps.extend(pumps.into_iter().map(|p| (line.id().to_string(), p)));
+    }
+    FacilityModel::builder("water-treatment-facility")
+        .line(Line::Line1.id(), line_model(Line::Line1, line1)?)
+        .line(Line::Line2.id(), line_model(Line::Line2, line2)?)
+        .disaster(FacilityDisaster::new(
+            FACILITY_DISASTER_ALL_PUMPS,
+            all_pumps,
+        ))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +354,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn line_arguments_parse() {
+        assert_eq!(Line::from_arg("1"), Some(vec![Line::Line1]));
+        assert_eq!(Line::from_arg("LINE2"), Some(vec![Line::Line2]));
+        assert_eq!(Line::from_arg("both"), Some(Line::both().to_vec()));
+        assert_eq!(Line::from_arg("3"), None);
+    }
+
+    #[test]
+    fn facility_composes_two_independent_lines() {
+        let facility = facility_model(&strategies::dedicated(), &strategies::frf(1)).unwrap();
+        assert_eq!(facility.lines().len(), 2);
+        assert_eq!(facility.line_index("line1"), Some(0));
+        let tree = facility.composition_tree();
+        assert_eq!(tree.groups.len(), 2, "per-line units must not couple");
+        assert!(tree.groups.iter().all(|g| !g.is_joint()));
+        // The all-pumps disaster spans both lines: 4 + 3 pumps.
+        let disaster = facility.disaster(FACILITY_DISASTER_ALL_PUMPS).unwrap();
+        assert_eq!(disaster.components().len(), 7);
+        assert!(disaster.is_cross_line());
+        assert_eq!(
+            tree.cross_line_disasters,
+            vec![FACILITY_DISASTER_ALL_PUMPS.to_string()]
+        );
     }
 
     #[test]

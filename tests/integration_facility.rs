@@ -1,0 +1,209 @@
+//! End-to-end checks of the two-line facility product pipeline.
+//!
+//! * pinned joint block counts for **all** strategy pairs (the product of the
+//!   pinned per-line quotient sizes, e.g. FRF-1 × FRF-1 = 449 × 257);
+//! * `table_facility` validating the paper's `A = A1 + A2 − A1·A2` against
+//!   the genuine joint chain to ≤ 1e-9 for several strategy pairs;
+//! * the flagship FRF-1 × FRF-1 product solved end to end through the
+//!   sharded exec path with bit-identical results at 1/2/4/8 threads;
+//! * the joint-exploration fallback when two lines share a repair unit.
+
+use arcade_core::{ComposerOptions, ExecOptions, FacilityAnalysis, FacilityModel};
+use watertreatment::experiments::{self, TableFacilityRow};
+use watertreatment::{facility, strategies, StrategySpec};
+
+fn exec_options(threads: usize) -> ComposerOptions {
+    ComposerOptions {
+        exec: ExecOptions::with_threads(threads),
+        ..ComposerOptions::default()
+    }
+}
+
+/// The pinned per-line quotient sizes (canonical compositional counts, which
+/// the final exact pass confirms as the coarsest quotients).
+fn quotient_blocks(spec: &StrategySpec) -> (usize, usize) {
+    match spec.label.as_str() {
+        "DED" => (160, 96),
+        "FRF-1" | "FFF-1" => (449, 257),
+        "FRF-2" | "FFF-2" => (727, 387),
+        other => panic!("no pinned counts for {other}"),
+    }
+}
+
+/// Joint block counts for all 25 strategy pairs equal the product of the
+/// per-line quotient sizes — the facility layer composes the quotients, not
+/// the flat chains.
+#[test]
+fn joint_block_counts_are_pinned_for_all_strategy_pairs() {
+    // Compile each line once per strategy and read the solver-chain sizes
+    // through the facility stats, then check every pairing.
+    let specs = strategies::paper_strategies();
+    for spec1 in &specs {
+        for spec2 in &specs {
+            let model = facility::facility_model(spec1, spec2).expect("facility builds");
+            let analysis = FacilityAnalysis::new(&model).expect("facility compiles");
+            let stats = analysis.stats();
+            let (line1_expected, _) = quotient_blocks(spec1);
+            let (_, line2_expected) = quotient_blocks(spec2);
+            assert_eq!(
+                stats.lines[0].stats.lumped_states,
+                Some(line1_expected),
+                "line 1 quotient for {}×{}",
+                spec1.label,
+                spec2.label
+            );
+            assert_eq!(
+                stats.lines[1].stats.lumped_states,
+                Some(line2_expected),
+                "line 2 quotient for {}×{}",
+                spec1.label,
+                spec2.label
+            );
+            assert_eq!(
+                stats.joint_blocks,
+                line1_expected * line2_expected,
+                "joint product for {}×{}",
+                spec1.label,
+                spec2.label
+            );
+            assert!(stats.lines.iter().all(|l| !l.jointly_explored));
+        }
+    }
+}
+
+/// `table_facility`: the combined-availability formula is validated against
+/// the genuine joint chain to ≤ 1e-9 for three cheap strategy pairs (the
+/// flagship FRF-1 × FRF-1 pair has its own test below; the full five-pair
+/// table runs in the `facility_product` bench and the `wt_experiments
+/// facility` command).
+#[test]
+fn table_facility_validates_the_combined_availability_formula() {
+    let pairs = [
+        (strategies::dedicated(), strategies::dedicated()),
+        (strategies::dedicated(), strategies::frf(1)),
+        (strategies::fff(1), strategies::dedicated()),
+    ];
+    let rows = experiments::table_facility_with(&pairs, ExecOptions::default()).unwrap();
+    assert_eq!(rows.len(), 3);
+    let expected_blocks = [160 * 96, 160 * 257, 449 * 96];
+    for (row, &blocks) in rows.iter().zip(expected_blocks.iter()) {
+        assert_eq!(row.joint_blocks, blocks, "{}", row.pair);
+        assert!(
+            row.difference <= 1e-9,
+            "{}: formula vs joint gap {}",
+            row.pair,
+            row.difference
+        );
+        assert!(
+            row.residual < 1e-9,
+            "{}: residual {}",
+            row.pair,
+            row.residual
+        );
+        assert!(
+            (row.combined - watertreatment::combined_availability(row.line1, row.line2)).abs()
+                < 1e-12
+        );
+    }
+    // DED×DED reproduces the paper's Table 2 combined column.
+    assert!(
+        (rows[0].combined - 0.9536063).abs() < 5e-6,
+        "{}",
+        rows[0].combined
+    );
+}
+
+/// The flagship acceptance case: the FRF-1 × FRF-1 facility product
+/// (449 × 257 = 115,393 blocks) solves end to end through the sharded exec
+/// path with **bit-identical** results at 1, 2, 4 and 8 threads, and the
+/// joint-chain availability agrees with `A1 + A2 − A1·A2` to ≤ 1e-9.
+#[test]
+fn frf1_pair_product_is_bit_identical_across_thread_counts() {
+    let mut reference: Option<(TableFacilityRow, Vec<(f64, f64)>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ExecOptions::with_threads(threads);
+        let model = facility::facility_model(&strategies::frf(1), &strategies::frf(1))
+            .expect("facility builds");
+        let analysis =
+            FacilityAnalysis::with_options(&model, exec_options(threads)).expect("compiles");
+        let stats = analysis.stats();
+        assert_eq!(stats.joint_blocks, 449 * 257, "{threads} threads");
+
+        let rows =
+            experiments::table_facility_with(&[(strategies::frf(1), strategies::frf(1))], exec)
+                .unwrap();
+        let row = rows.into_iter().next().unwrap();
+        assert_eq!(row.joint_blocks, 115_393);
+        assert!(
+            row.difference <= 1e-9,
+            "{threads} threads: {}",
+            row.difference
+        );
+
+        // A short facility recovery curve after the cross-line disaster
+        // exercises the materialised product transiently as well.
+        let curve = analysis
+            .survivability_curve(facility::FACILITY_DISASTER_ALL_PUMPS, 1.0, &[0.5, 1.5])
+            .unwrap();
+
+        match &reference {
+            None => reference = Some((row, curve)),
+            Some((reference_row, reference_curve)) => {
+                // Bit-identical: the composition, materialisation and solves
+                // must not depend on the thread count at all.
+                assert!(
+                    reference_row.joint.to_bits() == row.joint.to_bits()
+                        && reference_row.combined.to_bits() == row.combined.to_bits()
+                        && reference_row.line1.to_bits() == row.line1.to_bits()
+                        && reference_row.line2.to_bits() == row.line2.to_bits(),
+                    "steady-state results differ at {threads} threads"
+                );
+                for ((t1, v1), (t2, v2)) in reference_curve.iter().zip(curve.iter()) {
+                    assert_eq!(t1, t2);
+                    assert!(
+                        v1.to_bits() == v2.to_bits(),
+                        "recovery curve differs at {threads} threads: {v1} vs {v2}"
+                    );
+                }
+            }
+        }
+    }
+    let (row, _) = reference.unwrap();
+    assert!((row.combined - 0.9470773).abs() < 5e-4, "{}", row.combined);
+}
+
+/// Sharing one repair unit across the two lines must break the pure product:
+/// the composition tree collapses to a single jointly-explored group.
+#[test]
+fn shared_repair_unit_disables_the_pure_product() {
+    // Both lines are Line 2 instances whose repair unit carries the same
+    // name, i.e. one physical crew pool for the whole facility.
+    let spec = strategies::dedicated();
+    let line = facility::line_model(watertreatment::Line::Line2, &spec).unwrap();
+    let facility_model = FacilityModel::builder("one-crew-pool")
+        .line("north", line.clone())
+        .line("south", line)
+        .build()
+        .unwrap();
+    let tree = facility_model.composition_tree();
+    assert_eq!(tree.groups.len(), 1);
+    assert!(tree.groups[0].is_joint());
+    assert_eq!(tree.groups[0].shared_units, vec!["line2-ru".to_string()]);
+
+    let analysis = FacilityAnalysis::new(&facility_model).expect("joint group compiles");
+    let stats = analysis.stats();
+    assert!(stats.lines.iter().all(|l| l.jointly_explored));
+    // The merged group composes both lines' families in one namespace: its
+    // canonical exploration is bounded by the product of the per-line
+    // sub-chain bounds (96 × 96 under dedicated repair).
+    assert_eq!(stats.lines[0].stats.num_states, 96 * 96);
+    // Dedicated repair keeps the lines effectively independent even when the
+    // unit is shared (one crew per component either way), so the genuine
+    // joint availability still matches the independent formula — the point
+    // is that the engine *proved* it by joint exploration instead of
+    // assuming it.
+    let joint = analysis.joint_steady_state_availability().unwrap();
+    let a = analysis.line_availability(0).unwrap();
+    let b = analysis.line_availability(1).unwrap();
+    assert!((joint.availability - (a + b - a * b)).abs() <= 1e-9);
+}
