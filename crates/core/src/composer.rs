@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::disaster::Disaster;
 use crate::error::ArcadeError;
-use crate::families::{detect_families, ComponentFamily};
+use crate::families::{detect_families, detect_subtree_families, ComponentFamily, SubtreeFamily};
 use crate::model::ArcadeModel;
 use crate::repair::RepairStrategy;
 use crate::state::{ComponentIndex, ComponentStatus, GlobalState, QueueEncoding};
@@ -116,7 +116,22 @@ pub struct StateSpaceStats {
     /// Queue interleavings between families with *equal* dispatch priorities
     /// (FCFS) can exceed this status-multiset bound; for strategies with
     /// distinct priorities (DED, FRF, FFF on the paper's models) it holds.
+    /// Isomorphic-subtree orbits only shrink the exploration further, so the
+    /// bound stays valid in their presence.
     pub subchain_state_bound: Option<usize>,
+    /// Isomorphic-subtree orbit families exploited by the canonical frontier
+    /// (groups of ≥ 2 isomorphic sibling subtrees beyond single leaves);
+    /// empty unless compositional. Each entry lists the aligned member names
+    /// of every subtree in the group.
+    #[serde(default)]
+    pub subtree_orbits: Vec<SubtreeOrbitStats>,
+}
+
+/// One isomorphic-subtree orbit group of [`StateSpaceStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubtreeOrbitStats {
+    /// The leaf names of each isomorphic subtree, aligned canonical order.
+    pub blocks: Vec<Vec<String>>,
 }
 
 /// The local reduction of one interchangeable-component family's sub-chain.
@@ -158,6 +173,7 @@ pub struct CompiledModel {
     smu_spares: Vec<Vec<ComponentIndex>>,
     index_of_state: HashMap<GlobalState, usize>,
     families: Vec<ComponentFamily>,
+    subtree_families: Vec<SubtreeFamily>,
     lumped: Option<LumpedModel>,
 }
 
@@ -245,7 +261,7 @@ impl LumpedModel {
 /// Mask of entries whose service level is at least `threshold`, with the
 /// shared boundary tolerance — kept in one place so the flat and the lumped
 /// goal sets can never diverge on a service-level boundary.
-fn service_at_least(levels: &[f64], threshold: f64) -> Vec<bool> {
+pub(crate) fn service_at_least(levels: &[f64], threshold: f64) -> Vec<bool> {
     levels.iter().map(|&l| l >= threshold - 1e-12).collect()
 }
 
@@ -353,6 +369,25 @@ impl CompiledModel {
                 .iter()
                 .fold(1usize, |acc, s| acc.saturating_mul(s.local_blocks))
         });
+        let subtree_orbits = if compositional {
+            self.subtree_families
+                .iter()
+                .map(|family| SubtreeOrbitStats {
+                    blocks: family
+                        .blocks
+                        .iter()
+                        .map(|block| {
+                            block
+                                .iter()
+                                .map(|&c| self.component_names[c].clone())
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         StateSpaceStats {
             num_states: self.chain.num_states(),
             num_transitions: self.chain.num_transitions(),
@@ -360,6 +395,7 @@ impl CompiledModel {
             lumped_transitions: self.lumped.as_ref().map(|l| l.quotient().num_transitions()),
             subchains,
             subchain_state_bound,
+            subtree_orbits,
         }
     }
 
@@ -387,6 +423,12 @@ impl CompiledModel {
     /// definition order of their smallest member; singleton families included.
     pub fn families(&self) -> &[ComponentFamily] {
         &self.families
+    }
+
+    /// The isomorphic-subtree orbit families of the model (deepest first),
+    /// exploited by the canonical frontier beyond the sibling-leaf families.
+    pub fn subtree_families(&self) -> &[SubtreeFamily] {
+        &self.subtree_families
     }
 
     /// The quantitative service level of every state.
@@ -521,7 +563,12 @@ impl CompiledModel {
             }
         }
         if self.options.lumping == LumpingMode::Compositional {
-            canonicalize_state(&mut state, &self.families, &self.component_ru);
+            canonicalize_state(
+                &mut state,
+                &self.families,
+                &self.subtree_families,
+                &self.component_ru,
+            );
         }
         Ok(state)
     }
@@ -553,6 +600,7 @@ struct Composer<'a> {
     smu_primaries: Vec<Vec<ComponentIndex>>,
     smu_spares: Vec<Vec<ComponentIndex>>,
     families: Vec<ComponentFamily>,
+    subtree_families: Vec<SubtreeFamily>,
 }
 
 impl<'a> Composer<'a> {
@@ -656,6 +704,7 @@ impl<'a> Composer<'a> {
             smu_primaries,
             smu_spares,
             families: detect_families(model),
+            subtree_families: detect_subtree_families(model),
         })
     }
 
@@ -806,14 +855,21 @@ impl<'a> Composer<'a> {
 
         // Under compositional lumping the frontier runs over canonical orbit
         // representatives: every generated state is first mapped to its
-        // family-wise canonical form, so the flat product is never stored and
+        // family-wise canonical form (sibling-leaf families and whole
+        // isomorphic-subtree blocks), so the flat product is never stored and
         // parallel events whose targets share an orbit aggregate their rates.
         let compositional = self.options.lumping == LumpingMode::Compositional
-            && self.families.iter().any(|f| !f.is_singleton());
+            && (self.families.iter().any(|f| !f.is_singleton())
+                || !self.subtree_families.is_empty());
 
         let mut initial = self.initial_state();
         if compositional {
-            canonicalize_state(&mut initial, &self.families, &self.component_ru);
+            canonicalize_state(
+                &mut initial,
+                &self.families,
+                &self.subtree_families,
+                &self.component_ru,
+            );
         }
 
         let frontier = Frontier::explore(&self, compositional, initial)?;
@@ -891,6 +947,7 @@ impl<'a> Composer<'a> {
             smu_spares: self.smu_spares,
             index_of_state: index_of,
             families: self.families,
+            subtree_families: self.subtree_families,
             lumped: None,
         })
     }
@@ -988,6 +1045,7 @@ impl Frontier {
                                 canonicalize_state(
                                     &mut target,
                                     &composer.families,
+                                    &composer.subtree_families,
                                     &composer.component_ru,
                                 );
                             }
@@ -1113,18 +1171,27 @@ fn stripe_of(state: &GlobalState) -> usize {
 }
 
 /// Maps a global state to the canonical representative of its orbit under the
-/// permutation group of the interchangeable-component families.
+/// permutation group of the interchangeable-component families **and** the
+/// isomorphic-subtree families.
 ///
-/// Within each family the members' roles — status plus (for waiting
+/// Within each leaf family the members' roles — status plus (for waiting
 /// components) the slot held in the repair unit's queue — are sorted into a
 /// canonical order and reassigned to the members in definition order; queue
 /// slots move along with the roles. Because family members share all rates,
 /// costs and dispatch priorities and sit under the same symmetric structure
 /// gate, this relabelling is a chain automorphism: canonical states compose to
 /// exactly the product of the per-family sub-chain quotients.
+///
+/// Subtree families are then canonicalised deepest-first by sorting whole
+/// blocks — each block's aligned role *vector* moves as a unit, statuses and
+/// queue slots together. Leaf sorting before block sorting keeps every
+/// block's role vector canonical under its internal symmetry, so the
+/// resulting state is the unique representative of its orbit under the full
+/// wreath-product group (a multiset of multisets, sorted inside-out).
 fn canonicalize_state(
     state: &mut GlobalState,
     families: &[ComponentFamily],
+    subtree_families: &[SubtreeFamily],
     component_ru: &[Option<usize>],
 ) {
     for family in families {
@@ -1149,6 +1216,39 @@ fn canonicalize_state(
             if queue_slot != usize::MAX {
                 if let Some(r) = ru {
                     state.queues[r][queue_slot] = member;
+                }
+            }
+        }
+    }
+    // Subtree families, deepest first (the detector's order): sort the
+    // blocks by their aligned role vectors and move each vector — statuses
+    // plus queue slots — to the block now holding its rank.
+    for family in subtree_families {
+        let roles: Vec<Vec<(u8, usize)>> = family
+            .blocks
+            .iter()
+            .map(|block| {
+                block
+                    .iter()
+                    .map(|&leaf| {
+                        let queue_slot = component_ru[leaf]
+                            .and_then(|r| state.queues[r].iter().position(|&x| x == leaf))
+                            .unwrap_or(usize::MAX);
+                        (status_rank(state.statuses[leaf]), queue_slot)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..family.blocks.len()).collect();
+        order.sort_by(|&a, &b| roles[a].cmp(&roles[b]).then(a.cmp(&b)));
+        for (target, &source) in order.iter().enumerate() {
+            for (leaf_slot, &(rank, queue_slot)) in roles[source].iter().enumerate() {
+                let leaf = family.blocks[target][leaf_slot];
+                state.statuses[leaf] = status_from_rank(rank);
+                if queue_slot != usize::MAX {
+                    if let Some(r) = component_ru[leaf] {
+                        state.queues[r][queue_slot] = leaf;
+                    }
                 }
             }
         }
@@ -1602,6 +1702,84 @@ mod tests {
         // member and the under-repair role to the second.
         assert_eq!(state.statuses[0], ComponentStatus::WaitingForRepair);
         assert_eq!(state.statuses[1], ComponentStatus::UnderRepair);
+    }
+
+    #[test]
+    fn subtree_orbits_fold_twin_redundant_groups() {
+        // series( redundant(a, b), redundant(c, d) ), all four components
+        // identical behind one FCFS crew: besides the two leaf families the
+        // canonical frontier may swap the whole groups. The flat chain
+        // distinguishes which group holds which role multiset; the canonical
+        // chain only keeps the sorted pair of group roles.
+        let structure = SystemStructure::new(StructureNode::series(vec![
+            StructureNode::redundant(vec![
+                StructureNode::component("a"),
+                StructureNode::component("b"),
+            ]),
+            StructureNode::redundant(vec![
+                StructureNode::component("c"),
+                StructureNode::component("d"),
+            ]),
+        ]));
+        let model = ArcadeModel::builder("twins", structure)
+            .components(
+                ["a", "b", "c", "d"]
+                    .map(|n| BasicComponent::from_mttf_mttr(n, 100.0, 2.0).unwrap()),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["a", "b", "c", "d"])
+                    .with_idle_cost(1.0),
+            )
+            .build()
+            .unwrap();
+
+        let flat = CompiledModel::compile_with(
+            &model,
+            ComposerOptions {
+                lumping: LumpingMode::Disabled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let compositional = CompiledModel::compile(&model).unwrap();
+        let stats = compositional.stats();
+        assert!(
+            stats.num_states < flat.stats().num_states,
+            "orbit frontier must beat the flat chain: {} vs {}",
+            stats.num_states,
+            flat.stats().num_states
+        );
+        assert_eq!(stats.subtree_orbits.len(), 1);
+        assert_eq!(
+            stats.subtree_orbits[0].blocks,
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["c".to_string(), "d".to_string()]
+            ]
+        );
+        // The canonical chain is exactly the coarsest quotient: the final
+        // exact pass finds nothing left to merge.
+        assert_eq!(stats.lumped_states, Some(stats.num_states));
+        // Availability agrees with the flat chain (the orbit is exact).
+        let flat_pi = ctmc::SteadyStateSolver::new(flat.chain()).solve().unwrap();
+        let orbit_pi = ctmc::SteadyStateSolver::new(compositional.chain())
+            .solve()
+            .unwrap();
+        let up = |mask: &[bool], pi: &[f64]| -> f64 {
+            pi.iter()
+                .zip(mask.iter())
+                .filter(|(_, &m)| m)
+                .map(|(p, _)| p)
+                .sum()
+        };
+        let flat_avail = up(flat.operational_mask(), &flat_pi);
+        let orbit_avail = up(compositional.operational_mask(), &orbit_pi);
+        assert!(
+            (flat_avail - orbit_avail).abs() < 1e-9,
+            "{flat_avail} vs {orbit_avail}"
+        );
     }
 
     #[test]

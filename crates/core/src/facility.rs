@@ -41,13 +41,15 @@
 
 use std::collections::HashMap;
 
-use arcade_lumping::QuotientProduct;
+use arcade_lumping::{lump, InitialPartition, ProductOrbit, QuotientProduct};
+use arcade_symmetry::chain::group_identical_chains;
+use arcade_symmetry::orbit::FactorClasses;
 use ctmc::{
-    Ctmc, ExecOptions, RewardSolver, RewardStructure, SteadyStateSolver, TransientOptions,
-    TransientSolver,
+    Ctmc, ExecOptions, OperatorTransientSolver, RewardSolver, RewardStructure, SteadyStateSolver,
+    TransientOptions, TransientSolver,
 };
 
-use crate::composer::{CompiledModel, ComposerOptions, StateSpaceStats};
+use crate::composer::{service_at_least, CompiledModel, ComposerOptions, StateSpaceStats};
 use crate::disaster::Disaster;
 use crate::error::ArcadeError;
 use crate::measures::{FacilityMeasure, MeasureResult};
@@ -422,6 +424,16 @@ fn merged_group_model(
                 qualified(&line.name, component.name()),
             )?);
         }
+        // The facility evaluates *per-line* masks on the group chain, so the
+        // isomorphic-subtree reduction must never exchange components across
+        // lines — even when the member lines are identical models. One
+        // symmetry guard per line pins that boundary.
+        builder = builder.symmetry_guard(
+            line.model
+                .components()
+                .iter()
+                .map(|component| qualified(&line.name, component.name())),
+        );
     }
 
     // Repair units, merged by name across the member lines.
@@ -574,6 +586,11 @@ pub struct FacilityStats {
     pub joint_blocks: usize,
     /// Number of joint transitions of the Kronecker sum.
     pub joint_transitions: usize,
+    /// Number of sorted-tuple orbit representatives when some groups'
+    /// quotients are interchangeable (identical chains, matched under the
+    /// symmetry engine's presentation code); `None` without factor symmetry.
+    /// Two identical factors of `n` blocks fold to `n(n+1)/2` orbits.
+    pub orbit_blocks: Option<usize>,
 }
 
 /// The statistics of one line within a compiled facility.
@@ -602,10 +619,37 @@ pub struct JointAvailability {
     /// the Kronecker-sum generator: the certificate that the vector is
     /// stationary for the joint chain.
     pub residual: f64,
-    /// Number of joint states solved.
+    /// Number of joint product states (the unreduced tuple count).
     pub joint_states: usize,
-    /// Number of joint transitions.
+    /// Number of joint transitions of the unreduced product.
     pub joint_transitions: usize,
+    /// Number of states of the chain the solver actually ran on: the orbit
+    /// quotient under factor symmetry, the full product otherwise.
+    pub solved_states: usize,
+}
+
+/// The reduction ladder of a facility's joint chain: raw product tuples →
+/// sorted-tuple orbit representatives (factor symmetry) → the solver chain,
+/// together with the exact-lumping minimality certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointReduction {
+    /// Raw product states (`449 × 257` for FRF-1 × FRF-1).
+    pub product_blocks: usize,
+    /// Raw product transitions of the Kronecker sum.
+    pub product_transitions: usize,
+    /// Orbit representatives after folding interchangeable factors; `None`
+    /// without factor symmetry.
+    pub orbit_blocks: Option<usize>,
+    /// States of the chain the joint measures actually solve on (the orbit
+    /// quotient under factor symmetry, the full product otherwise).
+    pub solver_blocks: usize,
+    /// Transitions of that chain.
+    pub solver_transitions: usize,
+    /// Blocks of the coarsest ordinarily-lumpable quotient of the solver
+    /// chain respecting the facility observations — the minimality
+    /// certificate: equality with `solver_blocks` proves no further sound
+    /// reduction exists for these measures.
+    pub exact_blocks: usize,
 }
 
 /// Evaluates facility-level measures: per-line chains composed into the
@@ -620,6 +664,32 @@ pub struct FacilityAnalysis<'a> {
     /// first use and shared by all steady-state measures (the chains are
     /// immutable, so one solve serves them all).
     stationaries: std::sync::OnceLock<Vec<Vec<f64>>>,
+    /// The joint chain, built on first use and shared by every joint
+    /// measure: the quotient product, its sorted-tuple orbit fold (when
+    /// groups are interchangeable), the materialised chain and the facility
+    /// observations on it. Measures no longer re-materialise the product per
+    /// call.
+    joint: std::sync::OnceLock<JointCache>,
+    /// The reduction ladder incl. the exact-lumping minimality certificate
+    /// (a full partition-refinement pass), computed only when asked for.
+    reduction: std::sync::OnceLock<JointReduction>,
+}
+
+/// Everything the joint measures share (see `FacilityAnalysis::joint`).
+#[derive(Debug, Clone)]
+struct JointCache {
+    product: QuotientProduct,
+    /// The factor-symmetry orbit fold; `None` when all groups differ.
+    orbit: Option<ProductOrbit>,
+    /// The materialised chain every joint measure runs on: the orbit
+    /// quotient under factor symmetry, the full product otherwise.
+    chain: Ctmc,
+    /// "At least one line fully operational" on `chain`.
+    any_up: Vec<bool>,
+    /// The facility service level (best level any line delivers) on `chain`.
+    service: Vec<f64>,
+    /// Summed per-group cost rewards on `chain`.
+    cost: RewardStructure,
 }
 
 impl<'a> FacilityAnalysis<'a> {
@@ -707,6 +777,8 @@ impl<'a> FacilityAnalysis<'a> {
             groups,
             options,
             stationaries: std::sync::OnceLock::new(),
+            joint: std::sync::OnceLock::new(),
+            reduction: std::sync::OnceLock::new(),
         })
     }
 
@@ -771,7 +843,25 @@ impl<'a> FacilityAnalysis<'a> {
             lines,
             joint_blocks,
             joint_transitions,
+            orbit_blocks: self
+                .factor_classes()
+                .and_then(|classes| classes.has_symmetry().then(|| classes.num_orbits())),
         }
+    }
+
+    /// The interchangeability classes of the per-group solver chains, or
+    /// `None` for a degenerate (empty) facility.
+    fn factor_classes(&self) -> Option<FactorClasses> {
+        let chains: Vec<&Ctmc> = self
+            .groups
+            .iter()
+            .map(CompiledGroup::solver_chain)
+            .collect();
+        FactorClasses::new(
+            group_identical_chains(&chains),
+            chains.iter().map(|chain| chain.num_states()).collect(),
+        )
+        .ok()
     }
 
     /// The quotient product of the per-group solver chains — the facility
@@ -859,39 +949,165 @@ impl<'a> FacilityAnalysis<'a> {
         Ok(1.0 - none_up_product)
     }
 
-    /// Facility availability from the **genuine joint chain**: the quotient
-    /// product is materialised, its stationary distribution solved (warm
-    /// started from the product form, which changes only the trajectory, and
-    /// certified by the matrix-free Kronecker-sum balance residual), and the
-    /// any-line-operational mass summed. Agreement with
-    /// [`FacilityAnalysis::steady_state_availability`] to solver tolerance is
-    /// the paper's `A1 + A2 − A1·A2` validation.
+    /// The shared joint-chain cache: built on first use, reused by every
+    /// joint measure (availability, survivability, costs, reductions).
+    fn joint(&self) -> Result<&JointCache, ArcadeError> {
+        if let Some(cache) = self.joint.get() {
+            return Ok(cache);
+        }
+        let built = self.build_joint_cache()?;
+        Ok(self.joint.get_or_init(|| built))
+    }
+
+    fn build_joint_cache(&self) -> Result<JointCache, ArcadeError> {
+        let exec = self.exec();
+        let product = self.quotient_product()?;
+
+        // Facility observations on the raw product tuples.
+        let joint_any_up = self.joint_any_line_operational(&product)?;
+        let joint_service = self.joint_service_levels(&product)?;
+        let joint_cost = self.joint_cost_rewards(&product)?;
+
+        // Level 1 — factor symmetry: fold interchangeable groups to their
+        // sorted-tuple orbit representatives *before* materialising. The
+        // facility observations are symmetric in interchangeable groups
+        // (identical chains carry identical masks/levels/rewards, and the
+        // observations combine them with OR / max / sorted +, all of which
+        // are exactly orbit-constant), so the projections are expected to
+        // succeed whenever the orbit exists — but correctness never depends
+        // on it: an observation that fails to project drops the fold and
+        // the measures run on the unreduced product.
+        let orbit = product.orbit();
+        let folded = match &orbit {
+            Some(orbit_fold) => {
+                let projected =
+                    orbit_fold
+                        .project_mask(&product, &joint_any_up)
+                        .and_then(|any_up| {
+                            Ok((
+                                any_up,
+                                orbit_fold.project_values(&product, &joint_service)?,
+                                orbit_fold.project_values(&product, joint_cost.state_rewards())?,
+                            ))
+                        });
+                match projected {
+                    Ok((any_up, service, cost_values)) => Some((
+                        orbit_fold.materialize(&product, &exec)?,
+                        any_up,
+                        service,
+                        RewardStructure::new(joint_cost.name(), cost_values)?,
+                    )),
+                    Err(_) => None,
+                }
+            }
+            None => None,
+        };
+        let (orbit, (chain, any_up, service, cost)) = match folded {
+            Some(folded) => (orbit, folded),
+            None => (
+                None,
+                (
+                    product.materialize(&exec)?,
+                    joint_any_up,
+                    joint_service,
+                    joint_cost,
+                ),
+            ),
+        };
+
+        Ok(JointCache {
+            product,
+            orbit,
+            chain,
+            any_up,
+            service,
+            cost,
+        })
+    }
+
+    /// The reduction ladder of the joint chain: raw product tuples → orbit
+    /// representatives (when factor symmetry exists) → the solver chain the
+    /// measures run on, plus the exact-lumping **minimality certificate**:
+    /// the coarsest ordinarily-lumpable quotient of the solver chain that
+    /// respects the facility observations (any-line-operational, joint
+    /// service level, cost rewards). `exact_blocks == solver_blocks` proves
+    /// the solver chain cannot be reduced further without changing some
+    /// facility measure — which is what partition refinement shows for the
+    /// paper's asymmetric Line 1 × Line 2 pairs, where no cross-line
+    /// symmetry exists.
+    ///
+    /// Builds the cache on first use; the refinement pass runs once and is
+    /// cached alongside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-construction and lumping errors.
+    pub fn joint_reduction(&self) -> Result<JointReduction, ArcadeError> {
+        if let Some(reduction) = self.reduction.get() {
+            return Ok(reduction.clone());
+        }
+        let cache = self.joint()?;
+        let mut partition = InitialPartition::trivial(cache.chain.num_states());
+        partition.refine_by_bools(&cache.any_up)?;
+        partition.refine_by_f64(&cache.service)?;
+        partition.refine_by_f64(cache.cost.state_rewards())?;
+        let lumped = lump(&cache.chain, &partition)?;
+        let reduction = JointReduction {
+            product_blocks: cache.product.num_states(),
+            product_transitions: cache.product.num_transitions(),
+            orbit_blocks: cache.orbit.as_ref().map(ProductOrbit::num_orbits),
+            solver_blocks: cache.chain.num_states(),
+            solver_transitions: cache.chain.num_transitions(),
+            exact_blocks: lumped.num_blocks(),
+        };
+        Ok(self.reduction.get_or_init(|| reduction).clone())
+    }
+
+    /// Facility availability from the **genuine joint chain**: the cached
+    /// joint chain (the sorted-tuple orbit quotient under factor symmetry,
+    /// the materialised product otherwise) is solved for its stationary
+    /// distribution — warm started from the product form, which changes only
+    /// the trajectory — and the any-line-operational mass summed. The result
+    /// is certified by the matrix-free Kronecker-sum balance residual of the
+    /// joint-level vector (orbit solves expand uniformly over their orbits,
+    /// which is exact for automorphism-invariant stationary vectors).
+    /// Agreement with [`FacilityAnalysis::steady_state_availability`] to
+    /// solver tolerance is the paper's `A1 + A2 − A1·A2` validation.
     ///
     /// # Errors
     ///
     /// Propagates product-construction and solver errors.
     pub fn joint_steady_state_availability(&self) -> Result<JointAvailability, ArcadeError> {
         let exec = self.exec();
-        let product = self.quotient_product()?;
-        let joint = product.materialize(&exec)?;
-        let guess = product.product_distribution(self.group_stationaries()?)?;
-        let pi = SteadyStateSolver::new(&joint)
+        let cache = self.joint()?;
+        let guess = cache
+            .product
+            .product_distribution(self.group_stationaries()?)?;
+        let guess = match &cache.orbit {
+            Some(orbit) => orbit.aggregate_distribution(&cache.product, &guess),
+            None => guess,
+        };
+        let pi = SteadyStateSolver::new(&cache.chain)
             .exec(exec)
             .initial_guess(guess)
             .solve()?;
-        let residual = product.balance_residual(&pi, &exec)?;
-        let any_up = self.joint_any_line_operational(&product)?;
+        let joint_pi = match &cache.orbit {
+            Some(orbit) => orbit.expand_distribution(&cache.product, &pi),
+            None => pi.clone(),
+        };
+        let residual = cache.product.balance_residual(&joint_pi, &exec)?;
         let availability = pi
             .iter()
-            .zip(any_up.iter())
+            .zip(cache.any_up.iter())
             .filter(|(_, &up)| up)
             .map(|(p, _)| p)
             .sum();
         Ok(JointAvailability {
             availability,
             residual,
-            joint_states: joint.num_states(),
-            joint_transitions: joint.num_transitions(),
+            joint_states: cache.product.num_states(),
+            joint_transitions: cache.product.num_transitions(),
+            solved_states: cache.chain.num_states(),
         })
     }
 
@@ -930,6 +1146,23 @@ impl<'a> FacilityAnalysis<'a> {
         Ok(out)
     }
 
+    /// The facility service level of every joint state: the best level any
+    /// member line delivers. Refining the joint quotient by this value keeps
+    /// every `service ≥ threshold` goal set block-closed for *every*
+    /// threshold at once.
+    fn joint_service_levels(&self, product: &QuotientProduct) -> Result<Vec<f64>, ArcadeError> {
+        let mut out = vec![0.0f64; product.num_states()];
+        for (index, group) in self.groups.iter().enumerate() {
+            for service in &group.line_service {
+                let expanded = product.expand_values(index, service)?;
+                for (slot, level) in out.iter_mut().zip(expanded) {
+                    *slot = slot.max(level);
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// The per-group disaster restriction of a facility disaster, in the
     /// group's own component namespace.
     fn group_disaster(
@@ -956,15 +1189,14 @@ impl<'a> FacilityAnalysis<'a> {
         Ok(Some(Disaster::new(disaster.name(), components)?))
     }
 
-    /// The materialised joint chain started from the state right after
-    /// `disaster` (every touched group in its disaster state, every other
-    /// group in its regular initial state).
-    fn joint_chain_after(
+    /// The joint product index of the state right after `disaster` (every
+    /// touched group in its disaster state, every other group in its regular
+    /// initial state).
+    fn start_joint_index(
         &self,
         product: &QuotientProduct,
         disaster: Option<&FacilityDisaster>,
-    ) -> Result<Ctmc, ArcadeError> {
-        let joint = product.materialize(&self.exec())?;
+    ) -> Result<usize, ArcadeError> {
         let mut tuple = Vec::with_capacity(self.groups.len());
         for group in &self.groups {
             let restricted = match disaster {
@@ -973,12 +1205,25 @@ impl<'a> FacilityAnalysis<'a> {
             };
             tuple.push(group.start_state(restricted.as_ref())?);
         }
-        let start = product
+        product
             .index_of(&tuple)
             .ok_or_else(|| ArcadeError::InvalidDisaster {
                 reason: "joint disaster tuple out of range".to_string(),
-            })?;
-        Ok(joint.with_initial_state(start)?)
+            })
+    }
+
+    /// The solver-chain state right after `disaster`: the joint tuple mapped
+    /// through the orbit fold when one is active.
+    fn start_block(
+        &self,
+        cache: &JointCache,
+        disaster: Option<&FacilityDisaster>,
+    ) -> Result<usize, ArcadeError> {
+        let joint = self.start_joint_index(&cache.product, disaster)?;
+        Ok(match &cache.orbit {
+            Some(orbit) => orbit.orbit_of(&cache.product, joint),
+            None => joint,
+        })
     }
 
     /// Looks up a facility disaster by name.
@@ -993,8 +1238,10 @@ impl<'a> FacilityAnalysis<'a> {
     /// Facility survivability after a (possibly cross-line) disaster: the
     /// probability that, within each deadline, the facility again delivers a
     /// service level of at least `service_level` **on some line**. Evaluated
-    /// on the materialised joint chain — the construction that stays exact
-    /// when the disaster couples the lines' initial state.
+    /// on the cached joint chain (the sorted-tuple orbit quotient under
+    /// factor symmetry) started from the disaster's state — exact because
+    /// the orbit partition is ordinarily lumpable and the goal set is a
+    /// union of orbits.
     ///
     /// # Errors
     ///
@@ -1012,9 +1259,10 @@ impl<'a> FacilityAnalysis<'a> {
             });
         }
         let disaster = self.lookup_disaster(disaster)?;
-        let product = self.quotient_product()?;
-        let chain = self.joint_chain_after(&product, Some(disaster))?;
-        let goal = self.joint_service_at_least(&product, service_level)?;
+        let cache = self.joint()?;
+        let start = self.start_block(cache, Some(disaster))?;
+        let chain = cache.chain.with_initial_state(start)?;
+        let goal = service_at_least(&cache.service, service_level);
         let safe = vec![true; goal.len()];
         let values = TransientSolver::with_options(
             &chain,
@@ -1027,25 +1275,66 @@ impl<'a> FacilityAnalysis<'a> {
         Ok(times.iter().copied().zip(values).collect())
     }
 
-    /// The materialised joint chain (started after `disaster`, when given)
-    /// and the facility cost rewards — the shared setup of both cost curves.
+    /// Facility survivability evaluated **matrix-free**: the same quantity
+    /// as [`FacilityAnalysis::survivability_curve`], but driven through the
+    /// Kronecker-sum [`arcade_lumping::KroneckerSum`] operator of the
+    /// unreduced product — the joint chain is never materialised, let alone
+    /// lumped. Used as the independent cross-check of the quotient path and
+    /// as the memory-lean fallback for products too large to materialise.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilityAnalysis::survivability_curve`].
+    pub fn matrix_free_survivability_curve(
+        &self,
+        disaster: &str,
+        service_level: f64,
+        times: &[f64],
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        if !(0.0..=1.0).contains(&service_level) {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("service level must be in [0, 1], got {service_level}"),
+            });
+        }
+        let disaster = self.lookup_disaster(disaster)?;
+        let product = self.quotient_product()?;
+        let start = self.start_joint_index(&product, Some(disaster))?;
+        let mut initial = vec![0.0; product.num_states()];
+        initial[start] = 1.0;
+        let goal = self.joint_service_at_least(&product, service_level)?;
+        let safe = vec![true; goal.len()];
+        let operator = product.operator();
+        let solver = OperatorTransientSolver::with_options(
+            &operator,
+            product.exit_rates(),
+            TransientOptions {
+                exec: self.exec(),
+                ..TransientOptions::default()
+            },
+        )?;
+        let values = solver.bounded_until_many(&initial, &safe, &goal, times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// The cached joint chain started after `disaster` plus the facility
+    /// cost rewards — the shared setup of both cost curves.
     fn joint_cost_chain(
         &self,
         disaster: Option<&str>,
-    ) -> Result<(Ctmc, RewardStructure), ArcadeError> {
+    ) -> Result<(Ctmc, &RewardStructure), ArcadeError> {
         let disaster = match disaster {
             Some(name) => Some(self.lookup_disaster(name)?),
             None => None,
         };
-        let product = self.quotient_product()?;
-        let chain = self.joint_chain_after(&product, disaster)?;
-        let rewards = self.joint_cost_rewards(&product)?;
-        Ok((chain, rewards))
+        let cache = self.joint()?;
+        let start = self.start_block(cache, disaster)?;
+        let chain = cache.chain.with_initial_state(start)?;
+        Ok((chain, &cache.cost))
     }
 
-    /// Expected accumulated facility repair cost after a disaster (joint
-    /// chain, per-group cost rewards summed — additive rewards of
-    /// independent subsystems add).
+    /// Expected accumulated facility repair cost after a disaster (cached
+    /// joint chain, per-group cost rewards summed — additive rewards of
+    /// independent subsystems add and stay constant on every folded orbit).
     ///
     /// # Errors
     ///
@@ -1056,7 +1345,7 @@ impl<'a> FacilityAnalysis<'a> {
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
         let (chain, rewards) = self.joint_cost_chain(disaster)?;
-        let solver = RewardSolver::new(&chain, &rewards)?.with_options(TransientOptions {
+        let solver = RewardSolver::new(&chain, rewards)?.with_options(TransientOptions {
             exec: self.exec(),
             ..TransientOptions::default()
         });
@@ -1076,7 +1365,7 @@ impl<'a> FacilityAnalysis<'a> {
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
         let (chain, rewards) = self.joint_cost_chain(disaster)?;
-        let solver = RewardSolver::new(&chain, &rewards)?.with_options(TransientOptions {
+        let solver = RewardSolver::new(&chain, rewards)?.with_options(TransientOptions {
             exec: self.exec(),
             ..TransientOptions::default()
         });
@@ -1285,6 +1574,82 @@ mod tests {
         let stats = analysis.stats();
         assert!(stats.lines.iter().all(|l| l.jointly_explored));
         assert_eq!(stats.lines[0].group, stats.lines[1].group);
+    }
+
+    #[test]
+    fn shared_unit_twin_lines_keep_per_line_availabilities_equal() {
+        // Two *identical* lines coupled through one shared crew: the merged
+        // group puts two isomorphic leaves under one gate, and without the
+        // per-line symmetry guards the canonical frontier would exchange
+        // them — silently averaging the per-line masks. The guards must
+        // keep the (identical) lines' availabilities exactly equal.
+        let facility = FacilityModel::builder("twin-coupled")
+            .line("north", pump_line("shared-ru", 100.0, 1.0))
+            .line("south", pump_line("shared-ru", 100.0, 1.0))
+            .build()
+            .unwrap();
+        assert!(facility.composition_tree().groups[0].is_joint());
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let north = analysis.line_availability(0).unwrap();
+        let south = analysis.line_availability(1).unwrap();
+        assert!(
+            (north - south).abs() <= 1e-12,
+            "identical twin lines must have identical availabilities: {north} vs {south}"
+        );
+        assert!(north > 0.9, "a 100h-MTTF pump with a shared crew: {north}");
+    }
+
+    #[test]
+    fn three_twin_lines_fold_with_exact_costs() {
+        // Three identical independent lines: the orbit fold compresses
+        // 2³ = 8 tuples to C(4, 3) = 4 sorted triples, and the summed cost
+        // rewards (deliberately FP-inexact values) must stay orbit-constant
+        // so every joint measure runs on the fold.
+        let line = |unit: &str| {
+            let structure = SystemStructure::new(StructureNode::component("pump"));
+            ArcadeModel::builder("line", structure)
+                .component(
+                    BasicComponent::from_mttf_mttr("pump", 100.0, 1.0)
+                        .unwrap()
+                        .with_failed_cost(0.1),
+                )
+                .repair_unit(
+                    RepairUnit::new(unit, RepairStrategy::FirstComeFirstServe, 1)
+                        .unwrap()
+                        .responsible_for(["pump"])
+                        .with_idle_cost(0.3),
+                )
+                .build()
+                .unwrap()
+        };
+        let facility = FacilityModel::builder("triplet")
+            .line("a", line("ru-a"))
+            .line("b", line("ru-b"))
+            .line("c", line("ru-c"))
+            .disaster(FacilityDisaster::new(
+                "all-pumps",
+                [("a", "pump"), ("b", "pump"), ("c", "pump")],
+            ))
+            .build()
+            .unwrap();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let stats = analysis.stats();
+        assert_eq!(stats.joint_blocks, 8);
+        assert_eq!(stats.orbit_blocks, Some(4));
+        let joint = analysis.joint_steady_state_availability().unwrap();
+        assert_eq!(joint.solved_states, 4, "the fold must not be dropped");
+        let product_form = analysis.steady_state_availability().unwrap();
+        assert!((joint.availability - product_form).abs() <= 1e-9);
+        assert!(joint.residual < 1e-9, "residual {}", joint.residual);
+        // Cost measures run on the folded chain with the sorted-sum rewards.
+        let acc = analysis
+            .accumulated_cost_curve(Some("all-pumps"), &[0.0, 1.0, 3.0])
+            .unwrap();
+        assert_eq!(acc[0].1, 0.0);
+        assert!(acc[1].1 < acc[2].1);
+        let inst = analysis.instantaneous_cost_curve(None, &[0.0]).unwrap();
+        // All pumps up: three idle crews at 0.3/h each (sorted sum).
+        assert!((inst[0].1 - 0.3 * 3.0).abs() < 1e-12, "{}", inst[0].1);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //!   invisible to the trees and grouped among themselves.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 
+use arcade_symmetry::code::{subtree_code, CodedSubtree, LeafAttributes};
 use fault_tree::StructureNode;
 
 use crate::model::ArcadeModel;
@@ -56,6 +58,34 @@ impl ComponentFamily {
     /// Whether the family is a singleton (no symmetry to exploit).
     pub fn is_singleton(&self) -> bool {
         self.members.len() <= 1
+    }
+}
+
+/// A group of isomorphic **sibling subtrees**: the whole-subtree
+/// generalisation of [`ComponentFamily`].
+///
+/// Each block lists the leaves of one subtree in canonical traversal order,
+/// so `blocks[i][k]` corresponds to `blocks[j][k]` under the subtree
+/// isomorphism. Swapping two blocks leaf-by-leaf is a chain automorphism —
+/// the subtrees agree on every attribute a permutation must preserve (gates,
+/// rates, costs, repair units, dispatch priorities, symmetry guards; see
+/// [`detect_subtree_families`]) — so the canonical frontier may explore one
+/// representative per block ordering instead of all `blocks.len()!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeFamily {
+    /// Aligned leaf lists of the isomorphic subtrees, one per subtree, in
+    /// definition order of the subtrees.
+    pub blocks: Vec<Vec<ComponentIndex>>,
+    /// Depth of the subtrees' parent gate (root gate = 0). Families are
+    /// canonicalised deepest-first, which makes the sorted representative
+    /// unique under the full (wreath-product) symmetry group.
+    pub depth: usize,
+}
+
+impl SubtreeFamily {
+    /// Number of leaves per subtree.
+    pub fn block_len(&self) -> usize {
+        self.blocks.first().map_or(0, Vec::len)
     }
 }
 
@@ -111,6 +141,7 @@ fn structure_positions(root: &StructureNode, positions: &mut HashMap<String, Str
 pub fn detect_families(model: &ArcadeModel) -> Vec<ComponentFamily> {
     let mut positions: HashMap<String, StructurePosition> = HashMap::new();
     structure_positions(model.structure().root(), &mut positions);
+    let guard_ids = guard_membership_ids(model);
 
     // Signature key: everything a permutation must preserve.
     #[derive(PartialEq, Eq, Hash)]
@@ -124,6 +155,10 @@ pub fn detect_families(model: &ArcadeModel) -> Vec<ComponentFamily> {
         operational_cost_bits: u64,
         failed_cost_bits: u64,
         initially_failed: bool,
+        /// Exchanging leaves of different symmetry-guard membership would
+        /// move a guarded observation (e.g. a facility's per-line mask on a
+        /// merged group) — guarded leaves only merge within their set.
+        guard_id: u64,
     }
 
     let mut groups: HashMap<Signature, Vec<ComponentIndex>> = HashMap::new();
@@ -160,6 +195,7 @@ pub fn detect_families(model: &ArcadeModel) -> Vec<ComponentFamily> {
             operational_cost_bits: component.operational_cost_per_hour().to_bits(),
             failed_cost_bits: component.failed_cost_per_hour().to_bits(),
             initially_failed: component.is_initially_failed(),
+            guard_id: guard_ids[idx],
         };
         groups.entry(signature).or_default().push(idx);
     }
@@ -178,6 +214,182 @@ pub fn detect_families(model: &ArcadeModel) -> Vec<ComponentFamily> {
         .collect();
     families.sort_unstable_by_key(|family| family.members[0]);
     families
+}
+
+/// Dense, exact id of every component's symmetry-guard membership set: two
+/// components share an id iff they belong to exactly the same guards. Ids
+/// are interned (not hashed), so distinct membership sets can never
+/// collide.
+fn guard_membership_ids(model: &ArcadeModel) -> Vec<u64> {
+    let mut ids: HashMap<Vec<usize>, u64> = HashMap::new();
+    model
+        .components()
+        .iter()
+        .map(|component| {
+            let membership: Vec<usize> = model
+                .symmetry_guards()
+                .iter()
+                .enumerate()
+                .filter(|(_, guard)| guard.iter().any(|c| c == component.name()))
+                .map(|(index, _)| index)
+                .collect();
+            let next = ids.len() as u64;
+            *ids.entry(membership).or_insert(next)
+        })
+        .collect()
+}
+
+/// Counts how often every component name appears as a structure leaf.
+fn reference_counts(node: &StructureNode, counts: &mut HashMap<String, usize>) {
+    match node {
+        StructureNode::Component(name) => *counts.entry(name.clone()).or_insert(0) += 1,
+        StructureNode::Series(children)
+        | StructureNode::Redundant(children)
+        | StructureNode::RequiredOf { children, .. } => {
+            for child in children {
+                reference_counts(child, counts);
+            }
+        }
+    }
+}
+
+/// Detects the model's isomorphic-subtree orbit families: maximal groups of
+/// ≥ 2 isomorphic sibling subtrees beyond single leaves (sibling-leaf groups
+/// are [`detect_families`]'s domain and are excluded here so the two layers
+/// compose without overlap).
+///
+/// Soundness is inherited from the canonical code: two subtrees match only
+/// when they are isomorphic as attributed trees, where a leaf's attributes
+/// comprise its exact rates, costs, dormancy, initially-failed flag,
+/// repair-unit identity, dispatch priority and symmetry-guard signature.
+/// Spare-managed and multiply-referenced leaves are salted with their index,
+/// so no subtree containing one ever matches another — spare activation and
+/// repeated references are order-sensitive. Under these conditions the
+/// leaf-by-leaf block swap commutes with tree evaluation (all gates are
+/// symmetric), crew dispatch (aligned leaves share unit and priority) and
+/// every reward, i.e. it is a chain automorphism.
+///
+/// Families are returned deepest-first (the canonicalisation order), ties
+/// broken by the smallest member index.
+pub fn detect_subtree_families(model: &ArcadeModel) -> Vec<SubtreeFamily> {
+    let mut counts = HashMap::new();
+    reference_counts(model.structure().root(), &mut counts);
+    let guard_ids = guard_membership_ids(model);
+
+    let attributes = |name: &str| -> LeafAttributes {
+        let index = model
+            .component_index(name)
+            .expect("structure leaves are validated against the components");
+        let component = &model.components()[index];
+        let repair_unit = model
+            .repair_units()
+            .iter()
+            .position(|ru| ru.components().iter().any(|c| c == name));
+        let priority = match repair_unit {
+            Some(ru) => model.repair_units()[ru].strategy().priority_of(component),
+            None => 0.0,
+        };
+        // Spare-managed and multiply-referenced leaves are index-sensitive:
+        // a unique salt keeps every containing subtree unmergeable.
+        let salt = (model.spare_unit_of(name).is_some()
+            || counts.get(name).copied().unwrap_or(0) > 1)
+            .then_some(index as u64);
+        LeafAttributes {
+            failure_bits: component.failure_rate().to_bits(),
+            repair_bits: component.repair_rate().to_bits(),
+            dormancy_bits: component.dormancy_factor().to_bits(),
+            operational_cost_bits: component.operational_cost_per_hour().to_bits(),
+            failed_cost_bits: component.failed_cost_per_hour().to_bits(),
+            initially_failed: component.is_initially_failed(),
+            repair_unit,
+            priority_bits: (priority + 0.0).to_bits(),
+            salt,
+            guard_bits: guard_ids[index],
+        }
+    };
+
+    let mut families = Vec::new();
+    collect_subtree_families(
+        model.structure().root(),
+        0,
+        model,
+        &attributes,
+        &mut families,
+    );
+    families.sort_by(|a, b| {
+        b.depth
+            .cmp(&a.depth)
+            .then_with(|| a.blocks[0][0].cmp(&b.blocks[0][0]))
+    });
+    families
+}
+
+fn collect_subtree_families(
+    node: &StructureNode,
+    depth: usize,
+    model: &ArcadeModel,
+    attributes: &impl Fn(&str) -> LeafAttributes,
+    families: &mut Vec<SubtreeFamily>,
+) {
+    let children = match node {
+        StructureNode::Component(_) => return,
+        StructureNode::Series(children)
+        | StructureNode::Redundant(children)
+        | StructureNode::RequiredOf { children, .. } => children,
+    };
+    // Group the gate's children by canonical code, skipping single leaves
+    // (the leaf-family layer owns those).
+    let coded: Vec<Option<CodedSubtree>> = children
+        .iter()
+        .map(|child| match child {
+            StructureNode::Component(_) => None,
+            _ => Some(subtree_code(child, attributes)),
+        })
+        .collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (index, coded_child) in coded.iter().enumerate() {
+        let Some(child) = coded_child else { continue };
+        let group = groups.iter_mut().find(|members| {
+            coded[members[0]]
+                .as_ref()
+                .is_some_and(|first| first.code == child.code)
+        });
+        match group {
+            Some(members) => members.push(index),
+            None => groups.push(vec![index]),
+        }
+    }
+    for members in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let blocks: Vec<Vec<ComponentIndex>> = members
+            .iter()
+            .map(|&child| {
+                coded[child]
+                    .as_ref()
+                    .expect("grouped children are coded")
+                    .leaves
+                    .iter()
+                    .map(|name| {
+                        model
+                            .component_index(name)
+                            .expect("structure leaves are validated")
+                    })
+                    .collect()
+            })
+            .collect();
+        // Two subtrees that both reference one multiply-referenced leaf get
+        // equal (equally salted) codes but overlap; swapping them is not a
+        // permutation, so the group is dropped.
+        let mut seen = std::collections::HashSet::new();
+        if blocks.iter().flatten().all(|&leaf| seen.insert(leaf)) {
+            families.push(SubtreeFamily { blocks, depth });
+        }
+    }
+    for child in children {
+        collect_subtree_families(child, depth + 1, model, attributes, families);
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +487,155 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(family_names(&model), vec![vec!["p"], vec!["s"]]);
+    }
+
+    fn subtree_family_names(model: &ArcadeModel) -> Vec<Vec<Vec<&str>>> {
+        detect_subtree_families(model)
+            .into_iter()
+            .map(|family| {
+                family
+                    .blocks
+                    .iter()
+                    .map(|block| {
+                        block
+                            .iter()
+                            .map(|&i| model.components()[i].name())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn twin_redundant_groups_form_a_subtree_family() {
+        // series( redundant(a, b), redundant(c, d) ): the two redundant
+        // groups are isomorphic subtrees; the leaf layer still owns the
+        // within-group symmetry.
+        let structure = SystemStructure::new(StructureNode::series(vec![
+            StructureNode::redundant(vec![
+                StructureNode::component("a"),
+                StructureNode::component("b"),
+            ]),
+            StructureNode::redundant(vec![
+                StructureNode::component("c"),
+                StructureNode::component("d"),
+            ]),
+        ]));
+        let model = ArcadeModel::builder("twins", structure)
+            .components(
+                ["a", "b", "c", "d"]
+                    .map(|n| BasicComponent::from_mttf_mttr(n, 100.0, 1.0).unwrap()),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["a", "b", "c", "d"]),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(
+            subtree_family_names(&model),
+            vec![vec![vec!["a", "b"], vec!["c", "d"]]]
+        );
+        assert_eq!(detect_subtree_families(&model)[0].depth, 0);
+        assert_eq!(detect_subtree_families(&model)[0].block_len(), 2);
+        // Leaf families stay per gate.
+        assert_eq!(family_names(&model), vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn rate_differences_and_guards_split_subtree_families() {
+        let structure = || {
+            SystemStructure::new(StructureNode::series(vec![
+                StructureNode::redundant(vec![
+                    StructureNode::component("a"),
+                    StructureNode::component("b"),
+                ]),
+                StructureNode::redundant(vec![
+                    StructureNode::component("c"),
+                    StructureNode::component("d"),
+                ]),
+            ]))
+        };
+        let base = |mttr_c: f64| {
+            ArcadeModel::builder("split", structure())
+                .component(BasicComponent::from_mttf_mttr("a", 100.0, 1.0).unwrap())
+                .component(BasicComponent::from_mttf_mttr("b", 100.0, 1.0).unwrap())
+                .component(BasicComponent::from_mttf_mttr("c", 100.0, mttr_c).unwrap())
+                .component(BasicComponent::from_mttf_mttr("d", 100.0, 1.0).unwrap())
+                .repair_unit(
+                    RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                        .unwrap()
+                        .responsible_for(["a", "b", "c", "d"]),
+                )
+        };
+        // A deviating repair rate breaks the subtree isomorphism.
+        let skewed = base(2.0).build().unwrap();
+        assert!(detect_subtree_families(&skewed).is_empty());
+
+        // A symmetry guard separating the two groups forbids the swap even
+        // though the subtrees are isomorphic.
+        let guarded = base(1.0).symmetry_guard(["a", "b"]).build().unwrap();
+        assert!(detect_subtree_families(&guarded).is_empty());
+
+        // A guard covering both groups keeps the swap admissible.
+        let covered = base(1.0)
+            .symmetry_guard(["a", "b", "c", "d"])
+            .build()
+            .unwrap();
+        assert_eq!(detect_subtree_families(&covered).len(), 1);
+    }
+
+    #[test]
+    fn shared_or_spare_leaves_block_subtree_families() {
+        // Both subtrees reference the shared leaf `x`: equal codes, but the
+        // swap would not be a permutation.
+        let structure = SystemStructure::new(StructureNode::series(vec![
+            StructureNode::redundant(vec![
+                StructureNode::component("x"),
+                StructureNode::component("a"),
+            ]),
+            StructureNode::redundant(vec![
+                StructureNode::component("x"),
+                StructureNode::component("b"),
+            ]),
+        ]));
+        let model = ArcadeModel::builder("shared", structure)
+            .components(
+                ["x", "a", "b"].map(|n| BasicComponent::from_mttf_mttr(n, 100.0, 1.0).unwrap()),
+            )
+            .build()
+            .unwrap();
+        assert!(detect_subtree_families(&model).is_empty());
+
+        // Spare-managed leaves salt their subtree codes.
+        let structure = SystemStructure::new(StructureNode::series(vec![
+            StructureNode::required_of(
+                1,
+                vec![
+                    StructureNode::component("p1"),
+                    StructureNode::component("s1"),
+                ],
+            ),
+            StructureNode::required_of(
+                1,
+                vec![
+                    StructureNode::component("p2"),
+                    StructureNode::component("s2"),
+                ],
+            ),
+        ]));
+        let model = ArcadeModel::builder("spared", structure)
+            .components(
+                ["p1", "s1", "p2", "s2"]
+                    .map(|n| BasicComponent::from_mttf_mttr(n, 100.0, 1.0).unwrap()),
+            )
+            .spare_unit(SpareManagementUnit::new("smu1", ["p1"], ["s1"]).unwrap())
+            .spare_unit(SpareManagementUnit::new("smu2", ["p2"], ["s2"]).unwrap())
+            .build()
+            .unwrap();
+        assert!(detect_subtree_families(&model).is_empty());
     }
 
     #[test]

@@ -79,16 +79,16 @@ pub use analysis::{Analysis, Series};
 pub use component::BasicComponent;
 pub use composer::{
     CompiledModel, ComposerOptions, LumpedModel, LumpingMode, StateSpaceStats, SubchainStats,
-    LABEL_DOWN, LABEL_NO_SERVICE, LABEL_OPERATIONAL,
+    SubtreeOrbitStats, LABEL_DOWN, LABEL_NO_SERVICE, LABEL_OPERATIONAL,
 };
 pub use ctmc::ExecOptions;
 pub use disaster::Disaster;
 pub use error::ArcadeError;
 pub use facility::{
     CompositionGroup, CompositionTree, FacilityAnalysis, FacilityDisaster, FacilityLine,
-    FacilityLineStats, FacilityModel, FacilityStats, JointAvailability,
+    FacilityLineStats, FacilityModel, FacilityStats, JointAvailability, JointReduction,
 };
-pub use families::{detect_families, ComponentFamily};
+pub use families::{detect_families, detect_subtree_families, ComponentFamily, SubtreeFamily};
 pub use measures::{FacilityMeasure, Measure, MeasureResult};
 pub use model::{ArcadeModel, ArcadeModelBuilder};
 pub use repair::{RepairStrategy, RepairUnit};

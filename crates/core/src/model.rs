@@ -28,6 +28,8 @@ pub struct ArcadeModel {
     spare_units: Vec<SpareManagementUnit>,
     structure: SystemStructure,
     disasters: Vec<Disaster>,
+    #[serde(default)]
+    symmetry_guards: Vec<Vec<String>>,
 }
 
 impl ArcadeModel {
@@ -40,6 +42,7 @@ impl ArcadeModel {
             spare_units: Vec::new(),
             structure,
             disasters: Vec::new(),
+            symmetry_guards: Vec::new(),
         }
     }
 
@@ -118,6 +121,15 @@ impl ArcadeModel {
             .find(|smu| smu.all_components().any(|c| c == component))
     }
 
+    /// The symmetry guards: component sets that every admissible symmetry
+    /// permutation must map onto themselves. Guards protect observations
+    /// that live *outside* the model — e.g. the per-line masks a facility
+    /// evaluates on a merged group chain — from being folded away by the
+    /// isomorphic-subtree reduction (see [`crate::families`]).
+    pub fn symmetry_guards(&self) -> &[Vec<String>] {
+        &self.symmetry_guards
+    }
+
     /// The maximal groups of mutually interchangeable components — the
     /// per-line "sub-chains" that compositional lumping aggregates before the
     /// cross product. Every component appears in exactly one group; groups
@@ -174,6 +186,7 @@ pub struct ArcadeModelBuilder {
     spare_units: Vec<SpareManagementUnit>,
     structure: SystemStructure,
     disasters: Vec<Disaster>,
+    symmetry_guards: Vec<Vec<String>>,
 }
 
 impl ArcadeModelBuilder {
@@ -207,6 +220,21 @@ impl ArcadeModelBuilder {
     /// Adds a named disaster.
     pub fn disaster(mut self, disaster: Disaster) -> Self {
         self.disasters.push(disaster);
+        self
+    }
+
+    /// Declares a symmetry guard: the given components form a set that every
+    /// symmetry permutation must preserve (no member may be exchanged with a
+    /// non-member). Use this when measures outside the model distinguish the
+    /// guarded components — the facility layer guards each line's components
+    /// of a merged group so per-line masks survive the subtree reduction.
+    pub fn symmetry_guard<I, S>(mut self, components: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.symmetry_guards
+            .push(components.into_iter().map(Into::into).collect());
         self
     }
 
@@ -299,6 +327,18 @@ impl ArcadeModelBuilder {
             }
         }
 
+        // Symmetry guards reference known components.
+        for guard in &self.symmetry_guards {
+            for c in guard {
+                if !names.contains(c.as_str()) {
+                    return Err(ArcadeError::UnknownComponent {
+                        name: c.clone(),
+                        referenced_by: "symmetry guard".to_string(),
+                    });
+                }
+            }
+        }
+
         Ok(ArcadeModel {
             name: self.name,
             components: self.components,
@@ -306,6 +346,7 @@ impl ArcadeModelBuilder {
             spare_units: self.spare_units,
             structure: self.structure,
             disasters: self.disasters,
+            symmetry_guards: self.symmetry_guards,
         })
     }
 }

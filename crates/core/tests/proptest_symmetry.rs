@@ -1,0 +1,201 @@
+//! Property-based exactness of the isomorphic-subtree orbit reduction:
+//! models with planted isomorphic subtrees must compose to fewer canonical
+//! states than the flat chain while agreeing on every measure within 1e-9.
+
+use arcade_core::{
+    Analysis, ArcadeModel, BasicComponent, CompiledModel, ComposerOptions, Disaster, LumpingMode,
+    RepairStrategy, RepairUnit,
+};
+use fault_tree::{StructureNode, SystemStructure};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct PlantedSpec {
+    /// Number of isomorphic subtree copies planted next to each other.
+    copies: usize,
+    /// Leaves per copy; leaf `k` carries the same rates in every copy.
+    leaves_per_copy: usize,
+    mttfs: Vec<f64>,
+    mttrs: Vec<f64>,
+    /// Gate kind inside each copy and above the copies.
+    inner_redundant: bool,
+    outer_redundant: bool,
+    /// An extra component outside the symmetry, to keep the model irregular.
+    with_extra: bool,
+    strategy: RepairStrategy,
+    crews: usize,
+}
+
+fn arbitrary_spec() -> impl Strategy<Value = PlantedSpec> {
+    (
+        // (copies, leaves per copy, extra allowed): capped at six components
+        // so the *flat* reference chain (queue interleavings under FCFS)
+        // stays cheap enough for a debug-mode property run.
+        prop_oneof![
+            Just((2usize, 2usize, true)),
+            Just((2usize, 3usize, false)),
+            Just((3usize, 2usize, false)),
+        ],
+        proptest::collection::vec(10.0f64..2000.0, 4),
+        proptest::collection::vec(0.5f64..50.0, 4),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![
+            Just(RepairStrategy::Dedicated),
+            Just(RepairStrategy::FirstComeFirstServe),
+            Just(RepairStrategy::FastestRepairFirst),
+        ],
+        1usize..=2,
+    )
+        .prop_map(
+            |(
+                (copies, leaves_per_copy, extra_allowed),
+                mttfs,
+                mttrs,
+                inner_redundant,
+                outer_redundant,
+                with_extra,
+                strategy,
+                crews,
+            )| PlantedSpec {
+                copies,
+                leaves_per_copy,
+                mttfs,
+                mttrs,
+                inner_redundant,
+                outer_redundant,
+                with_extra: with_extra && extra_allowed,
+                strategy,
+                crews,
+            },
+        )
+}
+
+fn build_model(spec: &PlantedSpec) -> ArcadeModel {
+    let mut names: Vec<String> = Vec::new();
+    let mut subtrees: Vec<StructureNode> = Vec::new();
+    for copy in 0..spec.copies {
+        let leaves: Vec<String> = (0..spec.leaves_per_copy)
+            .map(|k| format!("c{copy}x{k}"))
+            .collect();
+        let children: Vec<StructureNode> = leaves
+            .iter()
+            .map(|n| StructureNode::component(n.clone()))
+            .collect();
+        subtrees.push(if spec.inner_redundant {
+            StructureNode::redundant(children)
+        } else {
+            StructureNode::series(children)
+        });
+        names.extend(leaves);
+    }
+    if spec.with_extra {
+        subtrees.push(StructureNode::component("extra"));
+        names.push("extra".to_string());
+    }
+    let structure = SystemStructure::new(if spec.outer_redundant {
+        StructureNode::redundant(subtrees)
+    } else {
+        StructureNode::series(subtrees)
+    });
+
+    let mut builder = ArcadeModel::builder("planted-symmetry", structure);
+    for name in &names {
+        // Position inside the copy decides the rates; copies are isomorphic.
+        let slot = name
+            .split('x')
+            .nth(1)
+            .and_then(|k| k.parse::<usize>().ok())
+            .unwrap_or(3);
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, spec.mttfs[slot], spec.mttrs[slot])
+                .unwrap()
+                .with_failed_cost(3.0),
+        );
+    }
+    builder = builder.repair_unit(
+        RepairUnit::new("ru", spec.strategy.clone(), spec.crews)
+            .unwrap()
+            .responsible_for(names.clone())
+            .with_idle_cost(1.0),
+    );
+    // An asymmetric disaster: the whole first copy (plus the extra) fails.
+    let first_copy: Vec<String> = names
+        .iter()
+        .filter(|n| n.starts_with("c0") || n.as_str() == "extra")
+        .cloned()
+        .collect();
+    builder = builder.disaster(Disaster::new("first-copy", first_copy).unwrap());
+    builder.build().unwrap()
+}
+
+fn options(lumping: LumpingMode) -> ComposerOptions {
+    ComposerOptions {
+        lumping,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Orbit-quotient measures agree with the unreduced chain to <= 1e-9 on
+    /// random models with planted isomorphic subtrees, while the canonical
+    /// frontier explores strictly fewer states.
+    #[test]
+    fn subtree_orbit_measures_match_the_flat_chain(spec in arbitrary_spec()) {
+        let model = build_model(&spec);
+        let flat_compiled =
+            CompiledModel::compile_with(&model, options(LumpingMode::Disabled)).unwrap();
+        let orbit_compiled =
+            CompiledModel::compile_with(&model, options(LumpingMode::Compositional)).unwrap();
+
+        // The planted copies are detected as one subtree family with
+        // `copies` blocks, and the exploration is strictly smaller than the
+        // flat chain (the copies always admit asymmetric role assignments).
+        let stats = orbit_compiled.stats();
+        prop_assert_eq!(stats.subtree_orbits.len(), 1);
+        prop_assert_eq!(stats.subtree_orbits[0].blocks.len(), spec.copies);
+        let flat_states = flat_compiled.stats().num_states;
+        prop_assert!(
+            stats.num_states < flat_states,
+            "orbit frontier explored {} of {flat_states} flat states",
+            stats.num_states
+        );
+        // The final exact pass re-verifies stability against the labels.
+        let lumped = orbit_compiled.lumped().unwrap();
+        lumped.lumping().verify(orbit_compiled.chain(), 1e-9).unwrap();
+
+        let flat = Analysis::from_compiled(&model, flat_compiled);
+        let orbit = Analysis::from_compiled(&model, orbit_compiled);
+
+        let a_flat = flat.steady_state_availability().unwrap();
+        let a_orbit = orbit.steady_state_availability().unwrap();
+        prop_assert!((a_flat - a_orbit).abs() <= 1e-9, "availability {a_flat} vs {a_orbit}");
+
+        let c_flat = flat.long_run_cost_rate().unwrap();
+        let c_orbit = orbit.long_run_cost_rate().unwrap();
+        prop_assert!((c_flat - c_orbit).abs() <= 1e-9, "cost rate {c_flat} vs {c_orbit}");
+
+        for t in [0.5, 5.0, 50.0] {
+            let r_flat = flat.reliability(t).unwrap();
+            let r_orbit = orbit.reliability(t).unwrap();
+            prop_assert!((r_flat - r_orbit).abs() <= 1e-9, "reliability({t}) {r_flat} vs {r_orbit}");
+        }
+
+        // Disaster-started measures exercise the canonicalised GOOD state.
+        let disaster = model.disaster("first-copy").unwrap();
+        for t in [0.5, 2.0, 20.0] {
+            let s_flat = flat.survivability(disaster, 1.0, t).unwrap();
+            let s_orbit = orbit.survivability(disaster, 1.0, t).unwrap();
+            prop_assert!((s_flat - s_orbit).abs() <= 1e-9,
+                "survivability({t}) {s_flat} vs {s_orbit}");
+        }
+        let acc_flat = flat.accumulated_cost_curve(Some(disaster), &[1.0, 10.0]).unwrap();
+        let acc_orbit = orbit.accumulated_cost_curve(Some(disaster), &[1.0, 10.0]).unwrap();
+        for ((t, a), (_, b)) in acc_flat.iter().zip(acc_orbit.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9, "accumulated cost({t}) {a} vs {b}");
+        }
+    }
+}

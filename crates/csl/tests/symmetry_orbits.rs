@@ -1,0 +1,91 @@
+//! CSL verdicts over subtree-orbit state spaces.
+//!
+//! The composer's isomorphic-subtree reduction explores orbit
+//! representatives instead of the flat chain; because the orbit partition is
+//! ordinarily lumpable and every model label (operational / down /
+//! no_service) is symmetric in the folded subtrees, every CSL query must
+//! return the same verdict on the orbit chain as on the flat chain — the
+//! symmetry-level counterpart of the checker's own flat-vs-lumped guarantee.
+
+use arcade_core::{
+    ArcadeModel, BasicComponent, CompiledModel, ComposerOptions, LumpingMode, RepairStrategy,
+    RepairUnit,
+};
+use csl::ast::{PathFormula, Query, StateFormula};
+use csl::CslChecker;
+use fault_tree::{StructureNode, SystemStructure};
+
+/// series( redundant(a, b), redundant(c, d) ) with all four components
+/// identical behind one FCFS crew: both the leaf swaps and the whole-group
+/// swap are chain automorphisms, so the orbit chain is strictly smaller.
+fn twin_group_model() -> ArcadeModel {
+    let structure = SystemStructure::new(StructureNode::series(vec![
+        StructureNode::redundant(vec![
+            StructureNode::component("a"),
+            StructureNode::component("b"),
+        ]),
+        StructureNode::redundant(vec![
+            StructureNode::component("c"),
+            StructureNode::component("d"),
+        ]),
+    ]));
+    ArcadeModel::builder("twin-groups", structure)
+        .components(["a", "b", "c", "d"].map(|n| {
+            BasicComponent::from_mttf_mttr(n, 200.0, 2.0)
+                .unwrap()
+                .with_failed_cost(3.0)
+        }))
+        .repair_unit(
+            RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                .unwrap()
+                .responsible_for(["a", "b", "c", "d"])
+                .with_idle_cost(1.0),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn verdicts_match_between_orbit_and_flat_chains() {
+    let model = twin_group_model();
+    let flat = CompiledModel::compile_with(
+        &model,
+        ComposerOptions {
+            lumping: LumpingMode::Disabled,
+            ..ComposerOptions::default()
+        },
+    )
+    .unwrap();
+    let orbit = CompiledModel::compile(&model).unwrap();
+    assert!(
+        orbit.stats().num_states < flat.stats().num_states,
+        "the subtree orbits must fold the chain: {} vs {}",
+        orbit.stats().num_states,
+        flat.stats().num_states
+    );
+
+    let queries = [
+        Query::SteadyState(StateFormula::label("operational")),
+        Query::SteadyState(StateFormula::label("no_service")),
+        Query::Probability(PathFormula::BoundedUntil {
+            safe: StateFormula::True,
+            goal: StateFormula::label("down"),
+            bound: 25.0,
+        }),
+        Query::Probability(PathFormula::BoundedUntil {
+            safe: StateFormula::label("operational"),
+            goal: StateFormula::label("no_service"),
+            bound: 100.0,
+        }),
+    ];
+    let flat_checker = CslChecker::new(flat.chain());
+    let orbit_checker = CslChecker::new(orbit.chain());
+    for query in &queries {
+        let on_flat = flat_checker.check(query).unwrap();
+        let on_orbit = orbit_checker.check(query).unwrap();
+        assert!(
+            (on_flat - on_orbit).abs() <= 1e-9,
+            "{query:?}: {on_flat} vs {on_orbit}"
+        );
+    }
+}

@@ -60,7 +60,7 @@ pub use ops::LinearOperator;
 pub use rewards::{RewardSolver, RewardStructure};
 pub use sparse::{SparseMatrix, SparseMatrixBuilder};
 pub use steady_state::{SteadyStateMethod, SteadyStateSolver};
-pub use transient::{TransientOptions, TransientSolver};
+pub use transient::{OperatorTransientSolver, TransientOptions, TransientSolver};
 
 /// Default convergence tolerance used by the iterative solvers in this crate.
 pub const DEFAULT_TOLERANCE: f64 = 1e-10;

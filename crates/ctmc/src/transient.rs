@@ -394,25 +394,387 @@ impl<'a> TransientSolver<'a> {
     /// One Fox–Glynn window per requested time point; `None` marks `t == 0`
     /// (no jumps, handled by the caller's indicator/initial shortcut).
     fn poisson_windows(&self, q: f64, times: &[f64]) -> Result<Vec<Option<FoxGlynn>>, CtmcError> {
-        times
-            .iter()
-            .map(|&t| {
-                if t == 0.0 {
-                    Ok(None)
-                } else {
-                    FoxGlynn::new(q * t, self.options.epsilon).map(Some)
-                }
-            })
-            .collect()
+        poisson_windows(q, times, self.options.epsilon)
     }
 
     fn validate_time(&self, t: f64) -> Result<(), CtmcError> {
-        if t < 0.0 || !t.is_finite() {
+        validate_time(t)
+    }
+}
+
+fn poisson_windows(
+    q: f64,
+    times: &[f64],
+    epsilon: f64,
+) -> Result<Vec<Option<FoxGlynn>>, CtmcError> {
+    times
+        .iter()
+        .map(|&t| {
+            if t == 0.0 {
+                Ok(None)
+            } else {
+                FoxGlynn::new(q * t, epsilon).map(Some)
+            }
+        })
+        .collect()
+}
+
+fn validate_time(t: f64) -> Result<(), CtmcError> {
+    if t < 0.0 || !t.is_finite() {
+        return Err(CtmcError::InvalidArgument {
+            reason: format!("time bound must be non-negative and finite, got {t}"),
+        });
+    }
+    Ok(())
+}
+
+/// Matrix-free transient analysis: the uniformisation loop over any
+/// [`LinearOperator`] instead of a materialised [`SparseMatrix`].
+///
+/// The solver is handed the rate operator `R` (off-diagonal rates; e.g. the
+/// Kronecker sum of per-factor quotients from `arcade_lumping::product`) and
+/// the per-state exit rates `E`, and applies the uniformised step
+/// `x ↦ x + (x·R − x∘E)/q` (forward) or `x ↦ x + (R·x − E∘x)/q` (backward)
+/// directly — the joint matrix is never stored, so coupling-free facility
+/// transients run in `O(states)` memory. Absorbing-state transformations
+/// (the time-bounded-until construction) are applied as masks on the fly.
+///
+/// The floating-point accumulation differs from the materialised
+/// `P = I + Q/q` path (`I` and the diagonal are applied outside the operator
+/// here), so results agree with [`TransientSolver`] to numerical tolerance
+/// rather than bit-for-bit; for a fixed thread count the computation is
+/// deterministic, and across thread counts it is bit-identical whenever the
+/// operator's kernels are (the [`crate::ops`] contract).
+///
+/// [`LinearOperator`]: crate::ops::LinearOperator
+/// [`SparseMatrix`]: crate::sparse::SparseMatrix
+#[derive(Debug, Clone)]
+pub struct OperatorTransientSolver<'a, O: crate::ops::LinearOperator> {
+    rates: &'a O,
+    exit_rates: Vec<f64>,
+    options: TransientOptions,
+}
+
+impl<'a, O: crate::ops::LinearOperator> OperatorTransientSolver<'a, O> {
+    /// Creates a solver for the rate operator `rates` with the given exit
+    /// rates and default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] if the operator is not
+    /// square or `exit_rates` has the wrong length, and
+    /// [`CtmcError::InvalidArgument`] for negative or non-finite exits.
+    pub fn new(rates: &'a O, exit_rates: Vec<f64>) -> Result<Self, CtmcError> {
+        Self::with_options(rates, exit_rates, TransientOptions::default())
+    }
+
+    /// Creates a solver with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`OperatorTransientSolver::new`].
+    pub fn with_options(
+        rates: &'a O,
+        exit_rates: Vec<f64>,
+        options: TransientOptions,
+    ) -> Result<Self, CtmcError> {
+        if rates.num_rows() != rates.num_cols() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: rates.num_rows(),
+                actual: rates.num_cols(),
+            });
+        }
+        if exit_rates.len() != rates.num_rows() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: rates.num_rows(),
+                actual: exit_rates.len(),
+            });
+        }
+        if exit_rates.iter().any(|&e| !e.is_finite() || e < 0.0) {
             return Err(CtmcError::InvalidArgument {
-                reason: format!("time bound must be non-negative and finite, got {t}"),
+                reason: "exit rates must be non-negative and finite".to_string(),
+            });
+        }
+        Ok(OperatorTransientSolver {
+            rates,
+            exit_rates,
+            options,
+        })
+    }
+
+    fn num_states(&self) -> usize {
+        self.exit_rates.len()
+    }
+
+    fn validate_initial(&self, initial: &[f64]) -> Result<(), CtmcError> {
+        if initial.len() != self.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states(),
+                actual: initial.len(),
             });
         }
         Ok(())
+    }
+
+    /// Uniformisation rate over the non-absorbing states (`None` for "all
+    /// states absorbing": nothing ever moves).
+    fn uniformization_rate(&self, absorbing: Option<&[bool]>) -> Result<Option<f64>, CtmcError> {
+        let factor = self.options.uniformization_factor;
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(CtmcError::InvalidArgument {
+                reason: format!("uniformisation factor must be finite and >= 1, got {factor}"),
+            });
+        }
+        let max_exit = self
+            .exit_rates
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| absorbing.is_none_or(|mask| !mask[*s]))
+            .map(|(_, &e)| e)
+            .fold(0.0f64, f64::max);
+        Ok((max_exit > 0.0).then_some(max_exit * factor))
+    }
+
+    /// One forward uniformised step `y = x · P` with `P = I + Q/q`.
+    fn forward_step(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        scratch: &mut [f64],
+        q: f64,
+    ) -> Result<(), CtmcError> {
+        self.rates
+            .left_multiply_exec(x, scratch, &self.options.exec)?;
+        for s in 0..x.len() {
+            y[s] = x[s] + (scratch[s] - x[s] * self.exit_rates[s]) / q;
+        }
+        Ok(())
+    }
+
+    /// One backward uniformised step `y = P' · x`.
+    fn backward_step(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        scratch: &mut [f64],
+        q: f64,
+        absorbing: Option<&[bool]>,
+    ) -> Result<(), CtmcError> {
+        self.rates
+            .right_multiply_exec(x, scratch, &self.options.exec)?;
+        for s in 0..x.len() {
+            let frozen = absorbing.is_some_and(|mask| mask[s]);
+            y[s] = if frozen {
+                x[s]
+            } else {
+                x[s] + (scratch[s] - self.exit_rates[s] * x[s]) / q
+            };
+        }
+        Ok(())
+    }
+
+    /// State probability vectors at several time points over a single
+    /// matrix-free uniformisation pass, starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid times and dimension mismatches; propagates numerics
+    /// errors.
+    pub fn probabilities_at_many(
+        &self,
+        initial: &[f64],
+        times: &[f64],
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        self.validate_initial(initial)?;
+        for &t in times {
+            validate_time(t)?;
+        }
+        let Some(q) = self.uniformization_rate(None)? else {
+            return Ok(times.iter().map(|_| initial.to_vec()).collect());
+        };
+        if times.iter().all(|&t| t == 0.0) {
+            return Ok(times.iter().map(|_| initial.to_vec()).collect());
+        }
+        let windows = poisson_windows(q, times, self.options.epsilon)?;
+        let global_right = max_right(&windows);
+        let n = self.num_states();
+
+        let mut vk = initial.to_vec();
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
+        let mut next = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        for k in 0..=global_right {
+            for (window, result) in windows.iter().zip(results.iter_mut()) {
+                let Some(fg) = window else { continue };
+                let w = fg.weight(k);
+                if w > 0.0 {
+                    for s in 0..n {
+                        result[s] += w * vk[s];
+                    }
+                }
+            }
+            if k < global_right {
+                self.forward_step(&vk, &mut next, &mut scratch, q)?;
+                std::mem::swap(&mut vk, &mut next);
+            }
+        }
+        for (result, &t) in results.iter_mut().zip(times.iter()) {
+            if t == 0.0 {
+                result.copy_from_slice(initial);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Expected sojourn-time vectors for several horizons (matrix-free; see
+    /// [`TransientSolver::expected_sojourn_times_many`] for the quantity).
+    ///
+    /// # Errors
+    ///
+    /// See [`OperatorTransientSolver::probabilities_at_many`].
+    pub fn expected_sojourn_times_many(
+        &self,
+        initial: &[f64],
+        times: &[f64],
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        self.validate_initial(initial)?;
+        for &t in times {
+            validate_time(t)?;
+        }
+        let n = self.num_states();
+        let Some(q) = self.uniformization_rate(None)? else {
+            return Ok(times
+                .iter()
+                .map(|&t| initial.iter().map(|p| p * t).collect())
+                .collect());
+        };
+        if times.iter().all(|&t| t == 0.0) {
+            return Ok(times.iter().map(|_| vec![0.0; n]).collect());
+        }
+        let windows = poisson_windows(q, times, self.options.epsilon)?;
+        let global_right = max_right(&windows);
+
+        let mut vk = initial.to_vec();
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
+        let mut next = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        let mut cdfs = vec![0.0; times.len()];
+        for k in 0..=global_right {
+            for ((window, result), cdf) in
+                windows.iter().zip(results.iter_mut()).zip(cdfs.iter_mut())
+            {
+                let Some(fg) = window else { continue };
+                if k > fg.right {
+                    continue;
+                }
+                *cdf += fg.weight(k);
+                let factor = (1.0 - *cdf).max(0.0) / q;
+                if factor > 0.0 {
+                    for s in 0..n {
+                        result[s] += factor * vk[s];
+                    }
+                }
+            }
+            if k < global_right {
+                self.forward_step(&vk, &mut next, &mut scratch, q)?;
+                std::mem::swap(&mut vk, &mut next);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Per-state time-bounded reachability for several bounds, matrix-free
+    /// (the absorbing-state transformation is a mask applied inside the
+    /// uniformised step, never a modified matrix).
+    ///
+    /// # Errors
+    ///
+    /// See [`OperatorTransientSolver::probabilities_at_many`].
+    pub fn bounded_until_per_state_many(
+        &self,
+        safe: &[bool],
+        goal: &[bool],
+        times: &[f64],
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        for &t in times {
+            validate_time(t)?;
+        }
+        let n = self.num_states();
+        if safe.len() != n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: safe.len(),
+            });
+        }
+        if goal.len() != n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: goal.len(),
+            });
+        }
+        let absorbing: Vec<bool> = (0..n).map(|s| goal[s] || !safe[s]).collect();
+        let indicator: Vec<f64> = (0..n).map(|s| if goal[s] { 1.0 } else { 0.0 }).collect();
+        let Some(q) = self.uniformization_rate(Some(&absorbing))? else {
+            return Ok(times.iter().map(|_| indicator.clone()).collect());
+        };
+        if times.iter().all(|&t| t == 0.0) {
+            return Ok(times.iter().map(|_| indicator.clone()).collect());
+        }
+        let windows = poisson_windows(q, times, self.options.epsilon)?;
+        let global_right = max_right(&windows);
+
+        let mut xk = indicator.clone();
+        let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
+        let mut next = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        for k in 0..=global_right {
+            for (window, result) in windows.iter().zip(results.iter_mut()) {
+                let Some(fg) = window else { continue };
+                let w = fg.weight(k);
+                if w > 0.0 {
+                    for s in 0..n {
+                        result[s] += w * xk[s];
+                    }
+                }
+            }
+            if k < global_right {
+                self.backward_step(&xk, &mut next, &mut scratch, q, Some(&absorbing))?;
+                std::mem::swap(&mut xk, &mut next);
+            }
+        }
+        for (result, &t) in results.iter_mut().zip(times.iter()) {
+            if t == 0.0 {
+                result.copy_from_slice(&indicator);
+                continue;
+            }
+            for s in 0..n {
+                if goal[s] {
+                    result[s] = 1.0;
+                }
+                result[s] = result[s].clamp(0.0, 1.0);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Time-bounded reachability from `initial` for several bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`OperatorTransientSolver::bounded_until_per_state_many`].
+    pub fn bounded_until_many(
+        &self,
+        initial: &[f64],
+        safe: &[bool],
+        goal: &[bool],
+        times: &[f64],
+    ) -> Result<Vec<f64>, CtmcError> {
+        self.validate_initial(initial)?;
+        let per_state = self.bounded_until_per_state_many(safe, goal, times)?;
+        Ok(per_state
+            .iter()
+            .map(|probs| initial.iter().zip(probs.iter()).map(|(p0, p)| p0 * p).sum())
+            .collect())
     }
 }
 
@@ -684,6 +1046,108 @@ mod tests {
                 .bounded_until(&[true, true], &[false, true], 1.0)
                 .is_err());
         }
+    }
+
+    /// A 4-state chain with some structure (two components, coupled rates).
+    fn four_state() -> Ctmc {
+        let mut b = CtmcBuilder::new(4);
+        b.add_transition(0, 1, 0.4).unwrap();
+        b.add_transition(0, 2, 0.2).unwrap();
+        b.add_transition(1, 0, 1.0).unwrap();
+        b.add_transition(1, 3, 0.2).unwrap();
+        b.add_transition(2, 0, 2.0).unwrap();
+        b.add_transition(2, 3, 0.4).unwrap();
+        b.add_transition(3, 1, 2.0).unwrap();
+        b.add_transition(3, 2, 1.0).unwrap();
+        b.set_initial_state(0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn operator_solver_matches_the_materialized_path() {
+        // Driving the uniformisation loop through the rate matrix as a bare
+        // LinearOperator (plus exit rates) must reproduce the classic
+        // matrix-based solver to numerical tolerance on every measure.
+        let chain = four_state();
+        let reference = TransientSolver::new(&chain);
+        let solver =
+            OperatorTransientSolver::new(chain.rate_matrix(), chain.exit_rates().to_vec()).unwrap();
+        let times = [0.0, 0.3, 1.0, 4.0, 20.0];
+        let initial = chain.initial_distribution().to_vec();
+
+        let probs = solver.probabilities_at_many(&initial, &times).unwrap();
+        let want = reference.probabilities_at_many(&times).unwrap();
+        for (got, expected) in probs.iter().zip(want.iter()) {
+            for (a, b) in got.iter().zip(expected.iter()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+
+        let sojourn = solver
+            .expected_sojourn_times_many(&initial, &times)
+            .unwrap();
+        let want = reference.expected_sojourn_times_many(&times).unwrap();
+        for (got, expected) in sojourn.iter().zip(want.iter()) {
+            for (a, b) in got.iter().zip(expected.iter()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+
+        let safe = [true, true, false, true];
+        let goal = [false, false, false, true];
+        let per_state = solver
+            .bounded_until_per_state_many(&safe, &goal, &times)
+            .unwrap();
+        let want = reference
+            .bounded_until_per_state_many(&safe, &goal, &times)
+            .unwrap();
+        for (got, expected) in per_state.iter().zip(want.iter()) {
+            for (a, b) in got.iter().zip(expected.iter()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+        let scalars = solver
+            .bounded_until_many(&initial, &safe, &goal, &times)
+            .unwrap();
+        let want = reference.bounded_until_many(&safe, &goal, &times).unwrap();
+        for (a, b) in scalars.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn operator_solver_validates_inputs_and_degenerate_cases() {
+        let chain = four_state();
+        let rates = chain.rate_matrix();
+        assert!(OperatorTransientSolver::new(rates, vec![0.0; 3]).is_err());
+        assert!(OperatorTransientSolver::new(rates, vec![-1.0, 0.0, 0.0, 0.0]).is_err());
+
+        let solver = OperatorTransientSolver::new(rates, chain.exit_rates().to_vec()).unwrap();
+        assert!(solver.probabilities_at_many(&[1.0], &[1.0]).is_err());
+        assert!(solver
+            .probabilities_at_many(chain.initial_distribution(), &[-1.0])
+            .is_err());
+        assert!(solver
+            .bounded_until_per_state_many(&[true; 3], &[true; 4], &[1.0])
+            .is_err());
+
+        // All-goal query: every state absorbing, answer is the indicator.
+        let per_state = solver
+            .bounded_until_per_state_many(&[true; 4], &[true; 4], &[5.0])
+            .unwrap();
+        assert_eq!(per_state, vec![vec![1.0; 4]]);
+
+        // A transition-free operator: distributions never move.
+        let empty = crate::sparse::SparseMatrixBuilder::new(2, 2).build();
+        let frozen = OperatorTransientSolver::new(&empty, vec![0.0, 0.0]).unwrap();
+        let probs = frozen
+            .probabilities_at_many(&[0.25, 0.75], &[0.0, 7.0])
+            .unwrap();
+        assert_eq!(probs[1], vec![0.25, 0.75]);
+        let sojourn = frozen
+            .expected_sojourn_times_many(&[0.25, 0.75], &[4.0])
+            .unwrap();
+        assert_eq!(sojourn[0], vec![1.0, 3.0]);
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub mod subchain;
 
 pub use error::LumpError;
 pub use partition::InitialPartition;
-pub use product::{KroneckerSum, QuotientProduct};
+pub use product::{KroneckerSum, ProductOrbit, QuotientProduct};
 pub use quotient::LumpedCtmc;
 pub use refine::lump;
 pub use subchain::{canonical_roles, multiset_count, SubchainQuotient};

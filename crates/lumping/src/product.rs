@@ -25,6 +25,10 @@
 //! automata networks, structured lumping) specialised to factors that are
 //! themselves quotients produced by this crate.
 
+use std::collections::HashMap;
+
+use arcade_symmetry::chain::group_identical_chains;
+use arcade_symmetry::orbit::FactorClasses;
 use ctmc::exec::{self, ExecOptions};
 use ctmc::ops::LinearOperator;
 use ctmc::{Ctmc, CtmcBuilder, CtmcError, RewardStructure, SparseMatrix};
@@ -312,6 +316,14 @@ impl QuotientProduct {
     /// `joint[s] = Σᵢ rewardsᵢ[tupleᵢ(s)]` — additive rewards (costs) of
     /// independent subsystems add. Factors without a reward contribute zero.
     ///
+    /// The per-state contributions are sorted by value before summation, so
+    /// joint states whose contributions form the same *multiset* get
+    /// bit-identical sums — in particular, tuples related by a permutation
+    /// of interchangeable factors, which keeps summed rewards exactly
+    /// constant on [`ProductOrbit`] orbits for any factor count (floating
+    /// point addition does not commute across more than two summands
+    /// otherwise).
+    ///
     /// # Errors
     ///
     /// Propagates length mismatches; see [`QuotientProduct::expand_mask`].
@@ -329,14 +341,30 @@ impl QuotientProduct {
                 ),
             });
         }
-        let mut joint = vec![0.0; self.num_states];
         for (factor, rewards) in per_factor.iter().enumerate() {
             if let Some(rewards) = rewards {
-                let expanded = self.expand_values(factor, rewards.state_rewards())?;
-                for (slot, value) in joint.iter_mut().zip(expanded) {
-                    *slot += value;
+                let chain = &self.factors[factor];
+                if rewards.state_rewards().len() != chain.num_states() {
+                    return Err(LumpError::DimensionMismatch {
+                        expected: chain.num_states(),
+                        actual: rewards.state_rewards().len(),
+                    });
                 }
             }
+        }
+        let mut joint = Vec::with_capacity(self.num_states);
+        let mut contributions = Vec::with_capacity(self.factors.len());
+        for s in 0..self.num_states {
+            contributions.clear();
+            for (factor, rewards) in per_factor.iter().enumerate() {
+                if let Some(rewards) = rewards {
+                    let chain = &self.factors[factor];
+                    let local = (s / self.strides[factor]) % chain.num_states();
+                    contributions.push(rewards.state_rewards()[local]);
+                }
+            }
+            contributions.sort_by(f64::total_cmp);
+            joint.push(contributions.iter().sum::<f64>());
         }
         Ok(RewardStructure::new(name, joint)?)
     }
@@ -453,6 +481,290 @@ impl QuotientProduct {
                 let mask = chain.label(&label).expect("name came from the chain");
                 let joint = self.expand_mask(factor, mask)?;
                 builder.add_label_mask(format!("{name}/{label}"), joint)?;
+            }
+        }
+
+        Ok(builder.build()?)
+    }
+
+    /// Partitions the factors into interchangeability classes: factors whose
+    /// quotient chains have **identical presentations** (same states in the
+    /// same order, same transitions and rates, same initials and labels —
+    /// what the deterministic composer produces for isomorphic models) share
+    /// a class id, assigned in first-appearance order.
+    pub fn factor_classes(&self) -> Vec<usize> {
+        let chains: Vec<&Ctmc> = self.factors.iter().collect();
+        group_identical_chains(&chains)
+    }
+
+    /// The sorted-tuple orbit quotient of this product, or `None` when no
+    /// two factors are interchangeable. Exchanging the coordinates of an
+    /// interchangeability class is an automorphism of the Kronecker sum, so
+    /// the orbit partition is ordinarily lumpable: every class-symmetric
+    /// measure solved on orbit representatives equals the unreduced product
+    /// exactly. Two identical factors of `n` blocks fold `n²` tuples to
+    /// `n(n+1)/2` orbits — the promised halving — **before** the joint chain
+    /// is ever materialised.
+    pub fn orbit(&self) -> Option<ProductOrbit> {
+        let classes = FactorClasses::new(
+            self.factor_classes(),
+            self.factors.iter().map(Ctmc::num_states).collect(),
+        )
+        .expect("factors of one class are identical, so sizes match");
+        if !classes.has_symmetry() {
+            return None;
+        }
+        let mut representatives = Vec::with_capacity(classes.num_orbits());
+        let mut orbit_index: HashMap<usize, usize> = HashMap::with_capacity(classes.num_orbits());
+        let mut orbit_sizes = Vec::with_capacity(classes.num_orbits());
+        for joint in 0..self.num_states {
+            let tuple = self.tuple_of(joint);
+            if classes.is_canonical(&tuple) {
+                orbit_index.insert(joint, representatives.len());
+                orbit_sizes.push(classes.orbit_size(&tuple));
+                representatives.push(joint);
+            }
+        }
+        // The dense joint → orbit table: every projection, expansion and
+        // materialisation pass scans all joint states (or transitions), so
+        // the per-state canonicalisation is paid once here and every later
+        // lookup is one array read.
+        let orbit_of = (0..self.num_states)
+            .map(|joint| {
+                let mut tuple = self.tuple_of(joint);
+                classes.canonicalize(&mut tuple);
+                let representative = self
+                    .index_of(&tuple)
+                    .expect("canonical tuples stay in range");
+                orbit_index[&representative]
+            })
+            .collect();
+        Some(ProductOrbit {
+            classes,
+            representatives,
+            orbit_of,
+            orbit_sizes,
+        })
+    }
+}
+
+/// The orbit quotient of a [`QuotientProduct`] under the permutations of its
+/// interchangeable factors: joint tuples folded to their sorted-tuple
+/// representatives (see [`QuotientProduct::orbit`]).
+///
+/// All methods take the product they were derived from; passing a different
+/// product yields dimension errors or nonsense, not unsoundness — the maps
+/// are pure index arithmetic.
+#[derive(Debug, Clone)]
+pub struct ProductOrbit {
+    classes: FactorClasses,
+    /// Joint indices of the canonical representatives, ascending.
+    representatives: Vec<usize>,
+    /// The orbit id of every joint state (dense lookup table).
+    orbit_of: Vec<usize>,
+    /// Number of joint tuples in each orbit.
+    orbit_sizes: Vec<usize>,
+}
+
+impl ProductOrbit {
+    /// Number of orbits (= states of the orbit-quotient chain).
+    pub fn num_orbits(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The interchangeability classes of the factors.
+    pub fn classes(&self) -> &FactorClasses {
+        &self.classes
+    }
+
+    /// The representative joint index of every orbit, ascending.
+    pub fn representatives(&self) -> &[usize] {
+        &self.representatives
+    }
+
+    /// Number of joint tuples in an orbit.
+    pub fn orbit_size(&self, orbit: usize) -> usize {
+        self.orbit_sizes[orbit]
+    }
+
+    /// The orbit of a joint state (one table read; the `product` parameter
+    /// documents which product the indices refer to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint` is out of range for the product.
+    pub fn orbit_of(&self, product: &QuotientProduct, joint: usize) -> usize {
+        debug_assert_eq!(product.num_states(), self.orbit_of.len());
+        self.orbit_of[joint]
+    }
+
+    /// Projects a joint mask onto the orbits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LumpError::NotBlockConstant`] when the mask distinguishes
+    /// two tuples of one orbit (the measure is not class-symmetric — solve
+    /// it on the unreduced product instead) and
+    /// [`LumpError::DimensionMismatch`] on a length mismatch.
+    pub fn project_mask(
+        &self,
+        product: &QuotientProduct,
+        mask: &[bool],
+    ) -> Result<Vec<bool>, LumpError> {
+        let values: Vec<f64> = mask.iter().map(|&b| f64::from(u8::from(b))).collect();
+        Ok(self
+            .project_values(product, &values)?
+            .into_iter()
+            .map(|v| v != 0.0)
+            .collect())
+    }
+
+    /// Projects orbit-constant joint values onto the orbits.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProductOrbit::project_mask`].
+    pub fn project_values(
+        &self,
+        product: &QuotientProduct,
+        values: &[f64],
+    ) -> Result<Vec<f64>, LumpError> {
+        if values.len() != product.num_states() {
+            return Err(LumpError::DimensionMismatch {
+                expected: product.num_states(),
+                actual: values.len(),
+            });
+        }
+        let out: Vec<f64> = self.representatives.iter().map(|&r| values[r]).collect();
+        for (joint, &value) in values.iter().enumerate() {
+            let orbit = self.orbit_of(product, joint);
+            if out[orbit].to_bits() != value.to_bits() {
+                return Err(LumpError::NotBlockConstant {
+                    what: "joint values".to_string(),
+                    block: orbit,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands per-orbit forward quantities (transient probabilities of
+    /// reaching a goal, expected rewards from a start state, CSL verdicts)
+    /// back to the joint states: every tuple of an orbit carries its orbit's
+    /// value.
+    pub fn expand_values(&self, product: &QuotientProduct, orbit_values: &[f64]) -> Vec<f64> {
+        (0..product.num_states())
+            .map(|joint| orbit_values[self.orbit_of(product, joint)])
+            .collect()
+    }
+
+    /// Aggregates a joint distribution onto the orbits.
+    pub fn aggregate_distribution(&self, product: &QuotientProduct, joint: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_orbits()];
+        for (state, &probability) in joint.iter().enumerate() {
+            out[self.orbit_of(product, state)] += probability;
+        }
+        out
+    }
+
+    /// Expands an orbit distribution that is **invariant under the factor
+    /// permutations** — any stationary distribution of the orbit chain is,
+    /// because the permutations are automorphisms — uniformly over each
+    /// orbit's tuples. The result satisfies the joint balance equations,
+    /// which is what lets the matrix-free Kronecker residual certify an
+    /// orbit-level solve against the unreduced product.
+    pub fn expand_distribution(
+        &self,
+        product: &QuotientProduct,
+        orbit_distribution: &[f64],
+    ) -> Vec<f64> {
+        (0..product.num_states())
+            .map(|joint| {
+                let orbit = self.orbit_of(product, joint);
+                orbit_distribution[orbit] / self.orbit_sizes[orbit] as f64
+            })
+            .collect()
+    }
+
+    /// Materialises the orbit-quotient chain.
+    ///
+    /// Each orbit's row is read off its representative: the aggregate rate
+    /// into a target orbit is the sum of the representative's Kronecker-sum
+    /// rates into that orbit's tuples (constant across the orbit because the
+    /// folded permutations are automorphisms). Rows are sharded over the
+    /// worker pool in orbit order with a fixed per-row accumulation order
+    /// (factors in tuple order, factor transitions in CSR order, targets in
+    /// ascending orbit order), so the chain is bit-identical for every
+    /// thread count. The initial distribution aggregates the product of the
+    /// factor initials; every factor label is attached as its orbit-folded
+    /// cylinder under `{factor}/{label}` when it is class-symmetric and
+    /// dropped otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-construction errors.
+    pub fn materialize(
+        &self,
+        product: &QuotientProduct,
+        exec: &ExecOptions,
+    ) -> Result<Ctmc, LumpError> {
+        let mut builder = CtmcBuilder::new(self.num_orbits());
+        let workers = exec
+            .workers_for(product.num_transitions())
+            .min(self.num_orbits().max(1));
+        let shards = exec::shard_ranges(self.num_orbits(), workers);
+        let triplet_shards: Vec<Vec<(usize, usize, f64)>> =
+            exec::map_ordered(&shards, *exec, |range| {
+                let mut triplets = Vec::new();
+                for orbit in range.clone() {
+                    let source = self.representatives[orbit];
+                    // (target orbit, rate) aggregated in ascending target
+                    // order; within a target, rates add in factor-then-CSR
+                    // encounter order.
+                    let mut outgoing: std::collections::BTreeMap<usize, f64> =
+                        std::collections::BTreeMap::new();
+                    for (factor, chain) in product.factors.iter().enumerate() {
+                        let stride = product.strides[factor];
+                        let local = (source / stride) % chain.num_states();
+                        let (cols, values) = chain.rate_matrix().row(local);
+                        for (&target, &rate) in cols.iter().zip(values.iter()) {
+                            let neighbor = source + (target * stride) - (local * stride);
+                            let target_orbit = self.orbit_of(product, neighbor);
+                            if target_orbit != orbit {
+                                *outgoing.entry(target_orbit).or_insert(0.0) += rate;
+                            }
+                        }
+                    }
+                    for (target, rate) in outgoing {
+                        triplets.push((orbit, target, rate));
+                    }
+                }
+                triplets
+            });
+        for triplets in triplet_shards {
+            for (from, to, rate) in triplets {
+                builder.add_transition(from, to, rate)?;
+            }
+        }
+
+        let joint_initial = product.product_distribution(
+            &product
+                .factors
+                .iter()
+                .map(|chain| chain.initial_distribution().to_vec())
+                .collect::<Vec<_>>(),
+        )?;
+        builder.set_initial_distribution(self.aggregate_distribution(product, &joint_initial))?;
+
+        for (factor, (name, chain)) in product.names.iter().zip(product.factors.iter()).enumerate()
+        {
+            let labels: Vec<String> = chain.label_names().map(str::to_string).collect();
+            for label in labels {
+                let mask = chain.label(&label).expect("name came from the chain");
+                let joint = product.expand_mask(factor, mask)?;
+                if let Ok(orbit_mask) = self.project_mask(product, &joint) {
+                    builder.add_label_mask(format!("{name}/{label}"), orbit_mask)?;
+                }
             }
         }
 
@@ -761,6 +1073,139 @@ mod tests {
 
         let exits = product.exit_rates();
         assert_eq!(exits, vec![0.6, 2.1, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn orbit_folds_identical_factors_and_matches_the_full_product() {
+        // Two identical components and one odd one: classes {0, 0, 1},
+        // 2·2·3 = 12 tuples fold to 3·3 = 9 orbits.
+        let mut odd = CtmcBuilder::new(3);
+        odd.add_transition(0, 1, 0.3).unwrap();
+        odd.add_transition(1, 2, 0.7).unwrap();
+        odd.add_transition(2, 0, 1.5).unwrap();
+        odd.set_initial_state(0).unwrap();
+        let product = QuotientProduct::from_chains(vec![
+            ("a".to_string(), component(0.1, 1.0)),
+            ("b".to_string(), component(0.1, 1.0)),
+            ("c".to_string(), odd.build().unwrap()),
+        ])
+        .unwrap();
+        assert_eq!(product.factor_classes(), vec![0, 0, 1]);
+        let orbit = product.orbit().expect("two identical factors");
+        assert_eq!(orbit.num_orbits(), 3 * 3);
+        assert_eq!(orbit.classes().num_orbits(), 9);
+
+        // Orbit sizes cover the raw tuples.
+        let total: usize = (0..orbit.num_orbits()).map(|o| orbit.orbit_size(o)).sum();
+        assert_eq!(total, product.num_states());
+
+        // Swapped tuples share an orbit.
+        let up_down = product.index_of(&[0, 1, 2]).unwrap();
+        let down_up = product.index_of(&[1, 0, 2]).unwrap();
+        assert_eq!(
+            orbit.orbit_of(&product, up_down),
+            orbit.orbit_of(&product, down_up)
+        );
+
+        let exec = ExecOptions::serial();
+        let chain = orbit.materialize(&product, &exec).unwrap();
+        assert_eq!(chain.num_states(), 9);
+        // The symmetric cylinder labels fold; each factor's own label is
+        // asymmetric and dropped for the twins, kept for the singleton.
+        assert!(chain.label("c/up").is_none());
+        assert!(chain.label("a/up").is_none());
+
+        // Steady state: the orbit solve aggregates the full product solve.
+        let joint = product.materialize(&exec).unwrap();
+        let joint_pi = SteadyStateSolver::new(&joint).solve().unwrap();
+        let orbit_pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let aggregated = orbit.aggregate_distribution(&product, &joint_pi);
+        for (a, b) in aggregated.iter().zip(orbit_pi.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // The uniform expansion of the orbit stationary vector satisfies the
+        // joint balance equations — the matrix-free certificate.
+        let expanded = orbit.expand_distribution(&product, &orbit_pi);
+        let residual = product.balance_residual(&expanded, &exec).unwrap();
+        assert!(residual < 1e-9, "residual {residual}");
+
+        // Symmetric masks project; asymmetric masks are rejected.
+        let a_up = product.expand_mask(0, &[true, false]).unwrap();
+        let b_up = product.expand_mask(1, &[true, false]).unwrap();
+        let both: Vec<bool> = a_up
+            .iter()
+            .zip(b_up.iter())
+            .map(|(&x, &y)| x && y)
+            .collect();
+        let projected = orbit.project_mask(&product, &both).unwrap();
+        assert_eq!(projected.len(), 9);
+        assert!(matches!(
+            orbit.project_mask(&product, &a_up),
+            Err(LumpError::NotBlockConstant { .. })
+        ));
+        assert!(orbit.project_mask(&product, &[true]).is_err());
+
+        // Forward quantities expand orbit-constantly.
+        let forward = orbit.expand_values(&product, &[1.0; 9]);
+        assert_eq!(forward.len(), product.num_states());
+    }
+
+    #[test]
+    fn summed_rewards_stay_orbit_constant_for_three_twins() {
+        // Floating-point addition does not commute across three summands:
+        // (0.1 + 0.2) + 0.3 != (0.2 + 0.3) + 0.1. With three identical
+        // factors the per-state contributions of orbit siblings are the
+        // same multiset in different orders, so the sorted summation of
+        // `sum_rewards` is what keeps the joint rewards projectable.
+        let factors: Vec<(String, Ctmc)> = (0..3)
+            .map(|i| (format!("twin{i}"), component(0.4, 2.0)))
+            .collect();
+        let product = QuotientProduct::from_chains(factors).unwrap();
+        let orbit = product.orbit().expect("three identical factors");
+        let rewards = RewardStructure::new("cost", vec![0.1, 0.2]).unwrap();
+        let joint = product
+            .sum_rewards("cost", &[Some(&rewards), Some(&rewards), Some(&rewards)])
+            .unwrap();
+        let projected = orbit
+            .project_values(&product, joint.state_rewards())
+            .expect("sorted sums are bit-identical across each orbit");
+        assert_eq!(projected.len(), orbit.num_orbits());
+        // Wrong-length reward vectors are rejected up front.
+        let short = RewardStructure::new("cost", vec![0.1]).unwrap();
+        assert!(product
+            .sum_rewards("cost", &[Some(&short), None, None])
+            .is_err());
+    }
+
+    #[test]
+    fn orbit_is_absent_without_interchangeable_factors() {
+        let product = two_factor_product();
+        assert_eq!(product.factor_classes(), vec![0, 1]);
+        assert!(product.orbit().is_none());
+    }
+
+    #[test]
+    fn orbit_materialization_is_thread_count_invariant() {
+        let factors: Vec<(String, Ctmc)> = (0..5)
+            .map(|i| (format!("f{i}"), component(0.25, 2.0)))
+            .collect();
+        let product = QuotientProduct::from_chains(factors).unwrap();
+        let orbit = product.orbit().expect("five identical factors");
+        // Multisets of 5 over 2 local states: C(6, 5) = 6 orbits from 32.
+        assert_eq!(orbit.num_orbits(), 6);
+        let reference = orbit.materialize(&product, &ExecOptions::serial()).unwrap();
+        for threads in [2usize, 4, 8] {
+            let sharded = orbit
+                .materialize(&product, &ExecOptions::with_threads(threads))
+                .unwrap();
+            assert_eq!(sharded, reference, "{threads} threads");
+        }
+        // Aggregated rates: from all-up (orbit of tuple 0…0) the fold merges
+        // the five failure transitions into one orbit at 5λ.
+        let all_up = orbit.orbit_of(&product, 0);
+        let (_, values) = reference.rate_matrix().row(all_up);
+        let total: f64 = values.iter().sum();
+        assert!((total - 5.0 * 0.25).abs() < 1e-12, "{total}");
     }
 
     #[test]

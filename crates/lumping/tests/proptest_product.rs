@@ -132,3 +132,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sorted-tuple orbit folding of interchangeable factors: for a product
+    /// of `copies` identical chains (plus one odd factor), the orbit chain
+    /// must carry the multiset-count state space, aggregate the joint
+    /// stationary distribution exactly, and certify its uniform expansion
+    /// against the matrix-free Kronecker sum — for every thread count.
+    #[test]
+    fn orbit_quotient_agrees_with_the_unreduced_product(
+        copies in 2usize..=3,
+        size in 2usize..=4,
+        seed in 1u64..10_000,
+    ) {
+        let mut factors: Vec<(String, Ctmc)> = (0..copies)
+            .map(|i| (format!("twin{i}"), ring_chain(size, seed)))
+            .collect();
+        factors.push(("odd".to_string(), ring_chain(size + 1, seed * 7 + 1)));
+        let product = QuotientProduct::from_chains(factors).unwrap();
+
+        let classes = product.factor_classes();
+        prop_assert!(classes[..copies].iter().all(|&c| c == 0));
+        prop_assert_eq!(classes[copies], 1);
+
+        let orbit = product.orbit().expect("identical twins fold");
+        // Multisets of `copies` over `size` local states, times the odd factor.
+        let mut expected = size + 1;
+        let mut binom = 1usize;
+        for i in 0..copies {
+            binom = binom * (size + i) / (i + 1);
+        }
+        expected *= binom;
+        prop_assert_eq!(orbit.num_orbits(), expected);
+        let covered: usize = (0..orbit.num_orbits()).map(|o| orbit.orbit_size(o)).sum();
+        prop_assert_eq!(covered, product.num_states());
+
+        let serial = ExecOptions::serial();
+        let reference = orbit.materialize(&product, &serial).unwrap();
+        for &threads in THREAD_COUNTS.iter() {
+            let sharded = orbit
+                .materialize(&product, &ExecOptions::with_threads(threads))
+                .unwrap();
+            prop_assert!(sharded == reference, "{threads} threads differ");
+        }
+
+        // The aggregated joint stationary distribution solves the orbit
+        // chain, and its uniform expansion solves the joint chain.
+        let joint = product.materialize(&serial).unwrap();
+        let joint_pi = SteadyStateSolver::new(&joint)
+            .tolerance(1e-13)
+            .solve()
+            .unwrap();
+        let orbit_pi = SteadyStateSolver::new(&reference)
+            .tolerance(1e-13)
+            .solve()
+            .unwrap();
+        let aggregated = orbit.aggregate_distribution(&product, &joint_pi);
+        for (a, b) in aggregated.iter().zip(orbit_pi.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9, "{a} vs {b}");
+        }
+        let expanded = orbit.expand_distribution(&product, &orbit_pi);
+        let residual = product.balance_residual(&expanded, &serial).unwrap();
+        prop_assert!(residual < 1e-9, "residual {residual}");
+    }
+}

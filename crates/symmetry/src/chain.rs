@@ -1,0 +1,133 @@
+//! Presentation codes for labelled CTMCs: recognising interchangeable
+//! product factors.
+//!
+//! Two factors of a product are interchangeable when swapping their
+//! coordinates is an automorphism of the joint chain. Deciding chain
+//! *isomorphism* (equality up to a state renumbering) is graph-isomorphism
+//! hard in general, but the deterministic composer maps isomorphic models to
+//! **identical presentations** — same state numbering, same CSR transition
+//! order, same labels — so structural equality of the presentations is the
+//! sound and complete-in-practice test. The code here is a deterministic
+//! fingerprint used for grouping; every match is confirmed by exact
+//! comparison, so hash collisions cannot cause an unsound merge.
+
+use std::hash::{Hash, Hasher};
+
+use ctmc::Ctmc;
+
+/// A deterministic fingerprint of a chain's exact presentation: state count,
+/// CSR transition structure with rate bit patterns, initial-distribution bit
+/// patterns, and the sorted labels with their masks. Equal chains get equal
+/// codes; unequal chains collide only with hash probability (and are told
+/// apart by [`group_identical_chains`]'s confirming comparison).
+pub fn chain_presentation_code(chain: &Ctmc) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    chain.num_states().hash(&mut hasher);
+    for state in 0..chain.num_states() {
+        let (cols, values) = chain.rate_matrix().row(state);
+        cols.hash(&mut hasher);
+        for value in values {
+            value.to_bits().hash(&mut hasher);
+        }
+    }
+    for probability in chain.initial_distribution() {
+        probability.to_bits().hash(&mut hasher);
+    }
+    let mut labels: Vec<&str> = chain.label_names().collect();
+    labels.sort_unstable();
+    for name in labels {
+        name.hash(&mut hasher);
+        chain
+            .label(name)
+            .expect("name came from the chain")
+            .hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Exact interchangeability of two presentations (see module docs).
+fn chains_identical(a: &Ctmc, b: &Ctmc) -> bool {
+    if a.num_states() != b.num_states() {
+        return false;
+    }
+    if a.rate_matrix() != b.rate_matrix() {
+        return false;
+    }
+    if a.initial_distribution()
+        .iter()
+        .zip(b.initial_distribution())
+        .any(|(x, y)| x.to_bits() != y.to_bits())
+    {
+        return false;
+    }
+    let mut a_labels: Vec<&str> = a.label_names().collect();
+    let mut b_labels: Vec<&str> = b.label_names().collect();
+    a_labels.sort_unstable();
+    b_labels.sort_unstable();
+    if a_labels != b_labels {
+        return false;
+    }
+    a_labels.iter().all(|name| a.label(name) == b.label(name))
+}
+
+/// Partitions chains into interchangeability classes, returning one class id
+/// per chain in first-appearance order (`0..k`). Candidate matches are found
+/// through [`chain_presentation_code`] and confirmed by exact comparison.
+pub fn group_identical_chains(chains: &[&Ctmc]) -> Vec<usize> {
+    let codes: Vec<u64> = chains
+        .iter()
+        .map(|chain| chain_presentation_code(chain))
+        .collect();
+    let mut classes = Vec::with_capacity(chains.len());
+    let mut representatives: Vec<usize> = Vec::new();
+    for (index, chain) in chains.iter().enumerate() {
+        let class = representatives
+            .iter()
+            .position(|&r| codes[r] == codes[index] && chains_identical(chains[r], chain));
+        match class {
+            Some(id) => classes.push(id),
+            None => {
+                classes.push(representatives.len());
+                representatives.push(index);
+            }
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use ctmc::CtmcBuilder;
+
+    use super::*;
+
+    fn component(lambda: f64, mu: f64) -> Ctmc {
+        let mut builder = CtmcBuilder::new(2);
+        builder.add_transition(0, 1, lambda).unwrap();
+        builder.add_transition(1, 0, mu).unwrap();
+        builder.set_initial_state(0).unwrap();
+        builder.add_label_mask("up", vec![true, false]).unwrap();
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn identical_presentations_share_a_class() {
+        let a = component(0.1, 1.0);
+        let b = component(0.1, 1.0);
+        let c = component(0.2, 1.0);
+        assert_eq!(chain_presentation_code(&a), chain_presentation_code(&b));
+        assert_ne!(chain_presentation_code(&a), chain_presentation_code(&c));
+        assert_eq!(group_identical_chains(&[&a, &c, &b, &c]), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn labels_and_initials_distinguish_presentations() {
+        let plain = component(0.1, 1.0);
+        let mut relabeled = component(0.1, 1.0);
+        relabeled.set_label("down", vec![false, true]).unwrap();
+        assert_eq!(group_identical_chains(&[&plain, &relabeled]), vec![0, 1]);
+
+        let restarted = plain.with_initial_state(1).unwrap();
+        assert_eq!(group_identical_chains(&[&plain, &restarted]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,234 @@
+//! AHU-style canonical codes for attributed structure trees.
+//!
+//! The classic Aho–Hopcroft–Ullman tree-isomorphism argument assigns every
+//! subtree a canonical code built bottom-up: a leaf's code is its attribute
+//! fingerprint, a gate's code combines the gate kind with the *sorted* codes
+//! of its children. Two subtrees receive equal codes **iff** they are
+//! isomorphic as attributed trees. Sorting the children is sound here because
+//! every Arcade gate (series → min, redundant → mean, required-of → ratio,
+//! and the derived or/and/vote fault-tree gates) is a symmetric function of
+//! its children.
+//!
+//! Codes are exact, not hashes: the canonical byte string is kept in full, so
+//! equality of codes is equality of canonical forms — no collision argument
+//! is needed anywhere downstream. Arcade structures are small (tens of
+//! nodes), so the quadratic worst case of string concatenation is irrelevant.
+
+use std::fmt;
+
+use fault_tree::StructureNode;
+
+/// The canonical code of an attributed subtree. Equal codes ⇔ isomorphic
+/// attributed subtrees.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalCode(String);
+
+impl CanonicalCode {
+    /// The canonical form as a string (stable across runs; useful in tests
+    /// and reports).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CanonicalCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything a subtree permutation must preserve about one leaf, as exact
+/// bit patterns. The caller (the family detector, which knows the model)
+/// fills these in; the code layer never interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LeafAttributes {
+    /// Failure rate, `f64::to_bits`.
+    pub failure_bits: u64,
+    /// Repair rate, `f64::to_bits`.
+    pub repair_bits: u64,
+    /// Dormancy factor, `f64::to_bits`.
+    pub dormancy_bits: u64,
+    /// Operational cost rate, `f64::to_bits`.
+    pub operational_cost_bits: u64,
+    /// Failed cost rate, `f64::to_bits`.
+    pub failed_cost_bits: u64,
+    /// Whether the component starts failed.
+    pub initially_failed: bool,
+    /// Index of the responsible repair unit (`None` when unrepaired).
+    /// Swapping subtrees relabels queue entries, which is only an
+    /// automorphism when corresponding leaves share their unit.
+    pub repair_unit: Option<usize>,
+    /// Dispatch priority under the responsible unit, `f64::to_bits`.
+    pub priority_bits: u64,
+    /// A unique salt makes this leaf — and every subtree containing it —
+    /// unmergeable (used for spare-managed and multiply-referenced leaves,
+    /// whose semantics are index-sensitive).
+    pub salt: Option<u64>,
+    /// Exact id of the symmetry-guard membership set containing this leaf
+    /// (the caller interns membership sets into dense ids — never a hash,
+    /// so distinct sets cannot collide). Guarded leaf sets must be
+    /// preserved by every admissible permutation, so leaves with different
+    /// guard ids never correspond.
+    pub guard_bits: u64,
+}
+
+impl LeafAttributes {
+    fn render(&self) -> String {
+        let unit = match self.repair_unit {
+            Some(u) => format!("u{u}"),
+            None => "u-".to_string(),
+        };
+        let salt = match self.salt {
+            Some(s) => format!("!{s:x}"),
+            None => String::new(),
+        };
+        format!(
+            "{:x}.{:x}.{:x}.{:x}.{:x}.{}.{unit}.{:x}.{:x}{salt}",
+            self.failure_bits,
+            self.repair_bits,
+            self.dormancy_bits,
+            self.operational_cost_bits,
+            self.failed_cost_bits,
+            u8::from(self.initially_failed),
+            self.priority_bits,
+            self.guard_bits,
+        )
+    }
+}
+
+/// A subtree together with its canonical code and its leaves in **canonical
+/// traversal order**: children are visited in sorted-code order, so position
+/// `k` of one subtree's leaf list corresponds to position `k` of any
+/// isomorphic subtree's list under the isomorphism. This alignment is what
+/// lets a subtree swap move leaf roles pairwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedSubtree {
+    /// The canonical code.
+    pub code: CanonicalCode,
+    /// Leaf component names in canonical traversal order.
+    pub leaves: Vec<String>,
+}
+
+/// Codes one subtree (see [`CodedSubtree`]). `attributes` supplies the exact
+/// fingerprint of each leaf by component name.
+pub fn subtree_code(
+    node: &StructureNode,
+    attributes: &impl Fn(&str) -> LeafAttributes,
+) -> CodedSubtree {
+    match node {
+        StructureNode::Component(name) => CodedSubtree {
+            code: CanonicalCode(format!("c({})", attributes(name).render())),
+            leaves: vec![name.clone()],
+        },
+        StructureNode::Series(children) => gate_code("S", None, children, attributes),
+        StructureNode::Redundant(children) => gate_code("R", None, children, attributes),
+        StructureNode::RequiredOf { required, children } => {
+            gate_code("K", Some(*required), children, attributes)
+        }
+    }
+}
+
+fn gate_code(
+    tag: &str,
+    parameter: Option<usize>,
+    children: &[StructureNode],
+    attributes: &impl Fn(&str) -> LeafAttributes,
+) -> CodedSubtree {
+    let mut coded: Vec<CodedSubtree> = children
+        .iter()
+        .map(|child| subtree_code(child, attributes))
+        .collect();
+    // Stable sort by code: equal-code siblings keep their definition order,
+    // so the canonical traversal (and with it the leaf alignment) is
+    // deterministic.
+    coded.sort_by(|a, b| a.code.cmp(&b.code));
+    let mut body = String::new();
+    let mut leaves = Vec::new();
+    for (i, child) in coded.into_iter().enumerate() {
+        if i > 0 {
+            body.push('|');
+        }
+        body.push_str(child.code.as_str());
+        leaves.extend(child.leaves);
+    }
+    let code = match parameter {
+        Some(p) => CanonicalCode(format!("{tag}{p}({body})")),
+        None => CanonicalCode(format!("{tag}({body})")),
+    };
+    CodedSubtree { code, leaves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain(_: &str) -> LeafAttributes {
+        LeafAttributes::default()
+    }
+
+    fn leaf(name: &str) -> StructureNode {
+        StructureNode::component(name)
+    }
+
+    #[test]
+    fn isomorphic_subtrees_share_codes_regardless_of_child_order() {
+        let left = StructureNode::redundant(vec![
+            leaf("a"),
+            StructureNode::series(vec![leaf("b"), leaf("c")]),
+        ]);
+        let right = StructureNode::redundant(vec![
+            StructureNode::series(vec![leaf("x"), leaf("y")]),
+            leaf("z"),
+        ]);
+        let l = subtree_code(&left, &plain);
+        let r = subtree_code(&right, &plain);
+        assert_eq!(l.code, r.code);
+        // Canonical leaf order aligns: the lone leaf sorts relative to the
+        // series gate the same way in both trees.
+        assert_eq!(l.leaves.len(), 3);
+        assert_eq!(r.leaves.len(), 3);
+        let lone_left = l.leaves.iter().position(|n| n == "a").unwrap();
+        let lone_right = r.leaves.iter().position(|n| n == "z").unwrap();
+        assert_eq!(lone_left, lone_right);
+    }
+
+    #[test]
+    fn gate_kind_and_parameter_distinguish_codes() {
+        let children = vec![leaf("a"), leaf("b")];
+        let series = subtree_code(&StructureNode::series(children.clone()), &plain);
+        let redundant = subtree_code(&StructureNode::redundant(children.clone()), &plain);
+        let one_of = subtree_code(&StructureNode::required_of(1, children.clone()), &plain);
+        let two_of = subtree_code(&StructureNode::required_of(2, children), &plain);
+        assert_ne!(series.code, redundant.code);
+        assert_ne!(one_of.code, two_of.code);
+        assert_ne!(series.code, one_of.code);
+    }
+
+    #[test]
+    fn leaf_attributes_split_codes() {
+        let attrs = |name: &str| LeafAttributes {
+            failure_bits: if name == "fast" { 1 } else { 2 },
+            ..LeafAttributes::default()
+        };
+        let fast = subtree_code(&leaf("fast"), &attrs);
+        let slow = subtree_code(&leaf("slow"), &attrs);
+        assert_ne!(fast.code, slow.code);
+
+        let salted = |_: &str| LeafAttributes {
+            salt: Some(7),
+            ..LeafAttributes::default()
+        };
+        assert_ne!(
+            subtree_code(&leaf("a"), &plain).code,
+            subtree_code(&leaf("a"), &salted).code
+        );
+    }
+
+    #[test]
+    fn codes_are_stable_and_displayable() {
+        let tree = StructureNode::series(vec![leaf("a"), leaf("b")]);
+        let coded = subtree_code(&tree, &plain);
+        assert_eq!(coded.code.as_str(), format!("{}", coded.code));
+        assert!(coded.code.as_str().starts_with("S("));
+    }
+}

@@ -1,0 +1,248 @@
+//! Tuple-level orbit machinery for products of interchangeable factors.
+//!
+//! A product chain over factors `(F_0, …, F_{N-1})` whose states are tuples
+//! of local states admits the permutation group that exchanges *identical*
+//! factors wholesale: permuting the coordinates of an interchangeability
+//! class is an automorphism of the Kronecker-sum generator (the summands are
+//! equal) and of every class-symmetric label and reward. The orbit of a tuple
+//! is therefore characterised by the **multiset** of local states it holds in
+//! each class, and the canonical representative is the tuple whose class
+//! coordinates are sorted ascending.
+
+use std::fmt;
+
+/// Invalid class assignment: two factors of one class differ in size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidClasses {
+    /// Human-readable details.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidClasses {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid factor classes: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidClasses {}
+
+/// Number of multisets of size `positions` over `values` symbols:
+/// `C(positions + values - 1, positions)` — the number of non-decreasing
+/// `positions`-tuples over `0..values`, i.e. the orbit count of one class.
+pub fn orbit_count(positions: usize, values: usize) -> usize {
+    if values == 0 {
+        return usize::from(positions == 0);
+    }
+    let mut result: usize = 1;
+    for i in 0..positions {
+        result = result.saturating_mul(values + i) / (i + 1);
+    }
+    result
+}
+
+/// Sorts the coordinates of every interchangeability class ascending in
+/// place, yielding the orbit's canonical representative. `classes[i]` is the
+/// class id of factor `i`; coordinates of different classes never move.
+pub fn canonical_tuple(classes: &[usize], tuple: &mut [usize]) {
+    debug_assert_eq!(classes.len(), tuple.len());
+    let num_classes = classes.iter().copied().max().map_or(0, |m| m + 1);
+    for class in 0..num_classes {
+        let positions: Vec<usize> = (0..classes.len())
+            .filter(|&i| classes[i] == class)
+            .collect();
+        if positions.len() < 2 {
+            continue;
+        }
+        let mut values: Vec<usize> = positions.iter().map(|&i| tuple[i]).collect();
+        values.sort_unstable();
+        for (&position, value) in positions.iter().zip(values) {
+            tuple[position] = value;
+        }
+    }
+}
+
+/// The interchangeability classes of a product's factors, with per-factor
+/// sizes: the handle for canonicalising tuples and counting orbits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorClasses {
+    classes: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl FactorClasses {
+    /// Builds the class assignment. Class ids must be dense (`0..k` in first
+    /// appearance order is conventional); factors sharing a class must have
+    /// equal sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidClasses`] on a length mismatch or a size conflict
+    /// within a class.
+    pub fn new(classes: Vec<usize>, sizes: Vec<usize>) -> Result<Self, InvalidClasses> {
+        if classes.len() != sizes.len() {
+            return Err(InvalidClasses {
+                reason: format!("{} class ids for {} factors", classes.len(), sizes.len()),
+            });
+        }
+        for (i, &class) in classes.iter().enumerate() {
+            for (j, &other) in classes.iter().enumerate().take(i) {
+                if class == other && sizes[i] != sizes[j] {
+                    return Err(InvalidClasses {
+                        reason: format!(
+                            "factors {j} and {i} share class {class} but have sizes {} and {}",
+                            sizes[j], sizes[i]
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(FactorClasses { classes, sizes })
+    }
+
+    /// Class id of every factor.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Size of every factor.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Whether any class holds more than one factor.
+    pub fn has_symmetry(&self) -> bool {
+        let mut seen = vec![false; self.classes.len()];
+        for &class in &self.classes {
+            if seen[class] {
+                return true;
+            }
+            seen[class] = true;
+        }
+        false
+    }
+
+    /// Canonicalises a tuple in place (see [`canonical_tuple`]).
+    pub fn canonicalize(&self, tuple: &mut [usize]) {
+        canonical_tuple(&self.classes, tuple);
+    }
+
+    /// Whether a tuple already is its orbit's canonical representative.
+    pub fn is_canonical(&self, tuple: &[usize]) -> bool {
+        let mut copy = tuple.to_vec();
+        self.canonicalize(&mut copy);
+        copy == tuple
+    }
+
+    /// Total number of orbits: the product over classes of the multiset
+    /// count, saturating.
+    pub fn num_orbits(&self) -> usize {
+        let num_classes = self.classes.iter().copied().max().map_or(0, |m| m + 1);
+        let mut total = 1usize;
+        for class in 0..num_classes {
+            let positions = self.classes.iter().filter(|&&c| c == class).count();
+            let size = self
+                .classes
+                .iter()
+                .position(|&c| c == class)
+                .map(|i| self.sizes[i])
+                .unwrap_or(0);
+            if positions > 0 {
+                total = total.saturating_mul(orbit_count(positions, size));
+            }
+        }
+        total
+    }
+
+    /// Number of tuples in the orbit of a (canonical) tuple: the product over
+    /// classes of the permutation count `k! / Π mᵢ!` of its class multiset.
+    pub fn orbit_size(&self, tuple: &[usize]) -> usize {
+        debug_assert_eq!(tuple.len(), self.classes.len());
+        let num_classes = self.classes.iter().copied().max().map_or(0, |m| m + 1);
+        let mut total = 1usize;
+        for class in 0..num_classes {
+            let values: Vec<usize> = (0..self.classes.len())
+                .filter(|&i| self.classes[i] == class)
+                .map(|i| tuple[i])
+                .collect();
+            let mut permutations = 1usize;
+            for k in 2..=values.len() {
+                permutations = permutations.saturating_mul(k);
+            }
+            let mut sorted = values;
+            sorted.sort_unstable();
+            let mut run = 1usize;
+            for window in sorted.windows(2) {
+                if window[0] == window[1] {
+                    run += 1;
+                    permutations /= run;
+                } else {
+                    run = 1;
+                }
+            }
+            total = total.saturating_mul(permutations);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_counts_match_the_multiset_closed_form() {
+        assert_eq!(orbit_count(0, 5), 1);
+        assert_eq!(orbit_count(1, 5), 5);
+        assert_eq!(orbit_count(2, 2), 3);
+        assert_eq!(orbit_count(2, 96), 96 * 97 / 2);
+        assert_eq!(orbit_count(3, 3), 10);
+        assert_eq!(orbit_count(2, 0), 0);
+        assert_eq!(orbit_count(0, 0), 1);
+    }
+
+    #[test]
+    fn canonical_tuples_sort_within_classes_only() {
+        let classes = vec![0, 1, 0, 1, 2];
+        let mut tuple = vec![5, 9, 2, 3, 7];
+        canonical_tuple(&classes, &mut tuple);
+        assert_eq!(tuple, vec![2, 3, 5, 9, 7]);
+    }
+
+    #[test]
+    fn factor_classes_validate_and_count() {
+        assert!(FactorClasses::new(vec![0, 0], vec![3, 4]).is_err());
+        assert!(FactorClasses::new(vec![0], vec![3, 4]).is_err());
+
+        let classes = FactorClasses::new(vec![0, 1, 0], vec![3, 5, 3]).unwrap();
+        assert!(classes.has_symmetry());
+        // Class 0: multisets of 2 over 3 = 6; class 1: 5. Total 30 of the
+        // 3*5*3 = 45 raw tuples.
+        assert_eq!(classes.num_orbits(), 30);
+        assert!(classes.is_canonical(&[1, 0, 2]));
+        assert!(!classes.is_canonical(&[2, 0, 1]));
+
+        let trivial = FactorClasses::new(vec![0, 1], vec![3, 3]).unwrap();
+        assert!(!trivial.has_symmetry());
+        assert_eq!(trivial.num_orbits(), 9);
+    }
+
+    #[test]
+    fn orbit_sizes_sum_to_the_raw_state_count() {
+        let classes = FactorClasses::new(vec![0, 0, 1], vec![3, 3, 2]).unwrap();
+        let mut total = 0usize;
+        let mut representatives = 0usize;
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..2 {
+                    let tuple = [a, b, c];
+                    if classes.is_canonical(&tuple) {
+                        representatives += 1;
+                        total += classes.orbit_size(&tuple);
+                    }
+                }
+            }
+        }
+        assert_eq!(representatives, classes.num_orbits());
+        assert_eq!(total, 3 * 3 * 2);
+    }
+}

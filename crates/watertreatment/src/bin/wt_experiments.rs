@@ -23,6 +23,11 @@
 //! selected lines and line-specific figures (figs. 4–7 are Line 1, figs.
 //! 8–11 are Line 2) are skipped when their line is deselected. The
 //! `facility` experiment needs both lines and is skipped otherwise.
+//!
+//! `--symmetric-only` restricts the `facility` experiment to the symmetric
+//! strategy pairs and prints the symmetry engine's reduction ladder (product
+//! blocks → sorted-tuple orbit representatives → solved blocks, plus the
+//! exact-lumping minimality certificate) instead of the full figure sweep.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -31,13 +36,14 @@ use arcade_core::ExecOptions;
 use watertreatment::experiments::{self, grids};
 use watertreatment::Line;
 
-const USAGE: &str = "usage: wt-experiments [--threads N] [--line 1|2|both] \
+const USAGE: &str = "usage: wt-experiments [--threads N] [--line 1|2|both] [--symmetric-only] \
      [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...";
 
 fn main() -> ExitCode {
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut exec = ExecOptions::default();
     let mut lines: Vec<Line> = Line::both().to_vec();
+    let mut symmetric_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let lower = arg.to_lowercase();
@@ -73,6 +79,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if lower == "--symmetric-only" {
+            symmetric_only = true;
         } else if lower.starts_with('-') {
             eprintln!("unknown option `{arg}`\n{USAGE}");
             return ExitCode::from(2);
@@ -87,7 +95,7 @@ fn main() -> ExitCode {
     let all = requested.contains("all");
     let wants = |name: &str| all || requested.contains(name);
 
-    if let Err(err) = run(wants, exec, &lines) {
+    if let Err(err) = run(wants, exec, &lines, symmetric_only) {
         eprintln!("experiment failed: {err}");
         return ExitCode::FAILURE;
     }
@@ -98,6 +106,7 @@ fn run(
     wants: impl Fn(&str) -> bool,
     exec: ExecOptions,
     lines: &[Line],
+    symmetric_only: bool,
 ) -> Result<(), arcade_core::ArcadeError> {
     let has = |line: Line| lines.contains(&line);
     let both = has(Line::Line1) && has(Line::Line2);
@@ -135,25 +144,30 @@ fn run(
         );
     }
     if wants("facility") {
-        if both {
+        if both && symmetric_only {
+            println!("== Facility symmetry: orbit quotients of the symmetric strategy pairs ==");
+            let rows = experiments::symmetry_reduction_table(exec)?;
+            println!("{}", experiments::format_symmetry_reduction(&rows));
+            println!(
+                "Paper pairs compose two *different* lines, so no cross-line symmetry\n\
+                 exists; the `Exact-min` column certifies their products minimal. The\n\
+                 twin facilities (two identical Line 2 copies) fold to n(n+1)/2 sorted\n\
+                 pairs before materialisation.\n"
+            );
+        } else if both {
             println!("== Facility: combined availability, product form vs genuine joint chain ==");
-            let rows = experiments::table_facility_with(&experiments::paired_strategies(), exec)?;
-            println!("{}", experiments::format_table_facility(&rows));
-            let (full, basic) = experiments::facility_recovery_with(
-                &grids::fig4_to_6(),
+            let suite = experiments::facility_suite_with(
                 &experiments::paired_strategies(),
-                exec,
-            )?;
-            println!("{}", experiments::format_figure(&full));
-            println!("{}", experiments::format_figure(&basic));
-            let (inst, acc) = experiments::facility_cost_with(
+                &grids::fig4_to_6(),
                 &grids::fig4_to_6(),
                 &grids::fig7(),
-                &experiments::paired_strategies(),
                 exec,
             )?;
-            println!("{}", experiments::format_figure(&inst));
-            println!("{}", experiments::format_figure(&acc));
+            println!("{}", experiments::format_table_facility(&suite.table));
+            println!("{}", experiments::format_figure(&suite.recovery_full));
+            println!("{}", experiments::format_figure(&suite.recovery_basic));
+            println!("{}", experiments::format_figure(&suite.cost_instantaneous));
+            println!("{}", experiments::format_figure(&suite.cost_accumulated));
         } else {
             skip("facility", "both lines");
         }

@@ -71,8 +71,39 @@ pub struct TableFacilityRow {
     pub difference: f64,
     /// Number of joint product blocks (`449 × 257` for FRF-1 × FRF-1).
     pub joint_blocks: usize,
+    /// Number of states the joint solve actually ran on: the sorted-tuple
+    /// orbit quotient when the two lines' chains are interchangeable, the
+    /// full product otherwise (always the latter for the paper's asymmetric
+    /// Line 1 × Line 2 pairs).
+    #[serde(default)]
+    pub solved_blocks: usize,
     /// Matrix-free balance residual certifying the joint stationary vector.
     pub residual: f64,
+}
+
+/// One row of the symmetry-reduction report (`wt-experiments facility
+/// --symmetric-only`): the reduction ladder of a facility's joint chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymmetryReductionRow {
+    /// Facility label (`DED×DED` or `twin(line2, DED)`).
+    pub facility: String,
+    /// Raw product states.
+    pub product_blocks: usize,
+    /// Sorted-tuple orbit representatives (`None` without factor symmetry).
+    pub orbit_blocks: Option<usize>,
+    /// States the joint measures solve on.
+    pub solver_blocks: usize,
+    /// Blocks of the exact facility-label quotient of the solver chain —
+    /// the minimality certificate (`== solver_blocks` means no further
+    /// sound reduction exists).
+    pub exact_blocks: usize,
+}
+
+impl SymmetryReductionRow {
+    /// The orbit-reduction factor `product / solver` (1.0 without symmetry).
+    pub fn reduction_factor(&self) -> f64 {
+        self.product_blocks as f64 / self.solver_blocks as f64
+    }
 }
 
 /// A reproduced figure: a set of named `(time, value)` series.
@@ -707,23 +738,211 @@ pub fn table_facility_with(
     exec::map_ordered(pairs, exec, |pair| {
         let model = facility::facility_model(&pair.0, &pair.1)?;
         let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
-        let line1 = analysis.line_availability(0)?;
-        let line2 = analysis.line_availability(1)?;
-        let combined = analysis.steady_state_availability()?;
-        let joint = analysis.joint_steady_state_availability()?;
-        Ok(TableFacilityRow {
-            pair: pair_label(pair),
-            line1,
-            line2,
-            combined,
-            joint: joint.availability,
-            difference: (combined - joint.availability).abs(),
-            joint_blocks: joint.joint_states,
-            residual: joint.residual,
-        })
+        facility_table_row(pair_label(pair), &analysis)
     })
     .into_iter()
     .collect()
+}
+
+/// The facility table row of one already-compiled analysis.
+fn facility_table_row(
+    label: String,
+    analysis: &FacilityAnalysis,
+) -> Result<TableFacilityRow, ArcadeError> {
+    let line1 = analysis.line_availability(0)?;
+    let line2 = analysis.line_availability(1)?;
+    let combined = analysis.steady_state_availability()?;
+    let joint = analysis.joint_steady_state_availability()?;
+    Ok(TableFacilityRow {
+        pair: label,
+        line1,
+        line2,
+        combined,
+        joint: joint.availability,
+        difference: (combined - joint.availability).abs(),
+        joint_blocks: joint.joint_states,
+        solved_blocks: joint.solved_states,
+        residual: joint.residual,
+    })
+}
+
+/// Every figure and table of the facility evaluation, computed from **one
+/// [`FacilityAnalysis`] per strategy pair**: the availability validation
+/// table, both recovery figures and both cost figures share the compiled
+/// per-line chains, the cached materialised joint chain and the group
+/// stationary solves instead of rebuilding them per experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacilitySuite {
+    /// The combined-availability validation table.
+    pub table: Vec<TableFacilityRow>,
+    /// Recovery to full service after the all-pumps disaster.
+    pub recovery_full: Figure,
+    /// Recovery to basic service (X1) after the all-pumps disaster.
+    pub recovery_basic: Figure,
+    /// Instantaneous facility cost rate after the all-pumps disaster.
+    pub cost_instantaneous: Figure,
+    /// Accumulated facility cost after the all-pumps disaster.
+    pub cost_accumulated: Figure,
+}
+
+/// Runs the whole facility evaluation on an explicit worker pool, one shared
+/// [`FacilityAnalysis`] per strategy pair (see [`FacilitySuite`]).
+///
+/// # Errors
+///
+/// Propagates composition and solver errors.
+pub fn facility_suite_with(
+    pairs: &[(StrategySpec, StrategySpec)],
+    recovery_times: &[f64],
+    instantaneous_times: &[f64],
+    accumulated_times: &[f64],
+    exec: ExecOptions,
+) -> Result<FacilitySuite, ArcadeError> {
+    type PairOutput = (TableFacilityRow, (Series, Series), (Series, Series));
+    let outputs: Vec<PairOutput> = exec::map_ordered(pairs, exec, |pair| {
+        let model = facility::facility_model(&pair.0, &pair.1)?;
+        let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
+        let label = pair_label(pair);
+        let row = facility_table_row(label.clone(), &analysis)?;
+        let recovery = (
+            Series {
+                label: label.clone(),
+                points: analysis.survivability_curve(
+                    FACILITY_DISASTER_ALL_PUMPS,
+                    1.0,
+                    recovery_times,
+                )?,
+            },
+            Series {
+                label: label.clone(),
+                points: analysis.survivability_curve(
+                    FACILITY_DISASTER_ALL_PUMPS,
+                    service_levels::LINE1_X1,
+                    recovery_times,
+                )?,
+            },
+        );
+        let cost = (
+            Series {
+                label: label.clone(),
+                points: analysis.instantaneous_cost_curve(
+                    Some(FACILITY_DISASTER_ALL_PUMPS),
+                    instantaneous_times,
+                )?,
+            },
+            Series {
+                label,
+                points: analysis
+                    .accumulated_cost_curve(Some(FACILITY_DISASTER_ALL_PUMPS), accumulated_times)?,
+            },
+        );
+        Ok::<PairOutput, ArcadeError>((row, recovery, cost))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
+    let mut table = Vec::new();
+    let (mut full, mut basic, mut inst, mut acc) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for (row, (recovery_full, recovery_basic), (cost_inst, cost_acc)) in outputs {
+        table.push(row);
+        full.push(recovery_full);
+        basic.push(recovery_basic);
+        inst.push(cost_inst);
+        acc.push(cost_acc);
+    }
+    Ok(FacilitySuite {
+        table,
+        recovery_full: Figure {
+            id: "fig-facility-full".to_string(),
+            title: "Facility recovery to full service, all pumps failed".to_string(),
+            x_label: "t in hours".to_string(),
+            y_label: "Probability (S)".to_string(),
+            series: full,
+        },
+        recovery_basic: Figure {
+            id: "fig-facility-basic".to_string(),
+            title: "Facility recovery to basic service (X1), all pumps failed".to_string(),
+            x_label: "t in hours".to_string(),
+            y_label: "Probability (S)".to_string(),
+            series: basic,
+        },
+        cost_instantaneous: Figure {
+            id: "fig-facility-inst-cost".to_string(),
+            title: "Instantaneous facility cost, all pumps failed".to_string(),
+            x_label: "t in hours".to_string(),
+            y_label: "Impuls Costs (I)".to_string(),
+            series: inst,
+        },
+        cost_accumulated: Figure {
+            id: "fig-facility-acc-cost".to_string(),
+            title: "Accumulated facility cost, all pumps failed".to_string(),
+            x_label: "t in hours".to_string(),
+            y_label: "Cumulative costs (I)".to_string(),
+            series: acc,
+        },
+    })
+}
+
+/// The symmetry-reduction report of the `--symmetric-only` sweep: for every
+/// symmetric strategy pair, the reduction ladder of the paper's Line 1 ×
+/// Line 2 facility (no cross-line symmetry — the certificate proves the
+/// product minimal) followed by the twin-Line-2 facility, whose identical
+/// line chains the orbit engine folds to `n(n+1)/2` sorted pairs.
+///
+/// # Errors
+///
+/// Propagates composition and lumping errors.
+pub fn symmetry_reduction_table(
+    exec: ExecOptions,
+) -> Result<Vec<SymmetryReductionRow>, ArcadeError> {
+    let specs = strategies::paper_strategies();
+    let rows = exec::map_ordered(&specs, exec, |spec| {
+        let reduction_of = |model: &arcade_core::FacilityModel,
+                            label: String|
+         -> Result<SymmetryReductionRow, ArcadeError> {
+            let analysis = FacilityAnalysis::with_options(model, composer_options(exec))?;
+            let reduction = analysis.joint_reduction()?;
+            Ok(SymmetryReductionRow {
+                facility: label,
+                product_blocks: reduction.product_blocks,
+                orbit_blocks: reduction.orbit_blocks,
+                solver_blocks: reduction.solver_blocks,
+                exact_blocks: reduction.exact_blocks,
+            })
+        };
+        let paper = facility::facility_model(spec, spec)?;
+        let twin = facility::twin_facility(Line::Line2, spec)?;
+        Ok::<_, ArcadeError>(vec![
+            reduction_of(&paper, format!("{}×{}", spec.label, spec.label))?,
+            reduction_of(&twin, format!("twin(line2, {})", spec.label))?,
+        ])
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(rows.into_iter().flatten().collect())
+}
+
+/// Renders symmetry-reduction rows as a plain-text table.
+pub fn format_symmetry_reduction(rows: &[SymmetryReductionRow]) -> String {
+    let mut out = String::from(
+        "Facility             Product     Orbit       Solved      Exact-min   Reduction\n",
+    );
+    let or_dash = |value: Option<usize>| match value {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    };
+    for row in rows {
+        out.push_str(&format!(
+            "{:<20} {:<11} {:<11} {:<11} {:<11} {:.2}x\n",
+            row.facility,
+            row.product_blocks,
+            or_dash(row.orbit_blocks),
+            row.solver_blocks,
+            row.exact_blocks,
+            row.reduction_factor(),
+        ));
+    }
+    out
 }
 
 /// Joint facility recovery after the cross-line all-pumps disaster: for each
@@ -860,11 +1079,11 @@ pub fn facility_cost_with(
 /// Renders facility table rows as a plain-text table.
 pub fn format_table_facility(rows: &[TableFacilityRow]) -> String {
     let mut out = String::from(
-        "Pair           Line 1      Line 2      A1+A2-A1A2  Joint chain  |diff|     Blocks      Residual\n",
+        "Pair           Line 1      Line 2      A1+A2-A1A2  Joint chain  |diff|     Blocks      Solved      Residual\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:<14} {:<11.7} {:<11.7} {:<11.7} {:<12.7} {:<10.2e} {:<11} {:.2e}\n",
+            "{:<14} {:<11.7} {:<11.7} {:<11.7} {:<12.7} {:<10.2e} {:<11} {:<11} {:.2e}\n",
             row.pair,
             row.line1,
             row.line2,
@@ -872,6 +1091,7 @@ pub fn format_table_facility(rows: &[TableFacilityRow]) -> String {
             row.joint,
             row.difference,
             row.joint_blocks,
+            row.solved_blocks,
             row.residual,
         ));
     }

@@ -173,6 +173,22 @@ pub fn line_model(
     line: Line,
     spec: &StrategySpec,
 ) -> Result<ArcadeModel, arcade_core::ArcadeError> {
+    line_model_with_unit(line, spec, format!("{}-ru", line.id()))
+}
+
+/// [`line_model`] with an explicit repair-unit name. Distinct names keep
+/// copies of one line independent in a facility (each copy owns its crews);
+/// reusing one name couples the copies through the shared physical unit and
+/// forces joint exploration.
+///
+/// # Errors
+///
+/// See [`line_model`].
+pub fn line_model_with_unit(
+    line: Line,
+    spec: &StrategySpec,
+    unit_name: impl Into<String>,
+) -> Result<ArcadeModel, arcade_core::ArcadeError> {
     let (softeners, sand_filters, reservoir, pumps) = component_names(line);
 
     let mut builder = ArcadeModel::builder(
@@ -210,13 +226,9 @@ pub fn line_model(
         .chain(pumps.iter())
         .cloned()
         .collect();
-    let mut repair_unit = RepairUnit::new(
-        format!("{}-ru", line.id()),
-        spec.strategy.clone(),
-        spec.crews,
-    )?
-    .responsible_for(all_names)
-    .with_idle_cost(IDLE_CREW_COST);
+    let mut repair_unit = RepairUnit::new(unit_name, spec.strategy.clone(), spec.crews)?
+        .responsible_for(all_names)
+        .with_idle_cost(IDLE_CREW_COST);
     if spec.preemptive {
         repair_unit = repair_unit.with_preemption();
     }
@@ -266,6 +278,36 @@ pub fn facility_model(
     FacilityModel::builder("water-treatment-facility")
         .line(Line::Line1.id(), line_model(Line::Line1, line1)?)
         .line(Line::Line2.id(), line_model(Line::Line2, line2)?)
+        .disaster(FacilityDisaster::new(
+            FACILITY_DISASTER_ALL_PUMPS,
+            all_pumps,
+        ))
+        .build()
+}
+
+/// A facility of two **identical** copies of one process line under the same
+/// repair strategy — the twin whose line chains are interchangeable factors
+/// of the facility product. Each copy owns its repair crews (`north-ru` /
+/// `south-ru`), so the lines stay independent and the symmetry engine folds
+/// the `n × n` joint tuples to `n(n+1)/2` sorted-pair orbit representatives;
+/// the facility-wide all-pumps disaster keeps the survivability measures
+/// well-posed on the folded chain (it hits both twins symmetrically).
+///
+/// # Errors
+///
+/// Propagates model-validation errors.
+pub fn twin_facility(
+    line: Line,
+    spec: &StrategySpec,
+) -> Result<FacilityModel, arcade_core::ArcadeError> {
+    let (_, _, _, pumps) = component_names(line);
+    let mut all_pumps: Vec<(String, String)> = Vec::new();
+    for copy in ["north", "south"] {
+        all_pumps.extend(pumps.iter().map(|p| (copy.to_string(), p.clone())));
+    }
+    FacilityModel::builder(format!("twin-{}", line.id()))
+        .line("north", line_model_with_unit(line, spec, "north-ru")?)
+        .line("south", line_model_with_unit(line, spec, "south-ru")?)
         .disaster(FacilityDisaster::new(
             FACILITY_DISASTER_ALL_PUMPS,
             all_pumps,
