@@ -1,0 +1,89 @@
+//! Analysis-service cache: cold build-and-solve vs warm repeats.
+//!
+//! Quantifies the three tiers the daemon answers from, on the acceptance
+//! query (DED × DED facility availability):
+//!
+//! * **cold** — a fresh [`AnalysisService`] per iteration: compile the
+//!   facility quotient, solve its stationary distribution, answer;
+//! * **warm** — the same service answering the identical query again: a
+//!   spec-cache hit plus the memoised solve (this must be ≥10× faster than
+//!   cold — the service tests assert it, this bench measures it);
+//! * **warm_start** — a rate-perturbed sibling (`@1.02`) after the nominal
+//!   solve: full compile, but Gauss–Seidel warm-started from the sibling's
+//!   stationary vector.
+//!
+//! Before timing, the sweep asserts warm replies are bit-identical to cold
+//! ones — the cache must never change an answer, only its latency.
+
+use arcade_core::ExecOptions;
+use arcade_server::{AnalysisService, Request, Response};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FACILITY_QUERY: &str = "facility/ded+ded";
+
+fn availability_request(model: &str) -> Request {
+    Request::Availability {
+        model: model.to_string(),
+    }
+}
+
+fn answer(service: &AnalysisService, model: &str) -> Response {
+    let response = service.handle(&availability_request(model));
+    assert!(
+        matches!(response, Response::Ok(_)),
+        "query {model} failed: {response:?}"
+    );
+    response
+}
+
+fn bench_service_cache(c: &mut Criterion) {
+    let exec = ExecOptions::with_threads(1);
+
+    // Determinism gate: a warm repeat answers bit-identically to the cold
+    // query it memoises.
+    let service = AnalysisService::new(exec);
+    let cold_reply = answer(&service, FACILITY_QUERY);
+    assert_eq!(
+        answer(&service, FACILITY_QUERY),
+        cold_reply,
+        "the warm cache must replay the cold answer bit-for-bit"
+    );
+
+    let mut group = c.benchmark_group("service_cache");
+    group.sample_size(10);
+
+    group.bench_function("facility_ded_ded/cold", |b| {
+        b.iter(|| {
+            let service = AnalysisService::new(exec);
+            answer(&service, FACILITY_QUERY)
+        });
+    });
+
+    let warm_service = AnalysisService::new(exec);
+    answer(&warm_service, FACILITY_QUERY);
+    group.bench_function("facility_ded_ded/warm", |b| {
+        b.iter(|| answer(&warm_service, FACILITY_QUERY));
+    });
+
+    // The warm-started tier: each iteration re-solves a perturbed sibling's
+    // chain with the nominal solution as the initial guess. A fresh service
+    // per iteration would re-compile; instead hold the artifacts and time
+    // the solve the way the service runs it.
+    let donor_service = AnalysisService::new(exec);
+    answer(&donor_service, "line2/ded");
+    group.bench_function("line2_ded_perturbed/warm_start", |b| {
+        let mut scale_index = 0u32;
+        b.iter(|| {
+            // A fresh spec each iteration keeps the solve honest (the
+            // memoised result of a repeated spec would skip it).
+            scale_index += 1;
+            let spec = format!("line2/ded@1.{:04}", 1000 + scale_index % 500);
+            answer(&donor_service, &spec)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_cache);
+criterion_main!(benches);

@@ -90,6 +90,20 @@ impl<'a> Analysis<'a> {
         &self.compiled
     }
 
+    /// Extracts the immutable solver-ready quotient artifact of this
+    /// analysis' compiled model — the compile/solve split of
+    /// [`crate::CompiledQuotient`]: every measure answered on the artifact
+    /// is bit-identical to the corresponding method here, but the artifact
+    /// carries no state-space metadata and can outlive both the model and
+    /// this analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disaster-resolution errors.
+    pub fn compiled_quotient(&self) -> Result<crate::CompiledQuotient, ArcadeError> {
+        crate::CompiledQuotient::of_compiled(self.model, &self.compiled)
+    }
+
     /// State-space size statistics (Table 1 of the paper).
     pub fn state_space_stats(&self) -> StateSpaceStats {
         self.compiled.stats()

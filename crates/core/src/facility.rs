@@ -39,21 +39,22 @@
 //! back to its flat chain — correctness never depends on the quotient being
 //! usable.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use arcade_lumping::{lump, InitialPartition, ProductOrbit, QuotientProduct};
 use arcade_symmetry::chain::group_identical_chains;
 use arcade_symmetry::orbit::FactorClasses;
 use ctmc::{
-    Ctmc, ExecOptions, OperatorTransientSolver, RewardSolver, RewardStructure, SteadyStateSolver,
-    TransientOptions, TransientSolver,
+    Ctmc, ExecOptions, OperatorTransientSolver, RewardStructure, SteadyStateSolver,
+    TransientOptions,
 };
 
-use crate::composer::{service_at_least, CompiledModel, ComposerOptions, StateSpaceStats};
+use crate::composer::{CompiledModel, ComposerOptions, StateSpaceStats};
 use crate::disaster::Disaster;
 use crate::error::ArcadeError;
 use crate::measures::{FacilityMeasure, MeasureResult};
 use crate::model::ArcadeModel;
+use crate::quotient::CompiledQuotient;
 use crate::repair::{RepairStrategy, RepairUnit};
 use crate::spare::SpareManagementUnit;
 use fault_tree::{StructureNode, SystemStructure};
@@ -681,15 +682,13 @@ struct JointCache {
     product: QuotientProduct,
     /// The factor-symmetry orbit fold; `None` when all groups differ.
     orbit: Option<ProductOrbit>,
-    /// The materialised chain every joint measure runs on: the orbit
-    /// quotient under factor symmetry, the full product otherwise.
-    chain: Ctmc,
-    /// "At least one line fully operational" on `chain`.
-    any_up: Vec<bool>,
-    /// The facility service level (best level any line delivers) on `chain`.
-    service: Vec<f64>,
-    /// Summed per-group cost rewards on `chain`.
-    cost: RewardStructure,
+    /// The solver-ready artifact every joint measure runs on: the
+    /// materialised chain (the orbit quotient under factor symmetry, the
+    /// full product otherwise) plus the facility observations and the
+    /// precomputed disaster start blocks. Survivability and cost measures
+    /// delegate to its methods, so an externally cached artifact answers
+    /// them bit-identically to this analysis.
+    quotient: CompiledQuotient,
 }
 
 impl<'a> FacilityAnalysis<'a> {
@@ -1015,14 +1014,51 @@ impl<'a> FacilityAnalysis<'a> {
             ),
         };
 
+        // Resolve every start block at compile time: the no-disaster start
+        // and one start per facility disaster, each the joint tuple mapped
+        // through the orbit fold when one is active.
+        let start_of = |disaster: Option<&FacilityDisaster>| -> Result<usize, ArcadeError> {
+            let joint = self.start_joint_index(&product, disaster)?;
+            Ok(match &orbit {
+                Some(orbit_fold) => orbit_fold.orbit_of(&product, joint),
+                None => joint,
+            })
+        };
+        let initial = start_of(None)?;
+        let mut disaster_starts = BTreeMap::new();
+        for disaster in self.model.disasters() {
+            disaster_starts.insert(disaster.name().to_string(), start_of(Some(disaster))?);
+        }
+        let quotient = CompiledQuotient::from_parts(crate::quotient::QuotientParts {
+            name: self.model.name().to_string(),
+            chain,
+            operational: any_up,
+            service,
+            cost,
+            initial,
+            disaster_starts,
+            source_states: product.num_states(),
+        })?;
+
         Ok(JointCache {
             product,
             orbit,
-            chain,
-            any_up,
-            service,
-            cost,
+            quotient,
         })
+    }
+
+    /// The immutable solver-ready artifact of the facility's joint chain
+    /// (built on first use, then cloned out of the cache): the compile/solve
+    /// split of [`CompiledQuotient`]. Survivability and cost queries
+    /// answered on the artifact are bit-identical to the corresponding
+    /// methods of this analysis, because those methods delegate to the same
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-construction errors.
+    pub fn compiled_quotient(&self) -> Result<CompiledQuotient, ArcadeError> {
+        Ok(self.joint()?.quotient.clone())
     }
 
     /// The reduction ladder of the joint chain: raw product tuples → orbit
@@ -1047,17 +1083,18 @@ impl<'a> FacilityAnalysis<'a> {
             return Ok(reduction.clone());
         }
         let cache = self.joint()?;
-        let mut partition = InitialPartition::trivial(cache.chain.num_states());
-        partition.refine_by_bools(&cache.any_up)?;
-        partition.refine_by_f64(&cache.service)?;
-        partition.refine_by_f64(cache.cost.state_rewards())?;
-        let lumped = lump(&cache.chain, &partition)?;
+        let chain = cache.quotient.chain();
+        let mut partition = InitialPartition::trivial(chain.num_states());
+        partition.refine_by_bools(cache.quotient.operational_mask())?;
+        partition.refine_by_f64(cache.quotient.service_levels())?;
+        partition.refine_by_f64(cache.quotient.cost_rewards().state_rewards())?;
+        let lumped = lump(chain, &partition)?;
         let reduction = JointReduction {
             product_blocks: cache.product.num_states(),
             product_transitions: cache.product.num_transitions(),
             orbit_blocks: cache.orbit.as_ref().map(ProductOrbit::num_orbits),
-            solver_blocks: cache.chain.num_states(),
-            solver_transitions: cache.chain.num_transitions(),
+            solver_blocks: chain.num_states(),
+            solver_transitions: chain.num_transitions(),
             exact_blocks: lumped.num_blocks(),
         };
         Ok(self.reduction.get_or_init(|| reduction).clone())
@@ -1087,7 +1124,7 @@ impl<'a> FacilityAnalysis<'a> {
             Some(orbit) => orbit.aggregate_distribution(&cache.product, &guess),
             None => guess,
         };
-        let pi = SteadyStateSolver::new(&cache.chain)
+        let pi = SteadyStateSolver::new(cache.quotient.chain())
             .exec(exec)
             .initial_guess(guess)
             .solve()?;
@@ -1096,18 +1133,13 @@ impl<'a> FacilityAnalysis<'a> {
             None => pi.clone(),
         };
         let residual = cache.product.balance_residual(&joint_pi, &exec)?;
-        let availability = pi
-            .iter()
-            .zip(cache.any_up.iter())
-            .filter(|(_, &up)| up)
-            .map(|(p, _)| p)
-            .sum();
+        let availability = cache.quotient.availability_of(&pi);
         Ok(JointAvailability {
             availability,
             residual,
             joint_states: cache.product.num_states(),
             joint_transitions: cache.product.num_transitions(),
-            solved_states: cache.chain.num_states(),
+            solved_states: cache.quotient.num_states(),
         })
     }
 
@@ -1212,20 +1244,6 @@ impl<'a> FacilityAnalysis<'a> {
             })
     }
 
-    /// The solver-chain state right after `disaster`: the joint tuple mapped
-    /// through the orbit fold when one is active.
-    fn start_block(
-        &self,
-        cache: &JointCache,
-        disaster: Option<&FacilityDisaster>,
-    ) -> Result<usize, ArcadeError> {
-        let joint = self.start_joint_index(&cache.product, disaster)?;
-        Ok(match &cache.orbit {
-            Some(orbit) => orbit.orbit_of(&cache.product, joint),
-            None => joint,
-        })
-    }
-
     /// Looks up a facility disaster by name.
     fn lookup_disaster(&self, name: &str) -> Result<&FacilityDisaster, ArcadeError> {
         self.model
@@ -1259,20 +1277,12 @@ impl<'a> FacilityAnalysis<'a> {
             });
         }
         let disaster = self.lookup_disaster(disaster)?;
-        let cache = self.joint()?;
-        let start = self.start_block(cache, Some(disaster))?;
-        let chain = cache.chain.with_initial_state(start)?;
-        let goal = service_at_least(&cache.service, service_level);
-        let safe = vec![true; goal.len()];
-        let values = TransientSolver::with_options(
-            &chain,
-            TransientOptions {
-                exec: self.exec(),
-                ..TransientOptions::default()
-            },
+        self.joint()?.quotient.survivability_curve(
+            disaster.name(),
+            service_level,
+            times,
+            self.exec(),
         )
-        .bounded_until_many(&safe, &goal, times)?;
-        Ok(times.iter().copied().zip(values).collect())
     }
 
     /// Facility survivability evaluated **matrix-free**: the same quantity
@@ -1316,20 +1326,17 @@ impl<'a> FacilityAnalysis<'a> {
         Ok(times.iter().copied().zip(values).collect())
     }
 
-    /// The cached joint chain started after `disaster` plus the facility
-    /// cost rewards — the shared setup of both cost curves.
-    fn joint_cost_chain(
+    /// Validates an optional facility-disaster name against this facility
+    /// (keeping the facility-scope error message) and returns it for the
+    /// quotient artifact to resolve.
+    fn validated_disaster<'d>(
         &self,
-        disaster: Option<&str>,
-    ) -> Result<(Ctmc, &RewardStructure), ArcadeError> {
-        let disaster = match disaster {
-            Some(name) => Some(self.lookup_disaster(name)?),
-            None => None,
-        };
-        let cache = self.joint()?;
-        let start = self.start_block(cache, disaster)?;
-        let chain = cache.chain.with_initial_state(start)?;
-        Ok((chain, &cache.cost))
+        disaster: Option<&'d str>,
+    ) -> Result<Option<&'d str>, ArcadeError> {
+        if let Some(name) = disaster {
+            self.lookup_disaster(name)?;
+        }
+        Ok(disaster)
     }
 
     /// Expected accumulated facility repair cost after a disaster (cached
@@ -1344,13 +1351,10 @@ impl<'a> FacilityAnalysis<'a> {
         disaster: Option<&str>,
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
-        let (chain, rewards) = self.joint_cost_chain(disaster)?;
-        let solver = RewardSolver::new(&chain, rewards)?.with_options(TransientOptions {
-            exec: self.exec(),
-            ..TransientOptions::default()
-        });
-        let values = solver.accumulated_series(times)?;
-        Ok(times.iter().copied().zip(values).collect())
+        let disaster = self.validated_disaster(disaster)?;
+        self.joint()?
+            .quotient
+            .accumulated_cost_curve(disaster, times, self.exec())
     }
 
     /// Expected instantaneous facility cost rate, optionally after a
@@ -1364,13 +1368,10 @@ impl<'a> FacilityAnalysis<'a> {
         disaster: Option<&str>,
         times: &[f64],
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
-        let (chain, rewards) = self.joint_cost_chain(disaster)?;
-        let solver = RewardSolver::new(&chain, rewards)?.with_options(TransientOptions {
-            exec: self.exec(),
-            ..TransientOptions::default()
-        });
-        let values = solver.instantaneous_series(times)?;
-        Ok(times.iter().copied().zip(values).collect())
+        let disaster = self.validated_disaster(disaster)?;
+        self.joint()?
+            .quotient
+            .instantaneous_cost_curve(disaster, times, self.exec())
     }
 
     /// Evaluates a declarative [`FacilityMeasure`].

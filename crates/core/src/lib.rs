@@ -71,6 +71,7 @@ pub mod facility;
 pub mod families;
 pub mod measures;
 pub mod model;
+pub mod quotient;
 pub mod repair;
 pub mod spare;
 pub mod state;
@@ -91,6 +92,7 @@ pub use facility::{
 pub use families::{detect_families, detect_subtree_families, ComponentFamily, SubtreeFamily};
 pub use measures::{FacilityMeasure, Measure, MeasureResult};
 pub use model::{ArcadeModel, ArcadeModelBuilder};
+pub use quotient::{CompiledQuotient, QuotientParts};
 pub use repair::{RepairStrategy, RepairUnit};
 pub use spare::SpareManagementUnit;
 pub use state::{ComponentIndex, ComponentStatus, GlobalState, QueueEncoding};

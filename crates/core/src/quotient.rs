@@ -1,0 +1,523 @@
+//! The compile/solve split: an immutable, solver-ready quotient artifact.
+//!
+//! [`crate::Analysis`] and [`crate::FacilityAnalysis`] fuse two very different
+//! stages: *compilation* (explore the state space, lump it, build the
+//! product/orbit fold) and *solving* (steady-state and transient numerics on
+//! the resulting chain). A [`CompiledQuotient`] is the boundary object between
+//! them — everything the solving stage needs and nothing the compilation
+//! stage used to get there:
+//!
+//! * the (lumped/orbit) chain the solvers run on,
+//! * the operational mask, per-state service levels and cost rewards on it,
+//! * the solver-chain start state of every named disaster (the GOOD model),
+//!   precomputed so no state-space metadata is needed at query time.
+//!
+//! The artifact is plain data: cloning it is cheap relative to compilation,
+//! it is `Send + Sync`, and two artifacts can be compared exactly
+//! ([`CompiledQuotient::identical`]) or fingerprinted
+//! ([`CompiledQuotient::presentation_code`]) — the pair a quotient cache
+//! needs to intern artifacts by content with hash collisions ruled out.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use arcade_symmetry::{chain_presentation_code, chains_identical};
+use ctmc::{
+    Ctmc, ExecOptions, RewardSolver, RewardStructure, SteadyStateSolver, TransientOptions,
+    TransientSolver,
+};
+
+use crate::composer::{service_at_least, CompiledModel, ComposerOptions};
+use crate::error::ArcadeError;
+use crate::model::ArcadeModel;
+
+/// The raw ingredients of a [`CompiledQuotient`], named so compilation
+/// front-ends can assemble them field by field (see
+/// [`CompiledQuotient::from_parts`]).
+#[derive(Debug, Clone)]
+pub struct QuotientParts {
+    /// The artifact's display name (typically the source model's name).
+    pub name: String,
+    /// The chain every measure solves on.
+    pub chain: Ctmc,
+    /// "Fully operational" per solver-chain state.
+    pub operational: Vec<bool>,
+    /// The quantitative service level per solver-chain state.
+    pub service: Vec<f64>,
+    /// The repair-cost rewards on the solver chain.
+    pub cost: RewardStructure,
+    /// The no-disaster start state.
+    pub initial: usize,
+    /// Solver-chain start state of every named disaster.
+    pub disaster_starts: BTreeMap<String, usize>,
+    /// States of the chain the artifact was reduced from.
+    pub source_states: usize,
+}
+
+/// An immutable solver-ready quotient: the output of the compilation stage
+/// and the sole input of the solving stage (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CompiledQuotient {
+    name: String,
+    /// The chain every measure solves on, with its initial distribution set
+    /// to the no-disaster start state.
+    chain: Ctmc,
+    /// "Fully operational" per solver-chain state (for a facility artifact:
+    /// at least one line fully operational).
+    operational: Vec<bool>,
+    /// The quantitative service level per solver-chain state.
+    service: Vec<f64>,
+    /// The repair-cost reward structure on the solver chain.
+    cost: RewardStructure,
+    /// The no-disaster start state.
+    initial: usize,
+    /// Solver-chain start state of every named disaster (the GOOD model).
+    disaster_starts: BTreeMap<String, usize>,
+    /// States of the chain the artifact was reduced from (the flat chain or
+    /// the unreduced product) — the size the quotient saves over.
+    source_states: usize,
+}
+
+impl CompiledQuotient {
+    /// Assembles an artifact from already-prepared parts. Used by the
+    /// compilation front-ends ([`CompiledQuotient::of_model`],
+    /// [`crate::FacilityAnalysis::compiled_quotient`]); exposed so other
+    /// composition pipelines can produce artifacts too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidParameter`] when the metadata lengths
+    /// disagree with the chain or a start state is out of range.
+    pub fn from_parts(parts: QuotientParts) -> Result<Self, ArcadeError> {
+        let QuotientParts {
+            name,
+            chain,
+            operational,
+            service,
+            cost,
+            initial,
+            disaster_starts,
+            source_states,
+        } = parts;
+        let n = chain.num_states();
+        if operational.len() != n || service.len() != n || cost.state_rewards().len() != n {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!(
+                    "quotient metadata must cover all {n} states (operational {}, service {}, \
+                     cost {})",
+                    operational.len(),
+                    service.len(),
+                    cost.state_rewards().len()
+                ),
+            });
+        }
+        if initial >= n || disaster_starts.values().any(|&s| s >= n) {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("quotient start states must lie in 0..{n}"),
+            });
+        }
+        let chain = chain.with_initial_state(initial)?;
+        Ok(CompiledQuotient {
+            name,
+            chain,
+            operational,
+            service,
+            cost,
+            initial,
+            disaster_starts,
+            source_states,
+        })
+    }
+
+    /// Compiles `model` and extracts its solver-ready quotient: the exactly
+    /// lumped quotient when lumping is enabled (the default), the flat chain
+    /// otherwise. Every disaster of the model gets its start block resolved
+    /// at compile time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition errors.
+    pub fn of_model(model: &ArcadeModel, options: ComposerOptions) -> Result<Self, ArcadeError> {
+        let compiled = CompiledModel::compile_with(model, options)?;
+        Self::of_compiled(model, &compiled)
+    }
+
+    /// Extracts the solver-ready quotient of an already compiled model
+    /// (shares the work when a [`CompiledModel`] is at hand anyway).
+    ///
+    /// # Errors
+    ///
+    /// Propagates disaster-resolution errors.
+    pub fn of_compiled(model: &ArcadeModel, compiled: &CompiledModel) -> Result<Self, ArcadeError> {
+        let block_of = |flat: usize| match compiled.lumped() {
+            Some(lumped) => lumped.lumping().block_of(flat),
+            None => flat,
+        };
+        let mut disaster_starts = BTreeMap::new();
+        for disaster in model.disasters() {
+            let flat = compiled.disaster_state_index(disaster)?;
+            disaster_starts.insert(disaster.name().to_string(), block_of(flat));
+        }
+        let (chain, operational, service, cost) = match compiled.lumped() {
+            Some(lumped) => (
+                lumped.quotient().clone(),
+                lumped.operational_mask().to_vec(),
+                lumped.service_levels().to_vec(),
+                lumped.cost_rewards().clone(),
+            ),
+            None => (
+                compiled.chain().clone(),
+                compiled.operational_mask().to_vec(),
+                compiled.service_levels().to_vec(),
+                compiled.cost_rewards().clone(),
+            ),
+        };
+        Self::from_parts(QuotientParts {
+            name: model.name().to_string(),
+            chain,
+            operational,
+            service,
+            cost,
+            initial: block_of(compiled.initial_index()),
+            disaster_starts,
+            source_states: compiled.chain().num_states(),
+        })
+    }
+
+    /// The artifact's display name (the source model's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The chain every measure solves on.
+    pub fn chain(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Number of solver-chain states.
+    pub fn num_states(&self) -> usize {
+        self.chain.num_states()
+    }
+
+    /// States of the chain this artifact was reduced from.
+    pub fn source_states(&self) -> usize {
+        self.source_states
+    }
+
+    /// "Fully operational" per solver-chain state.
+    pub fn operational_mask(&self) -> &[bool] {
+        &self.operational
+    }
+
+    /// The quantitative service level per solver-chain state.
+    pub fn service_levels(&self) -> &[f64] {
+        &self.service
+    }
+
+    /// The repair-cost rewards on the solver chain.
+    pub fn cost_rewards(&self) -> &RewardStructure {
+        &self.cost
+    }
+
+    /// The no-disaster start state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The named disasters this artifact can answer queries about, with
+    /// their solver-chain start states.
+    pub fn disaster_starts(&self) -> &BTreeMap<String, usize> {
+        &self.disaster_starts
+    }
+
+    /// A deterministic fingerprint of the artifact's full presentation:
+    /// [`chain_presentation_code`] of the solver chain extended with the
+    /// exact bit patterns of every mask, level, reward and start state.
+    /// Identical artifacts get identical codes; distinct artifacts collide
+    /// only with hash probability and are told apart by
+    /// [`CompiledQuotient::identical`] — a cache must confirm candidates
+    /// with it before sharing an artifact between keys.
+    pub fn presentation_code(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        chain_presentation_code(&self.chain).hash(&mut hasher);
+        self.operational.hash(&mut hasher);
+        for level in &self.service {
+            level.to_bits().hash(&mut hasher);
+        }
+        self.cost.name().hash(&mut hasher);
+        for reward in self.cost.state_rewards() {
+            reward.to_bits().hash(&mut hasher);
+        }
+        self.initial.hash(&mut hasher);
+        self.disaster_starts.hash(&mut hasher);
+        self.source_states.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Exact interchangeability: every query answered on `self` equals the
+    /// same query on `other` bit-for-bit. The display name is deliberately
+    /// not compared — two models compiling to the same presentation may
+    /// share one cached artifact.
+    pub fn identical(&self, other: &CompiledQuotient) -> bool {
+        chains_identical(&self.chain, &other.chain)
+            && self.operational == other.operational
+            && bits_equal(&self.service, &other.service)
+            && self.cost.name() == other.cost.name()
+            && bits_equal(self.cost.state_rewards(), other.cost.state_rewards())
+            && self.initial == other.initial
+            && self.disaster_starts == other.disaster_starts
+            && self.source_states == other.source_states
+    }
+
+    /// The solver-chain start state of `disaster`, or the no-disaster start
+    /// for `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::UnsupportedMeasure`] for unknown disasters.
+    pub fn start_for(&self, disaster: Option<&str>) -> Result<usize, ArcadeError> {
+        match disaster {
+            None => Ok(self.initial),
+            Some(name) => self.disaster_starts.get(name).copied().ok_or_else(|| {
+                ArcadeError::UnsupportedMeasure {
+                    reason: format!("unknown disaster `{name}`"),
+                }
+            }),
+        }
+    }
+
+    /// The stationary distribution of the solver chain plus the number of
+    /// iterative sweeps it took — warm-started from `guess` when one is
+    /// given (the fixed point is unchanged; a good guess only shortens the
+    /// iteration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn stationary_counted(
+        &self,
+        guess: Option<&[f64]>,
+        exec: ExecOptions,
+    ) -> Result<(Vec<f64>, usize), ArcadeError> {
+        let mut solver = SteadyStateSolver::new(&self.chain).exec(exec);
+        if let Some(guess) = guess {
+            solver = solver.initial_guess(guess.to_vec());
+        }
+        Ok(solver.solve_counted()?)
+    }
+
+    /// The operational probability mass of a stationary (or transient)
+    /// distribution over the solver chain.
+    pub fn availability_of(&self, pi: &[f64]) -> f64 {
+        pi.iter()
+            .zip(self.operational.iter())
+            .filter(|(_, &up)| up)
+            .map(|(p, _)| p)
+            .sum()
+    }
+
+    /// Steady-state availability: one cold stationary solve followed by
+    /// [`CompiledQuotient::availability_of`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn availability(&self, exec: ExecOptions) -> Result<f64, ArcadeError> {
+        let (pi, _) = self.stationary_counted(None, exec)?;
+        Ok(self.availability_of(&pi))
+    }
+
+    /// Survivability after `disaster`: the probability of reaching a service
+    /// level of at least `service_level` within each deadline, batched over
+    /// a single uniformisation pass (`bounded_until_many`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid service levels (before the disaster lookup, matching
+    /// the analysis front-ends), unknown disasters, and propagates solver
+    /// errors.
+    pub fn survivability_curve(
+        &self,
+        disaster: &str,
+        service_level: f64,
+        times: &[f64],
+        exec: ExecOptions,
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        if !(0.0..=1.0).contains(&service_level) {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("service level must be in [0, 1], got {service_level}"),
+            });
+        }
+        let start = self.start_for(Some(disaster))?;
+        let chain = self.chain.with_initial_state(start)?;
+        let goal = service_at_least(&self.service, service_level);
+        let safe = vec![true; goal.len()];
+        let values = TransientSolver::with_options(&chain, transient_options(exec))
+            .bounded_until_many(&safe, &goal, times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// Expected instantaneous cost rate at the given times, optionally
+    /// starting right after a disaster.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown disasters; propagates solver errors.
+    pub fn instantaneous_cost_curve(
+        &self,
+        disaster: Option<&str>,
+        times: &[f64],
+        exec: ExecOptions,
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let (chain, rewards) = self.cost_setup(disaster)?;
+        let solver = RewardSolver::new(&chain, rewards)?.with_options(transient_options(exec));
+        let values = solver.instantaneous_series(times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// Expected accumulated cost up to the given time bounds, optionally
+    /// starting right after a disaster.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuotient::instantaneous_cost_curve`].
+    pub fn accumulated_cost_curve(
+        &self,
+        disaster: Option<&str>,
+        times: &[f64],
+        exec: ExecOptions,
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let (chain, rewards) = self.cost_setup(disaster)?;
+        let solver = RewardSolver::new(&chain, rewards)?.with_options(transient_options(exec));
+        let values = solver.accumulated_series(times)?;
+        Ok(times.iter().copied().zip(values).collect())
+    }
+
+    /// The restarted chain plus the cost rewards — the shared setup of both
+    /// cost curves.
+    fn cost_setup(&self, disaster: Option<&str>) -> Result<(Ctmc, &RewardStructure), ArcadeError> {
+        let start = self.start_for(disaster)?;
+        let chain = self.chain.with_initial_state(start)?;
+        Ok((chain, &self.cost))
+    }
+}
+
+fn transient_options(exec: ExecOptions) -> TransientOptions {
+    TransientOptions {
+        exec,
+        ..TransientOptions::default()
+    }
+}
+
+/// Exact (bitwise) equality of two f64 slices, consistent with the bit
+/// patterns [`CompiledQuotient::presentation_code`] hashes.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::BasicComponent;
+    use crate::disaster::Disaster;
+    use crate::repair::{RepairStrategy, RepairUnit};
+    use crate::Analysis;
+    use fault_tree::{StructureNode, SystemStructure};
+
+    fn pump_model(mttf: f64) -> ArcadeModel {
+        let structure = SystemStructure::new(StructureNode::component("pump"));
+        ArcadeModel::builder("pump", structure)
+            .component(
+                BasicComponent::from_mttf_mttr("pump", mttf, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::Dedicated, 1)
+                    .unwrap()
+                    .responsible_for(["pump"])
+                    .with_idle_cost(1.0),
+            )
+            .disaster(Disaster::new("pump-down", ["pump"]).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn artifact_measures_match_the_analysis_front_end() {
+        let model = pump_model(500.0);
+        let exec = ExecOptions::default();
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        let analysis = Analysis::new(&model).unwrap();
+
+        let availability = quotient.availability(exec).unwrap();
+        assert_eq!(
+            availability.to_bits(),
+            analysis.steady_state_availability().unwrap().to_bits()
+        );
+
+        let disaster = model.disaster("pump-down").unwrap();
+        let times = [0.0, 0.5, 1.0, 3.0];
+        let curve = quotient
+            .survivability_curve("pump-down", 1.0, &times, exec)
+            .unwrap();
+        let reference = analysis.survivability_curve(disaster, 1.0, &times).unwrap();
+        assert_eq!(curve, reference);
+
+        let inst = quotient
+            .instantaneous_cost_curve(Some("pump-down"), &times, exec)
+            .unwrap();
+        let inst_ref = analysis
+            .instantaneous_cost_curve(Some(disaster), &times)
+            .unwrap();
+        assert_eq!(inst, inst_ref);
+
+        let acc = quotient.accumulated_cost_curve(None, &times, exec).unwrap();
+        let acc_ref = analysis.accumulated_cost_curve(None, &times).unwrap();
+        assert_eq!(acc, acc_ref);
+    }
+
+    #[test]
+    fn artifact_rejects_bad_queries() {
+        let model = pump_model(500.0);
+        let exec = ExecOptions::default();
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        assert!(matches!(
+            quotient.survivability_curve("nope", 1.0, &[1.0], exec),
+            Err(ArcadeError::UnsupportedMeasure { .. })
+        ));
+        // The level check comes first, matching the analysis front-ends.
+        assert!(matches!(
+            quotient.survivability_curve("nope", 2.0, &[1.0], exec),
+            Err(ArcadeError::InvalidParameter { .. })
+        ));
+        assert!(quotient
+            .instantaneous_cost_curve(Some("nope"), &[1.0], exec)
+            .is_err());
+    }
+
+    #[test]
+    fn presentation_codes_separate_rate_variants_and_identical_confirms() {
+        let a = CompiledQuotient::of_model(&pump_model(500.0), ComposerOptions::default()).unwrap();
+        let b = CompiledQuotient::of_model(&pump_model(500.0), ComposerOptions::default()).unwrap();
+        let c = CompiledQuotient::of_model(&pump_model(501.0), ComposerOptions::default()).unwrap();
+        assert_eq!(a.presentation_code(), b.presentation_code());
+        assert!(a.identical(&b));
+        assert_ne!(a.presentation_code(), c.presentation_code());
+        assert!(!a.identical(&c));
+    }
+
+    #[test]
+    fn warm_start_shortens_the_iteration_to_the_same_fixed_point() {
+        let quotient =
+            CompiledQuotient::of_model(&pump_model(500.0), ComposerOptions::default()).unwrap();
+        let exec = ExecOptions::default();
+        let (cold, cold_iterations) = quotient.stationary_counted(None, exec).unwrap();
+        let (warm, warm_iterations) = quotient.stationary_counted(Some(&cold), exec).unwrap();
+        assert!(warm_iterations <= cold_iterations);
+        assert!((quotient.availability_of(&warm) - quotient.availability_of(&cold)).abs() < 1e-10);
+    }
+}

@@ -109,6 +109,18 @@ impl<'a> SteadyStateSolver<'a> {
     /// Returns [`CtmcError::NotConverged`] if an iterative solve fails to reach
     /// the requested tolerance within the iteration cap.
     pub fn solve(&self) -> Result<Vec<f64>, CtmcError> {
+        self.solve_counted().map(|(pi, _)| pi)
+    }
+
+    /// [`SteadyStateSolver::solve`] plus the total number of iterative sweeps
+    /// performed across all local solves — the observable a warm start
+    /// shortens. The distribution returned is bit-identical to
+    /// [`SteadyStateSolver::solve`]'s.
+    ///
+    /// # Errors
+    ///
+    /// See [`SteadyStateSolver::solve`].
+    pub fn solve_counted(&self) -> Result<(Vec<f64>, usize), CtmcError> {
         let n = self.chain.num_states();
         if let Some(guess) = &self.initial_guess {
             if guess.len() != n {
@@ -134,6 +146,7 @@ impl<'a> SteadyStateSolver<'a> {
         // conditional steady-state distribution inside each BSCC.
         let absorption = self.bscc_absorption_probabilities(&bsccs)?;
         let mut result = vec![0.0; n];
+        let mut iterations = 0;
         for (bscc, mass) in bsccs.iter().zip(absorption.iter()) {
             if *mass <= 0.0 {
                 continue;
@@ -142,12 +155,13 @@ impl<'a> SteadyStateSolver<'a> {
                 result[bscc[0]] += mass;
                 continue;
             }
-            let local = self.solve_irreducible_subset(bscc)?;
+            let (local, local_iterations) = self.solve_irreducible_subset(bscc)?;
+            iterations += local_iterations;
             for (&s, &p) in bscc.iter().zip(local_states(&local, bscc).iter()) {
                 result[s] += mass * p;
             }
         }
-        Ok(result)
+        Ok((result, iterations))
     }
 
     /// Computes the long-run probability of residing in any state of `states`.
@@ -208,13 +222,17 @@ impl<'a> SteadyStateSolver<'a> {
 
     /// Solves the steady state restricted to an irreducible subset of states
     /// (either the full chain or one BSCC), returning the distribution over the
-    /// full state space (zero outside the subset).
-    fn solve_irreducible_subset(&self, subset: &[StateIndex]) -> Result<Vec<f64>, CtmcError> {
+    /// full state space (zero outside the subset) and the number of iterative
+    /// sweeps used.
+    fn solve_irreducible_subset(
+        &self,
+        subset: &[StateIndex],
+    ) -> Result<(Vec<f64>, usize), CtmcError> {
         let n = self.chain.num_states();
         if subset.len() == 1 {
             let mut pi = vec![0.0; n];
             pi[subset[0]] = 1.0;
-            return Ok(pi);
+            return Ok((pi, 0));
         }
 
         // Build the restricted rate matrix over local indices.
@@ -235,7 +253,7 @@ impl<'a> SteadyStateSolver<'a> {
         }
         let local_rates = builder.build();
         let start = self.local_start(subset);
-        let local_pi = match self.method {
+        let (local_pi, iterations) = match self.method {
             SteadyStateMethod::GaussSeidel => self.gauss_seidel(&local_rates, start)?,
             SteadyStateMethod::Jacobi => self.jacobi(&local_rates, start)?,
             SteadyStateMethod::Power => self.power(&local_rates, start)?,
@@ -245,7 +263,7 @@ impl<'a> SteadyStateSolver<'a> {
         for (li, &s) in subset.iter().enumerate() {
             pi[s] = local_pi[li];
         }
-        Ok(pi)
+        Ok((pi, iterations))
     }
 
     /// The starting vector of an iterative solve on `subset`: the restricted
@@ -268,7 +286,11 @@ impl<'a> SteadyStateSolver<'a> {
     ///
     /// The sweep itself is inherently serial — see [`SteadyStateSolver::exec`]
     /// — so only the residual norm reported on failure shards.
-    fn gauss_seidel(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
+    fn gauss_seidel(
+        &self,
+        rates: &SparseMatrix,
+        start: Vec<f64>,
+    ) -> Result<(Vec<f64>, usize), CtmcError> {
         let exit: Vec<f64> = rates.row_sums();
         let incoming = rates.transpose();
         let mut pi = start;
@@ -293,9 +315,8 @@ impl<'a> SteadyStateSolver<'a> {
             }
             normalize(&mut pi);
             if max_delta < self.tolerance {
-                return Ok(pi);
+                return Ok((pi, iteration + 1));
             }
-            let _ = iteration;
         }
         Err(CtmcError::NotConverged {
             solver: "gauss-seidel steady-state",
@@ -307,7 +328,11 @@ impl<'a> SteadyStateSolver<'a> {
     /// Damped Jacobi iteration on the balance equations. Damping (averaging the
     /// update with the previous iterate) prevents the oscillation Jacobi is
     /// prone to on nearly-periodic chains.
-    fn jacobi(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
+    fn jacobi(
+        &self,
+        rates: &SparseMatrix,
+        start: Vec<f64>,
+    ) -> Result<(Vec<f64>, usize), CtmcError> {
         let m = rates.num_rows();
         let exit: Vec<f64> = rates.row_sums();
         let incoming = rates.transpose();
@@ -319,7 +344,7 @@ impl<'a> SteadyStateSolver<'a> {
         // untouched and the iterates are bit-identical to the serial sweep.
         let workers = self.exec.workers_for(incoming.num_entries()).min(m.max(1));
 
-        for _ in 0..self.max_iterations {
+        for iteration in 0..self.max_iterations {
             let max_delta = if workers <= 1 {
                 jacobi_sweep(&incoming, &exit, &pi, 0, &mut next)
             } else {
@@ -347,7 +372,7 @@ impl<'a> SteadyStateSolver<'a> {
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
-                return Ok(pi);
+                return Ok((pi, iteration + 1));
             }
         }
         Err(CtmcError::NotConverged {
@@ -358,12 +383,12 @@ impl<'a> SteadyStateSolver<'a> {
     }
 
     /// Power iteration on the uniformised DTMC `P = I + Q / q`.
-    fn power(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
+    fn power(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<(Vec<f64>, usize), CtmcError> {
         let m = rates.num_rows();
         let exit: Vec<f64> = rates.row_sums();
         let q = exit.iter().copied().fold(0.0, f64::max) * 1.02;
         if q <= 0.0 {
-            return Ok(vec![1.0 / m as f64; m]);
+            return Ok((vec![1.0 / m as f64; m], 0));
         }
         let mut builder = SparseMatrixBuilder::new(m, m);
         for (s, &exit_rate) in exit.iter().enumerate() {
@@ -380,7 +405,7 @@ impl<'a> SteadyStateSolver<'a> {
 
         let mut pi = start;
         let mut next = vec![0.0; m];
-        for _ in 0..self.max_iterations {
+        for iteration in 0..self.max_iterations {
             p.left_multiply_exec(&pi, &mut next, &self.exec)?;
             normalize(&mut next);
             let max_delta = pi
@@ -390,7 +415,7 @@ impl<'a> SteadyStateSolver<'a> {
                 .fold(0.0, f64::max);
             std::mem::swap(&mut pi, &mut next);
             if max_delta < self.tolerance {
-                return Ok(pi);
+                return Ok((pi, iteration + 1));
             }
         }
         Err(CtmcError::NotConverged {
@@ -746,6 +771,28 @@ mod tests {
             assert_eq!(sharded, reference);
         }
         assert!(solver.balance_residual(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_counted_reports_iterations_and_matches_solve() {
+        let chain = two_state(0.002, 0.2);
+        let pi = SteadyStateSolver::new(&chain).solve().unwrap();
+        let (counted_pi, cold_iterations) = SteadyStateSolver::new(&chain).solve_counted().unwrap();
+        assert_eq!(counted_pi, pi);
+        assert!(cold_iterations > 0);
+        // Warm-starting from the answer converges in fewer sweeps.
+        let (warm_pi, warm_iterations) = SteadyStateSolver::new(&chain)
+            .initial_guess(pi.clone())
+            .solve_counted()
+            .unwrap();
+        assert!(warm_iterations <= cold_iterations);
+        assert!((warm_pi[1] - pi[1]).abs() < 1e-10);
+        // Singleton BSCCs need no sweeps at all.
+        let mut b = CtmcBuilder::new(2);
+        b.add_transition(0, 1, 3.0).unwrap();
+        let absorbing = b.build().unwrap();
+        let (_, iterations) = SteadyStateSolver::new(&absorbing).solve_counted().unwrap();
+        assert_eq!(iterations, 0);
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Command-line runner for the paper's experiments and the analysis daemon.
+//!
+//! ```text
+//! wt-experiments all                # run every table and figure
+//! wt-experiments --threads 4 all    # same, on a 4-worker pool
+//! wt-experiments --line 1 all       # only Line 1 experiments
+//! wt-experiments --json table2      # the same results as JSON
+//! wt-experiments table1             # state-space sizes
+//! wt-experiments table2             # steady-state availability
+//! wt-experiments facility           # two-line facility: product vs joint chain
+//! wt-experiments fig3               # reliability over time
+//! wt-experiments fig4 fig5          # survivability Line 1, Disaster 1
+//! wt-experiments fig6 fig7          # costs Line 1, Disaster 1
+//! wt-experiments fig8 fig9          # survivability Line 2, Disaster 2
+//! wt-experiments fig10 fig11        # costs Line 2, Disaster 2
+//!
+//! wt-experiments serve --port 7411          # run the analysis daemon
+//! wt-experiments query --port 7411 availability line1/ded
+//! wt-experiments query --port 7411 survivability line2/ded \
+//!     disaster-2-mixed 1.0 0,20,40,60
+//! wt-experiments query --port 7411 cost accumulated facility/ded+ded \
+//!     facility-all-pumps 0,50,100
+//! wt-experiments query --port 7411 stats
+//! wt-experiments query --port 7411 shutdown
+//! ```
+//!
+//! `--threads N` sizes the worker pool shared by the frontier exploration,
+//! the solver kernels and the per-strategy experiment sweeps; `--threads 1`
+//! is the serial path and `--threads 0` (the default) auto-detects. Results
+//! are identical for every thread count.
+//!
+//! `--line {1,2,both}` selects the process line(s): tables report only the
+//! selected lines and line-specific figures (figs. 4–7 are Line 1, figs.
+//! 8–11 are Line 2) are skipped when their line is deselected. The
+//! `facility` experiment needs both lines and is skipped otherwise.
+//!
+//! `--symmetric-only` restricts the `facility` experiment to the symmetric
+//! strategy pairs and prints the symmetry engine's reduction ladder (product
+//! blocks → sorted-tuple orbit representatives → solved blocks, plus the
+//! exact-lumping minimality certificate) instead of the full figure sweep.
+//!
+//! `--json` prints every requested table and figure as one JSON document per
+//! experiment instead of the text rendering. `query` replies are always the
+//! daemon's JSON payload, one document per line.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use arcade_core::ExecOptions;
+use arcade_server::{server, AnalysisService, Client, CostKind, Json, Request};
+use watertreatment::experiments::{
+    self, grids, Figure, SymmetryReductionRow, Table1Row, Table2Row, TableFacilityRow,
+};
+use watertreatment::Line;
+
+const USAGE: &str = "usage: wt-experiments [--threads N] [--line 1|2|both] [--symmetric-only] \
+     [--json] [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...\n\
+     |  wt-experiments serve [--port N] [--threads N]\n\
+     |  wt-experiments query [--port N] \
+     <ping|stats|shutdown|availability MODEL|survivability MODEL DISASTER LEVEL T0,T1,..|\
+cost instantaneous|accumulated MODEL DISASTER|- T0,T1,..>";
+
+const DEFAULT_PORT: u16 = 7411;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("query") => query_main(&args[1..]),
+        _ => experiments_main(&args),
+    }
+}
+
+/// `serve [--port N] [--threads N]`: run the daemon in the foreground.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut port = DEFAULT_PORT;
+    let mut exec = ExecOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(result) = flag_value(arg, "--port", &mut iter) {
+            match result.and_then(|value| {
+                value
+                    .parse::<u16>()
+                    .map_err(|_| format!("invalid --port value `{value}`"))
+            }) {
+                Ok(p) => port = p,
+                Err(message) => return usage_error(&message),
+            }
+        } else if let Some(result) = flag_value(arg, "--threads", &mut iter) {
+            match result.and_then(|value| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --threads value `{value}`"))
+            }) {
+                Ok(threads) => exec = ExecOptions::with_threads(threads),
+                Err(message) => return usage_error(&message),
+            }
+        } else {
+            return usage_error(&format!("unknown serve option `{arg}`"));
+        }
+    }
+    let service = Arc::new(AnalysisService::new(exec));
+    let handle = match server::spawn(("127.0.0.1", port), service) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("wt-experiments daemon listening on {}", handle.addr());
+    println!(
+        "stop with: wt-experiments query --port {} shutdown",
+        handle.addr().port()
+    );
+    handle.join_until_shutdown();
+    println!("daemon stopped");
+    ExitCode::SUCCESS
+}
+
+/// `query [--port N] <op> [args...]`: one request, print the JSON payload.
+fn query_main(args: &[String]) -> ExitCode {
+    let mut port = DEFAULT_PORT;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(result) = flag_value(arg, "--port", &mut iter) {
+            match result.and_then(|value| {
+                value
+                    .parse::<u16>()
+                    .map_err(|_| format!("invalid --port value `{value}`"))
+            }) {
+                Ok(p) => port = p,
+                Err(message) => return usage_error(&message),
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    let request = match parse_query(&rest) {
+        Ok(request) => request,
+        Err(message) => return usage_error(&message),
+    };
+    let mut client = match Client::connect(("127.0.0.1", port)) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("cannot reach the daemon on 127.0.0.1:{port}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&request) {
+        Ok(payload) => {
+            println!("{payload}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("query failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_query(words: &[&String]) -> Result<Request, String> {
+    let times_of = |word: &str| -> Result<Vec<f64>, String> {
+        word.split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid time point `{t}`"))
+            })
+            .collect()
+    };
+    match words {
+        [op] if op.as_str() == "ping" => Ok(Request::Ping),
+        [op] if op.as_str() == "stats" => Ok(Request::Stats),
+        [op] if op.as_str() == "shutdown" => Ok(Request::Shutdown),
+        [op, model] if op.as_str() == "availability" => Ok(Request::Availability {
+            model: model.to_string(),
+        }),
+        [op, model, disaster, level, times] if op.as_str() == "survivability" => {
+            Ok(Request::Survivability {
+                model: model.to_string(),
+                disaster: disaster.to_string(),
+                level: level
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid service level `{level}`"))?,
+                times: times_of(times)?,
+            })
+        }
+        [op, kind, model, disaster, times] if op.as_str() == "cost" => Ok(Request::Cost {
+            model: model.to_string(),
+            kind: CostKind::parse(kind).ok_or_else(|| format!("invalid cost kind `{kind}`"))?,
+            disaster: (disaster.as_str() != "-").then(|| disaster.to_string()),
+            times: times_of(times)?,
+        }),
+        _ => Err("unrecognised query".to_string()),
+    }
+}
+
+/// Matches `--flag value` / `--flag=value`; advances `iter` for the spaced
+/// form. `Some(Err(..))` means the flag was present but valueless.
+fn flag_value<'a>(
+    arg: &'a str,
+    flag: &str,
+    iter: &mut std::slice::Iter<'a, String>,
+) -> Option<Result<String, String>> {
+    if let Some(value) = arg.strip_prefix(flag) {
+        if let Some(value) = value.strip_prefix('=') {
+            return Some(Ok(value.to_string()));
+        }
+        if value.is_empty() {
+            return Some(match iter.next() {
+                Some(value) => Ok(value.clone()),
+                None => Err(format!("{flag} expects a value")),
+            });
+        }
+    }
+    None
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn experiments_main(args: &[String]) -> ExitCode {
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut exec = ExecOptions::default();
+    let mut lines: Vec<Line> = Line::both().to_vec();
+    let mut symmetric_only = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let lower = arg.to_lowercase();
+        if let Some(value) = lower.strip_prefix("--threads=") {
+            match value.parse::<usize>() {
+                Ok(threads) => exec = ExecOptions::with_threads(threads),
+                Err(_) => return usage_error(&format!("invalid --threads value `{value}`")),
+            }
+        } else if lower == "--threads" {
+            match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(threads)) => exec = ExecOptions::with_threads(threads),
+                _ => return usage_error("--threads expects a number"),
+            }
+        } else if let Some(value) = lower.strip_prefix("--line=") {
+            match Line::from_arg(value) {
+                Some(selection) => lines = selection,
+                None => {
+                    return usage_error(&format!(
+                        "invalid --line value `{value}` (expected 1, 2 or both)"
+                    ))
+                }
+            }
+        } else if lower == "--line" {
+            match iter.next().map(String::as_str).and_then(Line::from_arg) {
+                Some(selection) => lines = selection,
+                None => return usage_error("--line expects 1, 2 or both"),
+            }
+        } else if lower == "--symmetric-only" {
+            symmetric_only = true;
+        } else if lower == "--json" {
+            json = true;
+        } else if lower.starts_with('-') {
+            return usage_error(&format!("unknown option `{arg}`"));
+        } else {
+            requested.insert(lower);
+        }
+    }
+    if requested.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let all = requested.contains("all");
+    let wants = |name: &str| all || requested.contains(name);
+
+    if let Err(err) = run(wants, exec, &lines, symmetric_only, json) {
+        eprintln!("experiment failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(
+    wants: impl Fn(&str) -> bool,
+    exec: ExecOptions,
+    lines: &[Line],
+    symmetric_only: bool,
+    json: bool,
+) -> Result<(), arcade_core::ArcadeError> {
+    let has = |line: Line| lines.contains(&line);
+    let both = has(Line::Line1) && has(Line::Line2);
+    let figure = |fig: &Figure| {
+        if json {
+            println!("{}", figure_json(fig));
+        } else {
+            println!("{}", experiments::format_figure(fig));
+        }
+    };
+    let skip = |name: &str, needed: &str| {
+        if json {
+            println!(
+                "{}",
+                Json::object(vec![
+                    ("experiment", Json::from(name)),
+                    ("skipped", Json::Bool(true)),
+                    ("needs", Json::from(needed)),
+                ])
+            );
+        } else {
+            println!("== {name}: skipped (needs {needed}; pass --line both) ==\n");
+        }
+    };
+
+    if wants("table1") {
+        let measured = experiments::table1_lines_with(lines, exec)?;
+        let compositional = experiments::table1_compositional()?;
+        if json {
+            println!(
+                "{}",
+                Json::object(vec![
+                    ("experiment", Json::from("table1")),
+                    ("measured", table1_json(&measured)),
+                    (
+                        "paper_reference",
+                        table1_json(&experiments::table1_paper_reference()),
+                    ),
+                    ("compositional", table1_json(&compositional)),
+                ])
+            );
+        } else {
+            println!("== Table 1: state-space sizes (flat product, as the paper reports) ==");
+            println!("{}", experiments::format_table1(&measured));
+            println!("-- paper reference --");
+            println!(
+                "{}",
+                experiments::format_table1(&experiments::table1_paper_reference())
+            );
+            println!(
+                "-- compositional pipeline (per-line sub-chains lumped before the product) --"
+            );
+            println!("{}", experiments::format_table1(&compositional));
+        }
+    }
+    if wants("table2") {
+        let measured = experiments::table2_lines_with(lines, exec)?;
+        if json {
+            println!(
+                "{}",
+                Json::object(vec![
+                    ("experiment", Json::from("table2")),
+                    ("measured", table2_json(&measured)),
+                    (
+                        "paper_reference",
+                        table2_json(&experiments::table2_paper_reference()),
+                    ),
+                ])
+            );
+        } else {
+            println!("== Table 2: steady-state availability ==");
+            println!("{}", experiments::format_table2(&measured));
+            println!("-- paper reference --");
+            println!(
+                "{}",
+                experiments::format_table2(&experiments::table2_paper_reference())
+            );
+        }
+    }
+    if wants("facility") {
+        if both && symmetric_only {
+            let rows = experiments::symmetry_reduction_table(exec)?;
+            if json {
+                println!(
+                    "{}",
+                    Json::object(vec![
+                        ("experiment", Json::from("facility-symmetry")),
+                        ("rows", symmetry_json(&rows)),
+                    ])
+                );
+            } else {
+                println!(
+                    "== Facility symmetry: orbit quotients of the symmetric strategy pairs =="
+                );
+                println!("{}", experiments::format_symmetry_reduction(&rows));
+                println!(
+                    "Paper pairs compose two *different* lines, so no cross-line symmetry\n\
+                     exists; the `Exact-min` column certifies their products minimal. The\n\
+                     twin facilities (two identical Line 2 copies) fold to n(n+1)/2 sorted\n\
+                     pairs before materialisation.\n"
+                );
+            }
+        } else if both {
+            let suite = experiments::facility_suite_with(
+                &experiments::paired_strategies(),
+                &grids::fig4_to_6(),
+                &grids::fig4_to_6(),
+                &grids::fig7(),
+                exec,
+            )?;
+            if json {
+                println!(
+                    "{}",
+                    Json::object(vec![
+                        ("experiment", Json::from("facility")),
+                        ("table", facility_table_json(&suite.table)),
+                        ("recovery_full", figure_json(&suite.recovery_full)),
+                        ("recovery_basic", figure_json(&suite.recovery_basic)),
+                        ("cost_instantaneous", figure_json(&suite.cost_instantaneous)),
+                        ("cost_accumulated", figure_json(&suite.cost_accumulated)),
+                    ])
+                );
+            } else {
+                println!(
+                    "== Facility: combined availability, product form vs genuine joint chain =="
+                );
+                println!("{}", experiments::format_table_facility(&suite.table));
+                println!("{}", experiments::format_figure(&suite.recovery_full));
+                println!("{}", experiments::format_figure(&suite.recovery_basic));
+                println!("{}", experiments::format_figure(&suite.cost_instantaneous));
+                println!("{}", experiments::format_figure(&suite.cost_accumulated));
+            }
+        } else {
+            skip("facility", "both lines");
+        }
+    }
+    if wants("fig3") {
+        let fig = experiments::fig3_reliability_lines_with(lines, &grids::fig3(), exec)?;
+        figure(&fig);
+    }
+    if wants("fig4") || wants("fig5") {
+        if has(Line::Line1) {
+            let (fig4, fig5) =
+                experiments::fig4_5_survivability_line1_with(&grids::fig4_to_6(), exec)?;
+            if wants("fig4") {
+                figure(&fig4);
+            }
+            if wants("fig5") {
+                figure(&fig5);
+            }
+        } else {
+            skip("fig4/fig5", "line 1");
+        }
+    }
+    if wants("fig6") || wants("fig7") {
+        if has(Line::Line1) {
+            let (fig6, fig7) =
+                experiments::fig6_7_cost_line1_with(&grids::fig4_to_6(), &grids::fig7(), exec)?;
+            if wants("fig6") {
+                figure(&fig6);
+            }
+            if wants("fig7") {
+                figure(&fig7);
+            }
+        } else {
+            skip("fig6/fig7", "line 1");
+        }
+    }
+    if wants("fig8") || wants("fig9") {
+        if has(Line::Line2) {
+            let (fig8, fig9) =
+                experiments::fig8_9_survivability_line2_with(&grids::fig8_9(), exec)?;
+            if wants("fig8") {
+                figure(&fig8);
+            }
+            if wants("fig9") {
+                figure(&fig9);
+            }
+        } else {
+            skip("fig8/fig9", "line 2");
+        }
+    }
+    if wants("fig10") || wants("fig11") {
+        if has(Line::Line2) {
+            let (fig10, fig11) = experiments::fig10_11_cost_line2_with(&grids::fig10_11(), exec)?;
+            if wants("fig10") {
+                figure(&fig10);
+            }
+            if wants("fig11") {
+                figure(&fig11);
+            }
+        } else {
+            skip("fig10/fig11", "line 2");
+        }
+    }
+    Ok(())
+}
+
+fn figure_json(figure: &Figure) -> Json {
+    Json::object(vec![
+        ("id", Json::from(figure.id.as_str())),
+        ("title", Json::from(figure.title.as_str())),
+        ("x_label", Json::from(figure.x_label.as_str())),
+        ("y_label", Json::from(figure.y_label.as_str())),
+        (
+            "series",
+            Json::Array(
+                figure
+                    .series
+                    .iter()
+                    .map(|series| {
+                        Json::object(vec![
+                            ("label", Json::from(series.label.as_str())),
+                            ("points", Json::curve(&series.points)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn table1_json(rows: &[Table1Row]) -> Json {
+    let opt = |value: Option<usize>| value.map_or(Json::Null, Json::from);
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("line", Json::from(row.line.id())),
+                    ("strategy", Json::from(row.strategy.as_str())),
+                    ("states", Json::from(row.states)),
+                    ("transitions", Json::from(row.transitions)),
+                    ("lumped_states", opt(row.lumped_states)),
+                    ("lumped_transitions", opt(row.lumped_transitions)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn table2_json(rows: &[Table2Row]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("strategy", Json::from(row.strategy.as_str())),
+                    ("line1", Json::Number(row.line1)),
+                    ("line2", Json::Number(row.line2)),
+                    ("combined", Json::Number(row.combined)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn facility_table_json(rows: &[TableFacilityRow]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("pair", Json::from(row.pair.as_str())),
+                    ("line1", Json::Number(row.line1)),
+                    ("line2", Json::Number(row.line2)),
+                    ("combined", Json::Number(row.combined)),
+                    ("joint", Json::Number(row.joint)),
+                    ("difference", Json::Number(row.difference)),
+                    ("joint_blocks", Json::from(row.joint_blocks)),
+                    ("solved_blocks", Json::from(row.solved_blocks)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn symmetry_json(rows: &[SymmetryReductionRow]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("facility", Json::from(row.facility.as_str())),
+                    ("product_blocks", Json::from(row.product_blocks)),
+                    (
+                        "orbit_blocks",
+                        row.orbit_blocks.map_or(Json::Null, Json::from),
+                    ),
+                    ("solver_blocks", Json::from(row.solver_blocks)),
+                    ("exact_blocks", Json::from(row.exact_blocks)),
+                    ("reduction_factor", Json::Number(row.reduction_factor())),
+                ])
+            })
+            .collect(),
+    )
+}

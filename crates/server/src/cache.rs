@@ -1,0 +1,171 @@
+//! The quotient cache: compiled artifacts interned by presentation code.
+//!
+//! Artifacts are keyed two ways:
+//!
+//! * **by spec** — the canonical registry spec string, so a repeated query
+//!   skips recompilation entirely;
+//! * **by presentation code** — [`CompiledQuotient::presentation_code`], so
+//!   two specs that compile to the *same presentation* share one artifact
+//!   (and its solved stationary vector). The code is a 64-bit hash; a lookup
+//!   candidate is only shared after [`CompiledQuotient::identical`]
+//!   **confirms** exact equality, so a hash collision can never poison the
+//!   cache — colliding-but-different artifacts live side by side under one
+//!   code. [`QuotientCache::intern_with_code`] exposes the code as an
+//!   explicit parameter so tests can force collisions.
+//!
+//! Entries also carry the model *family* (the spec minus its rate scale) and
+//! memoise their stationary distribution once solved;
+//! [`QuotientCache::warm_donor`] hands out a solved vector of a same-family,
+//! same-dimension sibling as the warm start for a rate-perturbed variant.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use arcade_core::CompiledQuotient;
+
+/// One interned artifact plus its solve state.
+pub struct CacheEntry {
+    code: u64,
+    family: String,
+    quotient: Arc<CompiledQuotient>,
+    stationary: Mutex<Option<Arc<Vec<f64>>>>,
+}
+
+impl CacheEntry {
+    /// The presentation code this entry is interned under.
+    pub fn code(&self) -> u64 {
+        self.code
+    }
+
+    /// The model family (spec minus rate scale) this entry belongs to.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The artifact.
+    pub fn quotient(&self) -> &Arc<CompiledQuotient> {
+        &self.quotient
+    }
+
+    /// The memoised stationary distribution, if it has been solved.
+    pub fn stationary(&self) -> Option<Arc<Vec<f64>>> {
+        self.stationary.lock().unwrap().clone()
+    }
+
+    /// Memoises the solved stationary distribution.
+    pub fn set_stationary(&self, pi: Arc<Vec<f64>>) {
+        *self.stationary.lock().unwrap() = Some(pi);
+    }
+}
+
+#[derive(Default)]
+struct CacheInner {
+    by_spec: HashMap<String, Arc<CacheEntry>>,
+    /// Collision chain per presentation code: distinct artifacts that share
+    /// a code (expected length 1).
+    by_code: HashMap<u64, Vec<Arc<CacheEntry>>>,
+}
+
+/// The interning cache (see the module docs). All methods are thread-safe.
+#[derive(Default)]
+pub struct QuotientCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl QuotientCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        QuotientCache::default()
+    }
+
+    /// The entry registered under a canonical spec string, if any.
+    pub fn get(&self, spec: &str) -> Option<Arc<CacheEntry>> {
+        self.inner.lock().unwrap().by_spec.get(spec).cloned()
+    }
+
+    /// Interns a freshly compiled artifact under `spec`, using the
+    /// artifact's own presentation code. Returns the entry to use and
+    /// whether an already-cached identical artifact was shared (`true`)
+    /// rather than this one stored (`false`).
+    pub fn insert(
+        &self,
+        spec: &str,
+        family: &str,
+        quotient: CompiledQuotient,
+    ) -> (Arc<CacheEntry>, bool) {
+        let code = quotient.presentation_code();
+        self.intern_with_code(spec, family, code, quotient)
+    }
+
+    /// [`QuotientCache::insert`] with an explicit presentation code — the
+    /// collision-hardening seam: candidates under `code` are only shared
+    /// after [`CompiledQuotient::identical`] confirms them, so passing the
+    /// same code for two different artifacts (as the collision regression
+    /// test does) keeps them separate instead of conflating them.
+    pub fn intern_with_code(
+        &self,
+        spec: &str,
+        family: &str,
+        code: u64,
+        quotient: CompiledQuotient,
+    ) -> (Arc<CacheEntry>, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        let chain = inner.by_code.entry(code).or_default();
+        if let Some(existing) = chain
+            .iter()
+            .find(|entry| entry.quotient.identical(&quotient))
+        {
+            let entry = Arc::clone(existing);
+            inner.by_spec.insert(spec.to_string(), Arc::clone(&entry));
+            return (entry, true);
+        }
+        let entry = Arc::new(CacheEntry {
+            code,
+            family: family.to_string(),
+            quotient: Arc::new(quotient),
+            stationary: Mutex::new(None),
+        });
+        chain.push(Arc::clone(&entry));
+        inner.by_spec.insert(spec.to_string(), Arc::clone(&entry));
+        (entry, false)
+    }
+
+    /// A solved stationary vector of a same-family entry with the given
+    /// state count, excluding `exclude_code` (the asking entry itself) — the
+    /// warm-start donor for a rate-perturbed variant. Dimensions are checked
+    /// here so the guess always fits the asking chain.
+    pub fn warm_donor(
+        &self,
+        family: &str,
+        states: usize,
+        exclude_code: u64,
+    ) -> Option<Arc<Vec<f64>>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .by_code
+            .values()
+            .flatten()
+            .filter(|entry| {
+                entry.code != exclude_code
+                    && entry.family == family
+                    && entry.quotient.num_states() == states
+            })
+            .find_map(|entry| entry.stationary())
+    }
+
+    /// Number of distinct interned artifacts.
+    pub fn num_artifacts(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .by_code
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Number of registered spec keys.
+    pub fn num_specs(&self) -> usize {
+        self.inner.lock().unwrap().by_spec.len()
+    }
+}

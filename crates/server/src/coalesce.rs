@@ -1,0 +1,232 @@
+//! Query coalescing: concurrent identical computations share one execution.
+//!
+//! A [`Coalescer`] is a memoising slot map. The first caller of a key (the
+//! *leader*) runs the computation; every concurrent caller of the same key
+//! (a *follower*) blocks on the slot's condition variable and receives a
+//! clone of the leader's result — the computation runs **once**, and every
+//! waiter gets the bit-identical value. Results stay memoised, so later
+//! callers of the same key are followers too, served without blocking.
+//!
+//! Errors are ordinary values (`V = Result<…>`): a failed leader hands every
+//! follower the same error. A *panicking* leader poisons and releases its
+//! slot — waiting followers wake up and elect a new leader instead of
+//! deadlocking.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a call was served (feeds the coalesced-query counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This call ran the computation.
+    Leader,
+    /// This call received the leader's (in-flight or memoised) result.
+    Follower,
+}
+
+enum SlotState<V> {
+    Pending,
+    Done(V),
+    Poisoned,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+/// Poisons the leader's slot if it panics, so followers re-elect instead of
+/// waiting forever.
+struct PanicGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    coalescer: &'a Coalescer<K, V>,
+    slot: &'a Arc<Slot<V>>,
+    key: K,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for PanicGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = match self.coalescer.slots.lock() {
+                Ok(slots) => slots,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slots.remove(&self.key);
+            drop(slots);
+            let mut state = match self.slot.state.lock() {
+                Ok(state) => state,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *state = SlotState::Poisoned;
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// A memoising slot map keyed by `K` (see the module docs).
+pub struct Coalescer<K: Eq + Hash + Clone, V: Clone> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        Coalescer::default()
+    }
+
+    /// Runs `compute` under `key`, or joins the computation already running
+    /// (or memoised) under it. Returns the value and how it was obtained.
+    pub fn run(&self, key: K, compute: impl FnOnce() -> V) -> (V, Role) {
+        loop {
+            let (slot, leader) = {
+                let mut slots = self.slots.lock().unwrap();
+                match slots.get(&key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot {
+                            state: Mutex::new(SlotState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        slots.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leader {
+                let mut guard = PanicGuard {
+                    coalescer: self,
+                    slot: &slot,
+                    key,
+                    armed: true,
+                };
+                let value = compute();
+                guard.armed = false;
+                let mut state = slot.state.lock().unwrap();
+                *state = SlotState::Done(value.clone());
+                slot.ready.notify_all();
+                return (value, Role::Leader);
+            }
+            let mut state = slot.state.lock().unwrap();
+            loop {
+                match &*state {
+                    SlotState::Pending => state = slot.ready.wait(state).unwrap(),
+                    SlotState::Done(value) => return (value.clone(), Role::Follower),
+                    SlotState::Poisoned => break,
+                }
+            }
+            // The leader panicked; its slot is gone from the map. Try again
+            // (possibly becoming the new leader).
+        }
+    }
+
+    /// The memoised value of `key`, if its computation has finished.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let slot = Arc::clone(self.slots.lock().unwrap().get(key)?);
+        let state = slot.state.lock().unwrap();
+        match &*state {
+            SlotState::Done(value) => Some(value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of keys (in flight or memoised).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether no key has ever been run.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn later_calls_are_memoised_followers() {
+        let coalescer: Coalescer<u64, usize> = Coalescer::new();
+        let runs = AtomicUsize::new(0);
+        let compute = || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            42
+        };
+        assert_eq!(coalescer.run(7, compute), (42, Role::Leader));
+        assert_eq!(coalescer.run(7, compute), (42, Role::Follower));
+        assert_eq!(coalescer.run(7, compute), (42, Role::Follower));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "computation ran once");
+        assert_eq!(coalescer.peek(&7), Some(42));
+        assert_eq!(coalescer.peek(&8), None);
+        assert_eq!(coalescer.len(), 1);
+        assert!(!coalescer.is_empty());
+    }
+
+    #[test]
+    fn concurrent_identical_calls_share_one_execution() {
+        let coalescer: Arc<Coalescer<&'static str, u64>> = Arc::new(Coalescer::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let coalescer = Arc::clone(&coalescer);
+                let runs = Arc::clone(&runs);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    coalescer.run("key", || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Let followers pile up on the slot.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        0xdeadbeef
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(u64, Role)> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one execution");
+        assert_eq!(
+            results
+                .iter()
+                .filter(|(_, role)| *role == Role::Leader)
+                .count(),
+            1
+        );
+        assert!(results.iter().all(|(value, _)| *value == 0xdeadbeef));
+    }
+
+    #[test]
+    fn a_panicking_leader_frees_the_key_and_wakes_followers() {
+        let coalescer: Arc<Coalescer<u64, u64>> = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let crash = {
+            let coalescer = Arc::clone(&coalescer);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                coalescer.run(1, || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("leader died")
+                })
+            })
+        };
+        // This follower arrives while the doomed leader is computing, then
+        // must be woken and re-elected rather than deadlock.
+        barrier.wait();
+        let (value, _) = coalescer.run(1, || 5);
+        assert_eq!(value, 5);
+        assert!(crash.join().is_err());
+        assert_eq!(coalescer.run(1, || 6), (5, Role::Follower), "memoised");
+    }
+}

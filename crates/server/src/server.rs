@@ -1,0 +1,170 @@
+//! The TCP daemon: newline-delimited JSON over `std::net::TcpListener`.
+//!
+//! One connection-handler thread per client; all handlers share one
+//! [`AnalysisService`] (and therefore one cache, one coalescer, one stats
+//! block). A `shutdown` request acknowledges, then stops the accept loop;
+//! in-flight connections are joined before [`serve`] returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+use crate::service::AnalysisService;
+
+/// How long the accept loop sleeps between polls while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on connections: how often an idle handler re-checks the
+/// shutdown flag, so joining the daemon never waits on a silent client.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A running daemon: its bound address plus the shutdown controls.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (with the ephemeral port
+    /// resolved — bind to port `0` to let the OS pick one).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins the daemon thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Blocks until something else stops the daemon — a client's `shutdown`
+    /// request — and the accept loop has exited (the foreground-daemon
+    /// mode of `wt-experiments serve`).
+    pub fn join_until_shutdown(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves it on a background thread.
+///
+/// # Errors
+///
+/// Propagates bind errors (address in use, permission).
+pub fn spawn<A: ToSocketAddrs>(
+    addr: A,
+    service: Arc<AnalysisService>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::spawn(move || serve(listener, service, flag));
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+/// Runs the accept loop until `shutdown` is set (by a `shutdown` request or
+/// externally), then joins every connection handler.
+pub fn serve(listener: TcpListener, service: Arc<AnalysisService>, shutdown: Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(&service);
+                let flag = Arc::clone(&shutdown);
+                let handler =
+                    std::thread::spawn(move || handle_connection(stream, &service, &flag));
+                let mut guard = handlers.lock().unwrap();
+                guard.push(handler);
+                // Reap finished handlers so the vector stays small on
+                // long-lived daemons.
+                guard.retain(|h| !h.is_finished());
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    for handler in handlers.into_inner().unwrap() {
+        let _ = handler.join();
+    }
+}
+
+/// Serves one connection: one JSON request per line, one JSON response per
+/// line, until the peer closes or requests shutdown.
+fn handle_connection(stream: TcpStream, service: &AnalysisService, shutdown: &AtomicBool) {
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            // A read timeout: `read_line` has appended any partial bytes to
+            // `line`, so keep accumulating — just re-check the flag first.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, stop) = match Request::parse_line(trimmed) {
+            Ok(request) => {
+                let stop = request == Request::Shutdown;
+                (service.handle(&request), stop)
+            }
+            Err(err) => (Response::Err(format!("bad request: {err}")), false),
+        };
+        line.clear();
+        if writeln!(writer, "{}", response.to_json()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}

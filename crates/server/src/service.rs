@@ -1,0 +1,416 @@
+//! The analysis service: protocol requests in, measure payloads out.
+//!
+//! [`AnalysisService`] is transport-agnostic — the TCP daemon
+//! ([`crate::server`]) and in-process callers (tests, benches) drive the
+//! same [`AnalysisService::handle`] entry point, which is what makes
+//! "daemon responses are bit-identical to in-process results" a structural
+//! property rather than a numerical accident: both paths execute the same
+//! [`CompiledQuotient`] methods.
+//!
+//! Per query the service:
+//!
+//! 1. resolves the model spec in the [`QuotientCache`] (compiling at most
+//!    once per spec, interning identical artifacts by presentation code),
+//! 2. coalesces concurrent identical computations — one stationary solve
+//!    per chain, one batched Fox–Glynn pass per distinct curve query — with
+//!    every waiter receiving bit-identical results,
+//! 3. warm-starts stationary solves from a solved same-family,
+//!    same-dimension sibling (a rate-perturbed variant of a chain already
+//!    solved), which shortens the Gauss–Seidel iteration without moving the
+//!    fixed point beyond solver tolerance.
+
+use std::sync::Arc;
+
+use arcade_core::{ArcadeError, ComposerOptions, ExecOptions};
+use watertreatment::ModelSpec;
+
+use crate::cache::{CacheEntry, QuotientCache};
+use crate::coalesce::{Coalescer, Role};
+use crate::json::Json;
+use crate::protocol::{CostKind, Request, Response};
+use crate::stats::{ServiceStats, StatsSnapshot};
+
+/// The result of one stationary solve, shared by every coalesced waiter.
+#[derive(Clone)]
+struct StationarySolve {
+    pi: Arc<Vec<f64>>,
+    iterations: usize,
+    warm: bool,
+}
+
+/// Exact identity of a curve query (bitwise on the floats): the coalescing
+/// unit for transient passes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CurveKey {
+    code: u64,
+    op: &'static str,
+    disaster: Option<String>,
+    level_bits: u64,
+    times_bits: Vec<u64>,
+}
+
+impl CurveKey {
+    fn new(code: u64, op: &'static str, disaster: Option<&str>, level: f64, times: &[f64]) -> Self {
+        CurveKey {
+            code,
+            op,
+            disaster: disaster.map(str::to_string),
+            level_bits: level.to_bits(),
+            times_bits: times.iter().map(|t| t.to_bits()).collect(),
+        }
+    }
+}
+
+/// The persistent solver service (see the module docs).
+pub struct AnalysisService {
+    exec: ExecOptions,
+    cache: QuotientCache,
+    stats: ServiceStats,
+    builds: Coalescer<String, Result<Arc<CacheEntry>, ArcadeError>>,
+    stationary: Coalescer<u64, Result<StationarySolve, ArcadeError>>,
+    curves: Coalescer<CurveKey, Result<Vec<(f64, f64)>, ArcadeError>>,
+}
+
+impl AnalysisService {
+    /// A fresh service whose solves run on the given worker pool.
+    pub fn new(exec: ExecOptions) -> Self {
+        AnalysisService {
+            exec,
+            cache: QuotientCache::new(),
+            stats: ServiceStats::new(),
+            builds: Coalescer::new(),
+            stationary: Coalescer::new(),
+            curves: Coalescer::new(),
+        }
+    }
+
+    /// The worker pool queries run on.
+    pub fn exec(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The quotient cache (exposed for tests and benches).
+    pub fn cache(&self) -> &QuotientCache {
+        &self.cache
+    }
+
+    /// Handles one request, never panicking on bad input: every failure is a
+    /// [`Response::Err`].
+    pub fn handle(&self, request: &Request) -> Response {
+        self.stats.query();
+        let result = match request {
+            Request::Ping => Ok(Json::object(vec![("pong", Json::Bool(true))])),
+            Request::Stats => Ok(self.stats.snapshot().to_json()),
+            Request::Shutdown => Ok(Json::object(vec![("stopping", Json::Bool(true))])),
+            Request::Availability { model } => self.availability(model),
+            Request::Survivability {
+                model,
+                disaster,
+                level,
+                times,
+            } => self.survivability(model, disaster, *level, times),
+            Request::Cost {
+                model,
+                kind,
+                disaster,
+                times,
+            } => self.cost(model, *kind, disaster.as_deref(), times),
+        };
+        match result {
+            Ok(payload) => Response::Ok(payload),
+            Err(err) => Response::Err(err.to_string()),
+        }
+    }
+
+    /// Steady-state availability of `model` (cached, coalesced,
+    /// warm-started).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec, compilation and solver errors.
+    pub fn availability(&self, model: &str) -> Result<Json, ArcadeError> {
+        let entry = self.entry(model)?;
+        let solve = self.stationary(&entry)?;
+        let availability = entry.quotient().availability_of(&solve.pi);
+        Ok(Json::object(vec![
+            ("model", Json::from(ModelSpec::parse(model)?.canonical())),
+            ("availability", Json::Number(availability)),
+            ("states", Json::from(entry.quotient().num_states())),
+            (
+                "source_states",
+                Json::from(entry.quotient().source_states()),
+            ),
+            ("iterations", Json::from(solve.iterations)),
+            ("warm_started", Json::Bool(solve.warm)),
+        ]))
+    }
+
+    /// Survivability curve of `model` after `disaster` (cached artifact, one
+    /// coalesced Fox–Glynn pass per distinct query).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec, compilation, lookup and solver errors.
+    pub fn survivability(
+        &self,
+        model: &str,
+        disaster: &str,
+        level: f64,
+        times: &[f64],
+    ) -> Result<Json, ArcadeError> {
+        let entry = self.entry(model)?;
+        let key = CurveKey::new(entry.code(), "surv", Some(disaster), level, times);
+        let curve = self.curve(key, || {
+            entry
+                .quotient()
+                .survivability_curve(disaster, level, times, self.exec)
+        })?;
+        Ok(Json::object(vec![
+            ("model", Json::from(ModelSpec::parse(model)?.canonical())),
+            ("disaster", Json::from(disaster)),
+            ("level", Json::Number(level)),
+            ("curve", Json::curve(&curve)),
+        ]))
+    }
+
+    /// Cost curve of `model` (instantaneous rate or accumulated), optionally
+    /// after a disaster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec, compilation, lookup and solver errors.
+    pub fn cost(
+        &self,
+        model: &str,
+        kind: CostKind,
+        disaster: Option<&str>,
+        times: &[f64],
+    ) -> Result<Json, ArcadeError> {
+        let entry = self.entry(model)?;
+        let key = CurveKey::new(entry.code(), kind.wire_name(), disaster, 0.0, times);
+        let curve = self.curve(key, || match kind {
+            CostKind::Instantaneous => entry
+                .quotient()
+                .instantaneous_cost_curve(disaster, times, self.exec),
+            CostKind::Accumulated => entry
+                .quotient()
+                .accumulated_cost_curve(disaster, times, self.exec),
+        })?;
+        Ok(Json::object(vec![
+            ("model", Json::from(ModelSpec::parse(model)?.canonical())),
+            ("kind", Json::from(kind.wire_name())),
+            (
+                "disaster",
+                match disaster {
+                    Some(name) => Json::from(name),
+                    None => Json::Null,
+                },
+            ),
+            ("curve", Json::curve(&curve)),
+        ]))
+    }
+
+    /// Resolves a model spec to its cached (or freshly compiled and
+    /// interned) artifact entry. Concurrent first queries of one spec
+    /// compile once.
+    fn entry(&self, model: &str) -> Result<Arc<CacheEntry>, ArcadeError> {
+        let spec = ModelSpec::parse(model)?;
+        let key = spec.canonical();
+        if let Some(entry) = self.cache.get(&key) {
+            self.stats.cache_hit();
+            return Ok(entry);
+        }
+        let (result, role) = self.builds.run(key.clone(), || {
+            let quotient = spec.build_quotient(self.composer_options())?;
+            let (entry, shared) = self.cache.insert(&key, &spec.family(), quotient);
+            if shared {
+                self.stats.interned_shared();
+            }
+            Ok(entry)
+        });
+        match role {
+            Role::Leader => self.stats.cache_miss(),
+            Role::Follower => self.stats.cache_hit(),
+        }
+        result
+    }
+
+    /// The (coalesced, memoised, warm-started) stationary solve of an
+    /// entry's chain.
+    fn stationary(&self, entry: &Arc<CacheEntry>) -> Result<StationarySolve, ArcadeError> {
+        let (result, role) = self.stationary.run(entry.code(), || {
+            let quotient = entry.quotient();
+            let donor = self
+                .cache
+                .warm_donor(entry.family(), quotient.num_states(), entry.code());
+            let guess = donor.as_ref().map(|pi| pi.as_slice());
+            let (pi, iterations) = quotient.stationary_counted(guess, self.exec)?;
+            let pi = Arc::new(pi);
+            entry.set_stationary(Arc::clone(&pi));
+            let warm = donor.is_some();
+            self.stats.stationary_solve(warm, iterations);
+            Ok(StationarySolve {
+                pi,
+                iterations,
+                warm,
+            })
+        });
+        if role == Role::Follower {
+            self.stats.coalesced();
+        }
+        result
+    }
+
+    /// One coalesced transient pass per distinct curve query.
+    fn curve(
+        &self,
+        key: CurveKey,
+        compute: impl FnOnce() -> Result<Vec<(f64, f64)>, ArcadeError>,
+    ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let (result, role) = self.curves.run(key, || {
+            let curve = compute()?;
+            self.stats.transient_pass();
+            Ok(curve)
+        });
+        if role == Role::Follower {
+            self.stats.coalesced();
+        }
+        result
+    }
+
+    fn composer_options(&self) -> ComposerOptions {
+        ComposerOptions {
+            exec: self.exec,
+            ..ComposerOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcade_core::Analysis;
+    use watertreatment::facility::{line_model, DISASTER_ALL_PUMPS};
+    use watertreatment::{strategies, Line};
+
+    fn service() -> AnalysisService {
+        AnalysisService::new(ExecOptions::serial())
+    }
+
+    #[test]
+    fn availability_matches_the_in_process_analysis_bit_for_bit() {
+        let service = service();
+        let response = service.handle(&Request::Availability {
+            model: "line2/ded".into(),
+        });
+        let payload = match response {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("query failed: {err}"),
+        };
+        let model = line_model(Line::Line2, &strategies::dedicated()).unwrap();
+        let reference = Analysis::new(&model)
+            .unwrap()
+            .steady_state_availability()
+            .unwrap();
+        let served = payload.get("availability").unwrap().as_f64().unwrap();
+        assert_eq!(served.to_bits(), reference.to_bits());
+        assert!(!payload.get("warm_started").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_and_memoised_solve() {
+        let service = service();
+        let request = Request::Availability {
+            model: "line2/frf-1".into(),
+        };
+        let first = service.handle(&request);
+        let second = service.handle(&request);
+        assert_eq!(first, second, "memoised replies are bit-identical");
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.stationary_solves, 1, "the solve ran once");
+        assert_eq!(stats.coalesced_queries, 1, "the repeat was coalesced");
+    }
+
+    #[test]
+    fn rate_perturbed_variants_warm_start_from_the_nominal_solution() {
+        let service = service();
+        let cold = service.handle(&Request::Availability {
+            model: "line2/ded".into(),
+        });
+        assert!(matches!(cold, Response::Ok(_)));
+        let warm = service.handle(&Request::Availability {
+            model: "line2/ded@1.02".into(),
+        });
+        let payload = match warm {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("warm query failed: {err}"),
+        };
+        assert!(payload.get("warm_started").unwrap().as_bool().unwrap());
+        let stats = service.stats();
+        assert_eq!(stats.warm_solves, 1);
+        assert!(
+            stats.mean_warm_iterations().unwrap() <= stats.mean_cold_iterations().unwrap(),
+            "warm start must not lengthen the iteration: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn curves_match_the_in_process_analysis_and_coalesce() {
+        let service = service();
+        let times = vec![0.0, 5.0, 20.0];
+        let request = Request::Survivability {
+            model: "line1/ded".into(),
+            disaster: DISASTER_ALL_PUMPS.into(),
+            level: 1.0,
+            times: times.clone(),
+        };
+        let payload = match service.handle(&request) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("query failed: {err}"),
+        };
+        let model = line_model(Line::Line1, &strategies::dedicated()).unwrap();
+        let analysis = Analysis::new(&model).unwrap();
+        let reference = analysis
+            .survivability_curve(model.disaster(DISASTER_ALL_PUMPS).unwrap(), 1.0, &times)
+            .unwrap();
+        assert_eq!(payload.get("curve").unwrap().to_curve().unwrap(), reference);
+        assert_eq!(service.handle(&request), Response::Ok(payload));
+        let stats = service.stats();
+        assert_eq!(stats.transient_passes, 1, "one Fox–Glynn pass");
+        assert_eq!(stats.coalesced_queries, 1);
+    }
+
+    #[test]
+    fn errors_become_protocol_errors_not_panics() {
+        let service = service();
+        for request in [
+            Request::Availability {
+                model: "line9/ded".into(),
+            },
+            Request::Survivability {
+                model: "line1/ded".into(),
+                disaster: "no-such-disaster".into(),
+                level: 1.0,
+                times: vec![1.0],
+            },
+            Request::Survivability {
+                model: "line1/ded".into(),
+                disaster: DISASTER_ALL_PUMPS.into(),
+                level: 2.0,
+                times: vec![1.0],
+            },
+        ] {
+            assert!(
+                matches!(service.handle(&request), Response::Err(_)),
+                "{request:?} must fail cleanly"
+            );
+        }
+    }
+}

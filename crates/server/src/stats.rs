@@ -1,0 +1,209 @@
+//! Service counters: cache effectiveness, warm-start savings, coalescing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Lock-free counters updated by every query; snapshot with
+/// [`ServiceStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    interned_shared: AtomicU64,
+    stationary_solves: AtomicU64,
+    warm_solves: AtomicU64,
+    cold_iterations: AtomicU64,
+    warm_iterations: AtomicU64,
+    transient_passes: AtomicU64,
+    coalesced_queries: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServiceStats::default()
+    }
+
+    pub(crate) fn query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn interned_shared(&self) {
+        self.interned_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stationary_solve(&self, warm: bool, iterations: usize) {
+        self.stationary_solves.fetch_add(1, Ordering::Relaxed);
+        if warm {
+            self.warm_solves.fetch_add(1, Ordering::Relaxed);
+            self.warm_iterations
+                .fetch_add(iterations as u64, Ordering::Relaxed);
+        } else {
+            self.cold_iterations
+                .fetch_add(iterations as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn transient_pass(&self) {
+        self.transient_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn coalesced(&self) {
+        self.coalesced_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            interned_shared: self.interned_shared.load(Ordering::Relaxed),
+            stationary_solves: self.stationary_solves.load(Ordering::Relaxed),
+            warm_solves: self.warm_solves.load(Ordering::Relaxed),
+            cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
+            warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
+            transient_passes: self.transient_passes.load(Ordering::Relaxed),
+            coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`ServiceStats`] counters (also the payload of
+/// the `stats` op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests handled (all ops).
+    pub queries: u64,
+    /// Model lookups answered from the quotient cache.
+    pub cache_hits: u64,
+    /// Model lookups that had to compile.
+    pub cache_misses: u64,
+    /// Compilations whose artifact turned out identical to a cached one and
+    /// was shared instead of stored twice.
+    pub interned_shared: u64,
+    /// Stationary solves actually performed.
+    pub stationary_solves: u64,
+    /// Stationary solves that started from a warm donor vector.
+    pub warm_solves: u64,
+    /// Iterative sweeps spent in cold stationary solves.
+    pub cold_iterations: u64,
+    /// Iterative sweeps spent in warm-started stationary solves.
+    pub warm_iterations: u64,
+    /// Uniformisation (Fox–Glynn) passes actually performed.
+    pub transient_passes: u64,
+    /// Queries served by an in-flight or memoised computation instead of
+    /// their own solve.
+    pub coalesced_queries: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean sweeps per cold stationary solve (`None` without cold solves).
+    pub fn mean_cold_iterations(&self) -> Option<f64> {
+        let cold_solves = self.stationary_solves - self.warm_solves;
+        (cold_solves > 0).then(|| self.cold_iterations as f64 / cold_solves as f64)
+    }
+
+    /// Mean sweeps per warm-started stationary solve (`None` without warm
+    /// solves).
+    pub fn mean_warm_iterations(&self) -> Option<f64> {
+        (self.warm_solves > 0).then(|| self.warm_iterations as f64 / self.warm_solves as f64)
+    }
+
+    /// Encodes the snapshot as its wire object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("queries", Json::from(self.queries)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("interned_shared", Json::from(self.interned_shared)),
+            ("stationary_solves", Json::from(self.stationary_solves)),
+            ("warm_solves", Json::from(self.warm_solves)),
+            ("cold_iterations", Json::from(self.cold_iterations)),
+            ("warm_iterations", Json::from(self.warm_iterations)),
+            ("transient_passes", Json::from(self.transient_passes)),
+            ("coalesced_queries", Json::from(self.coalesced_queries)),
+        ])
+    }
+
+    /// Decodes a wire object (missing fields default to zero).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-objects.
+    pub fn from_json(json: &Json) -> Result<StatsSnapshot, String> {
+        if !matches!(json, Json::Object(_)) {
+            return Err("stats payload must be an object".to_string());
+        }
+        let field = |name: &str| json.get(name).and_then(Json::as_usize).unwrap_or(0) as u64;
+        Ok(StatsSnapshot {
+            queries: field("queries"),
+            cache_hits: field("cache_hits"),
+            cache_misses: field("cache_misses"),
+            interned_shared: field("interned_shared"),
+            stationary_solves: field("stationary_solves"),
+            warm_solves: field("warm_solves"),
+            cold_iterations: field("cold_iterations"),
+            warm_iterations: field("warm_iterations"),
+            transient_passes: field("transient_passes"),
+            coalesced_queries: field("coalesced_queries"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = ServiceStats::new();
+        stats.query();
+        stats.query();
+        stats.cache_miss();
+        stats.cache_hit();
+        stats.stationary_solve(false, 100);
+        stats.stationary_solve(true, 7);
+        stats.transient_pass();
+        stats.coalesced();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.stationary_solves, 2);
+        assert_eq!(snap.warm_solves, 1);
+        assert_eq!(snap.mean_cold_iterations(), Some(100.0));
+        assert_eq!(snap.mean_warm_iterations(), Some(7.0));
+        assert_eq!(snap.transient_passes, 1);
+        assert_eq!(snap.coalesced_queries, 1);
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_json() {
+        let snap = StatsSnapshot {
+            queries: 10,
+            cache_hits: 7,
+            cache_misses: 3,
+            interned_shared: 1,
+            stationary_solves: 3,
+            warm_solves: 2,
+            cold_iterations: 1000,
+            warm_iterations: 60,
+            transient_passes: 4,
+            coalesced_queries: 5,
+        };
+        let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert!(StatsSnapshot::from_json(&Json::Null).is_err());
+    }
+}

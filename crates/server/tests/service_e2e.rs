@@ -1,0 +1,161 @@
+//! End-to-end daemon tests over real TCP on an ephemeral port: responses
+//! are bit-identical to the in-process `FacilityAnalysis` path at every
+//! thread count, the warm cache answers repeats ≥10× faster than the cold
+//! build-and-solve, and concurrent clients coalesce onto one transient pass.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use arcade_core::{ComposerOptions, ExecOptions, FacilityAnalysis};
+use arcade_server::{server, AnalysisService, Client, ServerHandle};
+use watertreatment::facility::{facility_model, DISASTER_LINE2_MIXED, FACILITY_DISASTER_ALL_PUMPS};
+use watertreatment::strategies;
+
+fn spawn_daemon(threads: usize) -> (ServerHandle, Arc<AnalysisService>) {
+    let service = Arc::new(AnalysisService::new(ExecOptions::with_threads(threads)));
+    let handle =
+        server::spawn("127.0.0.1:0", Arc::clone(&service)).expect("bind an ephemeral port");
+    (handle, service)
+}
+
+fn curves_bit_identical(served: &[(f64, f64)], reference: &[(f64, f64)]) -> bool {
+    served.len() == reference.len()
+        && served.iter().zip(reference).all(|((st, sv), (rt, rv))| {
+            st.to_bits() == rt.to_bits() && sv.to_bits() == rv.to_bits()
+        })
+}
+
+/// The daemon's DED×DED facility answers are bit-identical to the
+/// in-process `FacilityAnalysis` compiled-quotient path — at 1, 2, 4 and 8
+/// worker threads (per thread count, daemon and reference share the same
+/// `ExecOptions`).
+#[test]
+fn daemon_matches_in_process_facility_analysis_at_every_thread_count() {
+    let times = [0.0, 25.0, 50.0];
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ExecOptions::with_threads(threads);
+        let model = facility_model(&strategies::dedicated(), &strategies::dedicated()).unwrap();
+        let options = ComposerOptions {
+            exec,
+            ..ComposerOptions::default()
+        };
+        let analysis = FacilityAnalysis::with_options(&model, options).unwrap();
+        let reference_availability = analysis
+            .compiled_quotient()
+            .unwrap()
+            .availability(exec)
+            .unwrap();
+        let reference_curve = analysis
+            .survivability_curve(FACILITY_DISASTER_ALL_PUMPS, 1.0, &times)
+            .unwrap();
+
+        let (handle, _service) = spawn_daemon(threads);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let reply = client.availability("facility/ded+ded").unwrap();
+        assert_eq!(
+            reply.availability.to_bits(),
+            reference_availability.to_bits(),
+            "threads={threads}: served {} vs in-process {}",
+            reply.availability,
+            reference_availability
+        );
+        assert_eq!(reply.model, "facility/ded+ded");
+        let served_curve = client
+            .survivability("facility/ded+ded", FACILITY_DISASTER_ALL_PUMPS, 1.0, &times)
+            .unwrap();
+        assert!(
+            curves_bit_identical(&served_curve, &reference_curve),
+            "threads={threads}: {served_curve:?} vs {reference_curve:?}"
+        );
+        handle.shutdown();
+    }
+}
+
+/// The acceptance speedup: a repeated DED×DED facility-availability query
+/// answered from the warm cache is at least 10× faster than the cold
+/// compile-and-solve, with a bit-identical reply.
+#[test]
+fn warm_cache_repeat_is_at_least_ten_times_faster_than_cold() {
+    let (handle, service) = spawn_daemon(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let cold_started = Instant::now();
+    let cold = client.availability("facility/ded+ded").unwrap();
+    let cold_elapsed = cold_started.elapsed();
+
+    let warm_started = Instant::now();
+    let warm = client.availability("facility/ded+ded").unwrap();
+    let warm_elapsed = warm_started.elapsed();
+
+    assert_eq!(cold.availability.to_bits(), warm.availability.to_bits());
+    let stats = service.stats();
+    assert_eq!(stats.cache_misses, 1, "{stats:?}");
+    assert_eq!(stats.cache_hits, 1, "{stats:?}");
+    assert_eq!(stats.stationary_solves, 1, "the repeat reused the solve");
+    assert!(
+        cold_elapsed >= 10 * warm_elapsed,
+        "cold {cold_elapsed:?} vs warm {warm_elapsed:?}: expected ≥10× speedup"
+    );
+    handle.shutdown();
+}
+
+/// Concurrent clients issuing the identical survivability query coalesce
+/// onto one batched Fox–Glynn pass, and all of them receive bit-identical
+/// curves.
+#[test]
+fn concurrent_clients_coalesce_onto_one_transient_pass() {
+    const CLIENTS: usize = 6;
+    let (handle, service) = spawn_daemon(4);
+    let addr = handle.addr();
+    let times = [0.0, 10.0, 20.0, 40.0];
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client
+                    .survivability("line2/ded", DISASTER_LINE2_MIXED, 1.0, &times)
+                    .unwrap()
+            })
+        })
+        .collect();
+    let curves: Vec<Vec<(f64, f64)>> = workers
+        .into_iter()
+        .map(|worker| worker.join().unwrap())
+        .collect();
+
+    for curve in &curves[1..] {
+        assert!(
+            curves_bit_identical(curve, &curves[0]),
+            "coalesced waiters must receive bit-identical curves"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.transient_passes, 1,
+        "one batched Fox–Glynn pass served all {CLIENTS} clients: {stats:?}"
+    );
+    assert_eq!(stats.coalesced_queries, (CLIENTS - 1) as u64, "{stats:?}");
+    handle.shutdown();
+}
+
+/// A client-initiated `shutdown` request is acknowledged and stops the
+/// daemon (the foreground `wt-experiments serve` exit path).
+#[test]
+fn client_shutdown_request_stops_the_daemon() {
+    let (handle, _service) = spawn_daemon(1);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    // Joins without setting the flag ourselves: only the client's request
+    // can have stopped the accept loop.
+    handle.join_until_shutdown();
+    assert!(
+        Client::connect(addr).map(|mut c| c.ping()).is_err()
+            || Client::connect(addr).unwrap().ping().is_err(),
+        "the daemon must no longer answer"
+    );
+}

@@ -45,8 +45,11 @@ pub fn chain_presentation_code(chain: &Ctmc) -> u64 {
     hasher.finish()
 }
 
-/// Exact interchangeability of two presentations (see module docs).
-fn chains_identical(a: &Ctmc, b: &Ctmc) -> bool {
+/// Exact interchangeability of two presentations (see module docs). This is
+/// the confirming comparison behind [`group_identical_chains`], exposed so
+/// that caches keyed by [`chain_presentation_code`] can rule out hash
+/// collisions before treating two chains as the same artifact.
+pub fn chains_identical(a: &Ctmc, b: &Ctmc) -> bool {
     if a.num_states() != b.num_states() {
         return false;
     }

@@ -42,6 +42,6 @@ pub mod code;
 pub mod orbit;
 
 pub use automorphism::{detect_automorphisms, StructureAutomorphisms, SubtreeSwap};
-pub use chain::{chain_presentation_code, group_identical_chains};
+pub use chain::{chain_presentation_code, chains_identical, group_identical_chains};
 pub use code::{subtree_code, CanonicalCode, LeafAttributes};
 pub use orbit::{canonical_tuple, orbit_count, FactorClasses};

@@ -176,6 +176,25 @@ pub fn line_model(
     line_model_with_unit(line, spec, format!("{}-ru", line.id()))
 }
 
+/// [`line_model`] with every failure rate multiplied by `rate_scale` (i.e.
+/// every MTTF divided by it); repair rates, costs, structure and disasters are
+/// unchanged. Scaled variants keep the exact state space and lumping partition
+/// of the nominal model — only transition rates differ — which makes them
+/// ideal warm-start donors for each other's stationary solves. `rate_scale`
+/// of exactly `1.0` reproduces [`line_model`] bit-for-bit.
+///
+/// # Errors
+///
+/// Rejects non-finite or non-positive scales (via the component validation of
+/// the resulting MTTFs) and propagates model-builder errors.
+pub fn line_model_scaled(
+    line: Line,
+    spec: &StrategySpec,
+    rate_scale: f64,
+) -> Result<ArcadeModel, arcade_core::ArcadeError> {
+    line_model_with_unit_scaled(line, spec, format!("{}-ru", line.id()), rate_scale)
+}
+
 /// [`line_model`] with an explicit repair-unit name. Distinct names keep
 /// copies of one line independent in a facility (each copy owns its crews);
 /// reusing one name couples the copies through the shared physical unit and
@@ -189,6 +208,21 @@ pub fn line_model_with_unit(
     spec: &StrategySpec,
     unit_name: impl Into<String>,
 ) -> Result<ArcadeModel, arcade_core::ArcadeError> {
+    line_model_with_unit_scaled(line, spec, unit_name, 1.0)
+}
+
+/// [`line_model_with_unit`] with the failure-rate scale of
+/// [`line_model_scaled`].
+///
+/// # Errors
+///
+/// See [`line_model_scaled`].
+pub fn line_model_with_unit_scaled(
+    line: Line,
+    spec: &StrategySpec,
+    unit_name: impl Into<String>,
+    rate_scale: f64,
+) -> Result<ArcadeModel, arcade_core::ArcadeError> {
     let (softeners, sand_filters, reservoir, pumps) = component_names(line);
 
     let mut builder = ArcadeModel::builder(
@@ -196,27 +230,21 @@ pub fn line_model_with_unit(
         line_structure(line),
     );
 
-    for name in &softeners {
-        builder = builder.component(
-            BasicComponent::from_mttf_mttr(name, SOFTENER_MTTF, SOFTENER_MTTR)?
+    let component = |name: &str, mttf: f64, mttr: f64| {
+        Ok::<_, arcade_core::ArcadeError>(
+            BasicComponent::from_mttf_mttr(name, mttf / rate_scale, mttr)?
                 .with_failed_cost(FAILED_COMPONENT_COST),
-        );
+        )
+    };
+    for name in &softeners {
+        builder = builder.component(component(name, SOFTENER_MTTF, SOFTENER_MTTR)?);
     }
     for name in &sand_filters {
-        builder = builder.component(
-            BasicComponent::from_mttf_mttr(name, SAND_FILTER_MTTF, SAND_FILTER_MTTR)?
-                .with_failed_cost(FAILED_COMPONENT_COST),
-        );
+        builder = builder.component(component(name, SAND_FILTER_MTTF, SAND_FILTER_MTTR)?);
     }
-    builder = builder.component(
-        BasicComponent::from_mttf_mttr(&reservoir, RESERVOIR_MTTF, RESERVOIR_MTTR)?
-            .with_failed_cost(FAILED_COMPONENT_COST),
-    );
+    builder = builder.component(component(&reservoir, RESERVOIR_MTTF, RESERVOIR_MTTR)?);
     for name in &pumps {
-        builder = builder.component(
-            BasicComponent::from_mttf_mttr(name, PUMP_MTTF, PUMP_MTTR)?
-                .with_failed_cost(FAILED_COMPONENT_COST),
-        );
+        builder = builder.component(component(name, PUMP_MTTF, PUMP_MTTR)?);
     }
 
     let all_names: Vec<String> = softeners
@@ -270,14 +298,35 @@ pub fn facility_model(
     line1: &StrategySpec,
     line2: &StrategySpec,
 ) -> Result<FacilityModel, arcade_core::ArcadeError> {
+    facility_model_scaled(line1, line2, 1.0)
+}
+
+/// [`facility_model`] with every failure rate of both lines multiplied by
+/// `rate_scale` (see [`line_model_scaled`]). A scale of exactly `1.0`
+/// reproduces [`facility_model`] bit-for-bit.
+///
+/// # Errors
+///
+/// See [`line_model_scaled`].
+pub fn facility_model_scaled(
+    line1: &StrategySpec,
+    line2: &StrategySpec,
+    rate_scale: f64,
+) -> Result<FacilityModel, arcade_core::ArcadeError> {
     let mut all_pumps: Vec<(String, String)> = Vec::new();
     for line in Line::both() {
         let (_, _, _, pumps) = component_names(line);
         all_pumps.extend(pumps.into_iter().map(|p| (line.id().to_string(), p)));
     }
     FacilityModel::builder("water-treatment-facility")
-        .line(Line::Line1.id(), line_model(Line::Line1, line1)?)
-        .line(Line::Line2.id(), line_model(Line::Line2, line2)?)
+        .line(
+            Line::Line1.id(),
+            line_model_scaled(Line::Line1, line1, rate_scale)?,
+        )
+        .line(
+            Line::Line2.id(),
+            line_model_scaled(Line::Line2, line2, rate_scale)?,
+        )
         .disaster(FacilityDisaster::new(
             FACILITY_DISASTER_ALL_PUMPS,
             all_pumps,

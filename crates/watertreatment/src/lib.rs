@@ -38,9 +38,11 @@
 
 pub mod experiments;
 pub mod facility;
+pub mod registry;
 pub mod strategies;
 
 pub use facility::Line;
+pub use registry::{ModelSpec, ModelTarget};
 pub use strategies::StrategySpec;
 
 /// Combines the availabilities of the two independent lines into the overall

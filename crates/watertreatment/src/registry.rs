@@ -1,0 +1,334 @@
+//! Named-model registry: textual specs for every analysable model.
+//!
+//! The analysis service (`arcade-server`) and the CLI address models by a
+//! compact, canonical string instead of Rust constructor calls:
+//!
+//! ```text
+//! line1/ded            Line 1 under dedicated repair
+//! line2/frf-1          Line 2, fastest repair first, one crew
+//! line1/fff-2p         Line 1, preemptive fastest failure first, two crews
+//! facility/ded+frf-2   Two-line facility, per-line strategies
+//! line1/ded@1.05       Rate-perturbed variant: all failure rates × 1.05
+//! ```
+//!
+//! The optional `@<scale>` suffix multiplies every failure rate (divides every
+//! MTTF) while keeping repair rates, costs, the structure and the disasters —
+//! so all scales of one *family* (the spec without the suffix) share the exact
+//! state space and lumping partition, and their stationary solutions make good
+//! warm starts for each other.
+
+use std::fmt;
+use std::str::FromStr;
+
+use arcade_core::{ArcadeError, CompiledQuotient, ComposerOptions, FacilityAnalysis};
+
+use crate::facility::{facility_model_scaled, line_model_scaled, Line};
+use crate::strategies::{self, StrategySpec};
+
+/// What a [`ModelSpec`] names: one process line or the two-line facility.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelTarget {
+    /// A single process line under one repair strategy.
+    Line {
+        /// Which line.
+        line: Line,
+        /// The repair strategy of its repair unit.
+        strategy: StrategySpec,
+    },
+    /// The two-line facility with per-line strategies.
+    Facility {
+        /// Strategy of Line 1.
+        line1: StrategySpec,
+        /// Strategy of Line 2.
+        line2: StrategySpec,
+    },
+}
+
+/// A parsed, canonical model specification (see the module docs for the
+/// grammar). Parsing is case-insensitive; [`ModelSpec::canonical`] is the
+/// lower-case normal form used as a registry key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    target: ModelTarget,
+    rate_scale: f64,
+}
+
+impl ModelSpec {
+    /// Parses a spec string such as `line1/ded`, `facility/frf-1+fff-2` or
+    /// `line2/ded@1.05`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::InvalidParameter`] for anything outside the
+    /// grammar, including non-finite or non-positive rate scales.
+    pub fn parse(spec: &str) -> Result<Self, ArcadeError> {
+        let lowered = spec.trim().to_lowercase();
+        let bad = |reason: String| ArcadeError::InvalidParameter { reason };
+
+        let (body, rate_scale) = match lowered.split_once('@') {
+            None => (lowered.as_str(), 1.0),
+            Some((body, scale)) => {
+                let value = f64::from_str(scale).map_err(|_| {
+                    bad(format!(
+                        "model spec `{spec}`: unparsable rate scale `{scale}`"
+                    ))
+                })?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(bad(format!(
+                        "model spec `{spec}`: rate scale must be positive and finite, got {value}"
+                    )));
+                }
+                (body, value)
+            }
+        };
+
+        let (head, tail) = body.split_once('/').ok_or_else(|| {
+            bad(format!(
+                "model spec `{spec}`: expected `<line1|line2|facility>/<strategy>`"
+            ))
+        })?;
+        let target = match head {
+            "line1" => ModelTarget::Line {
+                line: Line::Line1,
+                strategy: parse_strategy(spec, tail)?,
+            },
+            "line2" => ModelTarget::Line {
+                line: Line::Line2,
+                strategy: parse_strategy(spec, tail)?,
+            },
+            "facility" => {
+                let (s1, s2) = tail.split_once('+').ok_or_else(|| {
+                    bad(format!(
+                        "model spec `{spec}`: facility needs two strategies, `facility/<s1>+<s2>`"
+                    ))
+                })?;
+                ModelTarget::Facility {
+                    line1: parse_strategy(spec, s1)?,
+                    line2: parse_strategy(spec, s2)?,
+                }
+            }
+            other => {
+                return Err(bad(format!(
+                "model spec `{spec}`: unknown target `{other}` (expected line1, line2 or facility)"
+            )))
+            }
+        };
+        Ok(ModelSpec { target, rate_scale })
+    }
+
+    /// The canonical (lower-case) form; parsing it again yields an equal spec.
+    pub fn canonical(&self) -> String {
+        if self.rate_scale == 1.0 {
+            self.family()
+        } else {
+            format!("{}@{:?}", self.family(), self.rate_scale)
+        }
+    }
+
+    /// The spec without its rate scale: all scales of one family share the
+    /// state space and lumping partition, differing only in transition rates.
+    pub fn family(&self) -> String {
+        match &self.target {
+            ModelTarget::Line { line, strategy } => {
+                format!("{}/{}", line.id(), strategy.label.to_lowercase())
+            }
+            ModelTarget::Facility { line1, line2 } => format!(
+                "facility/{}+{}",
+                line1.label.to_lowercase(),
+                line2.label.to_lowercase()
+            ),
+        }
+    }
+
+    /// What this spec names.
+    pub fn target(&self) -> &ModelTarget {
+        &self.target
+    }
+
+    /// The failure-rate multiplier (`1.0` for the nominal model).
+    pub fn rate_scale(&self) -> f64 {
+        self.rate_scale
+    }
+
+    /// Whether this spec names the two-line facility.
+    pub fn is_facility(&self) -> bool {
+        matches!(self.target, ModelTarget::Facility { .. })
+    }
+
+    /// Builds the model and compiles it into the solver-ready
+    /// [`CompiledQuotient`] artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-building and composition errors.
+    pub fn build_quotient(
+        &self,
+        options: ComposerOptions,
+    ) -> Result<CompiledQuotient, ArcadeError> {
+        match &self.target {
+            ModelTarget::Line { line, strategy } => {
+                let model = line_model_scaled(*line, strategy, self.rate_scale)?;
+                CompiledQuotient::of_model(&model, options)
+            }
+            ModelTarget::Facility { line1, line2 } => {
+                let model = facility_model_scaled(line1, line2, self.rate_scale)?;
+                FacilityAnalysis::with_options(&model, options)?.compiled_quotient()
+            }
+        }
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl FromStr for ModelSpec {
+    type Err = ArcadeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelSpec::parse(s)
+    }
+}
+
+/// Parses one (lower-cased) strategy token: `ded`, `frf-K`, `fff-K`,
+/// `fcfs-K`, with an optional `p` suffix on `frf`/`fff` for the preemptive
+/// variants.
+fn parse_strategy(spec: &str, token: &str) -> Result<StrategySpec, ArcadeError> {
+    let bad = |reason: String| ArcadeError::InvalidParameter { reason };
+    if token == "ded" {
+        return Ok(strategies::dedicated());
+    }
+    let (base, preemptive) = match token.strip_suffix('p') {
+        Some(b) if b.ends_with(|c: char| c.is_ascii_digit()) => (b, true),
+        _ => (token, false),
+    };
+    let (kind, crews) = base.split_once('-').ok_or_else(|| {
+        bad(format!(
+            "model spec `{spec}`: unknown strategy `{token}` (expected ded, frf-K, fff-K or fcfs-K)"
+        ))
+    })?;
+    let crews: usize = crews.parse().map_err(|_| {
+        bad(format!(
+            "model spec `{spec}`: unparsable crew count in strategy `{token}`"
+        ))
+    })?;
+    if crews == 0 {
+        return Err(bad(format!(
+            "model spec `{spec}`: strategy `{token}` needs at least one crew"
+        )));
+    }
+    match (kind, preemptive) {
+        ("frf", false) => Ok(strategies::frf(crews)),
+        ("fff", false) => Ok(strategies::fff(crews)),
+        ("fcfs", false) => Ok(strategies::fcfs(crews)),
+        ("frf", true) => Ok(strategies::frf_preemptive(crews)),
+        ("fff", true) => Ok(strategies::fff_preemptive(crews)),
+        _ => Err(bad(format!(
+            "model spec `{spec}`: unknown strategy `{token}` (expected ded, frf-K, fff-K or fcfs-K)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcade_symmetry::chain_presentation_code;
+
+    #[test]
+    fn specs_parse_case_insensitively_and_round_trip() {
+        for raw in [
+            "line1/ded",
+            "line2/frf-1",
+            "line1/fff-2",
+            "line2/fcfs-3",
+            "line1/frf-2p",
+            "facility/ded+ded",
+            "facility/frf-1+fff-2",
+            "line1/ded@1.05",
+            "facility/ded+ded@0.5",
+        ] {
+            let spec = ModelSpec::parse(raw).unwrap();
+            assert_eq!(spec.canonical(), raw, "canonical form is the input here");
+            let reparsed = ModelSpec::parse(&spec.canonical()).unwrap();
+            assert_eq!(reparsed, spec, "canonical round-trips");
+        }
+        let upper = ModelSpec::parse("  LINE1/DED ").unwrap();
+        assert_eq!(upper.canonical(), "line1/ded");
+        let one = ModelSpec::parse("line1/ded@1.0").unwrap();
+        assert_eq!(one.canonical(), "line1/ded", "unit scale is dropped");
+        assert_eq!(one.rate_scale(), 1.0);
+    }
+
+    #[test]
+    fn families_strip_the_rate_scale() {
+        let nominal = ModelSpec::parse("line2/frf-2").unwrap();
+        let scaled = ModelSpec::parse("line2/frf-2@1.1").unwrap();
+        assert_eq!(nominal.family(), scaled.family());
+        assert_ne!(nominal.canonical(), scaled.canonical());
+        assert!(!nominal.is_facility());
+        assert!(ModelSpec::parse("facility/ded+ded").unwrap().is_facility());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for raw in [
+            "",
+            "line1",
+            "line3/ded",
+            "line1/dead",
+            "line1/frf",
+            "line1/frf-0",
+            "line1/frf-x",
+            "line1/fcfs-1p",
+            "line1/dedp",
+            "facility/ded",
+            "line1/ded@",
+            "line1/ded@0",
+            "line1/ded@-1",
+            "line1/ded@inf",
+            "line1/ded@nan",
+        ] {
+            let err = ModelSpec::parse(raw).unwrap_err();
+            assert!(
+                matches!(err, ArcadeError::InvalidParameter { .. }),
+                "`{raw}` must be an InvalidParameter, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_variants_share_the_state_space_but_not_the_chain() {
+        let options = ComposerOptions::default;
+        let nominal = ModelSpec::parse("line2/ded")
+            .unwrap()
+            .build_quotient(options())
+            .unwrap();
+        let scaled = ModelSpec::parse("line2/ded@1.25")
+            .unwrap()
+            .build_quotient(options())
+            .unwrap();
+        assert_eq!(nominal.num_states(), scaled.num_states());
+        assert_ne!(
+            chain_presentation_code(nominal.chain()),
+            chain_presentation_code(scaled.chain()),
+            "scaling the rates must change the chain fingerprint"
+        );
+        assert!(!nominal.identical(&scaled));
+        assert!(nominal.identical(&nominal.clone()));
+    }
+
+    #[test]
+    fn facility_spec_matches_the_analysis_front_end() {
+        let spec = ModelSpec::parse("facility/ded+ded").unwrap();
+        let quotient = spec.build_quotient(ComposerOptions::default()).unwrap();
+        let model =
+            facility_model_scaled(&strategies::dedicated(), &strategies::dedicated(), 1.0).unwrap();
+        let direct = FacilityAnalysis::new(&model)
+            .unwrap()
+            .compiled_quotient()
+            .unwrap();
+        assert!(quotient.identical(&direct));
+    }
+}
