@@ -43,7 +43,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use arcade_lumping::{lump, InitialPartition, ProductOrbit, QuotientProduct};
 use arcade_symmetry::chain::group_identical_chains;
-use arcade_symmetry::orbit::FactorClasses;
+use arcade_symmetry::orbit::{for_each_multiset, FactorClasses};
 use ctmc::{
     Ctmc, ExecOptions, OperatorTransientSolver, RewardStructure, SteadyStateSolver,
     TransientOptions,
@@ -629,6 +629,35 @@ pub struct JointAvailability {
     pub solved_states: usize,
 }
 
+/// Result of the **orbit-enumeration tier**: facility availability computed
+/// by walking the canonical orbit representatives of the per-group product
+/// under the stationary product measure — without ever materialising the flat
+/// product or even the orbit quotient. This is what makes `k = 4` identical
+/// lines (an 84.9-million-state product) tractable: only the
+/// `C(n + k − 1, k)` sorted multisets per interchangeability class are
+/// visited, one at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrbitAvailability {
+    /// Probability that at least one line is fully operational, exact for
+    /// the independent-group product measure: `1 − Π_class (no-line-up mass
+    /// of the class)` where each class mass is accumulated over its orbit
+    /// representatives weighted by orbit size × product of local stationary
+    /// probabilities.
+    pub availability: f64,
+    /// Orbit count bound, `Π_class C(n_c + k_c − 1, k_c)` (saturating) — the
+    /// number the enumeration is a priori committed to.
+    pub orbit_bound: usize,
+    /// Representatives actually visited (saturating product over classes).
+    /// Equals `orbit_bound` when no class saturates: every orbit is
+    /// accounted for exactly once.
+    pub orbits_explored: usize,
+    /// Total probability mass accumulated over the enumeration, `Π_class
+    /// Σ_orbits mass`. By the multinomial theorem this is exactly
+    /// `Π_class (Σ π)^{k_c} ≈ 1` — the certificate that no orbit was missed
+    /// or double-counted.
+    pub total_mass: f64,
+}
+
 /// The reduction ladder of a facility's joint chain: raw product tuples →
 /// sorted-tuple orbit representatives (factor symmetry) → the solver chain,
 /// together with the exact-lumping minimality certificate.
@@ -1143,6 +1172,79 @@ impl<'a> FacilityAnalysis<'a> {
         })
     }
 
+    /// Facility availability by **orbit enumeration**: walks the canonical
+    /// (sorted) multisets of every interchangeability class lazily, weighting
+    /// each representative by its orbit size times the product of local
+    /// stationary probabilities. Because the groups evolve independently, the
+    /// joint stationary measure *is* the product measure, and because the
+    /// "no member line up" event factorises across classes, the availability
+    /// is exactly `1 − Π_class (class none-up mass)` — no joint chain is ever
+    /// built, so this tier scales to products far beyond what
+    /// [`FacilityAnalysis::joint_steady_state_availability`] can materialise
+    /// (`k = 4` DED twins: 3,764,376 orbit visits instead of an
+    /// 84,934,656-state product). The enumeration is strictly sequential, so
+    /// the result is bit-identical across thread counts whenever the
+    /// per-group solves are (which the deterministic executor guarantees).
+    ///
+    /// `total_mass ≈ 1` in the returned certificate confirms the enumeration
+    /// covered every orbit exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate (empty) facilities and orbit bounds above
+    /// `max_orbits` with [`ArcadeError::InvalidParameter`]; propagates
+    /// per-group solver errors.
+    pub fn orbit_availability(&self, max_orbits: usize) -> Result<OrbitAvailability, ArcadeError> {
+        let classes = self
+            .factor_classes()
+            .ok_or_else(|| ArcadeError::InvalidParameter {
+                reason: "orbit enumeration needs at least one composition group".into(),
+            })?;
+        let orbit_bound = classes.num_orbits();
+        if orbit_bound > max_orbits {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!(
+                    "orbit bound {orbit_bound} exceeds the enumeration cap {max_orbits}"
+                ),
+            });
+        }
+        let stationaries = self.group_stationaries()?;
+        let class_ids = classes.classes();
+        let num_classes = class_ids.iter().copied().max().map_or(0, |m| m + 1);
+        let mut none_up_product = 1.0f64;
+        let mut total_mass = 1.0f64;
+        let mut orbits_explored = 1usize;
+        for class in 0..num_classes {
+            let members: Vec<usize> = (0..class_ids.len())
+                .filter(|&g| class_ids[g] == class)
+                .collect();
+            // Interchangeable groups have identical chains, hence identical
+            // stationary vectors and observation masks: the first member
+            // stands in for the whole class.
+            let representative = members[0];
+            let pi = &stationaries[representative];
+            let any_up = self.groups[representative].any_line_operational();
+            let mut class_mass = 0.0f64;
+            let mut class_none_up = 0.0f64;
+            let visited = for_each_multiset(members.len(), pi.len(), |tuple, orbit_size| {
+                let mass = orbit_size as f64 * tuple.iter().map(|&v| pi[v]).product::<f64>();
+                class_mass += mass;
+                if tuple.iter().all(|&v| !any_up[v]) {
+                    class_none_up += mass;
+                }
+            });
+            total_mass *= class_mass;
+            none_up_product *= class_none_up;
+            orbits_explored = orbits_explored.saturating_mul(visited);
+        }
+        Ok(OrbitAvailability {
+            availability: 1.0 - none_up_product,
+            orbit_bound,
+            orbits_explored,
+            total_mass,
+        })
+    }
+
     /// Joint mask: at least one line fully operational.
     fn joint_any_line_operational(
         &self,
@@ -1651,6 +1753,57 @@ mod tests {
         let inst = analysis.instantaneous_cost_curve(None, &[0.0]).unwrap();
         // All pumps up: three idle crews at 0.3/h each (sorted sum).
         assert!((inst[0].1 - 0.3 * 3.0).abs() < 1e-12, "{}", inst[0].1);
+    }
+
+    #[test]
+    fn orbit_enumeration_availability_matches_the_product_form() {
+        // Mixed interchangeability classes: two identical twins (one class of
+        // two positions) plus a distinct third line (a singleton class). The
+        // enumeration tier must agree with the product form and with the
+        // materialised joint solve, visit exactly C(3, 2) × 2 = 6 orbits,
+        // and certify full mass coverage.
+        let line = |unit: &str, mttf: f64| {
+            let structure = SystemStructure::new(StructureNode::component("pump"));
+            ArcadeModel::builder("line", structure)
+                .component(BasicComponent::from_mttf_mttr("pump", mttf, 1.0).unwrap())
+                .repair_unit(
+                    RepairUnit::new(unit, RepairStrategy::FirstComeFirstServe, 1)
+                        .unwrap()
+                        .responsible_for(["pump"]),
+                )
+                .build()
+                .unwrap()
+        };
+        let facility = FacilityModel::builder("mixed-bank")
+            .line("a", line("ru-a", 100.0))
+            .line("b", line("ru-b", 100.0))
+            .line("c", line("ru-c", 50.0))
+            .build()
+            .unwrap();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let orbit = analysis.orbit_availability(1_000).unwrap();
+        assert_eq!(orbit.orbit_bound, 6);
+        assert_eq!(orbit.orbits_explored, 6);
+        assert!(
+            (orbit.total_mass - 1.0).abs() < 1e-12,
+            "{}",
+            orbit.total_mass
+        );
+        let product_form = analysis.steady_state_availability().unwrap();
+        assert!(
+            (orbit.availability - product_form).abs() <= 1e-12,
+            "{} vs {product_form}",
+            orbit.availability
+        );
+        let joint = analysis.joint_steady_state_availability().unwrap();
+        assert!((orbit.availability - joint.availability).abs() <= 1e-9);
+
+        // The cap is enforced before any enumeration.
+        let capped = analysis.orbit_availability(5);
+        assert!(matches!(
+            capped,
+            Err(ArcadeError::InvalidParameter { ref reason }) if reason.contains("enumeration cap")
+        ));
     }
 
     #[test]

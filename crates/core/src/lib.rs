@@ -88,6 +88,7 @@ pub use error::ArcadeError;
 pub use facility::{
     CompositionGroup, CompositionTree, FacilityAnalysis, FacilityDisaster, FacilityLine,
     FacilityLineStats, FacilityModel, FacilityStats, JointAvailability, JointReduction,
+    OrbitAvailability,
 };
 pub use families::{detect_families, detect_subtree_families, ComponentFamily, SubtreeFamily};
 pub use measures::{FacilityMeasure, Measure, MeasureResult};

@@ -1,0 +1,112 @@
+//! CSL model checking over k-line product states (k > 2).
+//!
+//! The `lineK/…` label namespace is not special-cased anywhere: the product
+//! carries every factor's labels under `{factor}/{label}` for however many
+//! factors there are, so three-line formulas check exactly like two-line
+//! ones. Identical lines additionally expose a fold symmetry the checker's
+//! lumping path may exploit — per-line verdicts must still project back
+//! identically for every line.
+
+use arcade_lumping::QuotientProduct;
+use csl::ast::{PathFormula, Query, StateFormula};
+use csl::CslChecker;
+use ctmc::{Ctmc, CtmcBuilder, ExecOptions};
+
+/// A repairable two-state line: up (0) ⇄ down (1), labelled `operational`.
+fn line(lambda: f64, mu: f64) -> Ctmc {
+    let mut b = CtmcBuilder::new(2);
+    b.add_transition(0, 1, lambda).unwrap();
+    b.add_transition(1, 0, mu).unwrap();
+    b.set_initial_state(0).unwrap();
+    b.add_label_mask("operational", vec![true, false]).unwrap();
+    b.build().unwrap()
+}
+
+/// A k-line bank of identical lines labelled `line1` … `lineK`.
+fn bank_chain(k: usize, lambda: f64, mu: f64) -> Ctmc {
+    QuotientProduct::from_chains(
+        (1..=k)
+            .map(|i| (format!("line{i}"), line(lambda, mu)))
+            .collect(),
+    )
+    .unwrap()
+    .materialize(&ExecOptions::serial())
+    .unwrap()
+}
+
+fn up(i: usize) -> StateFormula {
+    StateFormula::label(format!("line{i}/operational"))
+}
+
+#[test]
+fn three_line_steady_state_queries_match_closed_forms() {
+    let (lambda, mu) = (0.1, 1.0);
+    let chain = bank_chain(3, lambda, mu);
+    let checker = CslChecker::new(&chain);
+    let a = mu / (lambda + mu);
+
+    // Per-line marginals: identical lines must project back identical
+    // verdicts — line3 answers exactly like line1 and line2.
+    let marginals: Vec<f64> = (1..=3)
+        .map(|i| checker.check(&Query::SteadyState(up(i))).unwrap())
+        .collect();
+    for (i, marginal) in marginals.iter().enumerate() {
+        assert!(
+            (marginal - a).abs() < 1e-9,
+            "line{}: {marginal} vs {a}",
+            i + 1
+        );
+        assert!(
+            (marginal - marginals[0]).abs() < 1e-12,
+            "identical lines must agree: {marginals:?}"
+        );
+    }
+
+    // S=? [ any line up ] — 1 − (1 − a)^3 over the 8-state product.
+    let any_up = checker
+        .check(&Query::SteadyState(up(1).or(up(2)).or(up(3))))
+        .unwrap();
+    let expected = 1.0 - (1.0 - a).powi(3);
+    assert!((any_up - expected).abs() < 1e-9, "{any_up} vs {expected}");
+
+    // Mixed formula: exactly line 2 delivering.
+    let only_line2 = checker
+        .check(&Query::SteadyState(up(2).and(up(1).not()).and(up(3).not())))
+        .unwrap();
+    let expected = a * (1.0 - a) * (1.0 - a);
+    assert!((only_line2 - expected).abs() < 1e-9);
+
+    // The symmetric union query folds beyond the flat 8-state product —
+    // the quotient cannot drop below the 4 line-count blocks.
+    if let Some(blocks) = checker.quotient_blocks() {
+        assert!((4..8).contains(&blocks), "blocks {blocks}");
+    }
+}
+
+#[test]
+fn three_line_path_queries_agree_between_lumped_and_flat() {
+    let chain = bank_chain(3, 0.2, 1.0);
+    let checker = CslChecker::new(&chain);
+    let flat = CslChecker::flat(&chain);
+    // P=? [ F<=t all three lines down ].
+    let all_down = |t: f64, checker: &CslChecker| {
+        checker
+            .check(&Query::Probability(PathFormula::BoundedEventually {
+                goal: up(1).not().and(up(2).not()).and(up(3).not()),
+                bound: t,
+            }))
+            .unwrap()
+    };
+    let early = all_down(1.0, &checker);
+    let late = all_down(10.0, &checker);
+    assert!(early > 0.0 && late <= 1.0);
+    assert!(late > early, "{late} vs {early}");
+    for t in [0.5, 2.0, 8.0] {
+        let lumped_value = all_down(t, &checker);
+        let flat_value = all_down(t, &flat);
+        assert!(
+            (lumped_value - flat_value).abs() < 1e-9,
+            "t={t}: {lumped_value} vs {flat_value}"
+        );
+    }
+}

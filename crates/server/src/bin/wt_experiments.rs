@@ -14,6 +14,10 @@
 //! wt-experiments fig8 fig9          # survivability Line 2, Disaster 2
 //! wt-experiments fig10 fig11        # costs Line 2, Disaster 2
 //!
+//! wt-experiments facility --k 2,3,4,8       # k-line reduction ladder
+//! wt-experiments facility --k 4 --strategy frf-1
+//! wt-experiments facility --lines ded,ded,frf-1
+//!
 //! wt-experiments serve --port 7411          # run the analysis daemon
 //! wt-experiments query --port 7411 availability line1/ded
 //! wt-experiments query --port 7411 survivability line2/ded \
@@ -29,10 +33,22 @@
 //! is the serial path and `--threads 0` (the default) auto-detects. Results
 //! are identical for every thread count.
 //!
-//! `--line {1,2,both}` selects the process line(s): tables report only the
-//! selected lines and line-specific figures (figs. 4–7 are Line 1, figs.
-//! 8–11 are Line 2) are skipped when their line is deselected. The
-//! `facility` experiment needs both lines and is skipped otherwise.
+//! `--line` selects the process line(s) by index (`--line 2`, `--line 1,2`,
+//! `--line all`; `both` is accepted as an alias of `all`): tables report only
+//! the selected lines and line-specific figures (figs. 4–7 are Line 1, figs.
+//! 8–11 are Line 2) are skipped when their line is deselected. Indices beyond
+//! the loaded model's line count are rejected with the model's actual size.
+//! The `facility` experiment needs both lines and is skipped otherwise.
+//!
+//! `facility --k K0,K1,...` prints the **k-line reduction ladder**: for each
+//! homogeneous bank of `k` identical twin lines (strategy `--strategy`,
+//! default `ded`) the flat, product and orbit rungs and the availability from
+//! the cheapest exact tier — the joint solve on the materialised orbit fold
+//! where the product fits, the lazy orbit enumeration where only the orbit
+//! bound does (the flat k-product is never materialised), the counts-only
+//! product form beyond that. `facility --lines s0,s1,...` runs one
+//! heterogeneous bank through the same ladder via the registry spec
+//! `facility/s0+s1+...`.
 //!
 //! `--symmetric-only` restricts the `facility` experiment to the symmetric
 //! strategy pairs and prints the symmetry engine's reduction ladder (product
@@ -50,13 +66,16 @@ use std::sync::Arc;
 use arcade_core::ExecOptions;
 use arcade_server::{server, AnalysisService, Client, CostKind, Json, Request};
 use watertreatment::experiments::{
-    self, grids, Figure, SymmetryReductionRow, Table1Row, Table2Row, TableFacilityRow,
+    self, grids, Figure, KLineReductionRow, SymmetryReductionRow, Table1Row, Table2Row,
+    TableFacilityRow,
 };
-use watertreatment::Line;
+use watertreatment::{Line, LineSelection, ModelSpec};
 
-const USAGE: &str = "usage: wt-experiments [--threads N] [--line 1|2|both] [--symmetric-only] \
+const USAGE: &str = "usage: wt-experiments [--threads N] [--line I0,I1|all] [--symmetric-only] \
      [--json] [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...\n\
-     |  wt-experiments serve [--port N] [--threads N]\n\
+     |  wt-experiments facility [--k K0,K1,..] [--strategy S] [--lines S0,S1,..] \
+     [--threads N] [--json]\n\
+     |  wt-experiments serve [--port N] [--threads N] [--cache-cap N]\n\
      |  wt-experiments query [--port N] \
      <ping|stats|shutdown|availability MODEL|survivability MODEL DISASTER LEVEL T0,T1,..|\
 cost instantaneous|accumulated MODEL DISASTER|- T0,T1,..>";
@@ -72,10 +91,13 @@ fn main() -> ExitCode {
     }
 }
 
-/// `serve [--port N] [--threads N]`: run the daemon in the foreground.
+/// `serve [--port N] [--threads N] [--cache-cap N]`: run the daemon in the
+/// foreground. `--cache-cap` bounds the quotient cache to N spec keys with
+/// least-recently-used eviction (unbounded by default).
 fn serve_main(args: &[String]) -> ExitCode {
     let mut port = DEFAULT_PORT;
     let mut exec = ExecOptions::default();
+    let mut cache_cap: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(result) = flag_value(arg, "--port", &mut iter) {
@@ -96,11 +118,23 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Ok(threads) => exec = ExecOptions::with_threads(threads),
                 Err(message) => return usage_error(&message),
             }
+        } else if let Some(result) = flag_value(arg, "--cache-cap", &mut iter) {
+            match result.and_then(|value| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --cache-cap value `{value}`"))
+            }) {
+                Ok(cap) => cache_cap = Some(cap),
+                Err(message) => return usage_error(&message),
+            }
         } else {
             return usage_error(&format!("unknown serve option `{arg}`"));
         }
     }
-    let service = Arc::new(AnalysisService::new(exec));
+    let service = Arc::new(match cache_cap {
+        Some(cap) => AnalysisService::with_cache_capacity(exec, cap),
+        None => AnalysisService::new(exec),
+    });
     let handle = match server::spawn(("127.0.0.1", port), service) {
         Ok(handle) => handle,
         Err(err) => {
@@ -200,10 +234,10 @@ fn parse_query(words: &[&String]) -> Result<Request, String> {
 
 /// Matches `--flag value` / `--flag=value`; advances `iter` for the spaced
 /// form. `Some(Err(..))` means the flag was present but valueless.
-fn flag_value<'a>(
-    arg: &'a str,
+fn flag_value(
+    arg: &str,
     flag: &str,
-    iter: &mut std::slice::Iter<'a, String>,
+    iter: &mut std::slice::Iter<'_, String>,
 ) -> Option<Result<String, String>> {
     if let Some(value) = arg.strip_prefix(flag) {
         if let Some(value) = value.strip_prefix('=') {
@@ -224,12 +258,28 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Resolves a `--line` argument against the paper's two-line facility:
+/// arbitrary indices parse, but only indices the model actually has resolve.
+fn parse_line_selection(value: &str) -> Result<Vec<Line>, String> {
+    let selection = LineSelection::from_arg(value).ok_or_else(|| {
+        format!("invalid --line value `{value}` (expected indices like 1,2 or all)")
+    })?;
+    let indices = selection.resolve(Line::both().len())?;
+    Ok(indices
+        .into_iter()
+        .map(|index| Line::both()[index])
+        .collect())
+}
+
 fn experiments_main(args: &[String]) -> ExitCode {
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut exec = ExecOptions::default();
     let mut lines: Vec<Line> = Line::both().to_vec();
     let mut symmetric_only = false;
     let mut json = false;
+    let mut kline_ks: Vec<usize> = Vec::new();
+    let mut kline_lines: Vec<String> = Vec::new();
+    let mut kline_strategy = "ded".to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let lower = arg.to_lowercase();
@@ -243,19 +293,43 @@ fn experiments_main(args: &[String]) -> ExitCode {
                 Some(Ok(threads)) => exec = ExecOptions::with_threads(threads),
                 _ => return usage_error("--threads expects a number"),
             }
-        } else if let Some(value) = lower.strip_prefix("--line=") {
-            match Line::from_arg(value) {
-                Some(selection) => lines = selection,
-                None => {
-                    return usage_error(&format!(
-                        "invalid --line value `{value}` (expected 1, 2 or both)"
-                    ))
+        } else if let Some(result) = flag_value(&lower, "--lines", &mut iter) {
+            match result {
+                Ok(value) => {
+                    kline_lines = value
+                        .to_lowercase()
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect()
                 }
+                Err(message) => return usage_error(&message),
             }
-        } else if lower == "--line" {
-            match iter.next().map(String::as_str).and_then(Line::from_arg) {
-                Some(selection) => lines = selection,
-                None => return usage_error("--line expects 1, 2 or both"),
+        } else if let Some(result) = flag_value(&lower, "--line", &mut iter) {
+            match result.and_then(|value| parse_line_selection(&value.to_lowercase())) {
+                Ok(selection) => lines = selection,
+                Err(message) => return usage_error(&message),
+            }
+        } else if let Some(result) = flag_value(&lower, "--k", &mut iter) {
+            let parsed = result.and_then(|value| {
+                value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid --k value `{s}`"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()
+            });
+            match parsed {
+                Ok(ks) => kline_ks = ks,
+                Err(message) => return usage_error(&message),
+            }
+        } else if let Some(result) = flag_value(&lower, "--strategy", &mut iter) {
+            match result {
+                Ok(value) => kline_strategy = value.to_lowercase(),
+                Err(message) => return usage_error(&message),
             }
         } else if lower == "--symmetric-only" {
             symmetric_only = true;
@@ -266,6 +340,16 @@ fn experiments_main(args: &[String]) -> ExitCode {
         } else {
             requested.insert(lower);
         }
+    }
+    if !kline_ks.is_empty() || !kline_lines.is_empty() {
+        if !requested.is_empty() && requested != BTreeSet::from(["facility".to_string()]) {
+            return usage_error("--k/--lines apply to the `facility` experiment only");
+        }
+        if let Err(err) = run_kline(&kline_ks, &kline_lines, &kline_strategy, exec, json) {
+            eprintln!("experiment failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
     if requested.is_empty() {
         eprintln!("{USAGE}");
@@ -279,6 +363,47 @@ fn experiments_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The `facility --k ... / --lines ...` sweep: builds one registry spec per
+/// requested bank and prints the k-line reduction ladder.
+fn run_kline(
+    ks: &[usize],
+    line_strategies: &[String],
+    strategy: &str,
+    exec: ExecOptions,
+    json: bool,
+) -> Result<(), arcade_core::ArcadeError> {
+    let mut specs = Vec::new();
+    for &k in ks {
+        specs.push(ModelSpec::parse(&format!("facility/{strategy}^{k}"))?);
+    }
+    if !line_strategies.is_empty() {
+        specs.push(ModelSpec::parse(&format!(
+            "facility/{}",
+            line_strategies.join("+")
+        ))?);
+    }
+    let rows = experiments::kline_reduction_table(&specs, exec)?;
+    if json {
+        println!(
+            "{}",
+            Json::object(vec![
+                ("experiment", Json::from("facility-kline")),
+                ("rows", kline_json(&rows)),
+            ])
+        );
+    } else {
+        println!("== Facility k-line reduction ladder: flat → product → orbit ==");
+        println!("{}", experiments::format_kline_reduction(&rows));
+        println!(
+            "Tiers: joint-solve materialises the orbit fold of the quotient product;\n\
+             orbit-enumeration walks the sorted multisets lazily under the product\n\
+             measure (the flat k-product is never materialised); product-form reports\n\
+             counts and 1 - prod P(line down) only.\n"
+        );
+    }
+    Ok(())
 }
 
 fn run(
@@ -555,6 +680,29 @@ fn facility_table_json(rows: &[TableFacilityRow]) -> Json {
                     ("difference", Json::Number(row.difference)),
                     ("joint_blocks", Json::from(row.joint_blocks)),
                     ("solved_blocks", Json::from(row.solved_blocks)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn kline_json(rows: &[KLineReductionRow]) -> Json {
+    let opt_count = |value: Option<usize>| value.map_or(Json::Null, Json::from);
+    let opt_number = |value: Option<f64>| value.map_or(Json::Null, Json::Number);
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("k", Json::from(row.k)),
+                    ("facility", Json::from(row.facility.as_str())),
+                    ("flat_states", Json::from(row.flat_states)),
+                    ("product_blocks", Json::from(row.product_blocks)),
+                    ("orbit_blocks", opt_count(row.orbit_blocks)),
+                    ("solved_blocks", opt_count(row.solved_blocks)),
+                    ("availability", Json::Number(row.availability)),
+                    ("joint_availability", opt_number(row.joint_availability)),
+                    ("certificate", opt_number(row.certificate)),
+                    ("tier", Json::from(row.tier.as_str())),
                 ])
             })
             .collect(),

@@ -17,8 +17,16 @@
 //! memoise their stationary distribution once solved;
 //! [`QuotientCache::warm_donor`] hands out a solved vector of a same-family,
 //! same-dimension sibling as the warm start for a rate-perturbed variant.
+//!
+//! The cache is **bounded**: [`QuotientCache::with_capacity`] caps the number
+//! of registered spec keys, evicting the least-recently-used spec (and any
+//! artifact no surviving spec references) when the cap is exceeded. The
+//! default cache is unbounded, preserving the original daemon behaviour;
+//! eviction only discards memoised work, never correctness — a re-queried
+//! evicted spec recompiles to a bit-identical artifact.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use arcade_core::CompiledQuotient;
@@ -60,27 +68,115 @@ impl CacheEntry {
 
 #[derive(Default)]
 struct CacheInner {
-    by_spec: HashMap<String, Arc<CacheEntry>>,
+    /// Spec key → (entry, last-used tick). The tick drives the LRU order.
+    by_spec: HashMap<String, (Arc<CacheEntry>, u64)>,
     /// Collision chain per presentation code: distinct artifacts that share
     /// a code (expected length 1).
     by_code: HashMap<u64, Vec<Arc<CacheEntry>>>,
+    /// Monotonic access clock backing the LRU order.
+    tick: u64,
+    /// Evicted spec keys (and codes whose chains emptied) not yet drained by
+    /// [`QuotientCache::drain_evicted`] — the service uses them to release
+    /// its memoised computation slots.
+    pending_evictions: (Vec<String>, Vec<u64>),
+}
+
+impl CacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts least-recently-used specs until at most `capacity` remain,
+    /// then drops artifacts no surviving spec references. Returns the number
+    /// of spec keys evicted and records them (plus any code whose collision
+    /// chain emptied) for [`QuotientCache::drain_evicted`].
+    fn enforce_capacity(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.by_spec.len() > capacity {
+            let oldest = self
+                .by_spec
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(spec, _)| spec.clone())
+                .expect("non-empty over capacity");
+            self.by_spec.remove(&oldest);
+            self.pending_evictions.0.push(oldest);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            // Garbage-collect artifacts that lost their last spec reference
+            // so `warm_donor` never hands out vectors of evicted entries.
+            let by_spec = &self.by_spec;
+            let emptied = &mut self.pending_evictions.1;
+            self.by_code.retain(|code, chain| {
+                chain.retain(|artifact| {
+                    by_spec
+                        .values()
+                        .any(|(entry, _)| Arc::ptr_eq(entry, artifact))
+                });
+                if chain.is_empty() {
+                    emptied.push(*code);
+                }
+                !chain.is_empty()
+            });
+        }
+        evicted
+    }
 }
 
 /// The interning cache (see the module docs). All methods are thread-safe.
 #[derive(Default)]
 pub struct QuotientCache {
     inner: Mutex<CacheInner>,
+    /// Maximum number of registered spec keys (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Spec keys evicted so far.
+    evictions: AtomicU64,
 }
 
 impl QuotientCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         QuotientCache::default()
     }
 
-    /// The entry registered under a canonical spec string, if any.
+    /// An empty cache holding at most `capacity` spec keys: exceeding the
+    /// cap evicts the least-recently-used spec and any artifact no surviving
+    /// spec references.
+    pub fn with_capacity(capacity: usize) -> Self {
+        QuotientCache {
+            capacity: Some(capacity),
+            ..QuotientCache::default()
+        }
+    }
+
+    /// The spec-key cap (`None` for an unbounded cache).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of spec keys evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Takes the spec keys evicted since the last drain, plus the codes
+    /// whose collision chains emptied with them. The service uses these to
+    /// release its memoised build/solve slots, so eviction actually frees
+    /// the artifact memory instead of leaving it pinned elsewhere.
+    pub fn drain_evicted(&self) -> (Vec<String>, Vec<u64>) {
+        std::mem::take(&mut self.inner.lock().unwrap().pending_evictions)
+    }
+
+    /// The entry registered under a canonical spec string, if any. A hit
+    /// refreshes the spec's LRU position.
     pub fn get(&self, spec: &str) -> Option<Arc<CacheEntry>> {
-        self.inner.lock().unwrap().by_spec.get(spec).cloned()
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
+        let slot = inner.by_spec.get_mut(spec)?;
+        slot.1 = tick;
+        Some(Arc::clone(&slot.0))
     }
 
     /// Interns a freshly compiled artifact under `spec`, using the
@@ -110,24 +206,34 @@ impl QuotientCache {
         quotient: CompiledQuotient,
     ) -> (Arc<CacheEntry>, bool) {
         let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
         let chain = inner.by_code.entry(code).or_default();
-        if let Some(existing) = chain
+        let (entry, shared) = match chain
             .iter()
             .find(|entry| entry.quotient.identical(&quotient))
         {
-            let entry = Arc::clone(existing);
-            inner.by_spec.insert(spec.to_string(), Arc::clone(&entry));
-            return (entry, true);
+            Some(existing) => (Arc::clone(existing), true),
+            None => {
+                let entry = Arc::new(CacheEntry {
+                    code,
+                    family: family.to_string(),
+                    quotient: Arc::new(quotient),
+                    stationary: Mutex::new(None),
+                });
+                chain.push(Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+        inner
+            .by_spec
+            .insert(spec.to_string(), (Arc::clone(&entry), tick));
+        if let Some(capacity) = self.capacity {
+            let evicted = inner.enforce_capacity(capacity);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
         }
-        let entry = Arc::new(CacheEntry {
-            code,
-            family: family.to_string(),
-            quotient: Arc::new(quotient),
-            stationary: Mutex::new(None),
-        });
-        chain.push(Arc::clone(&entry));
-        inner.by_spec.insert(spec.to_string(), Arc::clone(&entry));
-        (entry, false)
+        (entry, shared)
     }
 
     /// A solved stationary vector of a same-family entry with the given

@@ -5,7 +5,9 @@
 //! (a *follower*) blocks on the slot's condition variable and receives a
 //! clone of the leader's result — the computation runs **once**, and every
 //! waiter gets the bit-identical value. Results stay memoised, so later
-//! callers of the same key are followers too, served without blocking.
+//! callers of the same key are followers too, served without blocking —
+//! until [`Coalescer::forget_matching`] releases a memoised slot (cache
+//! eviction), after which the next caller leads a fresh computation.
 //!
 //! Errors are ordinary values (`V = Result<…>`): a failed leader hands every
 //! follower the same error. A *panicking* leader poisons and releases its
@@ -128,6 +130,16 @@ impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
         }
     }
 
+    /// Forgets every *memoised* value whose key matches `predicate` — the
+    /// release valve for cache eviction. In-flight (pending) slots are kept
+    /// so concurrent callers still coalesce onto their leader.
+    pub fn forget_matching(&self, predicate: impl Fn(&K) -> bool) {
+        let mut slots = self.slots.lock().unwrap();
+        slots.retain(|key, slot| {
+            !(predicate(key) && matches!(&*slot.state.lock().unwrap(), SlotState::Done(_)))
+        });
+    }
+
     /// The memoised value of `key`, if its computation has finished.
     pub fn peek(&self, key: &K) -> Option<V> {
         let slot = Arc::clone(self.slots.lock().unwrap().get(key)?);
@@ -171,6 +183,22 @@ mod tests {
         assert_eq!(coalescer.peek(&8), None);
         assert_eq!(coalescer.len(), 1);
         assert!(!coalescer.is_empty());
+    }
+
+    #[test]
+    fn forgetting_a_memoised_slot_elects_a_fresh_leader() {
+        let coalescer: Coalescer<u64, usize> = Coalescer::new();
+        assert_eq!(coalescer.run(7, || 1), (1, Role::Leader));
+        assert_eq!(coalescer.run(9, || 2), (2, Role::Leader));
+        coalescer.forget_matching(|key| *key == 7);
+        assert_eq!(coalescer.len(), 1, "only the matching slot is dropped");
+        assert_eq!(coalescer.peek(&7), None);
+        assert_eq!(coalescer.run(7, || 3), (3, Role::Leader), "recomputed");
+        assert_eq!(
+            coalescer.run(9, || 4),
+            (2, Role::Follower),
+            "still memoised"
+        );
     }
 
     #[test]

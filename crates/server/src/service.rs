@@ -72,11 +72,25 @@ pub struct AnalysisService {
 }
 
 impl AnalysisService {
-    /// A fresh service whose solves run on the given worker pool.
+    /// A fresh service whose solves run on the given worker pool, with an
+    /// unbounded quotient cache.
     pub fn new(exec: ExecOptions) -> Self {
+        AnalysisService::with_cache(exec, QuotientCache::new())
+    }
+
+    /// A fresh service whose quotient cache holds at most `capacity` spec
+    /// keys, evicting the least-recently-used spec beyond that (see
+    /// [`QuotientCache::with_capacity`]). Eviction trades memoised work for
+    /// memory; answers stay bit-identical because evicted specs recompile to
+    /// identical artifacts.
+    pub fn with_cache_capacity(exec: ExecOptions, capacity: usize) -> Self {
+        AnalysisService::with_cache(exec, QuotientCache::with_capacity(capacity))
+    }
+
+    fn with_cache(exec: ExecOptions, cache: QuotientCache) -> Self {
         AnalysisService {
             exec,
-            cache: QuotientCache::new(),
+            cache,
             stats: ServiceStats::new(),
             builds: Coalescer::new(),
             stationary: Coalescer::new(),
@@ -89,9 +103,12 @@ impl AnalysisService {
         self.exec
     }
 
-    /// A point-in-time snapshot of the service counters.
+    /// A point-in-time snapshot of the service counters, including the
+    /// cache's eviction count.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.evictions = self.cache.evictions();
+        snapshot
     }
 
     /// The quotient cache (exposed for tests and benches).
@@ -105,7 +122,7 @@ impl AnalysisService {
         self.stats.query();
         let result = match request {
             Request::Ping => Ok(Json::object(vec![("pong", Json::Bool(true))])),
-            Request::Stats => Ok(self.stats.snapshot().to_json()),
+            Request::Stats => Ok(self.stats().to_json()),
             Request::Shutdown => Ok(Json::object(vec![("stopping", Json::Bool(true))])),
             Request::Availability { model } => self.availability(model),
             Request::Survivability {
@@ -237,7 +254,22 @@ impl AnalysisService {
             Role::Leader => self.stats.cache_miss(),
             Role::Follower => self.stats.cache_hit(),
         }
+        self.reap_evictions();
         result
+    }
+
+    /// Releases the memoised build and solve slots of whatever the bounded
+    /// cache just evicted, so eviction actually frees the artifact memory
+    /// instead of leaving it pinned by the coalescers. A later query of an
+    /// evicted spec recompiles and re-solves to bit-identical numbers.
+    fn reap_evictions(&self) {
+        let (specs, codes) = self.cache.drain_evicted();
+        if specs.is_empty() && codes.is_empty() {
+            return;
+        }
+        self.builds.forget_matching(|spec| specs.contains(spec));
+        self.stationary.forget_matching(|code| codes.contains(code));
+        self.curves.forget_matching(|key| codes.contains(&key.code));
     }
 
     /// The (coalesced, memoised, warm-started) stationary solve of an
@@ -385,6 +417,68 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.transient_passes, 1, "one Fox–Glynn pass");
         assert_eq!(stats.coalesced_queries, 1);
+    }
+
+    #[test]
+    fn capped_cache_answers_bit_identically_after_eviction() {
+        let unbounded = service();
+        let capped = AnalysisService::with_cache_capacity(ExecOptions::serial(), 1);
+        let ded = Request::Availability {
+            model: "line2/ded".into(),
+        };
+        let frf = Request::Availability {
+            model: "line2/frf-1".into(),
+        };
+
+        let reference = match unbounded.handle(&ded) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("query failed: {err}"),
+        };
+        let first = capped.handle(&ded);
+        assert!(matches!(capped.handle(&frf), Response::Ok(_)), "evicts ded");
+        assert_eq!(capped.cache().num_specs(), 1, "the cap holds");
+        let again = match capped.handle(&ded) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("re-query after eviction failed: {err}"),
+        };
+
+        // The evicted spec recompiles and re-solves to bit-identical
+        // numbers — eviction trades memoised work, never correctness.
+        let bits = |payload: &Json| {
+            payload
+                .get("availability")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits()
+        };
+        assert_eq!(bits(&again), bits(&reference));
+        match first {
+            Response::Ok(payload) => assert_eq!(bits(&again), bits(&payload)),
+            Response::Err(err) => panic!("first capped query failed: {err}"),
+        }
+
+        let stats = capped.stats();
+        assert!(
+            stats.evictions >= 1,
+            "evictions surface in stats: {stats:?}"
+        );
+        assert_eq!(
+            stats.cache_misses, 3,
+            "the evicted spec recompiled instead of riding a pinned memo: {stats:?}"
+        );
+        assert_eq!(
+            stats.stationary_solves, 3,
+            "the evicted chain re-solved from scratch: {stats:?}"
+        );
+        assert_eq!(unbounded.stats().evictions, 0, "unbounded never evicts");
+        // The wire-level Stats reply carries the counter too.
+        let wire = match capped.handle(&Request::Stats) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("stats failed: {err}"),
+        };
+        let snapshot = StatsSnapshot::from_json(&wire).unwrap();
+        assert_eq!(snapshot.evictions, capped.cache().evictions());
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl ServiceStats {
             warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
             transient_passes: self.transient_passes.load(Ordering::Relaxed),
             coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 }
@@ -105,6 +106,10 @@ pub struct StatsSnapshot {
     /// Queries served by an in-flight or memoised computation instead of
     /// their own solve.
     pub coalesced_queries: u64,
+    /// Spec keys evicted from the bounded quotient cache (0 for the default
+    /// unbounded cache). Maintained by the cache itself and merged into the
+    /// snapshot by the service.
+    pub evictions: u64,
 }
 
 impl StatsSnapshot {
@@ -133,6 +138,7 @@ impl StatsSnapshot {
             ("warm_iterations", Json::from(self.warm_iterations)),
             ("transient_passes", Json::from(self.transient_passes)),
             ("coalesced_queries", Json::from(self.coalesced_queries)),
+            ("evictions", Json::from(self.evictions)),
         ])
     }
 
@@ -157,6 +163,7 @@ impl StatsSnapshot {
             warm_iterations: field("warm_iterations"),
             transient_passes: field("transient_passes"),
             coalesced_queries: field("coalesced_queries"),
+            evictions: field("evictions"),
         })
     }
 }
@@ -201,6 +208,7 @@ mod tests {
             warm_iterations: 60,
             transient_passes: 4,
             coalesced_queries: 5,
+            evictions: 2,
         };
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);

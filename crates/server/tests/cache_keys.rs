@@ -83,6 +83,41 @@ fn identical_artifacts_share_one_entry_even_under_a_forced_code() {
 }
 
 #[test]
+fn bounded_cache_evicts_the_least_recently_used_spec() {
+    let cache = QuotientCache::with_capacity(2);
+    assert_eq!(cache.capacity(), Some(2));
+    cache.insert("line2/ded", "line2/ded", quotient_of("line2/ded"));
+    let (victim, _) = cache.insert("line1/ded", "line1/ded", quotient_of("line1/ded"));
+    let states = victim.quotient().num_states();
+    victim.set_stationary(Arc::new(vec![0.25; states]));
+    assert_eq!(cache.num_specs(), 2);
+    assert_eq!(cache.evictions(), 0);
+
+    // Touch the oldest spec so the *other* one becomes the LRU victim.
+    assert!(cache.get("line2/ded").is_some());
+    cache.insert("line2/frf-1", "line2/frf-1", quotient_of("line2/frf-1"));
+    assert_eq!(cache.num_specs(), 2);
+    assert_eq!(cache.evictions(), 1);
+    assert!(cache.get("line1/ded").is_none(), "LRU victim is gone");
+    assert!(
+        cache.get("line2/ded").is_some(),
+        "the touched spec survives"
+    );
+    assert!(cache.get("line2/frf-1").is_some());
+
+    // The evicted spec's artifact (and its memoised stationary vector) was
+    // garbage-collected with it, so the warm-donor scan can never hand out
+    // vectors of evicted entries.
+    assert_eq!(cache.num_artifacts(), 2);
+    assert!(cache.warm_donor("line1/ded", states, 0).is_none());
+
+    // Re-inserting the evicted spec works and evicts the new LRU.
+    cache.insert("line1/ded", "line1/ded", quotient_of("line1/ded"));
+    assert_eq!(cache.num_specs(), 2);
+    assert_eq!(cache.evictions(), 2);
+}
+
+#[test]
 fn warm_donor_skips_the_asking_code_and_foreign_families() {
     let cache = QuotientCache::new();
     let nominal = quotient_of("line2/ded");

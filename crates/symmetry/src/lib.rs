@@ -44,4 +44,4 @@ pub mod orbit;
 pub use automorphism::{detect_automorphisms, StructureAutomorphisms, SubtreeSwap};
 pub use chain::{chain_presentation_code, chains_identical, group_identical_chains};
 pub use code::{subtree_code, CanonicalCode, LeafAttributes};
-pub use orbit::{canonical_tuple, orbit_count, FactorClasses};
+pub use orbit::{canonical_tuple, for_each_multiset, orbit_count, FactorClasses};

@@ -40,6 +40,63 @@ pub fn orbit_count(positions: usize, values: usize) -> usize {
     result
 }
 
+/// Enumerates every non-decreasing `positions`-tuple over `0..values` — the
+/// canonical orbit representatives of one interchangeability class — in
+/// lexicographic order, calling `f` with the tuple and its orbit size (the
+/// number of distinct permutations, `positions! / Π multᵢ!`). The
+/// enumeration is lazy and strictly sequential, so callers can fold
+/// [`orbit_count`]`(positions, values)` representatives without ever holding
+/// more than one tuple — the workhorse of the k-line orbit-enumeration tier,
+/// where the flat product is never materialised. Returns the number of
+/// tuples visited.
+pub fn for_each_multiset(
+    positions: usize,
+    values: usize,
+    mut f: impl FnMut(&[usize], usize),
+) -> usize {
+    if values == 0 {
+        if positions == 0 {
+            f(&[], 1);
+            return 1;
+        }
+        return 0;
+    }
+    let mut tuple = vec![0usize; positions];
+    let mut visited = 0usize;
+    loop {
+        f(&tuple, multiset_permutations(&tuple));
+        visited += 1;
+        // Advance to the next non-decreasing tuple: bump the rightmost
+        // coordinate with headroom and level everything after it.
+        let Some(pivot) = (0..positions).rev().find(|&i| tuple[i] + 1 < values) else {
+            return visited;
+        };
+        let bumped = tuple[pivot] + 1;
+        for slot in &mut tuple[pivot..] {
+            *slot = bumped;
+        }
+    }
+}
+
+/// Number of distinct permutations of a sorted tuple: `n! / Π multᵢ!`,
+/// saturating. This is the orbit size of one class's canonical multiset.
+fn multiset_permutations(sorted: &[usize]) -> usize {
+    let mut permutations = 1usize;
+    for k in 2..=sorted.len() {
+        permutations = permutations.saturating_mul(k);
+    }
+    let mut run = 1usize;
+    for window in sorted.windows(2) {
+        if window[0] == window[1] {
+            run += 1;
+            permutations /= run;
+        } else {
+            run = 1;
+        }
+    }
+    permutations
+}
+
 /// Sorts the coordinates of every interchangeability class ascending in
 /// place, yielding the orbit's canonical representative. `classes[i]` is the
 /// class id of factor `i`; coordinates of different classes never move.
@@ -160,26 +217,12 @@ impl FactorClasses {
         let num_classes = self.classes.iter().copied().max().map_or(0, |m| m + 1);
         let mut total = 1usize;
         for class in 0..num_classes {
-            let values: Vec<usize> = (0..self.classes.len())
+            let mut sorted: Vec<usize> = (0..self.classes.len())
                 .filter(|&i| self.classes[i] == class)
                 .map(|i| tuple[i])
                 .collect();
-            let mut permutations = 1usize;
-            for k in 2..=values.len() {
-                permutations = permutations.saturating_mul(k);
-            }
-            let mut sorted = values;
             sorted.sort_unstable();
-            let mut run = 1usize;
-            for window in sorted.windows(2) {
-                if window[0] == window[1] {
-                    run += 1;
-                    permutations /= run;
-                } else {
-                    run = 1;
-                }
-            }
-            total = total.saturating_mul(permutations);
+            total = total.saturating_mul(multiset_permutations(&sorted));
         }
         total
     }
@@ -198,6 +241,33 @@ mod tests {
         assert_eq!(orbit_count(3, 3), 10);
         assert_eq!(orbit_count(2, 0), 0);
         assert_eq!(orbit_count(0, 0), 1);
+    }
+
+    #[test]
+    fn multiset_enumeration_matches_the_closed_form() {
+        // Every (positions, values) pair visits exactly orbit_count tuples,
+        // in lexicographic order, non-decreasing, with orbit sizes that sum
+        // to the raw tuple count values^positions.
+        for (positions, values) in [(0, 3), (1, 4), (2, 3), (3, 3), (4, 5), (2, 0), (0, 0)] {
+            let mut seen: Vec<Vec<usize>> = Vec::new();
+            let mut total_size = 0usize;
+            let visited = for_each_multiset(positions, values, |tuple, size| {
+                assert!(tuple.windows(2).all(|w| w[0] <= w[1]), "{tuple:?}");
+                seen.push(tuple.to_vec());
+                total_size += size;
+            });
+            assert_eq!(visited, orbit_count(positions, values));
+            assert_eq!(seen.len(), visited);
+            let mut sorted = seen.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted, seen, "lexicographic and duplicate-free");
+            if values > 0 {
+                assert_eq!(total_size, values.pow(positions as u32));
+            }
+        }
+        // The paper's pinned bound: 4 twin lines of 96 blocks.
+        assert_eq!(orbit_count(4, 96), 3_764_376);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::facility::{
     self, Line, DISASTER_ALL_PUMPS, DISASTER_LINE2_MIXED, FACILITY_DISASTER_ALL_PUMPS,
 };
+use crate::registry::ModelSpec;
 use crate::strategies;
 use crate::StrategySpec;
 
@@ -105,6 +106,51 @@ impl SymmetryReductionRow {
         self.product_blocks as f64 / self.solver_blocks as f64
     }
 }
+
+/// One row of the **k-line reduction ladder** (`wt-experiments facility
+/// --k ...` / `--lines ...`): for one facility spec, the three rungs of the
+/// state-space ladder — flat product, per-line quotient product, sorted-tuple
+/// orbit fold — together with the availability and the evaluation tier that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KLineReductionRow {
+    /// Number of process lines.
+    pub k: usize,
+    /// Canonical registry spec (`facility/ded^4`).
+    pub facility: String,
+    /// Flat rung: the product of the per-line *unlumped* state spaces
+    /// (512 per DED twin line), saturating.
+    pub flat_states: usize,
+    /// Product rung: the product of the per-line quotient sizes (96 per DED
+    /// twin line), saturating.
+    pub product_blocks: usize,
+    /// Orbit rung: sorted-tuple orbit representatives under factor symmetry
+    /// (`C(n + k − 1, k)` for k identical lines of n blocks), `None` when no
+    /// two lines are interchangeable.
+    pub orbit_blocks: Option<usize>,
+    /// States the joint availability was actually computed on: the
+    /// materialised solver chain (joint-solve tier) or the enumerated orbit
+    /// representatives (orbit-enumeration tier); `None` in the counts-only
+    /// product-form tier.
+    pub solved_blocks: Option<usize>,
+    /// Facility availability via the product form `1 − Π P(line down)` —
+    /// always computed, never materialises anything.
+    pub availability: f64,
+    /// Availability from the joint chain or the orbit enumeration, `None` in
+    /// the product-form tier.
+    pub joint_availability: Option<f64>,
+    /// The tier's certificate: the Kronecker-sum balance residual
+    /// (joint-solve) or `|total mass − 1|` (orbit-enumeration).
+    pub certificate: Option<f64>,
+    /// Which tier evaluated the row: `joint-solve`, `orbit-enumeration` or
+    /// `product-form`.
+    pub tier: String,
+}
+
+/// Largest orbit bound the enumeration tier of the k-sweep walks
+/// (`facility/ded^4` needs 3,764,376 visits and fits; `ded^8` at
+/// `C(103, 8) ≈ 3.2 × 10¹¹` falls back to the counts-only product form).
+pub const ORBIT_ENUMERATION_CAP: usize = 8_000_000;
 
 /// A reproduced figure: a set of named `(time, value)` series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -945,6 +991,138 @@ pub fn format_symmetry_reduction(rows: &[SymmetryReductionRow]) -> String {
     out
 }
 
+/// One row of the k-line reduction ladder: builds the facility the spec
+/// names, reads the three rungs off the per-line quotients (no
+/// materialisation), then evaluates the availability on the cheapest exact
+/// tier that fits:
+///
+/// 1. **joint-solve** — the per-line quotient product is at most
+///    [`ModelSpec::MAX_MATERIALISED_PRODUCT`] states: materialise the joint
+///    chain (the orbit fold under factor symmetry) and solve it, certified by
+///    the Kronecker-sum balance residual;
+/// 2. **orbit-enumeration** — the product is too large but the orbit bound is
+///    at most [`ORBIT_ENUMERATION_CAP`]: walk the canonical multisets lazily
+///    under the stationary product measure
+///    ([`FacilityAnalysis::orbit_availability`]), certified by the
+///    accumulated total mass — the flat k-product is **never** materialised;
+/// 3. **product-form** — counts only, availability from
+///    `1 − Π P(line down)`.
+///
+/// # Errors
+///
+/// Rejects single-line specs; propagates composition and solver errors.
+pub fn kline_reduction_row(
+    spec: &ModelSpec,
+    exec: ExecOptions,
+) -> Result<KLineReductionRow, ArcadeError> {
+    let model = spec
+        .facility_model()?
+        .ok_or_else(|| ArcadeError::InvalidParameter {
+            reason: format!("`{spec}` is a single line, not a facility — the ladder needs k ≥ 2"),
+        })?;
+    let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
+    let stats = analysis.stats();
+
+    // Flat rung: what exploring every line without lumping would cost.
+    let mut flat_states = 1usize;
+    for line in model.lines() {
+        let compiled = CompiledModel::compile_with(
+            line.model(),
+            ComposerOptions {
+                lumping: LumpingMode::Exact,
+                ..composer_options(exec)
+            },
+        )?;
+        flat_states = flat_states.saturating_mul(compiled.stats().num_states);
+    }
+
+    let availability = analysis.steady_state_availability()?;
+    let (tier, solved_blocks, joint_availability, certificate) =
+        if stats.joint_blocks <= ModelSpec::MAX_MATERIALISED_PRODUCT {
+            let joint = analysis.joint_steady_state_availability()?;
+            (
+                "joint-solve",
+                Some(joint.solved_states),
+                Some(joint.availability),
+                Some(joint.residual),
+            )
+        } else if stats
+            .orbit_blocks
+            .is_some_and(|bound| bound <= ORBIT_ENUMERATION_CAP)
+        {
+            let orbit = analysis.orbit_availability(ORBIT_ENUMERATION_CAP)?;
+            (
+                "orbit-enumeration",
+                Some(orbit.orbits_explored),
+                Some(orbit.availability),
+                Some((orbit.total_mass - 1.0).abs()),
+            )
+        } else {
+            ("product-form", None, None, None)
+        };
+    Ok(KLineReductionRow {
+        k: model.lines().len(),
+        facility: spec.canonical(),
+        flat_states,
+        product_blocks: stats.joint_blocks,
+        orbit_blocks: stats.orbit_blocks,
+        solved_blocks,
+        availability,
+        joint_availability,
+        certificate,
+        tier: tier.to_string(),
+    })
+}
+
+/// The k-line reduction ladder for a list of facility specs, one row per
+/// spec, swept across the worker pool in spec order.
+///
+/// # Errors
+///
+/// Propagates per-row errors (see [`kline_reduction_row`]).
+pub fn kline_reduction_table(
+    specs: &[ModelSpec],
+    exec: ExecOptions,
+) -> Result<Vec<KLineReductionRow>, ArcadeError> {
+    exec::map_ordered(specs, exec, |spec| kline_reduction_row(spec, exec))
+        .into_iter()
+        .collect()
+}
+
+/// Renders k-line reduction rows as a plain-text table.
+pub fn format_kline_reduction(rows: &[KLineReductionRow]) -> String {
+    let count = |value: usize| {
+        if value == usize::MAX {
+            ">1.8e19".to_string()
+        } else {
+            value.to_string()
+        }
+    };
+    let opt_count = |value: Option<usize>| value.map_or("-".to_string(), count);
+    let opt_avail = |value: Option<f64>| value.map_or("-".to_string(), |v| format!("{v:.7}"));
+    let opt_cert = |value: Option<f64>| value.map_or("-".to_string(), |v| format!("{v:.2e}"));
+    let mut out = String::from(
+        "k  Facility              Flat            Product         Orbit        \
+         Solved       A(product)  A(joint)    Certificate  Tier\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<2} {:<21} {:<15} {:<15} {:<12} {:<12} {:<11.7} {:<11} {:<12} {}\n",
+            row.k,
+            row.facility,
+            count(row.flat_states),
+            count(row.product_blocks),
+            opt_count(row.orbit_blocks),
+            opt_count(row.solved_blocks),
+            row.availability,
+            opt_avail(row.joint_availability),
+            opt_cert(row.certificate),
+            row.tier,
+        ));
+    }
+    out
+}
+
 /// Joint facility recovery after the cross-line all-pumps disaster: for each
 /// strategy pair, the probability that the facility again delivers **full
 /// service on at least one line** (and, in the second figure, **basic
@@ -1363,6 +1541,50 @@ mod tests {
                 .unwrap();
         assert_eq!(fig.series.len(), 1);
         assert!(fig.series[0].label.contains("line 1"));
+    }
+
+    #[test]
+    fn kline_ladder_solves_the_twin_pair_on_the_orbit_fold() {
+        // `facility/ded^2`: flat 512² = 262,144, product 96² = 9,216, orbit
+        // C(97, 2) = 4,656 — small enough for the joint-solve tier, which
+        // must run on the fold and agree with the product form.
+        let spec = ModelSpec::parse("facility/ded^2").unwrap();
+        let row = kline_reduction_row(&spec, ExecOptions::default()).unwrap();
+        assert_eq!(row.k, 2);
+        assert_eq!(row.facility, "facility/ded^2");
+        assert_eq!(row.flat_states, 512 * 512);
+        assert_eq!(row.product_blocks, 96 * 96);
+        assert_eq!(row.orbit_blocks, Some(96 * 97 / 2));
+        assert_eq!(row.tier, "joint-solve");
+        assert_eq!(row.solved_blocks, Some(96 * 97 / 2));
+        let joint = row.joint_availability.unwrap();
+        assert!((joint - row.availability).abs() <= 1e-9);
+        assert!(row.certificate.unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn kline_ladder_falls_back_to_counts_beyond_the_enumeration_cap() {
+        // `facility/ded^8`: the orbit bound C(103, 8) ≈ 3.2 × 10¹¹ exceeds
+        // the enumeration cap, so only the counts and the product form are
+        // reported. Nothing is materialised, so the row stays instant.
+        let spec = ModelSpec::parse("facility/ded^8").unwrap();
+        let row = kline_reduction_row(&spec, ExecOptions::default()).unwrap();
+        assert_eq!(row.k, 8);
+        assert_eq!(row.tier, "product-form");
+        assert_eq!(row.product_blocks, 96usize.pow(8));
+        assert_eq!(row.flat_states, usize::MAX, "512⁸ = 2⁷² saturates");
+        assert!(row.orbit_blocks.unwrap() > ORBIT_ENUMERATION_CAP);
+        assert_eq!(row.solved_blocks, None);
+        assert_eq!(row.joint_availability, None);
+        assert!(row.availability > 0.9999, "{}", row.availability);
+
+        // Single-line specs are rejected.
+        let line = ModelSpec::parse("line2/ded").unwrap();
+        assert!(kline_reduction_row(&line, ExecOptions::default()).is_err());
+
+        let text = format_kline_reduction(&[row]);
+        assert!(text.contains("facility/ded^8"));
+        assert!(text.contains("product-form"));
     }
 
     #[test]

@@ -96,14 +96,79 @@ impl Line {
         [Line::Line1, Line::Line2]
     }
 
-    /// Parses a `--line` CLI argument: `1`/`line1`, `2`/`line2` select one
-    /// line, `both` selects [`Line::both`]. Returns `None` for anything else.
+    /// Parses a `--line` CLI argument into the paper's two lines: a thin
+    /// shim over [`LineSelection::from_arg`] resolved against the two-line
+    /// facility. Returns `None` for unparsable arguments *and* for
+    /// selections naming lines beyond the paper's two — callers that load
+    /// k-line models should use [`LineSelection`] directly, which keeps
+    /// out-of-range indices distinguishable from parse failures.
     pub fn from_arg(arg: &str) -> Option<Vec<Line>> {
-        match arg.to_lowercase().as_str() {
-            "1" | "line1" => Some(vec![Line::Line1]),
-            "2" | "line2" => Some(vec![Line::Line2]),
-            "both" | "all" => Some(Line::both().to_vec()),
-            _ => None,
+        let lines = LineSelection::from_arg(arg)?.resolve(2).ok()?;
+        Some(lines.into_iter().map(|index| Line::both()[index]).collect())
+    }
+}
+
+/// A parsed `--line` CLI argument for models with any number of lines:
+/// either every line of the loaded model or an explicit list of 1-based
+/// indices (`--line 3`, `--line 1,3`). Resolving against the model's line
+/// count happens separately ([`LineSelection::resolve`]), so an index
+/// beyond the loaded model is a reportable error instead of a silent
+/// parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineSelection {
+    /// Every line of the loaded model (`all` / `both`).
+    All,
+    /// Explicit 1-based line indices, in argument order.
+    Indices(Vec<usize>),
+}
+
+impl LineSelection {
+    /// Parses a `--line` argument: `all`/`both`, or a comma-separated list
+    /// of indices (`3`) and line names (`line3`). Returns `None` for
+    /// anything outside that grammar (including index `0`).
+    pub fn from_arg(arg: &str) -> Option<LineSelection> {
+        let lowered = arg.trim().to_lowercase();
+        if lowered == "all" || lowered == "both" {
+            return Some(LineSelection::All);
+        }
+        let mut indices = Vec::new();
+        for token in lowered.split(',') {
+            let token = token.trim();
+            let digits = token.strip_prefix("line").unwrap_or(token);
+            let index: usize = digits.parse().ok()?;
+            if index == 0 {
+                return None;
+            }
+            indices.push(index);
+        }
+        if indices.is_empty() {
+            return None;
+        }
+        Some(LineSelection::Indices(indices))
+    }
+
+    /// Resolves the selection against a model with `num_lines` lines,
+    /// yielding 0-based indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when an index exceeds the loaded
+    /// model — the case `Line::from_arg` used to swallow as `None`.
+    pub fn resolve(&self, num_lines: usize) -> Result<Vec<usize>, String> {
+        match self {
+            LineSelection::All => Ok((0..num_lines).collect()),
+            LineSelection::Indices(indices) => indices
+                .iter()
+                .map(|&index| {
+                    if index <= num_lines {
+                        Ok(index - 1)
+                    } else {
+                        Err(format!(
+                            "--line {index}: the loaded model has {num_lines} line(s)"
+                        ))
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -282,8 +347,101 @@ pub fn line_model_with_unit_scaled(
     builder.build()
 }
 
+/// One line of a k-line facility: the line shape (component counts) plus the
+/// repair strategy of its own repair unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineSpec {
+    shape: Line,
+    strategy: StrategySpec,
+}
+
+impl LineSpec {
+    /// A line of the given shape under the given strategy.
+    pub fn new(shape: Line, strategy: StrategySpec) -> Self {
+        LineSpec { shape, strategy }
+    }
+
+    /// A line of the twin shape ([`Line::Line2`]) — the factor used by the
+    /// homogeneous k-line banks, whose quotient is the paper's 96-block DED
+    /// chain.
+    pub fn twin(strategy: StrategySpec) -> Self {
+        LineSpec::new(Line::Line2, strategy)
+    }
+
+    /// The line shape.
+    pub fn shape(&self) -> Line {
+        self.shape
+    }
+
+    /// The repair strategy.
+    pub fn strategy(&self) -> &StrategySpec {
+        &self.strategy
+    }
+}
+
+/// Builds a facility of `specs.len()` process lines, each under its own
+/// repair strategy, plus the facility-wide all-pumps disaster spanning every
+/// line. This is the k-ary core every facility front end routes through;
+/// [`facility_model`] is its two-line shim.
+///
+/// Line identities are index-based: line `i` (0-based) is named
+/// `line{i+1}` and owns the repair unit `line{i+1}-ru`, so every line keeps
+/// its own crews and the composition tree detects `specs.len()` independent
+/// product factors. Repair-unit names do not enter the chain presentation,
+/// so lines with equal shape *and* strategy compile to identical chains and
+/// fold under the symmetry engine's sorted-tuple orbits — k twins of `n`
+/// blocks to `C(n+k−1, k)` representatives.
+///
+/// # Errors
+///
+/// Rejects an empty spec list and propagates model-validation errors.
+pub fn facility_model_k(specs: &[LineSpec]) -> Result<FacilityModel, arcade_core::ArcadeError> {
+    facility_model_k_scaled(specs, 1.0)
+}
+
+/// [`facility_model_k`] with every failure rate of every line multiplied by
+/// `rate_scale` (see [`line_model_scaled`]). A scale of exactly `1.0`
+/// reproduces [`facility_model_k`] bit-for-bit.
+///
+/// # Errors
+///
+/// See [`facility_model_k`].
+pub fn facility_model_k_scaled(
+    specs: &[LineSpec],
+    rate_scale: f64,
+) -> Result<FacilityModel, arcade_core::ArcadeError> {
+    if specs.is_empty() {
+        return Err(arcade_core::ArcadeError::InvalidParameter {
+            reason: "a facility needs at least one line spec".to_string(),
+        });
+    }
+    let mut builder = FacilityModel::builder("water-treatment-facility");
+    let mut all_pumps: Vec<(String, String)> = Vec::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let name = format!("line{}", index + 1);
+        let (_, _, _, pumps) = component_names(spec.shape);
+        all_pumps.extend(pumps.into_iter().map(|p| (name.clone(), p)));
+        builder = builder.line(
+            name.clone(),
+            line_model_with_unit_scaled(
+                spec.shape,
+                &spec.strategy,
+                format!("{name}-ru"),
+                rate_scale,
+            )?,
+        );
+    }
+    builder
+        .disaster(FacilityDisaster::new(
+            FACILITY_DISASTER_ALL_PUMPS,
+            all_pumps,
+        ))
+        .build()
+}
+
 /// Builds the whole water-treatment facility: both process lines (each under
-/// its own repair strategy) plus the facility-wide all-pumps disaster.
+/// its own repair strategy) plus the facility-wide all-pumps disaster. A thin
+/// two-line shim over the k-ary [`facility_model_k`].
 ///
 /// The per-line repair units carry line-qualified names (`line1-ru`,
 /// `line2-ru`), so the composition tree detects two independent lines and the
@@ -313,25 +471,13 @@ pub fn facility_model_scaled(
     line2: &StrategySpec,
     rate_scale: f64,
 ) -> Result<FacilityModel, arcade_core::ArcadeError> {
-    let mut all_pumps: Vec<(String, String)> = Vec::new();
-    for line in Line::both() {
-        let (_, _, _, pumps) = component_names(line);
-        all_pumps.extend(pumps.into_iter().map(|p| (line.id().to_string(), p)));
-    }
-    FacilityModel::builder("water-treatment-facility")
-        .line(
-            Line::Line1.id(),
-            line_model_scaled(Line::Line1, line1, rate_scale)?,
-        )
-        .line(
-            Line::Line2.id(),
-            line_model_scaled(Line::Line2, line2, rate_scale)?,
-        )
-        .disaster(FacilityDisaster::new(
-            FACILITY_DISASTER_ALL_PUMPS,
-            all_pumps,
-        ))
-        .build()
+    facility_model_k_scaled(
+        &[
+            LineSpec::new(Line::Line1, line1.clone()),
+            LineSpec::new(Line::Line2, line2.clone()),
+        ],
+        rate_scale,
+    )
 }
 
 /// A facility of two **identical** copies of one process line under the same
@@ -452,7 +598,40 @@ mod tests {
         assert_eq!(Line::from_arg("1"), Some(vec![Line::Line1]));
         assert_eq!(Line::from_arg("LINE2"), Some(vec![Line::Line2]));
         assert_eq!(Line::from_arg("both"), Some(Line::both().to_vec()));
+        // Beyond the paper's two lines the shim still yields None, but the
+        // general selection keeps the index: `--line 3` is now resolvable
+        // against any k-line model instead of being swallowed at parse time.
         assert_eq!(Line::from_arg("3"), None);
+        assert_eq!(
+            LineSelection::from_arg("3"),
+            Some(LineSelection::Indices(vec![3]))
+        );
+    }
+
+    #[test]
+    fn line_selections_parse_and_resolve() {
+        assert_eq!(LineSelection::from_arg("all"), Some(LineSelection::All));
+        assert_eq!(LineSelection::from_arg("Both"), Some(LineSelection::All));
+        assert_eq!(
+            LineSelection::from_arg("line3"),
+            Some(LineSelection::Indices(vec![3]))
+        );
+        assert_eq!(
+            LineSelection::from_arg("1,3,line2"),
+            Some(LineSelection::Indices(vec![1, 3, 2]))
+        );
+        assert_eq!(LineSelection::from_arg("0"), None);
+        assert_eq!(LineSelection::from_arg("nope"), None);
+        assert_eq!(LineSelection::from_arg(""), None);
+
+        assert_eq!(LineSelection::All.resolve(4), Ok(vec![0, 1, 2, 3]));
+        assert_eq!(
+            LineSelection::Indices(vec![3, 1]).resolve(4),
+            Ok(vec![2, 0])
+        );
+        let err = LineSelection::Indices(vec![3]).resolve(2).unwrap_err();
+        assert!(err.contains("--line 3"), "{err}");
+        assert!(err.contains("2 line(s)"), "{err}");
     }
 
     #[test]
@@ -471,6 +650,48 @@ mod tests {
             tree.cross_line_disasters,
             vec![FACILITY_DISASTER_ALL_PUMPS.to_string()]
         );
+    }
+
+    #[test]
+    fn k_ary_builder_generalises_the_two_line_facility() {
+        // The two-line wrapper is a thin shim: same facility, line names,
+        // repair units and cross-line disaster as the k-ary call.
+        let spec = strategies::frf(1);
+        let via_shim = facility_model(&strategies::dedicated(), &spec).unwrap();
+        let via_k = facility_model_k(&[
+            LineSpec::new(Line::Line1, strategies::dedicated()),
+            LineSpec::new(Line::Line2, spec.clone()),
+        ])
+        .unwrap();
+        assert_eq!(via_shim.name(), via_k.name());
+        assert_eq!(via_shim.lines().len(), via_k.lines().len());
+        for (a, b) in via_shim.lines().iter().zip(via_k.lines()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.model().name(), b.model().name());
+        }
+        assert_eq!(
+            via_shim.disaster(FACILITY_DISASTER_ALL_PUMPS).unwrap(),
+            via_k.disaster(FACILITY_DISASTER_ALL_PUMPS).unwrap()
+        );
+
+        // A 3-line bank: index-based identities, one independent group per
+        // line, and an all-pumps disaster spanning every line.
+        let bank = facility_model_k(&[
+            LineSpec::twin(strategies::dedicated()),
+            LineSpec::twin(strategies::dedicated()),
+            LineSpec::twin(spec),
+        ])
+        .unwrap();
+        assert_eq!(bank.lines().len(), 3);
+        assert_eq!(bank.line_index("line3"), Some(2));
+        let tree = bank.composition_tree();
+        assert_eq!(tree.groups.len(), 3, "per-line units must not couple");
+        assert!(tree.groups.iter().all(|g| !g.is_joint()));
+        let disaster = bank.disaster(FACILITY_DISASTER_ALL_PUMPS).unwrap();
+        assert_eq!(disaster.components().len(), 3 * Line::Line2.pumps());
+        assert!(disaster.is_cross_line());
+
+        assert!(facility_model_k(&[]).is_err(), "empty banks are rejected");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod facility;
 pub mod registry;
 pub mod strategies;
 
-pub use facility::Line;
+pub use facility::{Line, LineSelection, LineSpec};
 pub use registry::{ModelSpec, ModelTarget};
 pub use strategies::StrategySpec;
 
@@ -50,6 +50,15 @@ pub use strategies::StrategySpec;
 /// `A = A1 + A2 - A1 * A2`.
 pub fn combined_availability(line1: f64, line2: f64) -> f64 {
     line1 + line2 - line1 * line2
+}
+
+/// The k-line generalisation of [`combined_availability`]: the probability
+/// that at least one of k independent lines is operational,
+/// `A = 1 − Π (1 − Aᵢ)`. For two lines this is algebraically the paper's
+/// `A1 + A2 − A1·A2` (the FP evaluation order differs, so the two-line
+/// helper stays the pinned reference for the paper's tables).
+pub fn combined_availability_k(lines: &[f64]) -> f64 {
+    1.0 - lines.iter().map(|a| 1.0 - a).product::<f64>()
 }
 
 #[cfg(test)]
@@ -64,5 +73,14 @@ mod tests {
         // The paper's Table 2 dedicated row.
         let combined = combined_availability(0.7442018, 0.8186317);
         assert!((combined - 0.9536063).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_line_combined_availability_generalises_the_pair_formula() {
+        let pair = combined_availability_k(&[0.7442018, 0.8186317]);
+        assert!((pair - combined_availability(0.7442018, 0.8186317)).abs() < 1e-12);
+        assert!((combined_availability_k(&[0.5, 0.5, 0.5]) - 0.875).abs() < 1e-12);
+        assert!((combined_availability_k(&[0.9]) - 0.9).abs() < 1e-12);
+        assert_eq!(combined_availability_k(&[]), 0.0);
     }
 }

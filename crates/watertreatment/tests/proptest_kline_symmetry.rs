@@ -1,0 +1,85 @@
+//! Property tests of the k-line twin-bank symmetry fold.
+//!
+//! * A bank of k identical lines must fold to **exactly**
+//!   `C(n + k − 1, k)` sorted-tuple orbit representatives, where `n` is the
+//!   per-line solver-chain size — for every one of the five paper repair
+//!   strategies and k ∈ {3, 4}.
+//! * The fold is evaluated strictly sequentially, so the orbit-enumeration
+//!   availability of a DED twin bank must be bit-identical at 1, 2, 4 and
+//!   8 worker threads.
+
+use arcade_core::{ComposerOptions, ExecOptions, FacilityAnalysis, FacilityModel};
+use arcade_symmetry::orbit_count;
+use proptest::prelude::*;
+use watertreatment::ModelSpec;
+
+fn bank(spec: &str) -> FacilityModel {
+    ModelSpec::parse(spec)
+        .unwrap()
+        .facility_model()
+        .unwrap()
+        .expect("facility spec")
+}
+
+fn options(threads: usize) -> ComposerOptions {
+    ComposerOptions {
+        exec: ExecOptions::with_threads(threads),
+        ..ComposerOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn twin_banks_fold_to_the_multiset_coefficient(
+        strategy_index in 0usize..5,
+        k in 3usize..=4,
+    ) {
+        let label = watertreatment::strategies::paper_strategies()[strategy_index]
+            .label
+            .to_lowercase();
+        let model = bank(&format!("facility/{label}^{k}"));
+        let analysis = FacilityAnalysis::with_options(&model, options(1)).unwrap();
+        let stats = analysis.stats();
+        prop_assert_eq!(stats.lines.len(), k);
+        let n = stats.lines[0].stats.num_states;
+        for line in &stats.lines {
+            prop_assert_eq!(line.stats.num_states, n, "twins compile identically");
+        }
+        prop_assert_eq!(stats.joint_blocks, n.pow(k as u32), "flat product of twins");
+        prop_assert_eq!(
+            stats.orbit_blocks,
+            Some(orbit_count(k, n)),
+            "{label}^{k}: k twins of {n} blocks fold to C(n+k-1, k)"
+        );
+    }
+}
+
+#[test]
+fn ded_twin_fold_is_bit_identical_across_thread_counts() {
+    let model = bank("facility/ded^3");
+    let reference = FacilityAnalysis::with_options(&model, options(1)).unwrap();
+    let orbit = reference.orbit_availability(usize::MAX).unwrap();
+    assert_eq!(orbit.orbit_bound, orbit_count(3, 96), "C(98, 3)");
+    assert_eq!(orbit.orbits_explored, orbit.orbit_bound);
+    assert!((orbit.total_mass - 1.0).abs() < 1e-9);
+    let product_form = reference.steady_state_availability().unwrap();
+    assert!((orbit.availability - product_form).abs() <= 1e-12);
+
+    for threads in [2usize, 4, 8] {
+        let analysis = FacilityAnalysis::with_options(&model, options(threads)).unwrap();
+        let again = analysis.orbit_availability(usize::MAX).unwrap();
+        assert_eq!(
+            again.availability.to_bits(),
+            orbit.availability.to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(again.orbits_explored, orbit.orbits_explored);
+        assert_eq!(
+            analysis.steady_state_availability().unwrap().to_bits(),
+            product_form.to_bits(),
+            "{threads} threads"
+        );
+    }
+}
