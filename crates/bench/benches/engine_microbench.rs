@@ -1,12 +1,29 @@
 //! Micro-benchmarks of the numerical engine underneath the case study:
 //! Fox–Glynn weights, transient analysis, bounded reachability, steady-state
-//! solves and Monte-Carlo simulation throughput.
+//! solves, SpMV kernels (blocked vs unblocked CSR, Kronecker-sum apply) and
+//! Monte-Carlo simulation throughput.
 
-use arcade_core::CompiledModel;
+use arcade_core::{CompiledModel, FacilityAnalysis};
 use arcade_sim::{SimulationOptions, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
-use ctmc::{FoxGlynn, SteadyStateMethod, SteadyStateSolver, TransientSolver};
+use ctmc::{
+    ExecOptions, FoxGlynn, LinearOperator, SteadyStateMethod, SteadyStateSolver, TransientSolver,
+};
 use watertreatment::{facility, strategies, Line};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts two vectors are bit-identical — every SpMV gate below proves its
+/// thread-count determinism contract before any timing runs.
+fn assert_bit_identical(reference: &[f64], candidate: &[f64], what: &str) {
+    assert_eq!(reference.len(), candidate.len(), "{what}: length");
+    for (index, (a, b)) in reference.iter().zip(candidate.iter()).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{what}: component {index} differs ({a} vs {b})"
+        );
+    }
+}
 
 fn engine_benchmarks(c: &mut Criterion) {
     let model = facility::line_model(Line::Line2, &strategies::frf(1)).unwrap();
@@ -42,6 +59,75 @@ fn engine_benchmarks(c: &mut Criterion) {
         let rates = flat.chain().rate_matrix();
         b.iter(|| rates.transpose().num_entries())
     });
+
+    // SpMV gates. Determinism first: the blocked kernel and every sharded
+    // thread count must reproduce the plain serial scatter bit for bit.
+    {
+        let rates = flat.chain().rate_matrix();
+        let n = rates.num_rows();
+        let x: Vec<f64> = (0..n).map(|s| 1.0 / (1.0 + s as f64)).collect();
+        let mut reference = vec![0.0; n];
+        rates.left_multiply(&x, &mut reference).unwrap();
+        let mut blocked = vec![0.0; n];
+        rates.left_multiply_blocked(&x, &mut blocked).unwrap();
+        assert_bit_identical(&reference, &blocked, "blocked left multiply");
+        let mut right_reference = vec![0.0; n];
+        rates.right_multiply(&x, &mut right_reference).unwrap();
+        for threads in THREAD_COUNTS {
+            let exec = ExecOptions::with_threads(threads);
+            let mut sharded = vec![0.0; n];
+            rates.left_multiply_exec(&x, &mut sharded, &exec).unwrap();
+            assert_bit_identical(&reference, &sharded, "sharded left multiply");
+            let mut right_sharded = vec![0.0; n];
+            rates
+                .right_multiply_exec(&x, &mut right_sharded, &exec)
+                .unwrap();
+            assert_bit_identical(&right_reference, &right_sharded, "sharded right multiply");
+        }
+
+        group.bench_function("spmv_left_unblocked_line2_frf1_flat", |b| {
+            let mut y = vec![0.0; n];
+            b.iter(|| rates.left_multiply(&x, &mut y).unwrap())
+        });
+        group.bench_function("spmv_left_blocked_line2_frf1_flat", |b| {
+            let mut y = vec![0.0; n];
+            b.iter(|| rates.left_multiply_blocked(&x, &mut y).unwrap())
+        });
+        group.bench_function("spmv_right_line2_frf1_flat", |b| {
+            let mut y = vec![0.0; n];
+            b.iter(|| rates.right_multiply(&x, &mut y).unwrap())
+        });
+    }
+
+    // Kronecker-sum apply on the FRF-1 × FRF-1 facility product
+    // (449 × 257 = 115,393 joint states), matrix-free: the operator is the
+    // joint generator that the steady-state tiers apply without ever
+    // materialising it.
+    {
+        let facility_model =
+            facility::facility_model(&strategies::frf(1), &strategies::frf(1)).unwrap();
+        let analysis = FacilityAnalysis::new(&facility_model).unwrap();
+        let product = analysis.quotient_product().unwrap();
+        let operator = product.operator();
+        let n = operator.num_rows();
+        let x: Vec<f64> = (0..n).map(|s| 1.0 / (1.0 + s as f64)).collect();
+        let serial = ExecOptions::serial();
+        let mut reference = vec![0.0; n];
+        operator
+            .left_multiply_exec(&x, &mut reference, &serial)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let mut sharded = vec![0.0; n];
+            operator
+                .left_multiply_exec(&x, &mut sharded, &ExecOptions::with_threads(threads))
+                .unwrap();
+            assert_bit_identical(&reference, &sharded, "Kronecker-sum apply");
+        }
+        group.bench_function("kronecker_sum_apply_frf1_frf1", |b| {
+            let mut y = vec![0.0; n];
+            b.iter(|| operator.left_multiply_exec(&x, &mut y, &serial).unwrap())
+        });
+    }
     group.bench_function("bounded_reachability_line2_frf1", |b| {
         let goal = compiled.service_at_least_mask(1.0);
         let safe = vec![true; chain.num_states()];

@@ -45,8 +45,8 @@ use arcade_lumping::{lump, InitialPartition, ProductOrbit, QuotientProduct};
 use arcade_symmetry::chain::group_identical_chains;
 use arcade_symmetry::orbit::{for_each_multiset, FactorClasses};
 use ctmc::{
-    Ctmc, ExecOptions, OperatorTransientSolver, RewardStructure, SteadyStateSolver,
-    TransientOptions,
+    Ctmc, CtmcError, ExecOptions, OperatorSteadyStateMethod, OperatorSteadyStateSolver,
+    OperatorTransientSolver, RewardStructure, SteadyStateSolver, TransientOptions,
 };
 
 use crate::composer::{CompiledModel, ComposerOptions, StateSpaceStats};
@@ -627,6 +627,13 @@ pub struct JointAvailability {
     /// Number of states of the chain the solver actually ran on: the orbit
     /// quotient under factor symmetry, the full product otherwise.
     pub solved_states: usize,
+    /// Name of the solver tier that produced the vector:
+    /// `"gs-materialised"` for the materialised Gauss–Seidel path,
+    /// `"krylov-operator"` / `"jacobi-operator"` for the matrix-free path.
+    pub solver_tier: String,
+    /// Iterations (matrix sweeps for the materialised path, operator applies
+    /// for the matrix-free path) the solver spent.
+    pub iterations: usize,
 }
 
 /// Result of the **orbit-enumeration tier**: facility availability computed
@@ -1153,10 +1160,10 @@ impl<'a> FacilityAnalysis<'a> {
             Some(orbit) => orbit.aggregate_distribution(&cache.product, &guess),
             None => guess,
         };
-        let pi = SteadyStateSolver::new(cache.quotient.chain())
+        let (pi, iterations) = SteadyStateSolver::new(cache.quotient.chain())
             .exec(exec)
             .initial_guess(guess)
-            .solve()?;
+            .solve_counted()?;
         let joint_pi = match &cache.orbit {
             Some(orbit) => orbit.expand_distribution(&cache.product, &pi),
             None => pi.clone(),
@@ -1169,6 +1176,71 @@ impl<'a> FacilityAnalysis<'a> {
             joint_states: cache.product.num_states(),
             joint_transitions: cache.product.num_transitions(),
             solved_states: cache.quotient.num_states(),
+            solver_tier: "gs-materialised".to_string(),
+            iterations,
+        })
+    }
+
+    /// Facility availability from the genuine joint chain **without ever
+    /// materialising it**: the Kronecker-sum operator of the quotient product
+    /// is handed to [`OperatorSteadyStateSolver`], warm started from the
+    /// product form (which, the groups being independent, is already
+    /// stationary — the solve is then a certified fixed-point confirmation
+    /// that converges in a handful of applies). Krylov runs first; if the
+    /// restarted iteration stalls the solver falls back to damped Jacobi,
+    /// whose sweeps on the uniformised chain always contract. The returned
+    /// vector is certified by the same matrix-free balance residual as the
+    /// materialised path, and the any-line-operational mass is summed over
+    /// per-group masks expanded on the fly — no joint matrix, no joint state
+    /// enumeration beyond the mask vectors.
+    ///
+    /// Memory: the solver holds a handful of product-length vectors (the
+    /// Krylov basis, bounded by the restart length) instead of the product's
+    /// transition matrix, so this tier reaches products whose materialised
+    /// form would not fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-construction and solver errors.
+    pub fn matrix_free_steady_state_availability(&self) -> Result<JointAvailability, ArcadeError> {
+        let exec = self.exec();
+        let product = self.quotient_product()?;
+        let guess = product.product_distribution(self.group_stationaries()?)?;
+        let any_up = self.joint_any_line_operational(&product)?;
+        let operator = product.operator();
+        let exits = product.exit_rates();
+        let krylov = OperatorSteadyStateSolver::new(&operator, exits.clone())?
+            .method(OperatorSteadyStateMethod::Krylov)
+            .exec(exec)
+            .initial_guess(guess.clone())
+            .solve_counted();
+        let (joint_pi, iterations, tier) = match krylov {
+            Ok((pi, applies)) => (pi, applies, OperatorSteadyStateMethod::Krylov.tier_name()),
+            Err(CtmcError::NotConverged { .. }) => {
+                let (pi, applies) = OperatorSteadyStateSolver::new(&operator, exits)?
+                    .method(OperatorSteadyStateMethod::Jacobi)
+                    .exec(exec)
+                    .initial_guess(guess)
+                    .solve_counted()?;
+                (pi, applies, OperatorSteadyStateMethod::Jacobi.tier_name())
+            }
+            Err(other) => return Err(other.into()),
+        };
+        let residual = product.balance_residual(&joint_pi, &exec)?;
+        let availability = joint_pi
+            .iter()
+            .zip(any_up.iter())
+            .filter(|(_, &up)| up)
+            .map(|(p, _)| p)
+            .sum();
+        Ok(JointAvailability {
+            availability,
+            residual,
+            joint_states: product.num_states(),
+            joint_transitions: product.num_transitions(),
+            solved_states: product.num_states(),
+            solver_tier: tier.to_string(),
+            iterations,
         })
     }
 
@@ -1643,6 +1715,29 @@ mod tests {
         assert_eq!(joint.joint_states, 4);
         assert!((joint.availability - product_form).abs() <= 1e-9);
         assert!(joint.residual < 1e-9, "residual {}", joint.residual);
+        assert_eq!(joint.solver_tier, "gs-materialised");
+    }
+
+    #[test]
+    fn matrix_free_path_matches_the_materialised_joint_solve() {
+        let facility = independent_facility();
+        let analysis = FacilityAnalysis::new(&facility).unwrap();
+        let materialised = analysis.joint_steady_state_availability().unwrap();
+        let operator = analysis.matrix_free_steady_state_availability().unwrap();
+        assert!(
+            (operator.availability - materialised.availability).abs() <= 1e-10,
+            "{} vs {}",
+            operator.availability,
+            materialised.availability
+        );
+        assert!(operator.residual < 1e-9, "residual {}", operator.residual);
+        assert_eq!(operator.joint_states, materialised.joint_states);
+        // The operator path never reduces: it solves the full product.
+        assert_eq!(operator.solved_states, operator.joint_states);
+        assert_eq!(operator.solver_tier, "krylov-operator");
+        // Warm started from the (here exactly stationary) product form, the
+        // Krylov solve certifies the fixed point in a handful of applies.
+        assert!(operator.iterations >= 1);
     }
 
     #[test]

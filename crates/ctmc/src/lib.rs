@@ -44,6 +44,7 @@ pub mod exec;
 pub mod foxglynn;
 pub mod graph;
 pub mod markov;
+pub mod operator_steady_state;
 pub mod ops;
 pub mod rewards;
 pub mod sparse;
@@ -56,6 +57,7 @@ pub use exec::ExecOptions;
 pub use foxglynn::FoxGlynn;
 pub use graph::{bottom_sccs, reachable_from, strongly_connected_components};
 pub use markov::{Ctmc, CtmcBuilder, StateIndex};
+pub use operator_steady_state::{OperatorSteadyStateMethod, OperatorSteadyStateSolver};
 pub use ops::LinearOperator;
 pub use rewards::{RewardSolver, RewardStructure};
 pub use sparse::{SparseMatrix, SparseMatrixBuilder};

@@ -10,6 +10,16 @@ use serde::{Deserialize, Serialize};
 use crate::error::CtmcError;
 use crate::exec::ExecOptions;
 
+/// Column-tile width of the cache-blocked scatter kernel.
+///
+/// `x * A` scatters into the output vector at the column indices of each row,
+/// which for a large matrix walks the whole output between consecutive rows.
+/// Restricting the scatter to one tile of this many columns at a time keeps
+/// the active output slice (32 KiB of `f64`) resident in L1 while every row
+/// streams past. Accumulation order per output column is unchanged —
+/// increasing row order — so blocking never changes a single bit.
+pub const SPMV_TILE_COLS: usize = 4096;
+
 /// A single non-zero entry of a sparse matrix, used when iterating rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry {
@@ -137,6 +147,96 @@ impl SparseMatrix {
         Ok(())
     }
 
+    /// Computes `y = x * A` with the cache-blocked scatter kernel.
+    ///
+    /// Bit-identical to [`SparseMatrix::left_multiply`] for every input: the
+    /// kernel tiles the output columns ([`SPMV_TILE_COLS`] at a time) and
+    /// streams all rows through each tile with monotone per-row cursors, so
+    /// each output column still accumulates its contributions in increasing
+    /// row order. Worth it once the output no longer fits in L1; for small
+    /// matrices prefer the plain kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same dimension checks as [`SparseMatrix::left_multiply`].
+    pub fn left_multiply_blocked(&self, x: &[f64], y: &mut [f64]) -> Result<(), CtmcError> {
+        if x.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: x.len(),
+            });
+        }
+        if y.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: y.len(),
+            });
+        }
+        self.scatter_columns(x, y, 0, false);
+        Ok(())
+    }
+
+    /// Scatter kernel shared by the blocked serial path and the column shards
+    /// of the exec paths: fills `shard` (output columns
+    /// `c0 .. c0 + shard.len()`) with the matching slice of `x * A`,
+    /// tile by tile so the active output stays cache-resident.
+    ///
+    /// Every row's slice inside the shard's column range is located with one
+    /// binary search up front; after that the per-row cursors only ever
+    /// advance, so tiling costs O(rows) per tile on top of the entries
+    /// actually scattered. Per output column the accumulation order is
+    /// increasing row order — exactly the serial kernel — for any `c0`,
+    /// shard width or tile width.
+    ///
+    /// When `track_delta` is set the kernel also returns
+    /// `max |shard[j] - x[c0 + j]|`, folded tile by tile while the freshly
+    /// written slice is still hot (callers guarantee a square matrix). The
+    /// per-element differences are taken from bit-identical values and merged
+    /// with `f64::max`, which is order-independent, so the returned norm is
+    /// the same for every shard and tile layout.
+    fn scatter_columns(&self, x: &[f64], shard: &mut [f64], c0: usize, track_delta: bool) -> f64 {
+        shard.iter_mut().for_each(|v| *v = 0.0);
+        let c1 = c0 + shard.len();
+        // Per-row cursor into the entries of the row at column >= the current
+        // tile start; rows are sorted by column so one search suffices.
+        let mut cursor: Vec<usize> = (0..self.num_rows)
+            .map(|row| {
+                let start = self.row_offsets[row];
+                let end = self.row_offsets[row + 1];
+                start + self.cols[start..end].partition_point(|&c| c < c0)
+            })
+            .collect();
+        let mut delta = 0.0f64;
+        let mut t0 = c0;
+        while t0 < c1 {
+            let t1 = (t0 + SPMV_TILE_COLS).min(c1);
+            for (row, &xi) in x.iter().enumerate() {
+                let mut idx = cursor[row];
+                let end = self.row_offsets[row + 1];
+                if xi == 0.0 {
+                    // Matches the serial kernel's skip; the cursor still has
+                    // to move past this tile.
+                    while idx < end && self.cols[idx] < t1 {
+                        idx += 1;
+                    }
+                } else {
+                    while idx < end && self.cols[idx] < t1 {
+                        shard[self.cols[idx] - c0] += xi * self.values[idx];
+                        idx += 1;
+                    }
+                }
+                cursor[row] = idx;
+            }
+            if track_delta {
+                for (out, xi) in shard[t0 - c0..t1 - c0].iter().zip(x[t0..t1].iter()) {
+                    delta = delta.max((out - xi).abs());
+                }
+            }
+            t0 = t1;
+        }
+        delta
+    }
+
     /// Computes `y = A * x` (matrix times column-vector) and stores the result in `y`.
     ///
     /// # Errors
@@ -187,6 +287,9 @@ impl SparseMatrix {
     ) -> Result<(), CtmcError> {
         let workers = exec.workers_for(self.num_entries()).min(self.num_cols);
         if workers <= 1 {
+            if self.num_cols > SPMV_TILE_COLS {
+                return self.left_multiply_blocked(x, y);
+            }
             return self.left_multiply(x, y);
         }
         if x.len() != self.num_rows {
@@ -205,26 +308,74 @@ impl SparseMatrix {
         std::thread::scope(|scope| {
             for (i, shard) in y.chunks_mut(chunk).enumerate() {
                 let c0 = i * chunk;
-                let c1 = c0 + shard.len();
                 scope.spawn(move || {
-                    shard.iter_mut().for_each(|v| *v = 0.0);
-                    for (row, &xi) in x.iter().enumerate() {
-                        if xi == 0.0 {
-                            continue;
-                        }
-                        let (cols, values) = self.row(row);
-                        // Rows are sorted by column, so the slice belonging to
-                        // this shard's column range is contiguous.
-                        let lo = cols.partition_point(|&c| c < c0);
-                        let hi = lo + cols[lo..].partition_point(|&c| c < c1);
-                        for (c, v) in cols[lo..hi].iter().zip(values[lo..hi].iter()) {
-                            shard[*c - c0] += xi * v;
-                        }
-                    }
+                    self.scatter_columns(x, shard, c0, false);
                 });
             }
         });
         Ok(())
+    }
+
+    /// Computes `y = x * A` and returns `max_c |y[c] - x[c]|` in the same
+    /// sweep, sharded across the workers of `exec`.
+    ///
+    /// This is the one-pass kernel behind the iterative stationary solvers:
+    /// the successive-iterate delta is folded per column tile while the
+    /// freshly scattered slice is still cache-hot, instead of re-walking the
+    /// two vectors after the multiply. `y` is bit-identical to
+    /// [`SparseMatrix::left_multiply`] and the returned norm is bit-identical
+    /// for every thread count (per-shard partial maxima merge with
+    /// `f64::max`, which is order-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::DimensionMismatch`] if the matrix is not square
+    /// (the delta pairs output column `c` with input row `c`), or on the same
+    /// length checks as [`SparseMatrix::left_multiply`].
+    pub fn left_multiply_delta_exec(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        exec: &ExecOptions,
+    ) -> Result<f64, CtmcError> {
+        if self.num_rows != self.num_cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: self.num_cols,
+            });
+        }
+        if x.len() != self.num_rows {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_rows,
+                actual: x.len(),
+            });
+        }
+        if y.len() != self.num_cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_cols,
+                actual: y.len(),
+            });
+        }
+        let workers = exec.workers_for(self.num_entries()).min(self.num_cols);
+        if workers <= 1 {
+            return Ok(self.scatter_columns(x, y, 0, true));
+        }
+        let chunk = crate::exec::chunk_len(self.num_cols, workers);
+        let delta = std::thread::scope(|scope| {
+            let handles: Vec<_> = y
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, shard)| {
+                    let c0 = i * chunk;
+                    scope.spawn(move || self.scatter_columns(x, shard, c0, true))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter shard panicked"))
+                .fold(0.0f64, f64::max)
+        });
+        Ok(delta)
     }
 
     /// Computes `y = A * x` sharded across the workers of `exec`.
@@ -655,6 +806,57 @@ mod tests {
             assert_eq!(t.get(c, r), v);
         }
         assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn blocked_left_multiply_is_bit_identical_across_tiles() {
+        // Wide enough that the blocked kernel runs several column tiles.
+        let cols = SPMV_TILE_COLS * 3 + 123;
+        let m = large_random_matrix(500, cols, 1234);
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.29).sin()).collect();
+        let mut reference = vec![0.0; cols];
+        m.left_multiply(&x, &mut reference).unwrap();
+        let mut blocked = vec![f64::NAN; cols];
+        m.left_multiply_blocked(&x, &mut blocked).unwrap();
+        assert_eq!(blocked, reference);
+        // The exec path routes serial large multiplies through the blocked
+        // kernel and shards wide ones over it; all stay bit-identical.
+        for threads in [1usize, 2, 3, 4, 8] {
+            let exec = ExecOptions::with_threads(threads);
+            let mut y = vec![f64::NAN; cols];
+            m.left_multiply_exec(&x, &mut y, &exec).unwrap();
+            assert_eq!(y, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fused_delta_matches_the_two_pass_computation() {
+        let n = SPMV_TILE_COLS + 700;
+        let m = large_random_matrix(n, n, 77);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos() + 1.1).collect();
+        let mut reference = vec![0.0; n];
+        m.left_multiply(&x, &mut reference).unwrap();
+        let expected_delta = reference
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let exec = ExecOptions::with_threads(threads);
+            let mut y = vec![f64::NAN; n];
+            let delta = m.left_multiply_delta_exec(&x, &mut y, &exec).unwrap();
+            assert_eq!(y, reference, "{threads} threads");
+            assert_eq!(delta, expected_delta, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fused_delta_requires_a_square_matrix() {
+        let m = large_random_matrix(128, 96, 5);
+        let mut y = vec![0.0; 96];
+        assert!(m
+            .left_multiply_delta_exec(&vec![0.0; 128], &mut y, &ExecOptions::serial())
+            .is_err());
     }
 
     #[test]

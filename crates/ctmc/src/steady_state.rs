@@ -383,6 +383,16 @@ impl<'a> SteadyStateSolver<'a> {
     }
 
     /// Power iteration on the uniformised DTMC `P = I + Q / q`.
+    ///
+    /// Each iteration is a single matrix pass: the successive-iterate norm is
+    /// folded into the sharded multiply (per-shard partial maxima merged with
+    /// `f64::max`, so it is bit-identical for every thread count — see
+    /// [`SparseMatrix::left_multiply_delta_exec`]) instead of re-walking the
+    /// two iterate vectors afterwards. The delta is measured before the
+    /// normalisation step; `P` is stochastic, so the iterate's mass is
+    /// already `1` up to rounding and the stopping criterion is unchanged at
+    /// tolerance scale. The damped-Jacobi sweep ([`jacobi_sweep`]) has always
+    /// folded its norm into the sweep the same way.
     fn power(&self, rates: &SparseMatrix, start: Vec<f64>) -> Result<(Vec<f64>, usize), CtmcError> {
         let m = rates.num_rows();
         let exit: Vec<f64> = rates.row_sums();
@@ -406,14 +416,9 @@ impl<'a> SteadyStateSolver<'a> {
         let mut pi = start;
         let mut next = vec![0.0; m];
         for iteration in 0..self.max_iterations {
-            p.left_multiply_exec(&pi, &mut next, &self.exec)?;
-            normalize(&mut next);
-            let max_delta = pi
-                .iter()
-                .zip(next.iter())
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let max_delta = p.left_multiply_delta_exec(&pi, &mut next, &self.exec)?;
             std::mem::swap(&mut pi, &mut next);
+            normalize(&mut pi);
             if max_delta < self.tolerance {
                 return Ok((pi, iteration + 1));
             }
@@ -709,7 +714,7 @@ mod tests {
                 .exec(ExecOptions::serial())
                 .solve()
                 .unwrap();
-            for threads in [2usize, 4] {
+            for threads in [1usize, 2, 4, 8] {
                 let parallel = SteadyStateSolver::new(&chain)
                     .method(method)
                     .tolerance(1e-6)

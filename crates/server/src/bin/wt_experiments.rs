@@ -397,10 +397,12 @@ fn run_kline(
         println!("== Facility k-line reduction ladder: flat → product → orbit ==");
         println!("{}", experiments::format_kline_reduction(&rows));
         println!(
-            "Tiers: joint-solve materialises the orbit fold of the quotient product;\n\
-             orbit-enumeration walks the sorted multisets lazily under the product\n\
-             measure (the flat k-product is never materialised); product-form reports\n\
-             counts and 1 - prod P(line down) only.\n"
+            "Tiers: joint-solve runs the matrix-free Krylov solver on the Kronecker-sum\n\
+             operator by default (ARCADE_JOINT_SOLVER=materialise restores the legacy\n\
+             materialised Gauss-Seidel path on the orbit fold); orbit-enumeration walks\n\
+             the sorted multisets lazily under the product measure (the flat k-product\n\
+             is never materialised); product-form reports counts and\n\
+             1 - prod P(line down) only.\n"
         );
     }
     Ok(())
@@ -680,6 +682,9 @@ fn facility_table_json(rows: &[TableFacilityRow]) -> Json {
                     ("difference", Json::Number(row.difference)),
                     ("joint_blocks", Json::from(row.joint_blocks)),
                     ("solved_blocks", Json::from(row.solved_blocks)),
+                    ("residual", Json::Number(row.residual)),
+                    ("solver_tier", Json::from(row.solver_tier.as_str())),
+                    ("iterations", Json::from(row.iterations)),
                 ])
             })
             .collect(),
@@ -703,6 +708,11 @@ fn kline_json(rows: &[KLineReductionRow]) -> Json {
                     ("joint_availability", opt_number(row.joint_availability)),
                     ("certificate", opt_number(row.certificate)),
                     ("tier", Json::from(row.tier.as_str())),
+                    (
+                        "solver",
+                        row.solver.as_deref().map_or(Json::Null, Json::from),
+                    ),
+                    ("iterations", opt_count(row.iterations)),
                 ])
             })
             .collect(),

@@ -164,6 +164,9 @@ impl AnalysisService {
             ),
             ("iterations", Json::from(solve.iterations)),
             ("warm_started", Json::Bool(solve.warm)),
+            // The daemon always solves the cached materialised quotient; the
+            // matrix-free tiers live in the facility experiments.
+            ("solver_tier", Json::from("gs-materialised")),
         ]))
     }
 
@@ -286,6 +289,7 @@ impl AnalysisService {
             entry.set_stationary(Arc::clone(&pi));
             let warm = donor.is_some();
             self.stats.stationary_solve(warm, iterations);
+            self.stats.tier_solve("gs-materialised");
             Ok(StationarySolve {
                 pi,
                 iterations,
@@ -352,6 +356,11 @@ mod tests {
         let served = payload.get("availability").unwrap().as_f64().unwrap();
         assert_eq!(served.to_bits(), reference.to_bits());
         assert!(!payload.get("warm_started").unwrap().as_bool().unwrap());
+        assert_eq!(
+            payload.get("solver_tier").unwrap().as_str(),
+            Some("gs-materialised")
+        );
+        assert_eq!(service.stats().gs_materialised_solves, 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct ServiceStats {
     warm_iterations: AtomicU64,
     transient_passes: AtomicU64,
     coalesced_queries: AtomicU64,
+    gs_materialised_solves: AtomicU64,
+    jacobi_operator_solves: AtomicU64,
+    krylov_operator_solves: AtomicU64,
 }
 
 impl ServiceStats {
@@ -54,6 +57,19 @@ impl ServiceStats {
         }
     }
 
+    /// Records which solver tier a stationary solve actually ran
+    /// (`gs-materialised`, `jacobi-operator` or `krylov-operator`; other
+    /// names are ignored so future tiers never panic an old daemon).
+    pub(crate) fn tier_solve(&self, tier: &str) {
+        match tier {
+            "gs-materialised" => &self.gs_materialised_solves,
+            "jacobi-operator" => &self.jacobi_operator_solves,
+            "krylov-operator" => &self.krylov_operator_solves,
+            _ => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn transient_pass(&self) {
         self.transient_passes.fetch_add(1, Ordering::Relaxed);
     }
@@ -76,6 +92,9 @@ impl ServiceStats {
             transient_passes: self.transient_passes.load(Ordering::Relaxed),
             coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
             evictions: 0,
+            gs_materialised_solves: self.gs_materialised_solves.load(Ordering::Relaxed),
+            jacobi_operator_solves: self.jacobi_operator_solves.load(Ordering::Relaxed),
+            krylov_operator_solves: self.krylov_operator_solves.load(Ordering::Relaxed),
         }
     }
 }
@@ -110,6 +129,12 @@ pub struct StatsSnapshot {
     /// unbounded cache). Maintained by the cache itself and merged into the
     /// snapshot by the service.
     pub evictions: u64,
+    /// Stationary solves served by the materialised Gauss–Seidel tier.
+    pub gs_materialised_solves: u64,
+    /// Stationary solves served by the matrix-free damped-Jacobi tier.
+    pub jacobi_operator_solves: u64,
+    /// Stationary solves served by the matrix-free Krylov (GMRES) tier.
+    pub krylov_operator_solves: u64,
 }
 
 impl StatsSnapshot {
@@ -139,6 +164,18 @@ impl StatsSnapshot {
             ("transient_passes", Json::from(self.transient_passes)),
             ("coalesced_queries", Json::from(self.coalesced_queries)),
             ("evictions", Json::from(self.evictions)),
+            (
+                "gs_materialised_solves",
+                Json::from(self.gs_materialised_solves),
+            ),
+            (
+                "jacobi_operator_solves",
+                Json::from(self.jacobi_operator_solves),
+            ),
+            (
+                "krylov_operator_solves",
+                Json::from(self.krylov_operator_solves),
+            ),
         ])
     }
 
@@ -164,6 +201,9 @@ impl StatsSnapshot {
             transient_passes: field("transient_passes"),
             coalesced_queries: field("coalesced_queries"),
             evictions: field("evictions"),
+            gs_materialised_solves: field("gs_materialised_solves"),
+            jacobi_operator_solves: field("jacobi_operator_solves"),
+            krylov_operator_solves: field("krylov_operator_solves"),
         })
     }
 }
@@ -181,6 +221,11 @@ mod tests {
         stats.cache_hit();
         stats.stationary_solve(false, 100);
         stats.stationary_solve(true, 7);
+        stats.tier_solve("gs-materialised");
+        stats.tier_solve("krylov-operator");
+        stats.tier_solve("krylov-operator");
+        stats.tier_solve("jacobi-operator");
+        stats.tier_solve("some-future-tier");
         stats.transient_pass();
         stats.coalesced();
         let snap = stats.snapshot();
@@ -193,6 +238,9 @@ mod tests {
         assert_eq!(snap.mean_warm_iterations(), Some(7.0));
         assert_eq!(snap.transient_passes, 1);
         assert_eq!(snap.coalesced_queries, 1);
+        assert_eq!(snap.gs_materialised_solves, 1);
+        assert_eq!(snap.krylov_operator_solves, 2);
+        assert_eq!(snap.jacobi_operator_solves, 1);
     }
 
     #[test]
@@ -209,6 +257,9 @@ mod tests {
             transient_passes: 4,
             coalesced_queries: 5,
             evictions: 2,
+            gs_materialised_solves: 3,
+            jacobi_operator_solves: 1,
+            krylov_operator_solves: 6,
         };
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);

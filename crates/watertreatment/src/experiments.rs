@@ -9,7 +9,7 @@
 
 use arcade_core::{
     Analysis, ArcadeError, CompiledModel, ComposerOptions, ExecOptions, FacilityAnalysis,
-    LumpingMode, Series,
+    JointAvailability, LumpingMode, Series,
 };
 use ctmc::exec;
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,15 @@ pub struct TableFacilityRow {
     pub solved_blocks: usize,
     /// Matrix-free balance residual certifying the joint stationary vector.
     pub residual: f64,
+    /// The solver engine that produced the joint column: `krylov-operator` /
+    /// `jacobi-operator` (matrix-free, the default) or `gs-materialised`
+    /// (`ARCADE_JOINT_SOLVER=materialise`).
+    #[serde(default)]
+    pub solver_tier: String,
+    /// Iterations of the joint solve (operator applies for the matrix-free
+    /// engines, sweeps for Gauss–Seidel).
+    #[serde(default)]
+    pub iterations: usize,
 }
 
 /// One row of the symmetry-reduction report (`wt-experiments facility
@@ -145,12 +154,73 @@ pub struct KLineReductionRow {
     /// Which tier evaluated the row: `joint-solve`, `orbit-enumeration` or
     /// `product-form`.
     pub tier: String,
+    /// The solver engine the joint-solve tier actually ran:
+    /// `krylov-operator` / `jacobi-operator` (matrix-free, the default) or
+    /// `gs-materialised` (`ARCADE_JOINT_SOLVER=materialise`); `None` outside
+    /// the joint-solve tier.
+    #[serde(default)]
+    pub solver: Option<String>,
+    /// Iterations the joint solve spent — operator applies for the
+    /// matrix-free engines, sweeps for Gauss–Seidel; `None` outside the
+    /// joint-solve tier.
+    #[serde(default)]
+    pub iterations: Option<usize>,
 }
 
 /// Largest orbit bound the enumeration tier of the k-sweep walks
 /// (`facility/ded^4` needs 3,764,376 visits and fits; `ded^8` at
 /// `C(103, 8) ≈ 3.2 × 10¹¹` falls back to the counts-only product form).
 pub const ORBIT_ENUMERATION_CAP: usize = 8_000_000;
+
+/// Largest per-line quotient product the **matrix-free** joint-solve tier
+/// accepts. The operator solver holds a handful of product-length vectors
+/// instead of the product's transition matrix, so its ceiling sits well above
+/// [`ModelSpec::MAX_MATERIALISED_PRODUCT`] (1.5M): everything up to 8M joint
+/// states is solved exactly on the Kronecker-sum operator without
+/// materialising a single joint transition.
+pub const MAX_OPERATOR_PRODUCT: usize = 8_000_000;
+
+/// Which engine the joint-solve tier runs (`ARCADE_JOINT_SOLVER`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JointSolverMode {
+    /// Matrix-free: hand the Kronecker-sum operator to the Krylov solver
+    /// (damped-Jacobi fallback), never materialising the joint chain. The
+    /// default; the tier cutoff is [`MAX_OPERATOR_PRODUCT`].
+    #[default]
+    Operator,
+    /// Legacy path: materialise the joint chain (the orbit fold under factor
+    /// symmetry) and Gauss–Seidel it; cutoff
+    /// [`ModelSpec::MAX_MATERIALISED_PRODUCT`].
+    Materialise,
+}
+
+impl JointSolverMode {
+    /// Reads `ARCADE_JOINT_SOLVER`: `materialise` (or `materialize` / `gs`)
+    /// forces the legacy materialised path, anything else — including unset —
+    /// selects the matrix-free operator path.
+    pub fn from_env() -> Self {
+        match std::env::var("ARCADE_JOINT_SOLVER").as_deref() {
+            Ok("materialise") | Ok("materialize") | Ok("gs") => Self::Materialise,
+            _ => Self::Operator,
+        }
+    }
+
+    /// The largest joint product this mode's joint-solve tier accepts.
+    pub fn joint_cutoff(self) -> usize {
+        match self {
+            Self::Operator => MAX_OPERATOR_PRODUCT,
+            Self::Materialise => ModelSpec::MAX_MATERIALISED_PRODUCT,
+        }
+    }
+
+    /// Solves the joint availability of one analysis with this mode's engine.
+    fn solve_joint(self, analysis: &FacilityAnalysis) -> Result<JointAvailability, ArcadeError> {
+        match self {
+            Self::Operator => analysis.matrix_free_steady_state_availability(),
+            Self::Materialise => analysis.joint_steady_state_availability(),
+        }
+    }
+}
 
 /// A reproduced figure: a set of named `(time, value)` series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -781,24 +851,29 @@ pub fn table_facility_with(
     pairs: &[(StrategySpec, StrategySpec)],
     exec: ExecOptions,
 ) -> Result<Vec<TableFacilityRow>, ArcadeError> {
+    let mode = JointSolverMode::from_env();
     exec::map_ordered(pairs, exec, |pair| {
         let model = facility::facility_model(&pair.0, &pair.1)?;
         let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
-        facility_table_row(pair_label(pair), &analysis)
+        facility_table_row(pair_label(pair), &analysis, mode)
     })
     .into_iter()
     .collect()
 }
 
-/// The facility table row of one already-compiled analysis.
+/// The facility table row of one already-compiled analysis. The joint column
+/// comes from the engine `mode` selects: the matrix-free operator solve (the
+/// default — the `449 × 257` FRF-1 × FRF-1 product is never materialised) or
+/// the legacy materialised Gauss–Seidel path.
 fn facility_table_row(
     label: String,
     analysis: &FacilityAnalysis,
+    mode: JointSolverMode,
 ) -> Result<TableFacilityRow, ArcadeError> {
     let line1 = analysis.line_availability(0)?;
     let line2 = analysis.line_availability(1)?;
     let combined = analysis.steady_state_availability()?;
-    let joint = analysis.joint_steady_state_availability()?;
+    let joint = mode.solve_joint(analysis)?;
     Ok(TableFacilityRow {
         pair: label,
         line1,
@@ -809,6 +884,8 @@ fn facility_table_row(
         joint_blocks: joint.joint_states,
         solved_blocks: joint.solved_states,
         residual: joint.residual,
+        solver_tier: joint.solver_tier,
+        iterations: joint.iterations,
     })
 }
 
@@ -845,11 +922,12 @@ pub fn facility_suite_with(
     exec: ExecOptions,
 ) -> Result<FacilitySuite, ArcadeError> {
     type PairOutput = (TableFacilityRow, (Series, Series), (Series, Series));
+    let mode = JointSolverMode::from_env();
     let outputs: Vec<PairOutput> = exec::map_ordered(pairs, exec, |pair| {
         let model = facility::facility_model(&pair.0, &pair.1)?;
         let analysis = FacilityAnalysis::with_options(&model, composer_options(exec))?;
         let label = pair_label(pair);
-        let row = facility_table_row(label.clone(), &analysis)?;
+        let row = facility_table_row(label.clone(), &analysis, mode)?;
         let recovery = (
             Series {
                 label: label.clone(),
@@ -996,10 +1074,13 @@ pub fn format_symmetry_reduction(rows: &[SymmetryReductionRow]) -> String {
 /// materialisation), then evaluates the availability on the cheapest exact
 /// tier that fits:
 ///
-/// 1. **joint-solve** — the per-line quotient product is at most
-///    [`ModelSpec::MAX_MATERIALISED_PRODUCT`] states: materialise the joint
-///    chain (the orbit fold under factor symmetry) and solve it, certified by
-///    the Kronecker-sum balance residual;
+/// 1. **joint-solve** — the per-line quotient product is at most the
+///    [`JointSolverMode`]'s cutoff: solve the genuine joint chain. The
+///    default engine is the matrix-free operator solver (cutoff
+///    [`MAX_OPERATOR_PRODUCT`], nothing materialised);
+///    `ARCADE_JOINT_SOLVER=materialise` restores the legacy materialised
+///    Gauss–Seidel path (cutoff [`ModelSpec::MAX_MATERIALISED_PRODUCT`]).
+///    Either engine is certified by the Kronecker-sum balance residual;
 /// 2. **orbit-enumeration** — the product is too large but the orbit bound is
 ///    at most [`ORBIT_ENUMERATION_CAP`]: walk the canonical multisets lazily
 ///    under the stationary product measure
@@ -1014,6 +1095,20 @@ pub fn format_symmetry_reduction(rows: &[SymmetryReductionRow]) -> String {
 pub fn kline_reduction_row(
     spec: &ModelSpec,
     exec: ExecOptions,
+) -> Result<KLineReductionRow, ArcadeError> {
+    kline_reduction_row_with(spec, exec, JointSolverMode::from_env())
+}
+
+/// [`kline_reduction_row`] with an explicit joint-solve engine instead of the
+/// `ARCADE_JOINT_SOLVER` environment selection.
+///
+/// # Errors
+///
+/// Rejects single-line specs; propagates composition and solver errors.
+pub fn kline_reduction_row_with(
+    spec: &ModelSpec,
+    exec: ExecOptions,
+    mode: JointSolverMode,
 ) -> Result<KLineReductionRow, ArcadeError> {
     let model = spec
         .facility_model()?
@@ -1037,14 +1132,16 @@ pub fn kline_reduction_row(
     }
 
     let availability = analysis.steady_state_availability()?;
-    let (tier, solved_blocks, joint_availability, certificate) =
-        if stats.joint_blocks <= ModelSpec::MAX_MATERIALISED_PRODUCT {
-            let joint = analysis.joint_steady_state_availability()?;
+    let (tier, solved_blocks, joint_availability, certificate, solver, iterations) =
+        if stats.joint_blocks <= mode.joint_cutoff() {
+            let joint = mode.solve_joint(&analysis)?;
             (
                 "joint-solve",
                 Some(joint.solved_states),
                 Some(joint.availability),
                 Some(joint.residual),
+                Some(joint.solver_tier),
+                Some(joint.iterations),
             )
         } else if stats
             .orbit_blocks
@@ -1056,9 +1153,11 @@ pub fn kline_reduction_row(
                 Some(orbit.orbits_explored),
                 Some(orbit.availability),
                 Some((orbit.total_mass - 1.0).abs()),
+                None,
+                None,
             )
         } else {
-            ("product-form", None, None, None)
+            ("product-form", None, None, None, None, None)
         };
     Ok(KLineReductionRow {
         k: model.lines().len(),
@@ -1071,6 +1170,8 @@ pub fn kline_reduction_row(
         joint_availability,
         certificate,
         tier: tier.to_string(),
+        solver,
+        iterations,
     })
 }
 
@@ -1084,9 +1185,12 @@ pub fn kline_reduction_table(
     specs: &[ModelSpec],
     exec: ExecOptions,
 ) -> Result<Vec<KLineReductionRow>, ArcadeError> {
-    exec::map_ordered(specs, exec, |spec| kline_reduction_row(spec, exec))
-        .into_iter()
-        .collect()
+    let mode = JointSolverMode::from_env();
+    exec::map_ordered(specs, exec, |spec| {
+        kline_reduction_row_with(spec, exec, mode)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders k-line reduction rows as a plain-text table.
@@ -1101,13 +1205,16 @@ pub fn format_kline_reduction(rows: &[KLineReductionRow]) -> String {
     let opt_count = |value: Option<usize>| value.map_or("-".to_string(), count);
     let opt_avail = |value: Option<f64>| value.map_or("-".to_string(), |v| format!("{v:.7}"));
     let opt_cert = |value: Option<f64>| value.map_or("-".to_string(), |v| format!("{v:.2e}"));
+    let opt_text =
+        |value: Option<&str>| value.map_or("-".to_string(), std::string::ToString::to_string);
     let mut out = String::from(
         "k  Facility              Flat            Product         Orbit        \
-         Solved       A(product)  A(joint)    Certificate  Tier\n",
+         Solved       A(product)  A(joint)    Certificate  Tier              \
+         Solver           Iters\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:<2} {:<21} {:<15} {:<15} {:<12} {:<12} {:<11.7} {:<11} {:<12} {}\n",
+            "{:<2} {:<21} {:<15} {:<15} {:<12} {:<12} {:<11.7} {:<11} {:<12} {:<17} {:<16} {}\n",
             row.k,
             row.facility,
             count(row.flat_states),
@@ -1118,6 +1225,8 @@ pub fn format_kline_reduction(rows: &[KLineReductionRow]) -> String {
             opt_avail(row.joint_availability),
             opt_cert(row.certificate),
             row.tier,
+            opt_text(row.solver.as_deref()),
+            opt_count(row.iterations),
         ));
     }
     out
@@ -1257,11 +1366,12 @@ pub fn facility_cost_with(
 /// Renders facility table rows as a plain-text table.
 pub fn format_table_facility(rows: &[TableFacilityRow]) -> String {
     let mut out = String::from(
-        "Pair           Line 1      Line 2      A1+A2-A1A2  Joint chain  |diff|     Blocks      Solved      Residual\n",
+        "Pair           Line 1      Line 2      A1+A2-A1A2  Joint chain  |diff|     \
+         Blocks      Solved      Residual  Solver           Iters\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:<14} {:<11.7} {:<11.7} {:<11.7} {:<12.7} {:<10.2e} {:<11} {:<11} {:.2e}\n",
+            "{:<14} {:<11.7} {:<11.7} {:<11.7} {:<12.7} {:<10.2e} {:<11} {:<11} {:<9.2e} {:<16} {}\n",
             row.pair,
             row.line1,
             row.line2,
@@ -1271,6 +1381,8 @@ pub fn format_table_facility(rows: &[TableFacilityRow]) -> String {
             row.joint_blocks,
             row.solved_blocks,
             row.residual,
+            row.solver_tier,
+            row.iterations,
         ));
     }
     out
@@ -1544,22 +1656,41 @@ mod tests {
     }
 
     #[test]
-    fn kline_ladder_solves_the_twin_pair_on_the_orbit_fold() {
+    fn kline_ladder_solves_the_twin_pair_on_both_engines() {
         // `facility/ded^2`: flat 512² = 262,144, product 96² = 9,216, orbit
-        // C(97, 2) = 4,656 — small enough for the joint-solve tier, which
-        // must run on the fold and agree with the product form.
+        // C(97, 2) = 4,656 — small enough for the joint-solve tier on either
+        // engine. The matrix-free default solves the full 9,216-state product
+        // on the Kronecker-sum operator; the materialised engine runs on the
+        // orbit fold. Both must agree with the product form.
         let spec = ModelSpec::parse("facility/ded^2").unwrap();
-        let row = kline_reduction_row(&spec, ExecOptions::default()).unwrap();
+        let row =
+            kline_reduction_row_with(&spec, ExecOptions::default(), JointSolverMode::Operator)
+                .unwrap();
         assert_eq!(row.k, 2);
         assert_eq!(row.facility, "facility/ded^2");
         assert_eq!(row.flat_states, 512 * 512);
         assert_eq!(row.product_blocks, 96 * 96);
         assert_eq!(row.orbit_blocks, Some(96 * 97 / 2));
         assert_eq!(row.tier, "joint-solve");
-        assert_eq!(row.solved_blocks, Some(96 * 97 / 2));
+        assert_eq!(row.solved_blocks, Some(96 * 96));
+        assert_eq!(row.solver.as_deref(), Some("krylov-operator"));
+        assert!(row.iterations.unwrap() >= 1);
         let joint = row.joint_availability.unwrap();
         assert!((joint - row.availability).abs() <= 1e-9);
         assert!(row.certificate.unwrap() < 1e-9);
+
+        let materialised =
+            kline_reduction_row_with(&spec, ExecOptions::default(), JointSolverMode::Materialise)
+                .unwrap();
+        assert_eq!(materialised.tier, "joint-solve");
+        assert_eq!(materialised.solved_blocks, Some(96 * 97 / 2));
+        assert_eq!(materialised.solver.as_deref(), Some("gs-materialised"));
+        assert!(
+            (materialised.joint_availability.unwrap() - joint).abs() <= 1e-10,
+            "operator and materialised engines must agree: {} vs {}",
+            joint,
+            materialised.joint_availability.unwrap()
+        );
     }
 
     #[test]

@@ -172,6 +172,44 @@ fn frf1_pair_product_is_bit_identical_across_thread_counts() {
     assert!((row.combined - 0.9470773).abs() < 5e-4, "{}", row.combined);
 }
 
+/// The matrix-free acceptance pin: for DED × DED and the flagship
+/// FRF-1 × FRF-1 pair (449 × 257 = 115,393 blocks), the operator path —
+/// which never materialises the joint chain — must match the materialised
+/// Gauss–Seidel answer to ≤ 1e-10, carry its balance-residual certificate,
+/// and report the solver tier it actually ran.
+#[test]
+fn operator_path_matches_the_materialised_joint_solve_for_paper_pairs() {
+    let pairs = [
+        (strategies::dedicated(), strategies::dedicated()),
+        (strategies::frf(1), strategies::frf(1)),
+    ];
+    for (spec1, spec2) in pairs {
+        let model = facility::facility_model(&spec1, &spec2).expect("facility builds");
+        let analysis = FacilityAnalysis::new(&model).expect("facility compiles");
+        // Operator solve first: it must not depend on (or populate) the
+        // materialised joint cache.
+        let operator = analysis.matrix_free_steady_state_availability().unwrap();
+        let materialised = analysis.joint_steady_state_availability().unwrap();
+        let label = format!("{}×{}", spec1.label, spec2.label);
+        assert_eq!(operator.solver_tier, "krylov-operator", "{label}");
+        assert_eq!(materialised.solver_tier, "gs-materialised", "{label}");
+        assert!(operator.iterations >= 1, "{label}");
+        assert_eq!(operator.joint_states, materialised.joint_states, "{label}");
+        assert_eq!(operator.solved_states, operator.joint_states, "{label}");
+        assert!(
+            (operator.availability - materialised.availability).abs() <= 1e-10,
+            "{label}: operator {} vs materialised {}",
+            operator.availability,
+            materialised.availability
+        );
+        assert!(
+            operator.residual < 1e-9,
+            "{label}: residual {}",
+            operator.residual
+        );
+    }
+}
+
 /// Sharing one repair unit across the two lines must break the pure product:
 /// the composition tree collapses to a single jointly-explored group.
 #[test]
