@@ -158,7 +158,7 @@ fn engine_benchmarks(c: &mut Criterion) {
         let options = SimulationOptions {
             replications: 1000,
             seed: 1,
-            threads: 4,
+            ..SimulationOptions::with_threads(4)
         };
         b.iter(|| simulator.reliability(100.0, &options).unwrap())
     });

@@ -18,6 +18,10 @@
 //! wt-experiments facility --k 4 --strategy frf-1
 //! wt-experiments facility --lines ded,ded,frf-1
 //!
+//! wt-experiments simulate line1/frf-1 --replications 2000   # quotient Monte-Carlo
+//! wt-experiments simulate line2/ded --measure cost --disaster disaster-2-mixed \
+//!     --horizon 48 --bias 100 --json
+//!
 //! wt-experiments serve --port 7411          # run the analysis daemon
 //! wt-experiments query --port 7411 availability line1/ded
 //! wt-experiments query --port 7411 survivability line2/ded \
@@ -64,7 +68,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use arcade_core::ExecOptions;
-use arcade_server::{server, AnalysisService, Client, CostKind, Json, Request};
+use arcade_server::{
+    server, AnalysisService, Client, CostKind, Json, Request, Response, SimMeasure,
+};
 use watertreatment::experiments::{
     self, grids, Figure, KLineReductionRow, SymmetryReductionRow, Table1Row, Table2Row,
     TableFacilityRow,
@@ -75,9 +81,12 @@ const USAGE: &str = "usage: wt-experiments [--threads N] [--line I0,I1|all] [--s
      [--json] [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...\n\
      |  wt-experiments facility [--k K0,K1,..] [--strategy S] [--lines S0,S1,..] \
      [--threads N] [--json]\n\
+     |  wt-experiments simulate MODEL [--measure unavailability|ttf|cost] [--disaster D] \
+     [--horizon H] [--replications N] [--seed S] [--bias B] [--alpha A] [--threads N] [--json]\n\
      |  wt-experiments serve [--port N] [--threads N] [--cache-cap N]\n\
      |  wt-experiments query [--port N] \
-     <ping|stats|shutdown|availability MODEL|survivability MODEL DISASTER LEVEL T0,T1,..|\
+     <ping|stats|shutdown|availability MODEL|simulate MODEL|\
+survivability MODEL DISASTER LEVEL T0,T1,..|\
 cost instantaneous|accumulated MODEL DISASTER|- T0,T1,..>";
 
 const DEFAULT_PORT: u16 = 7411;
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("query") => query_main(&args[1..]),
+        Some("simulate") => simulate_main(&args[1..]),
         _ => experiments_main(&args),
     }
 }
@@ -194,6 +204,140 @@ fn query_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `simulate MODEL [--measure M] [--disaster D] [--horizon H]
+/// [--replications N] [--seed S] [--bias B] [--alpha A] [--threads N]
+/// [--json]`: one in-process Monte-Carlo estimate on the model's quotient.
+///
+/// The command drives the same [`AnalysisService::handle`] entry point as the
+/// daemon, so `--json` prints byte-for-byte the payload a daemon `simulate`
+/// query would return (the `json` module's f64 rendering is bit-exact).
+fn simulate_main(args: &[String]) -> ExitCode {
+    let mut model: Option<String> = None;
+    let mut measure = SimMeasure::Unavailability;
+    let mut disaster: Option<String> = None;
+    let mut horizon = 1000.0;
+    let mut replications = 10_000usize;
+    let mut seed = arcade_server::protocol::DEFAULT_SIM_SEED;
+    let mut bias = 1.0;
+    let mut alpha = arcade_server::protocol::DEFAULT_SIM_ALPHA;
+    let mut exec = ExecOptions::default();
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        macro_rules! numeric_flag {
+            ($flag:literal, $target:ident, $ty:ty) => {
+                if let Some(result) = flag_value(arg, $flag, &mut iter) {
+                    match result.and_then(|value| {
+                        value
+                            .parse::<$ty>()
+                            .map_err(|_| format!(concat!("invalid ", $flag, " value `{}`"), value))
+                    }) {
+                        Ok(value) => $target = value,
+                        Err(message) => return usage_error(&message),
+                    }
+                    continue;
+                }
+            };
+        }
+        numeric_flag!("--horizon", horizon, f64);
+        numeric_flag!("--replications", replications, usize);
+        numeric_flag!("--seed", seed, u64);
+        numeric_flag!("--bias", bias, f64);
+        numeric_flag!("--alpha", alpha, f64);
+        if let Some(result) = flag_value(arg, "--measure", &mut iter) {
+            match result.and_then(|value| {
+                SimMeasure::parse(&value.to_lowercase())
+                    .ok_or_else(|| format!("invalid --measure value `{value}`"))
+            }) {
+                Ok(value) => measure = value,
+                Err(message) => return usage_error(&message),
+            }
+        } else if let Some(result) = flag_value(arg, "--disaster", &mut iter) {
+            match result {
+                Ok(value) => disaster = Some(value),
+                Err(message) => return usage_error(&message),
+            }
+        } else if let Some(result) = flag_value(arg, "--threads", &mut iter) {
+            match result.and_then(|value| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --threads value `{value}`"))
+            }) {
+                Ok(threads) => exec = ExecOptions::with_threads(threads),
+                Err(message) => return usage_error(&message),
+            }
+        } else if arg == "--json" {
+            json = true;
+        } else if arg.starts_with('-') {
+            return usage_error(&format!("unknown simulate option `{arg}`"));
+        } else if model.is_none() {
+            model = Some(arg.clone());
+        } else {
+            return usage_error(&format!("unexpected simulate argument `{arg}`"));
+        }
+    }
+    let Some(model) = model else {
+        return usage_error("simulate needs a MODEL spec (e.g. line1/frf-1)");
+    };
+
+    let service = AnalysisService::new(exec);
+    let request = Request::Simulate {
+        model,
+        measure,
+        disaster,
+        horizon,
+        replications,
+        seed,
+        bias,
+        alpha,
+    };
+    let payload = match service.handle(&request) {
+        Response::Ok(payload) => payload,
+        Response::Err(err) => {
+            eprintln!("simulate failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{payload}");
+        return ExitCode::SUCCESS;
+    }
+    let text = |name: &str| payload.get(name).map(|v| v.to_string()).unwrap_or_default();
+    println!(
+        "== Simulate {} on {} ({} blocks / {} source states) ==",
+        text("measure"),
+        text("model"),
+        text("blocks"),
+        text("source_states"),
+    );
+    println!(
+        "replications {}  seed {}  horizon {} h  bias {}",
+        text("replications"),
+        text("seed"),
+        text("horizon"),
+        text("bias"),
+    );
+    println!("mean {} ± {}", text("mean"), text("half_width"));
+    if payload.get("var").is_some() {
+        println!(
+            "VaR[{}] {} ± {}   CVaR {} ± {}",
+            text("alpha"),
+            text("var"),
+            text("var_half_width"),
+            text("cvar"),
+            text("cvar_half_width"),
+        );
+    }
+    if payload.get("lr_mean").is_some() {
+        println!(
+            "likelihood-ratio certificate: mean {} ± {} (must cover 1)",
+            text("lr_mean"),
+            text("lr_half_width"),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_query(words: &[&String]) -> Result<Request, String> {
     let times_of = |word: &str| -> Result<Vec<f64>, String> {
         word.split(',')
@@ -227,6 +371,19 @@ fn parse_query(words: &[&String]) -> Result<Request, String> {
             kind: CostKind::parse(kind).ok_or_else(|| format!("invalid cost kind `{kind}`"))?,
             disaster: (disaster.as_str() != "-").then(|| disaster.to_string()),
             times: times_of(times)?,
+        }),
+        // `simulate MODEL` asks the daemon for the default Monte-Carlo
+        // estimate (unavailability, protocol-default horizon/replications);
+        // the in-process `simulate` subcommand exposes every knob.
+        [op, model] if op.as_str() == "simulate" => Ok(Request::Simulate {
+            model: model.to_string(),
+            measure: SimMeasure::Unavailability,
+            disaster: None,
+            horizon: 1000.0,
+            replications: 10_000,
+            seed: arcade_server::protocol::DEFAULT_SIM_SEED,
+            bias: 1.0,
+            alpha: arcade_server::protocol::DEFAULT_SIM_ALPHA,
         }),
         _ => Err("unrecognised query".to_string()),
     }

@@ -38,7 +38,7 @@ pub use cache::{CacheEntry, QuotientCache};
 pub use client::{AvailabilityReply, Client, ClientError};
 pub use coalesce::{Coalescer, Role};
 pub use json::Json;
-pub use protocol::{CostKind, Request, Response};
+pub use protocol::{CostKind, Request, Response, SimMeasure};
 pub use server::{serve, spawn, ServerHandle};
 pub use service::AnalysisService;
 pub use stats::{ServiceStats, StatsSnapshot};

@@ -50,6 +50,40 @@ impl CostKind {
     }
 }
 
+/// Which measure a simulate query estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimMeasure {
+    /// Fraction of the horizon spent non-operational (interval
+    /// unavailability).
+    Unavailability,
+    /// Time to first failure, capped at the horizon, with lower-tail
+    /// VaR/CVaR.
+    TimeToFailure,
+    /// Cost accumulated over the horizon, with upper-tail VaR/CVaR.
+    Cost,
+}
+
+impl SimMeasure {
+    /// The wire name (`unavailability` / `ttf` / `cost`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SimMeasure::Unavailability => "unavailability",
+            SimMeasure::TimeToFailure => "ttf",
+            SimMeasure::Cost => "cost",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<SimMeasure> {
+        match name {
+            "unavailability" => Some(SimMeasure::Unavailability),
+            "ttf" => Some(SimMeasure::TimeToFailure),
+            "cost" => Some(SimMeasure::Cost),
+            _ => None,
+        }
+    }
+}
+
 /// A decoded request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -82,11 +116,36 @@ pub enum Request {
         /// Time points, in hours.
         times: Vec<f64>,
     },
+    /// Monte-Carlo estimate on the model's quotient (rare-event capable).
+    Simulate {
+        /// Registry model spec.
+        model: String,
+        /// Which measure to estimate.
+        measure: SimMeasure,
+        /// Optional disaster start (cost measure only; `None` = the
+        /// no-disaster start).
+        disaster: Option<String>,
+        /// Simulation horizon in hours.
+        horizon: f64,
+        /// Number of replications.
+        replications: usize,
+        /// Base random seed (replication streams are counter-derived).
+        seed: u64,
+        /// Failure-biasing factor for importance sampling (`1.0` = naive).
+        bias: f64,
+        /// Tail level for VaR/CVaR measures.
+        alpha: f64,
+    },
     /// Service counters snapshot.
     Stats,
     /// Stop the daemon (after acknowledging).
     Shutdown,
 }
+
+/// Default base seed of simulate queries that omit `seed`.
+pub const DEFAULT_SIM_SEED: u64 = 0x5EED;
+/// Default tail level of simulate queries that omit `alpha`.
+pub const DEFAULT_SIM_ALPHA: f64 = 0.95;
 
 impl Request {
     /// Encodes the request as its wire object.
@@ -128,6 +187,32 @@ impl Request {
                     },
                 ),
                 ("times", Json::numbers(times)),
+            ]),
+            Request::Simulate {
+                model,
+                measure,
+                disaster,
+                horizon,
+                replications,
+                seed,
+                bias,
+                alpha,
+            } => Json::object(vec![
+                ("op", Json::from("simulate")),
+                ("model", Json::from(model.as_str())),
+                ("measure", Json::from(measure.wire_name())),
+                (
+                    "disaster",
+                    match disaster {
+                        Some(name) => Json::from(name.as_str()),
+                        None => Json::Null,
+                    },
+                ),
+                ("horizon", Json::Number(*horizon)),
+                ("replications", Json::from(*replications)),
+                ("seed", Json::from(*seed)),
+                ("bias", Json::Number(*bias)),
+                ("alpha", Json::Number(*alpha)),
             ]),
         }
     }
@@ -192,6 +277,46 @@ impl Request {
                     ),
                 },
                 times: times()?,
+            }),
+            "simulate" => Ok(Request::Simulate {
+                model: model(op)?,
+                measure: json
+                    .get("measure")
+                    .and_then(Json::as_str)
+                    .and_then(SimMeasure::parse)
+                    .ok_or("simulate needs `measure`: `unavailability`, `ttf` or `cost`")?,
+                disaster: match json.get("disaster") {
+                    None | Some(Json::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_str()
+                            .ok_or("`disaster` must be a string or null")?
+                            .to_string(),
+                    ),
+                },
+                horizon: json
+                    .get("horizon")
+                    .and_then(Json::as_f64)
+                    .ok_or("simulate needs a numeric `horizon` field")?,
+                replications: json
+                    .get("replications")
+                    .and_then(Json::as_usize)
+                    .ok_or("simulate needs an integer `replications` field")?,
+                seed: match json.get("seed") {
+                    None | Some(Json::Null) => DEFAULT_SIM_SEED,
+                    Some(value) => value
+                        .as_usize()
+                        .ok_or("`seed` must be a non-negative integer")?
+                        as u64,
+                },
+                bias: match json.get("bias") {
+                    None | Some(Json::Null) => 1.0,
+                    Some(value) => value.as_f64().ok_or("`bias` must be a number")?,
+                },
+                alpha: match json.get("alpha") {
+                    None | Some(Json::Null) => DEFAULT_SIM_ALPHA,
+                    Some(value) => value.as_f64().ok_or("`alpha` must be a number")?,
+                },
             }),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -291,6 +416,26 @@ mod tests {
                 disaster: None,
                 times: vec![1.0],
             },
+            Request::Simulate {
+                model: "line1/frf-1".into(),
+                measure: SimMeasure::Unavailability,
+                disaster: None,
+                horizon: 1000.0,
+                replications: 2000,
+                seed: 0x5EED,
+                bias: 1.0,
+                alpha: 0.95,
+            },
+            Request::Simulate {
+                model: "line2/ded".into(),
+                measure: SimMeasure::Cost,
+                disaster: Some("disaster-2-mixed".into()),
+                horizon: 48.0,
+                replications: 500,
+                seed: 7,
+                bias: 250.0,
+                alpha: 0.99,
+            },
         ];
         for request in requests {
             let line = request.to_json().to_string();
@@ -311,6 +456,26 @@ mod tests {
     }
 
     #[test]
+    fn simulate_defaults_apply_when_fields_are_omitted() {
+        let line = "{\"op\":\"simulate\",\"model\":\"line1/ded\",\
+                    \"measure\":\"ttf\",\"horizon\":100,\"replications\":64}";
+        let request = Request::parse_line(line).unwrap();
+        assert_eq!(
+            request,
+            Request::Simulate {
+                model: "line1/ded".into(),
+                measure: SimMeasure::TimeToFailure,
+                disaster: None,
+                horizon: 100.0,
+                replications: 64,
+                seed: DEFAULT_SIM_SEED,
+                bias: 1.0,
+                alpha: DEFAULT_SIM_ALPHA,
+            }
+        );
+    }
+
+    #[test]
     fn malformed_requests_are_rejected() {
         for line in [
             "{}",
@@ -318,6 +483,9 @@ mod tests {
             "{\"op\":\"availability\"}",
             "{\"op\":\"survivability\",\"model\":\"line1/ded\"}",
             "{\"op\":\"cost\",\"model\":\"line1/ded\",\"kind\":\"x\",\"times\":[]}",
+            "{\"op\":\"simulate\",\"model\":\"line1/ded\"}",
+            "{\"op\":\"simulate\",\"model\":\"line1/ded\",\"measure\":\"nope\",\
+             \"horizon\":10,\"replications\":100}",
             "not json",
         ] {
             assert!(Request::parse_line(line).is_err(), "`{line}` must fail");

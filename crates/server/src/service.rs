@@ -22,12 +22,13 @@
 use std::sync::Arc;
 
 use arcade_core::{ArcadeError, ComposerOptions, ExecOptions};
+use arcade_sim::{QuotientSimulator, SimulationOptions};
 use watertreatment::ModelSpec;
 
 use crate::cache::{CacheEntry, QuotientCache};
 use crate::coalesce::{Coalescer, Role};
 use crate::json::Json;
-use crate::protocol::{CostKind, Request, Response};
+use crate::protocol::{CostKind, Request, Response, SimMeasure};
 use crate::stats::{ServiceStats, StatsSnapshot};
 
 /// The result of one stationary solve, shared by every coalesced waiter.
@@ -137,6 +138,25 @@ impl AnalysisService {
                 disaster,
                 times,
             } => self.cost(model, *kind, disaster.as_deref(), times),
+            Request::Simulate {
+                model,
+                measure,
+                disaster,
+                horizon,
+                replications,
+                seed,
+                bias,
+                alpha,
+            } => self.simulate(
+                model,
+                *measure,
+                disaster.as_deref(),
+                *horizon,
+                *replications,
+                *seed,
+                *bias,
+                *alpha,
+            ),
         };
         match result {
             Ok(payload) => Response::Ok(payload),
@@ -233,6 +253,85 @@ impl AnalysisService {
             ),
             ("curve", Json::curve(&curve)),
         ]))
+    }
+
+    /// Monte-Carlo estimate of `measure` on the cached quotient of `model`
+    /// (quotient-resident trajectories, O(1) alias jumps, optional failure
+    /// biasing). The replication batches ride the service's worker pool;
+    /// results are bit-identical for any thread count and depend only on
+    /// `(seed, replications)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec, compilation, lookup and parameter errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate(
+        &self,
+        model: &str,
+        measure: SimMeasure,
+        disaster: Option<&str>,
+        horizon: f64,
+        replications: usize,
+        seed: u64,
+        bias: f64,
+        alpha: f64,
+    ) -> Result<Json, ArcadeError> {
+        if disaster.is_some() && measure != SimMeasure::Cost {
+            return Err(ArcadeError::UnsupportedMeasure {
+                reason: format!(
+                    "a disaster start applies to the `cost` measure only, not `{}`",
+                    measure.wire_name()
+                ),
+            });
+        }
+        let entry = self.entry(model)?;
+        let quotient = entry.quotient();
+        let simulator = QuotientSimulator::new(quotient);
+        let options = SimulationOptions {
+            replications,
+            seed,
+            exec: self.exec,
+            bias,
+            ..Default::default()
+        };
+        let report = match measure {
+            SimMeasure::Unavailability => simulator.unavailability(horizon, &options)?,
+            SimMeasure::TimeToFailure => simulator.time_to_failure(horizon, alpha, &options)?,
+            SimMeasure::Cost => simulator.accumulated_cost(disaster, horizon, alpha, &options)?,
+        };
+        self.stats.simulate_run(replications);
+
+        let mut fields = vec![
+            ("model", Json::from(ModelSpec::parse(model)?.canonical())),
+            ("measure", Json::from(measure.wire_name())),
+            (
+                "disaster",
+                match disaster {
+                    Some(name) => Json::from(name),
+                    None => Json::Null,
+                },
+            ),
+            ("horizon", Json::Number(horizon)),
+            ("replications", Json::from(replications)),
+            ("seed", Json::from(seed)),
+            ("bias", Json::Number(bias)),
+            ("blocks", Json::from(quotient.num_states())),
+            ("source_states", Json::from(quotient.source_states())),
+            ("mean", Json::Number(report.estimate.mean)),
+            ("half_width", Json::Number(report.estimate.half_width)),
+        ];
+        if let Some(tail) = report.tail {
+            fields.push(("alpha", Json::Number(tail.alpha)));
+            fields.push(("var", Json::Number(tail.var)));
+            fields.push(("var_half_width", Json::Number(tail.var_half_width)));
+            fields.push(("cvar", Json::Number(tail.cvar)));
+            fields.push(("cvar_half_width", Json::Number(tail.cvar_half_width)));
+        }
+        if let Some(lr) = report.lr_mean {
+            fields.push(("lr_mean", Json::Number(lr.mean)));
+            fields.push(("lr_half_width", Json::Number(lr.half_width)));
+        }
+        Ok(Json::object(fields))
     }
 
     /// Resolves a model spec to its cached (or freshly compiled and
@@ -488,6 +587,96 @@ mod tests {
         };
         let snapshot = StatsSnapshot::from_json(&wire).unwrap();
         assert_eq!(snapshot.evictions, capped.cache().evictions());
+    }
+
+    #[test]
+    fn simulate_serves_bit_identical_json_with_counters() {
+        let service = service();
+        let request = Request::Simulate {
+            model: "line2/ded".into(),
+            measure: SimMeasure::Unavailability,
+            disaster: None,
+            horizon: 500.0,
+            replications: 400,
+            seed: 11,
+            bias: 1.0,
+            alpha: 0.95,
+        };
+        let payload = match service.handle(&request) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("simulate failed: {err}"),
+        };
+        // Repeats are bit-identical (same seed, same replication streams).
+        assert_eq!(service.handle(&request), Response::Ok(payload.clone()));
+        // The payload survives a print/parse round trip exactly — the json
+        // module's f64 formatting is bit-exact.
+        let reparsed = Json::parse(&payload.to_string()).unwrap();
+        assert_eq!(reparsed, payload);
+        let mean = payload.get("mean").unwrap().as_f64().unwrap();
+        assert!((0.0..1.0).contains(&mean), "{payload}");
+        assert!(payload.get("lr_mean").is_none(), "unbiased run has no LR");
+        let stats = service.stats();
+        assert_eq!(stats.simulate_runs, 2);
+        assert_eq!(stats.simulate_replications, 800);
+    }
+
+    #[test]
+    fn simulate_reports_tails_and_the_lr_certificate() {
+        let service = service();
+        let request = Request::Simulate {
+            model: "line2/ded".into(),
+            measure: SimMeasure::Cost,
+            disaster: Some(watertreatment::facility::DISASTER_LINE2_MIXED.into()),
+            horizon: 24.0,
+            replications: 300,
+            seed: 3,
+            bias: 2.0,
+            alpha: 0.9,
+        };
+        let payload = match service.handle(&request) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("simulate failed: {err}"),
+        };
+        for field in [
+            "var",
+            "cvar",
+            "var_half_width",
+            "cvar_half_width",
+            "lr_mean",
+        ] {
+            assert!(payload.get(field).is_some(), "missing `{field}`: {payload}");
+        }
+        let var = payload.get("var").unwrap().as_f64().unwrap();
+        let cvar = payload.get("cvar").unwrap().as_f64().unwrap();
+        assert!(cvar >= var, "{payload}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_parameters_cleanly() {
+        let service = service();
+        let base = |measure: SimMeasure, disaster: Option<String>, bias: f64| Request::Simulate {
+            model: "line2/ded".into(),
+            measure,
+            disaster,
+            horizon: 10.0,
+            replications: 10,
+            seed: 1,
+            bias,
+            alpha: 0.95,
+        };
+        // A disaster start only applies to the cost measure.
+        let bad = base(
+            SimMeasure::Unavailability,
+            Some(DISASTER_ALL_PUMPS.into()),
+            1.0,
+        );
+        assert!(matches!(service.handle(&bad), Response::Err(_)));
+        // Non-positive bias is rejected by the engine.
+        let bad = base(SimMeasure::Unavailability, None, 0.0);
+        assert!(matches!(service.handle(&bad), Response::Err(_)));
+        // Unknown disasters fail cleanly.
+        let bad = base(SimMeasure::Cost, Some("no-such-disaster".into()), 1.0);
+        assert!(matches!(service.handle(&bad), Response::Err(_)));
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub struct ServiceStats {
     gs_materialised_solves: AtomicU64,
     jacobi_operator_solves: AtomicU64,
     krylov_operator_solves: AtomicU64,
+    simulate_runs: AtomicU64,
+    simulate_replications: AtomicU64,
 }
 
 impl ServiceStats {
@@ -70,6 +72,13 @@ impl ServiceStats {
         .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one simulate query and the replications it ran.
+    pub(crate) fn simulate_run(&self, replications: usize) {
+        self.simulate_runs.fetch_add(1, Ordering::Relaxed);
+        self.simulate_replications
+            .fetch_add(replications as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn transient_pass(&self) {
         self.transient_passes.fetch_add(1, Ordering::Relaxed);
     }
@@ -95,6 +104,8 @@ impl ServiceStats {
             gs_materialised_solves: self.gs_materialised_solves.load(Ordering::Relaxed),
             jacobi_operator_solves: self.jacobi_operator_solves.load(Ordering::Relaxed),
             krylov_operator_solves: self.krylov_operator_solves.load(Ordering::Relaxed),
+            simulate_runs: self.simulate_runs.load(Ordering::Relaxed),
+            simulate_replications: self.simulate_replications.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +146,10 @@ pub struct StatsSnapshot {
     pub jacobi_operator_solves: u64,
     /// Stationary solves served by the matrix-free Krylov (GMRES) tier.
     pub krylov_operator_solves: u64,
+    /// Monte-Carlo simulate queries served.
+    pub simulate_runs: u64,
+    /// Total replications run across all simulate queries.
+    pub simulate_replications: u64,
 }
 
 impl StatsSnapshot {
@@ -176,6 +191,11 @@ impl StatsSnapshot {
                 "krylov_operator_solves",
                 Json::from(self.krylov_operator_solves),
             ),
+            ("simulate_runs", Json::from(self.simulate_runs)),
+            (
+                "simulate_replications",
+                Json::from(self.simulate_replications),
+            ),
         ])
     }
 
@@ -204,6 +224,8 @@ impl StatsSnapshot {
             gs_materialised_solves: field("gs_materialised_solves"),
             jacobi_operator_solves: field("jacobi_operator_solves"),
             krylov_operator_solves: field("krylov_operator_solves"),
+            simulate_runs: field("simulate_runs"),
+            simulate_replications: field("simulate_replications"),
         })
     }
 }
@@ -226,6 +248,8 @@ mod tests {
         stats.tier_solve("krylov-operator");
         stats.tier_solve("jacobi-operator");
         stats.tier_solve("some-future-tier");
+        stats.simulate_run(2000);
+        stats.simulate_run(500);
         stats.transient_pass();
         stats.coalesced();
         let snap = stats.snapshot();
@@ -241,6 +265,8 @@ mod tests {
         assert_eq!(snap.gs_materialised_solves, 1);
         assert_eq!(snap.krylov_operator_solves, 2);
         assert_eq!(snap.jacobi_operator_solves, 1);
+        assert_eq!(snap.simulate_runs, 2);
+        assert_eq!(snap.simulate_replications, 2500);
     }
 
     #[test]
@@ -260,6 +286,8 @@ mod tests {
             gs_materialised_solves: 3,
             jacobi_operator_solves: 1,
             krylov_operator_solves: 6,
+            simulate_runs: 9,
+            simulate_replications: 18_000,
         };
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);

@@ -1,18 +1,21 @@
 //! # arcade-sim — Monte-Carlo simulation of Arcade models
 //!
-//! A discrete-event simulator that executes the same failure/repair/spare
-//! semantics as the analytic state-space composer of [`arcade_core`], but by
-//! sampling trajectories instead of enumerating states. It serves two purposes:
+//! Two trajectory engines over the same model semantics:
 //!
-//! * **cross-validation** — the simulator is an independent implementation of
-//!   the Arcade semantics, so agreement between simulated and model-checked
-//!   measures (availability, reliability, survivability, costs) validates both
-//!   the composer and the numerical engines;
-//! * **scalability** — trajectories can be sampled from models whose state
-//!   space would be too large to enumerate.
+//! * the **flat engine** ([`Trajectory`]/[`Simulator`]) replays the
+//!   component-level failure/repair/spare semantics independently of the
+//!   analytic composer — agreement between simulated and model-checked
+//!   measures validates both implementations;
+//! * the **quotient-resident engine** ([`QuotientSimulator`]) samples the
+//!   lumped [`arcade_core::CompiledQuotient`] the exact solvers use, with
+//!   O(1) Walker/Vose alias jumps, deterministic parallel replication
+//!   batches, and importance sampling via failure biasing for rare-event
+//!   measures — unavailability, time-to-failure and accumulated-cost
+//!   VaR/CVaR with confidence intervals.
 //!
-//! Replications run in parallel worker threads (via `crossbeam`) and return
-//! mean estimates with 95% confidence half-widths.
+//! Replications ride the workspace-wide [`ctmc::ExecOptions`] worker pool in
+//! fixed-size batches with counter-based per-replication random streams, so
+//! every estimate is bit-identical for any thread count.
 //!
 //! ```no_run
 //! use arcade_sim::{SimulationOptions, Simulator};
@@ -35,11 +38,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod engine;
+pub mod quotient;
+pub mod rng;
 pub mod stats;
 
 mod simulator;
 
+pub use alias::AliasTable;
 pub use engine::Trajectory;
+pub use quotient::{MeasureReport, QuotientSimulator, Walk};
 pub use simulator::{SimulationOptions, Simulator};
-pub use stats::Estimate;
+pub use stats::{Estimate, RunningStats, Tail, TailEstimate};

@@ -1,0 +1,748 @@
+//! Quotient-resident Monte-Carlo: trajectories on the lumped solver chain.
+//!
+//! The flat engine in [`crate::engine`] replays the component-level Arcade
+//! semantics — useful as an independent cross-check, but every jump pays the
+//! full product state space (Line 1 FRF-1: 111,809 states). This module runs
+//! trajectories directly on the [`CompiledQuotient`] the exact solvers use
+//! (the same model: 449 blocks), with three ingredients:
+//!
+//! * **O(1) jumps** — per-block Walker/Vose [`AliasTable`]s over the
+//!   quotient's outgoing rates replace the linear CDF scan;
+//! * **deterministic parallel batches** — replications ride
+//!   [`ctmc::ExecOptions`] in fixed-size batches with counter-based
+//!   per-replication streams ([`crate::rng`]), and batch statistics merge in
+//!   replication order, so results are bit-identical for any thread count;
+//! * **importance sampling** — failure biasing inflates the rates of
+//!   failure-class transitions by [`SimulationOptions::bias`] and accumulates
+//!   the trajectory likelihood ratio, so rare disaster-and-repair paths are
+//!   actually sampled; estimators reweight by the ratio and stay unbiased
+//!   (the `lr_mean ≈ 1` certificate in [`MeasureReport`] witnesses it).
+//!
+//! A quotient transition counts as *failure-class* when it makes the block
+//! strictly worse: the cost reward rises, the service level drops, or an
+//! operational block becomes non-operational. On the water-treatment models
+//! these are exactly the component-failure moves; repairs travel the other
+//! way and keep their natural rates.
+
+use std::borrow::Cow;
+
+use arcade_core::{ArcadeError, CompiledQuotient};
+use ctmc::exec::map_ordered;
+use rand::rngs::StdRng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::alias::AliasTable;
+use crate::rng::{exp_draw, replication_rng};
+use crate::simulator::SimulationOptions;
+use crate::stats::{Estimate, RunningStats, Tail, TailEstimate};
+
+/// Tolerance for "strictly worse" comparisons in the failure classifier.
+const CLASS_EPS: f64 = 1e-9;
+
+/// A Monte-Carlo measure with its optional tail-risk view and, for
+/// importance-sampled runs, the likelihood-ratio certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasureReport {
+    /// The (likelihood-reweighted) mean estimate with 95% half-width.
+    pub estimate: Estimate,
+    /// VaR/CVaR of the per-replication loss, when the measure has a tail.
+    pub tail: Option<TailEstimate>,
+    /// Mean of the likelihood ratios — present only under biasing, where it
+    /// must be ≈ 1 (its CI containing 1 certifies the reweighting).
+    pub lr_mean: Option<Estimate>,
+}
+
+/// Per-block scalars of the flattened sampler set. 32-byte aligned so one
+/// block never straddles two cache lines.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(32))]
+struct BlockScalars {
+    /// Exit rate under the biased dynamics (equal to the natural exit rate
+    /// when unbiased).
+    exit_bias: f64,
+    /// `1 / exit_bias`, precomputed so the hot loop multiplies instead of
+    /// dividing (zero for absorbing blocks, where it is never used).
+    inv_exit_bias: f64,
+    /// `exit_bias − exit_orig`: the sojourn likelihood-ratio exponent per
+    /// unit time (exactly zero when unbiased).
+    delta_exit: f64,
+    /// First slot of this block's alias row in [`SamplerSet::slots`].
+    row: u32,
+    /// Number of slots in the row (the block's out-degree).
+    len: u32,
+}
+
+/// One packed alias slot: the acceptance threshold plus *both* possible
+/// destinations, so the unbiased jump reads exactly one 16-byte slot.
+#[derive(Debug, Clone, Copy)]
+struct PackedSlot {
+    /// Acceptance threshold of the slot.
+    prob: f64,
+    /// Destination block when the draw accepts the slot.
+    target_accept: u32,
+    /// Destination block when the draw falls through to the alias partner.
+    target_alias: u32,
+}
+
+/// The sampler state for one bias factor, flattened CSR-style: per-block
+/// scalars index into one contiguous slot array, so a jump costs one scalar
+/// read (L1-resident for solver-sized quotients) plus one slot read instead
+/// of chasing per-block heap allocations.
+#[derive(Debug, Clone)]
+struct SamplerSet {
+    blocks: Vec<BlockScalars>,
+    slots: Vec<PackedSlot>,
+    /// Absolute index of each slot's alias partner — only the biased
+    /// likelihood-ratio lookup needs it.
+    alias_index: Vec<u32>,
+    /// `ln(r_orig / r_bias)` per absolute slot; empty when unbiased.
+    log_rate_ratio: Vec<f64>,
+}
+
+/// One trajectory over the quotient, advanced jump by jump. Measure bodies
+/// drive it through [`Walk::step`] and read the block projections.
+pub struct Walk<'a> {
+    set: &'a SamplerSet,
+    operational: &'a [bool],
+    service: &'a [f64],
+    cost: &'a [f64],
+    state: usize,
+    time: f64,
+    log_lr: f64,
+    rng: StdRng,
+}
+
+impl Walk<'_> {
+    /// The current block.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Simulated time so far.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Whether the current block is fully operational.
+    pub fn operational(&self) -> bool {
+        self.operational[self.state]
+    }
+
+    /// Service level of the current block.
+    pub fn service_level(&self) -> f64 {
+        self.service[self.state]
+    }
+
+    /// Cost rate of the current block.
+    pub fn cost_rate(&self) -> f64 {
+        self.cost[self.state]
+    }
+
+    /// The accumulated likelihood ratio `dP_orig/dP_bias` of the path so far
+    /// (exactly 1 for unbiased runs, where the exponent never moves off 0).
+    pub fn weight(&self) -> f64 {
+        if self.log_lr == 0.0 {
+            1.0
+        } else {
+            self.log_lr.exp()
+        }
+    }
+
+    /// Advances by one jump, or to `horizon` if the next jump would overshoot
+    /// (or the block is absorbing). Returns the elapsed time. The sojourn is
+    /// a ziggurat `Exp(1)` draw ([`crate::rng::exp_draw`]) scaled by the
+    /// precomputed inverse exit rate — no logarithm or division on the hot
+    /// path. The likelihood ratio picks up the sojourn factor
+    /// `exp((λ_bias − λ_orig)·τ)` and, on a jump, the transition factor
+    /// `r_orig/r_bias` — including the truncated final sojourn, so the path
+    /// weight is exact for horizon-capped trajectories.
+    #[inline]
+    pub fn step(&mut self, horizon: f64) -> f64 {
+        let b = self.set.blocks[self.state];
+        if b.exit_bias <= 0.0 {
+            // Absorbing under both dynamics (biasing scales rates, it never
+            // creates or removes transitions): sit out the horizon.
+            let elapsed = horizon - self.time;
+            self.time = horizon;
+            return elapsed;
+        }
+        let sojourn = exp_draw(&mut self.rng) * b.inv_exit_bias;
+        let next = self.time + sojourn;
+        if next >= horizon {
+            let elapsed = horizon - self.time;
+            self.log_lr += b.delta_exit * elapsed;
+            self.time = horizon;
+            return elapsed;
+        }
+        self.log_lr += b.delta_exit * sojourn;
+        // The O(1) alias jump from a single 64-bit draw: the high half picks
+        // the slot (Lemire reduction), the low half is the acceptance
+        // fraction.
+        let r = self.rng.next_u64();
+        let k = (((r >> 32) * b.len as u64) >> 32) as u32;
+        let idx = (b.row + k) as usize;
+        let slot = self.set.slots[idx];
+        let frac = (r & 0xFFFF_FFFF) as f64 * (1.0 / 4_294_967_296.0);
+        let accept = frac <= slot.prob;
+        if !self.set.log_rate_ratio.is_empty() {
+            let chosen = if accept {
+                idx
+            } else {
+                self.set.alias_index[idx] as usize
+            };
+            self.log_lr += self.set.log_rate_ratio[chosen];
+        }
+        self.state = if accept {
+            slot.target_accept
+        } else {
+            slot.target_alias
+        } as usize;
+        self.time = next;
+        sojourn
+    }
+}
+
+/// Ordered per-replication outputs plus the streaming statistics merged in
+/// replication order.
+struct ReplicationSet {
+    /// `(loss, likelihood weight)` per replication, in replication order.
+    samples: Vec<(f64, f64)>,
+    /// Streaming stats of the reweighted samples `w·x`.
+    weighted: RunningStats,
+    /// Streaming stats of the weights `w` (the certificate).
+    weights: RunningStats,
+}
+
+/// Monte-Carlo estimator running on the lumped quotient chain.
+#[derive(Debug, Clone)]
+pub struct QuotientSimulator<'a> {
+    quotient: &'a CompiledQuotient,
+    /// Unbiased sampler set, built once at construction.
+    natural: SamplerSet,
+}
+
+impl<'a> QuotientSimulator<'a> {
+    /// Builds the simulator and its unbiased alias tables (O(transitions),
+    /// deterministic: tables follow the chain's CSR order).
+    pub fn new(quotient: &'a CompiledQuotient) -> QuotientSimulator<'a> {
+        let natural = build_samplers(quotient, 1.0);
+        QuotientSimulator { quotient, natural }
+    }
+
+    /// The quotient being simulated.
+    pub fn quotient(&self) -> &CompiledQuotient {
+        self.quotient
+    }
+
+    /// Estimates interval unavailability: the expected fraction of `[0,
+    /// horizon]` spent in non-operational blocks, starting from the initial
+    /// block. For horizons well past mixing this converges to `1 −
+    /// steady-state availability`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive horizons and invalid options.
+    pub fn unavailability(
+        &self,
+        horizon: f64,
+        options: &SimulationOptions,
+    ) -> Result<MeasureReport, ArcadeError> {
+        check_horizon(horizon)?;
+        let start = self.quotient.initial();
+        let set = self.replicate(options, start, false, |walk| {
+            let mut down = 0.0;
+            while walk.time() < horizon {
+                let was_down = !walk.operational();
+                let elapsed = walk.step(horizon);
+                if was_down {
+                    down += elapsed;
+                }
+            }
+            down / horizon
+        })?;
+        Ok(self.report(set, None, options))
+    }
+
+    /// Estimates the time to first failure (entry into a non-operational
+    /// block), capped at `horizon`. The tail view is the *lower* tail: the
+    /// `alpha`-VaR is the time such that failure strikes earlier with
+    /// probability `1 − alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive horizons, `alpha` outside `(0, 1)` and invalid
+    /// options.
+    pub fn time_to_failure(
+        &self,
+        horizon: f64,
+        alpha: f64,
+        options: &SimulationOptions,
+    ) -> Result<MeasureReport, ArcadeError> {
+        check_horizon(horizon)?;
+        check_alpha(alpha)?;
+        let start = self.quotient.initial();
+        let set = self.replicate(options, start, true, |walk| loop {
+            if !walk.operational() {
+                return walk.time();
+            }
+            if walk.time() >= horizon {
+                return horizon;
+            }
+            walk.step(horizon);
+        })?;
+        Ok(self.report(set, Some((alpha, Tail::Lower)), options))
+    }
+
+    /// Estimates the cost accumulated over `[0, horizon]`, optionally
+    /// starting right after a named disaster. The tail view is the *upper*
+    /// tail: cost-VaR/CVaR per the sorted-loss estimator.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown disasters, non-positive horizons, `alpha` outside
+    /// `(0, 1)` and invalid options.
+    pub fn accumulated_cost(
+        &self,
+        disaster: Option<&str>,
+        horizon: f64,
+        alpha: f64,
+        options: &SimulationOptions,
+    ) -> Result<MeasureReport, ArcadeError> {
+        check_horizon(horizon)?;
+        check_alpha(alpha)?;
+        let start = self.quotient.start_for(disaster)?;
+        let set = self.replicate(options, start, true, |walk| {
+            let mut cost = 0.0;
+            while walk.time() < horizon {
+                let rate = walk.cost_rate();
+                let elapsed = walk.step(horizon);
+                cost += rate * elapsed;
+            }
+            cost
+        })?;
+        Ok(self.report(set, Some((alpha, Tail::Upper)), options))
+    }
+
+    /// Estimates survivability: the probability of reaching a service level
+    /// of at least `service_level` within `deadline` hours after `disaster`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown disasters, negative deadlines and invalid options.
+    pub fn survivability(
+        &self,
+        disaster: &str,
+        service_level: f64,
+        deadline: f64,
+        options: &SimulationOptions,
+    ) -> Result<MeasureReport, ArcadeError> {
+        if !(deadline.is_finite() && deadline >= 0.0) {
+            return Err(ArcadeError::InvalidParameter {
+                reason: format!("survivability deadline must be finite and >= 0, got {deadline}"),
+            });
+        }
+        let start = self.quotient.start_for(Some(disaster))?;
+        let set = self.replicate(options, start, false, |walk| loop {
+            if walk.service_level() >= service_level - 1e-12 {
+                return 1.0;
+            }
+            if walk.time() >= deadline {
+                return 0.0;
+            }
+            walk.step(deadline);
+        })?;
+        Ok(self.report(set, None, options))
+    }
+
+    /// The sampler set for a bias factor: the precomputed natural tables when
+    /// unbiased, a freshly built biased set otherwise.
+    fn sampler_set(&self, bias: f64) -> Cow<'_, SamplerSet> {
+        if bias == 1.0 {
+            Cow::Borrowed(&self.natural)
+        } else {
+            Cow::Owned(build_samplers(self.quotient, bias))
+        }
+    }
+
+    /// Runs `options.replications` trajectories from block `start` in batches
+    /// of `options.batch` over the `options.exec` worker pool. Per-batch
+    /// statistics accumulate serially and merge in batch order, so the result
+    /// depends only on `(seed, replications, batch)`. Per-replication losses
+    /// are retained only when `want_tail` asks for them (the tail estimator
+    /// sorts them); weight statistics only under biasing, where the
+    /// certificate needs them.
+    fn replicate<F>(
+        &self,
+        options: &SimulationOptions,
+        start: usize,
+        want_tail: bool,
+        body: F,
+    ) -> Result<ReplicationSet, ArcadeError>
+    where
+        F: Fn(&mut Walk<'_>) -> f64 + Sync,
+    {
+        check_options(options)?;
+        let biased = options.bias != 1.0;
+        let set = self.sampler_set(options.bias);
+        let set: &SamplerSet = &set;
+        let operational = self.quotient.operational_mask();
+        let service = self.quotient.service_levels();
+        let cost = self.quotient.cost_rewards().state_rewards();
+
+        let ranges = batch_ranges(options.replications, options.batch);
+        struct BatchOutput {
+            samples: Vec<(f64, f64)>,
+            weighted: RunningStats,
+            weights: RunningStats,
+        }
+        let outputs = map_ordered(&ranges, options.exec, |range| {
+            let mut samples = Vec::with_capacity(if want_tail { range.len() } else { 0 });
+            let mut weighted = RunningStats::new();
+            let mut weights = RunningStats::new();
+            for replication in range.clone() {
+                let mut walk = Walk {
+                    set,
+                    operational,
+                    service,
+                    cost,
+                    state: start,
+                    time: 0.0,
+                    log_lr: 0.0,
+                    rng: replication_rng(options.seed, replication as u64),
+                };
+                let x = body(&mut walk);
+                let w = walk.weight();
+                weighted.push(w * x);
+                if biased {
+                    weights.push(w);
+                }
+                if want_tail {
+                    samples.push((x, w));
+                }
+            }
+            BatchOutput {
+                samples,
+                weighted,
+                weights,
+            }
+        });
+
+        let mut merged = ReplicationSet {
+            samples: Vec::with_capacity(if want_tail { options.replications } else { 0 }),
+            weighted: RunningStats::new(),
+            weights: RunningStats::new(),
+        };
+        for output in outputs {
+            merged.samples.extend(output.samples);
+            merged.weighted.merge(&output.weighted);
+            merged.weights.merge(&output.weights);
+        }
+        Ok(merged)
+    }
+
+    fn report(
+        &self,
+        set: ReplicationSet,
+        tail: Option<(f64, Tail)>,
+        options: &SimulationOptions,
+    ) -> MeasureReport {
+        MeasureReport {
+            estimate: set.weighted.estimate(),
+            tail: tail.map(|(alpha, t)| TailEstimate::from_weighted_losses(&set.samples, alpha, t)),
+            lr_mean: (options.bias != 1.0).then(|| set.weights.estimate()),
+        }
+    }
+}
+
+/// Splits `0..replications` into consecutive ranges of at most `batch`.
+fn batch_ranges(replications: usize, batch: usize) -> Vec<std::ops::Range<usize>> {
+    let batch = batch.max(1);
+    (0..replications.div_ceil(batch))
+        .map(|b| (b * batch)..((b + 1) * batch).min(replications))
+        .collect()
+}
+
+/// Whether the quotient transition `from → to` belongs to the failure class:
+/// it makes the block strictly worse in at least one projection.
+fn is_failure_transition(
+    from: usize,
+    to: usize,
+    operational: &[bool],
+    service: &[f64],
+    cost: &[f64],
+) -> bool {
+    cost[to] > cost[from] + CLASS_EPS
+        || service[to] < service[from] - CLASS_EPS
+        || (operational[from] && !operational[to])
+}
+
+/// Builds the flattened sampler set for a bias factor. Deterministic: rows
+/// in state order, slots in the chain's CSR column order (each row's alias
+/// structure comes from the deterministic [`AliasTable`] construction).
+fn build_samplers(quotient: &CompiledQuotient, bias: f64) -> SamplerSet {
+    let chain = quotient.chain();
+    let matrix = chain.rate_matrix();
+    let operational = quotient.operational_mask();
+    let service = quotient.service_levels();
+    let cost = quotient.cost_rewards().state_rewards();
+    let biased = bias != 1.0;
+    let mut set = SamplerSet {
+        blocks: Vec::with_capacity(chain.num_states()),
+        slots: Vec::new(),
+        alias_index: Vec::new(),
+        log_rate_ratio: Vec::new(),
+    };
+    for from in 0..chain.num_states() {
+        let (cols, rates) = matrix.row(from);
+        let mut transitions = Vec::with_capacity(cols.len());
+        let mut exit_orig = 0.0;
+        let mut exit_bias = 0.0;
+        for (&to, &rate) in cols.iter().zip(rates) {
+            let factor = if biased && is_failure_transition(from, to, operational, service, cost) {
+                bias
+            } else {
+                1.0
+            };
+            let biased_rate = rate * factor;
+            exit_orig += rate;
+            exit_bias += biased_rate;
+            transitions.push((to, biased_rate));
+            if biased {
+                set.log_rate_ratio.push(-factor.ln());
+            }
+        }
+        let row = set.slots.len() as u32;
+        set.blocks.push(BlockScalars {
+            exit_bias,
+            inv_exit_bias: if exit_bias > 0.0 {
+                1.0 / exit_bias
+            } else {
+                0.0
+            },
+            delta_exit: exit_bias - exit_orig,
+            row,
+            len: transitions.len() as u32,
+        });
+        let table = AliasTable::new(&transitions);
+        for k in 0..table.len() {
+            let partner = table.alias_of(k);
+            set.slots.push(PackedSlot {
+                prob: table.acceptance(k),
+                target_accept: table.target(k) as u32,
+                target_alias: table.target(partner) as u32,
+            });
+            set.alias_index.push(row + partner as u32);
+        }
+    }
+    set
+}
+
+fn check_horizon(horizon: f64) -> Result<(), ArcadeError> {
+    if horizon.is_finite() && horizon > 0.0 {
+        Ok(())
+    } else {
+        Err(ArcadeError::InvalidParameter {
+            reason: format!("simulation horizon must be finite and > 0, got {horizon}"),
+        })
+    }
+}
+
+fn check_alpha(alpha: f64) -> Result<(), ArcadeError> {
+    if alpha > 0.0 && alpha < 1.0 {
+        Ok(())
+    } else {
+        Err(ArcadeError::InvalidParameter {
+            reason: format!("tail level alpha must lie in (0, 1), got {alpha}"),
+        })
+    }
+}
+
+fn check_options(options: &SimulationOptions) -> Result<(), ArcadeError> {
+    if options.batch == 0 {
+        return Err(ArcadeError::InvalidParameter {
+            reason: "simulation batch size must be at least 1".into(),
+        });
+    }
+    if !(options.bias.is_finite() && options.bias > 0.0) {
+        return Err(ArcadeError::InvalidParameter {
+            reason: format!(
+                "failure-biasing factor must be finite and > 0, got {}",
+                options.bias
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcade_core::{
+        ArcadeModel, BasicComponent, ComposerOptions, Disaster, RepairStrategy, RepairUnit,
+    };
+    use ctmc::ExecOptions;
+    use fault_tree::{StructureNode, SystemStructure};
+
+    fn pump_model(mttf: f64) -> ArcadeModel {
+        let structure = SystemStructure::new(StructureNode::component("pump"));
+        ArcadeModel::builder("pump", structure)
+            .component(
+                BasicComponent::from_mttf_mttr("pump", mttf, 1.0)
+                    .unwrap()
+                    .with_failed_cost(3.0),
+            )
+            .repair_unit(
+                RepairUnit::new("ru", RepairStrategy::FirstComeFirstServe, 1)
+                    .unwrap()
+                    .responsible_for(["pump"])
+                    .with_idle_cost(1.0),
+            )
+            .disaster(Disaster::new("down", ["pump"]).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn quotient_of(model: &ArcadeModel) -> CompiledQuotient {
+        CompiledQuotient::of_model(model, ComposerOptions::default()).unwrap()
+    }
+
+    fn options(replications: usize) -> SimulationOptions {
+        SimulationOptions {
+            replications,
+            seed: 42,
+            exec: ExecOptions::with_threads(2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn unavailability_matches_the_two_state_formula() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let report = sim.unavailability(5000.0, &options(400)).unwrap();
+        let expected = 1.0 / 101.0;
+        assert!(
+            report.estimate.contains_with_slack(expected, 0.005),
+            "{report:?}"
+        );
+        assert!(report.lr_mean.is_none());
+    }
+
+    #[test]
+    fn survivability_is_the_repair_cdf() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let report = sim.survivability("down", 1.0, 2.0, &options(4000)).unwrap();
+        let expected = 1.0 - (-2.0f64).exp();
+        assert!(
+            report.estimate.contains_with_slack(expected, 0.03),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn accumulated_cost_reports_an_upper_tail() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let report = sim
+            .accumulated_cost(Some("down"), 1.0, 0.9, &options(2000))
+            .unwrap();
+        // Starting failed with failed-cost 3 and idle-cost 1: the cost over
+        // one hour lies in (1, 3).
+        assert!(
+            report.estimate.mean > 1.0 && report.estimate.mean < 3.0,
+            "{report:?}"
+        );
+        let tail = report.tail.unwrap();
+        assert!(tail.cvar >= tail.var, "{tail:?}");
+        assert!(tail.var >= report.estimate.mean, "{tail:?}");
+    }
+
+    #[test]
+    fn time_to_failure_matches_the_exponential_quantiles() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let report = sim
+            .time_to_failure(100_000.0, 0.95, &options(4000))
+            .unwrap();
+        // TTF ~ Exp(1/100): mean 100; the lower-tail 0.95-VaR is the 5%
+        // quantile, −100·ln(0.95) ≈ 5.13.
+        assert!(
+            report.estimate.contains_with_slack(100.0, 5.0),
+            "{report:?}"
+        );
+        let tail = report.tail.unwrap();
+        assert!((tail.var - 5.13).abs() < 1.5, "{tail:?}");
+        // The risky tail of a TTF is the *short* lifetimes.
+        assert!(tail.cvar <= tail.var, "{tail:?}");
+    }
+
+    #[test]
+    fn biased_runs_stay_unbiased_and_certify_it() {
+        // A genuinely rare failure (mttf 1e5, horizon 10): naive sampling sees
+        // essentially no events, biasing by 100 sees ~1% of paths fail while
+        // the likelihood ratio stays well-conditioned.
+        let model = pump_model(1e5);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let unbiased = sim.unavailability(10.0, &options(3000)).unwrap();
+        let mut biased_options = options(3000);
+        biased_options.bias = 100.0;
+        let biased = sim.unavailability(10.0, &biased_options).unwrap();
+        // The biased run actually observes the rare event...
+        assert!(biased.estimate.mean > 0.0, "{biased:?}");
+        // ...estimates the same quantity (intervals overlap)...
+        assert!(
+            (biased.estimate.mean - unbiased.estimate.mean).abs()
+                <= biased.estimate.half_width + unbiased.estimate.half_width + 1e-4,
+            "unbiased {unbiased:?} vs biased {biased:?}"
+        );
+        // ...and the likelihood-ratio certificate covers 1.
+        let lr = biased.lr_mean.unwrap();
+        assert!(lr.contains_with_slack(1.0, 0.02), "{lr:?}");
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        let mut reference = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut opts = options(700);
+            opts.exec = ExecOptions::with_threads(threads);
+            opts.bias = 25.0;
+            let report = sim.unavailability(150.0, &opts).unwrap();
+            let bits = (
+                report.estimate.mean.to_bits(),
+                report.estimate.half_width.to_bits(),
+                report.lr_mean.unwrap().mean.to_bits(),
+            );
+            match &reference {
+                None => reference = Some(bits),
+                Some(expected) => assert_eq!(*expected, bits, "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let model = pump_model(100.0);
+        let quotient = quotient_of(&model);
+        let sim = QuotientSimulator::new(&quotient);
+        assert!(sim.unavailability(0.0, &options(10)).is_err());
+        assert!(sim.time_to_failure(10.0, 1.0, &options(10)).is_err());
+        let mut bad = options(10);
+        bad.bias = 0.0;
+        assert!(sim.unavailability(10.0, &bad).is_err());
+        let mut bad = options(10);
+        bad.batch = 0;
+        assert!(sim.unavailability(10.0, &bad).is_err());
+        assert!(sim.survivability("ghost", 1.0, 1.0, &options(10)).is_err());
+    }
+}

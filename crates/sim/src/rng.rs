@@ -1,0 +1,197 @@
+//! Counter-based per-replication random streams.
+//!
+//! Replication `i` of a run with base seed `s` draws from a generator seeded
+//! by a SplitMix64-style mix of the *pair* `(s, i)` — not by `s + i`. The
+//! additive scheme the simulator originally used makes adjacent seeds share
+//! almost all of their replication streams: seed `s` replication `i + 1`
+//! and seed `s + 1` replication `i` collapse onto the same generator, so two
+//! "independent" studies run at neighbouring seeds are correlated almost
+//! everywhere. Mixing the pair through two SplitMix64 rounds (one keyed by
+//! the seed, one by the replication counter) gives streams that are pairwise
+//! distinct across any practical grid of seeds and replication indices.
+//!
+//! The stream depends only on `(seed, replication)` — never on which worker
+//! thread runs the replication — which is what makes batched parallel
+//! replication bit-identical for every thread count.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One SplitMix64 output step: the finaliser of the standard generator.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 64-bit stream key of replication `replication` under base seed
+/// `seed`: two chained SplitMix64 rounds so no affine relation between
+/// `(seed, replication)` pairs survives into the key.
+pub fn stream_key(seed: u64, replication: u64) -> u64 {
+    splitmix64(splitmix64(seed) ^ splitmix64(replication ^ 0xA5A5_A5A5_A5A5_A5A5))
+}
+
+/// The random generator of one replication. Deterministic in
+/// `(seed, replication)` and independent of thread count and scheduling.
+pub fn replication_rng(seed: u64, replication: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_key(seed, replication))
+}
+
+/// `x[1]` of the 256-strip exponential ziggurat (Marsaglia & Tsang 2000):
+/// the right edge of the topmost full rectangle.
+const ZIG_R: f64 = 7.697_117_470_131_05;
+/// Area of each of the 256 strips.
+const ZIG_V: f64 = 0.003_949_659_822_581_557;
+
+struct ZigTables {
+    /// Strip right edges, `x[0] = V/f(R) > x[1] = R > … > x[256] = 0`.
+    x: [f64; 257],
+    /// `f[i] = exp(-x[i])`.
+    f: [f64; 257],
+}
+
+/// The ziggurat tables, computed once per process from `(R, V)` — a pure
+/// function of the constants, so every replication stream sees the same
+/// tables.
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut x = [0.0f64; 257];
+        x[0] = ZIG_V * ZIG_R.exp();
+        x[1] = ZIG_R;
+        for i in 2..256 {
+            let prev = x[i - 1];
+            x[i] = -(ZIG_V / prev + (-prev).exp()).ln();
+        }
+        x[256] = 0.0;
+        let mut f = [0.0f64; 257];
+        for (fi, &xi) in f.iter_mut().zip(x.iter()) {
+            *fi = (-xi).exp();
+        }
+        ZigTables { x, f }
+    })
+}
+
+/// One `Exp(1)` variate via the 256-strip ziggurat: on ~99% of draws a single
+/// `next_u64` (low 8 bits pick the strip, the top 53 the position) and two
+/// table reads — no logarithm. The wedge and the tail beyond `R` fall back to
+/// an extra uniform (and, for the tail, one `ln`). Exponential sojourns are
+/// the quotient walk's per-jump cost, so this path is deliberately
+/// branch-light.
+#[inline]
+pub fn exp_draw(rng: &mut StdRng) -> f64 {
+    let t = zig_tables();
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0xFF) as usize;
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        if x < t.x[i + 1] {
+            return x;
+        }
+        if i == 0 {
+            // Tail beyond R: memorylessness gives R + Exp(1) by inversion.
+            let u2: f64 = rng.gen();
+            return ZIG_R - (1.0 - u2).ln();
+        }
+        let u2: f64 = rng.gen();
+        if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * u2 < (-x).exp() {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn adjacent_seeds_no_longer_share_streams() {
+        // The old `seed + i` scheme had stream(s, i + 1) == stream(s + 1, i).
+        for seed in [0u64, 1, 42, u64::MAX - 8] {
+            for i in 0..8u64 {
+                assert_ne!(
+                    stream_key(seed, i + 1),
+                    stream_key(seed.wrapping_add(1), i),
+                    "seed {seed} rep {i}: the additive collision is back"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_keys_are_pairwise_distinct_over_a_grid() {
+        let mut keys = std::collections::HashSet::new();
+        for seed in 0..32u64 {
+            for rep in 0..256u64 {
+                assert!(
+                    keys.insert(stream_key(seed, rep)),
+                    "collision at seed {seed} rep {rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ziggurat_tables_are_monotone_and_positive() {
+        let t = zig_tables();
+        for i in 0..256 {
+            assert!(t.x[i] > t.x[i + 1], "x not decreasing at {i}");
+            assert!(t.f[i] < t.f[i + 1], "f not increasing at {i}");
+        }
+        assert_eq!(t.x[256], 0.0);
+        assert_eq!(t.f[256], 1.0);
+        assert!((t.x[1] - ZIG_R).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_draw_matches_the_exponential_distribution() {
+        let mut rng = replication_rng(123, 0);
+        let n = 400_000usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut below_ln2 = 0usize;
+        let mut beyond_r = 0usize;
+        for _ in 0..n {
+            let x = exp_draw(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "{x}");
+            sum += x;
+            sumsq += x * x;
+            if x < std::f64::consts::LN_2 {
+                below_ln2 += 1;
+            }
+            if x > ZIG_R {
+                beyond_r += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.008, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.035, "variance {var}");
+        // The median of Exp(1) is ln 2.
+        let frac = below_ln2 as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.005, "median fraction {frac}");
+        // The tail branch beyond R actually fires, with mass ≈ e^{-R}.
+        let expect = (-ZIG_R).exp();
+        let got = beyond_r as f64 / n as f64;
+        assert!(
+            got > 0.3 * expect && got < 3.0 * expect,
+            "tail mass {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn replication_rng_is_a_pure_function_of_the_pair() {
+        let mut a = replication_rng(7, 3);
+        let mut b = replication_rng(7, 3);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = replication_rng(7, 4);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+}

@@ -1,22 +1,38 @@
 //! The public simulation API: replicated estimators for the paper's measures.
 
 use arcade_core::{ArcadeError, ArcadeModel, Disaster};
+use ctmc::exec::map_ordered;
+use ctmc::ExecOptions;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Trajectory;
-use crate::stats::Estimate;
+use crate::rng::replication_rng;
+use crate::stats::{Estimate, RunningStats};
 
-/// Options shared by all estimators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Options shared by all estimators (flat and quotient-resident).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimulationOptions {
     /// Number of independent replications.
     pub replications: usize,
-    /// Base random seed; replication `i` uses `seed + i`.
+    /// Base random seed; replication `i` draws from the counter-based stream
+    /// [`crate::rng::stream_key`]`(seed, i)`.
     pub seed: u64,
-    /// Number of worker threads (`1` disables parallelism).
-    pub threads: usize,
+    /// Worker pool for the replication batches — the same knob every other
+    /// engine in the workspace uses (`ARCADE_THREADS` respected via
+    /// [`ExecOptions::default`]). Results are bit-identical for any thread
+    /// count.
+    pub exec: ExecOptions,
+    /// Replications per batch: the scheduling granule handed to the worker
+    /// pool. Statistics merge in batch order, so the value changes rounding
+    /// only through the (deterministic) merge tree, never through scheduling.
+    pub batch: usize,
+    /// Failure-biasing factor for importance sampling: rates of failure-class
+    /// transitions are multiplied by this factor and estimates reweighted by
+    /// the trajectory likelihood ratio. `1.0` disables biasing. Only the
+    /// quotient-resident engine supports biasing; the flat [`Simulator`]
+    /// rejects any other value.
+    pub bias: f64,
 }
 
 impl Default for SimulationOptions {
@@ -24,7 +40,20 @@ impl Default for SimulationOptions {
         SimulationOptions {
             replications: 10_000,
             seed: 0x5EED,
-            threads: 4,
+            exec: ExecOptions::default(),
+            batch: 512,
+            bias: 1.0,
+        }
+    }
+}
+
+impl SimulationOptions {
+    /// Convenience constructor mirroring the old `threads` field: an explicit
+    /// worker count with everything else at its default.
+    pub fn with_threads(threads: usize) -> Self {
+        SimulationOptions {
+            exec: ExecOptions::with_threads(threads),
+            ..Default::default()
         }
     }
 }
@@ -192,8 +221,11 @@ impl<'a> Simulator<'a> {
         })
     }
 
-    /// Runs `options.replications` independent replications of `body`, in
-    /// parallel across `options.threads` workers, and aggregates the samples.
+    /// Runs `options.replications` independent replications of `body` in
+    /// fixed-size batches over the `options.exec` worker pool and merges the
+    /// per-batch statistics in batch order. Replication `i` always draws from
+    /// the counter-based stream keyed by `(seed, i)`, so the result is
+    /// bit-identical for any thread count.
     fn replicate<F>(
         &self,
         options: &SimulationOptions,
@@ -203,65 +235,57 @@ impl<'a> Simulator<'a> {
     where
         F: Fn(&mut Trajectory<'_>, &mut StdRng) -> f64 + Sync,
     {
-        let threads = options.threads.max(1);
+        if options.bias != 1.0 {
+            return Err(ArcadeError::UnsupportedMeasure {
+                reason: format!(
+                    "the flat simulator has no failure biasing (bias = {}); \
+                     use the quotient-resident QuotientSimulator for importance sampling",
+                    options.bias
+                ),
+            });
+        }
+        if options.batch == 0 {
+            return Err(ArcadeError::InvalidParameter {
+                reason: "simulation batch size must be at least 1".into(),
+            });
+        }
         let replications = options.replications;
         if replications == 0 {
             return Ok(Estimate::from_samples(&[]));
         }
 
-        // Validate the disaster once up front so worker threads cannot fail.
+        // Validate the disaster once up front so worker closures cannot fail.
         if let Some(d) = disaster {
             Trajectory::new(self.model)?.reset_to_disaster(d)?;
         }
 
-        let run_range = |range: std::ops::Range<usize>| -> Result<Vec<f64>, ArcadeError> {
-            let mut samples = Vec::with_capacity(range.len());
-            let mut trajectory = Trajectory::new(self.model)?;
-            for replication in range {
-                let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(replication as u64));
-                match disaster {
-                    Some(d) => trajectory.reset_to_disaster(d)?,
-                    None => trajectory.reset(),
-                }
-                samples.push(body(&mut trajectory, &mut rng));
-            }
-            Ok(samples)
-        };
-
-        if threads == 1 {
-            let samples = run_range(0..replications)?;
-            return Ok(Estimate::from_samples(&samples));
-        }
-
-        let chunk = replications.div_ceil(threads);
-        let results = std::sync::Mutex::new(Vec::with_capacity(replications));
-        let first_error = std::sync::Mutex::new(None::<ArcadeError>);
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let start = worker * chunk;
-                let end = ((worker + 1) * chunk).min(replications);
-                if start >= end {
-                    continue;
-                }
-                let results = &results;
-                let first_error = &first_error;
-                let run_range = &run_range;
-                scope.spawn(move || match run_range(start..end) {
-                    Ok(samples) => results.lock().expect("no worker panicked").extend(samples),
-                    Err(err) => {
-                        let mut slot = first_error.lock().expect("no worker panicked");
-                        if slot.is_none() {
-                            *slot = Some(err);
-                        }
+        let batch = options.batch;
+        let ranges: Vec<std::ops::Range<usize>> = (0..replications.div_ceil(batch))
+            .map(|b| (b * batch)..((b + 1) * batch).min(replications))
+            .collect();
+        let outputs = map_ordered(
+            &ranges,
+            options.exec,
+            |range| -> Result<RunningStats, ArcadeError> {
+                let mut trajectory = Trajectory::new(self.model)?;
+                let mut stats = RunningStats::new();
+                for replication in range.clone() {
+                    let mut rng = replication_rng(options.seed, replication as u64);
+                    match disaster {
+                        Some(d) => trajectory.reset_to_disaster(d)?,
+                        None => trajectory.reset(),
                     }
-                });
-            }
-        });
-        if let Some(err) = first_error.into_inner().expect("no worker panicked") {
-            return Err(err);
+                    stats.push(body(&mut trajectory, &mut rng));
+                }
+                Ok(stats)
+            },
+        );
+
+        let mut merged = RunningStats::new();
+        for output in outputs {
+            merged.merge(&output?);
         }
-        let samples = results.into_inner().expect("no worker panicked");
-        Ok(Estimate::from_samples(&samples))
+        Ok(merged.estimate())
     }
 }
 
@@ -294,7 +318,8 @@ mod tests {
         SimulationOptions {
             replications,
             seed: 42,
-            threads: 2,
+            exec: ExecOptions::with_threads(2),
+            ..Default::default()
         }
     }
 
@@ -374,23 +399,27 @@ mod tests {
     }
 
     #[test]
-    fn single_threaded_and_parallel_agree() {
+    fn single_threaded_and_parallel_are_bit_identical() {
         let model = pump_model();
         let simulator = Simulator::new(&model).unwrap();
-        let serial = SimulationOptions {
-            replications: 500,
-            seed: 7,
-            threads: 1,
-        };
-        let parallel = SimulationOptions {
-            replications: 500,
-            seed: 7,
-            threads: 4,
-        };
-        let a = simulator.reliability(30.0, &serial).unwrap();
-        let b = simulator.reliability(30.0, &parallel).unwrap();
-        // Same seeds per replication index, so the samples are identical.
-        assert!((a.mean - b.mean).abs() < 1e-12);
+        let mut reference = None;
+        for threads in [1usize, 2, 4, 8] {
+            let opts = SimulationOptions {
+                replications: 500,
+                seed: 7,
+                exec: ExecOptions::with_threads(threads),
+                ..Default::default()
+            };
+            let e = simulator.reliability(30.0, &opts).unwrap();
+            // Streams depend only on (seed, replication) and batch statistics
+            // merge in batch order: the estimate is byte-equal at any thread
+            // count.
+            let bits = (e.mean.to_bits(), e.half_width.to_bits());
+            match &reference {
+                None => reference = Some(bits),
+                Some(expected) => assert_eq!(*expected, bits, "threads {threads}"),
+            }
+        }
     }
 
     #[test]
@@ -401,5 +430,21 @@ mod tests {
         assert!(simulator
             .survivability(&rogue, 1.0, 1.0, &options(10))
             .is_err());
+    }
+
+    #[test]
+    fn flat_engine_rejects_failure_biasing() {
+        let model = pump_model();
+        let simulator = Simulator::new(&model).unwrap();
+        let mut opts = options(10);
+        opts.bias = 100.0;
+        let err = simulator.reliability(10.0, &opts).unwrap_err();
+        assert!(
+            matches!(err, ArcadeError::UnsupportedMeasure { .. }),
+            "{err:?}"
+        );
+        let mut opts = options(10);
+        opts.batch = 0;
+        assert!(simulator.reliability(10.0, &opts).is_err());
     }
 }

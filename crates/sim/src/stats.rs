@@ -1,4 +1,5 @@
-//! Point estimates with confidence intervals.
+//! Point estimates with confidence intervals, streaming batch statistics and
+//! tail-risk (VaR/CVaR) estimators over sorted loss samples.
 
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,238 @@ impl Estimate {
     pub fn contains_with_slack(&self, value: f64, slack: f64) -> bool {
         (self.mean - value).abs() <= self.half_width + slack
     }
+
+    /// The half-width relative to the mean (`inf` when the mean is zero and
+    /// the width is not, `0` when both are zero). The rare-event acceptance
+    /// tests compare estimators through this quantity.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.half_width == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Streaming sample statistics (Welford count/mean/M2) that can be merged.
+///
+/// Each replication batch accumulates its own `RunningStats` serially; the
+/// caller merges the per-batch values **in batch order** (Chan's pairwise
+/// update), so the final estimate depends only on `(seed, replications,
+/// batch)` — never on how batches were scheduled across worker threads. This
+/// is the piece that makes parallel replication bit-identical for any thread
+/// count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> RunningStats {
+        RunningStats::default()
+    }
+
+    /// Adds one sample (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    /// Merging is performed in a fixed order by all callers, so the result is
+    /// deterministic.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance (zero for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Converts the accumulated statistics into a 95% [`Estimate`].
+    pub fn estimate(&self) -> Estimate {
+        if self.count == 0 {
+            return Estimate {
+                mean: 0.0,
+                half_width: 0.0,
+                replications: 0,
+            };
+        }
+        if self.count == 1 {
+            return Estimate {
+                mean: self.mean,
+                half_width: f64::INFINITY,
+                replications: 1,
+            };
+        }
+        let std_error = (self.variance() / self.count as f64).sqrt();
+        Estimate {
+            mean: self.mean,
+            half_width: 1.96 * std_error,
+            replications: self.count,
+        }
+    }
+}
+
+/// Which end of the loss distribution carries the risk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tail {
+    /// Large values are bad (accumulated cost): VaR is the upper quantile.
+    Upper,
+    /// Small values are bad (time to failure): VaR is the lower quantile.
+    Lower,
+}
+
+/// Value-at-Risk and Conditional-Value-at-Risk of a loss sample, with normal
+/// / order-statistic confidence half-widths.
+///
+/// Following the sorted-loss estimator: for the upper tail at level `alpha`,
+/// `VaR` is the empirical `alpha`-quantile of the losses and `CVaR` is the
+/// mean of the losses at or beyond it. Importance-sampled runs pass
+/// likelihood weights; the quantile is then taken in the *weighted* empirical
+/// distribution (weights normalised to the sample), which keeps the estimator
+/// consistent under failure biasing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailEstimate {
+    /// The tail level (e.g. `0.95`).
+    pub alpha: f64,
+    /// Which tail the risk sits in.
+    pub tail: Tail,
+    /// Value-at-Risk: the empirical `alpha`-quantile of the loss.
+    pub var: f64,
+    /// Half-width of the VaR confidence interval (order-statistic bracketing
+    /// of the quantile rank at ±1.96 binomial standard deviations).
+    pub var_half_width: f64,
+    /// Conditional Value-at-Risk: mean loss beyond the VaR.
+    pub cvar: f64,
+    /// Half-width of the CVaR confidence interval (normal approximation over
+    /// the tail sample).
+    pub cvar_half_width: f64,
+    /// Number of replications behind the estimate.
+    pub replications: usize,
+}
+
+impl TailEstimate {
+    /// Builds the tail estimate from `(loss, weight)` replication samples.
+    /// Unbiased runs pass weight `1.0` for every sample. An empty sample (or
+    /// one with zero total weight) yields a zero estimate.
+    pub fn from_weighted_losses(samples: &[(f64, f64)], alpha: f64, tail: Tail) -> TailEstimate {
+        let zero = TailEstimate {
+            alpha,
+            tail,
+            var: 0.0,
+            var_half_width: 0.0,
+            cvar: 0.0,
+            cvar_half_width: 0.0,
+            replications: samples.len(),
+        };
+        let total_weight: f64 = samples.iter().map(|&(_, w)| w).sum();
+        if samples.is_empty() || total_weight <= 0.0 {
+            return zero;
+        }
+        // Reduce the lower tail to the upper tail of the negated loss; the
+        // sort below is then always ascending towards the risky end.
+        let mut ordered: Vec<(f64, f64)> = match tail {
+            Tail::Upper => samples.to_vec(),
+            Tail::Lower => samples.iter().map(|&(x, w)| (-x, w)).collect(),
+        };
+        ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Weighted empirical quantile: the first loss whose cumulative
+        // normalised weight reaches `alpha`.
+        let quantile_at = |level: f64| -> f64 {
+            let target = level.clamp(0.0, 1.0) * total_weight;
+            let mut cumulative = 0.0;
+            for &(x, w) in &ordered {
+                cumulative += w;
+                if cumulative >= target {
+                    return x;
+                }
+            }
+            ordered.last().expect("non-empty sample").0
+        };
+        let var = quantile_at(alpha);
+
+        // Order-statistic bracket for the VaR: the quantile rank has binomial
+        // standard deviation sqrt(n·α·(1−α)); bracket the quantile at
+        // ±1.96 of it (in weight space for weighted samples).
+        let n = samples.len() as f64;
+        let rank_sd = (alpha * (1.0 - alpha) / n).sqrt();
+        let lo = quantile_at(alpha - 1.96 * rank_sd);
+        let hi = quantile_at(alpha + 1.96 * rank_sd);
+        let var_half_width = 0.5 * (hi - lo);
+
+        // CVaR: weighted mean of losses at or beyond the VaR, with a normal
+        // CI over the (weighted) tail sample.
+        let mut tail_stats = RunningStats::new();
+        let mut tail_weight = 0.0;
+        let mut tail_sum = 0.0;
+        for &(x, w) in &ordered {
+            if x >= var {
+                tail_stats.push(x);
+                tail_weight += w;
+                tail_sum += w * x;
+            }
+        }
+        let cvar = if tail_weight > 0.0 {
+            tail_sum / tail_weight
+        } else {
+            var
+        };
+        let cvar_half_width = if tail_stats.count() >= 2 {
+            1.96 * (tail_stats.variance() / tail_stats.count() as f64).sqrt()
+        } else {
+            f64::INFINITY
+        };
+
+        let (var, cvar) = match tail {
+            Tail::Upper => (var, cvar),
+            Tail::Lower => (-var, -cvar),
+        };
+        TailEstimate {
+            alpha,
+            tail,
+            var,
+            var_half_width,
+            cvar,
+            cvar_half_width,
+            replications: samples.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +323,117 @@ mod tests {
         assert_eq!(e.mean, 2.0);
         assert_eq!(e.half_width, 0.0);
         assert!(e.contains(2.0));
+    }
+
+    #[test]
+    fn running_stats_match_the_batch_formula() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let mut stats = RunningStats::new();
+        for &x in &samples {
+            stats.push(x);
+        }
+        let direct = Estimate::from_samples(&samples);
+        let streamed = stats.estimate();
+        assert!((streamed.mean - direct.mean).abs() < 1e-12);
+        assert!((streamed.half_width - direct.half_width).abs() < 1e-9);
+        assert_eq!(streamed.replications, 100);
+    }
+
+    #[test]
+    fn merging_batches_is_equivalent_to_one_pass() {
+        let samples: Vec<f64> = (0..997)
+            .map(|i| ((i * 37) % 101) as f64 * 0.25 - 3.0)
+            .collect();
+        let mut whole = RunningStats::new();
+        for &x in &samples {
+            whole.push(x);
+        }
+        // Merge per-batch stats in batch order, as the simulator does.
+        for batch in [1usize, 7, 64, 256, 2048] {
+            let mut merged = RunningStats::new();
+            for chunk in samples.chunks(batch) {
+                let mut b = RunningStats::new();
+                for &x in chunk {
+                    b.push(x);
+                }
+                merged.merge(&b);
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert!(
+                (merged.mean() - whole.mean()).abs() < 1e-10,
+                "batch {batch}"
+            );
+            assert!(
+                (merged.variance() - whole.variance()).abs() < 1e-8,
+                "batch {batch}"
+            );
+        }
+        // Merging in a fixed order is reproducible bit-for-bit.
+        let run = |batch: usize| {
+            let mut merged = RunningStats::new();
+            for chunk in samples.chunks(batch) {
+                let mut b = RunningStats::new();
+                for &x in chunk {
+                    b.push(x);
+                }
+                merged.merge(&b);
+            }
+            (merged.mean().to_bits(), merged.variance().to_bits())
+        };
+        assert_eq!(run(64), run(64));
+    }
+
+    #[test]
+    fn relative_half_width_edge_cases() {
+        let zero = Estimate::from_samples(&[]);
+        assert_eq!(zero.relative_half_width(), 0.0);
+        let degenerate = Estimate {
+            mean: 0.0,
+            half_width: 0.1,
+            replications: 10,
+        };
+        assert!(degenerate.relative_half_width().is_infinite());
+        let normal = Estimate {
+            mean: 2.0,
+            half_width: 0.5,
+            replications: 10,
+        };
+        assert!((normal.relative_half_width() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_tail_var_cvar_of_a_known_sample() {
+        // Losses 1..=100, uniform weight: the 0.95-VaR is 95 and the CVaR is
+        // the mean of {95..=100} = 97.5.
+        let samples: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0)).collect();
+        let t = TailEstimate::from_weighted_losses(&samples, 0.95, Tail::Upper);
+        assert_eq!(t.var, 95.0);
+        assert!((t.cvar - 97.5).abs() < 1e-12, "{t:?}");
+        assert!(t.var_half_width > 0.0 && t.var_half_width < 10.0);
+        assert_eq!(t.replications, 100);
+    }
+
+    #[test]
+    fn lower_tail_mirrors_the_upper_tail() {
+        let samples: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0)).collect();
+        let t = TailEstimate::from_weighted_losses(&samples, 0.95, Tail::Lower);
+        // The risky 5% are the *smallest* times: VaR 6, CVaR mean{1..=6}... the
+        // 0.95-quantile of the negated sample is -6, so VaR = 6 and the CVaR
+        // averages {1..=6} = 3.5.
+        assert_eq!(t.var, 6.0);
+        assert!((t.cvar - 3.5).abs() < 1e-12, "{t:?}");
+    }
+
+    #[test]
+    fn weights_shift_the_quantile() {
+        // Two losses; the heavy one dominates the distribution.
+        let samples = [(1.0, 0.01), (10.0, 0.99)];
+        let t = TailEstimate::from_weighted_losses(&samples, 0.5, Tail::Upper);
+        assert_eq!(t.var, 10.0);
+        // And an empty / zero-weight sample degrades gracefully.
+        let empty = TailEstimate::from_weighted_losses(&[], 0.95, Tail::Upper);
+        assert_eq!(empty.var, 0.0);
+        let dead = TailEstimate::from_weighted_losses(&[(3.0, 0.0)], 0.95, Tail::Upper);
+        assert_eq!(dead.var, 0.0);
     }
 }

@@ -1,0 +1,267 @@
+//! Property-based cross-validation of the quotient Monte-Carlo estimators.
+//!
+//! On small random repairable models, every estimator of
+//! [`arcade_sim::QuotientSimulator`] must agree with an *exact* reference
+//! within its own confidence interval (widened by a small slack for the
+//! reference's discretisation, where one exists):
+//!
+//! * interval unavailability vs. the exact accumulated down-time reward
+//!   (`RewardSolver::accumulated_until` with a down-state indicator reward);
+//! * mean time to failure (capped) vs. `∫₀ᴴ R(t) dt` over the exact
+//!   reliability curve, and the lower-tail VaR vs. the exact reliability
+//!   quantile;
+//! * survivability and accumulated cost vs. [`arcade_core::Analysis`];
+//! * importance-sampled runs vs. unbiased runs, with the likelihood-ratio
+//!   certificate `E[W] ≈ 1`.
+
+use arcade_core::{
+    Analysis, ArcadeModel, BasicComponent, CompiledQuotient, ComposerOptions, Disaster,
+    RepairStrategy, RepairUnit,
+};
+use arcade_sim::{QuotientSimulator, SimulationOptions};
+use ctmc::{ExecOptions, RewardSolver, RewardStructure};
+use fault_tree::{StructureNode, SystemStructure};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomModel {
+    mttfs: Vec<f64>,
+    mttrs: Vec<f64>,
+    /// Put the first two components behind a redundant gate instead of in
+    /// series — failures then need a coincidence, the mildly-rare regime.
+    redundant_pair: bool,
+    /// Add a third component in series with the pair.
+    third: bool,
+    strategy: RepairStrategy,
+    crews: usize,
+}
+
+fn arbitrary_model() -> impl Strategy<Value = RandomModel> {
+    (
+        proptest::collection::vec(40.0f64..250.0, 3),
+        proptest::collection::vec(0.5f64..3.0, 3),
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![
+            Just(RepairStrategy::Dedicated),
+            Just(RepairStrategy::FirstComeFirstServe),
+            Just(RepairStrategy::FastestRepairFirst),
+        ],
+        1usize..=2,
+    )
+        .prop_map(
+            |(mttfs, mttrs, redundant_pair, third, strategy, crews)| RandomModel {
+                mttfs,
+                mttrs,
+                redundant_pair,
+                third,
+                strategy,
+                crews,
+            },
+        )
+}
+
+fn build_model(spec: &RandomModel) -> ArcadeModel {
+    let mut names = vec!["c0".to_string(), "c1".to_string()];
+    let pair = vec![
+        StructureNode::component("c0"),
+        StructureNode::component("c1"),
+    ];
+    let mut subtrees = vec![if spec.redundant_pair {
+        StructureNode::redundant(pair)
+    } else {
+        StructureNode::series(pair)
+    }];
+    if spec.third {
+        subtrees.push(StructureNode::component("c2"));
+        names.push("c2".to_string());
+    }
+    let structure = SystemStructure::new(StructureNode::series(subtrees));
+
+    let mut builder = ArcadeModel::builder("random-sim-model", structure);
+    for (k, name) in names.iter().enumerate() {
+        builder = builder.component(
+            BasicComponent::from_mttf_mttr(name, spec.mttfs[k], spec.mttrs[k])
+                .unwrap()
+                .with_failed_cost(3.0),
+        );
+    }
+    builder
+        .repair_unit(
+            RepairUnit::new("ru", spec.strategy.clone(), spec.crews)
+                .unwrap()
+                .responsible_for(names.clone())
+                .with_idle_cost(1.0),
+        )
+        .disaster(Disaster::new("all-down", names).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn options(replications: usize, seed: u64) -> SimulationOptions {
+    SimulationOptions {
+        replications,
+        seed,
+        exec: ExecOptions::with_threads(2),
+        ..Default::default()
+    }
+}
+
+/// Composite Simpson over equally spaced samples (`values.len()` odd).
+fn simpson(values: &[f64], step: f64) -> f64 {
+    let n = values.len() - 1;
+    assert!(n >= 2 && n.is_multiple_of(2), "need an even interval count");
+    let mut sum = values[0] + values[n];
+    for (i, v) in values.iter().enumerate().take(n).skip(1) {
+        sum += if i % 2 == 1 { 4.0 * v } else { 2.0 * v };
+    }
+    sum * step / 3.0
+}
+
+/// Exact interval unavailability over `[0, horizon]` from the initial block:
+/// the accumulated down-state sojourn reward divided by the horizon.
+fn exact_unavailability(quotient: &CompiledQuotient, horizon: f64) -> f64 {
+    let chain = quotient
+        .chain()
+        .with_initial_state(quotient.initial())
+        .unwrap();
+    let down: Vec<f64> = quotient
+        .operational_mask()
+        .iter()
+        .map(|&op| if op { 0.0 } else { 1.0 })
+        .collect();
+    let rewards = RewardStructure::new("down", down).unwrap();
+    let solver = RewardSolver::new(&chain, &rewards).unwrap();
+    solver.accumulated_until(horizon).unwrap() / horizon
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Interval unavailability matches the exact accumulated down-time.
+    #[test]
+    fn unavailability_matches_the_exact_down_time(spec in arbitrary_model()) {
+        let model = build_model(&spec);
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        let sim = QuotientSimulator::new(&quotient);
+        let horizon = 80.0;
+        let exact = exact_unavailability(&quotient, horizon);
+        let report = sim.unavailability(horizon, &options(1000, 7)).unwrap();
+        prop_assert!(report.lr_mean.is_none());
+        prop_assert!(
+            (report.estimate.mean - exact).abs()
+                <= 4.0 * report.estimate.half_width + 0.005,
+            "exact {exact} vs {:?}",
+            report.estimate
+        );
+    }
+
+    /// Capped mean time to failure matches `∫₀ᴴ R(t) dt`, and the lower-tail
+    /// VaR matches the exact reliability quantile.
+    #[test]
+    fn time_to_failure_matches_the_reliability_curve(spec in arbitrary_model()) {
+        let model = build_model(&spec);
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        let analysis = Analysis::new(&model).unwrap();
+        let sim = QuotientSimulator::new(&quotient);
+
+        let horizon = 400.0;
+        let alpha = 0.95;
+        let intervals = 200usize;
+        let step = horizon / intervals as f64;
+        let times: Vec<f64> = (0..=intervals).map(|i| i as f64 * step).collect();
+        let curve = analysis.reliability_curve(&times).unwrap();
+        let values: Vec<f64> = curve.iter().map(|&(_, r)| r).collect();
+        // E[min(TTF, H)] = ∫₀ᴴ R(t) dt for the capped first-passage time.
+        let exact_mean = simpson(&values, step);
+        // The lower-tail VaR is the t with R(t) = alpha (capped at H);
+        // linear interpolation between grid points of the smooth curve.
+        let exact_var = match values.iter().position(|&r| r <= alpha) {
+            None => horizon,
+            Some(0) => 0.0,
+            Some(i) => {
+                let (r0, r1) = (values[i - 1], values[i]);
+                times[i - 1] + step * ((r0 - alpha) / (r0 - r1))
+            }
+        };
+
+        let report = sim.time_to_failure(horizon, alpha, &options(800, 11)).unwrap();
+        prop_assert!(
+            (report.estimate.mean - exact_mean).abs()
+                <= 4.0 * report.estimate.half_width + 0.01 * exact_mean + 1.0,
+            "exact {exact_mean} vs {:?}",
+            report.estimate
+        );
+        let tail = report.tail.unwrap();
+        prop_assert!(
+            (tail.var - exact_var).abs()
+                <= 4.0 * tail.var_half_width + 0.05 * exact_var + 1.0,
+            "exact VaR {exact_var} vs {tail:?}"
+        );
+    }
+
+    /// Survivability after the all-down disaster and the accumulated recovery
+    /// cost both match the exact transient analysis.
+    #[test]
+    fn disaster_measures_match_the_exact_analysis(spec in arbitrary_model()) {
+        let model = build_model(&spec);
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        let analysis = Analysis::new(&model).unwrap();
+        let sim = QuotientSimulator::new(&quotient);
+        let disaster = model.disaster("all-down").unwrap();
+
+        let deadline = 8.0;
+        let exact = analysis.survivability(disaster, 1.0, deadline).unwrap();
+        let report = sim
+            .survivability("all-down", 1.0, deadline, &options(1200, 13))
+            .unwrap();
+        prop_assert!(
+            (report.estimate.mean - exact).abs()
+                <= 4.0 * report.estimate.half_width + 0.02,
+            "exact {exact} vs {:?}",
+            report.estimate
+        );
+
+        let horizon = 12.0;
+        let exact = analysis
+            .accumulated_cost_curve(Some(disaster), &[horizon])
+            .unwrap()[0]
+            .1;
+        let report = sim
+            .accumulated_cost(Some("all-down"), horizon, 0.9, &options(1000, 17))
+            .unwrap();
+        prop_assert!(
+            (report.estimate.mean - exact).abs()
+                <= 4.0 * report.estimate.half_width + 0.02 * exact + 0.05,
+            "exact {exact} vs {:?}",
+            report.estimate
+        );
+        let tail = report.tail.unwrap();
+        prop_assert!(tail.cvar >= tail.var - 1e-12, "{tail:?}");
+    }
+
+    /// Failure biasing leaves every estimate unbiased: the biased and the
+    /// unbiased run agree, and the likelihood-ratio certificate covers 1.
+    #[test]
+    fn importance_sampling_agrees_with_the_unbiased_run(spec in arbitrary_model()) {
+        let model = build_model(&spec);
+        let quotient = CompiledQuotient::of_model(&model, ComposerOptions::default()).unwrap();
+        let sim = QuotientSimulator::new(&quotient);
+        let horizon = 15.0;
+
+        let unbiased = sim.unavailability(horizon, &options(1500, 23)).unwrap();
+        let mut biased_options = options(1500, 29);
+        biased_options.bias = 3.0;
+        let biased = sim.unavailability(horizon, &biased_options).unwrap();
+
+        prop_assert!(
+            (biased.estimate.mean - unbiased.estimate.mean).abs()
+                <= 4.0 * (biased.estimate.half_width + unbiased.estimate.half_width) + 0.01,
+            "unbiased {:?} vs biased {:?}",
+            unbiased.estimate,
+            biased.estimate
+        );
+        let lr = biased.lr_mean.unwrap();
+        prop_assert!(lr.contains_with_slack(1.0, 0.15), "{lr:?}");
+    }
+}

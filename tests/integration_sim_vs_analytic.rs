@@ -11,7 +11,7 @@ fn options(replications: usize) -> SimulationOptions {
     SimulationOptions {
         replications,
         seed: 2024,
-        threads: 4,
+        ..SimulationOptions::with_threads(4)
     }
 }
 
