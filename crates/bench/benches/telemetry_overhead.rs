@@ -1,0 +1,59 @@
+//! Telemetry overhead: the disabled recorder must be free.
+//!
+//! Times the full availability pipeline — compose, lump, solve on the
+//! quotient — for the paper's Line 2 model under three recorder regimes:
+//!
+//! * `baseline`        — no recorder anywhere (the null object throughout);
+//! * `disabled_scope`  — an explicitly entered *disabled* recorder, the
+//!   worst case of the scoped-lookup plumbing with recording off;
+//! * `recording`       — a live recorder with convergence probes, the full
+//!   tracing cost.
+//!
+//! The acceptance criterion for the telemetry layer is that `disabled_scope`
+//! is within 2% of `baseline` (a disabled span is one branch — no clock
+//! read, no allocation). `recording` is reported for context; its cost is
+//! the price of the trace, paid only when asked for.
+
+use arcade_core::{Analysis, ArcadeModel, CompiledModel, ComposerOptions};
+use arcade_telemetry::Recorder;
+use criterion::{criterion_group, criterion_main, Criterion};
+use watertreatment::{facility, strategies, Line};
+
+fn solve_availability(model: &ArcadeModel) -> f64 {
+    let compiled = CompiledModel::compile_with(model, ComposerOptions::default()).unwrap();
+    let analysis = Analysis::from_compiled(model, compiled);
+    analysis.steady_state_availability().unwrap()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let model =
+        facility::line_model(Line::Line2, &strategies::dedicated()).expect("paper model builds");
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(30);
+
+    group.bench_function("line2_ded_availability/baseline", |b| {
+        b.iter(|| solve_availability(&model))
+    });
+
+    group.bench_function("line2_ded_availability/disabled_scope", |b| {
+        let recorder = Recorder::disabled();
+        b.iter(|| {
+            let _scope = recorder.enter();
+            solve_availability(&model)
+        })
+    });
+
+    group.bench_function("line2_ded_availability/recording", |b| {
+        b.iter(|| {
+            let recorder = Recorder::with_probes();
+            let _scope = recorder.enter();
+            solve_availability(&model)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 use arcade_lumping::{lump, subchain, InitialPartition, LumpedCtmc};
+use arcade_telemetry::Recorder;
 use ctmc::exec::{self, ExecOptions};
 use ctmc::{Ctmc, CtmcBuilder, RewardStructure};
 use serde::{Deserialize, Serialize};
@@ -285,17 +286,29 @@ impl CompiledModel {
         model: &ArcadeModel,
         options: ComposerOptions,
     ) -> Result<Self, ArcadeError> {
-        let mut compiled = Composer::new(model, options)?.explore()?;
+        let recorder = Recorder::current();
+        let mut compiled = {
+            let mut span = recorder.span("compose");
+            let compiled = Composer::new(model, options)?.explore()?;
+            span.count("components", model.components().len() as u64);
+            span.count("states", compiled.chain.num_states() as u64);
+            span.count("transitions", compiled.chain.num_transitions() as u64);
+            compiled
+        };
         if options.lumping != LumpingMode::Disabled {
             // Exact mode lumps the flat chain; compositional mode runs the
             // same final pass on the (already small) canonical chain, which
             // yields the same coarsest quotient as flat-then-lump.
-            compiled.lumped = Some(LumpedModel::build(
+            let mut span = recorder.span("lump");
+            span.count("states", compiled.chain.num_states() as u64);
+            let lumped = LumpedModel::build(
                 &compiled.chain,
                 &compiled.service_levels,
                 &compiled.operational,
                 &compiled.cost_rewards,
-            )?);
+            )?;
+            span.count("blocks", lumped.num_blocks() as u64);
+            compiled.lumped = Some(lumped);
         }
         Ok(compiled)
     }
@@ -703,7 +716,12 @@ impl<'a> Composer<'a> {
             ru_preemptive,
             smu_primaries,
             smu_spares,
-            families: detect_families(model),
+            families: {
+                let mut span = Recorder::current().span("detect-families");
+                let families = detect_families(model);
+                span.count("families", families.len() as u64);
+                families
+            },
             subtree_families: detect_subtree_families(model),
         })
     }

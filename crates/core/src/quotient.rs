@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 use arcade_symmetry::{chain_presentation_code, chains_identical};
+use arcade_telemetry::Recorder;
 use ctmc::{
     Ctmc, ExecOptions, RewardSolver, RewardStructure, SteadyStateSolver, TransientOptions,
     TransientSolver,
@@ -116,6 +117,10 @@ impl CompiledQuotient {
                 reason: format!("quotient start states must lie in 0..{n}"),
             });
         }
+        let mut span = Recorder::current().span("materialise");
+        span.count("states", n as u64);
+        span.count("source_states", source_states as u64);
+        span.count("disasters", disaster_starts.len() as u64);
         let chain = chain.with_initial_state(initial)?;
         Ok(CompiledQuotient {
             name,
@@ -323,6 +328,8 @@ impl CompiledQuotient {
     ///
     /// Propagates solver errors.
     pub fn availability(&self, exec: ExecOptions) -> Result<f64, ArcadeError> {
+        let mut span = Recorder::current().span("measure");
+        span.count("states", self.chain.num_states() as u64);
         let (pi, _) = self.stationary_counted(None, exec)?;
         Ok(self.availability_of(&pi))
     }
@@ -348,6 +355,9 @@ impl CompiledQuotient {
                 reason: format!("service level must be in [0, 1], got {service_level}"),
             });
         }
+        let mut span = Recorder::current().span("measure");
+        span.count("states", self.chain.num_states() as u64);
+        span.count("points", times.len() as u64);
         let start = self.start_for(Some(disaster))?;
         let chain = self.chain.with_initial_state(start)?;
         let goal = service_at_least(&self.service, service_level);
@@ -369,6 +379,9 @@ impl CompiledQuotient {
         times: &[f64],
         exec: ExecOptions,
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let mut span = Recorder::current().span("measure");
+        span.count("states", self.chain.num_states() as u64);
+        span.count("points", times.len() as u64);
         let (chain, rewards) = self.cost_setup(disaster)?;
         let solver = RewardSolver::new(&chain, rewards)?.with_options(transient_options(exec));
         let values = solver.instantaneous_series(times)?;
@@ -387,6 +400,9 @@ impl CompiledQuotient {
         times: &[f64],
         exec: ExecOptions,
     ) -> Result<Vec<(f64, f64)>, ArcadeError> {
+        let mut span = Recorder::current().span("measure");
+        span.count("states", self.chain.num_states() as u64);
+        span.count("points", times.len() as u64);
         let (chain, rewards) = self.cost_setup(disaster)?;
         let solver = RewardSolver::new(&chain, rewards)?.with_options(transient_options(exec));
         let values = solver.accumulated_series(times)?;

@@ -39,6 +39,7 @@
 //! [`LinearOperator`]: crate::ops::LinearOperator
 //! [`SparseMatrix`]: crate::sparse::SparseMatrix
 
+use arcade_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CtmcError;
@@ -121,6 +122,7 @@ pub struct OperatorSteadyStateSolver<'a, O: LinearOperator> {
     restart: usize,
     exec: ExecOptions,
     initial_guess: Option<Vec<f64>>,
+    recorder: Recorder,
 }
 
 impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
@@ -159,12 +161,20 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
             restart: DEFAULT_RESTART,
             exec: ExecOptions::default(),
             initial_guess: None,
+            recorder: Recorder::current(),
         })
     }
 
     /// Selects the iterative method.
     pub fn method(mut self, method: OperatorSteadyStateMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Overrides the telemetry recorder the solve reports spans and
+    /// convergence probes to. Observability only — never changes results.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -227,6 +237,17 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
     ///
     /// See [`OperatorSteadyStateSolver::solve`].
     pub fn solve_counted(&self) -> Result<(Vec<f64>, usize), CtmcError> {
+        let mut span = self.recorder.span("solve");
+        span.count("states", self.num_states() as u64);
+        let result = self.solve_counted_inner();
+        if let Ok((_, applies)) = &result {
+            span.count("iterations", *applies as u64);
+            span.count("operator_applies", *applies as u64);
+        }
+        result
+    }
+
+    fn solve_counted_inner(&self) -> Result<(Vec<f64>, usize), CtmcError> {
         let start = self.start_vector()?;
         let max_exit = self.exit_rates.iter().copied().fold(0.0f64, f64::max);
         if max_exit <= 0.0 {
@@ -343,6 +364,9 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
         let mut next = vec![0.0; n];
         let mut inflow = vec![0.0; n];
         let exit = &self.exit_rates;
+        let mut probe = self
+            .recorder
+            .probe("residual", OperatorSteadyStateMethod::Jacobi.tier_name());
         for iteration in 0..self.max_iterations {
             self.rates
                 .left_multiply_exec(&pi, &mut inflow, &self.exec)?;
@@ -365,6 +389,7 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
                     }
                 },
             );
+            probe.record(max_delta);
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
@@ -387,6 +412,9 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
         let mut next = vec![0.0; n];
         let mut inflow = vec![0.0; n];
         let exit = &self.exit_rates;
+        let mut probe = self
+            .recorder
+            .probe("residual", OperatorSteadyStateMethod::Power.tier_name());
         for iteration in 0..self.max_iterations {
             self.rates
                 .left_multiply_exec(&pi, &mut inflow, &self.exec)?;
@@ -397,6 +425,7 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
                 |s, inf| pi_ref[s] + (inf - pi_ref[s] * exit[s]) / q,
                 |s, inf| ((inf - pi_ref[s] * exit[s]) / q).abs(),
             );
+            probe.record(max_delta);
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
@@ -445,6 +474,9 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
         let mut w = vec![0.0; n];
         let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
         let mut residual_inf = f64::INFINITY;
+        let mut probe = self
+            .recorder
+            .probe("residual", OperatorSteadyStateMethod::Krylov.tier_name());
 
         while applies < self.max_iterations {
             // True residual r = e_k - x Ã.
@@ -453,6 +485,7 @@ impl<'a, O: LinearOperator> OperatorSteadyStateSolver<'a, O> {
             let mut r: Vec<f64> = w.iter().map(|v| -v).collect();
             r[k] += 1.0;
             residual_inf = r.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            probe.record(residual_inf);
             if residual_inf < self.tolerance {
                 clamp_normalize(&mut x);
                 return Ok((x, applies));

@@ -8,6 +8,7 @@
 //! steady-state distribution of each BSCC. This is what the CSL steady-state
 //! operator `S=? [ phi ]` evaluates.
 
+use arcade_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CtmcError;
@@ -29,6 +30,17 @@ pub enum SteadyStateMethod {
     Power,
 }
 
+impl SteadyStateMethod {
+    /// Stable identifier used in probe series, logs and JSON reports.
+    pub fn tier_name(&self) -> &'static str {
+        match self {
+            SteadyStateMethod::GaussSeidel => "gauss-seidel",
+            SteadyStateMethod::Jacobi => "damped-jacobi",
+            SteadyStateMethod::Power => "power",
+        }
+    }
+}
+
 /// Steady-state solver for labelled CTMCs.
 #[derive(Debug, Clone)]
 pub struct SteadyStateSolver<'a> {
@@ -38,10 +50,12 @@ pub struct SteadyStateSolver<'a> {
     max_iterations: usize,
     exec: ExecOptions,
     initial_guess: Option<Vec<f64>>,
+    recorder: Recorder,
 }
 
 impl<'a> SteadyStateSolver<'a> {
     /// Creates a solver with the default method (Gauss–Seidel) and tolerances.
+    /// Telemetry defaults to the ambient [`Recorder::current`] scope.
     pub fn new(chain: &'a Ctmc) -> Self {
         SteadyStateSolver {
             chain,
@@ -50,7 +64,15 @@ impl<'a> SteadyStateSolver<'a> {
             max_iterations: DEFAULT_MAX_ITERATIONS,
             exec: ExecOptions::default(),
             initial_guess: None,
+            recorder: Recorder::current(),
         }
+    }
+
+    /// Overrides the telemetry recorder the solve reports spans and
+    /// convergence probes to. Observability only — never changes results.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Selects the iterative method.
@@ -121,6 +143,16 @@ impl<'a> SteadyStateSolver<'a> {
     ///
     /// See [`SteadyStateSolver::solve`].
     pub fn solve_counted(&self) -> Result<(Vec<f64>, usize), CtmcError> {
+        let mut span = self.recorder.span("solve");
+        span.count("states", self.chain.num_states() as u64);
+        let result = self.solve_counted_inner();
+        if let Ok((_, iterations)) = &result {
+            span.count("iterations", *iterations as u64);
+        }
+        result
+    }
+
+    fn solve_counted_inner(&self) -> Result<(Vec<f64>, usize), CtmcError> {
         let n = self.chain.num_states();
         if let Some(guess) = &self.initial_guess {
             if guess.len() != n {
@@ -295,6 +327,9 @@ impl<'a> SteadyStateSolver<'a> {
         let incoming = rates.transpose();
         let mut pi = start;
         let m = pi.len();
+        let mut probe = self
+            .recorder
+            .probe("residual", SteadyStateMethod::GaussSeidel.tier_name());
 
         for iteration in 0..self.max_iterations {
             let mut max_delta: f64 = 0.0;
@@ -313,6 +348,7 @@ impl<'a> SteadyStateSolver<'a> {
                 max_delta = max_delta.max((new_value - pi[s]).abs());
                 pi[s] = new_value;
             }
+            probe.record(max_delta);
             normalize(&mut pi);
             if max_delta < self.tolerance {
                 return Ok((pi, iteration + 1));
@@ -343,6 +379,9 @@ impl<'a> SteadyStateSolver<'a> {
         // sweep shards across workers row-range-wise; per-row accumulation is
         // untouched and the iterates are bit-identical to the serial sweep.
         let workers = self.exec.workers_for(incoming.num_entries()).min(m.max(1));
+        let mut probe = self
+            .recorder
+            .probe("residual", SteadyStateMethod::Jacobi.tier_name());
 
         for iteration in 0..self.max_iterations {
             let max_delta = if workers <= 1 {
@@ -369,6 +408,7 @@ impl<'a> SteadyStateSolver<'a> {
                 });
                 delta
             };
+            probe.record(max_delta);
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
@@ -415,8 +455,12 @@ impl<'a> SteadyStateSolver<'a> {
 
         let mut pi = start;
         let mut next = vec![0.0; m];
+        let mut probe = self
+            .recorder
+            .probe("residual", SteadyStateMethod::Power.tier_name());
         for iteration in 0..self.max_iterations {
             let max_delta = p.left_multiply_delta_exec(&pi, &mut next, &self.exec)?;
+            probe.record(max_delta);
             std::mem::swap(&mut pi, &mut next);
             normalize(&mut pi);
             if max_delta < self.tolerance {
@@ -809,5 +853,51 @@ mod tests {
             .tolerance(1e-16)
             .solve();
         assert!(matches!(result, Err(CtmcError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(SteadyStateMethod::GaussSeidel.tier_name(), "gauss-seidel");
+        assert_eq!(SteadyStateMethod::Jacobi.tier_name(), "damped-jacobi");
+        assert_eq!(SteadyStateMethod::Power.tier_name(), "power");
+    }
+
+    #[test]
+    fn recorder_captures_solve_span_and_residual_series_without_changing_results() {
+        let chain = two_state(0.002, 0.2);
+        let plain = SteadyStateSolver::new(&chain).solve_counted().unwrap();
+        for method in [
+            SteadyStateMethod::GaussSeidel,
+            SteadyStateMethod::Jacobi,
+            SteadyStateMethod::Power,
+        ] {
+            let reference = SteadyStateSolver::new(&chain)
+                .method(method)
+                .solve_counted()
+                .unwrap();
+            let recorder = arcade_telemetry::Recorder::with_probes();
+            let traced = SteadyStateSolver::new(&chain)
+                .method(method)
+                .recorder(recorder.clone())
+                .solve_counted()
+                .unwrap();
+            assert_eq!(traced, reference, "{method:?}: tracing must not perturb");
+            assert_eq!(recorder.span_count("solve"), 1);
+            assert_eq!(
+                recorder.counter_total("solve", "iterations"),
+                reference.1 as u64
+            );
+            let series = recorder.series();
+            assert_eq!(series.len(), 1, "{method:?}: one residual series");
+            assert_eq!(series[0].kind, "residual");
+            assert_eq!(series[0].tier, method.tier_name());
+            assert_eq!(series[0].values.len(), reference.1);
+            let last = *series[0].values.last().unwrap();
+            assert!(last < 1e-8, "{method:?}: converged residual, got {last}");
+        }
+        // The ambient default (no scope, no global) records nothing and the
+        // result is bit-identical.
+        let ambient = SteadyStateSolver::new(&chain).solve_counted().unwrap();
+        assert_eq!(ambient, plain);
     }
 }

@@ -8,6 +8,8 @@
 //! absorbing-state transformation, and the "expected total time spent per
 //! state" vector used for accumulated-reward measures.
 
+use arcade_telemetry::Recorder;
+
 use crate::error::CtmcError;
 use crate::exec::ExecOptions;
 use crate::foxglynn::FoxGlynn;
@@ -102,6 +104,10 @@ impl<'a> TransientSolver<'a> {
         let windows = self.poisson_windows(q, times)?;
         let global_right = max_right(&windows);
         let n = self.chain.num_states();
+        let mut span = Recorder::current().span("transient");
+        span.count("states", n as u64);
+        span.count("steps", global_right as u64 + 1);
+        span.count("points", times.len() as u64);
 
         let mut vk = initial.clone(); // pi(0) * P^k
         let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
@@ -180,6 +186,10 @@ impl<'a> TransientSolver<'a> {
         let (q, p) = uniformize_matrix(self.chain, &self.options)?;
         let windows = self.poisson_windows(q, times)?;
         let global_right = max_right(&windows);
+        let mut span = Recorder::current().span("transient");
+        span.count("states", n as u64);
+        span.count("steps", global_right as u64 + 1);
+        span.count("points", times.len() as u64);
 
         let mut vk = self.chain.initial_distribution().to_vec();
         let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
@@ -309,6 +319,10 @@ impl<'a> TransientSolver<'a> {
         let (q, p) = uniformize_matrix(&transformed, &self.options)?;
         let windows = self.poisson_windows(q, times)?;
         let global_right = max_right(&windows);
+        let mut span = Recorder::current().span("transient");
+        span.count("states", n as u64);
+        span.count("steps", global_right as u64 + 1);
+        span.count("points", times.len() as u64);
 
         let mut xk = indicator.clone();
         let mut results: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();

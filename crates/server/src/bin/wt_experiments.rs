@@ -22,13 +22,17 @@
 //! wt-experiments simulate line2/ded --measure cost --disaster disaster-2-mixed \
 //!     --horizon 48 --bias 100 --json
 //!
+//! wt-experiments --trace out.json facility --k 3   # Chrome-trace any command
+//!
 //! wt-experiments serve --port 7411          # run the analysis daemon
+//! wt-experiments serve --trace-dir traces/  # …with the per-query flight recorder
 //! wt-experiments query --port 7411 availability line1/ded
 //! wt-experiments query --port 7411 survivability line2/ded \
 //!     disaster-2-mixed 1.0 0,20,40,60
 //! wt-experiments query --port 7411 cost accumulated facility/ded+ded \
 //!     facility-all-pumps 0,50,100
-//! wt-experiments query --port 7411 stats
+//! wt-experiments query --port 7411 stats    # counter + latency table
+//! wt-experiments query --port 7411 metrics  # Prometheus text exposition
 //! wt-experiments query --port 7411 shutdown
 //! ```
 //!
@@ -69,45 +73,93 @@ use std::sync::Arc;
 
 use arcade_core::ExecOptions;
 use arcade_server::{
-    server, AnalysisService, Client, CostKind, Json, Request, Response, SimMeasure,
+    server, AnalysisService, Client, CostKind, Json, QueryOp, Request, Response, SimMeasure,
+    StatsSnapshot,
 };
+use arcade_telemetry::Recorder;
 use watertreatment::experiments::{
     self, grids, Figure, KLineReductionRow, SymmetryReductionRow, Table1Row, Table2Row,
     TableFacilityRow,
 };
 use watertreatment::{Line, LineSelection, ModelSpec};
 
-const USAGE: &str = "usage: wt-experiments [--threads N] [--line I0,I1|all] [--symmetric-only] \
+const USAGE: &str = "usage: wt-experiments [--trace FILE] [--threads N] [--line I0,I1|all] \
+     [--symmetric-only] \
      [--json] [all|table1|table2|facility|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]...\n\
      |  wt-experiments facility [--k K0,K1,..] [--strategy S] [--lines S0,S1,..] \
      [--threads N] [--json]\n\
      |  wt-experiments simulate MODEL [--measure unavailability|ttf|cost] [--disaster D] \
      [--horizon H] [--replications N] [--seed S] [--bias B] [--alpha A] [--threads N] [--json]\n\
-     |  wt-experiments serve [--port N] [--threads N] [--cache-cap N]\n\
-     |  wt-experiments query [--port N] \
-     <ping|stats|shutdown|availability MODEL|simulate MODEL|\
+     |  wt-experiments serve [--port N] [--threads N] [--cache-cap N] [--trace-dir DIR]\n\
+     |  wt-experiments query [--port N] [--json] \
+     <ping|stats|metrics|shutdown|availability MODEL|simulate MODEL|\
 survivability MODEL DISASTER LEVEL T0,T1,..|\
 cost instantaneous|accumulated MODEL DISASTER|- T0,T1,..>";
 
 const DEFAULT_PORT: u16 = 7411;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace FILE` wraps any subcommand: install a process-global recorder
+    // (spans + probes), run the command, write the Chrome-trace JSON.
+    let trace_file = match extract_trace_flag(&mut args) {
+        Ok(path) => path,
+        Err(message) => return usage_error(&message),
+    };
+    let recorder = trace_file.as_ref().map(|_| {
+        let recorder = Recorder::with_probes();
+        Recorder::install_global(recorder.clone());
+        recorder
+    });
+    let code = match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("query") => query_main(&args[1..]),
         Some("simulate") => simulate_main(&args[1..]),
         _ => experiments_main(&args),
+    };
+    if let (Some(path), Some(recorder)) = (trace_file, recorder) {
+        match std::fs::write(&path, recorder.chrome_trace()) {
+            Ok(()) => eprintln!(
+                "trace: {} spans written to {path} (chrome://tracing, Perfetto)",
+                recorder.spans().len()
+            ),
+            Err(err) => {
+                eprintln!("cannot write trace file `{path}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    code
 }
 
-/// `serve [--port N] [--threads N] [--cache-cap N]`: run the daemon in the
-/// foreground. `--cache-cap` bounds the quotient cache to N spec keys with
-/// least-recently-used eviction (unbounded by default).
+/// Removes `--trace FILE` / `--trace=FILE` from `args`, returning the file.
+fn extract_trace_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(position) = args
+        .iter()
+        .position(|arg| arg == "--trace" || arg.starts_with("--trace="))
+    else {
+        return Ok(None);
+    };
+    let arg = args.remove(position);
+    if let Some(value) = arg.strip_prefix("--trace=") {
+        return Ok(Some(value.to_string()));
+    }
+    if position < args.len() {
+        return Ok(Some(args.remove(position)));
+    }
+    Err("--trace expects a file path".to_string())
+}
+
+/// `serve [--port N] [--threads N] [--cache-cap N] [--trace-dir DIR]`: run
+/// the daemon in the foreground. `--cache-cap` bounds the quotient cache to
+/// N spec keys with least-recently-used eviction (unbounded by default);
+/// `--trace-dir` turns on the flight recorder (a bounded ring of per-query
+/// Chrome-trace files, query ids echoed in replies).
 fn serve_main(args: &[String]) -> ExitCode {
     let mut port = DEFAULT_PORT;
     let mut exec = ExecOptions::default();
     let mut cache_cap: Option<usize> = None;
+    let mut trace_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(result) = flag_value(arg, "--port", &mut iter) {
@@ -137,14 +189,24 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Ok(cap) => cache_cap = Some(cap),
                 Err(message) => return usage_error(&message),
             }
+        } else if let Some(result) = flag_value(arg, "--trace-dir", &mut iter) {
+            match result {
+                Ok(dir) => trace_dir = Some(dir),
+                Err(message) => return usage_error(&message),
+            }
         } else {
             return usage_error(&format!("unknown serve option `{arg}`"));
         }
     }
-    let service = Arc::new(match cache_cap {
+    let mut service = match cache_cap {
         Some(cap) => AnalysisService::with_cache_capacity(exec, cap),
         None => AnalysisService::new(exec),
-    });
+    };
+    if let Some(dir) = &trace_dir {
+        service = service.with_trace_dir(dir);
+        println!("flight recorder on: per-query traces in {dir}/query-NNNNNN.json");
+    }
+    let service = Arc::new(service);
     let handle = match server::spawn(("127.0.0.1", port), service) {
         Ok(handle) => handle,
         Err(err) => {
@@ -162,9 +224,12 @@ fn serve_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `query [--port N] <op> [args...]`: one request, print the JSON payload.
+/// `query [--port N] [--json] <op> [args...]`: one request. Most ops print
+/// the JSON payload; `stats` renders a counter/latency table and `metrics`
+/// prints the Prometheus text unless `--json` asks for the raw payload.
 fn query_main(args: &[String]) -> ExitCode {
     let mut port = DEFAULT_PORT;
+    let mut json = false;
     let mut rest: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -177,6 +242,8 @@ fn query_main(args: &[String]) -> ExitCode {
                 Ok(p) => port = p,
                 Err(message) => return usage_error(&message),
             }
+        } else if arg == "--json" {
+            json = true;
         } else {
             rest.push(arg);
         }
@@ -192,16 +259,99 @@ fn query_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match client.request(&request) {
-        Ok(payload) => {
-            println!("{payload}");
-            ExitCode::SUCCESS
-        }
+    let payload = match client.request(&request) {
+        Ok(payload) => payload,
         Err(err) => {
             eprintln!("query failed: {err}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    match request {
+        Request::Stats if !json => match StatsSnapshot::from_json(&payload) {
+            Ok(snapshot) => print!("{}", format_stats(&snapshot)),
+            Err(err) => {
+                eprintln!("malformed stats payload: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Request::Metrics if !json => match payload.get("metrics").and_then(Json::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("reply lacks a `metrics` text field: {payload}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => println!("{payload}"),
     }
+    ExitCode::SUCCESS
+}
+
+/// The human rendering of a stats snapshot: the scalar counters followed by
+/// an aligned per-op latency percentile table.
+fn format_stats(snapshot: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "uptime {} s  queries {}  cache {}/{} hit/miss (evictions {})  coalesced {}\n",
+        snapshot.uptime_seconds,
+        snapshot.queries,
+        snapshot.cache_hits,
+        snapshot.cache_misses,
+        snapshot.evictions,
+        snapshot.coalesced_queries,
+    ));
+    out.push_str(&format!(
+        "solves {} ({} warm)  tiers gs/jacobi/krylov {}/{}/{}  transient passes {}\n",
+        snapshot.stationary_solves,
+        snapshot.warm_solves,
+        snapshot.gs_materialised_solves,
+        snapshot.jacobi_operator_solves,
+        snapshot.krylov_operator_solves,
+        snapshot.transient_passes,
+    ));
+    out.push_str(&format!(
+        "simulate {} runs / {} replications\n\n",
+        snapshot.simulate_runs, snapshot.simulate_replications,
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+        "op", "count", "p50(us)", "p90(us)", "p99(us)", "max(us)"
+    ));
+    let quantile = |value: Option<u64>| value.map_or("-".to_string(), |v| v.to_string());
+    for op in QueryOp::ALL {
+        let hist = snapshot.latency_of(op);
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+            op.name(),
+            snapshot.queries_of(op),
+            quantile(hist.p50()),
+            quantile(hist.p90()),
+            quantile(hist.p99()),
+            if hist.count > 0 {
+                hist.max.to_string()
+            } else {
+                "-".to_string()
+            },
+        ));
+    }
+    for (label, hist) in [
+        ("solve-iters", &snapshot.solve_iterations_hist),
+        ("sim-batches", &snapshot.replication_batches_hist),
+    ] {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+            label,
+            hist.count,
+            quantile(hist.p50()),
+            quantile(hist.p90()),
+            quantile(hist.p99()),
+            if hist.count > 0 {
+                hist.max.to_string()
+            } else {
+                "-".to_string()
+            },
+        ));
+    }
+    out
 }
 
 /// `simulate MODEL [--measure M] [--disaster D] [--horizon H]
@@ -352,6 +502,7 @@ fn parse_query(words: &[&String]) -> Result<Request, String> {
     match words {
         [op] if op.as_str() == "ping" => Ok(Request::Ping),
         [op] if op.as_str() == "stats" => Ok(Request::Stats),
+        [op] if op.as_str() == "metrics" => Ok(Request::Metrics),
         [op] if op.as_str() == "shutdown" => Ok(Request::Shutdown),
         [op, model] if op.as_str() == "availability" => Ok(Request::Availability {
             model: model.to_string(),

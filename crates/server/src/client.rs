@@ -203,6 +203,21 @@ impl Client {
         StatsSnapshot::from_json(&payload).map_err(ClientError::Protocol)
     }
 
+    /// The daemon's Prometheus-style text exposition (the `metrics` op).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; also fails on a reply without the `metrics`
+    /// text field.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let payload = self.request(&Request::Metrics)?;
+        payload
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("reply lacks a `metrics` text field".into()))
+    }
+
     /// Asks the daemon to stop (acknowledged before it exits).
     ///
     /// # Errors

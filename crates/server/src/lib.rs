@@ -41,4 +41,4 @@ pub use json::Json;
 pub use protocol::{CostKind, Request, Response, SimMeasure};
 pub use server::{serve, spawn, ServerHandle};
 pub use service::AnalysisService;
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{QueryOp, ServiceStats, StatsSnapshot};

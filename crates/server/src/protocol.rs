@@ -11,6 +11,7 @@
 //! {"op":"cost","kind":"accumulated","model":"facility/ded+ded",
 //!  "disaster":"facility-all-pumps","times":[0,50,100]}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -138,6 +139,8 @@ pub enum Request {
     },
     /// Service counters snapshot.
     Stats,
+    /// Prometheus-style text exposition of the service counters.
+    Metrics,
     /// Stop the daemon (after acknowledging).
     Shutdown,
 }
@@ -153,6 +156,7 @@ impl Request {
         match self {
             Request::Ping => Json::object(vec![("op", Json::from("ping"))]),
             Request::Stats => Json::object(vec![("op", Json::from("stats"))]),
+            Request::Metrics => Json::object(vec![("op", Json::from("metrics"))]),
             Request::Shutdown => Json::object(vec![("op", Json::from("shutdown"))]),
             Request::Availability { model } => Json::object(vec![
                 ("op", Json::from("availability")),
@@ -245,6 +249,7 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "availability" => Ok(Request::Availability { model: model(op)? }),
             "survivability" => Ok(Request::Survivability {
@@ -394,6 +399,7 @@ mod tests {
         let requests = vec![
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Availability {
                 model: "line1/ded".into(),

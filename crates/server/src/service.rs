@@ -19,17 +19,26 @@
 //!    solved), which shortens the Gauss–Seidel iteration without moving the
 //!    fixed point beyond solver tolerance.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use arcade_core::{ArcadeError, ComposerOptions, ExecOptions};
 use arcade_sim::{QuotientSimulator, SimulationOptions};
+use arcade_telemetry::Recorder;
 use watertreatment::ModelSpec;
 
 use crate::cache::{CacheEntry, QuotientCache};
 use crate::coalesce::{Coalescer, Role};
 use crate::json::Json;
 use crate::protocol::{CostKind, Request, Response, SimMeasure};
-use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::stats::{QueryOp, ServiceStats, StatsSnapshot};
+
+/// How many per-query trace files the flight recorder keeps on disk: writing
+/// trace `n` deletes trace `n - TRACE_RING`, so a long-running daemon holds a
+/// bounded ring of the most recent queries.
+const TRACE_RING: u64 = 64;
 
 /// The result of one stationary solve, shared by every coalesced waiter.
 #[derive(Clone)]
@@ -70,6 +79,8 @@ pub struct AnalysisService {
     builds: Coalescer<String, Result<Arc<CacheEntry>, ArcadeError>>,
     stationary: Coalescer<u64, Result<StationarySolve, ArcadeError>>,
     curves: Coalescer<CurveKey, Result<Vec<(f64, f64)>, ArcadeError>>,
+    trace_dir: Option<PathBuf>,
+    query_ids: AtomicU64,
 }
 
 impl AnalysisService {
@@ -96,7 +107,21 @@ impl AnalysisService {
             builds: Coalescer::new(),
             stationary: Coalescer::new(),
             curves: Coalescer::new(),
+            trace_dir: None,
+            query_ids: AtomicU64::new(0),
         }
+    }
+
+    /// Turns on the flight recorder: every query runs under its own enabled
+    /// [`Recorder`] (probes included), its Chrome-trace JSON is written to
+    /// `dir/query-NNNNNN.json`, only the most recent [`TRACE_RING`] files are
+    /// kept, and successful payloads carry the `query_id` the file is named
+    /// after. Tracing never changes results — spans observe, they do not
+    /// steer.
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
     }
 
     /// The worker pool queries run on.
@@ -118,12 +143,59 @@ impl AnalysisService {
     }
 
     /// Handles one request, never panicking on bad input: every failure is a
-    /// [`Response::Err`].
+    /// [`Response::Err`]. Query ops are timed into the per-op latency
+    /// histograms; with a trace dir configured each query additionally runs
+    /// under its own recorder and lands in the flight-recorder ring.
     pub fn handle(&self, request: &Request) -> Response {
         self.stats.query();
+        let op = op_of(request);
+        let start = Instant::now();
+        let response = match &self.trace_dir {
+            None => self.dispatch(request),
+            Some(dir) => {
+                let id = self.query_ids.fetch_add(1, Ordering::Relaxed);
+                let recorder = Recorder::with_probes();
+                let response = {
+                    let _scope = recorder.enter();
+                    self.dispatch(request)
+                };
+                self.write_trace(dir, id, &recorder);
+                match response {
+                    Response::Ok(Json::Object(mut fields)) => {
+                        fields.push(("query_id".to_string(), Json::from(id)));
+                        Response::Ok(Json::Object(fields))
+                    }
+                    other => other,
+                }
+            }
+        };
+        if let Some(op) = op {
+            self.stats.op_served(op, start.elapsed().as_micros() as u64);
+        }
+        response
+    }
+
+    /// Writes one flight-recorder trace and prunes the ring. IO failures are
+    /// swallowed: tracing must never fail a query.
+    fn write_trace(&self, dir: &Path, id: u64, recorder: &Recorder) {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("query-{id:06}.json")),
+            recorder.chrome_trace(),
+        );
+        if id >= TRACE_RING {
+            let _ = std::fs::remove_file(dir.join(format!("query-{:06}.json", id - TRACE_RING)));
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
         let result = match request {
             Request::Ping => Ok(Json::object(vec![("pong", Json::Bool(true))])),
             Request::Stats => Ok(self.stats().to_json()),
+            Request::Metrics => Ok(Json::object(vec![(
+                "metrics",
+                Json::from(self.stats().to_prometheus()),
+            )])),
             Request::Shutdown => Ok(Json::object(vec![("stopping", Json::Bool(true))])),
             Request::Availability { model } => self.availability(model),
             Request::Survivability {
@@ -299,7 +371,8 @@ impl AnalysisService {
             SimMeasure::TimeToFailure => simulator.time_to_failure(horizon, alpha, &options)?,
             SimMeasure::Cost => simulator.accumulated_cost(disaster, horizon, alpha, &options)?,
         };
-        self.stats.simulate_run(replications);
+        let batches = replications.div_ceil(options.batch.max(1));
+        self.stats.simulate_run(replications, batches);
 
         let mut fields = vec![
             ("model", Json::from(ModelSpec::parse(model)?.canonical())),
@@ -423,6 +496,20 @@ impl AnalysisService {
             exec: self.exec,
             ..ComposerOptions::default()
         }
+    }
+}
+
+/// The tracked query op of a request (`None` for ping/shutdown control
+/// traffic).
+fn op_of(request: &Request) -> Option<QueryOp> {
+    match request {
+        Request::Availability { .. } => Some(QueryOp::Availability),
+        Request::Survivability { .. } => Some(QueryOp::Survivability),
+        Request::Cost { .. } => Some(QueryOp::Cost),
+        Request::Simulate { .. } => Some(QueryOp::Simulate),
+        Request::Stats => Some(QueryOp::Stats),
+        Request::Metrics => Some(QueryOp::Metrics),
+        Request::Ping | Request::Shutdown => None,
     }
 }
 
@@ -677,6 +764,109 @@ mod tests {
         // Unknown disasters fail cleanly.
         let bad = base(SimMeasure::Cost, Some("no-such-disaster".into()), 1.0);
         assert!(matches!(service.handle(&bad), Response::Err(_)));
+    }
+
+    #[test]
+    fn per_op_latency_histograms_fill_as_queries_run() {
+        let service = service();
+        let availability = Request::Availability {
+            model: "line2/ded".into(),
+        };
+        assert!(matches!(service.handle(&availability), Response::Ok(_)));
+        assert!(matches!(service.handle(&availability), Response::Ok(_)));
+        assert!(matches!(service.handle(&Request::Stats), Response::Ok(_)));
+        assert!(matches!(service.handle(&Request::Ping), Response::Ok(_)));
+        let stats = service.stats();
+        assert_eq!(stats.availability_queries, 2);
+        assert_eq!(stats.stats_queries, 1);
+        assert_eq!(stats.latency_availability.count, 2);
+        assert!(stats.latency_availability.p50().is_some());
+        assert_eq!(stats.queries, 4, "ping counts as a query…");
+        let tracked: u64 = crate::stats::QueryOp::ALL
+            .iter()
+            .map(|op| stats.queries_of(*op))
+            .sum();
+        assert_eq!(tracked, 3, "…but has no per-op histogram");
+    }
+
+    #[test]
+    fn metrics_op_returns_parseable_prometheus_text_agreeing_with_stats() {
+        let service = service();
+        assert!(matches!(
+            service.handle(&Request::Availability {
+                model: "line2/ded".into(),
+            }),
+            Response::Ok(_)
+        ));
+        let payload = match service.handle(&Request::Metrics) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("metrics failed: {err}"),
+        };
+        let text = payload.get("metrics").unwrap().as_str().unwrap();
+        let value_of = |name: &str| -> Option<f64> {
+            text.lines()
+                .find(|line| line.split(' ').next() == Some(name))
+                .and_then(|line| line.split(' ').nth(1))
+                .and_then(|v| v.parse().ok())
+        };
+        // The metrics query itself is already counted by the time the
+        // exposition renders.
+        assert_eq!(value_of("arcade_queries_total"), Some(2.0));
+        assert_eq!(
+            value_of("arcade_queries_op_total{op=\"availability\"}"),
+            Some(1.0)
+        );
+        assert_eq!(value_of("arcade_stationary_solves_total"), Some(1.0));
+        assert_eq!(
+            value_of("arcade_tier_solves_total{tier=\"gs-materialised\"}"),
+            Some(1.0)
+        );
+        // The exposition agrees with the structured snapshot taken after it.
+        let stats = service.stats();
+        assert_eq!(stats.stationary_solves, 1);
+        assert_eq!(stats.metrics_queries, 1);
+    }
+
+    #[test]
+    fn flight_recorder_writes_ring_traces_and_echoes_query_ids() {
+        let dir = std::env::temp_dir().join(format!(
+            "arcade-flight-recorder-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = AnalysisService::new(ExecOptions::serial()).with_trace_dir(&dir);
+        let untraced = AnalysisService::new(ExecOptions::serial());
+        let request = Request::Availability {
+            model: "line2/ded".into(),
+        };
+        let traced_payload = match service.handle(&request) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("traced query failed: {err}"),
+        };
+        assert_eq!(
+            traced_payload.get("query_id").and_then(Json::as_usize),
+            Some(0),
+            "the first query is trace 0: {traced_payload}"
+        );
+        // Tracing never perturbs numerics: same bits as an untraced service.
+        let reference = match untraced.handle(&request) {
+            Response::Ok(payload) => payload,
+            Response::Err(err) => panic!("untraced query failed: {err}"),
+        };
+        let bits = |p: &Json| p.get("availability").unwrap().as_f64().unwrap().to_bits();
+        assert_eq!(bits(&traced_payload), bits(&reference));
+        // The trace file exists, parses as JSON and carries the solve span.
+        let trace = std::fs::read_to_string(dir.join("query-000000.json")).unwrap();
+        let parsed = Json::parse(&trace).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("solve")),
+            "trace lacks the solve span: {trace}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,13 +1,65 @@
-//! Service counters: cache effectiveness, warm-start savings, coalescing.
+//! Service counters: cache effectiveness, warm-start savings, coalescing,
+//! per-op latency histograms and uptime.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use arcade_telemetry::{Histogram, HistogramSnapshot};
 
 use crate::json::Json;
 
+/// The query operations the daemon tracks per-op counters and latency
+/// histograms for (the compute-bearing ops plus the introspection ops; ping
+/// and shutdown are control traffic and only count into `queries`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Steady-state availability.
+    Availability,
+    /// Survivability curve after a disaster.
+    Survivability,
+    /// Instantaneous or accumulated cost curve.
+    Cost,
+    /// Monte-Carlo simulation.
+    Simulate,
+    /// Counter snapshot.
+    Stats,
+    /// Prometheus-style exposition.
+    Metrics,
+}
+
+impl QueryOp {
+    /// All tracked ops, in wire/exposition order.
+    pub const ALL: [QueryOp; 6] = [
+        QueryOp::Availability,
+        QueryOp::Survivability,
+        QueryOp::Cost,
+        QueryOp::Simulate,
+        QueryOp::Stats,
+        QueryOp::Metrics,
+    ];
+
+    /// Stable lowercase identifier (wire fields, Prometheus labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryOp::Availability => "availability",
+            QueryOp::Survivability => "survivability",
+            QueryOp::Cost => "cost",
+            QueryOp::Simulate => "simulate",
+            QueryOp::Stats => "stats",
+            QueryOp::Metrics => "metrics",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
 /// Lock-free counters updated by every query; snapshot with
 /// [`ServiceStats::snapshot`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceStats {
+    started: Instant,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -23,16 +75,60 @@ pub struct ServiceStats {
     krylov_operator_solves: AtomicU64,
     simulate_runs: AtomicU64,
     simulate_replications: AtomicU64,
+    op_counts: [AtomicU64; QueryOp::ALL.len()],
+    op_latency: [Histogram; QueryOp::ALL.len()],
+    solve_iterations: Histogram,
+    replication_batches: Histogram,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            interned_shared: AtomicU64::new(0),
+            stationary_solves: AtomicU64::new(0),
+            warm_solves: AtomicU64::new(0),
+            cold_iterations: AtomicU64::new(0),
+            warm_iterations: AtomicU64::new(0),
+            transient_passes: AtomicU64::new(0),
+            coalesced_queries: AtomicU64::new(0),
+            gs_materialised_solves: AtomicU64::new(0),
+            jacobi_operator_solves: AtomicU64::new(0),
+            krylov_operator_solves: AtomicU64::new(0),
+            simulate_runs: AtomicU64::new(0),
+            simulate_replications: AtomicU64::new(0),
+            op_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            op_latency: std::array::from_fn(|_| Histogram::new()),
+            solve_iterations: Histogram::new(),
+            replication_batches: Histogram::new(),
+        }
+    }
 }
 
 impl ServiceStats {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters (uptime starts now).
     pub fn new() -> Self {
         ServiceStats::default()
     }
 
+    /// Whole seconds since the stats (and thus the service) were created.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
     pub(crate) fn query(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served query of `op` and its wall-clock latency in
+    /// microseconds (per-op counter plus the log-bucketed latency
+    /// histogram; both lock-free).
+    pub(crate) fn op_served(&self, op: QueryOp, latency_us: u64) {
+        self.op_counts[op.index()].fetch_add(1, Ordering::Relaxed);
+        self.op_latency[op.index()].record(latency_us);
     }
 
     pub(crate) fn cache_hit(&self) {
@@ -49,6 +145,7 @@ impl ServiceStats {
 
     pub(crate) fn stationary_solve(&self, warm: bool, iterations: usize) {
         self.stationary_solves.fetch_add(1, Ordering::Relaxed);
+        self.solve_iterations.record(iterations as u64);
         if warm {
             self.warm_solves.fetch_add(1, Ordering::Relaxed);
             self.warm_iterations
@@ -72,11 +169,13 @@ impl ServiceStats {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one simulate query and the replications it ran.
-    pub(crate) fn simulate_run(&self, replications: usize) {
+    /// Records one simulate query, the replications it ran and the number of
+    /// parallel batches they were scheduled in.
+    pub(crate) fn simulate_run(&self, replications: usize, batches: usize) {
         self.simulate_runs.fetch_add(1, Ordering::Relaxed);
         self.simulate_replications
             .fetch_add(replications as u64, Ordering::Relaxed);
+        self.replication_batches.record(batches as u64);
     }
 
     pub(crate) fn transient_pass(&self) {
@@ -87,10 +186,13 @@ impl ServiceStats {
         self.coalesced_queries.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of all counters.
+    /// A point-in-time copy of all counters and histograms.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let op_count = |op: QueryOp| self.op_counts[op.index()].load(Ordering::Relaxed);
+        let op_hist = |op: QueryOp| self.op_latency[op.index()].snapshot();
         StatsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
+            uptime_seconds: self.uptime_seconds(),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             interned_shared: self.interned_shared.load(Ordering::Relaxed),
@@ -106,16 +208,32 @@ impl ServiceStats {
             krylov_operator_solves: self.krylov_operator_solves.load(Ordering::Relaxed),
             simulate_runs: self.simulate_runs.load(Ordering::Relaxed),
             simulate_replications: self.simulate_replications.load(Ordering::Relaxed),
+            availability_queries: op_count(QueryOp::Availability),
+            survivability_queries: op_count(QueryOp::Survivability),
+            cost_queries: op_count(QueryOp::Cost),
+            simulate_queries: op_count(QueryOp::Simulate),
+            stats_queries: op_count(QueryOp::Stats),
+            metrics_queries: op_count(QueryOp::Metrics),
+            latency_availability: op_hist(QueryOp::Availability),
+            latency_survivability: op_hist(QueryOp::Survivability),
+            latency_cost: op_hist(QueryOp::Cost),
+            latency_simulate: op_hist(QueryOp::Simulate),
+            latency_stats: op_hist(QueryOp::Stats),
+            latency_metrics: op_hist(QueryOp::Metrics),
+            solve_iterations_hist: self.solve_iterations.snapshot(),
+            replication_batches_hist: self.replication_batches.snapshot(),
         }
     }
 }
 
 /// A point-in-time copy of the [`ServiceStats`] counters (also the payload of
 /// the `stats` op).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Requests handled (all ops).
     pub queries: u64,
+    /// Whole seconds the service has been up.
+    pub uptime_seconds: u64,
     /// Model lookups answered from the quotient cache.
     pub cache_hits: u64,
     /// Model lookups that had to compile.
@@ -150,6 +268,34 @@ pub struct StatsSnapshot {
     pub simulate_runs: u64,
     /// Total replications run across all simulate queries.
     pub simulate_replications: u64,
+    /// Availability queries served.
+    pub availability_queries: u64,
+    /// Survivability queries served.
+    pub survivability_queries: u64,
+    /// Cost-curve queries served.
+    pub cost_queries: u64,
+    /// Simulate queries served.
+    pub simulate_queries: u64,
+    /// Stats queries served.
+    pub stats_queries: u64,
+    /// Metrics queries served.
+    pub metrics_queries: u64,
+    /// Latency histogram (µs) of availability queries.
+    pub latency_availability: HistogramSnapshot,
+    /// Latency histogram (µs) of survivability queries.
+    pub latency_survivability: HistogramSnapshot,
+    /// Latency histogram (µs) of cost queries.
+    pub latency_cost: HistogramSnapshot,
+    /// Latency histogram (µs) of simulate queries.
+    pub latency_simulate: HistogramSnapshot,
+    /// Latency histogram (µs) of stats queries.
+    pub latency_stats: HistogramSnapshot,
+    /// Latency histogram (µs) of metrics queries.
+    pub latency_metrics: HistogramSnapshot,
+    /// Histogram of sweeps per stationary solve.
+    pub solve_iterations_hist: HistogramSnapshot,
+    /// Histogram of parallel batches per simulate query.
+    pub replication_batches_hist: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -165,10 +311,35 @@ impl StatsSnapshot {
         (self.warm_solves > 0).then(|| self.warm_iterations as f64 / self.warm_solves as f64)
     }
 
+    /// The latency histogram of `op` (all empty until the op is queried).
+    pub fn latency_of(&self, op: QueryOp) -> &HistogramSnapshot {
+        match op {
+            QueryOp::Availability => &self.latency_availability,
+            QueryOp::Survivability => &self.latency_survivability,
+            QueryOp::Cost => &self.latency_cost,
+            QueryOp::Simulate => &self.latency_simulate,
+            QueryOp::Stats => &self.latency_stats,
+            QueryOp::Metrics => &self.latency_metrics,
+        }
+    }
+
+    /// The per-op query counter of `op`.
+    pub fn queries_of(&self, op: QueryOp) -> u64 {
+        match op {
+            QueryOp::Availability => self.availability_queries,
+            QueryOp::Survivability => self.survivability_queries,
+            QueryOp::Cost => self.cost_queries,
+            QueryOp::Simulate => self.simulate_queries,
+            QueryOp::Stats => self.stats_queries,
+            QueryOp::Metrics => self.metrics_queries,
+        }
+    }
+
     /// Encodes the snapshot as its wire object.
     pub fn to_json(&self) -> Json {
         Json::object(vec![
             ("queries", Json::from(self.queries)),
+            ("uptime_seconds", Json::from(self.uptime_seconds)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("interned_shared", Json::from(self.interned_shared)),
@@ -196,10 +367,43 @@ impl StatsSnapshot {
                 "simulate_replications",
                 Json::from(self.simulate_replications),
             ),
+            (
+                "availability_queries",
+                Json::from(self.availability_queries),
+            ),
+            (
+                "survivability_queries",
+                Json::from(self.survivability_queries),
+            ),
+            ("cost_queries", Json::from(self.cost_queries)),
+            ("simulate_queries", Json::from(self.simulate_queries)),
+            ("stats_queries", Json::from(self.stats_queries)),
+            ("metrics_queries", Json::from(self.metrics_queries)),
+            (
+                "latency_availability",
+                hist_to_json(&self.latency_availability),
+            ),
+            (
+                "latency_survivability",
+                hist_to_json(&self.latency_survivability),
+            ),
+            ("latency_cost", hist_to_json(&self.latency_cost)),
+            ("latency_simulate", hist_to_json(&self.latency_simulate)),
+            ("latency_stats", hist_to_json(&self.latency_stats)),
+            ("latency_metrics", hist_to_json(&self.latency_metrics)),
+            (
+                "solve_iterations_hist",
+                hist_to_json(&self.solve_iterations_hist),
+            ),
+            (
+                "replication_batches_hist",
+                hist_to_json(&self.replication_batches_hist),
+            ),
         ])
     }
 
-    /// Decodes a wire object (missing fields default to zero).
+    /// Decodes a wire object (missing fields default to zero / empty, so an
+    /// old daemon's payload still parses).
     ///
     /// # Errors
     ///
@@ -209,8 +413,10 @@ impl StatsSnapshot {
             return Err("stats payload must be an object".to_string());
         }
         let field = |name: &str| json.get(name).and_then(Json::as_usize).unwrap_or(0) as u64;
+        let hist = |name: &str| json.get(name).map(hist_from_json).unwrap_or_default();
         Ok(StatsSnapshot {
             queries: field("queries"),
+            uptime_seconds: field("uptime_seconds"),
             cache_hits: field("cache_hits"),
             cache_misses: field("cache_misses"),
             interned_shared: field("interned_shared"),
@@ -226,7 +432,171 @@ impl StatsSnapshot {
             krylov_operator_solves: field("krylov_operator_solves"),
             simulate_runs: field("simulate_runs"),
             simulate_replications: field("simulate_replications"),
+            availability_queries: field("availability_queries"),
+            survivability_queries: field("survivability_queries"),
+            cost_queries: field("cost_queries"),
+            simulate_queries: field("simulate_queries"),
+            stats_queries: field("stats_queries"),
+            metrics_queries: field("metrics_queries"),
+            latency_availability: hist("latency_availability"),
+            latency_survivability: hist("latency_survivability"),
+            latency_cost: hist("latency_cost"),
+            latency_simulate: hist("latency_simulate"),
+            latency_stats: hist("latency_stats"),
+            latency_metrics: hist("latency_metrics"),
+            solve_iterations_hist: hist("solve_iterations_hist"),
+            replication_batches_hist: hist("replication_batches_hist"),
         })
+    }
+
+    /// Prometheus-style text exposition of the snapshot (the payload of the
+    /// `metrics` op). Counters end in `_total`; histogram quantiles follow
+    /// the summary convention (`{quantile="0.5"}` etc. plus `_count`/`_sum`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, value: u64| {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        };
+        out.push_str(&format!(
+            "# TYPE arcade_uptime_seconds gauge\narcade_uptime_seconds {}\n",
+            self.uptime_seconds
+        ));
+        counter(&mut out, "arcade_queries_total", self.queries);
+        out.push_str("# TYPE arcade_queries_op_total counter\n");
+        for op in QueryOp::ALL {
+            out.push_str(&format!(
+                "arcade_queries_op_total{{op=\"{}\"}} {}\n",
+                op.name(),
+                self.queries_of(op)
+            ));
+        }
+        counter(&mut out, "arcade_cache_hits_total", self.cache_hits);
+        counter(&mut out, "arcade_cache_misses_total", self.cache_misses);
+        counter(&mut out, "arcade_cache_evictions_total", self.evictions);
+        counter(
+            &mut out,
+            "arcade_interned_shared_total",
+            self.interned_shared,
+        );
+        counter(
+            &mut out,
+            "arcade_coalesced_queries_total",
+            self.coalesced_queries,
+        );
+        counter(
+            &mut out,
+            "arcade_stationary_solves_total",
+            self.stationary_solves,
+        );
+        counter(&mut out, "arcade_warm_solves_total", self.warm_solves);
+        counter(
+            &mut out,
+            "arcade_cold_iterations_total",
+            self.cold_iterations,
+        );
+        counter(
+            &mut out,
+            "arcade_warm_iterations_total",
+            self.warm_iterations,
+        );
+        counter(
+            &mut out,
+            "arcade_transient_passes_total",
+            self.transient_passes,
+        );
+        out.push_str("# TYPE arcade_tier_solves_total counter\n");
+        for (tier, value) in [
+            ("gs-materialised", self.gs_materialised_solves),
+            ("jacobi-operator", self.jacobi_operator_solves),
+            ("krylov-operator", self.krylov_operator_solves),
+        ] {
+            out.push_str(&format!(
+                "arcade_tier_solves_total{{tier=\"{tier}\"}} {value}\n"
+            ));
+        }
+        counter(&mut out, "arcade_simulate_runs_total", self.simulate_runs);
+        counter(
+            &mut out,
+            "arcade_simulate_replications_total",
+            self.simulate_replications,
+        );
+        out.push_str("# TYPE arcade_query_latency_microseconds summary\n");
+        for op in QueryOp::ALL {
+            let hist = self.latency_of(op);
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                if let Some(value) = hist.quantile(q) {
+                    out.push_str(&format!(
+                        "arcade_query_latency_microseconds{{op=\"{}\",quantile=\"{label}\"}} \
+                         {value}\n",
+                        op.name()
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "arcade_query_latency_microseconds_count{{op=\"{}\"}} {}\n",
+                op.name(),
+                hist.count
+            ));
+            out.push_str(&format!(
+                "arcade_query_latency_microseconds_sum{{op=\"{}\"}} {}\n",
+                op.name(),
+                hist.sum
+            ));
+        }
+        for (name, hist) in [
+            ("arcade_solve_iterations", &self.solve_iterations_hist),
+            ("arcade_replication_batches", &self.replication_batches_hist),
+        ] {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                if let Some(value) = hist.quantile(q) {
+                    out.push_str(&format!("{name}{{quantile=\"{label}\"}} {value}\n"));
+                }
+            }
+            out.push_str(&format!("{name}_count {}\n", hist.count));
+            out.push_str(&format!("{name}_sum {}\n", hist.sum));
+        }
+        out
+    }
+}
+
+/// Wire encoding of a histogram snapshot: the raw `count`/`sum`/`max`/
+/// `buckets` (enough to reconstruct it exactly) plus derived percentiles for
+/// human consumers (ignored when parsing).
+fn hist_to_json(hist: &HistogramSnapshot) -> Json {
+    let quantile = |q: f64| hist.quantile(q).map(Json::from).unwrap_or(Json::Null);
+    Json::object(vec![
+        ("count", Json::from(hist.count)),
+        ("sum", Json::from(hist.sum)),
+        ("max", Json::from(hist.max)),
+        (
+            "buckets",
+            Json::Array(hist.buckets.iter().map(|&b| Json::from(b)).collect()),
+        ),
+        ("p50", quantile(0.5)),
+        ("p90", quantile(0.9)),
+        ("p99", quantile(0.99)),
+    ])
+}
+
+/// Parses the wire encoding back (tolerant: anything missing is zero/empty).
+fn hist_from_json(json: &Json) -> HistogramSnapshot {
+    let field = |name: &str| json.get(name).and_then(Json::as_usize).unwrap_or(0) as u64;
+    let buckets = json
+        .get("buckets")
+        .and_then(Json::as_array)
+        .map(|values| {
+            values
+                .iter()
+                .map(|v| v.as_usize().unwrap_or(0) as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    HistogramSnapshot {
+        count: field("count"),
+        sum: field("sum"),
+        max: field("max"),
+        buckets,
     }
 }
 
@@ -248,8 +618,8 @@ mod tests {
         stats.tier_solve("krylov-operator");
         stats.tier_solve("jacobi-operator");
         stats.tier_solve("some-future-tier");
-        stats.simulate_run(2000);
-        stats.simulate_run(500);
+        stats.simulate_run(2000, 4);
+        stats.simulate_run(500, 1);
         stats.transient_pass();
         stats.coalesced();
         let snap = stats.snapshot();
@@ -267,30 +637,88 @@ mod tests {
         assert_eq!(snap.jacobi_operator_solves, 1);
         assert_eq!(snap.simulate_runs, 2);
         assert_eq!(snap.simulate_replications, 2500);
+        // The histograms saw the same events as the scalar counters.
+        assert_eq!(snap.solve_iterations_hist.count, 2);
+        assert_eq!(snap.solve_iterations_hist.sum, 107);
+        assert_eq!(snap.replication_batches_hist.count, 2);
+        assert_eq!(snap.replication_batches_hist.max, 4);
+    }
+
+    #[test]
+    fn per_op_counters_and_latency_histograms() {
+        let stats = ServiceStats::new();
+        stats.op_served(QueryOp::Availability, 150);
+        stats.op_served(QueryOp::Availability, 90);
+        stats.op_served(QueryOp::Simulate, 4000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.availability_queries, 2);
+        assert_eq!(snap.simulate_queries, 1);
+        assert_eq!(snap.survivability_queries, 0);
+        assert_eq!(snap.queries_of(QueryOp::Availability), 2);
+        assert_eq!(snap.latency_availability.count, 2);
+        assert_eq!(snap.latency_availability.sum, 240);
+        assert_eq!(snap.latency_availability.max, 150);
+        assert_eq!(snap.latency_of(QueryOp::Simulate).count, 1);
+        assert_eq!(snap.latency_survivability.count, 0);
     }
 
     #[test]
     fn snapshots_round_trip_through_json() {
-        let snap = StatsSnapshot {
-            queries: 10,
-            cache_hits: 7,
-            cache_misses: 3,
-            interned_shared: 1,
-            stationary_solves: 3,
-            warm_solves: 2,
-            cold_iterations: 1000,
-            warm_iterations: 60,
-            transient_passes: 4,
-            coalesced_queries: 5,
-            evictions: 2,
-            gs_materialised_solves: 3,
-            jacobi_operator_solves: 1,
-            krylov_operator_solves: 6,
-            simulate_runs: 9,
-            simulate_replications: 18_000,
-        };
+        let stats = ServiceStats::new();
+        stats.query();
+        stats.op_served(QueryOp::Availability, 120);
+        stats.op_served(QueryOp::Stats, 5);
+        stats.stationary_solve(false, 321);
+        stats.simulate_run(1000, 2);
+        stats.transient_pass();
+        let mut snap = stats.snapshot();
+        snap.evictions = 2;
+        snap.uptime_seconds = 42;
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
         assert!(StatsSnapshot::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn old_wire_payloads_without_histograms_still_parse() {
+        let old = Json::object(vec![
+            ("queries", Json::from(3u64)),
+            ("cache_hits", Json::from(1u64)),
+        ]);
+        let snap = StatsSnapshot::from_json(&old).unwrap();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.uptime_seconds, 0);
+        assert_eq!(snap.latency_availability, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn prometheus_exposition_carries_counters_and_quantiles() {
+        let stats = ServiceStats::new();
+        stats.query();
+        stats.op_served(QueryOp::Availability, 100);
+        stats.stationary_solve(false, 64);
+        stats.tier_solve("krylov-operator");
+        let mut snap = stats.snapshot();
+        snap.evictions = 5;
+        let text = snap.to_prometheus();
+        assert!(text.contains("arcade_queries_total 1\n"));
+        assert!(text.contains("arcade_queries_op_total{op=\"availability\"} 1\n"));
+        assert!(text.contains("arcade_cache_evictions_total 5\n"));
+        assert!(text.contains("arcade_tier_solves_total{tier=\"krylov-operator\"} 1\n"));
+        assert!(text
+            .contains("arcade_query_latency_microseconds{op=\"availability\",quantile=\"0.5\"}"));
+        assert!(text.contains("arcade_query_latency_microseconds_count{op=\"availability\"} 1\n"));
+        assert!(text.contains("arcade_solve_iterations_count 1\n"));
+        assert!(text.contains("arcade_solve_iterations_sum 64\n"));
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: {line}"
+            );
+        }
     }
 }

@@ -27,6 +27,7 @@
 use std::borrow::Cow;
 
 use arcade_core::{ArcadeError, CompiledQuotient};
+use arcade_telemetry::Recorder;
 use ctmc::exec::map_ordered;
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -383,6 +384,10 @@ impl<'a> QuotientSimulator<'a> {
         F: Fn(&mut Walk<'_>) -> f64 + Sync,
     {
         check_options(options)?;
+        let recorder = Recorder::current();
+        let mut span = recorder.span("simulate");
+        span.count("replications", options.replications as u64);
+        span.count("states", self.quotient.num_states() as u64);
         let biased = options.bias != 1.0;
         let set = self.sampler_set(options.bias);
         let set: &SamplerSet = &set;
@@ -391,6 +396,7 @@ impl<'a> QuotientSimulator<'a> {
         let cost = self.quotient.cost_rewards().state_rewards();
 
         let ranges = batch_ranges(options.replications, options.batch);
+        span.count("batches", ranges.len() as u64);
         struct BatchOutput {
             samples: Vec<(f64, f64)>,
             weighted: RunningStats,
@@ -433,10 +439,18 @@ impl<'a> QuotientSimulator<'a> {
             weighted: RunningStats::new(),
             weights: RunningStats::new(),
         };
+        // The LR-certificate trajectory: the running mean of the likelihood
+        // ratios after each batch merge (it must drift to 1 as replications
+        // accumulate — see `MeasureReport::lr_mean`). Only read under bias;
+        // the unbiased path skips the weight statistics entirely.
+        let mut probe = recorder.probe("lr-certificate", "biased");
         for output in outputs {
             merged.samples.extend(output.samples);
             merged.weighted.merge(&output.weighted);
             merged.weights.merge(&output.weights);
+            if biased && probe.is_active() {
+                probe.record(merged.weights.mean());
+            }
         }
         Ok(merged)
     }

@@ -1,0 +1,244 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! A [`Histogram`] holds one atomic counter per power-of-two bucket: value
+//! `v` lands in the bucket indexed by its bit length (`v = 0` → bucket 0,
+//! `v ∈ [2^(i-1), 2^i)` → bucket `i`). Recording is two relaxed atomic adds
+//! and one atomic max — safe from any number of threads with no locking —
+//! which is what lets the analysis daemon time every query on the hot path.
+//! Quantiles come from a [`HistogramSnapshot`]: the reported percentile is
+//! the inclusive upper bound of the bucket where the cumulative count
+//! crosses the rank, so it is an overestimate by at most 2× (the bucket
+//! width), which is the standard precision trade of log-bucketed latency
+//! histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bit lengths 0..=63 (the top bucket also absorbs the
+/// handful of values with bit length 64).
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket index of a value: its bit length, clamped to the top bucket.
+pub fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of a bucket (`0` for bucket 0, `2^i - 1`
+/// otherwise; the top bucket reports `u64::MAX`).
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` observations (microseconds,
+/// iteration counts, batch counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation (relaxed atomics; never blocks).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (buckets trimmed to the highest non-empty one).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (for means).
+    pub sum: u64,
+    /// Largest observation (exact, not bucketed).
+    pub max: u64,
+    /// Per-bucket counts, index = bit length of the value; trailing empty
+    /// buckets trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// where the cumulative count reaches `ceil(q · count)` (the exact
+    /// `max` for the top non-empty bucket). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        let top = self.buckets.len().saturating_sub(1);
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank && n > 0 {
+                // The max lives in the top non-empty bucket; report it
+                // exactly instead of the (possibly huge) bucket bound.
+                return Some(if bucket == top {
+                    self.max
+                } else {
+                    bucket_upper_bound(bucket)
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (upper bucket bound).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_follow_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        // Every bucket's upper bound maps back into that bucket.
+        for bucket in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_upper_bound(bucket)), bucket, "{bucket}");
+        }
+        // The boundary value 2^i is the first value of bucket i+1.
+        for i in 1..62 {
+            assert_eq!(bucket_of((1u64 << i) - 1), i);
+            assert_eq!(bucket_of(1u64 << i), i + 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_sum_and_max() {
+        let hist = Histogram::new();
+        for v in [0, 1, 1, 3, 100, 1000] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1105);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.buckets[0], 1, "one zero");
+        assert_eq!(snap.buckets[1], 2, "two ones");
+        assert_eq!(snap.buckets[2], 1, "one three");
+        assert_eq!(snap.buckets[7], 1, "100 has bit length 7");
+        assert_eq!(snap.buckets[10], 1, "1000 has bit length 10");
+        assert_eq!(snap.buckets.len(), 11, "trailing zeros trimmed");
+        assert_eq!(snap.mean(), Some(1105.0 / 6.0));
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let hist = Histogram::new();
+        // 90 fast observations (≤ 127 µs), 10 slow (≈ 4000 µs).
+        for _ in 0..90 {
+            hist.record(100);
+        }
+        for _ in 0..10 {
+            hist.record(4000);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.p50(), Some(127), "bucket [64, 127] holds the median");
+        assert_eq!(snap.p90(), Some(127));
+        assert_eq!(snap.p99(), Some(4000), "top bucket reports the exact max");
+        assert_eq!(snap.quantile(1.0), Some(4000));
+        assert_eq!(snap.max, 4000);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.mean(), None);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = std::sync::Arc::new(Histogram::new());
+        let workers: Vec<_> = (0..8)
+            .map(|w| {
+                let hist = std::sync::Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        hist.record(w * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.max, 7999);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 8000);
+    }
+}
